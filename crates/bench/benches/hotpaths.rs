@@ -1,0 +1,226 @@
+//! Criterion micro-benchmarks of the hot paths, including the ablations
+//! DESIGN.md calls out:
+//!
+//! * `opt_speedup/*` — interpreted vs fused evaluation of the same
+//!   specification (the paper's program optimizer is worth "a factor of
+//!   two or more");
+//! * `consensus/*` — a full hand-coded Paxos decision round vs the
+//!   spec-generated one;
+//! * `sqldb/*` — point operations of the SQL engine;
+//! * `transfer/*` — state-transfer batch encode/decode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
+use shadowdb_consensus::{handcoded, synod};
+use shadowdb_eventml::optimize::optimize;
+use shadowdb_eventml::{clk, Ctx, InterpretedProcess, Process, Value};
+use shadowdb_loe::Loc;
+use shadowdb_sqldb::{Database, EngineProfile, RowBatch};
+use shadowdb_workloads::bank;
+use std::collections::VecDeque;
+
+fn bench_opt_speedup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt_speedup");
+    let config = TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)]).with_auto_adopt();
+    let class = TwoThird::new(config).class();
+    let msgs: Vec<_> = (0..8).map(|i| propose_msg(i, Value::Int(i))).collect();
+    g.bench_function("interpreted", |b| {
+        b.iter_batched(
+            || InterpretedProcess::compile(&class),
+            |mut p| {
+                for m in &msgs {
+                    p.step(&Ctx::at(Loc::new(0)), m);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("fused", |b| {
+        b.iter_batched(
+            || optimize(&class),
+            |mut p| {
+                for m in &msgs {
+                    p.step(&Ctx::at(Loc::new(0)), m);
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The running example too, for a small-spec data point.
+    let clk_class = clk::handler_class(clk::ring_handle(3));
+    let clk_msg = clk::clk_msg(Value::Int(0), 3);
+    g.bench_function("clk_interpreted", |b| {
+        b.iter_batched(
+            || InterpretedProcess::compile(&clk_class),
+            |mut p| p.step(&Ctx::at(Loc::new(0)), &clk_msg),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("clk_fused", |b| {
+        b.iter_batched(
+            || optimize(&clk_class),
+            |mut p| p.step(&Ctx::at(Loc::new(0)), &clk_msg),
+            BatchSize::SmallInput,
+        )
+    });
+    // Where CSE structurally wins: the same stateful subexpression used
+    // eight times. The interpreter keeps (and updates) eight copies of the
+    // state machine; the optimizer shares one.
+    let counter = {
+        use shadowdb_eventml::{ClassExpr, UpdateFn, Value};
+        let inc = UpdateFn::new("inc", 1, |_l, _v, s: &Value| Value::Int(s.int() + 1));
+        ClassExpr::base("m").state(Value::Int(0), inc)
+    };
+    let shared = {
+        use shadowdb_eventml::{ClassExpr, HandlerFn};
+        let h = HandlerFn::new("tuple8", 1, |_l, args: &[shadowdb_eventml::Value]| {
+            vec![shadowdb_eventml::Value::list(args.to_vec())]
+        });
+        ClassExpr::compose(h, vec![counter; 8])
+    };
+    let m = shadowdb_eventml::Msg::new("m", Value::Int(1));
+    g.bench_function("shared8_interpreted", |b| {
+        b.iter_batched(
+            || InterpretedProcess::compile(&shared),
+            |mut p| p.step(&Ctx::at(Loc::new(0)), &m),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("shared8_fused", |b| {
+        b.iter_batched(
+            || optimize(&shared),
+            |mut p| p.step(&Ctx::at(Loc::new(0)), &m),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// Runs one command through a complete in-memory Synod deployment until
+/// the learner hears the decision.
+fn synod_round(procs: &mut [(Loc, Box<dyn Process>)], cmd: Value) -> usize {
+    let mut queue: VecDeque<(Loc, shadowdb_eventml::Msg)> =
+        VecDeque::from([(Loc::new(0), synod::request_msg(cmd))]);
+    let mut hops = 0;
+    while let Some((dest, msg)) = queue.pop_front() {
+        hops += 1;
+        if dest == Loc::new(100) {
+            continue;
+        }
+        if let Some((_, p)) = procs.iter_mut().find(|(l, _)| *l == dest) {
+            for o in p.step(&Ctx::at(dest), &msg) {
+                queue.push_back((o.dest, o.msg));
+            }
+        }
+    }
+    hops
+}
+
+fn bench_consensus(c: &mut Criterion) {
+    let mut g = c.benchmark_group("consensus");
+    let config = synod::SynodConfig {
+        replicas: vec![Loc::new(0)],
+        leaders: vec![Loc::new(1)],
+        acceptors: vec![Loc::new(2), Loc::new(3), Loc::new(4)],
+        learners: vec![Loc::new(100)],
+    };
+    g.bench_function("handcoded_round", |b| {
+        b.iter_batched(
+            || {
+                let mut procs = handcoded::deployment(&config);
+                synod_round(&mut procs, Value::str("warm")); // adopt a ballot
+                procs
+            },
+            |mut procs| synod_round(&mut procs, Value::str("cmd")),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("generated_round", |b| {
+        b.iter_batched(
+            || {
+                let mut procs: Vec<(Loc, Box<dyn Process>)> = vec![
+                    (Loc::new(0), Box::new(InterpretedProcess::compile(&synod::replica_class(&config)))),
+                    (Loc::new(1), Box::new(InterpretedProcess::compile(&synod::leader_class(&config)))),
+                ];
+                for a in &config.acceptors {
+                    procs.push((
+                        *a,
+                        Box::new(InterpretedProcess::compile(&synod::acceptor_class(&config))),
+                    ));
+                }
+                let mut procs = {
+                    // Kick the leader's first scout.
+                    let (l, p) = &mut procs[1];
+                    for o in p.step(&Ctx::at(*l), &synod::start_msg()) {
+                        let dest = o.dest;
+                        let msg = o.msg;
+                        // Deliver scout messages inline.
+                        if let Some((_, q)) = procs.iter_mut().find(|(x, _)| *x == dest) {
+                            for o2 in q.step(&Ctx::at(dest), &msg) {
+                                let d2 = o2.dest;
+                                if let Some((_, r)) = procs.iter_mut().find(|(x, _)| *x == d2) {
+                                    r.step(&Ctx::at(d2), &o2.msg);
+                                }
+                            }
+                        }
+                    }
+                    procs
+                };
+                synod_round(&mut procs, Value::str("warm"));
+                procs
+            },
+            |mut procs| synod_round(&mut procs, Value::str("cmd")),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_sqldb(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sqldb");
+    let db = Database::new(EngineProfile::h2());
+    bank::load(&db, 10_000).unwrap();
+    let mut i = 0i64;
+    g.bench_function("point_update", |b| {
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            db.execute(&format!("UPDATE accounts SET balance = balance + 1 WHERE id = {i}"))
+                .unwrap()
+        })
+    });
+    g.bench_function("point_select", |b| {
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            db.execute(&format!("SELECT balance FROM accounts WHERE id = {i}")).unwrap()
+        })
+    });
+    g.bench_function("parse_only", |b| {
+        b.iter(|| {
+            shadowdb_sqldb::sql::parse(
+                "SELECT a, b FROM t WHERE x = 3 AND y > 2 ORDER BY b DESC LIMIT 5",
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_transfer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transfer");
+    let db = Database::new(EngineProfile::h2());
+    bank::load(&db, 5_000).unwrap();
+    let snap = db.snapshot();
+    g.bench_function("snapshot_to_50k_batches", |b| {
+        b.iter(|| snap.to_batches(50_000));
+    });
+    let batches = snap.to_batches(50_000);
+    g.bench_function("batch_encode", |b| b.iter(|| batches[0].encode()));
+    let wire = batches[0].encode();
+    g.bench_function("batch_decode", |b| {
+        b.iter(|| RowBatch::decode(wire.clone()).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_opt_speedup, bench_consensus, bench_sqldb, bench_transfer);
+criterion_main!(benches);

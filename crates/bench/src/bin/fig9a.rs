@@ -1,0 +1,168 @@
+//! Fig. 9(a): the micro-benchmark — latency vs committed transactions/s.
+//!
+//! "We increase the load imposed on the system by varying the number of
+//! clients between 1 and 32, each submitting 35,000 update transactions.
+//! These transactions deposit money on a randomly selected account. Rows
+//! are 16 bytes in length and the database contains 50,000 rows."
+//!
+//! Paper anchors: H2 standalone fastest (≈6 400 txns/s); ShadowDB-PBR
+//! ≈4 600 txns/s (72 % of standalone, best replicated); MySQL replication
+//! peaks at 3 900 then declines; H2 replication saturates early on table
+//! locks; ShadowDB-SMR ≈760 txns/s (co-located Paxos competes for CPU).
+
+use parking_lot::Mutex;
+use shadowdb::client::{DbClient, Submission};
+use shadowdb::pbr::PbrOptions;
+use shadowdb::{DbClientStats, PbrDeployment, SmrDeployment};
+use shadowdb_bench::baselines::{LockCoupledReplServer, LockCoupling, StandaloneServer};
+use shadowdb_bench::cost::ShadowDbCost;
+use shadowdb_bench::measure::{aggregate, Point};
+use shadowdb_bench::{output, scaled};
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_simnet::{NetworkConfig, SimBuilder, Simulation};
+use shadowdb_sqldb::{Database, EngineProfile};
+use shadowdb_tob::mode::ModeCost;
+use shadowdb_tob::ExecutionMode;
+use shadowdb_workloads::{bank, TxnRequest};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: usize = 50_000;
+const CLIENT_COUNTS: [usize; 7] = [1, 2, 4, 8, 16, 24, 32];
+
+fn txns_for(client: usize, count: usize) -> Vec<TxnRequest> {
+    let mut g = bank::BankGen::new(7_000 + client as u64, ROWS);
+    (0..count).map(|_| g.next_txn()).collect()
+}
+
+fn run_pbr(n_clients: usize, txns: usize) -> Point {
+    let mut sim = SimBuilder::new(9).network(NetworkConfig::lan()).build();
+    let options = shadowdb::deploy::DeployOptions {
+        mode: ExecutionMode::InterpretedOpt, // the paper's PBR service mode
+        ..shadowdb::deploy::DeployOptions::new(
+            n_clients,
+            move |i| txns_for(i, txns),
+            |db| bank::load(db, ROWS).expect("loads"),
+        )
+    };
+    let d = PbrDeployment::build(&mut sim, &options, PbrOptions::default());
+    sim.set_cost_model(ShadowDbCost::new(
+        ModeCost::new(ExecutionMode::InterpretedOpt, d.tob.service_locs.clone()),
+        d.replicas.clone(),
+        400,
+    ));
+    sim.run_until_quiescent(VTime::from_secs(36_000));
+    aggregate(n_clients, &d.stats)
+}
+
+fn run_smr(n_clients: usize, txns: usize) -> Point {
+    let mut sim = SimBuilder::new(9).network(NetworkConfig::lan()).build();
+    let options = shadowdb::deploy::DeployOptions::new(
+        n_clients,
+        move |i| txns_for(i, txns),
+        |db| bank::load(db, ROWS).expect("loads"),
+    );
+    let d = SmrDeployment::build(&mut sim, &options);
+    sim.set_cost_model(ShadowDbCost::new(
+        ModeCost::new(ExecutionMode::Compiled, d.tob.service_locs.clone()),
+        d.replicas.clone(),
+        400,
+    ));
+    sim.run_until_quiescent(VTime::from_secs(36_000));
+    aggregate(n_clients, &d.stats)
+}
+
+fn run_single_server(
+    server: Box<dyn shadowdb_eventml::Process>,
+    n_clients: usize,
+    txns: usize,
+) -> Point {
+    let mut sim: Simulation = SimBuilder::new(9).network(NetworkConfig::lan()).build();
+    let server_loc = Loc::new(n_clients as u32);
+    let mut stats = Vec::new();
+    for i in 0..n_clients {
+        let s = Arc::new(Mutex::new(DbClientStats::default()));
+        stats.push(s.clone());
+        let c = DbClient::new(
+            Submission::Pbr { replicas: vec![server_loc] },
+            txns_for(i, txns),
+            s,
+        )
+        .with_timeout(Duration::from_secs(600));
+        sim.add_node(Box::new(c));
+    }
+    let added = sim.add_node(server);
+    assert_eq!(added, server_loc);
+    for i in 0..n_clients {
+        sim.send_at(VTime::ZERO, Loc::new(i as u32), DbClient::start_msg());
+    }
+    sim.run_until_quiescent(VTime::from_secs(36_000));
+    aggregate(n_clients, &stats)
+}
+
+fn bank_db() -> Database {
+    let db = Database::new(EngineProfile::h2());
+    bank::load(&db, ROWS).expect("loads");
+    db
+}
+
+fn main() {
+    output::banner(
+        "Fig. 9(a) — micro-benchmark latency vs committed txns/s",
+        "Fig. 9(a) (Sec. IV-B): deposits on 50,000 16-byte rows, 1–32 clients",
+    );
+    let txns = scaled(35_000, 20);
+    output::kv("transactions per client", txns);
+
+    let mut curves: Vec<(&str, Vec<Point>, &str)> = Vec::new();
+
+    let pbr: Vec<Point> = CLIENT_COUNTS.iter().map(|&n| run_pbr(n, txns)).collect();
+    curves.push(("ShadowDB-PBR", pbr, "paper: ≈4,600 txns/s max (72% of standalone H2)"));
+
+    let smr: Vec<Point> = CLIENT_COUNTS.iter().map(|&n| run_smr(n, txns)).collect();
+    curves.push(("ShadowDB-SMR", smr, "paper: ≈760 txns/s max"));
+
+    let h2r: Vec<Point> = CLIENT_COUNTS
+        .iter()
+        .map(|&n| {
+            run_single_server(
+                Box::new(LockCoupledReplServer::new(bank_db(), LockCoupling::h2_replication())),
+                n,
+                txns,
+            )
+        })
+        .collect();
+    curves.push(("H2-repl.", h2r, "paper: early flat saturation, lock timeouts"));
+
+    let myr: Vec<Point> = CLIENT_COUNTS
+        .iter()
+        .map(|&n| {
+            run_single_server(
+                Box::new(LockCoupledReplServer::new(
+                    bank_db(),
+                    LockCoupling::mysql_replication(),
+                )),
+                n,
+                txns,
+            )
+        })
+        .collect();
+    curves.push(("MySQL-repl.", myr, "paper: ≈3,900 txns/s peak, then declining"));
+
+    let std: Vec<Point> = CLIENT_COUNTS
+        .iter()
+        .map(|&n| run_single_server(Box::new(StandaloneServer::new(bank_db())), n, txns))
+        .collect();
+    curves.push(("H2-stdalone", std, "paper: ≈6,400 txns/s max"));
+
+    for (name, points, anchor) in &curves {
+        output::series(name, points);
+        output::kv("anchor", anchor);
+    }
+
+    // The headline orderings of the figure.
+    let max = |pts: &[Point]| pts.iter().map(|p| p.throughput).fold(0.0, f64::max);
+    println!();
+    output::kv("PBR / standalone peak ratio", format!("{:.2}", max(&curves[0].1) / max(&curves[4].1)));
+    output::kv("SMR peak", format!("{:.0} txns/s", max(&curves[1].1)));
+}

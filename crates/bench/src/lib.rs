@@ -1,0 +1,31 @@
+//! Shared harness machinery for the experiment binaries.
+//!
+//! One binary per table/figure of the paper (see `src/bin/`); this library
+//! holds what they share: closed-loop sweep drivers, steady-state
+//! measurement, the analytic baseline servers of Fig. 9, and plain-text
+//! series output.
+//!
+//! Run `cargo run --release -p shadowdb-bench --bin <name>` with
+//! `table1`, `fig8`, `fig9a`, `fig9b`, `fig10a`, `fig10b`, or one of the
+//! `ablation_*` binaries. Every binary accepts `--full` to run at the
+//! paper's original scale (the default is scaled down ~10× to finish in
+//! seconds; shapes are unaffected).
+
+pub mod baselines;
+pub mod cost;
+pub mod measure;
+pub mod output;
+
+/// Returns true when `--full` was passed (paper-scale runs).
+pub fn full_scale() -> bool {
+    std::env::args().any(|a| a == "--full")
+}
+
+/// Scales a paper-sized count down unless `--full` was passed.
+pub fn scaled(paper: usize, divisor: usize) -> usize {
+    if full_scale() {
+        paper
+    } else {
+        (paper / divisor).max(1)
+    }
+}

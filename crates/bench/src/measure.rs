@@ -1,0 +1,117 @@
+//! Steady-state measurement over client statistics.
+
+use parking_lot::Mutex;
+use shadowdb::DbClientStats;
+use shadowdb_loe::VTime;
+use std::sync::Arc;
+
+/// One point of a latency-vs-throughput curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Point {
+    /// Offered concurrency (number of clients).
+    pub clients: usize,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Mean commit latency in milliseconds.
+    pub latency_ms: f64,
+    /// Fraction of answered transactions that aborted.
+    pub abort_rate: f64,
+}
+
+/// Aggregates client stats into a curve point, excluding a warmup fraction
+/// of each client's transactions.
+pub fn aggregate(clients: usize, stats: &[Arc<Mutex<DbClientStats>>]) -> Point {
+    let mut commits: Vec<(VTime, VTime)> = Vec::new();
+    let mut answered = 0usize;
+    let mut aborted = 0usize;
+    for s in stats {
+        let s = s.lock();
+        let warmup = s.completed.len() / 10;
+        for (sent, done, committed) in s.completed.iter().skip(warmup) {
+            answered += 1;
+            if *committed {
+                commits.push((*sent, *done));
+            } else {
+                aborted += 1;
+            }
+        }
+    }
+    if commits.is_empty() {
+        return Point { clients, throughput: 0.0, latency_ms: f64::NAN, abort_rate: 1.0 };
+    }
+    let first = commits.iter().map(|(s, _)| *s).min().expect("non-empty");
+    let last = commits.iter().map(|(_, d)| *d).max().expect("non-empty");
+    let span = last.saturating_since(first).as_secs_f64().max(1e-9);
+    let mean_us: f64 = commits
+        .iter()
+        .map(|(s, d)| d.saturating_since(*s).as_micros() as f64)
+        .sum::<f64>()
+        / commits.len() as f64;
+    Point {
+        clients,
+        throughput: commits.len() as f64 / span,
+        latency_ms: mean_us / 1_000.0,
+        abort_rate: aborted as f64 / answered.max(1) as f64,
+    }
+}
+
+/// Bins commit instants into per-second counts over `[0, horizon_s)` — the
+/// instantaneous-throughput timeline of Fig. 10(a).
+pub fn throughput_timeline(
+    stats: &[Arc<Mutex<DbClientStats>>],
+    horizon_s: usize,
+) -> Vec<(usize, u64)> {
+    let mut bins = vec![0u64; horizon_s];
+    for s in stats {
+        for (_, done, committed) in &s.lock().completed {
+            if *committed {
+                let sec = done.as_secs_f64() as usize;
+                if sec < horizon_s {
+                    bins[sec] += 1;
+                }
+            }
+        }
+    }
+    bins.into_iter().enumerate().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_with(completed: Vec<(u64, u64, bool)>) -> Arc<Mutex<DbClientStats>> {
+        let s = DbClientStats {
+            completed: completed
+                .into_iter()
+                .map(|(a, b, c)| (VTime::from_millis(a), VTime::from_millis(b), c))
+                .collect(),
+            resends: 0,
+        };
+        Arc::new(Mutex::new(s))
+    }
+
+    #[test]
+    fn aggregate_computes_rate_and_latency() {
+        // 10 commits, 100ms apart, each taking 20ms.
+        let s = stats_with((0..10).map(|i| (i * 100, i * 100 + 20, true)).collect());
+        let p = aggregate(1, &[s]);
+        assert!((p.latency_ms - 20.0).abs() < 0.5, "{p:?}");
+        // 9 post-warmup commits over ~0.92 s.
+        assert!(p.throughput > 8.0 && p.throughput < 12.0, "{p:?}");
+        assert_eq!(p.abort_rate, 0.0);
+    }
+
+    #[test]
+    fn aborts_counted() {
+        let s = stats_with(vec![(0, 10, true), (100, 110, false), (200, 210, true)]);
+        let p = aggregate(1, &[s]);
+        assert!((p.abort_rate - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeline_bins_by_second() {
+        let s = stats_with(vec![(0, 500, true), (600, 900, true), (100, 1500, true)]);
+        let t = throughput_timeline(&[s], 3);
+        assert_eq!(t, vec![(0, 2), (1, 1), (2, 0)]);
+    }
+}

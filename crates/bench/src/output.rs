@@ -1,0 +1,42 @@
+//! Plain-text experiment output.
+//!
+//! Each harness prints a self-describing table: a title with the paper
+//! reference, a header row, and one row per measurement — the same series
+//! the paper plots, ready for gnuplot or a spreadsheet.
+
+use crate::measure::Point;
+
+/// Prints a figure/table banner.
+pub fn banner(title: &str, paper_ref: &str) {
+    println!();
+    println!("== {title} ==");
+    println!("   (reproduces {paper_ref})");
+}
+
+/// Prints one latency-vs-throughput series.
+pub fn series(name: &str, points: &[Point]) {
+    println!();
+    println!("-- {name} --");
+    println!("{:>8} {:>14} {:>13} {:>11}", "clients", "committed/s", "latency(ms)", "abort-rate");
+    for p in points {
+        println!(
+            "{:>8} {:>14.1} {:>13.3} {:>11.3}",
+            p.clients, p.throughput, p.latency_ms, p.abort_rate
+        );
+    }
+}
+
+/// Prints a generic two-column series.
+pub fn pairs(name: &str, x_label: &str, y_label: &str, rows: &[(String, String)]) {
+    println!();
+    println!("-- {name} --");
+    println!("{x_label:>16} {y_label:>16}");
+    for (x, y) in rows {
+        println!("{x:>16} {y:>16}");
+    }
+}
+
+/// Prints a key/value summary line.
+pub fn kv(key: &str, value: impl std::fmt::Display) {
+    println!("   {key}: {value}");
+}

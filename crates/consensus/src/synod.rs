@@ -1,0 +1,756 @@
+//! The multi-decree Paxos Synod protocol.
+//!
+//! Structured after *Paxos Made Moderately Complex* (Van Renesse, reference
+//! \[20\] of the paper — the informal specification the authors started
+//! from): **replicas** assign commands to slots and propose them to
+//! leaders; **leaders** run *scout* sub-tasks to get a ballot adopted
+//! (phase 1) and *commander* sub-tasks to get individual `<ballot, slot,
+//! command>` pvalues accepted (phase 2); **acceptors** are the fault-
+//! tolerant memory, promising ballots and accepting pvalues.
+//!
+//! Scouts and commanders are modelled as sub-state of the leader (the
+//! paper's LoE delegation combinator folds sub-processes the same way).
+//!
+//! The critical invariant — the one the Google extension of reference \[17\]
+//! broke — is that an acceptor must never forget a promise: once it answers
+//! ballot `b`, it must not accept anything lower. `tests/safety.rs` checks
+//! agreement exhaustively, and reproduces the *Paxos Made Live*
+//! disk-corruption bug by restarting an acceptor with empty state and
+//! watching agreement fail.
+//!
+//! Decisions are announced to learners with the crate-level
+//! [`DECIDE_HEADER`] `(slot, command)` notification,
+//! the same interface TwoThird uses — which is what lets the broadcast
+//! service switch between consensus modules.
+//!
+//! [`DECIDE_HEADER`]: crate::DECIDE_HEADER
+
+use crate::vmap;
+use crate::{decide_body, DECIDE_HEADER};
+use shadowdb_eventml::patterns::{mealy, tagged_union};
+use shadowdb_eventml::{ClassExpr, Msg, SendInstr, Spec, Value};
+use shadowdb_loe::Loc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Client request to a replica: body `<command>`.
+pub const REQUEST_HEADER: &str = "px/request";
+/// Replica proposal to leaders: body `<slot, command>`.
+pub const PROPOSE_HEADER: &str = "px/propose";
+/// Commander decision to replicas: body `<slot, command>`.
+pub const DECISION_HEADER: &str = "px/decision";
+/// Phase-1a: body `<leader, ballot>`.
+pub const P1A_HEADER: &str = "px/p1a";
+/// Phase-1b: body `<acceptor, <ballot, accepted-pvalues>>`.
+pub const P1B_HEADER: &str = "px/p1b";
+/// Phase-2a: body `<leader, <ballot, <slot, command>>>`.
+pub const P2A_HEADER: &str = "px/p2a";
+/// Phase-2b: body `<acceptor, <ballot, slot>>`.
+pub const P2B_HEADER: &str = "px/p2b";
+/// Kick a leader to run its first scout: body ignored.
+pub const START_HEADER: &str = "px/start";
+/// Leader-internal backoff timer after preemption.
+pub const RESCOUT_HEADER: &str = "px/rescout";
+
+/// Backoff before a preempted leader retries phase 1.
+pub const RESCOUT_BACKOFF: Duration = Duration::from_millis(20);
+
+/// Configuration of a Synod deployment.
+#[derive(Clone, Debug)]
+pub struct SynodConfig {
+    /// Replica locations (command ordering; tolerate any number of crashes
+    /// as long as one survives).
+    pub replicas: Vec<Loc>,
+    /// Leader locations.
+    pub leaders: Vec<Loc>,
+    /// Acceptor locations (tolerate a minority of crashes).
+    pub acceptors: Vec<Loc>,
+    /// Locations notified of each decided slot.
+    pub learners: Vec<Loc>,
+}
+
+impl SynodConfig {
+    /// A compact deployment: `n` machines each hosting a replica, a leader,
+    /// and an acceptor role (as processes at distinct locations), plus the
+    /// given learners. Locations are assigned `0..3n`.
+    pub fn compact(n: u32, learners: Vec<Loc>) -> SynodConfig {
+        SynodConfig {
+            replicas: (0..n).map(Loc::new).collect(),
+            leaders: (n..2 * n).map(Loc::new).collect(),
+            acceptors: (2 * n..3 * n).map(Loc::new).collect(),
+            learners,
+        }
+    }
+
+    fn acceptor_majority(&self) -> usize {
+        self.acceptors.len() / 2 + 1
+    }
+}
+
+/// Builds a client request message carrying `command`.
+pub fn request_msg(command: Value) -> Msg {
+    Msg::new(REQUEST_HEADER, command)
+}
+
+/// Builds the message that starts a leader's first scout.
+pub fn start_msg() -> Msg {
+    Msg::new(START_HEADER, Value::Unit)
+}
+
+fn ballot(round: i64, leader: Loc) -> Value {
+    Value::pair(Value::Int(round), Value::Loc(leader))
+}
+
+fn ballot_bottom() -> Value {
+    ballot(-1, Loc::new(0))
+}
+
+// ---------------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------------
+
+/// The acceptor specification: the protocol's fault-tolerant memory.
+pub fn acceptor_spec(config: &SynodConfig) -> Spec {
+    Spec::new("SynodAcceptor", acceptor_class(config))
+}
+
+/// Main class of the acceptor.
+pub fn acceptor_class(_config: &SynodConfig) -> ClassExpr {
+    // State: <ballot, accepted-map slot -> <ballot, cmd>>.
+    let init = Value::pair(ballot_bottom(), vmap::empty());
+    mealy(
+        "acceptor_transition",
+        180,
+        init,
+        tagged_union(&[P1A_HEADER, P2A_HEADER]),
+        Arc::new(move |slf, input, state| {
+            let (tag, body) = input.unpair();
+            let (cur_ballot, accepted) = state.unpair();
+            let mut cur_ballot = cur_ballot.clone();
+            let mut accepted = accepted.clone();
+            let mut outs = Vec::new();
+            match tag.as_str().expect("tag") {
+                P1A_HEADER => {
+                    let (leader, b) = body.unpair();
+                    if *b > cur_ballot {
+                        cur_ballot = b.clone();
+                    }
+                    // Reply with the promise and everything accepted so far.
+                    outs.push(SendInstr::now(
+                        leader.loc(),
+                        Msg::new(
+                            P1B_HEADER,
+                            Value::pair(
+                                Value::Loc(slf),
+                                Value::pair(cur_ballot.clone(), accepted.clone()),
+                            ),
+                        ),
+                    ));
+                }
+                P2A_HEADER => {
+                    let (leader, rest) = body.unpair();
+                    let (b, sc) = rest.unpair();
+                    let (slot, cmd) = sc.unpair();
+                    if *b >= cur_ballot {
+                        cur_ballot = b.clone();
+                        accepted = vmap::set(
+                            &accepted,
+                            slot.clone(),
+                            Value::pair(b.clone(), cmd.clone()),
+                        );
+                    }
+                    outs.push(SendInstr::now(
+                        leader.loc(),
+                        Msg::new(
+                            P2B_HEADER,
+                            Value::pair(
+                                Value::Loc(slf),
+                                Value::pair(cur_ballot.clone(), slot.clone()),
+                            ),
+                        ),
+                    ));
+                }
+                other => panic!("unexpected tag {other}"),
+            }
+            (Value::pair(cur_ballot, accepted), outs)
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Leader (with scout and commander sub-state)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct LeaderState {
+    ballot_round: i64,
+    active: bool,
+    /// slot -> command
+    proposals: Value,
+    /// Some(<waitfor-set, pvalues slot -> <ballot, cmd>>) while a scout runs.
+    scout: Option<(Value, Value)>,
+    /// slot -> waitfor-set while a commander runs.
+    commanders: Value,
+}
+
+impl LeaderState {
+    fn init() -> LeaderState {
+        LeaderState {
+            ballot_round: -1,
+            active: false,
+            proposals: vmap::empty(),
+            scout: None,
+            commanders: vmap::empty(),
+        }
+    }
+
+    fn ballot(&self, slf: Loc) -> Value {
+        ballot(self.ballot_round, slf)
+    }
+
+    fn to_value(&self) -> Value {
+        let scout = match &self.scout {
+            Some((waitfor, pvals)) => {
+                Value::pair(Value::Bool(true), Value::pair(waitfor.clone(), pvals.clone()))
+            }
+            None => Value::pair(Value::Bool(false), Value::Unit),
+        };
+        Value::pair(
+            Value::Int(self.ballot_round),
+            Value::pair(
+                Value::Bool(self.active),
+                Value::pair(self.proposals.clone(), Value::pair(scout, self.commanders.clone())),
+            ),
+        )
+    }
+
+    fn from_value(v: &Value) -> LeaderState {
+        let (round, rest) = v.unpair();
+        let (active, rest) = rest.unpair();
+        let (proposals, rest) = rest.unpair();
+        let (scout, commanders) = rest.unpair();
+        let (has_scout, sc) = scout.unpair();
+        LeaderState {
+            ballot_round: round.int(),
+            active: active.as_bool().expect("bool"),
+            proposals: proposals.clone(),
+            scout: if has_scout.as_bool().expect("bool") {
+                let (waitfor, pvals) = sc.unpair();
+                Some((waitfor.clone(), pvals.clone()))
+            } else {
+                None
+            },
+            commanders: commanders.clone(),
+        }
+    }
+}
+
+/// The leader specification (scouts and commanders folded into its state).
+pub fn leader_spec(config: &SynodConfig) -> Spec {
+    Spec::new("SynodLeader", leader_class(config))
+}
+
+/// Main class of the leader.
+pub fn leader_class(config: &SynodConfig) -> ClassExpr {
+    let config = config.clone();
+    mealy(
+        "leader_transition",
+        650,
+        LeaderState::init().to_value(),
+        tagged_union(&[START_HEADER, RESCOUT_HEADER, PROPOSE_HEADER, P1B_HEADER, P2B_HEADER]),
+        Arc::new(move |slf, input, state| leader_transition(&config, slf, input, state)),
+    )
+}
+
+fn spawn_scout(config: &SynodConfig, slf: Loc, st: &mut LeaderState, outs: &mut Vec<SendInstr>) {
+    let mut waitfor = vmap::empty();
+    for a in &config.acceptors {
+        waitfor = vmap::set(&waitfor, Value::Loc(*a), Value::Unit);
+    }
+    st.scout = Some((waitfor, vmap::empty()));
+    for a in &config.acceptors {
+        outs.push(SendInstr::now(
+            *a,
+            Msg::new(P1A_HEADER, Value::pair(Value::Loc(slf), st.ballot(slf))),
+        ));
+    }
+}
+
+fn spawn_commander(
+    config: &SynodConfig,
+    slf: Loc,
+    st: &mut LeaderState,
+    slot: &Value,
+    cmd: &Value,
+    outs: &mut Vec<SendInstr>,
+) {
+    let mut waitfor = vmap::empty();
+    for a in &config.acceptors {
+        waitfor = vmap::set(&waitfor, Value::Loc(*a), Value::Unit);
+    }
+    st.commanders = vmap::set(&st.commanders, slot.clone(), waitfor);
+    for a in &config.acceptors {
+        outs.push(SendInstr::now(
+            *a,
+            Msg::new(
+                P2A_HEADER,
+                Value::pair(
+                    Value::Loc(slf),
+                    Value::pair(st.ballot(slf), Value::pair(slot.clone(), cmd.clone())),
+                ),
+            ),
+        ));
+    }
+}
+
+fn preempt(
+    slf: Loc,
+    st: &mut LeaderState,
+    seen_ballot: &Value,
+    outs: &mut Vec<SendInstr>,
+) {
+    let seen_round = seen_ballot.fst().expect("ballot").int();
+    st.ballot_round = seen_round.max(st.ballot_round) + 1;
+    st.active = false;
+    st.scout = None;
+    st.commanders = vmap::empty();
+    outs.push(SendInstr::after(
+        RESCOUT_BACKOFF,
+        slf,
+        Msg::new(RESCOUT_HEADER, Value::Unit),
+    ));
+}
+
+fn leader_transition(
+    config: &SynodConfig,
+    slf: Loc,
+    input: &Value,
+    state: &Value,
+) -> (Value, Vec<SendInstr>) {
+    let (tag, body) = input.unpair();
+    let mut st = LeaderState::from_value(state);
+    let mut outs = Vec::new();
+    match tag.as_str().expect("tag") {
+        START_HEADER => {
+            if st.ballot_round < 0 {
+                st.ballot_round = 0;
+                spawn_scout(config, slf, &mut st, &mut outs);
+            }
+        }
+        RESCOUT_HEADER => {
+            if !st.active && st.scout.is_none() {
+                spawn_scout(config, slf, &mut st, &mut outs);
+            }
+        }
+        PROPOSE_HEADER => {
+            let (slot, cmd) = body.unpair();
+            if !vmap::contains(&st.proposals, slot) {
+                st.proposals = vmap::set(&st.proposals, slot.clone(), cmd.clone());
+                if st.active {
+                    spawn_commander(config, slf, &mut st, slot, cmd, &mut outs);
+                }
+            }
+        }
+        P1B_HEADER => {
+            let (acceptor, rest) = body.unpair();
+            let (b, accepted) = rest.unpair();
+            let our = st.ballot(slf);
+            if *b == our {
+                if let Some((waitfor, pvals)) = st.scout.clone() {
+                    // Merge the acceptor's pvalues, keeping max ballot per slot.
+                    let mut pvals = pvals;
+                    for (slot, bc) in vmap::iter(accepted) {
+                        let better = match vmap::get(&pvals, slot) {
+                            Some(existing) => {
+                                bc.fst().expect("ballot") > existing.fst().expect("ballot")
+                            }
+                            None => true,
+                        };
+                        if better {
+                            pvals = vmap::set(&pvals, slot.clone(), bc.clone());
+                        }
+                    }
+                    let waitfor = vmap::remove(&waitfor, acceptor);
+                    let heard = config.acceptors.len() - vmap::len(&waitfor);
+                    if heard >= config.acceptor_majority() {
+                        // Adopted: graft pmax(pvals) over our proposals.
+                        st.scout = None;
+                        st.active = true;
+                        for (slot, bc) in vmap::iter(&pvals) {
+                            let cmd = bc.snd().expect("pvalue");
+                            st.proposals = vmap::set(&st.proposals, slot.clone(), cmd.clone());
+                        }
+                        for (slot, cmd) in
+                            vmap::iter(&st.proposals.clone()).map(|(s, c)| (s.clone(), c.clone()))
+                        {
+                            spawn_commander(config, slf, &mut st, &slot, &cmd, &mut outs);
+                        }
+                    } else {
+                        st.scout = Some((waitfor, pvals));
+                    }
+                }
+            } else if *b > our {
+                preempt(slf, &mut st, b, &mut outs);
+            }
+        }
+        P2B_HEADER => {
+            let (acceptor, rest) = body.unpair();
+            let (b, slot) = rest.unpair();
+            let our = st.ballot(slf);
+            if *b == our {
+                if let Some(waitfor) = vmap::get(&st.commanders, slot).cloned() {
+                    let waitfor = vmap::remove(&waitfor, acceptor);
+                    let heard = config.acceptors.len() - vmap::len(&waitfor);
+                    if heard >= config.acceptor_majority() {
+                        st.commanders = vmap::remove(&st.commanders, slot);
+                        let cmd = vmap::get(&st.proposals, slot)
+                            .cloned()
+                            .expect("commander implies proposal");
+                        for r in &config.replicas {
+                            outs.push(SendInstr::now(
+                                *r,
+                                Msg::new(
+                                    DECISION_HEADER,
+                                    Value::pair(slot.clone(), cmd.clone()),
+                                ),
+                            ));
+                        }
+                    } else {
+                        st.commanders = vmap::set(&st.commanders, slot.clone(), waitfor);
+                    }
+                }
+            } else if *b > our {
+                preempt(slf, &mut st, b, &mut outs);
+            }
+        }
+        other => panic!("unexpected tag {other}"),
+    }
+    (st.to_value(), outs)
+}
+
+// ---------------------------------------------------------------------------
+// Replica
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct ReplicaState {
+    /// Next slot this replica will propose into.
+    slot_in: i64,
+    /// Next slot to deliver.
+    slot_out: i64,
+    /// slot -> cmd, our outstanding proposals.
+    proposals: Value,
+    /// slot -> cmd, decided.
+    decisions: Value,
+}
+
+impl ReplicaState {
+    fn init() -> ReplicaState {
+        ReplicaState {
+            slot_in: 0,
+            slot_out: 0,
+            proposals: vmap::empty(),
+            decisions: vmap::empty(),
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        Value::pair(
+            Value::Int(self.slot_in),
+            Value::pair(
+                Value::Int(self.slot_out),
+                Value::pair(self.proposals.clone(), self.decisions.clone()),
+            ),
+        )
+    }
+
+    fn from_value(v: &Value) -> ReplicaState {
+        let (slot_in, rest) = v.unpair();
+        let (slot_out, rest) = rest.unpair();
+        let (proposals, decisions) = rest.unpair();
+        ReplicaState {
+            slot_in: slot_in.int(),
+            slot_out: slot_out.int(),
+            proposals: proposals.clone(),
+            decisions: decisions.clone(),
+        }
+    }
+
+    fn decided_somewhere(&self, cmd: &Value) -> bool {
+        vmap::iter(&self.decisions).any(|(_, c)| c == cmd)
+    }
+}
+
+/// The replica specification: assigns commands to slots and delivers
+/// decisions in slot order.
+pub fn replica_spec(config: &SynodConfig) -> Spec {
+    Spec::new("SynodReplica", replica_class(config))
+}
+
+/// Main class of the replica.
+pub fn replica_class(config: &SynodConfig) -> ClassExpr {
+    let config = config.clone();
+    mealy(
+        "replica_transition",
+        320,
+        ReplicaState::init().to_value(),
+        tagged_union(&[REQUEST_HEADER, DECISION_HEADER]),
+        Arc::new(move |slf, input, state| replica_transition(&config, slf, input, state)),
+    )
+}
+
+fn propose(
+    config: &SynodConfig,
+    st: &mut ReplicaState,
+    cmd: &Value,
+    outs: &mut Vec<SendInstr>,
+) {
+    if st.decided_somewhere(cmd) {
+        return;
+    }
+    // Skip slots already used.
+    while vmap::contains(&st.proposals, &Value::Int(st.slot_in))
+        || vmap::contains(&st.decisions, &Value::Int(st.slot_in))
+    {
+        st.slot_in += 1;
+    }
+    let slot = Value::Int(st.slot_in);
+    st.proposals = vmap::set(&st.proposals, slot.clone(), cmd.clone());
+    for l in &config.leaders {
+        outs.push(SendInstr::now(
+            *l,
+            Msg::new(PROPOSE_HEADER, Value::pair(slot.clone(), cmd.clone())),
+        ));
+    }
+}
+
+fn replica_transition(
+    config: &SynodConfig,
+    _slf: Loc,
+    input: &Value,
+    state: &Value,
+) -> (Value, Vec<SendInstr>) {
+    let (tag, body) = input.unpair();
+    let mut st = ReplicaState::from_value(state);
+    let mut outs = Vec::new();
+    match tag.as_str().expect("tag") {
+        REQUEST_HEADER => {
+            // Duplicate submissions of an outstanding proposal are no-ops.
+            let outstanding = vmap::iter(&st.proposals).any(|(_, c)| c == body);
+            if !outstanding {
+                propose(config, &mut st, body, &mut outs);
+            }
+        }
+        DECISION_HEADER => {
+            let (slot, cmd) = body.unpair();
+            if !vmap::contains(&st.decisions, slot) {
+                st.decisions = vmap::set(&st.decisions, slot.clone(), cmd.clone());
+            }
+            // Deliver in slot order, re-proposing our commands that lost
+            // their slot to someone else's command.
+            while let Some(decided) =
+                vmap::get(&st.decisions, &Value::Int(st.slot_out)).cloned()
+            {
+                let slot_v = Value::Int(st.slot_out);
+                if let Some(ours) = vmap::get(&st.proposals, &slot_v).cloned() {
+                    st.proposals = vmap::remove(&st.proposals, &slot_v);
+                    if ours != decided {
+                        propose(config, &mut st, &ours, &mut outs);
+                    }
+                }
+                for learner in &config.learners {
+                    outs.push(SendInstr::now(
+                        *learner,
+                        Msg::new(DECIDE_HEADER, decide_body(st.slot_out, &decided)),
+                    ));
+                }
+                st.slot_out += 1;
+            }
+        }
+        other => panic!("unexpected tag {other}"),
+    }
+    (st.to_value(), outs)
+}
+
+/// The three role specifications of a Synod deployment together, with the
+/// combined size statistics reported in Table I.
+#[derive(Clone, Debug)]
+pub struct SynodSpec {
+    /// The acceptor role.
+    pub acceptor: Spec,
+    /// The leader role.
+    pub leader: Spec,
+    /// The replica role.
+    pub replica: Spec,
+}
+
+impl SynodSpec {
+    /// Builds all three role specifications for `config`.
+    pub fn new(config: &SynodConfig) -> SynodSpec {
+        SynodSpec {
+            acceptor: acceptor_spec(config),
+            leader: leader_spec(config),
+            replica: replica_spec(config),
+        }
+    }
+
+    /// Total EventML AST nodes across the three roles.
+    pub fn ast_nodes(&self) -> usize {
+        self.acceptor.ast_nodes() + self.leader.ast_nodes() + self.replica.ast_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_decide;
+    use shadowdb_eventml::{Ctx, InterpretedProcess, Process};
+    use std::collections::VecDeque;
+
+    /// A toy deployment driver: FIFO queue of messages, roles at fixed locs.
+    struct Net {
+        procs: Vec<(Loc, InterpretedProcess)>,
+        queue: VecDeque<(Loc, Msg)>,
+        decisions: Vec<(i64, Value)>,
+        learner: Loc,
+    }
+
+    impl Net {
+        fn new(config: &SynodConfig) -> Net {
+            let mut procs = Vec::new();
+            for r in &config.replicas {
+                procs.push((*r, InterpretedProcess::compile(&replica_class(config))));
+            }
+            for l in &config.leaders {
+                procs.push((*l, InterpretedProcess::compile(&leader_class(config))));
+            }
+            for a in &config.acceptors {
+                procs.push((*a, InterpretedProcess::compile(&acceptor_class(config))));
+            }
+            Net {
+                procs,
+                queue: VecDeque::new(),
+                decisions: Vec::new(),
+                learner: config.learners[0],
+            }
+        }
+
+        fn inject(&mut self, dest: Loc, msg: Msg) {
+            self.queue.push_back((dest, msg));
+        }
+
+        fn run(&mut self) {
+            let mut steps = 0;
+            while let Some((dest, msg)) = self.queue.pop_front() {
+                steps += 1;
+                assert!(steps < 100_000, "did not quiesce");
+                if dest == self.learner {
+                    if let Some(d) = parse_decide(&msg) {
+                        self.decisions.push(d);
+                    }
+                    continue;
+                }
+                if let Some((_, p)) = self.procs.iter_mut().find(|(l, _)| *l == dest) {
+                    let outs = p.step(&Ctx::at(dest), &msg);
+                    for o in outs {
+                        self.queue.push_back((o.dest, o.msg));
+                    }
+                }
+            }
+        }
+    }
+
+    fn config() -> SynodConfig {
+        // 1 replica, 1 leader, 3 acceptors, learner at 100.
+        SynodConfig {
+            replicas: vec![Loc::new(0)],
+            leaders: vec![Loc::new(1)],
+            acceptors: vec![Loc::new(2), Loc::new(3), Loc::new(4)],
+            learners: vec![Loc::new(100)],
+        }
+    }
+
+    #[test]
+    fn decides_single_command() {
+        let cfg = config();
+        let mut net = Net::new(&cfg);
+        net.inject(cfg.leaders[0], start_msg());
+        net.inject(cfg.replicas[0], request_msg(Value::str("cmd-a")));
+        net.run();
+        assert_eq!(net.decisions, vec![(0, Value::str("cmd-a"))]);
+    }
+
+    #[test]
+    fn orders_many_commands_gaplessly() {
+        let cfg = config();
+        let mut net = Net::new(&cfg);
+        net.inject(cfg.leaders[0], start_msg());
+        for i in 0..10 {
+            net.inject(cfg.replicas[0], request_msg(Value::Int(i)));
+        }
+        net.run();
+        let slots: Vec<i64> = net.decisions.iter().map(|(s, _)| *s).collect();
+        assert_eq!(slots, (0..10).collect::<Vec<_>>());
+        let cmds: std::collections::BTreeSet<i64> =
+            net.decisions.iter().map(|(_, c)| c.int()).collect();
+        assert_eq!(cmds.len(), 10, "every command decided exactly once");
+    }
+
+    #[test]
+    fn request_before_leader_start_is_decided_after_adoption() {
+        let cfg = config();
+        let mut net = Net::new(&cfg);
+        net.inject(cfg.replicas[0], request_msg(Value::str("early")));
+        net.run();
+        assert!(net.decisions.is_empty(), "no active leader yet");
+        net.inject(cfg.leaders[0], start_msg());
+        net.run();
+        assert_eq!(net.decisions, vec![(0, Value::str("early"))]);
+    }
+
+    #[test]
+    fn competing_leaders_preempt_but_agree() {
+        let mut cfg = config();
+        cfg.leaders = vec![Loc::new(1), Loc::new(5)];
+        let mut net = Net::new(&cfg);
+        net.inject(cfg.leaders[0], start_msg());
+        net.inject(cfg.leaders[1], start_msg());
+        for i in 0..3 {
+            net.inject(cfg.replicas[0], request_msg(Value::Int(i)));
+        }
+        net.run();
+        // All slots decided exactly once; no slot with two different values.
+        let mut by_slot: std::collections::BTreeMap<i64, Value> = Default::default();
+        for (s, c) in &net.decisions {
+            if let Some(prev) = by_slot.get(s) {
+                assert_eq!(prev, c, "slot {s} decided twice differently");
+            }
+            by_slot.insert(*s, c.clone());
+        }
+        let decided: std::collections::BTreeSet<i64> =
+            by_slot.values().map(Value::int).collect();
+        assert_eq!(decided, (0..3).collect());
+    }
+
+    #[test]
+    fn duplicate_request_not_decided_twice() {
+        let cfg = config();
+        let mut net = Net::new(&cfg);
+        net.inject(cfg.leaders[0], start_msg());
+        net.inject(cfg.replicas[0], request_msg(Value::str("once")));
+        net.run();
+        net.inject(cfg.replicas[0], request_msg(Value::str("once")));
+        net.run();
+        assert_eq!(net.decisions.len(), 1);
+    }
+
+    #[test]
+    fn spec_sizes_reported_for_table1() {
+        let spec = SynodSpec::new(&config());
+        assert!(spec.ast_nodes() > 1_000, "nodes = {}", spec.ast_nodes());
+        // The relative shape of Table I: Synod is the largest module.
+        assert!(spec.ast_nodes() > crate::TwoThird::new(
+            crate::TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)])
+        ).spec().ast_nodes());
+    }
+}

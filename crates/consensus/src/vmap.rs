@@ -1,0 +1,112 @@
+//! Association-list helpers over [`Value`].
+//!
+//! Protocol state lives inside the untyped value universe (the Nuprl
+//! programs of the paper keep their state in the same untyped λ-calculus).
+//! These helpers give that state the shape of a sorted association list —
+//! `List of <key, val>` — with canonical ordering so that equal maps have
+//! equal encodings (state digests and the model checker's deduplication
+//! depend on this).
+
+use shadowdb_eventml::Value;
+
+/// The empty map.
+pub fn empty() -> Value {
+    Value::list(std::iter::empty())
+}
+
+/// Looks up `key`, returning the mapped value if present.
+pub fn get<'a>(map: &'a Value, key: &Value) -> Option<&'a Value> {
+    map.as_list()?.iter().find_map(|entry| {
+        let (k, v) = entry.unpair();
+        if k == key {
+            Some(v)
+        } else {
+            None
+        }
+    })
+}
+
+/// Returns a new map with `key` bound to `val` (replacing any existing
+/// binding), keeping entries sorted by key.
+pub fn set(map: &Value, key: Value, val: Value) -> Value {
+    let mut entries: Vec<Value> = map
+        .as_list()
+        .map(|l| l.iter().filter(|e| e.fst() != Some(&key)).cloned().collect())
+        .unwrap_or_default();
+    entries.push(Value::pair(key, val));
+    entries.sort();
+    Value::list(entries)
+}
+
+/// Returns a new map without `key`.
+pub fn remove(map: &Value, key: &Value) -> Value {
+    let entries: Vec<Value> = map
+        .as_list()
+        .map(|l| l.iter().filter(|e| e.fst() != Some(key)).cloned().collect())
+        .unwrap_or_default();
+    Value::list(entries)
+}
+
+/// Iterates over `(key, value)` pairs.
+pub fn iter(map: &Value) -> impl Iterator<Item = (&Value, &Value)> {
+    map.as_list().into_iter().flatten().map(|e| e.unpair())
+}
+
+/// Number of bindings.
+pub fn len(map: &Value) -> usize {
+    map.as_list().map(<[Value]>::len).unwrap_or(0)
+}
+
+/// Whether `key` is bound.
+pub fn contains(map: &Value, key: &Value) -> bool {
+    get(map, key).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let m = set(&empty(), k(2), Value::str("b"));
+        let m = set(&m, k(1), Value::str("a"));
+        assert_eq!(get(&m, &k(1)), Some(&Value::str("a")));
+        assert_eq!(get(&m, &k(2)), Some(&Value::str("b")));
+        assert_eq!(get(&m, &k(3)), None);
+        assert_eq!(len(&m), 2);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let m = set(&empty(), k(1), Value::Int(10));
+        let m = set(&m, k(1), Value::Int(20));
+        assert_eq!(get(&m, &k(1)), Some(&Value::Int(20)));
+        assert_eq!(len(&m), 1);
+    }
+
+    #[test]
+    fn canonical_order_independent_of_insertion() {
+        let a = set(&set(&empty(), k(1), Value::Unit), k(2), Value::Unit);
+        let b = set(&set(&empty(), k(2), Value::Unit), k(1), Value::Unit);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn remove_unbinds() {
+        let m = set(&set(&empty(), k(1), Value::Unit), k(2), Value::Unit);
+        let m = remove(&m, &k(1));
+        assert!(!contains(&m, &k(1)));
+        assert!(contains(&m, &k(2)));
+    }
+
+    #[test]
+    fn iter_yields_sorted_pairs() {
+        let m = set(&set(&empty(), k(3), Value::Int(30)), k(1), Value::Int(10));
+        let keys: Vec<i64> = iter(&m).map(|(k, _)| k.int()).collect();
+        assert_eq!(keys, vec![1, 3]);
+    }
+}

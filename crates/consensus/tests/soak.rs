@@ -1,0 +1,186 @@
+//! Randomized soak tests: consensus under jittered schedules and loss.
+//!
+//! The exhaustive checks in `safety.rs` cover small instances completely;
+//! these runs cover *larger* instances (more members, many instances,
+//! message loss for TwoThird) across many random schedules — the
+//! "run and test before proving" half of the paper's workflow.
+
+use parking_lot::Mutex;
+use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
+use shadowdb_consensus::{handcoded, parse_decide, synod};
+use shadowdb_eventml::{Ctx, FnProcess, InterpretedProcess, Msg, Process, Value};
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_simnet::{Latency, NetworkConfig, SimBuilder};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+type DecisionLog = Arc<Mutex<Vec<(i64, Value)>>>;
+
+fn learner(log: DecisionLog) -> Box<dyn Process> {
+    Box::new(FnProcess::new(0u8, move |_s, _c: &Ctx, m: &Msg| {
+        if let Some(d) = parse_decide(m) {
+            log.lock().push(d);
+        }
+        vec![]
+    }))
+}
+
+fn jittery(drop_probability: f64) -> NetworkConfig {
+    NetworkConfig {
+        latency: Latency::Jittered {
+            base: Duration::from_micros(50),
+            jitter: Duration::from_micros(800),
+        },
+        drop_probability,
+        partitions: Vec::new(),
+    }
+}
+
+/// n = 7 TwoThird members (f ≤ 2), 20 instances, 10 % message loss, many
+/// seeds: every instance decides exactly one value per learner observation,
+/// and it is one of the proposals.
+#[test]
+fn twothird_seven_members_with_loss() {
+    for seed in 0..6 {
+        let log: DecisionLog = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = SimBuilder::new(500 + seed).network(jittery(0.10)).build();
+        let learner_loc = Loc::new(0);
+        sim.add_node(learner(log.clone()));
+        let members: Vec<Loc> = (1..8).map(Loc::new).collect();
+        let config = TwoThirdConfig::new(members.clone(), vec![learner_loc]).with_auto_adopt();
+        let class = TwoThird::new(config).class();
+        for m in &members {
+            let loc = sim.add_node(Box::new(InterpretedProcess::compile(&class)));
+            assert_eq!(loc, *m);
+        }
+        for inst in 0..20 {
+            for (k, m) in members.iter().enumerate() {
+                // Loss means retransmission matters: members re-propose by
+                // injection at staggered times.
+                sim.send_at(
+                    VTime::from_millis(inst as u64 * 5),
+                    *m,
+                    propose_msg(inst, Value::Int(inst * 100 + (k as i64 % 3))),
+                );
+            }
+        }
+        sim.run_until_quiescent(VTime::from_secs(120));
+        let mut decided: BTreeMap<i64, Value> = BTreeMap::new();
+        for (inst, v) in log.lock().iter() {
+            if let Some(prev) = decided.get(inst) {
+                assert_eq!(prev, v, "agreement violated at instance {inst}, seed {seed}");
+            }
+            decided.insert(*inst, v.clone());
+            let val = v.int();
+            assert!(
+                (0..3).contains(&(val - inst * 100)),
+                "validity violated: {val} for instance {inst}"
+            );
+        }
+        // With 10% loss some instances may stall (no retransmission layer
+        // at this level) — but most decide, and none decide twice.
+        assert!(decided.len() >= 15, "seed {seed}: only {} decided", decided.len());
+    }
+}
+
+/// Full Synod deployments (3 replicas, 2 leaders, 5 acceptors) under
+/// jittered-but-reliable links: 30 commands, every slot decided once,
+/// every command decided exactly once, across seeds.
+#[test]
+fn synod_with_competing_leaders_across_seeds() {
+    for seed in 0..5 {
+        let log: DecisionLog = Arc::new(Mutex::new(Vec::new()));
+        let mut sim = SimBuilder::new(900 + seed).network(jittery(0.0)).build();
+        let learner_loc = Loc::new(0);
+        sim.add_node(learner(log.clone()));
+        let config = synod::SynodConfig {
+            replicas: (1..4).map(Loc::new).collect(),
+            leaders: (4..6).map(Loc::new).collect(),
+            acceptors: (6..11).map(Loc::new).collect(),
+            learners: vec![learner_loc],
+        };
+        for r in &config.replicas {
+            let loc = sim.add_node(Box::new(handcoded::HandReplica::new(config.clone())));
+            assert_eq!(loc, *r);
+        }
+        for l in &config.leaders {
+            let loc = sim.add_node(Box::new(handcoded::HandLeader::new(config.clone())));
+            assert_eq!(loc, *l);
+        }
+        for a in &config.acceptors {
+            let loc = sim.add_node(Box::new(handcoded::HandAcceptor::new()));
+            assert_eq!(loc, *a);
+        }
+        // Both leaders start: ballots compete, preemption exercises the
+        // scout/commander restart machinery.
+        for l in &config.leaders {
+            sim.send_at(VTime::ZERO, *l, synod::start_msg());
+        }
+        for i in 0..30 {
+            let replica = config.replicas[i as usize % 3];
+            sim.send_at(
+                VTime::from_millis(i as u64),
+                replica,
+                synod::request_msg(Value::Int(i)),
+            );
+        }
+        sim.run_until_quiescent(VTime::from_secs(300));
+        // Learner hears from each of the 3 replicas: slot decisions must
+        // agree; each command decided in exactly one slot.
+        let mut by_slot: BTreeMap<i64, Value> = BTreeMap::new();
+        for (slot, v) in log.lock().iter() {
+            if let Some(prev) = by_slot.get(slot) {
+                assert_eq!(prev, v, "slot {slot} diverged, seed {seed}");
+            }
+            by_slot.insert(*slot, v.clone());
+        }
+        let mut decided: Vec<i64> = by_slot.values().map(Value::int).collect();
+        decided.sort_unstable();
+        decided.dedup();
+        assert_eq!(decided, (0..30).collect::<Vec<_>>(), "seed {seed}");
+        // Gapless slots from 0.
+        let slots: Vec<i64> = by_slot.keys().copied().collect();
+        assert_eq!(slots, (0..slots.len() as i64).collect::<Vec<_>>(), "seed {seed}");
+    }
+}
+
+/// Crash a minority of acceptors mid-run: Synod keeps deciding.
+#[test]
+fn synod_survives_minority_acceptor_crashes() {
+    let log: DecisionLog = Arc::new(Mutex::new(Vec::new()));
+    let mut sim = SimBuilder::new(1234).network(jittery(0.0)).build();
+    let learner_loc = Loc::new(0);
+    sim.add_node(learner(log.clone()));
+    let config = synod::SynodConfig {
+        replicas: vec![Loc::new(1)],
+        leaders: vec![Loc::new(2)],
+        acceptors: (3..8).map(Loc::new).collect(),
+        learners: vec![learner_loc],
+    };
+    sim.add_node(Box::new(handcoded::HandReplica::new(config.clone())));
+    sim.add_node(Box::new(handcoded::HandLeader::new(config.clone())));
+    for _ in 0..5 {
+        sim.add_node(Box::new(handcoded::HandAcceptor::new()));
+    }
+    sim.send_at(VTime::ZERO, config.leaders[0], synod::start_msg());
+    for i in 0..40 {
+        sim.send_at(
+            VTime::from_millis(i as u64 * 2),
+            config.replicas[0],
+            synod::request_msg(Value::Int(i)),
+        );
+    }
+    // Two of five acceptors die mid-stream: still a majority left.
+    sim.crash_at(VTime::from_millis(20), config.acceptors[0]);
+    sim.crash_at(VTime::from_millis(45), config.acceptors[3]);
+    sim.run_until_quiescent(VTime::from_secs(300));
+    let mut by_slot: BTreeMap<i64, Value> = BTreeMap::new();
+    for (slot, v) in log.lock().iter() {
+        if let Some(prev) = by_slot.get(slot) {
+            assert_eq!(prev, v);
+        }
+        by_slot.insert(*slot, v.clone());
+    }
+    assert_eq!(by_slot.len(), 40, "all commands decided despite two crashes");
+}

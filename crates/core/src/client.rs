@@ -1,0 +1,294 @@
+//! Closed-loop ShadowDB clients.
+//!
+//! "In case of failures, clients may timeout and resend transactions to
+//! the replicas. To ensure that a transaction is executed only once, each
+//! replica has to keep track of which transactions have been performed
+//! already, treating duplicates as no-ops" — the client side of that
+//! contract: per-client sequence numbers, resend on timeout, first answer
+//! wins.
+//!
+//! One client type covers both configurations:
+//!
+//! * **PBR targets** are the replicas themselves; submissions go to the
+//!   believed primary, and on timeout to every replica (only the primary
+//!   answers).
+//! * **SMR targets** are the TOB servers; submissions are broadcast and the
+//!   client takes the first answer from any replica.
+
+use crate::msgs::{parse_reply, submit_msg, TxnEnvelope};
+use parking_lot::Mutex;
+use shadowdb_eventml::process::HasherAdapter;
+use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_tob::broadcast_msg;
+use shadowdb_workloads::TxnRequest;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Internal retransmission timer: body `<cseq>`.
+const TIMEOUT_HEADER: &str = "sdbclient/timeout";
+/// Kick-off message.
+const START_HEADER: &str = "sdbclient/start";
+
+/// How submissions reach the system.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Submission {
+    /// Send to the (believed) primary directly; resend to all replicas.
+    Pbr {
+        /// All replicas (primary first).
+        replicas: Vec<Loc>,
+    },
+    /// Broadcast through the TOB service.
+    Smr {
+        /// TOB server entry points.
+        servers: Vec<Loc>,
+    },
+}
+
+/// Per-transaction measurements shared with the experiment driver.
+#[derive(Clone, Debug, Default)]
+pub struct DbClientStats {
+    /// One entry per answered transaction:
+    /// `(submit time, answer time, committed)`.
+    pub completed: Vec<(VTime, VTime, bool)>,
+    /// Retransmissions performed.
+    pub resends: u64,
+}
+
+impl DbClientStats {
+    /// Mean submit-to-answer latency over committed transactions.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        let committed: Vec<u64> = self
+            .completed
+            .iter()
+            .filter(|(_, _, c)| *c)
+            .map(|(s, d, _)| d.saturating_since(*s).as_micros() as u64)
+            .collect();
+        if committed.is_empty() {
+            return None;
+        }
+        Some(Duration::from_micros(committed.iter().sum::<u64>() / committed.len() as u64))
+    }
+
+    /// Number of committed transactions.
+    pub fn committed(&self) -> usize {
+        self.completed.iter().filter(|(_, _, c)| *c).count()
+    }
+}
+
+/// A closed-loop database client: submits, waits for the answer, submits
+/// the next transaction.
+pub struct DbClient {
+    submission: Submission,
+    txns: Vec<TxnRequest>,
+    next: usize,
+    outstanding: Option<(i64, VTime)>,
+    resend_round: u64,
+    /// PBR: the replica believed to be primary (updated from replies).
+    believed_primary: Option<Loc>,
+    timeout: Duration,
+    stats: Arc<Mutex<DbClientStats>>,
+}
+
+impl DbClient {
+    /// Creates a client that will submit `txns` in order.
+    pub fn new(
+        submission: Submission,
+        txns: Vec<TxnRequest>,
+        stats: Arc<Mutex<DbClientStats>>,
+    ) -> DbClient {
+        DbClient {
+            submission,
+            txns,
+            next: 0,
+            outstanding: None,
+            resend_round: 0,
+            believed_primary: None,
+            timeout: Duration::from_secs(5),
+            stats,
+        }
+    }
+
+    /// Overrides the retransmission timeout (default 5 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> DbClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The kick-off message.
+    pub fn start_msg() -> Msg {
+        Msg::new(START_HEADER, Value::Unit)
+    }
+
+    fn submit(&mut self, ctx: &Ctx, cseq: i64, resend: bool, outs: &mut Vec<SendInstr>) {
+        let txn = self.txns[cseq as usize].clone();
+        let env = TxnEnvelope { client: ctx.slf, cseq, txn };
+        match &self.submission {
+            Submission::Pbr { replicas } => {
+                if resend {
+                    // We no longer know who the primary is: ask everyone.
+                    self.believed_primary = None;
+                    for r in replicas {
+                        outs.push(SendInstr::now(*r, submit_msg(&env)));
+                    }
+                } else {
+                    let target = self.believed_primary.unwrap_or(replicas[0]);
+                    outs.push(SendInstr::now(target, submit_msg(&env)));
+                }
+            }
+            Submission::Smr { servers } => {
+                let idx = (self.resend_round as usize) % servers.len();
+                outs.push(SendInstr::now(
+                    servers[idx],
+                    broadcast_msg(ctx.slf, cseq, env.to_value()),
+                ));
+            }
+        }
+        outs.push(SendInstr::after(
+            self.timeout,
+            ctx.slf,
+            Msg::new(TIMEOUT_HEADER, Value::Int(cseq)),
+        ));
+    }
+
+    fn send_next(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        if self.outstanding.is_some() || self.next >= self.txns.len() {
+            return;
+        }
+        let cseq = self.next as i64;
+        self.next += 1;
+        self.outstanding = Some((cseq, ctx.now));
+        self.resend_round = 0;
+        self.submit(ctx, cseq, false, outs);
+    }
+}
+
+impl Process for DbClient {
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        let mut outs = Vec::new();
+        match msg.header.name() {
+            START_HEADER => self.send_next(ctx, &mut outs),
+            TIMEOUT_HEADER => {
+                let cseq = msg.body.int();
+                if let Some((outstanding, _)) = self.outstanding {
+                    if outstanding == cseq {
+                        self.resend_round += 1;
+                        self.stats.lock().resends += 1;
+                        self.submit(ctx, cseq, true, &mut outs);
+                    }
+                }
+            }
+            _ => {
+                if let Some(reply) = parse_reply(msg) {
+                    if matches!(self.submission, Submission::Pbr { .. }) {
+                        self.believed_primary = Some(reply.from);
+                    }
+                    if let Some((outstanding, sent)) = self.outstanding {
+                        if reply.cseq == outstanding {
+                            self.outstanding = None;
+                            self.stats
+                                .lock()
+                                .completed
+                                .push((sent, ctx.now, reply.committed));
+                            self.send_next(ctx, &mut outs);
+                        }
+                    }
+                }
+            }
+        }
+        outs
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(DbClient {
+            submission: self.submission.clone(),
+            txns: self.txns.clone(),
+            next: self.next,
+            outstanding: self.outstanding,
+            resend_round: self.resend_round,
+            believed_primary: self.believed_primary,
+            timeout: self.timeout,
+            stats: self.stats.clone(),
+        })
+    }
+
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        let mut h = HasherAdapter(hasher);
+        (self.next, self.resend_round).hash(&mut h);
+        self.outstanding.map(|(c, t)| (c, t.as_micros())).hash(&mut h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msgs::reply_msg;
+    use shadowdb_sqldb::SqlValue;
+
+    fn client(n: usize) -> (DbClient, Arc<Mutex<DbClientStats>>) {
+        let stats = Arc::new(Mutex::new(DbClientStats::default()));
+        let txns = (0..n)
+            .map(|i| TxnRequest::BankDeposit { account: i as i64, amount: 1 })
+            .collect();
+        (
+            DbClient::new(Submission::Pbr { replicas: vec![Loc::new(5), Loc::new(6)] }, txns, stats.clone()),
+            stats,
+        )
+    }
+
+    #[test]
+    fn submits_to_primary_then_everyone_on_timeout() {
+        let (mut c, stats) = client(1);
+        let ctx = Ctx::new(Loc::new(0), VTime::ZERO);
+        let outs = c.step(&ctx, &DbClient::start_msg());
+        let submits: Vec<Loc> =
+            outs.iter().filter(|o| o.dest != ctx.slf).map(|o| o.dest).collect();
+        assert_eq!(submits, vec![Loc::new(5)]);
+        let outs = c.step(
+            &Ctx::new(Loc::new(0), VTime::from_secs(5)),
+            &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
+        );
+        let resubmits: Vec<Loc> =
+            outs.iter().filter(|o| o.dest != ctx.slf).map(|o| o.dest).collect();
+        assert_eq!(resubmits, vec![Loc::new(5), Loc::new(6)]);
+        assert_eq!(stats.lock().resends, 1);
+    }
+
+    #[test]
+    fn reply_completes_and_advances() {
+        let (mut c, stats) = client(2);
+        let slf = Loc::new(0);
+        c.step(&Ctx::new(slf, VTime::from_millis(1)), &DbClient::start_msg());
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(5)),
+            &reply_msg(Loc::new(5), 0, true, &[SqlValue::Int(1)]),
+        );
+        assert!(outs.iter().any(|o| o.dest == Loc::new(5)), "next txn submitted");
+        let s = stats.lock();
+        assert_eq!(s.committed(), 1);
+        assert_eq!(s.mean_latency(), Some(Duration::from_millis(4)));
+    }
+
+    #[test]
+    fn duplicate_replies_ignored() {
+        let (mut c, stats) = client(2);
+        let slf = Loc::new(0);
+        c.step(&Ctx::new(slf, VTime::ZERO), &DbClient::start_msg());
+        c.step(&Ctx::new(slf, VTime::from_millis(5)), &reply_msg(Loc::new(5), 0, true, &[]));
+        c.step(&Ctx::new(slf, VTime::from_millis(6)), &reply_msg(Loc::new(5), 0, true, &[]));
+        assert_eq!(stats.lock().completed.len(), 1);
+    }
+
+    #[test]
+    fn aborted_replies_counted_separately() {
+        let (mut c, stats) = client(1);
+        let slf = Loc::new(0);
+        c.step(&Ctx::new(slf, VTime::ZERO), &DbClient::start_msg());
+        c.step(&Ctx::new(slf, VTime::from_millis(2)), &reply_msg(Loc::new(5), 0, false, &[]));
+        let s = stats.lock();
+        assert_eq!(s.completed.len(), 1);
+        assert_eq!(s.committed(), 0);
+        assert_eq!(s.mean_latency(), None);
+    }
+}

@@ -1,0 +1,333 @@
+//! Full ShadowDB deployments inside the simulator.
+//!
+//! Mirrors the paper's testbed (Sec. IV): the broadcast service runs on
+//! three machines, "databases are co-located with the processes of the
+//! broadcast service", and clients run on a separate machine. PBR deploys
+//! two active replicas plus a spare; SMR deploys replicas at every service
+//! machine.
+
+use crate::client::{DbClient, DbClientStats, Submission};
+use crate::diversity::DiversityPolicy;
+use crate::msgs::ReplicaConfig;
+use crate::pbr::{PbrOptions, PbrReplica};
+use crate::smr::SmrReplica;
+use parking_lot::Mutex;
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_simnet::Simulation;
+use shadowdb_sqldb::Database;
+use shadowdb_tob::deploy::BackendKind;
+use shadowdb_tob::{ExecutionMode, TobDeployment, TobOptions};
+use shadowdb_workloads::TxnRequest;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Options shared by both deployment shapes.
+pub struct DeployOptions {
+    /// Number of clients (each gets its own location).
+    pub n_clients: usize,
+    /// Produces the transaction list for client `i`.
+    pub client_txns: Box<dyn Fn(usize) -> Vec<TxnRequest>>,
+    /// Engine assignment across replicas.
+    pub diversity: DiversityPolicy,
+    /// Loads schema and initial data into one replica's database.
+    pub loader: Box<dyn Fn(&Database)>,
+    /// Broadcast-service execution mode.
+    pub mode: ExecutionMode,
+    /// Client retransmission timeout.
+    pub client_timeout: Duration,
+    /// Transactions-per-proposal bound in the broadcast service.
+    pub max_batch: usize,
+    /// PBR only: replicas in the active configuration (the paper runs 2,
+    /// "the third database is used to replace the backup"; overlapped
+    /// state transfer needs 3).
+    pub active_replicas: usize,
+}
+
+impl DeployOptions {
+    /// A small default: `n_clients` clients running the given per-client
+    /// transaction scripts over an unloaded H2 database.
+    pub fn new(
+        n_clients: usize,
+        client_txns: impl Fn(usize) -> Vec<TxnRequest> + 'static,
+        loader: impl Fn(&Database) + 'static,
+    ) -> DeployOptions {
+        DeployOptions {
+            n_clients,
+            client_txns: Box::new(client_txns),
+            diversity: DiversityPolicy::Uniform,
+            loader: Box::new(loader),
+            mode: ExecutionMode::Compiled,
+            client_timeout: Duration::from_secs(20),
+            max_batch: 64,
+            active_replicas: 2,
+        }
+    }
+}
+
+const TOB_MACHINES: u32 = 3;
+
+fn tob_per(backend: BackendKind) -> u32 {
+    match backend {
+        BackendKind::TwoThird => 2,
+        BackendKind::Paxos => 4,
+    }
+}
+
+/// A deployed primary-backup ShadowDB.
+pub struct PbrDeployment {
+    /// Replica locations: `[primary, backup, spare]`.
+    pub replicas: Vec<Loc>,
+    /// Client locations.
+    pub clients: Vec<Loc>,
+    /// Client measurement handles (one per client).
+    pub stats: Vec<Arc<Mutex<DbClientStats>>>,
+    /// The broadcast service underneath.
+    pub tob: TobDeployment,
+}
+
+impl PbrDeployment {
+    /// Builds the deployment into `sim` and schedules the start messages.
+    /// The paper runs the PBR broadcast service in the interpreter; pass
+    /// [`ExecutionMode::InterpretedOpt`] in `options.mode` to match.
+    pub fn build(sim: &mut Simulation, options: &DeployOptions, pbr: PbrOptions) -> PbrDeployment {
+        let backend = BackendKind::Paxos;
+        let per = tob_per(backend);
+        let c = options.n_clients as u32;
+        let first_server = c;
+        let servers: Vec<Loc> =
+            (0..TOB_MACHINES).map(|i| Loc::new(first_server + i * per)).collect();
+        let replica_base = c + TOB_MACHINES * per;
+        let n_replicas = options.active_replicas as u32 + 1; // plus one spare
+        let replicas: Vec<Loc> =
+            (0..n_replicas).map(|i| Loc::new(replica_base + i)).collect();
+
+        // Clients first (locations 0..c).
+        let mut stats = Vec::new();
+        let mut clients = Vec::new();
+        for i in 0..options.n_clients {
+            let s = Arc::new(Mutex::new(DbClientStats::default()));
+            stats.push(s.clone());
+            let client = DbClient::new(
+                Submission::Pbr { replicas: replicas.clone() },
+                (options.client_txns)(i),
+                s,
+            )
+            .with_timeout(options.client_timeout);
+            clients.push(sim.add_node(Box::new(client)));
+        }
+
+        // The broadcast service; replicas subscribe (for reconfigurations).
+        let tob = TobDeployment::build(
+            sim,
+            &TobOptions {
+                machines: TOB_MACHINES,
+                backend,
+                mode: options.mode,
+                max_batch: options.max_batch,
+                ..TobOptions::default()
+            },
+            replicas.clone(),
+        );
+        assert_eq!(tob.servers, servers);
+
+        // Replicas are co-located with the service machines but run in
+        // their own JVM, which the quad-core testbed schedules on separate
+        // cores: model them with their own CPU timeline.
+        let config =
+            ReplicaConfig::initial(replicas[..options.active_replicas].to_vec());
+        let spares = replicas[options.active_replicas..].to_vec();
+        for (i, r) in replicas.iter().enumerate() {
+            let db = options.diversity.database(i);
+            (options.loader)(&db);
+            let replica = PbrReplica::new(
+                db,
+                config.clone(),
+                spares.clone(),
+                servers.clone(),
+                pbr.clone(),
+            );
+            let loc = sim.add_node(Box::new(replica));
+            assert_eq!(loc, *r);
+        }
+
+        for r in &replicas {
+            sim.send_at(VTime::ZERO, *r, PbrReplica::start_msg());
+        }
+        for cl in &clients {
+            sim.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+        }
+        PbrDeployment { replicas, clients, stats, tob }
+    }
+
+    /// Total committed transactions across clients.
+    pub fn committed(&self) -> usize {
+        self.stats.iter().map(|s| s.lock().committed()).sum()
+    }
+}
+
+/// A deployed state-machine-replicated ShadowDB.
+pub struct SmrDeployment {
+    /// Replica locations (one per service machine).
+    pub replicas: Vec<Loc>,
+    /// Client locations.
+    pub clients: Vec<Loc>,
+    /// Client measurement handles.
+    pub stats: Vec<Arc<Mutex<DbClientStats>>>,
+    /// The broadcast service underneath.
+    pub tob: TobDeployment,
+}
+
+impl SmrDeployment {
+    /// Builds the deployment into `sim` and schedules the start messages.
+    /// The paper runs the SMR broadcast service compiled (Lisp); the
+    /// default [`ExecutionMode::Compiled`] matches.
+    pub fn build(sim: &mut Simulation, options: &DeployOptions) -> SmrDeployment {
+        let backend = BackendKind::Paxos;
+        let per = tob_per(backend);
+        let c = options.n_clients as u32;
+        let servers: Vec<Loc> = (0..TOB_MACHINES).map(|i| Loc::new(c + i * per)).collect();
+        let replica_base = c + TOB_MACHINES * per;
+        let replicas: Vec<Loc> = (0..TOB_MACHINES).map(|i| Loc::new(replica_base + i)).collect();
+
+        let mut stats = Vec::new();
+        let mut clients = Vec::new();
+        for i in 0..options.n_clients {
+            let s = Arc::new(Mutex::new(DbClientStats::default()));
+            stats.push(s.clone());
+            let client = DbClient::new(
+                Submission::Smr { servers: servers.clone() },
+                (options.client_txns)(i),
+                s,
+            )
+            .with_timeout(options.client_timeout);
+            clients.push(sim.add_node(Box::new(client)));
+        }
+
+        // Replicas subscribe to every delivery (they *are* the state
+        // machines).
+        let tob = TobDeployment::build(
+            sim,
+            &TobOptions {
+                machines: TOB_MACHINES,
+                backend,
+                mode: options.mode,
+                max_batch: options.max_batch,
+                ..TobOptions::default()
+            },
+            replicas.clone(),
+        );
+        assert_eq!(tob.servers, servers);
+
+        // As under PBR: the database JVM gets its own core.
+        for (i, r) in replicas.iter().enumerate() {
+            let db = options.diversity.database(i);
+            (options.loader)(&db);
+            let loc = sim.add_node(Box::new(SmrReplica::new(db)));
+            assert_eq!(loc, *r);
+        }
+
+        for cl in &clients {
+            sim.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+        }
+        SmrDeployment { replicas, clients, stats, tob }
+    }
+
+    /// Total committed transactions across clients.
+    pub fn committed(&self) -> usize {
+        self.stats.iter().map(|s| s.lock().committed()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdb_simnet::{NetworkConfig, SimBuilder};
+    use shadowdb_workloads::bank;
+
+    fn bank_options(n_clients: usize, txns_each: usize) -> DeployOptions {
+        DeployOptions::new(
+            n_clients,
+            move |i| {
+                let mut g = bank::BankGen::new(100 + i as u64, 1_000);
+                (0..txns_each).map(|_| g.next_txn()).collect()
+            },
+            |db| bank::load(db, 1_000).expect("bank loads"),
+        )
+    }
+
+    #[test]
+    fn pbr_normal_case_commits_everything() {
+        let mut sim = SimBuilder::new(3).network(NetworkConfig::lan()).build();
+        let d = PbrDeployment::build(&mut sim, &bank_options(2, 15), PbrOptions::default());
+        sim.run_until_quiescent(VTime::from_secs(120));
+        assert_eq!(d.committed(), 30);
+        for s in &d.stats {
+            assert_eq!(s.lock().resends, 0, "no failures, no resends");
+        }
+    }
+
+    #[test]
+    fn smr_commits_everything() {
+        let mut sim = SimBuilder::new(4).network(NetworkConfig::lan()).build();
+        let d = SmrDeployment::build(&mut sim, &bank_options(2, 12));
+        sim.run_until_quiescent(VTime::from_secs(300));
+        assert_eq!(d.committed(), 24);
+    }
+
+    #[test]
+    fn smr_replica_crash_is_transparent() {
+        let mut sim = SimBuilder::new(5).network(NetworkConfig::lan()).build();
+        let d = SmrDeployment::build(&mut sim, &bank_options(2, 20));
+        // Crash one replica early: clients still get all answers from the
+        // survivors, with no retransmissions needed beyond the timeout-free
+        // path.
+        sim.crash_at(VTime::from_millis(50), d.replicas[2]);
+        sim.run_until_quiescent(VTime::from_secs(300));
+        assert_eq!(d.committed(), 40);
+    }
+
+    #[test]
+    fn pbr_primary_crash_recovers_and_resumes() {
+        let mut sim = SimBuilder::new(6).network(NetworkConfig::lan()).build();
+        let pbr = PbrOptions {
+            detect_after: Duration::from_millis(500),
+            heartbeat_every: Duration::from_millis(100),
+            ..PbrOptions::default()
+        };
+        let mut options = bank_options(2, 150);
+        options.client_timeout = Duration::from_secs(2);
+        options.mode = ExecutionMode::InterpretedOpt;
+        let d = PbrDeployment::build(&mut sim, &options, pbr);
+        // Let some transactions through, then kill the primary mid-run.
+        let mut t = 10;
+        while d.committed() < 10 {
+            sim.run_until(VTime::from_millis(t));
+            t += 10;
+            assert!(t < 10_000, "no progress before the crash");
+        }
+        let before = d.committed();
+        assert!(before < 300, "the crash must interrupt the run");
+        sim.crash_at(sim.now(), d.replicas[0]);
+        sim.run_until_quiescent(VTime::from_secs(600));
+        assert_eq!(d.committed(), 300, "all transactions answered after failover");
+        let resends: u64 = d.stats.iter().map(|s| s.lock().resends).sum();
+        assert!(resends > 0, "clients must have retried during the outage");
+    }
+
+    #[test]
+    fn pbr_backup_crash_recovers_with_spare() {
+        let mut sim = SimBuilder::new(7).network(NetworkConfig::lan()).build();
+        let pbr = PbrOptions {
+            detect_after: Duration::from_millis(500),
+            heartbeat_every: Duration::from_millis(100),
+            ..PbrOptions::default()
+        };
+        let mut options = bank_options(1, 30);
+        options.client_timeout = Duration::from_secs(2);
+        let d = PbrDeployment::build(&mut sim, &options, pbr);
+        sim.run_until(VTime::from_secs(1));
+        sim.crash_at(VTime::from_secs(1), d.replicas[1]);
+        sim.run_until_quiescent(VTime::from_secs(600));
+        assert_eq!(d.committed(), 30);
+    }
+}

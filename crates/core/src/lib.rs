@@ -1,0 +1,39 @@
+//! ShadowDB: a replicated database built on a verified broadcast service.
+//!
+//! The paper's headline artifact (Sec. III): a highly available database
+//! obtained by combining unmodified embedded SQL databases (assumed to fail
+//! more-or-less independently) with replication protocols whose critical
+//! machinery is generated from formally analysable specifications.
+//! ShadowDB comes in two configurations, both guaranteeing **strict
+//! serializability**:
+//!
+//! * [`pbr`] — **primary-backup replication**: the normal case is
+//!   hand-written and simple (the primary executes a transaction, forwards
+//!   it to the backups, and replies once *all* backups acknowledged);
+//!   failure handling — the hard part — runs through the verified
+//!   total-order broadcast service, which serializes configuration
+//!   proposals so that every surviving replica agrees on the sequence of
+//!   configurations.
+//! * [`smr`] — **state machine replication**: every transaction is
+//!   totally ordered by the broadcast service; every replica executes every
+//!   transaction; clients take the first answer. A replica crash is
+//!   invisible to clients.
+//!
+//! Supporting modules: [`msgs`] (wire messages), [`client`] (closed-loop
+//! clients with resend and duplicate suppression), [`deploy`] (full
+//! deployments inside the simulator, with databases co-located with
+//! broadcast-service processes as on the paper's testbed), and
+//! [`diversity`] (each replica can run a different database engine — H2,
+//! HSQLDB, Derby — to mask correlated environment failures).
+
+pub mod client;
+pub mod deploy;
+pub mod diversity;
+pub mod msgs;
+pub mod pbr;
+pub mod serializability;
+pub mod smr;
+
+pub use client::{DbClient, DbClientStats};
+pub use deploy::{PbrDeployment, SmrDeployment};
+pub use msgs::ReplicaConfig;

@@ -1,0 +1,231 @@
+//! ShadowDB wire messages and configurations.
+
+use shadowdb_eventml::{Msg, Value};
+use shadowdb_loe::Loc;
+use shadowdb_workloads::TxnRequest;
+
+/// Client submission to a replica: body `<client, <cseq, txn>>`.
+pub const SUBMIT_HEADER: &str = "sdb/submit";
+/// Primary → backup transaction forwarding:
+/// body `<config, <index, <client, <cseq, txn>>>>`.
+pub const FORWARD_HEADER: &str = "sdb/forward";
+/// Backup → primary execution acknowledgment: body `<config, <index, from>>`.
+pub const ACK_HEADER: &str = "sdb/ack";
+/// Replica → client answer: body `<cseq, <committed, results>>`.
+pub const REPLY_HEADER: &str = "sdb/reply";
+/// Heartbeat between replicas: body `<config, from>`.
+pub const HEARTBEAT_HEADER: &str = "sdb/hb";
+/// A replica's periodic self-check timer: body `<config>`.
+pub const HB_TIMER_HEADER: &str = "sdb/hbtimer";
+/// Election message during recovery: body `<config, <from, executed>>`.
+pub const ELECT_HEADER: &str = "sdb/elect";
+/// Missing-transaction catch-up: body `<config, <start_index, [txn entries]>>`.
+pub const CATCHUP_HEADER: &str = "sdb/catchup";
+/// Snapshot chunk during state transfer:
+/// body `<config, <chunk_index, <total_chunks, bytes>>>`.
+pub const SNAPSHOT_HEADER: &str = "sdb/snapshot";
+/// Backup → primary recovery acknowledgment: body `<config, from>`.
+pub const RECOVERY_ACK_HEADER: &str = "sdb/recack";
+
+/// A replica-group configuration ("Each configuration is identified by a
+/// sequence number. The initial configuration has sequence number 0.").
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ReplicaConfig {
+    /// The configuration sequence number.
+    pub seq: i64,
+    /// Member replicas; the first is the primary under PBR.
+    pub members: Vec<Loc>,
+}
+
+impl ReplicaConfig {
+    /// The initial configuration (sequence number 0).
+    pub fn initial(members: Vec<Loc>) -> ReplicaConfig {
+        ReplicaConfig { seq: 0, members }
+    }
+
+    /// The primary of this configuration.
+    pub fn primary(&self) -> Loc {
+        self.members[0]
+    }
+
+    /// The backups of this configuration.
+    pub fn backups(&self) -> &[Loc] {
+        &self.members[1..]
+    }
+
+    /// Whether `loc` is a member.
+    pub fn contains(&self, loc: Loc) -> bool {
+        self.members.contains(&loc)
+    }
+
+    /// Wire encoding.
+    pub fn to_value(&self) -> Value {
+        Value::pair(
+            Value::Int(self.seq),
+            Value::list(self.members.iter().map(|m| Value::Loc(*m))),
+        )
+    }
+
+    /// Wire decoding.
+    pub fn from_value(v: &Value) -> Option<ReplicaConfig> {
+        let (seq, members) = v.fst().zip(v.snd())?;
+        let members: Option<Vec<Loc>> =
+            members.as_list()?.iter().map(Value::as_loc).collect();
+        Some(ReplicaConfig { seq: seq.as_int()?, members: members? })
+    }
+}
+
+/// A transaction tagged with its submitting client and client sequence
+/// number (the duplicate-suppression key).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TxnEnvelope {
+    /// Submitting client.
+    pub client: Loc,
+    /// Client sequence number ("the sequence number of the last transaction
+    /// submitted by each client" drives dedup).
+    pub cseq: i64,
+    /// The transaction.
+    pub txn: TxnRequest,
+}
+
+impl TxnEnvelope {
+    /// Wire encoding.
+    pub fn to_value(&self) -> Value {
+        Value::pair(
+            Value::Loc(self.client),
+            Value::pair(Value::Int(self.cseq), self.txn.to_value()),
+        )
+    }
+
+    /// Wire decoding.
+    pub fn from_value(v: &Value) -> Option<TxnEnvelope> {
+        let (client, rest) = v.fst().zip(v.snd())?;
+        let (cseq, txn) = rest.fst().zip(rest.snd())?;
+        Some(TxnEnvelope {
+            client: client.as_loc()?,
+            cseq: cseq.as_int()?,
+            txn: TxnRequest::from_value(txn)?,
+        })
+    }
+}
+
+/// Builds a client submission message.
+pub fn submit_msg(env: &TxnEnvelope) -> Msg {
+    Msg::new(SUBMIT_HEADER, env.to_value())
+}
+
+/// Builds a reply message; `from` tells the client who answered, so it can
+/// redirect future submissions to the current primary.
+pub fn reply_msg(
+    from: Loc,
+    cseq: i64,
+    committed: bool,
+    results: &[shadowdb_sqldb::SqlValue],
+) -> Msg {
+    Msg::new(
+        REPLY_HEADER,
+        Value::pair(
+            Value::Loc(from),
+            Value::pair(
+                Value::Int(cseq),
+                Value::pair(
+                    Value::Bool(committed),
+                    Value::list(results.iter().map(sql_to_value)),
+                ),
+            ),
+        ),
+    )
+}
+
+/// A parsed reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply {
+    /// The replica that answered.
+    pub from: Loc,
+    /// Client sequence number being answered.
+    pub cseq: i64,
+    /// Whether the transaction committed.
+    pub committed: bool,
+    /// Procedure results.
+    pub results: Vec<shadowdb_sqldb::SqlValue>,
+}
+
+/// Parses a reply message.
+pub fn parse_reply(msg: &Msg) -> Option<Reply> {
+    if msg.header.name() != REPLY_HEADER {
+        return None;
+    }
+    let (from, rest) = msg.body.fst().zip(msg.body.snd())?;
+    let (cseq, rest) = rest.fst().zip(rest.snd())?;
+    let (committed, results) = rest.fst().zip(rest.snd())?;
+    let results: Option<Vec<shadowdb_sqldb::SqlValue>> =
+        results.as_list()?.iter().map(value_to_sql).collect();
+    Some(Reply {
+        from: from.as_loc()?,
+        cseq: cseq.as_int()?,
+        committed: committed.as_bool()?,
+        results: results?,
+    })
+}
+
+/// Encodes a SQL value into the transport universe.
+pub fn sql_to_value(v: &shadowdb_sqldb::SqlValue) -> Value {
+    use shadowdb_sqldb::SqlValue;
+    match v {
+        SqlValue::Null => Value::Unit,
+        SqlValue::Int(i) => Value::Int(*i),
+        // Reals travel as their bit pattern to stay exact.
+        SqlValue::Real(r) => Value::pair(Value::str("#real"), Value::Int(r.to_bits() as i64)),
+        SqlValue::Text(s) => Value::str(s),
+    }
+}
+
+/// Decodes a SQL value from the transport universe.
+pub fn value_to_sql(v: &Value) -> Option<shadowdb_sqldb::SqlValue> {
+    use shadowdb_sqldb::SqlValue;
+    Some(match v {
+        Value::Unit => SqlValue::Null,
+        Value::Int(i) => SqlValue::Int(*i),
+        Value::Str(s) => SqlValue::Text(s.to_string()),
+        Value::Pair(p) if p.0.as_str() == Some("#real") => {
+            SqlValue::Real(f64::from_bits(p.1.as_int()? as u64))
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdb_sqldb::SqlValue;
+
+    #[test]
+    fn config_roundtrip_and_roles() {
+        let c = ReplicaConfig::initial(vec![Loc::new(5), Loc::new(6), Loc::new(7)]);
+        assert_eq!(c.primary(), Loc::new(5));
+        assert_eq!(c.backups(), &[Loc::new(6), Loc::new(7)]);
+        assert!(c.contains(Loc::new(6)));
+        assert_eq!(ReplicaConfig::from_value(&c.to_value()), Some(c));
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let env = TxnEnvelope {
+            client: Loc::new(1),
+            cseq: 42,
+            txn: TxnRequest::BankDeposit { account: 7, amount: 5 },
+        };
+        assert_eq!(TxnEnvelope::from_value(&env.to_value()), Some(env));
+    }
+
+    #[test]
+    fn reply_roundtrip_including_reals() {
+        let results =
+            vec![SqlValue::Int(3), SqlValue::Real(2.75), SqlValue::Null, SqlValue::from("x")];
+        let m = reply_msg(Loc::new(4), 9, true, &results);
+        assert_eq!(
+            parse_reply(&m),
+            Some(Reply { from: Loc::new(4), cseq: 9, committed: true, results })
+        );
+    }
+}

@@ -1,0 +1,725 @@
+//! Primary-backup replication (Sec. III-A).
+//!
+//! Normal case, hand-written as in the paper: (i) the client sends `T` to
+//! the primary; (ii) the primary, on first reception, executes and commits
+//! `T` and forwards it to the backups; (iii) the backups execute, commit,
+//! and acknowledge; (iv) the primary replies to the client once *all*
+//! (recovered) backups acknowledged. Execution is sequential at every
+//! replica; duplicates are no-ops via per-client sequence numbers.
+//!
+//! Failure handling runs through the verified broadcast service:
+//!
+//! 1. a replica suspecting a crash **stops** executing in the current
+//!    configuration;
+//! 2. it broadcasts a new-configuration proposal tagged with the current
+//!    configuration's sequence number;
+//! 3. replicas adopt only the **first** delivered proposal per
+//!    configuration, then exchange `(g+1, seq_r)` election messages;
+//! 4. the member with the largest executed-transaction sequence number
+//!    (ties → smallest identifier) becomes primary;
+//! 5. the new primary sends missing transactions from its cache, or a full
+//!    snapshot in ~50 KB batches when the cache does not reach far enough;
+//! 6–7. backups acknowledge; the primary resumes — immediately after the
+//!    *first* acknowledgment when overlapped state transfer is enabled
+//!    (possible with ≥3 replicas), else after all of them.
+
+use crate::msgs::{
+    reply_msg, ReplicaConfig, TxnEnvelope, ACK_HEADER, CATCHUP_HEADER, ELECT_HEADER,
+    FORWARD_HEADER, HB_TIMER_HEADER, HEARTBEAT_HEADER, RECOVERY_ACK_HEADER, SNAPSHOT_HEADER,
+    SUBMIT_HEADER,
+};
+use shadowdb_eventml::process::HasherAdapter;
+use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_sqldb::{Database, RowBatch, SqlValue};
+use shadowdb_tob::{broadcast_msg, parse_deliver, InOrderBuffer};
+use shadowdb_workloads::TxnOutcome;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+/// Tuning knobs for a PBR replica.
+#[derive(Clone, Debug)]
+pub struct PbrOptions {
+    /// Heartbeat period.
+    pub heartbeat_every: Duration,
+    /// Silence threshold after which a peer is suspected ("detection time
+    /// is configurable"; Fig. 10(a) uses 10 s).
+    pub detect_after: Duration,
+    /// Executed-transaction cache size for catch-up ("each replica only
+    /// caches a limited number of executed transactions").
+    pub cache_limit: usize,
+    /// State-transfer batch size in bytes (~50 KB in the paper).
+    pub transfer_batch_bytes: usize,
+    /// Resume normal processing after the first recovered backup instead
+    /// of all of them (Sec. III-A's overlapped state transfer).
+    pub overlapped_transfer: bool,
+}
+
+impl Default for PbrOptions {
+    fn default() -> Self {
+        PbrOptions {
+            heartbeat_every: Duration::from_millis(1_000),
+            detect_after: Duration::from_secs(10),
+            cache_limit: 10_000,
+            transfer_batch_bytes: 50_000,
+            overlapped_transfer: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+enum Mode {
+    /// Normal-case processing.
+    Normal,
+    /// Stopped: suspicion raised, awaiting the configuration decision.
+    Stopped,
+    /// Recovering: election/catch-up in the new configuration.
+    Recovering,
+    /// Not a member of the current configuration.
+    Idle,
+}
+
+struct Pending {
+    env: TxnEnvelope,
+    outcome: TxnOutcome,
+    waiting: BTreeSet<Loc>,
+}
+
+/// A primary-backup ShadowDB replica.
+pub struct PbrReplica {
+    db: Database,
+    options: PbrOptions,
+    config: ReplicaConfig,
+    spares: Vec<Loc>,
+    tob_servers: Vec<Loc>,
+    mode: Mode,
+    /// Number of transactions executed (the election criterion).
+    executed: i64,
+    /// Cache of executed transactions for catch-up; `log[0]` has index
+    /// `log_start`.
+    log: VecDeque<TxnEnvelope>,
+    log_start: i64,
+    /// client -> (last cseq, its outcome) for duplicate suppression.
+    last_reply: HashMap<Loc, (i64, bool, Vec<SqlValue>)>,
+    /// Primary: transactions awaiting backup acks, by index.
+    pending: BTreeMap<i64, Pending>,
+    /// Primary: backups currently participating in acknowledgments.
+    active_backups: BTreeSet<Loc>,
+    /// Backup: out-of-order forwards buffered by index.
+    forward_buf: BTreeMap<i64, TxnEnvelope>,
+    /// Failure detection.
+    last_heard: HashMap<Loc, VTime>,
+    hb_armed: bool,
+    /// Reconfiguration machinery.
+    tob_in: InOrderBuffer,
+    tob_msgid: i64,
+    election: HashMap<Loc, i64>,
+    recovery_acks: BTreeSet<Loc>,
+    /// Snapshot reception state: chunks received so far.
+    snap_chunks: BTreeMap<i64, bytes::Bytes>,
+    snap_total: Option<(i64, i64)>, // (total chunks, executed count)
+    /// Deferred CPU cost (transaction execution, snapshot work).
+    step_cost: Duration,
+}
+
+impl PbrReplica {
+    /// Creates a replica over `db` in the initial configuration.
+    /// `spares` are replacement candidates for crashed members;
+    /// `tob_servers` are the broadcast service's entry points.
+    pub fn new(
+        db: Database,
+        config: ReplicaConfig,
+        spares: Vec<Loc>,
+        tob_servers: Vec<Loc>,
+        options: PbrOptions,
+    ) -> PbrReplica {
+        PbrReplica {
+            db,
+            options,
+            config,
+            spares,
+            tob_servers,
+            mode: Mode::Normal,
+            executed: 0,
+            log: VecDeque::new(),
+            log_start: 0,
+            last_reply: HashMap::new(),
+            pending: BTreeMap::new(),
+            active_backups: BTreeSet::new(),
+            forward_buf: BTreeMap::new(),
+            last_heard: HashMap::new(),
+            hb_armed: false,
+            tob_in: InOrderBuffer::new(),
+            tob_msgid: 0,
+            election: HashMap::new(),
+            recovery_acks: BTreeSet::new(),
+            snap_chunks: BTreeMap::new(),
+            snap_total: None,
+            step_cost: Duration::ZERO,
+        }
+    }
+
+    /// The kick-off message a deployment sends each replica.
+    pub fn start_msg() -> Msg {
+        Msg::new(HB_TIMER_HEADER, Value::Unit)
+    }
+
+    /// Number of transactions executed (for assertions in tests).
+    pub fn executed(&self) -> i64 {
+        self.executed
+    }
+
+    /// Current configuration (for assertions in tests).
+    pub fn config(&self) -> &ReplicaConfig {
+        &self.config
+    }
+
+    /// A handle to this replica's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn is_primary(&self, slf: Loc) -> bool {
+        self.config.primary() == slf
+    }
+
+    fn charge(&mut self, d: Duration) {
+        self.step_cost += d;
+    }
+
+    /// Executes a transaction locally, recording it in the log and reply
+    /// cache.
+    fn execute_txn(&mut self, env: &TxnEnvelope) -> (bool, Vec<SqlValue>) {
+        let outcome = env
+            .txn
+            .apply(&self.db)
+            .map(|o| (o.committed, o.result, o.cost))
+            .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
+        self.charge(outcome.2);
+        self.executed += 1;
+        self.log.push_back(env.clone());
+        while self.log.len() > self.options.cache_limit {
+            self.log.pop_front();
+            self.log_start += 1;
+        }
+        self.last_reply.insert(env.client, (env.cseq, outcome.0, outcome.1.clone()));
+        (outcome.0, outcome.1)
+    }
+
+    // -- normal case -------------------------------------------------------
+
+    fn on_submit(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        if self.mode != Mode::Normal || !self.is_primary(ctx.slf) {
+            return; // backups and stopped replicas ignore submissions
+        }
+        let Some(env) = TxnEnvelope::from_value(body) else { return };
+        // Duplicate suppression by client sequence number.
+        if let Some((last, committed, result)) = self.last_reply.get(&env.client) {
+            if env.cseq < *last {
+                return;
+            }
+            if env.cseq == *last {
+                outs.push(SendInstr::now(env.client, reply_msg(ctx.slf, *last, *committed, result)));
+                return;
+            }
+        }
+        let (committed, result) = self.execute_txn(&env);
+        let idx = self.executed;
+        if self.active_backups.is_empty() {
+            outs.push(SendInstr::now(env.client, reply_msg(ctx.slf, env.cseq, committed, &result)));
+        } else {
+            for b in self.config.backups() {
+                outs.push(SendInstr::now(
+                    *b,
+                    Msg::new(
+                        FORWARD_HEADER,
+                        Value::pair(
+                            Value::Int(self.config.seq),
+                            Value::pair(Value::Int(idx), env.to_value()),
+                        ),
+                    ),
+                ));
+            }
+            self.pending.insert(
+                idx,
+                Pending {
+                    env,
+                    outcome: TxnOutcome { committed, result, cost: Duration::ZERO },
+                    waiting: self.active_backups.clone(),
+                },
+            );
+        }
+    }
+
+    fn on_forward(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        let (cfg, rest) = body.unpair();
+        if cfg.int() != self.config.seq || self.is_primary(ctx.slf) {
+            return; // stale configuration
+        }
+        if self.mode == Mode::Stopped || self.mode == Mode::Idle {
+            return;
+        }
+        let (idx, env) = rest.unpair();
+        let Some(env) = TxnEnvelope::from_value(env) else { return };
+        self.forward_buf.insert(idx.int(), env);
+        self.drain_forwards(ctx, outs);
+    }
+
+    /// Applies buffered forwards in index order (a recovering backup
+    /// buffers them until its snapshot arrives).
+    fn drain_forwards(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        if self.mode != Mode::Normal {
+            return;
+        }
+        while let Some(env) = self.forward_buf.remove(&(self.executed + 1)) {
+            self.execute_txn(&env);
+            let idx = self.executed;
+            outs.push(SendInstr::now(
+                self.config.primary(),
+                Msg::new(
+                    ACK_HEADER,
+                    Value::pair(
+                        Value::Int(self.config.seq),
+                        Value::pair(Value::Int(idx), Value::Loc(ctx.slf)),
+                    ),
+                ),
+            ));
+        }
+    }
+
+    fn on_ack(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        let (cfg, rest) = body.unpair();
+        if cfg.int() != self.config.seq || !self.is_primary(ctx.slf) {
+            return;
+        }
+        let (idx, from) = rest.unpair();
+        let idx = idx.int();
+        if let Some(p) = self.pending.get_mut(&idx) {
+            p.waiting.remove(&from.loc());
+            if p.waiting.is_empty() {
+                let p = self.pending.remove(&idx).expect("present");
+                outs.push(SendInstr::now(
+                    p.env.client,
+                    reply_msg(ctx.slf, p.env.cseq, p.outcome.committed, &p.outcome.result),
+                ));
+            }
+        }
+    }
+
+    // -- failure detection --------------------------------------------------
+
+    fn on_hb_timer(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        // Re-arm.
+        outs.push(SendInstr::after(
+            self.options.heartbeat_every,
+            ctx.slf,
+            Msg::new(HB_TIMER_HEADER, Value::Unit),
+        ));
+        if self.mode == Mode::Idle {
+            return;
+        }
+        for m in &self.config.members {
+            if *m != ctx.slf {
+                outs.push(SendInstr::now(
+                    *m,
+                    Msg::new(
+                        HEARTBEAT_HEADER,
+                        Value::pair(Value::Int(self.config.seq), Value::Loc(ctx.slf)),
+                    ),
+                ));
+            }
+        }
+        if !matches!(self.mode, Mode::Normal | Mode::Recovering) {
+            return; // a decision for this configuration is already pending
+        }
+        let suspects: Vec<Loc> = self
+            .config
+            .members
+            .iter()
+            .copied()
+            .filter(|m| {
+                *m != ctx.slf
+                    && ctx.now.saturating_since(
+                        *self.last_heard.get(m).unwrap_or(&VTime::ZERO),
+                    ) > self.options.detect_after
+            })
+            .collect();
+        if !suspects.is_empty() {
+            self.propose_reconfiguration(ctx, &suspects, outs);
+        }
+    }
+
+    fn on_heartbeat(&mut self, ctx: &Ctx, body: &Value) {
+        let (_cfg, from) = body.unpair();
+        self.last_heard.insert(from.loc(), ctx.now);
+    }
+
+    /// Step 1–2 of the recovery procedure: stop, then broadcast a proposal.
+    fn propose_reconfiguration(
+        &mut self,
+        ctx: &Ctx,
+        suspects: &[Loc],
+        outs: &mut Vec<SendInstr>,
+    ) {
+        self.mode = Mode::Stopped;
+        let mut members: Vec<Loc> =
+            self.config.members.iter().copied().filter(|m| !suspects.contains(m)).collect();
+        // Optionally replace crashed members with spares.
+        let candidates: Vec<Loc> = self
+            .spares
+            .iter()
+            .copied()
+            .filter(|s| !members.contains(s) && !suspects.contains(s))
+            .collect();
+        let mut candidates = candidates.into_iter();
+        while members.len() < self.config.members.len() {
+            match candidates.next() {
+                Some(s) => members.push(s),
+                None => break,
+            }
+        }
+        let proposal = Value::pair(
+            Value::str("newconfig"),
+            Value::pair(
+                Value::Int(self.config.seq),
+                Value::list(members.iter().map(|m| Value::Loc(*m))),
+            ),
+        );
+        let msgid = self.tob_msgid;
+        self.tob_msgid += 1;
+        let server = self.tob_servers[(ctx.slf.index() as usize) % self.tob_servers.len()];
+        outs.push(SendInstr::now(server, broadcast_msg(ctx.slf, msgid, proposal)));
+    }
+
+    // -- recovery ------------------------------------------------------------
+
+    /// Step 3: a totally ordered configuration proposal arrives.
+    fn on_tob_deliver(&mut self, ctx: &Ctx, msg: &Msg, outs: &mut Vec<SendInstr>) {
+        let Some(d) = parse_deliver(msg) else { return };
+        for d in self.tob_in.offer(d) {
+            let Some((tag, body)) = d.payload.fst().zip(d.payload.snd()) else { continue };
+            if tag.as_str() != Some("newconfig") {
+                continue;
+            }
+            let (old_seq, members) = body.unpair();
+            if old_seq.int() != self.config.seq {
+                continue; // not the first proposal for this configuration
+            }
+            let members: Vec<Loc> =
+                members.elems().iter().filter_map(Value::as_loc).collect();
+            self.adopt_config(ctx, ReplicaConfig { seq: old_seq.int() + 1, members }, outs);
+        }
+    }
+
+    fn adopt_config(&mut self, ctx: &Ctx, config: ReplicaConfig, outs: &mut Vec<SendInstr>) {
+        self.config = config;
+        self.pending.clear();
+        self.forward_buf.clear();
+        self.election.clear();
+        self.recovery_acks.clear();
+        self.active_backups.clear();
+        self.snap_chunks.clear();
+        self.snap_total = None;
+        // Fresh grace period for the new membership.
+        for m in &self.config.members {
+            self.last_heard.insert(*m, ctx.now);
+        }
+        if !self.config.contains(ctx.slf) {
+            self.mode = Mode::Idle;
+            return;
+        }
+        self.mode = Mode::Recovering;
+        // Step 3 (election): send (g+1, seq_r) to all members.
+        for m in &self.config.members {
+            if *m == ctx.slf {
+                self.election.insert(ctx.slf, self.executed);
+            } else {
+                outs.push(SendInstr::now(
+                    *m,
+                    Msg::new(
+                        ELECT_HEADER,
+                        Value::pair(
+                            Value::Int(self.config.seq),
+                            Value::pair(Value::Loc(ctx.slf), Value::Int(self.executed)),
+                        ),
+                    ),
+                ));
+            }
+        }
+        self.maybe_elect(ctx, outs);
+    }
+
+    fn on_elect(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        let (cfg, rest) = body.unpair();
+        if cfg.int() != self.config.seq || self.mode != Mode::Recovering {
+            return;
+        }
+        let (from, executed) = rest.unpair();
+        self.election.insert(from.loc(), executed.int());
+        self.maybe_elect(ctx, outs);
+    }
+
+    /// Step 4: once every member reported, the one with the largest
+    /// executed sequence number (ties → smallest id) is primary.
+    fn maybe_elect(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        if self.election.len() < self.config.members.len() {
+            return;
+        }
+        let primary = self
+            .config
+            .members
+            .iter()
+            .copied()
+            .max_by_key(|m| (self.election[m], std::cmp::Reverse(m.index())))
+            .expect("non-empty membership");
+        // Reorder the configuration so members[0] is the primary.
+        let mut members = self.config.members.clone();
+        members.retain(|m| *m != primary);
+        members.insert(0, primary);
+        self.config.members = members;
+        if primary != ctx.slf {
+            return; // wait for catch-up from the new primary
+        }
+        // Step 5: bring the backups up to date.
+        for b in self.config.backups().to_vec() {
+            let behind = self.election[&b];
+            if behind >= self.log_start {
+                let missing: Vec<Value> = self
+                    .log
+                    .iter()
+                    .skip((behind - self.log_start) as usize)
+                    .map(TxnEnvelope::to_value)
+                    .collect();
+                outs.push(SendInstr::now(
+                    b,
+                    Msg::new(
+                        CATCHUP_HEADER,
+                        Value::pair(
+                            Value::Int(self.config.seq),
+                            Value::pair(Value::Int(behind), Value::list(missing)),
+                        ),
+                    ),
+                ));
+            } else {
+                self.send_snapshot(b, outs);
+            }
+        }
+        if self.config.backups().is_empty() {
+            self.mode = Mode::Normal;
+        }
+    }
+
+    /// Streams a full snapshot in ~50 KB batches, charging serialization
+    /// cost per the engine profile.
+    fn send_snapshot(&mut self, to: Loc, outs: &mut Vec<SendInstr>) {
+        let snapshot = self.db.snapshot();
+        let batches = snapshot.to_batches(self.options.transfer_batch_bytes);
+        let costs = self.db.profile().costs;
+        // Snapshot preparation: session setup plus scanning every row.
+        self.charge(
+            Duration::from_millis(300)
+                + Duration::from_micros(costs.scan_row_us * snapshot.row_count() as u64),
+        );
+        let col_values: usize = batches.iter().map(RowBatch::column_values).sum();
+        self.charge(Duration::from_micros(costs.serialize_col_us * col_values as u64));
+        let total = batches.len() as i64;
+        for (i, b) in batches.iter().enumerate() {
+            outs.push(SendInstr::now(
+                to,
+                Msg::new(
+                    SNAPSHOT_HEADER,
+                    Value::pair(
+                        Value::Int(self.config.seq),
+                        Value::pair(
+                            Value::Int(i as i64),
+                            Value::pair(
+                                Value::pair(Value::Int(total), Value::Int(self.executed)),
+                                Value::Bytes(b.encode()),
+                            ),
+                        ),
+                    ),
+                ),
+            ));
+        }
+    }
+
+    fn on_catchup(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        let (cfg, rest) = body.unpair();
+        if cfg.int() != self.config.seq || self.mode != Mode::Recovering {
+            return;
+        }
+        let (start, txns) = rest.unpair();
+        let mut idx = start.int();
+        for t in txns.elems() {
+            if idx == self.executed {
+                if let Some(env) = TxnEnvelope::from_value(t) {
+                    self.execute_txn(&env);
+                }
+            }
+            idx += 1;
+        }
+        self.finish_recovery(ctx, outs);
+    }
+
+    fn on_snapshot(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        let (cfg, rest) = body.unpair();
+        if cfg.int() != self.config.seq || self.mode != Mode::Recovering {
+            return;
+        }
+        let (i, rest) = rest.unpair();
+        let (meta, data) = rest.unpair();
+        let (total, executed) = meta.unpair();
+        self.snap_total = Some((total.int(), executed.int()));
+        if let Some(b) = data.as_bytes() {
+            self.snap_chunks.insert(i.int(), b.clone());
+        }
+        let (total, executed) = self.snap_total.expect("just set");
+        if (self.snap_chunks.len() as i64) < total {
+            return;
+        }
+        // All chunks arrived: decode, restore, charge insertion cost.
+        let decoded: Result<Vec<RowBatch>, _> =
+            self.snap_chunks.values().map(|b| RowBatch::decode(b.clone())).collect();
+        let Ok(batches) = decoded else { return };
+        let Ok(snapshot) = shadowdb_sqldb::Snapshot::from_batches(&batches) else { return };
+        let costs = self.db.profile().costs;
+        let rows: usize = batches.iter().map(|b| b.rows.len()).sum();
+        let bytes: usize = batches.iter().map(RowBatch::encoded_len).sum();
+        self.charge(Duration::from_micros(
+            costs.bulk_insert_us * rows as u64
+                + costs.bulk_insert_byte_ns * bytes as u64 / 1_000,
+        ));
+        if self.db.restore(&snapshot).is_err() {
+            return;
+        }
+        self.executed = executed;
+        self.log.clear();
+        self.log_start = executed;
+        self.snap_chunks.clear();
+        self.snap_total = None;
+        self.finish_recovery(ctx, outs);
+    }
+
+    /// Step 6: acknowledge recovery to the primary and resume.
+    fn finish_recovery(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        outs.push(SendInstr::now(
+            self.config.primary(),
+            Msg::new(
+                RECOVERY_ACK_HEADER,
+                Value::pair(Value::Int(self.config.seq), Value::Loc(ctx.slf)),
+            ),
+        ));
+        self.mode = Mode::Normal;
+        self.drain_forwards(ctx, outs);
+    }
+
+    /// Step 7: the primary resumes once the required backups acknowledged.
+    fn on_recovery_ack(&mut self, ctx: &Ctx, body: &Value) {
+        let (cfg, from) = body.unpair();
+        if cfg.int() != self.config.seq || !self.is_primary(ctx.slf) {
+            return;
+        }
+        self.recovery_acks.insert(from.loc());
+        self.active_backups.insert(from.loc());
+        let needed = if self.options.overlapped_transfer {
+            1
+        } else {
+            self.config.backups().len()
+        };
+        if self.mode == Mode::Recovering && self.recovery_acks.len() >= needed {
+            self.mode = Mode::Normal;
+        }
+    }
+}
+
+impl PbrReplica {
+    /// First-step initialization: learn our own identity from the context.
+    fn ensure_init(&mut self, ctx: &Ctx) {
+        if self.hb_armed {
+            return;
+        }
+        self.hb_armed = true;
+        if !self.config.contains(ctx.slf) {
+            self.mode = Mode::Idle; // a spare, until a configuration adds us
+            return;
+        }
+        // Startup counts as hearing from everyone (grace period).
+        for m in self.config.members.clone() {
+            self.last_heard.entry(m).or_insert(ctx.now);
+        }
+        if self.is_primary(ctx.slf) {
+            self.active_backups = self.config.backups().iter().copied().collect();
+        }
+    }
+}
+
+impl Process for PbrReplica {
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        self.ensure_init(ctx);
+        let mut outs = Vec::new();
+        match msg.header.name() {
+            SUBMIT_HEADER => self.on_submit(ctx, &msg.body, &mut outs),
+            FORWARD_HEADER => self.on_forward(ctx, &msg.body, &mut outs),
+            ACK_HEADER => self.on_ack(ctx, &msg.body, &mut outs),
+            HB_TIMER_HEADER => self.on_hb_timer(ctx, &mut outs),
+            HEARTBEAT_HEADER => self.on_heartbeat(ctx, &msg.body),
+            ELECT_HEADER => self.on_elect(ctx, &msg.body, &mut outs),
+            CATCHUP_HEADER => self.on_catchup(ctx, &msg.body, &mut outs),
+            SNAPSHOT_HEADER => self.on_snapshot(ctx, &msg.body, &mut outs),
+            RECOVERY_ACK_HEADER => self.on_recovery_ack(ctx, &msg.body),
+            _ => self.on_tob_deliver(ctx, msg, &mut outs),
+        }
+        outs
+    }
+
+    fn take_step_cost(&mut self) -> Duration {
+        std::mem::take(&mut self.step_cost)
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        // Deep-copy the database so the fork is independent (model checking
+        // forks executions).
+        let db = Database::new(self.db.profile().clone());
+        db.restore(&self.db.snapshot()).expect("snapshot of a valid database restores");
+        Box::new(PbrReplica {
+            db,
+            options: self.options.clone(),
+            config: self.config.clone(),
+            spares: self.spares.clone(),
+            tob_servers: self.tob_servers.clone(),
+            mode: self.mode,
+            executed: self.executed,
+            log: self.log.clone(),
+            log_start: self.log_start,
+            last_reply: self.last_reply.clone(),
+            pending: self
+                .pending
+                .iter()
+                .map(|(k, v)| {
+                    (*k, Pending {
+                        env: v.env.clone(),
+                        outcome: v.outcome.clone(),
+                        waiting: v.waiting.clone(),
+                    })
+                })
+                .collect(),
+            active_backups: self.active_backups.clone(),
+            forward_buf: self.forward_buf.clone(),
+            last_heard: self.last_heard.clone(),
+            hb_armed: self.hb_armed,
+            tob_in: self.tob_in.clone(),
+            tob_msgid: self.tob_msgid,
+            election: self.election.clone(),
+            recovery_acks: self.recovery_acks.clone(),
+            snap_chunks: self.snap_chunks.clone(),
+            snap_total: self.snap_total,
+            step_cost: self.step_cost,
+        })
+    }
+
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        let mut h = HasherAdapter(hasher);
+        (self.executed, self.config.seq, self.mode).hash(&mut h);
+    }
+}

@@ -1,0 +1,236 @@
+//! State machine replication (Sec. III-B).
+//!
+//! "With state machine replication, all transactions are ordered by the
+//! total order broadcast service": (i) the client broadcasts `T` to all
+//! replicas using the service; (ii) upon delivering `T`, each database
+//! executes and commits the transaction and sends the answer to the
+//! client; (iii) the client waits for the first answer.
+//!
+//! "When a replica crashes, the protocol proceeds normally with no
+//! interruptions as long as at least one replica survives." Adding a
+//! replica is a reconfiguration broadcast: the request carries the
+//! sequence number of the last ordered transaction, and the new replica
+//! fetches the snapshot from the proposer.
+
+use crate::msgs::{reply_msg, TxnEnvelope};
+use shadowdb_eventml::process::HasherAdapter;
+use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_loe::Loc;
+use shadowdb_sqldb::{Database, RowBatch, Snapshot, SqlValue};
+use shadowdb_tob::{parse_deliver, InOrderBuffer};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::time::Duration;
+
+/// Request a snapshot from a replica: body `<requester>`.
+pub const FETCH_SNAPSHOT_HEADER: &str = "smr/fetchsnap";
+/// A snapshot chunk: body `<chunk, <<total, next_seq>, bytes>>`.
+pub const SNAPSHOT_CHUNK_HEADER: &str = "smr/snapchunk";
+
+/// An SMR ShadowDB replica: a broadcast-service subscriber executing every
+/// delivered transaction.
+pub struct SmrReplica {
+    db: Database,
+    incoming: InOrderBuffer,
+    /// client -> (last cseq, committed, results) for duplicate suppression.
+    last_reply: HashMap<Loc, (i64, bool, Vec<SqlValue>)>,
+    executed: i64,
+    /// Snapshot-joining state: deliveries buffer inside `incoming` until
+    /// the snapshot establishes the starting sequence number.
+    joining: bool,
+    snap_chunks: BTreeMap<i64, bytes::Bytes>,
+    snap_total: Option<(i64, i64)>,
+    transfer_batch_bytes: usize,
+    step_cost: Duration,
+}
+
+impl SmrReplica {
+    /// Creates a replica that executes from sequence number 0.
+    pub fn new(db: Database) -> SmrReplica {
+        SmrReplica {
+            db,
+            incoming: InOrderBuffer::new(),
+            last_reply: HashMap::new(),
+            executed: 0,
+            joining: false,
+            snap_chunks: BTreeMap::new(),
+            snap_total: None,
+            transfer_batch_bytes: 50_000,
+            step_cost: Duration::ZERO,
+        }
+    }
+
+    /// Creates a replica that first fetches a snapshot from `donor` before
+    /// executing (a replica added by reconfiguration). The deployment must
+    /// route a [`FETCH_SNAPSHOT_HEADER`] request to the donor.
+    pub fn joining(db: Database) -> SmrReplica {
+        SmrReplica { joining: true, ..SmrReplica::new(db) }
+    }
+
+    /// Builds the snapshot-fetch request sent to the donor replica.
+    pub fn fetch_snapshot_msg(requester: Loc) -> Msg {
+        Msg::new(FETCH_SNAPSHOT_HEADER, Value::Loc(requester))
+    }
+
+    /// Overrides the state-transfer batch bound (~50 KB by default).
+    pub fn set_transfer_batch_bytes(&mut self, bytes: usize) {
+        assert!(bytes > 0, "batches need at least one byte");
+        self.transfer_batch_bytes = bytes;
+    }
+
+    /// Number of transactions executed.
+    pub fn executed(&self) -> i64 {
+        self.executed
+    }
+
+    /// A handle to this replica's database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    fn execute_delivery(
+        &mut self,
+        slf: Loc,
+        d: shadowdb_tob::Delivery,
+        outs: &mut Vec<SendInstr>,
+    ) {
+        let Some(env) = TxnEnvelope::from_value(&d.payload) else { return };
+        // Duplicate suppression (client resends surface as fresh broadcast
+        // msgids but identical cseq — or as duplicate deliveries filtered
+        // by the InOrderBuffer already; both are covered).
+        if let Some((last, committed, results)) = self.last_reply.get(&env.client) {
+            if env.cseq <= *last {
+                outs.push(SendInstr::now(env.client, reply_msg(slf, *last, *committed, results)));
+                return;
+            }
+        }
+        let (committed, results, cost) = env
+            .txn
+            .apply(&self.db)
+            .map(|o| (o.committed, o.result, o.cost))
+            .unwrap_or_else(|e| {
+                (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO)
+            });
+        self.step_cost += cost;
+        self.executed += 1;
+        self.last_reply.insert(env.client, (env.cseq, committed, results.clone()));
+        outs.push(SendInstr::now(env.client, reply_msg(slf, env.cseq, committed, &results)));
+    }
+
+    fn on_fetch_snapshot(&mut self, body: &Value, outs: &mut Vec<SendInstr>) {
+        let Some(requester) = body.as_loc() else { return };
+        let snapshot = self.db.snapshot();
+        let batches = snapshot.to_batches(self.transfer_batch_bytes);
+        let costs = self.db.profile().costs;
+        // Snapshot preparation: session setup plus scanning every row.
+        self.step_cost += Duration::from_millis(300)
+            + Duration::from_micros(costs.scan_row_us * snapshot.row_count() as u64);
+        let cols: usize = batches.iter().map(RowBatch::column_values).sum();
+        self.step_cost += Duration::from_micros(costs.serialize_col_us * cols as u64);
+        let total = batches.len() as i64;
+        for (i, b) in batches.iter().enumerate() {
+            outs.push(SendInstr::now(
+                requester,
+                Msg::new(
+                    SNAPSHOT_CHUNK_HEADER,
+                    Value::pair(
+                        Value::Int(i as i64),
+                        Value::pair(
+                            Value::pair(Value::Int(total), Value::Int(self.incoming.next_seq())),
+                            Value::Bytes(b.encode()),
+                        ),
+                    ),
+                ),
+            ));
+        }
+    }
+
+    fn on_snapshot_chunk(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
+        if !self.joining {
+            return;
+        }
+        let (i, rest) = body.unpair();
+        let (meta, data) = rest.unpair();
+        let (total, next_seq) = meta.unpair();
+        self.snap_total = Some((total.int(), next_seq.int()));
+        if let Some(b) = data.as_bytes() {
+            self.snap_chunks.insert(i.int(), b.clone());
+        }
+        let (total, next_seq) = self.snap_total.expect("just set");
+        if (self.snap_chunks.len() as i64) < total {
+            return;
+        }
+        let decoded: Result<Vec<RowBatch>, _> =
+            self.snap_chunks.values().map(|b| RowBatch::decode(b.clone())).collect();
+        let Ok(batches) = decoded else { return };
+        let Ok(snapshot) = Snapshot::from_batches(&batches) else { return };
+        let costs = self.db.profile().costs;
+        let rows: usize = batches.iter().map(|b| b.rows.len()).sum();
+        let bytes: usize = batches.iter().map(RowBatch::encoded_len).sum();
+        self.step_cost += Duration::from_micros(
+            costs.bulk_insert_us * rows as u64 + costs.bulk_insert_byte_ns * bytes as u64 / 1_000,
+        );
+        if self.db.restore(&snapshot).is_err() {
+            return;
+        }
+        self.joining = false;
+        // Skip everything the snapshot already covers, then replay whatever
+        // arrived while joining.
+        self.executed = next_seq;
+        let held =
+            std::mem::replace(&mut self.incoming, InOrderBuffer::starting_at(next_seq));
+        for d in held.into_pending() {
+            for ready in self.incoming.offer(d) {
+                self.execute_delivery(slf, ready, outs);
+            }
+        }
+        self.snap_chunks.clear();
+        self.snap_total = None;
+    }
+}
+
+impl Process for SmrReplica {
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        let mut outs = Vec::new();
+        match msg.header.name() {
+            FETCH_SNAPSHOT_HEADER => self.on_fetch_snapshot(&msg.body, &mut outs),
+            SNAPSHOT_CHUNK_HEADER => self.on_snapshot_chunk(ctx.slf, &msg.body, &mut outs),
+            _ => {
+                if let Some(d) = parse_deliver(msg) {
+                    let ready = self.incoming.offer(d);
+                    if !self.joining {
+                        for d in ready {
+                            self.execute_delivery(ctx.slf, d, &mut outs);
+                        }
+                    }
+                }
+            }
+        }
+        outs
+    }
+
+    fn take_step_cost(&mut self) -> Duration {
+        std::mem::take(&mut self.step_cost)
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        let db = Database::new(self.db.profile().clone());
+        db.restore(&self.db.snapshot()).expect("snapshot of a valid database restores");
+        Box::new(SmrReplica {
+            db,
+            incoming: self.incoming.clone(),
+            last_reply: self.last_reply.clone(),
+            executed: self.executed,
+            joining: self.joining,
+            snap_chunks: self.snap_chunks.clone(),
+            snap_total: self.snap_total,
+            transfer_batch_bytes: self.transfer_batch_bytes,
+            step_cost: self.step_cost,
+        })
+    }
+
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        let mut h = HasherAdapter(hasher);
+        (self.executed, self.joining, self.incoming.next_seq()).hash(&mut h);
+    }
+}

@@ -1,0 +1,292 @@
+//! The combinator AST of an EventML constructive specification.
+//!
+//! An EventML program is built from *base classes* (message recognizers) and
+//! a small algebra of combinators. A [`ClassExpr`] is that program as data:
+//! the unit of compilation (to a GPM process), of optimization, of
+//! denotational interpretation (LoE semantics), and of the size statistics
+//! reported in Table I.
+//!
+//! Leaf computations (state-update and handler functions — the `let`-bound
+//! ML functions of an EventML source file) are host-language closures tagged
+//! with a name and a declared size. Two leaves with the same name are
+//! considered the same function; this drives common-subexpression
+//! elimination, so names must be unique per function within a specification.
+
+use crate::value::{Header, Value};
+use shadowdb_loe::Loc;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named state-update function: `(slf, input, state) -> state`.
+#[derive(Clone)]
+pub struct UpdateFn {
+    name: &'static str,
+    nodes: usize,
+    f: Arc<dyn Fn(Loc, &Value, &Value) -> Value + Send + Sync>,
+}
+
+impl UpdateFn {
+    /// Wraps an update function. `nodes` approximates the AST size of the
+    /// function body (used only for Table I statistics).
+    pub fn new(
+        name: &'static str,
+        nodes: usize,
+        f: impl Fn(Loc, &Value, &Value) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        UpdateFn { name, nodes, f: Arc::new(f) }
+    }
+
+    /// The function's name (its identity for optimization purposes).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Declared AST-node weight of the function body.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Applies the function.
+    pub fn apply(&self, slf: Loc, input: &Value, state: &Value) -> Value {
+        (self.f)(slf, input, state)
+    }
+}
+
+impl fmt::Debug for UpdateFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// A named handler function over simultaneous inputs:
+/// `(slf, args) -> bag of outputs`.
+///
+/// The bag result subsumes filtering (empty bag) and multi-output handlers.
+#[derive(Clone)]
+pub struct HandlerFn {
+    name: &'static str,
+    nodes: usize,
+    f: Arc<dyn Fn(Loc, &[Value]) -> Vec<Value> + Send + Sync>,
+}
+
+impl HandlerFn {
+    /// Wraps a handler function; see [`UpdateFn::new`] for `nodes`.
+    pub fn new(
+        name: &'static str,
+        nodes: usize,
+        f: impl Fn(Loc, &[Value]) -> Vec<Value> + Send + Sync + 'static,
+    ) -> Self {
+        HandlerFn { name, nodes, f: Arc::new(f) }
+    }
+
+    /// The function's name (its identity for optimization purposes).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Declared AST-node weight of the function body.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Applies the function.
+    pub fn apply(&self, slf: Loc, args: &[Value]) -> Vec<Value> {
+        (self.f)(slf, args)
+    }
+}
+
+impl fmt::Debug for HandlerFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// An event-class expression: the AST of an EventML specification body.
+#[derive(Clone, Debug)]
+pub enum ClassExpr {
+    /// `hdr'base` — recognizes messages with the given header and outputs
+    /// their body.
+    Base(Header),
+    /// A constant class: outputs the value at every event.
+    Constant(Value),
+    /// `State (init, upd, input)` — a state machine over the inputs of an
+    /// inner class; outputs the updated state at recognized events.
+    State {
+        /// Initial state.
+        init: Value,
+        /// The update function.
+        update: UpdateFn,
+        /// The class producing this machine's inputs.
+        input: Box<ClassExpr>,
+    },
+    /// `f o (a₁, …, aₖ)` — simultaneous composition: at events where every
+    /// argument class produces, outputs `f(slf, v₁…vₖ)` for each combination.
+    Compose {
+        /// The handler applied to simultaneous outputs.
+        handler: HandlerFn,
+        /// Argument classes.
+        args: Vec<ClassExpr>,
+    },
+    /// `a₁ || … || aₖ` — parallel composition: the bag union of outputs.
+    Parallel(Vec<ClassExpr>),
+    /// `Once a` — only the first output (per location) of the inner class.
+    Once(Box<ClassExpr>),
+}
+
+impl ClassExpr {
+    /// A base class for the given header.
+    pub fn base(header: impl Into<Header>) -> ClassExpr {
+        ClassExpr::Base(header.into())
+    }
+
+    /// A state machine over this class's outputs.
+    pub fn state(self, init: Value, update: UpdateFn) -> ClassExpr {
+        ClassExpr::State { init, update, input: Box::new(self) }
+    }
+
+    /// Simultaneous composition of `args` through `handler`.
+    pub fn compose(handler: HandlerFn, args: Vec<ClassExpr>) -> ClassExpr {
+        ClassExpr::Compose { handler, args }
+    }
+
+    /// Parallel composition.
+    pub fn parallel(args: Vec<ClassExpr>) -> ClassExpr {
+        ClassExpr::Parallel(args)
+    }
+
+    /// At most one (first) output per location.
+    pub fn once(self) -> ClassExpr {
+        ClassExpr::Once(Box::new(self))
+    }
+
+    /// Counts the AST nodes of this expression, including the declared
+    /// weights of leaf functions and the size of constant values.
+    ///
+    /// This is the "EventML spec" column of our Table I reproduction.
+    pub fn ast_nodes(&self) -> usize {
+        match self {
+            ClassExpr::Base(_) => 1,
+            ClassExpr::Constant(v) => 1 + value_nodes(v),
+            ClassExpr::State { init, update, input } => {
+                1 + value_nodes(init) + update.nodes() + input.ast_nodes()
+            }
+            ClassExpr::Compose { handler, args } => {
+                1 + handler.nodes() + args.iter().map(ClassExpr::ast_nodes).sum::<usize>()
+            }
+            ClassExpr::Parallel(args) => {
+                1 + args.iter().map(ClassExpr::ast_nodes).sum::<usize>()
+            }
+            ClassExpr::Once(inner) => 1 + inner.ast_nodes(),
+        }
+    }
+
+    /// A structural key identifying this expression up to leaf-function
+    /// names: equal keys mean the same class. Drives common-subexpression
+    /// elimination in the optimizer.
+    pub fn structural_key(&self) -> String {
+        match self {
+            ClassExpr::Base(h) => format!("base({})", h.name()),
+            ClassExpr::Constant(v) => format!("const({v:?})"),
+            ClassExpr::State { init, update, input } => {
+                format!("state({:?},{},{})", init, update.name(), input.structural_key())
+            }
+            ClassExpr::Compose { handler, args } => {
+                let args: Vec<_> = args.iter().map(ClassExpr::structural_key).collect();
+                format!("comp({},[{}])", handler.name(), args.join(","))
+            }
+            ClassExpr::Parallel(args) => {
+                let args: Vec<_> = args.iter().map(ClassExpr::structural_key).collect();
+                format!("par([{}])", args.join(","))
+            }
+            ClassExpr::Once(inner) => format!("once({})", inner.structural_key()),
+        }
+    }
+}
+
+fn value_nodes(v: &Value) -> usize {
+    match v {
+        Value::Pair(p) => 1 + value_nodes(&p.0) + value_nodes(&p.1),
+        Value::List(l) => 1 + l.iter().map(value_nodes).sum::<usize>(),
+        _ => 1,
+    }
+}
+
+/// A complete EventML specification: a named main class deployed at a bag of
+/// locations (`main Handler @ locs`).
+#[derive(Clone, Debug)]
+pub struct Spec {
+    name: String,
+    main: ClassExpr,
+}
+
+impl Spec {
+    /// Creates a specification.
+    pub fn new(name: impl Into<String>, main: ClassExpr) -> Spec {
+        Spec { name: name.into(), main }
+    }
+
+    /// The specification's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The main class.
+    pub fn main(&self) -> &ClassExpr {
+        &self.main
+    }
+
+    /// AST node count (Table I, "EventML spec" column).
+    pub fn ast_nodes(&self) -> usize {
+        // +2 for the `specification` and `main … @ locs` declarations.
+        2 + self.main.ast_nodes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ClassExpr {
+        let upd = UpdateFn::new("inc", 3, |_l, _i, s| Value::Int(s.int() + 1));
+        let h = HandlerFn::new("echo", 2, |_l, args| vec![args[0].clone()]);
+        ClassExpr::compose(
+            h,
+            vec![ClassExpr::base("msg"), ClassExpr::base("msg").state(Value::Int(0), upd)],
+        )
+    }
+
+    #[test]
+    fn ast_nodes_counts_structure_and_leaves() {
+        // compose(1) + echo(2) + base(1) + state(1) + init(1) + inc(3) + base(1) = 10
+        assert_eq!(tiny().ast_nodes(), 10);
+    }
+
+    #[test]
+    fn spec_adds_declarations() {
+        assert_eq!(Spec::new("TINY", tiny()).ast_nodes(), 12);
+    }
+
+    #[test]
+    fn structural_keys_identify_shared_subtrees() {
+        let a = ClassExpr::base("msg");
+        let b = ClassExpr::base("msg");
+        assert_eq!(a.structural_key(), b.structural_key());
+        assert_ne!(a.structural_key(), ClassExpr::base("other").structural_key());
+    }
+
+    #[test]
+    fn structural_keys_distinguish_update_fns() {
+        let u1 = UpdateFn::new("u1", 1, |_l, _i, s| s.clone());
+        let u2 = UpdateFn::new("u2", 1, |_l, _i, s| s.clone());
+        let s1 = ClassExpr::base("m").state(Value::Unit, u1);
+        let s2 = ClassExpr::base("m").state(Value::Unit, u2);
+        assert_ne!(s1.structural_key(), s2.structural_key());
+    }
+
+    #[test]
+    fn parallel_and_once_counted() {
+        let e = ClassExpr::parallel(vec![ClassExpr::base("a"), ClassExpr::base("b").once()]);
+        // par(1) + base(1) + once(1) + base(1)
+        assert_eq!(e.ast_nodes(), 4);
+    }
+}

@@ -1,0 +1,243 @@
+//! A compact binary wire format for values and messages.
+//!
+//! Used wherever serialized size matters: the 140-byte payloads of the
+//! broadcast-service benchmark (Fig. 8), and the ~50 KB state-transfer
+//! batches of Fig. 10(b).
+
+use crate::value::{Header, Msg, Value};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use shadowdb_loe::Loc;
+use std::fmt;
+
+/// An error decoding a value or message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the value was complete.
+    Truncated,
+    /// An unknown type tag was encountered.
+    BadTag(u8),
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown type tag {t}"),
+            DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_UNIT: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_LOC: u8 = 3;
+const TAG_STR: u8 = 4;
+const TAG_BYTES: u8 = 5;
+const TAG_PAIR: u8 = 6;
+const TAG_LIST: u8 = 7;
+
+/// Appends the encoding of `v` to `buf`.
+pub fn encode_value(v: &Value, buf: &mut BytesMut) {
+    match v {
+        Value::Unit => buf.put_u8(TAG_UNIT),
+        Value::Bool(b) => {
+            buf.put_u8(TAG_BOOL);
+            buf.put_u8(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.put_u8(TAG_INT);
+            buf.put_i64_le(*i);
+        }
+        Value::Loc(l) => {
+            buf.put_u8(TAG_LOC);
+            buf.put_u32_le(l.index());
+        }
+        Value::Str(s) => {
+            buf.put_u8(TAG_STR);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.put_u8(TAG_BYTES);
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+        Value::Pair(p) => {
+            buf.put_u8(TAG_PAIR);
+            encode_value(&p.0, buf);
+            encode_value(&p.1, buf);
+        }
+        Value::List(l) => {
+            buf.put_u8(TAG_LIST);
+            buf.put_u32_le(l.len() as u32);
+            for item in l.iter() {
+                encode_value(item, buf);
+            }
+        }
+    }
+}
+
+/// Decodes one value from the front of `buf`, advancing it.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated or malformed.
+pub fn decode_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
+    if buf.remaining() < 1 {
+        return Err(DecodeError::Truncated);
+    }
+    let tag = buf.get_u8();
+    match tag {
+        TAG_UNIT => Ok(Value::Unit),
+        TAG_BOOL => {
+            need(buf, 1)?;
+            Ok(Value::Bool(buf.get_u8() != 0))
+        }
+        TAG_INT => {
+            need(buf, 8)?;
+            Ok(Value::Int(buf.get_i64_le()))
+        }
+        TAG_LOC => {
+            need(buf, 4)?;
+            Ok(Value::Loc(Loc::new(buf.get_u32_le())))
+        }
+        TAG_STR => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            let raw = buf.split_to(len);
+            let s = std::str::from_utf8(&raw).map_err(|_| DecodeError::BadUtf8)?;
+            Ok(Value::str(s))
+        }
+        TAG_BYTES => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            need(buf, len)?;
+            Ok(Value::Bytes(buf.split_to(len)))
+        }
+        TAG_PAIR => {
+            let a = decode_value(buf)?;
+            let b = decode_value(buf)?;
+            Ok(Value::pair(a, b))
+        }
+        TAG_LIST => {
+            need(buf, 4)?;
+            let len = buf.get_u32_le() as usize;
+            let mut items = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                items.push(decode_value(buf)?);
+            }
+            Ok(Value::list(items))
+        }
+        other => Err(DecodeError::BadTag(other)),
+    }
+}
+
+/// Encodes a message (header + body) to fresh bytes.
+pub fn encode_msg(msg: &Msg) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(msg.header.name().len() as u32);
+    buf.put_slice(msg.header.name().as_bytes());
+    encode_value(&msg.body, &mut buf);
+    buf.freeze()
+}
+
+/// Decodes a message produced by [`encode_msg`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated or malformed.
+pub fn decode_msg(mut buf: Bytes) -> Result<Msg, DecodeError> {
+    need(&buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    need(&buf, len)?;
+    let raw = buf.split_to(len);
+    let name = std::str::from_utf8(&raw).map_err(|_| DecodeError::BadUtf8)?;
+    let header = Header::new(name);
+    let body = decode_value(&mut buf)?;
+    Ok(Msg { header, body })
+}
+
+/// The number of bytes [`encode_value`] would produce for `v`.
+pub fn encoded_len(v: &Value) -> usize {
+    match v {
+        Value::Unit => 1,
+        Value::Bool(_) => 2,
+        Value::Int(_) => 9,
+        Value::Loc(_) => 5,
+        Value::Str(s) => 5 + s.len(),
+        Value::Bytes(b) => 5 + b.len(),
+        Value::Pair(p) => 1 + encoded_len(&p.0) + encoded_len(&p.1),
+        Value::List(l) => 5 + l.iter().map(encoded_len).sum::<usize>(),
+    }
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let mut buf = BytesMut::new();
+        encode_value(&v, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&v));
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_value(&mut bytes).unwrap(), v);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn scalar_roundtrips() {
+        roundtrip(Value::Unit);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Int(-42));
+        roundtrip(Value::Loc(Loc::new(3)));
+        roundtrip(Value::str("héllo"));
+        roundtrip(Value::Bytes(Bytes::from_static(b"\x00\x01\x02")));
+    }
+
+    #[test]
+    fn compound_roundtrips() {
+        roundtrip(Value::pair(Value::Int(1), Value::list([Value::Unit, Value::Bool(false)])));
+        roundtrip(Value::list((0..100).map(Value::from)));
+    }
+
+    #[test]
+    fn msg_roundtrip() {
+        let m = Msg::new("vote", Value::pair(Value::Int(1), Value::str("x")));
+        assert_eq!(decode_msg(encode_msg(&m)).unwrap(), m);
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut buf = BytesMut::new();
+        encode_value(&Value::Int(5), &mut buf);
+        let mut short = buf.freeze().slice(0..4);
+        assert_eq!(decode_value(&mut short), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_tag_detected() {
+        let mut bytes = Bytes::from_static(&[99]);
+        assert_eq!(decode_value(&mut bytes), Err(DecodeError::BadTag(99)));
+    }
+
+    #[test]
+    fn payload_sizing_matches_fig8_setup() {
+        // A 140-byte opaque payload, as in Sec. IV-A.
+        let payload = Value::Bytes(Bytes::from(vec![0u8; 140]));
+        assert_eq!(encoded_len(&payload), 145); // tag + len + 140
+    }
+}

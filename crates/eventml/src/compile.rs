@@ -1,0 +1,301 @@
+//! Compilation of class expressions to executable (interpreted) processes.
+//!
+//! This mirrors arrow (b) of the paper's workflow: from an EventML
+//! specification, generate a GPM program. The generated program here is a
+//! direct tree interpretation of the combinator structure — "programs
+//! composed of several nested recursive functions", exactly the shape the
+//! paper's optimizer exists to flatten (see [`crate::optimize`]).
+
+use crate::ast::{ClassExpr, Spec};
+use crate::process::{Ctx, HasherAdapter, Process};
+use crate::value::{as_send_value, Header, Msg, SendInstr, Value};
+use shadowdb_loe::Loc;
+use std::hash::{Hash, Hasher};
+
+/// A stateful interpreter node; one per combinator occurrence. Structurally
+/// shared classes are *duplicated* (each occurrence carries its own state) —
+/// the paper notes this "unnecessary duplication of code" as a source of
+/// inefficiency that the optimizer removes.
+#[derive(Clone, Debug)]
+enum Node {
+    Base(Header),
+    Constant(Value),
+    State { st: Value, update: crate::ast::UpdateFn, input: Box<Node> },
+    Compose { handler: crate::ast::HandlerFn, args: Vec<Node> },
+    Parallel(Vec<Node>),
+    Once { fired: bool, inner: Box<Node> },
+}
+
+impl Node {
+    fn build(expr: &ClassExpr) -> Node {
+        match expr {
+            ClassExpr::Base(h) => Node::Base(h.clone()),
+            ClassExpr::Constant(v) => Node::Constant(v.clone()),
+            ClassExpr::State { init, update, input } => Node::State {
+                st: init.clone(),
+                update: update.clone(),
+                input: Box::new(Node::build(input)),
+            },
+            ClassExpr::Compose { handler, args } => Node::Compose {
+                handler: handler.clone(),
+                args: args.iter().map(Node::build).collect(),
+            },
+            ClassExpr::Parallel(args) => Node::Parallel(args.iter().map(Node::build).collect()),
+            ClassExpr::Once(inner) => {
+                Node::Once { fired: false, inner: Box::new(Node::build(inner)) }
+            }
+        }
+    }
+
+    /// Evaluates this node on one message, mutating combinator state.
+    fn eval(&mut self, slf: Loc, msg: &Msg) -> Vec<Value> {
+        match self {
+            Node::Base(h) => {
+                if msg.header == *h {
+                    vec![msg.body.clone()]
+                } else {
+                    Vec::new()
+                }
+            }
+            Node::Constant(v) => vec![v.clone()],
+            Node::State { st, update, input } => {
+                let inputs = input.eval(slf, msg);
+                if inputs.is_empty() {
+                    return Vec::new();
+                }
+                for v in &inputs {
+                    *st = update.apply(slf, v, st);
+                }
+                vec![st.clone()]
+            }
+            Node::Compose { handler, args } => {
+                let arg_outs: Vec<Vec<Value>> = args.iter_mut().map(|a| a.eval(slf, msg)).collect();
+                if arg_outs.iter().any(Vec::is_empty) {
+                    return Vec::new();
+                }
+                let mut out = Vec::new();
+                cross(&arg_outs, &mut Vec::new(), &mut |combo| {
+                    out.extend(handler.apply(slf, combo));
+                });
+                out
+            }
+            Node::Parallel(args) => args.iter_mut().flat_map(|a| a.eval(slf, msg)).collect(),
+            Node::Once { fired, inner } => {
+                let mut outs = inner.eval(slf, msg);
+                if *fired {
+                    return Vec::new();
+                }
+                if outs.is_empty() {
+                    return Vec::new();
+                }
+                *fired = true;
+                outs.truncate(1);
+                outs
+            }
+        }
+    }
+
+    fn digest(&self, h: &mut HasherAdapter<'_>) {
+        match self {
+            Node::Base(_) | Node::Constant(_) => {}
+            Node::State { st, input, .. } => {
+                st.hash(h);
+                input.digest(h);
+            }
+            Node::Compose { args, .. } => {
+                for a in args {
+                    a.digest(h);
+                }
+            }
+            Node::Parallel(args) => {
+                for a in args {
+                    a.digest(h);
+                }
+            }
+            Node::Once { fired, inner } => {
+                fired.hash(h);
+                inner.digest(h);
+            }
+        }
+    }
+
+    /// Program size: each interpreter node costs `NODE_OVERHEAD` (the
+    /// recursive-function wrapper, state threading, and output collection
+    /// the combinator compilation generates around it) plus its leaf
+    /// function's declared size. Shared subtrees are counted once per
+    /// *occurrence* — the duplication the optimizer removes.
+    fn node_count(&self) -> usize {
+        const NODE_OVERHEAD: usize = 5;
+        match self {
+            Node::Base(_) | Node::Constant(_) => NODE_OVERHEAD + 1,
+            Node::State { update, input, .. } => {
+                NODE_OVERHEAD + update.nodes() + input.node_count()
+            }
+            Node::Compose { handler, args } => {
+                NODE_OVERHEAD
+                    + handler.nodes()
+                    + args.iter().map(Node::node_count).sum::<usize>()
+            }
+            Node::Parallel(args) => {
+                NODE_OVERHEAD + args.iter().map(Node::node_count).sum::<usize>()
+            }
+            Node::Once { inner, .. } => NODE_OVERHEAD + 1 + inner.node_count(),
+        }
+    }
+}
+
+/// Enumerates the cross product of `lists` in lexicographic order.
+fn cross(lists: &[Vec<Value>], prefix: &mut Vec<Value>, emit: &mut impl FnMut(&[Value])) {
+    if prefix.len() == lists.len() {
+        emit(prefix);
+        return;
+    }
+    let idx = prefix.len();
+    for v in &lists[idx] {
+        prefix.push(v.clone());
+        cross(lists, prefix, emit);
+        prefix.pop();
+    }
+}
+
+/// The interpreted GPM program generated from a class expression.
+///
+/// Its [`Process::step`] evaluates the combinator tree on each input and
+/// emits the outputs that decode as send instructions. The full output bag
+/// (including non-send values) is available through
+/// [`InterpretedProcess::step_values`], which is what the LoE-compliance
+/// tests compare against the denotational semantics.
+#[derive(Clone, Debug)]
+pub struct InterpretedProcess {
+    root: Node,
+}
+
+impl InterpretedProcess {
+    /// Compiles a class expression.
+    pub fn compile(expr: &ClassExpr) -> InterpretedProcess {
+        InterpretedProcess { root: Node::build(expr) }
+    }
+
+    /// Compiles a specification's main class.
+    pub fn compile_spec(spec: &Spec) -> InterpretedProcess {
+        Self::compile(spec.main())
+    }
+
+    /// Evaluates one message and returns the *entire* output bag.
+    pub fn step_values(&mut self, slf: Loc, msg: &Msg) -> Vec<Value> {
+        self.root.eval(slf, msg)
+    }
+
+    /// The number of interpreter nodes (Table I, "GPM prog." column: the
+    /// size of the generated program before optimization).
+    pub fn program_nodes(&self) -> usize {
+        self.root.node_count()
+    }
+}
+
+impl Process for InterpretedProcess {
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        self.step_values(ctx.slf, msg).iter().filter_map(as_send_value).collect()
+    }
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        self.root.digest(&mut HasherAdapter(hasher));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{HandlerFn, UpdateFn};
+    use crate::value::send_value;
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    #[test]
+    fn base_matches_header_only() {
+        let mut p = InterpretedProcess::compile(&ClassExpr::base("msg"));
+        assert_eq!(p.step_values(l(0), &Msg::new("msg", Value::Int(1))), vec![Value::Int(1)]);
+        assert!(p.step_values(l(0), &Msg::new("other", Value::Int(1))).is_empty());
+    }
+
+    #[test]
+    fn state_accumulates() {
+        let sum = UpdateFn::new("sum", 1, |_l, v, s| Value::Int(s.int() + v.int()));
+        let mut p = InterpretedProcess::compile(&ClassExpr::base("n").state(Value::Int(0), sum));
+        assert_eq!(p.step_values(l(0), &Msg::new("n", Value::Int(2))), vec![Value::Int(2)]);
+        assert_eq!(p.step_values(l(0), &Msg::new("n", Value::Int(5))), vec![Value::Int(7)]);
+        assert!(p.step_values(l(0), &Msg::new("x", Value::Unit)).is_empty());
+        // Unrecognized messages leave the state untouched.
+        assert_eq!(p.step_values(l(0), &Msg::new("n", Value::Int(1))), vec![Value::Int(8)]);
+    }
+
+    #[test]
+    fn compose_requires_all_args() {
+        let h = HandlerFn::new("pair_up", 1, |_l, args| {
+            vec![Value::pair(args[0].clone(), args[1].clone())]
+        });
+        let mut p = InterpretedProcess::compile(&ClassExpr::compose(
+            h,
+            vec![ClassExpr::base("a"), ClassExpr::base("b")],
+        ));
+        // A message matches only one base class, so compose never fires…
+        assert!(p.step_values(l(0), &Msg::new("a", Value::Int(1))).is_empty());
+        assert!(p.step_values(l(0), &Msg::new("b", Value::Int(1))).is_empty());
+    }
+
+    #[test]
+    fn parallel_unions_in_order() {
+        let mut p = InterpretedProcess::compile(&ClassExpr::parallel(vec![
+            ClassExpr::base("m"),
+            ClassExpr::base("m"),
+        ]));
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("m", Value::Int(9))),
+            vec![Value::Int(9), Value::Int(9)]
+        );
+    }
+
+    #[test]
+    fn once_fires_once() {
+        let mut p = InterpretedProcess::compile(&ClassExpr::base("m").once());
+        assert_eq!(p.step_values(l(0), &Msg::new("m", Value::Int(1))).len(), 1);
+        assert!(p.step_values(l(0), &Msg::new("m", Value::Int(2))).is_empty());
+    }
+
+    #[test]
+    fn sends_are_extracted() {
+        let h = HandlerFn::new("fwd", 1, |_l, args| {
+            let instr = SendInstr::now(Loc::new(9), Msg::new("fwd", args[0].clone()));
+            vec![send_value(&instr), Value::Int(0)]
+        });
+        let mut p =
+            InterpretedProcess::compile(&ClassExpr::compose(h, vec![ClassExpr::base("m")]));
+        let sends = p.step(&Ctx::at(l(0)), &Msg::new("m", Value::Int(7)));
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].dest, Loc::new(9));
+        assert_eq!(sends[0].msg.body, Value::Int(7));
+    }
+
+    #[test]
+    fn digest_tracks_state() {
+        let sum = UpdateFn::new("sum", 1, |_l, v, s| Value::Int(s.int() + v.int()));
+        let expr = ClassExpr::base("n").state(Value::Int(0), sum);
+        let mut p = InterpretedProcess::compile(&expr);
+        let q = InterpretedProcess::compile(&expr);
+        assert_eq!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+        p.step_values(l(0), &Msg::new("n", Value::Int(1)));
+        assert_ne!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+    }
+
+    #[test]
+    fn program_nodes_counted() {
+        let sum = UpdateFn::new("sum", 1, |_l, v, s| Value::Int(s.int() + v.int()));
+        let expr = ClassExpr::base("n").state(Value::Int(0), sum).once();
+        // once(5+1) + state(5+1) + base(5+1) = 18
+        assert_eq!(InterpretedProcess::compile(&expr).program_nodes(), 18);
+    }
+}

@@ -1,0 +1,336 @@
+//! The program optimizer: fusion and common-subexpression elimination.
+//!
+//! The paper's optimizer "merges nested recursive functions into one and
+//! also applies common subexpression elimination", producing code that is
+//! faster (by a factor of two or more) and closer to what one would write by
+//! hand, and Nuprl proves the optimized program *bisimilar* to the original
+//! (Fig. 7).
+//!
+//! [`optimize`] performs the same transformation: the combinator tree is
+//! flattened into a topologically ordered op list evaluated by a single
+//! non-recursive loop (fusion), and structurally identical subtrees are
+//! assigned a single op whose outputs — and, crucially, whose *state* — are
+//! shared (CSE). The bisimulation proof becomes the executable check in
+//! [`crate::bisim`], run for every shipped specification.
+
+use crate::ast::{ClassExpr, HandlerFn, Spec, UpdateFn};
+use crate::process::{Ctx, HasherAdapter, Process};
+use crate::value::{as_send_value, Header, Msg, SendInstr, Value};
+use shadowdb_loe::Loc;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Index of an op within a fused program.
+type OpId = usize;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Base(Header),
+    Constant(Value),
+    State { input: OpId, slot: usize, update: UpdateFn },
+    Compose { handler: HandlerFn, args: Vec<OpId> },
+    Parallel(Vec<OpId>),
+    Once { inner: OpId, flag: usize },
+}
+
+/// The immutable part of a fused program, shared by all its process
+/// instances.
+#[derive(Debug)]
+struct Program {
+    ops: Vec<Op>,
+    main: OpId,
+    init_slots: Vec<Value>,
+    n_flags: usize,
+}
+
+struct Builder {
+    ops: Vec<Op>,
+    init_slots: Vec<Value>,
+    n_flags: usize,
+    memo: HashMap<String, OpId>,
+}
+
+impl Builder {
+    fn lower(&mut self, expr: &ClassExpr) -> OpId {
+        let key = expr.structural_key();
+        if let Some(&id) = self.memo.get(&key) {
+            return id; // common subexpression: share op, outputs, and state
+        }
+        let op = match expr {
+            ClassExpr::Base(h) => Op::Base(h.clone()),
+            ClassExpr::Constant(v) => Op::Constant(v.clone()),
+            ClassExpr::State { init, update, input } => {
+                let input = self.lower(input);
+                let slot = self.init_slots.len();
+                self.init_slots.push(init.clone());
+                Op::State { input, slot, update: update.clone() }
+            }
+            ClassExpr::Compose { handler, args } => {
+                let args = args.iter().map(|a| self.lower(a)).collect();
+                Op::Compose { handler: handler.clone(), args }
+            }
+            ClassExpr::Parallel(args) => {
+                Op::Parallel(args.iter().map(|a| self.lower(a)).collect())
+            }
+            ClassExpr::Once(inner) => {
+                let inner = self.lower(inner);
+                let flag = self.n_flags;
+                self.n_flags += 1;
+                Op::Once { inner, flag }
+            }
+        };
+        let id = self.ops.len();
+        self.ops.push(op);
+        self.memo.insert(key, id);
+        id
+    }
+}
+
+/// A fused, deduplicated process: the output of the optimizer.
+///
+/// Bisimilar to the [`InterpretedProcess`](crate::InterpretedProcess)
+/// compiled from the same expression (checked by [`crate::bisim`]), but
+/// evaluated by one flat pass with shared subresults.
+pub struct FusedProcess {
+    program: Arc<Program>,
+    slots: Vec<Value>,
+    flags: Vec<bool>,
+    /// Reused per-step output buffers, one per op (fusion's second win:
+    /// no per-step allocation of the combinator plumbing).
+    scratch: Vec<Vec<Value>>,
+}
+
+impl Clone for FusedProcess {
+    fn clone(&self) -> FusedProcess {
+        FusedProcess {
+            program: self.program.clone(),
+            slots: self.slots.clone(),
+            flags: self.flags.clone(),
+            scratch: vec![Vec::new(); self.program.ops.len()],
+        }
+    }
+}
+
+impl std::fmt::Debug for FusedProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FusedProcess")
+            .field("ops", &self.program.ops.len())
+            .field("slots", &self.slots)
+            .field("flags", &self.flags)
+            .finish()
+    }
+}
+
+/// Optimizes a class expression into a fused process.
+pub fn optimize(expr: &ClassExpr) -> FusedProcess {
+    let mut b = Builder {
+        ops: Vec::new(),
+        init_slots: Vec::new(),
+        n_flags: 0,
+        memo: HashMap::new(),
+    };
+    let main = b.lower(expr);
+    let program = Program { ops: b.ops, main, init_slots: b.init_slots, n_flags: b.n_flags };
+    FusedProcess {
+        slots: program.init_slots.clone(),
+        flags: vec![false; program.n_flags],
+        scratch: vec![Vec::new(); program.ops.len()],
+        program: Arc::new(program),
+    }
+}
+
+/// Optimizes a specification's main class.
+pub fn optimize_spec(spec: &Spec) -> FusedProcess {
+    optimize(spec.main())
+}
+
+impl FusedProcess {
+    /// Evaluates one message and returns the entire output bag (the
+    /// fused analogue of
+    /// [`InterpretedProcess::step_values`](crate::InterpretedProcess::step_values)).
+    pub fn step_values(&mut self, slf: Loc, msg: &Msg) -> Vec<Value> {
+        let program = self.program.clone();
+        let ops = &program.ops;
+        // One pass in topological order; children precede parents by
+        // construction, so each op's inputs are ready when it runs. The
+        // scratch buffers keep their capacity across steps.
+        let mut outs = std::mem::take(&mut self.scratch);
+        for o in &mut outs {
+            o.clear();
+        }
+        for (i, op) in ops.iter().enumerate() {
+            let produced: Vec<Value> = match op {
+                Op::Base(h) => {
+                    if msg.header == *h {
+                        vec![msg.body.clone()]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Op::Constant(v) => vec![v.clone()],
+                Op::State { input, slot, update } => {
+                    let inputs = &outs[*input];
+                    if inputs.is_empty() {
+                        Vec::new()
+                    } else {
+                        let st = &mut self.slots[*slot];
+                        for v in inputs {
+                            *st = update.apply(slf, v, st);
+                        }
+                        vec![st.clone()]
+                    }
+                }
+                Op::Compose { handler, args } => {
+                    if args.iter().any(|a| outs[*a].is_empty()) {
+                        Vec::new()
+                    } else {
+                        let mut produced = Vec::new();
+                        let arg_outs: Vec<&[Value]> =
+                            args.iter().map(|a| outs[*a].as_slice()).collect();
+                        cross(&arg_outs, &mut Vec::new(), &mut |combo| {
+                            produced.extend(handler.apply(slf, combo));
+                        });
+                        produced
+                    }
+                }
+                Op::Parallel(args) => {
+                    args.iter().flat_map(|a| outs[*a].iter().cloned()).collect()
+                }
+                Op::Once { inner, flag } => {
+                    if self.flags[*flag] || outs[*inner].is_empty() {
+                        Vec::new()
+                    } else {
+                        self.flags[*flag] = true;
+                        vec![outs[*inner][0].clone()]
+                    }
+                }
+            };
+            outs[i] = produced;
+        }
+        let result = std::mem::take(&mut outs[program.main]);
+        self.scratch = outs;
+        result
+    }
+
+    /// Program size of the fused program (Table I, "opt. GPM prog."
+    /// column): each op costs a small flat-dispatch overhead plus its leaf
+    /// function's declared size, and state slots cost one node each.
+    /// Smaller than the interpreted program whenever the specification
+    /// shares subexpressions (CSE) — and always free of the per-node
+    /// recursion machinery fusion eliminates.
+    pub fn program_nodes(&self) -> usize {
+        const OP_OVERHEAD: usize = 3;
+        let ops: usize = self
+            .program
+            .ops
+            .iter()
+            .map(|op| {
+                OP_OVERHEAD
+                    + match op {
+                        Op::Base(_) | Op::Constant(_) => 1,
+                        Op::State { update, .. } => update.nodes(),
+                        Op::Compose { handler, .. } => handler.nodes(),
+                        Op::Parallel(_) => 1,
+                        Op::Once { .. } => 1,
+                    }
+            })
+            .sum();
+        ops + self.program.init_slots.len() + self.program.n_flags
+    }
+}
+
+fn cross(lists: &[&[Value]], prefix: &mut Vec<Value>, emit: &mut impl FnMut(&[Value])) {
+    if prefix.len() == lists.len() {
+        emit(prefix);
+        return;
+    }
+    for v in lists[prefix.len()] {
+        prefix.push(v.clone());
+        cross(lists, prefix, emit);
+        prefix.pop();
+    }
+}
+
+impl Process for FusedProcess {
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        self.step_values(ctx.slf, msg).iter().filter_map(as_send_value).collect()
+    }
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(self.clone())
+    }
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        let mut h = HasherAdapter(hasher);
+        self.slots.hash(&mut h);
+        self.flags.hash(&mut h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{HandlerFn, UpdateFn};
+    use crate::compile::InterpretedProcess;
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+
+    fn counter_expr() -> ClassExpr {
+        let inc = UpdateFn::new("inc", 1, |_l, _v, s| Value::Int(s.int() + 1));
+        ClassExpr::base("m").state(Value::Int(0), inc)
+    }
+
+    #[test]
+    fn fused_matches_interpreted_on_counter() {
+        let expr = counter_expr();
+        let mut a = InterpretedProcess::compile(&expr);
+        let mut b = optimize(&expr);
+        for i in 0..5 {
+            let m = Msg::new(if i % 2 == 0 { "m" } else { "x" }, Value::Int(i));
+            assert_eq!(a.step_values(l(0), &m), b.step_values(l(0), &m));
+        }
+    }
+
+    #[test]
+    fn cse_shares_duplicate_state_machines() {
+        // The same counter used twice: unoptimized keeps two copies of the
+        // state; optimized keeps one op (and one slot).
+        let h = HandlerFn::new("both", 1, |_l, args| {
+            vec![Value::pair(args[0].clone(), args[1].clone())]
+        });
+        let expr = ClassExpr::compose(h, vec![counter_expr(), counter_expr()]);
+        let interp = InterpretedProcess::compile(&expr);
+        let fused = optimize(&expr);
+        // compose(5+1) + 2×(state(5+1) + base(5+1)) = 30
+        assert_eq!(interp.program_nodes(), 30);
+        // compose(3+1) + state(3+1) + base(3+1) + 1 slot = 13
+        assert_eq!(fused.program_nodes(), 13);
+        // And behaviour agrees.
+        let mut a = interp.clone();
+        let mut b = fused.clone();
+        for i in 0..4 {
+            let m = Msg::new("m", Value::Int(i));
+            assert_eq!(a.step_values(l(0), &m), b.step_values(l(0), &m));
+        }
+    }
+
+    #[test]
+    fn once_flag_preserved_across_clone() {
+        let expr = ClassExpr::base("m").once();
+        let mut p = optimize(&expr);
+        p.step_values(l(0), &Msg::new("m", Value::Unit));
+        let mut q = p.clone();
+        assert!(q.step_values(l(0), &Msg::new("m", Value::Unit)).is_empty());
+    }
+
+    #[test]
+    fn digest_reflects_slots() {
+        let expr = counter_expr();
+        let mut p = optimize(&expr);
+        let q = optimize(&expr);
+        assert_eq!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+        p.step_values(l(0), &Msg::new("m", Value::Unit));
+        assert_ne!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+    }
+}

@@ -1,0 +1,159 @@
+//! Specification patterns: reusable combinator idioms.
+//!
+//! The paper stresses that LoE "captures some design patterns that
+//! distributed system developers often use". The two idioms here cover most
+//! protocol specifications in this repository:
+//!
+//! * [`tagged_union`] — listen to several message kinds at once, tagging
+//!   each output with its header (the typical input side of a protocol);
+//! * [`mealy`] — a state machine that also *emits* messages on each
+//!   transition, built from `State` and composition exactly as the paper's
+//!   `Handler = on_msg o (msg'base, Clock)` builds CLK.
+//!
+//! A Mealy spec keeps `<core-state, pending-outputs>` in its `State` class;
+//! the composed handler then releases the pending outputs. This mirrors how
+//! EventML specifications thread outputs through `msg'send` instructions.
+
+use crate::ast::{ClassExpr, HandlerFn, UpdateFn};
+use crate::value::{send_value, SendInstr, Value};
+use shadowdb_loe::Loc;
+use std::sync::Arc;
+
+/// A transition function for [`mealy`]: given `(slf, tagged-input, state)`,
+/// returns the new state and the messages to send.
+pub type Transition =
+    Arc<dyn Fn(Loc, &Value, &Value) -> (Value, Vec<SendInstr>) + Send + Sync>;
+
+/// Builds the parallel composition of base classes for `headers`, each
+/// output tagged `<header, body>` so one state machine can dispatch on kind.
+pub fn tagged_union(headers: &[&'static str]) -> ClassExpr {
+    let args: Vec<ClassExpr> = headers
+        .iter()
+        .map(|h| {
+            let name: &'static str = h;
+            let tag = HandlerFn::new(name, 2, move |_slf, args| {
+                vec![Value::pair(Value::str(name), args[0].clone())]
+            });
+            ClassExpr::compose(tag, vec![ClassExpr::base(*h)])
+        })
+        .collect();
+    if args.len() == 1 {
+        args.into_iter().next().expect("one element")
+    } else {
+        ClassExpr::parallel(args)
+    }
+}
+
+/// Builds a Mealy-style specification: a named transition function over a
+/// tagged input class, with initial state `init`.
+///
+/// `trans_nodes` is the declared AST weight of the transition function (see
+/// [`UpdateFn::new`]).
+///
+/// # Example
+///
+/// ```
+/// use shadowdb_eventml::patterns::{mealy, tagged_union};
+/// use shadowdb_eventml::{Ctx, InterpretedProcess, Msg, Process, SendInstr, Value};
+/// use shadowdb_loe::Loc;
+/// use std::sync::Arc;
+///
+/// // Echo every "ping" to a fixed peer, counting pings in the state.
+/// let expr = mealy(
+///     "echoer",
+///     8,
+///     Value::Int(0),
+///     tagged_union(&["ping"]),
+///     Arc::new(|_slf, _input, state: &Value| {
+///         let n = state.int() + 1;
+///         let out = SendInstr::now(Loc::new(7), Msg::new("pong", Value::Int(n)));
+///         (Value::Int(n), vec![out])
+///     }),
+/// );
+/// let mut p = InterpretedProcess::compile(&expr);
+/// let out = p.step(&Ctx::at(Loc::new(0)), &Msg::new("ping", Value::Unit));
+/// assert_eq!(out[0].msg.body, Value::Int(1));
+/// ```
+pub fn mealy(
+    name: &'static str,
+    trans_nodes: usize,
+    init: Value,
+    input: ClassExpr,
+    transition: Transition,
+) -> ClassExpr {
+    let update = UpdateFn::new(name, trans_nodes, move |slf, tagged, state| {
+        let core = state.fst().expect("mealy state is <core, outputs>");
+        let (new_core, sends) = transition(slf, tagged, core);
+        let outputs: Value = sends.iter().map(|s| send_value(s)).collect();
+        Value::pair(new_core, outputs)
+    });
+    let state_class =
+        input.state(Value::pair(init, Value::list(std::iter::empty())), update);
+    let emit = HandlerFn::new("emit_pending", 3, |_slf, args| {
+        args[0].snd().map(|outs| outs.elems().to_vec()).unwrap_or_default()
+    });
+    ClassExpr::compose(emit, vec![state_class])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::InterpretedProcess;
+    use crate::process::{Ctx, Process};
+    use crate::value::Msg;
+
+    #[test]
+    fn tagged_union_tags_by_header() {
+        let expr = tagged_union(&["a", "b"]);
+        let mut p = InterpretedProcess::compile(&expr);
+        let out = p.step_values(Loc::new(0), &Msg::new("b", Value::Int(5)));
+        assert_eq!(out, vec![Value::pair(Value::str("b"), Value::Int(5))]);
+        assert!(p.step_values(Loc::new(0), &Msg::new("c", Value::Unit)).is_empty());
+    }
+
+    #[test]
+    fn mealy_threads_state_and_emits() {
+        let expr = mealy(
+            "adder",
+            4,
+            Value::Int(0),
+            tagged_union(&["add", "query"]),
+            Arc::new(|slf, input, state| {
+                let (tag, body) = input.unpair();
+                match tag.as_str().unwrap() {
+                    "add" => (Value::Int(state.int() + body.int()), vec![]),
+                    _ => (
+                        state.clone(),
+                        vec![SendInstr::now(slf, Msg::new("total", state.clone()))],
+                    ),
+                }
+            }),
+        );
+        let mut p = InterpretedProcess::compile(&expr);
+        let ctx = Ctx::at(Loc::new(3));
+        assert!(p.step(&ctx, &Msg::new("add", Value::Int(4))).is_empty());
+        assert!(p.step(&ctx, &Msg::new("add", Value::Int(6))).is_empty());
+        let out = p.step(&ctx, &Msg::new("query", Value::Unit));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].msg.body, Value::Int(10));
+        assert_eq!(out[0].dest, Loc::new(3));
+    }
+
+    #[test]
+    fn mealy_optimizes_and_stays_bisimilar() {
+        let expr = mealy(
+            "ctr",
+            2,
+            Value::Int(0),
+            tagged_union(&["t"]),
+            Arc::new(|slf, _i, s| {
+                let n = Value::Int(s.int() + 1);
+                (n.clone(), vec![SendInstr::now(slf, Msg::new("n", n))])
+            }),
+        );
+        let mut a = InterpretedProcess::compile(&expr);
+        let mut b = crate::optimize::optimize(&expr);
+        let msgs: Vec<Msg> = (0..6).map(|i| Msg::new("t", Value::Int(i))).collect();
+        crate::bisim::check_bisimilar(&mut a, &mut b, Loc::new(0), &msgs).unwrap();
+    }
+}

@@ -1,0 +1,205 @@
+//! The General Process Model (GPM): executable processes.
+//!
+//! In GPM a process is a tail-recursive function that takes an input message,
+//! produces outputs, and computes a new process to replace itself. In Rust
+//! the idiomatic rendering is a trait with a mutating [`Process::step`]; the
+//! "new process" is the mutated receiver, and a halted process answers
+//! [`Process::halted`].
+//!
+//! Processes must be cloneable (model checking forks executions) and
+//! digestible (model checking fingerprints states), so the trait carries
+//! [`Process::clone_box`] and [`Process::digest`].
+
+use crate::value::{Msg, SendInstr};
+use shadowdb_loe::{Loc, VTime};
+use std::hash::{Hash, Hasher};
+
+/// The execution context a process steps in: who it is and what time it is.
+///
+/// EventML leaf functions never see the clock (time reaches specifications
+/// only through timer messages, i.e. delayed self-sends), but native
+/// processes — clients measuring latency, failure detectors — need it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Ctx {
+    /// The location this process runs at (`slf`).
+    pub slf: Loc,
+    /// The current (virtual) time.
+    pub now: VTime,
+}
+
+impl Ctx {
+    /// A context at time zero (sufficient for time-oblivious processes).
+    pub fn at(slf: Loc) -> Ctx {
+        Ctx { slf, now: VTime::ZERO }
+    }
+
+    /// A context at a given time.
+    pub fn new(slf: Loc, now: VTime) -> Ctx {
+        Ctx { slf, now }
+    }
+}
+
+/// An executable process in the General Process Model.
+pub trait Process: Send {
+    /// Handles one input message, returning the send instructions it emits.
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr>;
+
+    /// Whether this process has halted (a halted process ignores inputs).
+    fn halted(&self) -> bool {
+        false
+    }
+
+    /// CPU time the *last* [`Process::step`] consumed beyond message
+    /// handling (e.g. executing a database transaction). A simulator reads
+    /// and resets this after each step and charges it to the hosting
+    /// machine. Defaults to zero.
+    fn take_step_cost(&mut self) -> std::time::Duration {
+        std::time::Duration::ZERO
+    }
+
+    /// Clones the process behind a box (processes are forked by the model
+    /// checker and by reconfiguration logic).
+    fn clone_box(&self) -> Box<dyn Process>;
+
+    /// Feeds the process's state into `hasher`, for state-space
+    /// fingerprinting. Two processes with equal behaviour from here on
+    /// should feed equal data; differing states should (with high
+    /// probability) feed differing data.
+    fn digest(&self, hasher: &mut dyn Hasher);
+}
+
+impl Clone for Box<dyn Process> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Computes a 64-bit fingerprint of a process's state.
+pub fn fingerprint(p: &dyn Process) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    p.digest(&mut h);
+    h.finish()
+}
+
+/// The halted process: consumes every input and produces nothing.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Halt;
+
+impl Process for Halt {
+    fn step(&mut self, _ctx: &Ctx, _msg: &Msg) -> Vec<SendInstr> {
+        Vec::new()
+    }
+    fn halted(&self) -> bool {
+        true
+    }
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(Halt)
+    }
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        "halt".hash(&mut HasherAdapter(hasher));
+    }
+}
+
+/// A process defined by a state value and a transition function; convenient
+/// for tests and simple native protocols.
+///
+/// # Example
+///
+/// ```
+/// use shadowdb_eventml::{Ctx, FnProcess, Msg, Process, SendInstr, Value};
+/// use shadowdb_loe::Loc;
+///
+/// let mut counter = FnProcess::new(0u64, |count, ctx: &Ctx, msg: &Msg| {
+///     *count += 1;
+///     vec![SendInstr::now(ctx.slf, Msg::new("count", Value::Int(*count as i64)))]
+/// });
+/// let out = counter.step(&Ctx::at(Loc::new(0)), &Msg::new("tick", Value::Unit));
+/// assert_eq!(out[0].msg.body, Value::Int(1));
+/// ```
+pub struct FnProcess<S, F> {
+    state: S,
+    f: F,
+}
+
+impl<S, F> FnProcess<S, F>
+where
+    S: Clone + Hash + Send + 'static,
+    F: FnMut(&mut S, &Ctx, &Msg) -> Vec<SendInstr> + Clone + Send + 'static,
+{
+    /// Creates a process with the given initial state and transition.
+    pub fn new(state: S, f: F) -> Self {
+        FnProcess { state, f }
+    }
+
+    /// Read access to the process state (for assertions in tests).
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+}
+
+impl<S, F> Process for FnProcess<S, F>
+where
+    S: Clone + Hash + Send + 'static,
+    F: FnMut(&mut S, &Ctx, &Msg) -> Vec<SendInstr> + Clone + Send + 'static,
+{
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        (self.f)(&mut self.state, ctx, msg)
+    }
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(FnProcess { state: self.state.clone(), f: self.f.clone() })
+    }
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        self.state.hash(&mut HasherAdapter(hasher));
+    }
+}
+
+/// Adapts `&mut dyn Hasher` to the `Hasher` trait so `Hash::hash` can be
+/// called through it.
+pub struct HasherAdapter<'a>(pub &'a mut dyn Hasher);
+
+impl Hasher for HasherAdapter<'_> {
+    fn finish(&self) -> u64 {
+        self.0.finish()
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn halt_ignores_input() {
+        let mut h = Halt;
+        assert!(h.halted());
+        assert!(h.step(&Ctx::at(Loc::new(0)), &Msg::new("x", Value::Unit)).is_empty());
+    }
+
+    #[test]
+    fn fn_process_steps_and_clones() {
+        let mut p = FnProcess::new(0i64, |s: &mut i64, ctx: &Ctx, _m: &Msg| {
+            *s += 1;
+            vec![SendInstr::now(ctx.slf, Msg::new("n", Value::Int(*s)))]
+        });
+        let ctx = Ctx::at(Loc::new(1));
+        p.step(&ctx, &Msg::new("t", Value::Unit));
+        let mut q = p.clone_box();
+        p.step(&ctx, &Msg::new("t", Value::Unit));
+        // The clone took a snapshot: it continues from 1, not 2.
+        let out = q.step(&ctx, &Msg::new("t", Value::Unit));
+        assert_eq!(out[0].msg.body, Value::Int(2));
+        assert_eq!(p.state(), &2);
+    }
+
+    #[test]
+    fn fingerprints_separate_states() {
+        let p = FnProcess::new(1i64, |_s: &mut i64, _c: &Ctx, _m: &Msg| Vec::new());
+        let q = FnProcess::new(2i64, |_s: &mut i64, _c: &Ctx, _m: &Msg| Vec::new());
+        let r = FnProcess::new(1i64, |_s: &mut i64, _c: &Ctx, _m: &Msg| Vec::new());
+        assert_ne!(fingerprint(&p), fingerprint(&q));
+        assert_eq!(fingerprint(&p), fingerprint(&r));
+    }
+}

@@ -1,0 +1,406 @@
+//! The dynamic value universe of EventML programs.
+//!
+//! Nuprl's programming language is an applied, lazy, untyped λ-calculus; the
+//! data flowing through generated GPM programs is untyped. [`Value`] plays
+//! that role here: every message body, every state-machine state, and every
+//! combinator output is a `Value`. Typed protocol layers (consensus, the
+//! broadcast service, ShadowDB) encode to and decode from this universe at
+//! their boundary.
+//!
+//! Values are cheap to clone: compound values share their payload through
+//! [`std::sync::Arc`].
+
+use shadowdb_loe::Loc;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A dynamically typed value.
+///
+/// Values are totally ordered (derived lexicographic order on the variant
+/// and contents); protocols rely on this to pick canonical representatives
+/// ("smallest most frequent value") and to compare ballots.
+///
+/// # Example
+///
+/// ```
+/// use shadowdb_eventml::Value;
+/// let v = Value::pair(Value::from(3), Value::from("ts"));
+/// assert_eq!(v.fst().unwrap().as_int(), Some(3));
+/// assert_eq!(v.snd().unwrap().as_str(), Some("ts"));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The unit value.
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A location (process identity).
+    Loc(Loc),
+    /// An immutable string.
+    Str(Arc<str>),
+    /// Raw bytes (opaque application payloads).
+    Bytes(bytes::Bytes),
+    /// An ordered pair.
+    Pair(Arc<(Value, Value)>),
+    /// A list.
+    List(Arc<Vec<Value>>),
+}
+
+impl Value {
+    /// Builds a pair.
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Pair(Arc::new((a, b)))
+    }
+
+    /// Builds a list.
+    pub fn list<I: IntoIterator<Item = Value>>(items: I) -> Value {
+        Value::List(Arc::new(items.into_iter().collect()))
+    }
+
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// The integer content, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean content, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The location content, if this is a `Loc`.
+    pub fn as_loc(&self) -> Option<Loc> {
+        match self {
+            Value::Loc(l) => Some(*l),
+            _ => None,
+        }
+    }
+
+    /// The string content, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The byte content, if this is `Bytes`.
+    pub fn as_bytes(&self) -> Option<&bytes::Bytes> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The first component, if this is a `Pair`.
+    pub fn fst(&self) -> Option<&Value> {
+        match self {
+            Value::Pair(p) => Some(&p.0),
+            _ => None,
+        }
+    }
+
+    /// The second component, if this is a `Pair`.
+    pub fn snd(&self) -> Option<&Value> {
+        match self {
+            Value::Pair(p) => Some(&p.1),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a `List`.
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::as_int`] but panicking: for protocol code whose message
+    /// shapes are established by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an `Int`.
+    pub fn int(&self) -> i64 {
+        self.as_int().unwrap_or_else(|| panic!("expected Int, got {self:?}"))
+    }
+
+    /// Like [`Value::as_loc`] but panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Loc`.
+    pub fn loc(&self) -> Loc {
+        self.as_loc().unwrap_or_else(|| panic!("expected Loc, got {self:?}"))
+    }
+
+    /// Destructures a pair, panicking otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `Pair`.
+    pub fn unpair(&self) -> (&Value, &Value) {
+        match self {
+            Value::Pair(p) => (&p.0, &p.1),
+            _ => panic!("expected Pair, got {self:?}"),
+        }
+    }
+
+    /// Destructures a list, panicking otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a `List`.
+    pub fn elems(&self) -> &[Value] {
+        self.as_list().unwrap_or_else(|| panic!("expected List, got {self:?}"))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Loc(l) => write!(f, "{l}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::Pair(p) => write!(f, "<{:?}, {:?}>", p.0, p.1),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::Unit
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+impl From<Loc> for Value {
+    fn from(l: Loc) -> Value {
+        Value::Loc(l)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::str(s)
+    }
+}
+
+impl From<bytes::Bytes> for Value {
+    fn from(b: bytes::Bytes) -> Value {
+        Value::Bytes(b)
+    }
+}
+
+impl FromIterator<Value> for Value {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Value {
+        Value::list(iter)
+    }
+}
+
+/// A message header: the tag that base classes pattern-match on.
+///
+/// Headers intern their name behind an `Arc`, so cloning is cheap.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Header(Arc<str>);
+
+impl Header {
+    /// Creates a header with the given name.
+    pub fn new(name: &str) -> Header {
+        Header(Arc::from(name))
+    }
+
+    /// The header's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Header {
+    fn from(name: &str) -> Header {
+        Header::new(name)
+    }
+}
+
+impl fmt::Display for Header {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "``{}``", self.0)
+    }
+}
+
+impl fmt::Debug for Header {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// A message: a header plus an untyped body.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Msg {
+    /// The header recognized by base classes.
+    pub header: Header,
+    /// The payload.
+    pub body: Value,
+}
+
+impl Msg {
+    /// Creates a message (the `make-Msg` of the paper's ILF).
+    pub fn new(header: impl Into<Header>, body: Value) -> Msg {
+        Msg { header: header.into(), body }
+    }
+}
+
+/// A send instruction: the output of a GPM program.
+///
+/// `msg'send recipient content` in EventML builds one of these; the optional
+/// delay `d` (Fig. 4's "period of time the process must wait before sending")
+/// is what timers are built from.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct SendInstr {
+    /// The destination process.
+    pub dest: Loc,
+    /// How long to wait before the message leaves the sender.
+    pub delay: Duration,
+    /// The message to send.
+    pub msg: Msg,
+}
+
+impl SendInstr {
+    /// An immediate send.
+    pub fn now(dest: Loc, msg: Msg) -> SendInstr {
+        SendInstr { dest, delay: Duration::ZERO, msg }
+    }
+
+    /// A delayed send (the basis of timers: a delayed send to oneself).
+    pub fn after(delay: Duration, dest: Loc, msg: Msg) -> SendInstr {
+        SendInstr { dest, delay, msg }
+    }
+}
+
+/// Encodes a send instruction as a [`Value`] so combinator programs can emit
+/// it: `<"#send", <<dest, delay_us>, <header, body>>>`.
+pub fn send_value(instr: &SendInstr) -> Value {
+    Value::pair(
+        Value::str("#send"),
+        Value::pair(
+            Value::pair(Value::Loc(instr.dest), Value::Int(instr.delay.as_micros() as i64)),
+            Value::pair(Value::str(instr.msg.header.name()), instr.msg.body.clone()),
+        ),
+    )
+}
+
+/// Decodes a send instruction from a [`Value`], if it is one.
+pub fn as_send_value(v: &Value) -> Option<SendInstr> {
+    let (tag, rest) = v.fst().zip(v.snd())?;
+    if tag.as_str()? != "#send" {
+        return None;
+    }
+    let (addr, msg) = rest.fst().zip(rest.snd())?;
+    let dest = addr.fst()?.as_loc()?;
+    let delay = Duration::from_micros(addr.snd()?.as_int()?.max(0) as u64);
+    let header = Header::new(msg.fst()?.as_str()?);
+    let body = msg.snd()?.clone();
+    Some(SendInstr { dest, delay, msg: Msg { header, body } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let v = Value::pair(Value::from(1), Value::list([Value::from(true), Value::Unit]));
+        assert_eq!(v.fst().unwrap().int(), 1);
+        assert_eq!(v.snd().unwrap().elems().len(), 2);
+        assert_eq!(v.snd().unwrap().elems()[0].as_bool(), Some(true));
+        assert!(v.as_int().is_none());
+    }
+
+    #[test]
+    fn values_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::pair(Value::from(1), Value::from("a")));
+        assert!(set.contains(&Value::pair(Value::from(1), Value::from("a"))));
+        assert!(!set.contains(&Value::pair(Value::from(2), Value::from("a"))));
+    }
+
+    #[test]
+    fn debug_formatting() {
+        let v = Value::list([Value::from(1), Value::pair(Value::Unit, Value::from("x"))]);
+        assert_eq!(format!("{v:?}"), "[1; <(), \"x\">]");
+    }
+
+    #[test]
+    fn send_value_roundtrip() {
+        let instr = SendInstr::after(
+            Duration::from_micros(250),
+            Loc::new(3),
+            Msg::new("vote", Value::from(42)),
+        );
+        let v = send_value(&instr);
+        assert_eq!(as_send_value(&v), Some(instr));
+    }
+
+    #[test]
+    fn non_send_values_rejected() {
+        assert_eq!(as_send_value(&Value::from(3)), None);
+        assert_eq!(as_send_value(&Value::pair(Value::str("other"), Value::Unit)), None);
+    }
+
+    #[test]
+    fn header_equality_by_name() {
+        assert_eq!(Header::new("msg"), Header::from("msg"));
+        assert_ne!(Header::new("msg"), Header::new("msG"));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let v: Value = (0..3).map(Value::from).collect();
+        assert_eq!(v.elems().len(), 3);
+    }
+}

@@ -1,0 +1,182 @@
+//! Property-based verification of the EventML toolchain.
+//!
+//! These are the repository's analogues of the paper's machine-checked
+//! obligations: for *arbitrary* specifications and message streams,
+//! the interpreted program, the optimized program, and the denotational
+//! (LoE) semantics must agree.
+
+use proptest::prelude::*;
+use shadowdb_eventml::bisim::{check_bisimilar, check_complies_with_loe};
+use shadowdb_eventml::codec::{decode_msg, decode_value, encode_msg, encode_value, encoded_len};
+use shadowdb_eventml::optimize::optimize;
+use shadowdb_eventml::{clk, ClassExpr, HandlerFn, InterpretedProcess, Msg, UpdateFn, Value};
+use shadowdb_loe::Loc;
+
+/// A pool of deterministic leaf functions the generator can pick from.
+/// Names identify behaviour, as the optimizer requires.
+fn update_fn(idx: usize) -> UpdateFn {
+    match idx % 4 {
+        0 => UpdateFn::new("u_count", 1, |_l, _v, s| Value::Int(s.as_int().unwrap_or(0) + 1)),
+        1 => UpdateFn::new("u_last", 1, |_l, v, _s| v.clone()),
+        2 => UpdateFn::new("u_pair", 1, |_l, v, s| Value::pair(s.clone(), v.clone())),
+        _ => UpdateFn::new("u_max", 1, |_l, v, s| {
+            Value::Int(v.as_int().unwrap_or(0).max(s.as_int().unwrap_or(0)))
+        }),
+    }
+}
+
+fn handler_fn(idx: usize) -> HandlerFn {
+    match idx % 4 {
+        0 => HandlerFn::new("h_first", 1, |_l, args| vec![args[0].clone()]),
+        1 => HandlerFn::new("h_tuple", 1, |_l, args| vec![Value::list(args.to_vec())]),
+        2 => HandlerFn::new("h_dup", 1, |_l, args| vec![args[0].clone(), args[0].clone()]),
+        _ => HandlerFn::new("h_posint", 1, |_l, args| {
+            // A filtering handler: only passes positive integers through.
+            args.first()
+                .and_then(Value::as_int)
+                .filter(|i| *i > 0)
+                .map(Value::Int)
+                .into_iter()
+                .collect()
+        }),
+    }
+}
+
+const HEADERS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Generates an arbitrary class expression of bounded depth.
+fn arb_expr(depth: u32) -> BoxedStrategy<ClassExpr> {
+    let leaf = prop_oneof![
+        (0..HEADERS.len()).prop_map(|i| ClassExpr::base(HEADERS[i])),
+        (-3i64..4).prop_map(|i| ClassExpr::Constant(Value::Int(i))),
+    ];
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), 0..4usize, -2i64..3).prop_map(|(e, u, init)| e
+                .state(Value::Int(init), update_fn(u))),
+            (proptest::collection::vec(inner.clone(), 1..3), 0..4usize)
+                .prop_map(|(args, h)| ClassExpr::compose(handler_fn(h), args)),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(ClassExpr::parallel),
+            inner.prop_map(ClassExpr::once),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_msgs() -> impl Strategy<Value = Vec<Msg>> {
+    proptest::collection::vec(
+        ((0..HEADERS.len()), -5i64..6)
+            .prop_map(|(h, v)| Msg::new(HEADERS[h], Value::Int(v))),
+        1..25,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Optimized programs are bisimilar to their unoptimized originals
+    /// (the paper's Fig. 7 obligation), for arbitrary specs and inputs.
+    #[test]
+    fn optimizer_preserves_behaviour(expr in arb_expr(4), msgs in arb_msgs()) {
+        let mut interp = InterpretedProcess::compile(&expr);
+        let mut fused = optimize(&expr);
+        prop_assert!(check_bisimilar(&mut interp, &mut fused, Loc::new(0), &msgs).is_ok());
+    }
+
+    /// Generated programs comply with the LoE denotational semantics
+    /// (the paper's arrow (c) obligation).
+    #[test]
+    fn gpm_complies_with_loe(expr in arb_expr(3), msgs in arb_msgs()) {
+        prop_assert!(check_complies_with_loe(&expr, Loc::new(1), &msgs).is_ok());
+    }
+
+    /// Optimization never grows the program, and shrinks it whenever the
+    /// spec repeats a subexpression.
+    #[test]
+    fn optimizer_never_grows_program(expr in arb_expr(4)) {
+        let interp = InterpretedProcess::compile(&expr);
+        let fused = optimize(&expr);
+        prop_assert!(fused.program_nodes() <= interp.program_nodes());
+    }
+
+    /// Values survive an encode/decode roundtrip, and `encoded_len` is exact.
+    #[test]
+    fn codec_roundtrip(v in arb_value()) {
+        let mut buf = bytes::BytesMut::new();
+        encode_value(&v, &mut buf);
+        prop_assert_eq!(buf.len(), encoded_len(&v));
+        let mut bytes = buf.freeze();
+        prop_assert_eq!(decode_value(&mut bytes).unwrap(), v);
+        prop_assert!(bytes.is_empty());
+    }
+
+    /// Messages survive an encode/decode roundtrip.
+    #[test]
+    fn msg_codec_roundtrip(v in arb_value(), h in "[a-z]{1,12}") {
+        let m = Msg::new(h.as_str(), v);
+        prop_assert_eq!(decode_msg(encode_msg(&m)).unwrap(), m);
+    }
+}
+
+fn arb_value() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (0u32..100).prop_map(|i| Value::Loc(Loc::new(i))),
+        "[ -~]{0,20}".prop_map(|s| Value::str(&s)),
+        proptest::collection::vec(any::<u8>(), 0..40)
+            .prop_map(|b| Value::Bytes(bytes::Bytes::from(b))),
+    ];
+    leaf.prop_recursive(3, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Value::pair(a, b)),
+            proptest::collection::vec(inner, 0..5).prop_map(Value::list),
+        ]
+    })
+    .boxed()
+}
+
+/// CLK end-to-end: running the compiled spec over a random multi-process
+/// schedule yields clocks satisfying Lamport's Clock Condition.
+#[test]
+fn clk_satisfies_clock_condition_on_random_runs() {
+    use shadowdb_eventml::{Ctx, Process};
+    use shadowdb_loe::{props::check_clock_condition, EventOrder, VTime};
+
+    let n = 4u32;
+    let spec = clk::clk_spec(clk::ring_handle(n));
+    // One process per location; drive a ring exchange plus random injections.
+    let mut procs: Vec<InterpretedProcess> =
+        (0..n).map(|_| InterpretedProcess::compile_spec(&spec)).collect();
+    let mut eo: EventOrder<Msg> = EventOrder::new();
+    let mut now = 0u64;
+    // queue of (dest, msg, cause)
+    let mut queue = vec![
+        (Loc::new(0), clk::clk_msg(Value::Int(0), 0), None),
+        (Loc::new(2), clk::clk_msg(Value::Int(9), 0), None),
+    ];
+    let mut hops = 0;
+    while let Some((dest, msg, cause)) = queue.pop() {
+        if hops > 40 {
+            break;
+        }
+        hops += 1;
+        now += 1;
+        let sender = cause.map(|c: shadowdb_loe::EventId| eo.event(c).loc());
+        let e = eo.record(dest, VTime::from_micros(now), msg.clone(), cause, sender);
+        let outs = procs[dest.index() as usize].step(&Ctx::new(dest, VTime::from_micros(now)), &msg);
+        for o in outs {
+            queue.push((o.dest, o.msg, Some(e)));
+        }
+    }
+    assert!(eo.len() > 10, "the ring should keep forwarding");
+    let clock = clk::clock_class();
+    let mut checker = InterpretedProcess::compile(&clock);
+    let _ = &mut checker;
+    // Clock value at each event, via the denotational reading.
+    let violation = check_clock_condition(&eo, |eo, e| {
+        shadowdb_eventml::denote::denote(&clock, eo, e).into_iter().next().map(|v| v.int())
+    });
+    assert_eq!(violation, None);
+}

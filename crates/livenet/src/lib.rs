@@ -1,0 +1,322 @@
+//! A real-time, thread-per-node runtime for GPM processes.
+//!
+//! The same [`Process`] objects that run under the deterministic simulator
+//! run here on operating-system threads with real clocks — the repository's
+//! counterpart of the paper running its generated programs in actual
+//! interpreters over TCP. Nodes exchange messages through crossbeam
+//! channels; a router thread implements delayed sends (timers) and an
+//! optional artificial link latency.
+//!
+//! Intended for demos and end-to-end examples; experiments use
+//! `shadowdb-simnet`, which is deterministic and measures virtual time.
+//!
+//! # Example
+//!
+//! ```
+//! use shadowdb_eventml::{Ctx, FnProcess, Msg, SendInstr, Value};
+//! use shadowdb_livenet::LiveNet;
+//!
+//! let mut net = LiveNet::builder()
+//!     .node(Box::new(FnProcess::new((), |_s, _c: &Ctx, m: &Msg| {
+//!         match m.body.as_loc() {
+//!             Some(from) => vec![SendInstr::now(from, Msg::new("pong", Value::Unit))],
+//!             None => vec![],
+//!         }
+//!     })))
+//!     .spawn();
+//! let (port, rx) = net.port();
+//! net.send(shadowdb_loe::Loc::new(0), Msg::new("ping", Value::Loc(port)));
+//! let reply = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+//! assert_eq!(reply.header.name(), "pong");
+//! net.shutdown();
+//! ```
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use shadowdb_eventml::{Ctx, Msg, Process, SendInstr};
+use shadowdb_loe::{Loc, VTime};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+enum Routed {
+    Deliver { at: Instant, dest: Loc, msg: Msg },
+    Shutdown,
+}
+
+struct Due {
+    at: Instant,
+    seq: u64,
+    dest: Loc,
+    msg: Msg,
+}
+
+impl PartialEq for Due {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Due {}
+impl PartialOrd for Due {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Due {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Configures a [`LiveNet`].
+pub struct LiveNetBuilder {
+    processes: Vec<Box<dyn Process>>,
+    latency: Duration,
+}
+
+impl LiveNetBuilder {
+    /// Adds a node; nodes receive locations `0, 1, …` in insertion order.
+    pub fn node(mut self, process: Box<dyn Process>) -> LiveNetBuilder {
+        self.processes.push(process);
+        self
+    }
+
+    /// Adds an artificial one-way latency to every inter-node message.
+    pub fn latency(mut self, latency: Duration) -> LiveNetBuilder {
+        self.latency = latency;
+        self
+    }
+
+    /// Starts all node threads and the router.
+    pub fn spawn(self) -> LiveNet {
+        let n = self.processes.len() as u32;
+        let start = Instant::now();
+        let stop = Arc::new(AtomicBool::new(false));
+        let (router_tx, router_rx) = channel::unbounded::<Routed>();
+
+        // Ports occupy locations ≥ n + node channels.
+        let mut node_txs: Vec<Sender<Msg>> = Vec::new();
+        let mut handles: Vec<JoinHandle<()>> = Vec::new();
+        for (i, mut process) in self.processes.into_iter().enumerate() {
+            let (tx, rx) = channel::unbounded::<Msg>();
+            node_txs.push(tx);
+            let slf = Loc::new(i as u32);
+            let router = router_tx.clone();
+            let stop = stop.clone();
+            let latency = self.latency;
+            handles.push(std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match rx.recv_timeout(Duration::from_millis(50)) {
+                        Ok(msg) => {
+                            let now =
+                                VTime::from_micros(start.elapsed().as_micros() as u64);
+                            let outs = process.step(&Ctx::new(slf, now), &msg);
+                            for SendInstr { dest, delay, msg } in outs {
+                                let wire = if dest == slf { Duration::ZERO } else { latency };
+                                let _ = router.send(Routed::Deliver {
+                                    at: Instant::now() + delay + wire,
+                                    dest,
+                                    msg,
+                                });
+                            }
+                        }
+                        Err(channel::RecvTimeoutError::Timeout) => continue,
+                        Err(channel::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }));
+        }
+
+        let ports: Arc<Mutex<Vec<Sender<Msg>>>> = Arc::new(Mutex::new(Vec::new()));
+        let router_ports = ports.clone();
+        let stop_router = stop.clone();
+        let router_handle = std::thread::spawn(move || {
+            let mut heap: BinaryHeap<Due> = BinaryHeap::new();
+            let mut seq = 0u64;
+            loop {
+                // Deliver everything due.
+                let now = Instant::now();
+                while heap.peek().map(|d| d.at <= now).unwrap_or(false) {
+                    let due = heap.pop().expect("peeked");
+                    let idx = due.dest.index() as usize;
+                    if idx < node_txs.len() {
+                        let _ = node_txs[idx].send(due.msg);
+                    } else {
+                        let ports = router_ports.lock();
+                        if let Some(tx) = ports.get(idx - node_txs.len()) {
+                            let _ = tx.send(due.msg);
+                        }
+                    }
+                }
+                let wait = heap
+                    .peek()
+                    .map(|d| d.at.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(20))
+                    .min(Duration::from_millis(20));
+                match router_rx.recv_timeout(wait) {
+                    Ok(Routed::Deliver { at, dest, msg }) => {
+                        seq += 1;
+                        heap.push(Due { at, seq, dest, msg });
+                    }
+                    Ok(Routed::Shutdown) => break,
+                    Err(channel::RecvTimeoutError::Timeout) => {
+                        if stop_router.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    Err(channel::RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        });
+        handles.push(router_handle);
+
+        LiveNet { n_nodes: n, router: router_tx, ports, stop, handles }
+    }
+}
+
+/// A running thread-per-node network.
+pub struct LiveNet {
+    n_nodes: u32,
+    router: Sender<Routed>,
+    ports: Arc<Mutex<Vec<Sender<Msg>>>>,
+    stop: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl LiveNet {
+    /// Starts building a network.
+    pub fn builder() -> LiveNetBuilder {
+        LiveNetBuilder { processes: Vec::new(), latency: Duration::from_micros(100) }
+    }
+
+    /// Number of process nodes.
+    pub fn node_count(&self) -> u32 {
+        self.n_nodes
+    }
+
+    /// Injects a message from outside the system.
+    pub fn send(&self, dest: Loc, msg: Msg) {
+        let _ = self.router.send(Routed::Deliver { at: Instant::now(), dest, msg });
+    }
+
+    /// Creates an external mailbox: a fresh location whose messages are
+    /// handed to the returned receiver (how a driver observes the network).
+    pub fn port(&self) -> (Loc, Receiver<Msg>) {
+        let (tx, rx) = channel::unbounded();
+        let mut ports = self.ports.lock();
+        let loc = Loc::new(self.n_nodes + ports.len() as u32);
+        ports.push(tx);
+        (loc, rx)
+    }
+
+    /// Stops every thread and waits for them.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.router.send(Routed::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for LiveNet {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.router.send(Routed::Shutdown);
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
+    use shadowdb_consensus::parse_decide;
+    use shadowdb_eventml::{FnProcess, InterpretedProcess, Value};
+
+    #[test]
+    fn echo_roundtrip() {
+        let net = LiveNet::builder()
+            .node(Box::new(FnProcess::new(0u32, |n, _c: &Ctx, m: &Msg| {
+                *n += 1;
+                match m.body.as_loc() {
+                    Some(from) => {
+                        vec![SendInstr::now(from, Msg::new("pong", Value::Int(*n as i64)))]
+                    }
+                    None => vec![],
+                }
+            })))
+            .spawn();
+        let (port, rx) = net.port();
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        let a = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.body, Value::Int(1));
+        assert_eq!(b.body, Value::Int(2));
+        net.shutdown();
+    }
+
+    #[test]
+    fn delayed_self_send_fires_later() {
+        let net = LiveNet::builder()
+            .node(Box::new(FnProcess::new((), |_s, ctx: &Ctx, m: &Msg| {
+                match m.header.name() {
+                    "start" => vec![
+                        SendInstr::after(
+                            Duration::from_millis(80),
+                            ctx.slf,
+                            Msg::new("timer", m.body.clone()),
+                        ),
+                    ],
+                    "timer" => vec![SendInstr::now(
+                        m.body.loc(),
+                        Msg::new("fired", Value::Unit),
+                    )],
+                    _ => vec![],
+                }
+            })))
+            .spawn();
+        let (port, rx) = net.port();
+        let t0 = Instant::now();
+        net.send(Loc::new(0), Msg::new("start", Value::Loc(port)));
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(75), "{:?}", t0.elapsed());
+        net.shutdown();
+    }
+
+    /// The generated TwoThird consensus, on real threads: three members
+    /// decide one value and notify the learner port.
+    #[test]
+    fn twothird_consensus_over_threads() {
+        let members = Loc::first_n(3);
+        // The learner port will be loc 3 (first port after 3 nodes).
+        let config = TwoThirdConfig::new(members, vec![Loc::new(3)]).with_auto_adopt();
+        let class = TwoThird::new(config).class();
+        let mut builder = LiveNet::builder().latency(Duration::from_micros(200));
+        for _ in 0..3 {
+            builder = builder.node(Box::new(InterpretedProcess::compile(&class)));
+        }
+        let net = builder.spawn();
+        let (port, rx) = net.port();
+        assert_eq!(port, Loc::new(3));
+        net.send(Loc::new(0), propose_msg(0, Value::Int(41)));
+        net.send(Loc::new(1), propose_msg(0, Value::Int(42)));
+        net.send(Loc::new(2), propose_msg(0, Value::Int(41)));
+        let mut decisions = Vec::new();
+        while decisions.len() < 3 {
+            let m = rx.recv_timeout(Duration::from_secs(10)).expect("a decision");
+            if let Some(d) = parse_decide(&m) {
+                decisions.push(d);
+            }
+        }
+        let first = decisions[0].1.clone();
+        assert!(decisions.iter().all(|(i, v)| *i == 0 && *v == first));
+        net.shutdown();
+    }
+}

@@ -1,0 +1,158 @@
+//! Causal relations over event orderings.
+//!
+//! The paper defines happens-before recursively (Sec. II-C2):
+//!
+//! ```text
+//! e1 → e2  ==r  ∃e:E. (e < e2)
+//!               ∧ ((¬(loc(e) = loc(e2))) ⇒ (e2 caused by e))
+//!               ∧ ((e = e1) ∨ e1 → e)
+//! ```
+//!
+//! For a concrete trace the immediate predecessors of `e2` are its local
+//! predecessor and (if it was triggered by a message) the send event that
+//! caused it; happens-before is the transitive closure over those edges.
+
+use crate::event::EventOrder;
+use crate::ids::EventId;
+
+/// The immediate causal predecessors of `e`: local predecessor plus cause.
+pub fn immediate_preds<M>(eo: &EventOrder<M>, e: EventId) -> Vec<EventId> {
+    let mut preds = Vec::with_capacity(2);
+    if let Some(p) = eo.local_pred(e) {
+        preds.push(p);
+    }
+    if let Some(c) = eo.event(e).cause() {
+        if !preds.contains(&c) {
+            preds.push(c);
+        }
+    }
+    preds
+}
+
+/// Lamport's happens-before `a → b`: reachability of `a` from `b` through
+/// immediate causal predecessor edges.
+pub fn happens_before<M>(eo: &EventOrder<M>, a: EventId, b: EventId) -> bool {
+    if a == b {
+        return false;
+    }
+    // Events are appended consistently with causality, so predecessors always
+    // have smaller indices; once the walk drops below `a` it cannot reach it.
+    let mut seen = vec![false; eo.len()];
+    let mut stack = immediate_preds(eo, b);
+    while let Some(e) = stack.pop() {
+        if e == a {
+            return true;
+        }
+        if seen[e.index()] || e.index() < a.index() {
+            continue;
+        }
+        seen[e.index()] = true;
+        stack.extend(immediate_preds(eo, e));
+    }
+    false
+}
+
+/// Whether `a` and `b` are concurrent (neither happens before the other).
+pub fn concurrent<M>(eo: &EventOrder<M>, a: EventId, b: EventId) -> bool {
+    a != b && !happens_before(eo, a, b) && !happens_before(eo, b, a)
+}
+
+/// All events that happen before `e`, in ascending id order.
+pub fn causal_past<M>(eo: &EventOrder<M>, e: EventId) -> Vec<EventId> {
+    let mut in_past = vec![false; eo.len()];
+    let mut stack = immediate_preds(eo, e);
+    while let Some(p) = stack.pop() {
+        if !in_past[p.index()] {
+            in_past[p.index()] = true;
+            stack.extend(immediate_preds(eo, p));
+        }
+    }
+    (0..eo.len() as u32)
+        .map(EventId::new)
+        .filter(|id| in_past[id.index()])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{Loc, VTime};
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+    fn t(us: u64) -> VTime {
+        VTime::from_micros(us)
+    }
+
+    /// Builds the classic diagram: p0: a --m--> p1: b ; p0: c (after a);
+    /// p2: d concurrent with everything.
+    fn diamond() -> (EventOrder<&'static str>, [EventId; 4]) {
+        let mut eo = EventOrder::new();
+        let a = eo.record(l(0), t(1), "a", None, None);
+        let b = eo.record(l(1), t(5), "b", Some(a), Some(l(0)));
+        let c = eo.record(l(0), t(6), "c", None, None);
+        let d = eo.record(l(2), t(3), "d", None, None);
+        (eo, [a, b, c, d])
+    }
+
+    #[test]
+    fn message_edge_orders() {
+        let (eo, [a, b, _, _]) = diamond();
+        assert!(happens_before(&eo, a, b));
+        assert!(!happens_before(&eo, b, a));
+    }
+
+    #[test]
+    fn local_edge_orders() {
+        let (eo, [a, _, c, _]) = diamond();
+        assert!(happens_before(&eo, a, c));
+    }
+
+    #[test]
+    fn transitivity_through_chain() {
+        let mut eo = EventOrder::new();
+        let a = eo.record(l(0), t(1), 0, None, None);
+        let b = eo.record(l(1), t(2), 1, Some(a), Some(l(0)));
+        let c = eo.record(l(2), t(3), 2, Some(b), Some(l(1)));
+        let d = eo.record(l(2), t(4), 3, None, None);
+        assert!(happens_before(&eo, a, c));
+        assert!(happens_before(&eo, a, d)); // a → c (message), c → d (local)
+    }
+
+    #[test]
+    fn concurrency_detected() {
+        let (eo, [a, b, _, d]) = diamond();
+        assert!(concurrent(&eo, a, d));
+        assert!(concurrent(&eo, b, d));
+        assert!(!concurrent(&eo, a, b));
+        assert!(!concurrent(&eo, a, a));
+    }
+
+    #[test]
+    fn irreflexive() {
+        let (eo, [a, ..]) = diamond();
+        assert!(!happens_before(&eo, a, a));
+    }
+
+    #[test]
+    fn causal_past_collects_all() {
+        let mut eo = EventOrder::new();
+        let a = eo.record(l(0), t(1), 0, None, None);
+        let b = eo.record(l(0), t(2), 1, None, None);
+        let c = eo.record(l(1), t(3), 2, Some(b), Some(l(0)));
+        let x = eo.record(l(2), t(1), 9, None, None);
+        let past = causal_past(&eo, c);
+        assert_eq!(past, vec![a, b]);
+        assert!(causal_past(&eo, x).is_empty());
+    }
+
+    #[test]
+    fn preds_deduplicated() {
+        // An event whose cause is also its local predecessor.
+        let mut eo = EventOrder::new();
+        let a = eo.record(l(0), t(1), 0, None, None);
+        let b = eo.record(l(0), t(2), 1, Some(a), Some(l(0)));
+        assert_eq!(immediate_preds(&eo, b), vec![a]);
+    }
+}

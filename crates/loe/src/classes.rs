@@ -1,0 +1,336 @@
+//! Denotational semantics of event classes over concrete traces.
+//!
+//! A core LoE abstraction is the *event class*: a function that takes events
+//! as inputs and outputs some information (a bag of values per event). Base
+//! classes recognize messages; combinators build richer classes. This module
+//! gives those combinators their meaning as pure functions over an
+//! [`EventOrder`] — no process state, everything recomputed from history.
+//!
+//! The executable side (the GPM processes of `shadowdb-eventml`) must agree
+//! with these semantics; that agreement is this repository's analogue of the
+//! paper's automatic proof that generated programs comply with their LoE
+//! specifications.
+
+use crate::event::EventOrder;
+use crate::ids::{EventId, Loc};
+
+/// A function from events (within a trace) to bags of values.
+pub trait EventClass<M> {
+    /// The type of information the class produces.
+    type Out;
+
+    /// The bag of values this class produces at event `e`.
+    fn observe(&self, eo: &EventOrder<M>, e: EventId) -> Vec<Self::Out>;
+}
+
+/// A base class: recognizes events by pattern-matching their message and
+/// extracts content (the `msg'base` of an EventML specification).
+#[derive(Clone, Debug)]
+pub struct Base<F> {
+    recognize: F,
+}
+
+impl<F> Base<F> {
+    /// Creates a base class from a recognizer function.
+    pub fn new(recognize: F) -> Self {
+        Base { recognize }
+    }
+}
+
+impl<M, O, F> EventClass<M> for Base<F>
+where
+    F: Fn(&M) -> Option<O>,
+{
+    type Out = O;
+    fn observe(&self, eo: &EventOrder<M>, e: EventId) -> Vec<O> {
+        (self.recognize)(eo.event(e).msg()).into_iter().collect()
+    }
+}
+
+/// A state-machine class (EventML's `State` keyword).
+///
+/// The class folds an update function over the inputs produced by an inner
+/// class at the same location. At an event where the inner class produces,
+/// it outputs the *updated* state — matching the paper's ILF
+/// characterization (Fig. 5), where `ClockVal@e` already incorporates the
+/// message received at `e`.
+#[derive(Clone, Debug)]
+pub struct StateClass<C, S, U> {
+    inner: C,
+    init: S,
+    update: U,
+}
+
+impl<C, S, U> StateClass<C, S, U> {
+    /// Creates a state class with initial state `init` over inputs from
+    /// `inner`, applying `update(loc, input, state) -> state`.
+    pub fn new(init: S, update: U, inner: C) -> Self {
+        StateClass { inner, init, update }
+    }
+
+    /// The single-valued function of this class (the `ClockVal` analogue):
+    /// the state at `loc` after processing every recognized event up to and
+    /// including `e`.
+    pub fn value_at<M, In>(&self, eo: &EventOrder<M>, e: EventId) -> S
+    where
+        C: EventClass<M, Out = In>,
+        S: Clone,
+        U: Fn(Loc, &In, &S) -> S,
+    {
+        let loc = eo.event(e).loc();
+        let mut state = self.init.clone();
+        for ev in eo.at(loc) {
+            if ev.id() > e {
+                break;
+            }
+            for input in self.inner.observe(eo, ev.id()) {
+                state = (self.update)(loc, &input, &state);
+            }
+        }
+        state
+    }
+}
+
+impl<M, C, In, S, U> EventClass<M> for StateClass<C, S, U>
+where
+    C: EventClass<M, Out = In>,
+    S: Clone,
+    U: Fn(Loc, &In, &S) -> S,
+{
+    type Out = S;
+    fn observe(&self, eo: &EventOrder<M>, e: EventId) -> Vec<S> {
+        if self.inner.observe(eo, e).is_empty() {
+            Vec::new()
+        } else {
+            vec![self.value_at(eo, e)]
+        }
+    }
+}
+
+/// Simultaneous composition of two classes (EventML's `o` combinator, binary
+/// form): produces `f(loc, a, b)` at events where both components produce.
+#[derive(Clone, Debug)]
+pub struct Compose2<A, B, F> {
+    a: A,
+    b: B,
+    f: F,
+}
+
+impl<A, B, F> Compose2<A, B, F> {
+    /// Creates the composition `f o (a, b)`.
+    pub fn new(f: F, a: A, b: B) -> Self {
+        Compose2 { a, b, f }
+    }
+}
+
+impl<M, A, B, F, O> EventClass<M> for Compose2<A, B, F>
+where
+    A: EventClass<M>,
+    B: EventClass<M>,
+    F: Fn(Loc, &A::Out, &B::Out) -> O,
+{
+    type Out = O;
+    fn observe(&self, eo: &EventOrder<M>, e: EventId) -> Vec<O> {
+        let loc = eo.event(e).loc();
+        let xs = self.a.observe(eo, e);
+        let ys = self.b.observe(eo, e);
+        let mut out = Vec::new();
+        for x in &xs {
+            for y in &ys {
+                out.push((self.f)(loc, x, y));
+            }
+        }
+        out
+    }
+}
+
+/// Parallel composition (EventML's `||`): the bag union of both components'
+/// outputs, handled in parallel.
+#[derive(Clone, Debug)]
+pub struct Parallel<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Parallel<A, B> {
+    /// Creates `a || b`.
+    pub fn new(a: A, b: B) -> Self {
+        Parallel { a, b }
+    }
+}
+
+impl<M, A, B, O> EventClass<M> for Parallel<A, B>
+where
+    A: EventClass<M, Out = O>,
+    B: EventClass<M, Out = O>,
+{
+    type Out = O;
+    fn observe(&self, eo: &EventOrder<M>, e: EventId) -> Vec<O> {
+        let mut out = self.a.observe(eo, e);
+        out.extend(self.b.observe(eo, e));
+        out
+    }
+}
+
+/// The `Once` combinator: only the first (local) output of the inner class
+/// is produced; later outputs at the same location are suppressed.
+#[derive(Clone, Debug)]
+pub struct Once<C> {
+    inner: C,
+}
+
+impl<C> Once<C> {
+    /// Wraps `inner` so it produces at most once per location.
+    pub fn new(inner: C) -> Self {
+        Once { inner }
+    }
+}
+
+impl<M, C> EventClass<M> for Once<C>
+where
+    C: EventClass<M>,
+{
+    type Out = C::Out;
+    fn observe(&self, eo: &EventOrder<M>, e: EventId) -> Vec<C::Out> {
+        let loc = eo.event(e).loc();
+        for prior in eo.at(loc) {
+            if prior.id() >= e {
+                break;
+            }
+            if !self.inner.observe(eo, prior.id()).is_empty() {
+                return Vec::new();
+            }
+        }
+        let mut out = self.inner.observe(eo, e);
+        out.truncate(1);
+        out
+    }
+}
+
+/// Maps a function over the outputs of a class, optionally filtering.
+#[derive(Clone, Debug)]
+pub struct MapClass<C, F> {
+    inner: C,
+    f: F,
+}
+
+impl<C, F> MapClass<C, F> {
+    /// Creates a class producing `f(loc, v)` for each inner output `v`,
+    /// dropping `None`s.
+    pub fn new(f: F, inner: C) -> Self {
+        MapClass { inner, f }
+    }
+}
+
+impl<M, C, F, O> EventClass<M> for MapClass<C, F>
+where
+    C: EventClass<M>,
+    F: Fn(Loc, &C::Out) -> Option<O>,
+{
+    type Out = O;
+    fn observe(&self, eo: &EventOrder<M>, e: EventId) -> Vec<O> {
+        let loc = eo.event(e).loc();
+        self.inner
+            .observe(eo, e)
+            .iter()
+            .filter_map(|v| (self.f)(loc, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VTime;
+
+    /// A tiny typed message: (value, timestamp), as in the CLK example.
+    type ClkMsg = (&'static str, i64);
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+    fn t(us: u64) -> VTime {
+        VTime::from_micros(us)
+    }
+
+    fn msg_base() -> Base<impl Fn(&ClkMsg) -> Option<ClkMsg>> {
+        Base::new(|m: &ClkMsg| Some(*m))
+    }
+
+    /// The Clock class of the paper: `State(0, upd_clock, msg'base)` where
+    /// `upd_clock` takes `imax(timestamp, clock) + 1`.
+    fn clock() -> StateClass<
+        Base<impl Fn(&ClkMsg) -> Option<ClkMsg>>,
+        i64,
+        impl Fn(Loc, &ClkMsg, &i64) -> i64,
+    > {
+        StateClass::new(0i64, |_l, (_v, ts): &ClkMsg, clk: &i64| (*ts).max(*clk) + 1, msg_base())
+    }
+
+    #[test]
+    fn base_recognizes_all() {
+        let mut eo = EventOrder::new();
+        let e = eo.record(l(0), t(1), ("x", 7), None, None);
+        assert_eq!(msg_base().observe(&eo, e), vec![("x", 7)]);
+    }
+
+    #[test]
+    fn state_class_folds_history() {
+        let mut eo = EventOrder::new();
+        let e1 = eo.record(l(0), t(1), ("a", 0), None, None);
+        let e2 = eo.record(l(0), t(2), ("b", 10), None, None);
+        let e3 = eo.record(l(1), t(3), ("c", 2), None, None);
+        let c = clock();
+        assert_eq!(c.observe(&eo, e1), vec![1]); // max(0,0)+1
+        assert_eq!(c.observe(&eo, e2), vec![11]); // max(10,1)+1
+        assert_eq!(c.observe(&eo, e3), vec![3]); // independent location
+        assert_eq!(c.value_at(&eo, e2), 11);
+    }
+
+    #[test]
+    fn compose_pairs_outputs() {
+        let mut eo = EventOrder::new();
+        let e = eo.record(l(0), t(1), ("v", 4), None, None);
+        let handler = Compose2::new(
+            |_loc, (v, _ts): &ClkMsg, clk: &i64| (*v, *clk),
+            msg_base(),
+            clock(),
+        );
+        assert_eq!(handler.observe(&eo, e), vec![("v", 5)]);
+    }
+
+    #[test]
+    fn parallel_unions() {
+        let mut eo = EventOrder::new();
+        let e = eo.record(l(0), t(1), ("v", 4), None, None);
+        let left = MapClass::new(|_l, m: &ClkMsg| Some(m.1), msg_base());
+        let right = MapClass::new(|_l, m: &ClkMsg| Some(m.1 * 10), msg_base());
+        let both = Parallel::new(left, right);
+        assert_eq!(both.observe(&eo, e), vec![4, 40]);
+    }
+
+    #[test]
+    fn once_suppresses_later() {
+        let mut eo = EventOrder::new();
+        let e1 = eo.record(l(0), t(1), ("a", 1), None, None);
+        let e2 = eo.record(l(0), t(2), ("b", 2), None, None);
+        let e3 = eo.record(l(1), t(3), ("c", 3), None, None);
+        let once = Once::new(msg_base());
+        assert_eq!(once.observe(&eo, e1).len(), 1);
+        assert!(once.observe(&eo, e2).is_empty());
+        assert_eq!(once.observe(&eo, e3).len(), 1); // per-location
+    }
+
+    #[test]
+    fn map_filters() {
+        let mut eo = EventOrder::new();
+        let e1 = eo.record(l(0), t(1), ("a", 1), None, None);
+        let e2 = eo.record(l(0), t(2), ("b", -1), None, None);
+        let pos = MapClass::new(
+            |_l, m: &ClkMsg| if m.1 > 0 { Some(m.1) } else { None },
+            msg_base(),
+        );
+        assert_eq!(pos.observe(&eo, e1), vec![1]);
+        assert!(pos.observe(&eo, e2).is_empty());
+    }
+}

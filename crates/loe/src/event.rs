@@ -1,0 +1,244 @@
+//! Concrete event orderings: traces of located, causally linked events.
+
+use crate::ids::{EventId, Loc, VTime};
+
+/// One event of a distributed execution.
+///
+/// In LoE, an event is a point in space/time tagged with the message that
+/// triggered it. `cause` links a receive event to the event at which the
+/// message was sent (the "caused by" relation of the paper); it is `None`
+/// for spontaneous events such as external client inputs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event<M> {
+    id: EventId,
+    loc: Loc,
+    time: VTime,
+    msg: M,
+    cause: Option<EventId>,
+    sender: Option<Loc>,
+}
+
+impl<M> Event<M> {
+    /// The identity of this event within its trace.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    /// The location at which the event occurred (`loc(e)` in the paper).
+    pub fn loc(&self) -> Loc {
+        self.loc
+    }
+
+    /// The virtual time at which the event occurred.
+    pub fn time(&self) -> VTime {
+        self.time
+    }
+
+    /// The message that triggered the event.
+    pub fn msg(&self) -> &M {
+        &self.msg
+    }
+
+    /// The send event that caused this event, if it resulted from a message.
+    pub fn cause(&self) -> Option<EventId> {
+        self.cause
+    }
+
+    /// The location that sent the triggering message, if known.
+    pub fn sender(&self) -> Option<Loc> {
+        self.sender
+    }
+}
+
+/// A finite event ordering: the trace of one execution.
+///
+/// Events are stored in a global order consistent with causality (events are
+/// appended as they occur, and an event's cause always precedes it). Per
+/// LoE, two order relations are derived:
+///
+/// * **causal order** `e < e'` — the transitive closure of local order
+///   (same location, earlier) and the caused-by relation;
+/// * **happens-before** `e → e'` — Lamport's relation, which this trace
+///   model makes coincide with causal order.
+///
+/// # Example
+///
+/// ```
+/// use shadowdb_loe::{EventOrder, Loc, VTime};
+/// let mut eo = EventOrder::new();
+/// let send = eo.record(Loc::new(0), VTime::from_micros(1), "m", None, None);
+/// let recv = eo.record(Loc::new(1), VTime::from_micros(9), "m", Some(send), Some(Loc::new(0)));
+/// assert!(eo.happens_before(send, recv));
+/// assert_eq!(eo.local_pred(recv), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct EventOrder<M> {
+    events: Vec<Event<M>>,
+}
+
+impl<M> EventOrder<M> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        EventOrder { events: Vec::new() }
+    }
+
+    /// Appends an event and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cause` refers to an event not yet in the trace, or if
+    /// `time` precedes the time of the last event at the same location
+    /// (local clocks cannot run backwards).
+    pub fn record(
+        &mut self,
+        loc: Loc,
+        time: VTime,
+        msg: M,
+        cause: Option<EventId>,
+        sender: Option<Loc>,
+    ) -> EventId {
+        if let Some(c) = cause {
+            assert!(
+                c.index() < self.events.len(),
+                "cause {c} must precede the event it causes"
+            );
+        }
+        if let Some(prev) = self.events.iter().rev().find(|e| e.loc == loc) {
+            assert!(
+                prev.time <= time,
+                "events at {loc} must be recorded in time order"
+            );
+        }
+        let id = EventId::new(self.events.len() as u32);
+        self.events.push(Event {
+            id,
+            loc,
+            time,
+            msg,
+            cause,
+            sender,
+        });
+        id
+    }
+
+    /// Number of events in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Looks up an event by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this trace.
+    pub fn event(&self, id: EventId) -> &Event<M> {
+        &self.events[id.index()]
+    }
+
+    /// Iterates over all events in global order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event<M>> {
+        self.events.iter()
+    }
+
+    /// Iterates over the events at one location, in local order.
+    pub fn at(&self, loc: Loc) -> impl Iterator<Item = &Event<M>> {
+        self.events.iter().filter(move |e| e.loc == loc)
+    }
+
+    /// The latest event at `loc` strictly before `e` (the `pred(e)` of the
+    /// paper's ILF characterizations), or `None` if `e` is `first(e)` at its
+    /// location.
+    pub fn local_pred(&self, e: EventId) -> Option<EventId> {
+        let loc = self.event(e).loc;
+        self.events[..e.index()]
+            .iter()
+            .rev()
+            .find(|p| p.loc == loc)
+            .map(|p| p.id)
+    }
+
+    /// Whether `e` is the first event at its location.
+    pub fn is_first(&self, e: EventId) -> bool {
+        self.local_pred(e).is_none()
+    }
+
+    /// Lamport's happens-before `a → b` (equivalently, LoE causal order for
+    /// this trace model). Implemented as the paper's recursive definition:
+    /// there exists an event `e < b` with (if at a different location)
+    /// `b caused by e`, such that `e = a` or `a → e`.
+    pub fn happens_before(&self, a: EventId, b: EventId) -> bool {
+        crate::causal::happens_before(self, a, b)
+    }
+}
+
+impl<M> std::ops::Index<EventId> for EventOrder<M> {
+    type Output = Event<M>;
+    fn index(&self, id: EventId) -> &Event<M> {
+        self.event(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Loc {
+        Loc::new(i)
+    }
+    fn t(us: u64) -> VTime {
+        VTime::from_micros(us)
+    }
+
+    #[test]
+    fn record_and_lookup() {
+        let mut eo = EventOrder::new();
+        let e0 = eo.record(l(0), t(1), "a", None, None);
+        let e1 = eo.record(l(1), t(2), "b", Some(e0), Some(l(0)));
+        assert_eq!(eo.len(), 2);
+        assert_eq!(eo[e0].msg(), &"a");
+        assert_eq!(eo[e1].cause(), Some(e0));
+        assert_eq!(eo[e1].sender(), Some(l(0)));
+    }
+
+    #[test]
+    fn local_pred_and_first() {
+        let mut eo = EventOrder::new();
+        let e0 = eo.record(l(0), t(1), 0, None, None);
+        let e1 = eo.record(l(1), t(2), 1, None, None);
+        let e2 = eo.record(l(0), t(3), 2, None, None);
+        assert!(eo.is_first(e0));
+        assert!(eo.is_first(e1));
+        assert_eq!(eo.local_pred(e2), Some(e0));
+        assert!(!eo.is_first(e2));
+    }
+
+    #[test]
+    fn at_filters_by_location() {
+        let mut eo = EventOrder::new();
+        eo.record(l(0), t(1), 0, None, None);
+        eo.record(l(1), t(2), 1, None, None);
+        eo.record(l(0), t(3), 2, None, None);
+        let msgs: Vec<i32> = eo.at(l(0)).map(|e| *e.msg()).collect();
+        assert_eq!(msgs, vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cause_must_precede() {
+        let mut eo = EventOrder::new();
+        eo.record(l(0), t(1), 0, Some(EventId::new(9)), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn local_time_monotone() {
+        let mut eo = EventOrder::new();
+        eo.record(l(0), t(5), 0, None, None);
+        eo.record(l(0), t(4), 1, None, None);
+    }
+}

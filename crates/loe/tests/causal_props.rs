@@ -1,0 +1,153 @@
+//! Property tests of the causal-order relations.
+//!
+//! LoE's reasoning rests on happens-before being a strict partial order
+//! consistent with the trace structure; these tests check the order's
+//! axioms on randomly generated causally consistent traces.
+
+use proptest::prelude::*;
+use shadowdb_loe::causal::{causal_past, concurrent, happens_before, immediate_preds};
+use shadowdb_loe::{EventId, EventOrder, Loc, VTime};
+
+/// A random causally consistent trace: each event happens at a random
+/// location; with probability ~1/2 it is caused by some earlier event.
+fn arb_trace() -> impl Strategy<Value = EventOrder<u32>> {
+    proptest::collection::vec((0u32..4, any::<bool>(), 0usize..64), 1..40).prop_map(|plan| {
+        let mut eo = EventOrder::new();
+        let mut ids: Vec<EventId> = Vec::new();
+        for (i, (loc, caused, pick)) in plan.into_iter().enumerate() {
+            let cause = if caused && !ids.is_empty() {
+                Some(ids[pick % ids.len()])
+            } else {
+                None
+            };
+            let sender = cause.map(|c| eo.event(c).loc());
+            let id = eo.record(
+                Loc::new(loc),
+                VTime::from_micros(i as u64 + 1),
+                i as u32,
+                cause,
+                sender,
+            );
+            ids.push(id);
+        }
+        eo
+    })
+}
+
+fn all_ids(eo: &EventOrder<u32>) -> Vec<EventId> {
+    eo.iter().map(|e| e.id()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Irreflexivity: no event happens before itself.
+    #[test]
+    fn irreflexive(eo in arb_trace()) {
+        for e in all_ids(&eo) {
+            prop_assert!(!happens_before(&eo, e, e));
+        }
+    }
+
+    /// Antisymmetry: a → b and b → a never both hold.
+    #[test]
+    fn antisymmetric(eo in arb_trace()) {
+        let ids = all_ids(&eo);
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert!(!(happens_before(&eo, a, b) && happens_before(&eo, b, a)));
+            }
+        }
+    }
+
+    /// Transitivity: a → b and b → c implies a → c.
+    #[test]
+    fn transitive(eo in arb_trace()) {
+        let ids = all_ids(&eo);
+        for &a in &ids {
+            for &b in &ids {
+                if !happens_before(&eo, a, b) {
+                    continue;
+                }
+                for &c in &ids {
+                    if happens_before(&eo, b, c) {
+                        prop_assert!(happens_before(&eo, a, c), "{a} -> {b} -> {c}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Same-location events are always ordered (processes are sequential);
+    /// order direction follows the trace.
+    #[test]
+    fn local_events_totally_ordered(eo in arb_trace()) {
+        let ids = all_ids(&eo);
+        for &a in &ids {
+            for &b in &ids {
+                if a != b && eo.event(a).loc() == eo.event(b).loc() {
+                    prop_assert!(!concurrent(&eo, a, b));
+                    let (earlier, later) = if a < b { (a, b) } else { (b, a) };
+                    prop_assert!(happens_before(&eo, earlier, later));
+                }
+            }
+        }
+    }
+
+    /// A cause always happens before its effect.
+    #[test]
+    fn causes_precede_effects(eo in arb_trace()) {
+        for e in all_ids(&eo) {
+            if let Some(c) = eo.event(e).cause() {
+                prop_assert!(happens_before(&eo, c, e));
+            }
+        }
+    }
+
+    /// `happens_before` agrees with reachability over `causal_past`.
+    #[test]
+    fn past_and_happens_before_agree(eo in arb_trace()) {
+        let ids = all_ids(&eo);
+        for &b in &ids {
+            let past = causal_past(&eo, b);
+            for &a in &ids {
+                prop_assert_eq!(past.contains(&a), happens_before(&eo, a, b));
+            }
+        }
+    }
+
+    /// `concurrent` is symmetric and disjoint from the order.
+    #[test]
+    fn concurrency_is_symmetric(eo in arb_trace()) {
+        let ids = all_ids(&eo);
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert_eq!(concurrent(&eo, a, b), concurrent(&eo, b, a));
+                if concurrent(&eo, a, b) {
+                    prop_assert!(!happens_before(&eo, a, b));
+                    prop_assert!(!happens_before(&eo, b, a));
+                }
+            }
+        }
+    }
+
+    /// Immediate predecessors are a subset of the causal past and generate
+    /// all of it.
+    #[test]
+    fn immediate_preds_generate_past(eo in arb_trace()) {
+        for e in all_ids(&eo) {
+            let preds = immediate_preds(&eo, e);
+            let past = causal_past(&eo, e);
+            for p in &preds {
+                prop_assert!(past.contains(p));
+            }
+            // Everything in the past is reachable through some pred.
+            for q in &past {
+                prop_assert!(
+                    preds.iter().any(|p| p == q || happens_before(&eo, *q, *p)),
+                    "{q} in past of {e} but unreachable via {preds:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! Bounded model checking of GPM protocols.
+//!
+//! The paper proves safety properties of its protocols semi-automatically in
+//! Nuprl. This repository cannot embed a theorem prover; instead, this crate
+//! systematically explores *every* schedule of a small protocol instance —
+//! all message-delivery interleavings, optionally all message losses, and
+//! all crash placements within a budget — checking a safety invariant in
+//! every reachable state. Where the paper reports "we found the bug when we
+//! were unable to prove the safety properties", here the explorer hands back
+//! the violating schedule as a counterexample.
+//!
+//! Timers need no special treatment: a delayed self-send is just an
+//! in-flight message, and exploring all delivery orders covers all timings.
+//!
+//! # Example
+//!
+//! ```
+//! use shadowdb_eventml::{Ctx, FnProcess, Msg, Process, SendInstr, Value};
+//! use shadowdb_loe::Loc;
+//! use shadowdb_mck::{explore, Options, Spec, World};
+//!
+//! // Two nodes that each report to an observer; in every schedule the
+//! // observer hears at most two messages.
+//! let observer = Loc::new(2);
+//! let reporter = || {
+//!     Box::new(FnProcess::new((), move |_s, _c: &Ctx, m: &Msg| {
+//!         vec![SendInstr::now(Loc::new(2), m.clone())]
+//!     })) as Box<dyn Process>
+//! };
+//! let spec = Spec {
+//!     procs: vec![reporter(), reporter()],
+//!     env: vec![observer],
+//!     init_msgs: vec![(Loc::new(0), Msg::new("go", Value::Unit)),
+//!                     (Loc::new(1), Msg::new("go", Value::Unit))],
+//! };
+//! let outcome = explore(spec, Options::default(), |w: &World| {
+//!     if w.observations.len() <= 2 { Ok(()) } else { Err("too many".into()) }
+//! });
+//! assert!(outcome.violation.is_none());
+//! ```
+
+use shadowdb_eventml::{Ctx, Msg, Process};
+use shadowdb_loe::{Loc, VTime};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// The initial configuration of a checking run.
+pub struct Spec {
+    /// One process per location `0..n`.
+    pub procs: Vec<Box<dyn Process>>,
+    /// Environment locations: messages sent to them become *observations*
+    /// rather than deliverable messages (they model clients/learners).
+    pub env: Vec<Loc>,
+    /// Initially in-flight messages (external inputs).
+    pub init_msgs: Vec<(Loc, Msg)>,
+}
+
+/// Exploration bounds and fault budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct Options {
+    /// Maximum schedule length (delivery + fault actions).
+    pub max_depth: usize,
+    /// Cap on distinct states visited; exceeded ⇒ exploration is truncated
+    /// (reported in the outcome, never silent).
+    pub max_states: usize,
+    /// How many crash actions the adversary may take.
+    pub crash_budget: usize,
+    /// Whether the adversary may drop in-flight messages (lossy links).
+    pub loss_budget: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options { max_depth: 24, max_states: 200_000, crash_budget: 0, loss_budget: 0 }
+    }
+}
+
+/// One step of a schedule (for counterexample reporting).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Deliver the in-flight message at this queue position.
+    Deliver {
+        /// Destination of the delivered message.
+        dest: Loc,
+        /// Header of the delivered message.
+        header: String,
+    },
+    /// Crash this node.
+    Crash(Loc),
+    /// Drop the in-flight message at this queue position.
+    Drop {
+        /// Destination of the dropped message.
+        dest: Loc,
+        /// Header of the dropped message.
+        header: String,
+    },
+}
+
+/// The world state the invariant can inspect.
+pub struct World {
+    /// Messages delivered to environment locations, in emission order:
+    /// `(env_loc, sender, msg)`.
+    pub observations: Vec<(Loc, Loc, Msg)>,
+    /// Which protocol nodes are crashed.
+    pub crashed: Vec<bool>,
+    /// Depth of the current schedule.
+    pub depth: usize,
+}
+
+/// A violated invariant together with the schedule that reaches it.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The invariant's error message.
+    pub message: String,
+    /// The schedule (root to violation).
+    pub schedule: Vec<Choice>,
+}
+
+/// The result of an exploration.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// A counterexample, if the invariant can be violated within bounds.
+    pub violation: Option<Violation>,
+    /// Distinct states visited.
+    pub states_visited: usize,
+    /// Whether bounds truncated the search (if true and no violation, the
+    /// result is "no violation found within bounds", not a proof).
+    pub truncated: bool,
+    /// The maximum schedule depth reached.
+    pub max_depth_reached: usize,
+}
+
+struct Node {
+    procs: Vec<Box<dyn Process>>,
+    alive: Vec<bool>,
+    inflight: Vec<(Loc, Loc, Msg)>, // (dest, src, msg)
+    observations: Vec<(Loc, Loc, Msg)>,
+    crash_budget: usize,
+    loss_budget: usize,
+}
+
+impl Node {
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for p in &self.procs {
+            p.digest(&mut h);
+        }
+        self.alive.hash(&mut h);
+        // In-flight messages as a multiset: hash a sorted projection.
+        let mut keys: Vec<u64> = self
+            .inflight
+            .iter()
+            .map(|(d, s, m)| {
+                let mut mh = DefaultHasher::new();
+                (d, s, m).hash(&mut mh);
+                mh.finish()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.hash(&mut h);
+        self.observations.hash(&mut h);
+        (self.crash_budget, self.loss_budget).hash(&mut h);
+        h.finish()
+    }
+
+    fn clone_node(&self) -> Node {
+        Node {
+            procs: self.procs.iter().map(|p| p.clone_box()).collect(),
+            alive: self.alive.clone(),
+            inflight: self.inflight.clone(),
+            observations: self.observations.clone(),
+            crash_budget: self.crash_budget,
+            loss_budget: self.loss_budget,
+        }
+    }
+}
+
+/// Explores all schedules of `spec` within `options`, checking `invariant`
+/// in every reachable state.
+pub fn explore(
+    spec: Spec,
+    options: Options,
+    invariant: impl Fn(&World) -> Result<(), String>,
+) -> Outcome {
+    let env: HashSet<Loc> = spec.env.iter().copied().collect();
+    let n = spec.procs.len();
+    let mut root = Node {
+        procs: spec.procs,
+        alive: vec![true; n],
+        inflight: Vec::new(),
+        observations: Vec::new(),
+        crash_budget: options.crash_budget,
+        loss_budget: options.loss_budget,
+    };
+    for (dest, msg) in spec.init_msgs {
+        root.inflight.push((dest, dest, msg)); // external: src = dest
+    }
+    let mut outcome = Outcome::default();
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut schedule: Vec<Choice> = Vec::new();
+    dfs(&root, &env, &options, &invariant, &mut visited, &mut schedule, &mut outcome);
+    outcome
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    node: &Node,
+    env: &HashSet<Loc>,
+    options: &Options,
+    invariant: &impl Fn(&World) -> Result<(), String>,
+    visited: &mut HashSet<u64>,
+    schedule: &mut Vec<Choice>,
+    outcome: &mut Outcome,
+) {
+    if outcome.violation.is_some() {
+        return;
+    }
+    let fp = node.fingerprint();
+    if !visited.insert(fp) {
+        return;
+    }
+    outcome.states_visited = visited.len();
+    outcome.max_depth_reached = outcome.max_depth_reached.max(schedule.len());
+    if visited.len() > options.max_states {
+        outcome.truncated = true;
+        return;
+    }
+    let world = World {
+        observations: node.observations.clone(),
+        crashed: node.alive.iter().map(|a| !a).collect(),
+        depth: schedule.len(),
+    };
+    if let Err(message) = invariant(&world) {
+        outcome.violation = Some(Violation { message, schedule: schedule.clone() });
+        return;
+    }
+    if schedule.len() >= options.max_depth {
+        if !node.inflight.is_empty() {
+            outcome.truncated = true;
+        }
+        return;
+    }
+
+    // Choice 1: deliver any in-flight message.
+    for i in 0..node.inflight.len() {
+        let (dest, src, msg) = node.inflight[i].clone();
+        let mut next = node.clone_node();
+        next.inflight.remove(i);
+        let idx = dest.index() as usize;
+        if idx < next.procs.len() && next.alive[idx] {
+            let ctx = Ctx::new(dest, VTime::from_micros(schedule.len() as u64));
+            let outputs = next.procs[idx].step(&ctx, &msg);
+            for instr in outputs {
+                if env.contains(&instr.dest) {
+                    next.observations.push((instr.dest, dest, instr.msg));
+                } else {
+                    next.inflight.push((instr.dest, dest, instr.msg));
+                }
+            }
+        }
+        // Delivery to a crashed or unknown node silently consumes the message.
+        let _ = src;
+        schedule.push(Choice::Deliver { dest, header: msg.header.name().to_owned() });
+        dfs(&next, env, options, invariant, visited, schedule, outcome);
+        schedule.pop();
+        if outcome.violation.is_some() {
+            return;
+        }
+    }
+
+    // Choice 2: crash any alive node (within budget).
+    if node.crash_budget > 0 {
+        for idx in 0..node.procs.len() {
+            if !node.alive[idx] {
+                continue;
+            }
+            let mut next = node.clone_node();
+            next.alive[idx] = false;
+            next.crash_budget -= 1;
+            schedule.push(Choice::Crash(Loc::new(idx as u32)));
+            dfs(&next, env, options, invariant, visited, schedule, outcome);
+            schedule.pop();
+            if outcome.violation.is_some() {
+                return;
+            }
+        }
+    }
+
+    // Choice 3: drop any in-flight message (within budget).
+    if node.loss_budget > 0 {
+        for i in 0..node.inflight.len() {
+            let (dest, _src, msg) = node.inflight[i].clone();
+            let mut next = node.clone_node();
+            next.inflight.remove(i);
+            next.loss_budget -= 1;
+            schedule.push(Choice::Drop { dest, header: msg.header.name().to_owned() });
+            dfs(&next, env, options, invariant, visited, schedule, outcome);
+            schedule.pop();
+            if outcome.violation.is_some() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdb_eventml::{FnProcess, SendInstr, Value};
+
+    /// Node 0 and node 1 both tell the observer (loc 2) their own id; the
+    /// observer must never hear two different ids… which is false, so the
+    /// checker must find a counterexample.
+    #[test]
+    fn finds_violation_with_schedule() {
+        let teller = |id: i64| {
+            Box::new(FnProcess::new((), move |_s, _c: &Ctx, m: &Msg| {
+                if m.header.name() == "go" {
+                    vec![SendInstr::now(Loc::new(2), Msg::new("id", Value::Int(id)))]
+                } else {
+                    vec![]
+                }
+            })) as Box<dyn Process>
+        };
+        let spec = Spec {
+            procs: vec![teller(0), teller(1)],
+            env: vec![Loc::new(2)],
+            init_msgs: vec![
+                (Loc::new(0), Msg::new("go", Value::Unit)),
+                (Loc::new(1), Msg::new("go", Value::Unit)),
+            ],
+        };
+        let outcome = explore(spec, Options::default(), |w| {
+            let ids: HashSet<i64> =
+                w.observations.iter().filter_map(|(_, _, m)| m.body.as_int()).collect();
+            if ids.len() <= 1 {
+                Ok(())
+            } else {
+                Err(format!("observer heard {} different ids", ids.len()))
+            }
+        });
+        let v = outcome.violation.as_ref().expect("must find the violation");
+        assert_eq!(v.schedule.len(), 2); // both deliveries
+    }
+
+    /// A ping-pong pair under a crash budget: the total number of pongs the
+    /// observer hears never exceeds the number of pings delivered.
+    #[test]
+    fn crash_budget_explored_without_violation() {
+        let ponger = Box::new(FnProcess::new(0u32, move |n, _c: &Ctx, m: &Msg| {
+            if m.header.name() == "ping" {
+                *n += 1;
+                vec![SendInstr::now(Loc::new(1), Msg::new("pong", Value::Int(*n as i64)))]
+            } else {
+                vec![]
+            }
+        })) as Box<dyn Process>;
+        let spec = Spec {
+            procs: vec![ponger],
+            env: vec![Loc::new(1)],
+            init_msgs: vec![
+                (Loc::new(0), Msg::new("ping", Value::Unit)),
+                (Loc::new(0), Msg::new("ping", Value::Unit)),
+            ],
+        };
+        let outcome = explore(
+            spec,
+            Options { crash_budget: 1, ..Options::default() },
+            |w| {
+                if w.observations.len() <= 2 {
+                    Ok(())
+                } else {
+                    Err("more pongs than pings".into())
+                }
+            },
+        );
+        assert!(outcome.violation.is_none());
+        assert!(!outcome.truncated);
+        // Crash placements multiply the state space: > the 4 states of the
+        // crash-free run.
+        assert!(outcome.states_visited > 4, "visited {}", outcome.states_visited);
+    }
+
+    /// Loss budget lets the adversary eat messages; an invariant demanding a
+    /// reply for every request must then fail only if stated as a *safety*
+    /// property incorrectly. Here we state a true safety property and check
+    /// no violation is reported even with loss.
+    #[test]
+    fn loss_budget_preserves_safety_invariants() {
+        let echo = Box::new(FnProcess::new((), move |_s, _c: &Ctx, m: &Msg| {
+            if m.header.name() == "req" {
+                vec![SendInstr::now(Loc::new(1), Msg::new("resp", m.body.clone()))]
+            } else {
+                vec![]
+            }
+        })) as Box<dyn Process>;
+        let spec = Spec {
+            procs: vec![echo],
+            env: vec![Loc::new(1)],
+            init_msgs: vec![
+                (Loc::new(0), Msg::new("req", Value::Int(1))),
+                (Loc::new(0), Msg::new("req", Value::Int(2))),
+            ],
+        };
+        let outcome = explore(
+            spec,
+            Options { loss_budget: 2, ..Options::default() },
+            |w| {
+                // Safety: responses only ever carry values that were requested.
+                for (_, _, m) in &w.observations {
+                    let v = m.body.as_int().unwrap_or(-1);
+                    if v != 1 && v != 2 {
+                        return Err(format!("spurious response {v}"));
+                    }
+                }
+                Ok(())
+            },
+        );
+        assert!(outcome.violation.is_none());
+        assert!(!outcome.truncated);
+    }
+
+    /// Visited-state deduplication: two deliveries that commute lead to the
+    /// same state, explored once.
+    #[test]
+    fn dedup_collapses_commuting_schedules() {
+        let sink = || {
+            Box::new(FnProcess::new(0i64, |n, _c: &Ctx, _m: &Msg| {
+                *n += 1;
+                vec![]
+            })) as Box<dyn Process>
+        };
+        let spec = Spec {
+            procs: vec![sink(), sink()],
+            env: vec![],
+            init_msgs: vec![
+                (Loc::new(0), Msg::new("a", Value::Unit)),
+                (Loc::new(1), Msg::new("b", Value::Unit)),
+            ],
+        };
+        let outcome = explore(spec, Options::default(), |_| Ok(()));
+        // States: init, a-done, b-done, both-done = 4 (not 1+2+2 paths = 5).
+        assert_eq!(outcome.states_visited, 4);
+    }
+
+    #[test]
+    fn depth_bound_truncates_and_reports() {
+        // An infinite *counting* ping-pong: every hop changes state, so the
+        // space is unbounded and the explorer must hit max_depth and say so.
+        let bouncer = |other: u32| {
+            Box::new(FnProcess::new(0i64, move |hops, _c: &Ctx, m: &Msg| {
+                *hops += 1;
+                vec![SendInstr::now(Loc::new(other), m.clone())]
+            })) as Box<dyn Process>
+        };
+        let spec = Spec {
+            procs: vec![bouncer(1), bouncer(0)],
+            env: vec![],
+            init_msgs: vec![(Loc::new(0), Msg::new("ball", Value::Unit))],
+        };
+        let outcome =
+            explore(spec, Options { max_depth: 6, ..Options::default() }, |_| Ok(()));
+        assert!(outcome.violation.is_none());
+        assert!(outcome.truncated);
+        assert_eq!(outcome.max_depth_reached, 6);
+    }
+
+    /// A stateless ping-pong closes a 2-state cycle: the explorer proves the
+    /// (trivial) invariant over the *entire* state space without truncation.
+    #[test]
+    fn cyclic_state_space_fully_explored() {
+        let bouncer = |other: u32| {
+            Box::new(FnProcess::new((), move |_s, _c: &Ctx, m: &Msg| {
+                vec![SendInstr::now(Loc::new(other), m.clone())]
+            })) as Box<dyn Process>
+        };
+        let spec = Spec {
+            procs: vec![bouncer(1), bouncer(0)],
+            env: vec![],
+            init_msgs: vec![(Loc::new(0), Msg::new("ball", Value::Unit))],
+        };
+        let outcome =
+            explore(spec, Options { max_depth: 50, ..Options::default() }, |_| Ok(()));
+        assert!(outcome.violation.is_none());
+        assert!(!outcome.truncated);
+        // init (external ball), ball at node1, ball back at node0; the third
+        // state differs from the first only in the recorded sender, after
+        // which the cycle closes.
+        assert_eq!(outcome.states_visited, 3);
+    }
+}

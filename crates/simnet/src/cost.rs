@@ -1,0 +1,71 @@
+//! CPU service-time models.
+//!
+//! The paper's measured systems saturate when a CPU does: "at their maximum
+//! throughput … both interpreted versions are CPU-bound" (Sec. IV-A). The
+//! simulator reproduces that mechanism by charging each handled message a
+//! service time at the receiving node; while a node is busy, further inputs
+//! queue. Calibrated per-backend costs live in `shadowdb-bench`.
+
+use shadowdb_eventml::Msg;
+use shadowdb_loe::Loc;
+use std::time::Duration;
+
+/// Assigns a CPU service time to each handled message.
+pub trait CostModel: Send {
+    /// How long `dest` is busy handling `msg`.
+    fn handle_cost(&self, dest: Loc, msg: &Msg) -> Duration;
+}
+
+/// The zero-cost model: infinitely fast CPUs (pure message-count semantics).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ZeroCost;
+
+impl CostModel for ZeroCost {
+    fn handle_cost(&self, _dest: Loc, _msg: &Msg) -> Duration {
+        Duration::ZERO
+    }
+}
+
+/// A cost model from a plain function.
+#[derive(Clone, Debug)]
+pub struct FnCost<F>(pub F);
+
+impl<F> CostModel for FnCost<F>
+where
+    F: Fn(Loc, &Msg) -> Duration + Send,
+{
+    fn handle_cost(&self, dest: Loc, msg: &Msg) -> Duration {
+        (self.0)(dest, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdb_eventml::Value;
+
+    #[test]
+    fn zero_cost_is_zero() {
+        let m = Msg::new("x", Value::Unit);
+        assert_eq!(ZeroCost.handle_cost(Loc::new(0), &m), Duration::ZERO);
+    }
+
+    #[test]
+    fn fn_cost_dispatches_on_header() {
+        let model = FnCost(|_d: Loc, m: &Msg| {
+            if m.header.name() == "slow" {
+                Duration::from_millis(5)
+            } else {
+                Duration::from_micros(10)
+            }
+        });
+        assert_eq!(
+            model.handle_cost(Loc::new(0), &Msg::new("slow", Value::Unit)),
+            Duration::from_millis(5)
+        );
+        assert_eq!(
+            model.handle_cost(Loc::new(0), &Msg::new("fast", Value::Unit)),
+            Duration::from_micros(10)
+        );
+    }
+}

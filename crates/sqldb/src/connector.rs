@@ -1,0 +1,163 @@
+//! URL-based connector: the "plug in any JDBC-enabled database" surface.
+//!
+//! "Our implementation allows to easily plug in any JDBC-enabled database
+//! by specifying the database driver and the connection URL" (Sec. III-C).
+//! This module is that seam: a [`Driver`] resolves `shadowdb:<engine>:
+//! mem:<name>` URLs to shared database instances, so deployment code names
+//! engines by string exactly as ShadowDB's configuration files would.
+
+use crate::engine::Database;
+use crate::profile::EngineProfile;
+use crate::{Result, SqlError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A parsed connection URL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConnUrl {
+    /// Engine name (`h2`, `hsqldb`, `derby`, `mysql-memory`, `mysql-innodb`).
+    pub engine: String,
+    /// Database name; connections to the same name share state.
+    pub name: String,
+}
+
+impl ConnUrl {
+    /// Parses `shadowdb:<engine>:mem:<name>`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SqlError::Parse`] on malformed URLs.
+    pub fn parse(url: &str) -> Result<ConnUrl> {
+        let parts: Vec<&str> = url.split(':').collect();
+        match parts.as_slice() {
+            ["shadowdb", engine, "mem", name] if !name.is_empty() => Ok(ConnUrl {
+                engine: (*engine).to_owned(),
+                name: (*name).to_owned(),
+            }),
+            _ => Err(SqlError::Parse(format!(
+                "bad connection url {url:?}; expected shadowdb:<engine>:mem:<name>"
+            ))),
+        }
+    }
+}
+
+/// A driver: resolves URLs to (possibly shared) database instances.
+#[derive(Clone, Default)]
+pub struct Driver {
+    registry: Arc<Mutex<HashMap<String, Database>>>,
+}
+
+impl std::fmt::Debug for Driver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Driver").field("databases", &self.registry.lock().len()).finish()
+    }
+}
+
+impl Driver {
+    /// Creates a driver with an empty registry.
+    pub fn new() -> Driver {
+        Driver::default()
+    }
+
+    /// Connects to the database named by `url`, creating it (with the
+    /// engine personality the URL names) on first use.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed URLs, unknown engines, or when reconnecting to an
+    /// existing database under a *different* engine name.
+    pub fn connect(&self, url: &str) -> Result<Database> {
+        let parsed = ConnUrl::parse(url)?;
+        let profile = EngineProfile::by_name(&parsed.engine)
+            .ok_or_else(|| SqlError::Unknown(format!("engine {}", parsed.engine)))?;
+        let mut registry = self.registry.lock();
+        if let Some(existing) = registry.get(&parsed.name) {
+            if existing.profile().name != profile.name {
+                return Err(SqlError::Constraint(format!(
+                    "database {} already open with engine {}",
+                    parsed.name,
+                    existing.profile().name
+                )));
+            }
+            return Ok(existing.clone());
+        }
+        let db = Database::new(profile);
+        registry.insert(parsed.name, db.clone());
+        Ok(db)
+    }
+
+    /// Names of the currently open databases.
+    pub fn open_databases(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.registry.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::SqlValue;
+
+    #[test]
+    fn url_parsing() {
+        assert_eq!(
+            ConnUrl::parse("shadowdb:h2:mem:bank").unwrap(),
+            ConnUrl { engine: "h2".into(), name: "bank".into() }
+        );
+        assert!(ConnUrl::parse("jdbc:h2:mem:bank").is_err());
+        assert!(ConnUrl::parse("shadowdb:h2:file:bank").is_err());
+        assert!(ConnUrl::parse("shadowdb:h2:mem:").is_err());
+    }
+
+    #[test]
+    fn connections_to_same_name_share_state() {
+        let driver = Driver::new();
+        let a = driver.connect("shadowdb:h2:mem:shared").unwrap();
+        a.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+        let b = driver.connect("shadowdb:h2:mem:shared").unwrap();
+        let r = b.execute("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(1));
+    }
+
+    #[test]
+    fn distinct_names_are_isolated() {
+        let driver = Driver::new();
+        let a = driver.connect("shadowdb:h2:mem:one").unwrap();
+        let b = driver.connect("shadowdb:derby:mem:two").unwrap();
+        a.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
+        assert!(b.execute("SELECT id FROM t").is_err());
+        assert_eq!(driver.open_databases(), vec!["one".to_owned(), "two".to_owned()]);
+    }
+
+    #[test]
+    fn engine_mismatch_rejected() {
+        let driver = Driver::new();
+        driver.connect("shadowdb:h2:mem:db").unwrap();
+        assert!(matches!(
+            driver.connect("shadowdb:derby:mem:db"),
+            Err(SqlError::Constraint(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_engine_rejected() {
+        let driver = Driver::new();
+        assert!(matches!(
+            driver.connect("shadowdb:oracle:mem:db"),
+            Err(SqlError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn diverse_trio_by_url() {
+        // The deployment idiom: one URL per replica, three engines.
+        let driver = Driver::new();
+        for (i, engine) in ["h2", "hsqldb", "derby"].iter().enumerate() {
+            let db = driver.connect(&format!("shadowdb:{engine}:mem:replica{i}")).unwrap();
+            assert_eq!(&db.profile().name, engine);
+        }
+    }
+}

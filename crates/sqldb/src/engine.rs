@@ -1,0 +1,821 @@
+//! The database engine: transactions, execution, undo.
+
+use crate::expr::Expr;
+use crate::lock::{LockGranularity, LockManager, LockMode, Resource, TxnId};
+use crate::profile::EngineProfile;
+use crate::schema::TableSchema;
+use crate::snapshot::Snapshot;
+use crate::sql::{parse, Aggregate, Projection, SelectStmt, Statement};
+use crate::table::{RowId, Table};
+use crate::value::{Row, SqlValue};
+use crate::{Result, SqlError};
+use parking_lot::RwLock;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The result of executing a statement.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResultSet {
+    /// Column labels (projection order).
+    pub columns: Vec<String>,
+    /// Result rows (empty for DML/DDL).
+    pub rows: Vec<Row>,
+    /// Rows affected by DML.
+    pub affected: usize,
+}
+
+/// An embedded database instance.
+///
+/// Cheap to clone (shared handle); concurrent transactions from multiple
+/// threads are isolated by strict two-phase locking per the engine
+/// profile's granularity.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<Inner>,
+}
+
+struct Inner {
+    profile: EngineProfile,
+    tables: RwLock<HashMap<String, Table>>,
+    locks: LockManager,
+    next_txn: AtomicU64,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("engine", &self.inner.profile.name)
+            .field("tables", &self.inner.tables.read().len())
+            .finish()
+    }
+}
+
+impl Database {
+    /// Creates an empty database with the given engine personality.
+    pub fn new(profile: EngineProfile) -> Database {
+        Database {
+            inner: Arc::new(Inner {
+                profile,
+                tables: RwLock::new(HashMap::new()),
+                locks: LockManager::new(),
+                next_txn: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The engine profile this database runs with.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.inner.profile
+    }
+
+    /// Begins a transaction.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; the `Result` mirrors a real driver's API.
+    pub fn begin(&self) -> Result<Transaction> {
+        let id = self.inner.next_txn.fetch_add(1, Ordering::Relaxed);
+        Ok(Transaction {
+            db: self.inner.clone(),
+            id,
+            undo: Vec::new(),
+            finished: false,
+            virtual_us: 0,
+        })
+    }
+
+    /// Convenience: runs one statement in its own transaction.
+    pub fn execute(&self, sql: &str) -> Result<ResultSet> {
+        let mut txn = self.begin()?;
+        let r = txn.execute(sql);
+        match r {
+            Ok(rs) => {
+                txn.commit()?;
+                Ok(rs)
+            }
+            Err(e) => {
+                let _ = txn.rollback();
+                Err(e)
+            }
+        }
+    }
+
+    /// Number of rows in `table` (0 if absent) — a cheap metadata read.
+    pub fn table_len(&self, table: &str) -> usize {
+        self.inner.tables.read().get(&table.to_lowercase()).map(Table::len).unwrap_or(0)
+    }
+
+    /// Names of all tables.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Total data size in bytes across all tables.
+    pub fn byte_size(&self) -> usize {
+        self.inner.tables.read().values().map(Table::byte_size).sum()
+    }
+
+    /// Bulk-inserts rows directly (loader fast path; bypasses SQL parsing
+    /// and locking — callers must have exclusive use of the database, as
+    /// during initial load or state transfer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema violations; earlier rows stay inserted.
+    pub fn insert_rows<I: IntoIterator<Item = Row>>(&self, table: &str, rows: I) -> Result<usize> {
+        let mut tables = self.inner.tables.write();
+        let t = tables
+            .get_mut(&table.to_lowercase())
+            .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
+        let mut n = 0;
+        for row in rows {
+            t.insert(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Takes a consistent snapshot of the entire database (schemas + rows).
+    /// The caller is responsible for quiescing writers (replication
+    /// executes transactions sequentially, so snapshots are taken between
+    /// transactions).
+    pub fn snapshot(&self) -> Snapshot {
+        let tables = self.inner.tables.read();
+        let mut names: Vec<&String> = tables.keys().collect();
+        names.sort();
+        Snapshot::from_tables(names.iter().map(|n| &tables[*n]))
+    }
+
+    /// Restores the database from a snapshot, replacing all contents.
+    ///
+    /// # Errors
+    ///
+    /// Propagates schema violations in the snapshot.
+    pub fn restore(&self, snapshot: &Snapshot) -> Result<()> {
+        let mut tables = self.inner.tables.write();
+        tables.clear();
+        for dump in snapshot.tables() {
+            let mut t = Table::new(dump.schema.clone());
+            for row in &dump.rows {
+                t.insert(row.clone())?;
+            }
+            tables.insert(dump.schema.name.clone(), t);
+        }
+        Ok(())
+    }
+}
+
+/// One operation's undo record.
+enum Undo {
+    Insert { table: String, rid: RowId },
+    Delete { table: String, rid: RowId, row: Row },
+    Update { table: String, rid: RowId, old: Row },
+    CreateTable { table: String },
+}
+
+/// An open transaction. Dropped without [`Transaction::commit`], it rolls
+/// back.
+pub struct Transaction {
+    db: Arc<Inner>,
+    id: TxnId,
+    undo: Vec<Undo>,
+    finished: bool,
+    virtual_us: u64,
+}
+
+impl Transaction {
+    /// This transaction's id.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Virtual CPU time consumed so far, per the engine's cost
+    /// coefficients (used by the simulator).
+    pub fn virtual_cost(&self) -> Duration {
+        Duration::from_micros(self.virtual_us)
+    }
+
+    /// Parses and executes one statement.
+    ///
+    /// # Errors
+    ///
+    /// On [`SqlError::LockTimeout`] the transaction has been rolled back
+    /// and must be retried from the start, as with the paper's engines.
+    pub fn execute(&mut self, sql: &str) -> Result<ResultSet> {
+        let stmt = parse(sql)?;
+        self.run(stmt)
+    }
+
+    /// Executes a `SELECT` and returns its rows (convenience alias).
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet> {
+        self.execute(sql)
+    }
+
+    /// Executes a pre-parsed statement.
+    pub fn run(&mut self, stmt: Statement) -> Result<ResultSet> {
+        if self.finished {
+            return Err(SqlError::TransactionClosed);
+        }
+        let r = self.dispatch(stmt);
+        if matches!(r, Err(SqlError::LockTimeout { .. })) {
+            // Timeout aborts the transaction, like H2/MySQL.
+            let _ = self.rollback_internal();
+        }
+        r
+    }
+
+    /// Commits, releasing all locks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is already finished.
+    pub fn commit(&mut self) -> Result<()> {
+        if self.finished {
+            return Err(SqlError::TransactionClosed);
+        }
+        self.finished = true;
+        self.undo.clear();
+        self.db.locks.release_all(self.id);
+        Ok(())
+    }
+
+    /// Rolls back all changes and releases locks.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is already finished.
+    pub fn rollback(&mut self) -> Result<()> {
+        if self.finished {
+            return Err(SqlError::TransactionClosed);
+        }
+        self.rollback_internal()
+    }
+
+    fn rollback_internal(&mut self) -> Result<()> {
+        self.finished = true;
+        let mut tables = self.db.tables.write();
+        for op in self.undo.drain(..).rev() {
+            match op {
+                Undo::Insert { table, rid } => {
+                    if let Some(t) = tables.get_mut(&table) {
+                        t.delete(rid);
+                    }
+                }
+                Undo::Delete { table, rid, row } => {
+                    if let Some(t) = tables.get_mut(&table) {
+                        t.restore(rid, row)?;
+                    }
+                }
+                Undo::Update { table, rid, old } => {
+                    if let Some(t) = tables.get_mut(&table) {
+                        t.update(rid, old)?;
+                    }
+                }
+                Undo::CreateTable { table } => {
+                    tables.remove(&table);
+                }
+            }
+        }
+        drop(tables);
+        self.db.locks.release_all(self.id);
+        Ok(())
+    }
+
+    fn charge(&mut self, us: u64) {
+        self.virtual_us += us;
+    }
+
+    fn lock_write(&mut self, table: &str, key: &[SqlValue]) -> Result<()> {
+        let res = match self.db.profile.granularity {
+            LockGranularity::Table => Resource::Table(table.to_owned()),
+            LockGranularity::Row => Resource::Row(table.to_owned(), key.to_vec()),
+        };
+        if self.db.locks.acquire(self.id, res, LockMode::Exclusive, self.db.profile.lock_timeout)
+        {
+            Ok(())
+        } else {
+            Err(SqlError::LockTimeout { table: table.to_owned() })
+        }
+    }
+
+    fn lock_read(&mut self, table: &str) -> Result<()> {
+        // Table-granularity engines take a shared table lock for reads;
+        // row-granularity engines read without locks (read committed).
+        if self.db.profile.granularity == LockGranularity::Table {
+            let res = Resource::Table(table.to_owned());
+            if !self
+                .db
+                .locks
+                .acquire(self.id, res, LockMode::Shared, self.db.profile.lock_timeout)
+            {
+                return Err(SqlError::LockTimeout { table: table.to_owned() });
+            }
+        }
+        Ok(())
+    }
+
+    fn dispatch(&mut self, stmt: Statement) -> Result<ResultSet> {
+        match stmt {
+            Statement::CreateTable(schema) => self.create_table(schema),
+            Statement::CreateIndex { name, table, columns } => {
+                self.create_index(&name, &table, &columns)
+            }
+            Statement::Insert { table, rows } => self.insert(&table, rows),
+            Statement::Select(sel) => self.select(sel),
+            Statement::Update { table, sets, filter } => self.update(&table, sets, filter),
+            Statement::Delete { table, filter } => self.delete(&table, filter),
+        }
+    }
+
+    fn create_table(&mut self, schema: TableSchema) -> Result<ResultSet> {
+        self.charge(self.db.profile.costs.per_statement_us);
+        let mut tables = self.db.tables.write();
+        if tables.contains_key(&schema.name) {
+            return Err(SqlError::Constraint(format!("table {} already exists", schema.name)));
+        }
+        let name = schema.name.clone();
+        tables.insert(name.clone(), Table::new(schema));
+        self.undo.push(Undo::CreateTable { table: name });
+        Ok(ResultSet::default())
+    }
+
+    fn create_index(&mut self, name: &str, table: &str, columns: &[String]) -> Result<ResultSet> {
+        self.charge(self.db.profile.costs.per_statement_us);
+        let mut tables = self.db.tables.write();
+        let t = tables
+            .get_mut(&table.to_lowercase())
+            .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
+        t.create_index(name, columns)?;
+        Ok(ResultSet::default())
+    }
+
+    fn insert(&mut self, table: &str, rows: Vec<Vec<crate::sql::ExprAst>>) -> Result<ResultSet> {
+        let table = table.to_lowercase();
+        let costs = self.db.profile.costs;
+        self.charge(costs.per_statement_us);
+        // Evaluate the constant rows first (no locks needed).
+        let mut values: Vec<Row> = Vec::with_capacity(rows.len());
+        for row in &rows {
+            let mut out = Vec::with_capacity(row.len());
+            for e in row {
+                out.push(e.eval_const()?);
+            }
+            values.push(out);
+        }
+        let mut affected = 0;
+        for row in values {
+            let key = {
+                let tables = self.db.tables.read();
+                let t = tables
+                    .get(&table)
+                    .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
+                t.schema().check_row(&row)?;
+                t.schema().key_of(&row)
+            };
+            self.lock_write(&table, &key)?;
+            let rid = {
+                let mut tables = self.db.tables.write();
+                let t = tables.get_mut(&table).expect("checked above");
+                t.insert(row)?
+            };
+            self.undo.push(Undo::Insert { table: table.clone(), rid });
+            self.charge(costs.write_us);
+            affected += 1;
+        }
+        Ok(ResultSet { affected, ..ResultSet::default() })
+    }
+
+    /// Binds a filter and collects the matching `(rid, row)` pairs.
+    fn matching(
+        &mut self,
+        table: &str,
+        filter: &Option<crate::sql::ExprAst>,
+    ) -> Result<(Option<Expr>, Vec<(RowId, Row)>)> {
+        let costs = self.db.profile.costs;
+        let tables = self.db.tables.read();
+        let t = tables
+            .get(table)
+            .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
+        let bound = match filter {
+            Some(f) => Some(f.bind(t.schema())?),
+            None => None,
+        };
+        let candidates = t.candidates(bound.as_ref());
+        let indexed = candidates.len() < t.len() || t.is_empty();
+        let mut out = Vec::new();
+        for rid in candidates {
+            if let Some(row) = t.get(rid) {
+                let keep = match &bound {
+                    Some(f) => f.matches(row)?,
+                    None => true,
+                };
+                if keep {
+                    out.push((rid, row.clone()));
+                }
+            }
+        }
+        drop(tables);
+        if indexed {
+            self.charge(costs.point_read_us * out.len().max(1) as u64);
+        } else {
+            let scanned = self.db.tables.read().get(table).map(Table::len).unwrap_or(0);
+            self.charge(costs.scan_row_us * scanned as u64);
+        }
+        Ok((bound, out))
+    }
+
+    fn select(&mut self, sel: SelectStmt) -> Result<ResultSet> {
+        let table = sel.table.to_lowercase();
+        let costs = self.db.profile.costs;
+        self.charge(costs.per_statement_us);
+        if sel.for_update {
+            // FOR UPDATE takes exclusive locks up front.
+            let (_, rows) = self.matching(&table, &sel.filter)?;
+            for (_, row) in &rows {
+                let key = {
+                    let tables = self.db.tables.read();
+                    tables[&table].schema().key_of(row)
+                };
+                self.lock_write(&table, &key)?;
+            }
+        } else {
+            self.lock_read(&table)?;
+        }
+        let (_, mut matched) = self.matching(&table, &sel.filter)?;
+
+        let tables = self.db.tables.read();
+        let schema = tables
+            .get(&table)
+            .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?
+            .schema()
+            .clone();
+        drop(tables);
+
+        if let Some((col, desc)) = &sel.order_by {
+            let ci = schema.col(col)?;
+            matched.sort_by(|(_, a), (_, b)| {
+                let ord = a[ci].cmp(&b[ci]);
+                if *desc {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            });
+        }
+        if let Some(n) = sel.limit {
+            matched.truncate(n);
+        }
+
+        match &sel.projection {
+            Projection::Star => Ok(ResultSet {
+                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+                rows: matched.into_iter().map(|(_, r)| r).collect(),
+                affected: 0,
+            }),
+            Projection::Cols(cols) => {
+                let idx: Result<Vec<usize>> = cols.iter().map(|c| schema.col(c)).collect();
+                let idx = idx?;
+                Ok(ResultSet {
+                    columns: cols.clone(),
+                    rows: matched
+                        .into_iter()
+                        .map(|(_, r)| idx.iter().map(|&i| r[i].clone()).collect())
+                        .collect(),
+                    affected: 0,
+                })
+            }
+            Projection::Aggregates(aggs) => {
+                let rows: Vec<Row> = matched.into_iter().map(|(_, r)| r).collect();
+                let mut out = Vec::with_capacity(aggs.len());
+                let mut labels = Vec::with_capacity(aggs.len());
+                for agg in aggs {
+                    let (label, v) = eval_aggregate(agg, &schema, &rows)?;
+                    labels.push(label);
+                    out.push(v);
+                }
+                Ok(ResultSet { columns: labels, rows: vec![out], affected: 0 })
+            }
+        }
+    }
+
+    fn update(
+        &mut self,
+        table: &str,
+        sets: Vec<(String, crate::sql::ExprAst)>,
+        filter: Option<crate::sql::ExprAst>,
+    ) -> Result<ResultSet> {
+        let table = table.to_lowercase();
+        let costs = self.db.profile.costs;
+        self.charge(costs.per_statement_us);
+        let (bound_filter, matched) = self.matching(&table, &filter)?;
+        let schema = {
+            let tables = self.db.tables.read();
+            tables
+                .get(&table)
+                .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?
+                .schema()
+                .clone()
+        };
+        let bound_sets: Result<Vec<(usize, Expr)>> = sets
+            .iter()
+            .map(|(c, e)| Ok((schema.col(c)?, e.bind(&schema)?)))
+            .collect();
+        let bound_sets = bound_sets?;
+        let mut affected = 0;
+        for (rid, old_row) in matched {
+            self.lock_write(&table, &schema.key_of(&old_row))?;
+            // Matching ran before the lock was held: re-read the row and
+            // re-validate the predicate against its *current* contents, or
+            // concurrent writers would be lost.
+            let current = {
+                let tables = self.db.tables.read();
+                tables.get(&table).and_then(|t| t.get(rid).cloned())
+            };
+            let Some(current) = current else { continue };
+            if let Some(f) = &bound_filter {
+                if !f.matches(&current)? {
+                    continue;
+                }
+            }
+            let mut new_row = current.clone();
+            for (ci, e) in &bound_sets {
+                new_row[*ci] = e.eval(&current)?;
+            }
+            {
+                let mut tables = self.db.tables.write();
+                let t = tables.get_mut(&table).expect("checked");
+                let old = t.update(rid, new_row)?;
+                self.undo.push(Undo::Update { table: table.clone(), rid, old });
+            }
+            affected += 1;
+            self.charge(costs.write_us);
+        }
+        Ok(ResultSet { affected, ..ResultSet::default() })
+    }
+
+    fn delete(
+        &mut self,
+        table: &str,
+        filter: Option<crate::sql::ExprAst>,
+    ) -> Result<ResultSet> {
+        let table = table.to_lowercase();
+        let costs = self.db.profile.costs;
+        self.charge(costs.per_statement_us);
+        let (bound_filter, matched) = self.matching(&table, &filter)?;
+        let schema = {
+            let tables = self.db.tables.read();
+            tables
+                .get(&table)
+                .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?
+                .schema()
+                .clone()
+        };
+        let mut affected = 0;
+        for (rid, row) in matched {
+            self.lock_write(&table, &schema.key_of(&row))?;
+            let mut tables = self.db.tables.write();
+            let t = tables.get_mut(&table).expect("checked");
+            // Re-validate under the lock (see update).
+            let still_matches = match (t.get(rid), &bound_filter) {
+                (None, _) => false,
+                (Some(_), None) => true,
+                (Some(r), Some(f)) => f.matches(r)?,
+            };
+            if still_matches {
+                if let Some(old) = t.delete(rid) {
+                    self.undo.push(Undo::Delete { table: table.clone(), rid, row: old });
+                    affected += 1;
+                    drop(tables);
+                    self.charge(costs.write_us);
+                }
+            }
+        }
+        Ok(ResultSet { affected, ..ResultSet::default() })
+    }
+}
+
+impl Drop for Transaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            let _ = self.rollback_internal();
+        }
+    }
+}
+
+fn eval_aggregate(
+    agg: &Aggregate,
+    schema: &TableSchema,
+    rows: &[Row],
+) -> Result<(String, SqlValue)> {
+    let col_vals = |name: &str| -> Result<Vec<SqlValue>> {
+        let ci = schema.col(name)?;
+        Ok(rows.iter().map(|r| r[ci].clone()).filter(|v| !v.is_null()).collect())
+    };
+    Ok(match agg {
+        Aggregate::CountStar => ("count(*)".into(), SqlValue::Int(rows.len() as i64)),
+        Aggregate::Count(c) => (format!("count({c})"), SqlValue::Int(col_vals(c)?.len() as i64)),
+        Aggregate::CountDistinct(c) => {
+            let distinct: BTreeSet<SqlValue> = col_vals(c)?.into_iter().collect();
+            (format!("count(distinct {c})"), SqlValue::Int(distinct.len() as i64))
+        }
+        Aggregate::Sum(c) => {
+            let vals = col_vals(c)?;
+            let v = if vals.is_empty() {
+                SqlValue::Null
+            } else if vals.iter().all(|v| matches!(v, SqlValue::Int(_))) {
+                SqlValue::Int(vals.iter().filter_map(SqlValue::as_int).sum())
+            } else {
+                SqlValue::Real(vals.iter().filter_map(SqlValue::as_real).sum())
+            };
+            (format!("sum({c})"), v)
+        }
+        Aggregate::Min(c) => {
+            (format!("min({c})"), col_vals(c)?.into_iter().min().unwrap_or(SqlValue::Null))
+        }
+        Aggregate::Max(c) => {
+            (format!("max({c})"), col_vals(c)?.into_iter().max().unwrap_or(SqlValue::Null))
+        }
+        Aggregate::Avg(c) => {
+            let vals = col_vals(c)?;
+            let v = if vals.is_empty() {
+                SqlValue::Null
+            } else {
+                SqlValue::Real(
+                    vals.iter().filter_map(SqlValue::as_real).sum::<f64>() / vals.len() as f64,
+                )
+            };
+            (format!("avg({c})"), v)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> Database {
+        let db = Database::new(EngineProfile::h2());
+        db.execute("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance INT)")
+            .unwrap();
+        for i in 0..10 {
+            db.execute(&format!("INSERT INTO accounts VALUES ({i}, 'own{i}', {})", i * 100))
+                .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let db = bank();
+        let r = db.execute("SELECT balance FROM accounts WHERE id = 3").unwrap();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(300)]]);
+        let r = db.execute("UPDATE accounts SET balance = balance + 50 WHERE id = 3").unwrap();
+        assert_eq!(r.affected, 1);
+        let r = db.execute("SELECT balance FROM accounts WHERE id = 3").unwrap();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(350)]]);
+        let r = db.execute("DELETE FROM accounts WHERE id >= 8").unwrap();
+        assert_eq!(r.affected, 2);
+        assert_eq!(db.table_len("accounts"), 8);
+    }
+
+    #[test]
+    fn select_order_limit() {
+        let db = bank();
+        let r = db
+            .execute("SELECT id FROM accounts ORDER BY balance DESC LIMIT 3")
+            .unwrap();
+        let ids: Vec<i64> = r.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![9, 8, 7]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let db = bank();
+        let r = db
+            .execute("SELECT COUNT(*), SUM(balance), MIN(balance), MAX(balance) FROM accounts")
+            .unwrap();
+        assert_eq!(
+            r.rows[0],
+            vec![
+                SqlValue::Int(10),
+                SqlValue::Int(4500),
+                SqlValue::Int(0),
+                SqlValue::Int(900)
+            ]
+        );
+        db.execute("UPDATE accounts SET owner = 'dup' WHERE id < 5").unwrap();
+        let r = db.execute("SELECT COUNT(DISTINCT owner) FROM accounts").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(6));
+    }
+
+    #[test]
+    fn rollback_undoes_everything() {
+        let db = bank();
+        let mut txn = db.begin().unwrap();
+        txn.execute("INSERT INTO accounts VALUES (100, 'new', 1)").unwrap();
+        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 1").unwrap();
+        txn.execute("DELETE FROM accounts WHERE id = 2").unwrap();
+        txn.rollback().unwrap();
+        assert_eq!(db.table_len("accounts"), 10);
+        let r = db.execute("SELECT balance FROM accounts WHERE id = 1").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(100));
+        let r = db.execute("SELECT COUNT(*) FROM accounts WHERE id = 2").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(1));
+    }
+
+    #[test]
+    fn drop_without_commit_rolls_back() {
+        let db = bank();
+        {
+            let mut txn = db.begin().unwrap();
+            txn.execute("DELETE FROM accounts WHERE id = 0").unwrap();
+        }
+        assert_eq!(db.table_len("accounts"), 10);
+    }
+
+    #[test]
+    fn table_lock_contention_times_out() {
+        let db = bank();
+        let mut t1 = db.begin().unwrap();
+        t1.execute("UPDATE accounts SET balance = 1 WHERE id = 1").unwrap();
+        // A second writer on a table-locking engine must time out.
+        let mut t2 = db.begin().unwrap();
+        let err = t2.execute("UPDATE accounts SET balance = 2 WHERE id = 2").unwrap_err();
+        assert!(matches!(err, SqlError::LockTimeout { .. }));
+        t1.commit().unwrap();
+        // After commit, a fresh transaction succeeds.
+        db.execute("UPDATE accounts SET balance = 2 WHERE id = 2").unwrap();
+    }
+
+    #[test]
+    fn row_locks_allow_disjoint_writers() {
+        let db = Database::new(EngineProfile::innodb());
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 0), (2, 0)").unwrap();
+        let mut t1 = db.begin().unwrap();
+        t1.execute("UPDATE t SET v = 1 WHERE id = 1").unwrap();
+        let mut t2 = db.begin().unwrap();
+        t2.execute("UPDATE t SET v = 2 WHERE id = 2").unwrap(); // disjoint row: ok
+        t1.commit().unwrap();
+        t2.commit().unwrap();
+        let r = db.execute("SELECT v FROM t ORDER BY id").unwrap();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(1)], vec![SqlValue::Int(2)]]);
+    }
+
+    #[test]
+    fn lock_timeout_aborts_transaction() {
+        let db = bank();
+        let mut t1 = db.begin().unwrap();
+        t1.execute("UPDATE accounts SET balance = 1 WHERE id = 1").unwrap();
+        let mut t2 = db.begin().unwrap();
+        t2.execute("INSERT INTO accounts VALUES (50, 'x', 0)").unwrap_err();
+        // t2 aborted: further use fails.
+        assert!(matches!(
+            t2.execute("SELECT id FROM accounts"),
+            Err(SqlError::TransactionClosed)
+        ));
+        t1.commit().unwrap();
+        // And its insert never happened.
+        assert_eq!(db.table_len("accounts"), 10);
+    }
+
+    #[test]
+    fn virtual_cost_accumulates() {
+        let db = bank();
+        let mut txn = db.begin().unwrap();
+        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 1").unwrap();
+        let c = txn.virtual_cost();
+        assert!(c > Duration::ZERO);
+        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 2").unwrap();
+        assert!(txn.virtual_cost() > c);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let db = bank();
+        let snap = db.snapshot();
+        let copy = Database::new(EngineProfile::derby());
+        copy.restore(&snap).unwrap();
+        assert_eq!(copy.table_len("accounts"), 10);
+        let r = copy.execute("SELECT balance FROM accounts WHERE id = 7").unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(700));
+    }
+
+    #[test]
+    fn errors_on_unknown_objects() {
+        let db = bank();
+        assert!(matches!(
+            db.execute("SELECT x FROM missing"),
+            Err(SqlError::Unknown(_))
+        ));
+        assert!(matches!(
+            db.execute("SELECT nosuch FROM accounts"),
+            Err(SqlError::Unknown(_))
+        ));
+    }
+}

@@ -1,0 +1,255 @@
+//! Scalar expressions and predicates.
+
+use crate::schema::TableSchema;
+use crate::value::SqlValue;
+use crate::{Result, SqlError};
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the comparison (NULL compares false against everything,
+    /// as in SQL's three-valued logic collapsed to boolean).
+    pub fn apply(self, a: &SqlValue, b: &SqlValue) -> bool {
+        if a.is_null() || b.is_null() {
+            return false;
+        }
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// A column reference, resolved to an index at bind time.
+    Col(usize),
+    /// A literal.
+    Lit(SqlValue),
+    /// Arithmetic on two sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Comparison producing a boolean.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluates the expression over a row.
+    pub fn eval(&self, row: &[SqlValue]) -> Result<SqlValue> {
+        Ok(match self {
+            Expr::Col(i) => row
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| SqlError::Unknown(format!("column index {i}")))?,
+            Expr::Lit(v) => v.clone(),
+            Expr::Arith(op, a, b) => {
+                let a = a.eval(row)?;
+                let b = b.eval(row)?;
+                if a.is_null() || b.is_null() {
+                    return Ok(SqlValue::Null);
+                }
+                match (&a, &b) {
+                    (SqlValue::Int(x), SqlValue::Int(y)) => match op {
+                        ArithOp::Add => SqlValue::Int(x + y),
+                        ArithOp::Sub => SqlValue::Int(x - y),
+                        ArithOp::Mul => SqlValue::Int(x * y),
+                        ArithOp::Div => {
+                            if *y == 0 {
+                                SqlValue::Null
+                            } else {
+                                SqlValue::Int(x / y)
+                            }
+                        }
+                    },
+                    _ => {
+                        let x = a.as_real().ok_or_else(|| {
+                            SqlError::Constraint(format!("arithmetic on {a}"))
+                        })?;
+                        let y = b.as_real().ok_or_else(|| {
+                            SqlError::Constraint(format!("arithmetic on {b}"))
+                        })?;
+                        match op {
+                            ArithOp::Add => SqlValue::Real(x + y),
+                            ArithOp::Sub => SqlValue::Real(x - y),
+                            ArithOp::Mul => SqlValue::Real(x * y),
+                            ArithOp::Div => SqlValue::Real(x / y),
+                        }
+                    }
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                SqlValue::Int(op.apply(&a.eval(row)?, &b.eval(row)?) as i64)
+            }
+            Expr::And(a, b) => {
+                SqlValue::Int((truthy(&a.eval(row)?) && truthy(&b.eval(row)?)) as i64)
+            }
+            Expr::Or(a, b) => {
+                SqlValue::Int((truthy(&a.eval(row)?) || truthy(&b.eval(row)?)) as i64)
+            }
+            Expr::Not(a) => SqlValue::Int(!truthy(&a.eval(row)?) as i64),
+        })
+    }
+
+    /// Evaluates as a predicate.
+    pub fn matches(&self, row: &[SqlValue]) -> Result<bool> {
+        Ok(truthy(&self.eval(row)?))
+    }
+
+    /// If this predicate pins a prefix of the primary key with equalities,
+    /// returns the pinned values in key order (used for index lookups).
+    /// Only conjunctions of `col = literal` participate.
+    pub fn pk_prefix(&self, schema: &TableSchema) -> Vec<SqlValue> {
+        let mut eqs: Vec<(usize, SqlValue)> = Vec::new();
+        collect_eqs(self, &mut eqs);
+        let mut prefix = Vec::new();
+        for &k in &schema.primary_key {
+            match eqs.iter().find(|(c, _)| *c == k) {
+                Some((_, v)) => prefix.push(v.clone()),
+                None => break,
+            }
+        }
+        prefix
+    }
+}
+
+fn truthy(v: &SqlValue) -> bool {
+    match v {
+        SqlValue::Null => false,
+        SqlValue::Int(i) => *i != 0,
+        SqlValue::Real(r) => *r != 0.0,
+        SqlValue::Text(s) => !s.is_empty(),
+    }
+}
+
+fn collect_eqs(e: &Expr, out: &mut Vec<(usize, SqlValue)>) {
+    match e {
+        Expr::And(a, b) => {
+            collect_eqs(a, out);
+            collect_eqs(b, out);
+        }
+        Expr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+            (Expr::Col(c), Expr::Lit(v)) | (Expr::Lit(v), Expr::Col(c)) => {
+                out.push((*c, v.clone()));
+            }
+            _ => {}
+        },
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, DataType};
+
+    fn lit(i: i64) -> Box<Expr> {
+        Box::new(Expr::Lit(SqlValue::Int(i)))
+    }
+    fn col(i: usize) -> Box<Expr> {
+        Box::new(Expr::Col(i))
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let row = vec![SqlValue::Int(10), SqlValue::Real(2.5)];
+        let e = Expr::Arith(ArithOp::Add, col(0), lit(5));
+        assert_eq!(e.eval(&row).unwrap(), SqlValue::Int(15));
+        let e = Expr::Arith(ArithOp::Mul, col(0), col(1));
+        assert_eq!(e.eval(&row).unwrap(), SqlValue::Real(25.0));
+        let e = Expr::Cmp(CmpOp::Gt, col(0), lit(3));
+        assert!(e.matches(&row).unwrap());
+    }
+
+    #[test]
+    fn null_propagates_and_compares_false() {
+        let row = vec![SqlValue::Null];
+        let e = Expr::Arith(ArithOp::Add, col(0), lit(1));
+        assert_eq!(e.eval(&row).unwrap(), SqlValue::Null);
+        let e = Expr::Cmp(CmpOp::Eq, col(0), col(0));
+        assert!(!e.matches(&row).unwrap());
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let e = Expr::Arith(ArithOp::Div, lit(5), lit(0));
+        assert_eq!(e.eval(&[]).unwrap(), SqlValue::Null);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let t = Expr::Cmp(CmpOp::Eq, lit(1), lit(1));
+        let f = Expr::Cmp(CmpOp::Eq, lit(1), lit(2));
+        assert!(Expr::And(Box::new(t.clone()), Box::new(t.clone())).matches(&[]).unwrap());
+        assert!(!Expr::And(Box::new(t.clone()), Box::new(f.clone())).matches(&[]).unwrap());
+        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone())).matches(&[]).unwrap());
+        assert!(Expr::Not(Box::new(f)).matches(&[]).unwrap());
+        let _ = t;
+    }
+
+    #[test]
+    fn pk_prefix_detection() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                Column { name: "a".into(), dtype: DataType::Int },
+                Column { name: "b".into(), dtype: DataType::Int },
+                Column { name: "c".into(), dtype: DataType::Int },
+            ],
+            vec![0, 1],
+        )
+        .unwrap();
+        // a = 1 AND b = 2 → full key prefix.
+        let e = Expr::And(
+            Box::new(Expr::Cmp(CmpOp::Eq, col(0), lit(1))),
+            Box::new(Expr::Cmp(CmpOp::Eq, col(1), lit(2))),
+        );
+        assert_eq!(e.pk_prefix(&schema), vec![SqlValue::Int(1), SqlValue::Int(2)]);
+        // b = 2 only → no prefix (a unpinned).
+        let e = Expr::Cmp(CmpOp::Eq, col(1), lit(2));
+        assert!(e.pk_prefix(&schema).is_empty());
+        // a = 1 AND c > 0 → prefix of length 1.
+        let e = Expr::And(
+            Box::new(Expr::Cmp(CmpOp::Eq, col(0), lit(1))),
+            Box::new(Expr::Cmp(CmpOp::Gt, col(2), lit(0))),
+        );
+        assert_eq!(e.pk_prefix(&schema), vec![SqlValue::Int(1)]);
+    }
+}

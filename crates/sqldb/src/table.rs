@@ -1,0 +1,397 @@
+//! Table storage: row heap plus B-tree indexes.
+
+use crate::expr::Expr;
+use crate::schema::TableSchema;
+use crate::value::{Row, SqlValue};
+use crate::{Result, SqlError};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Identifies a row within its table for the lifetime of the table.
+pub type RowId = u64;
+
+/// A secondary index over a subset of columns.
+#[derive(Clone, Debug)]
+pub struct SecondaryIndex {
+    /// Index name.
+    pub name: String,
+    /// Indexed column positions, in key order.
+    pub columns: Vec<usize>,
+    /// key -> row ids (non-unique).
+    map: BTreeMap<Vec<SqlValue>, BTreeSet<RowId>>,
+}
+
+/// A table: schema, heap, primary-key index, secondary indexes.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<RowId, Row>,
+    next_rowid: RowId,
+    pk: BTreeMap<Vec<SqlValue>, RowId>,
+    secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Table {
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+            next_rowid: 0,
+            pk: BTreeMap::new(),
+            secondary: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Adds a secondary index over `columns`, indexing existing rows.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an index with the same name exists or a column is unknown.
+    pub fn create_index(&mut self, name: &str, columns: &[String]) -> Result<()> {
+        if self.secondary.iter().any(|i| i.name == name) {
+            return Err(SqlError::Constraint(format!("index {name} already exists")));
+        }
+        let cols: Result<Vec<usize>> = columns.iter().map(|c| self.schema.col(c)).collect();
+        let mut idx =
+            SecondaryIndex { name: name.to_owned(), columns: cols?, map: BTreeMap::new() };
+        for (&rid, row) in &self.rows {
+            let key: Vec<SqlValue> = idx.columns.iter().map(|&c| row[c].clone()).collect();
+            idx.map.entry(key).or_default().insert(rid);
+        }
+        self.secondary.push(idx);
+        Ok(())
+    }
+
+    /// Inserts a row.
+    ///
+    /// # Errors
+    ///
+    /// Fails on arity/type mismatch or duplicate primary key.
+    pub fn insert(&mut self, row: Row) -> Result<RowId> {
+        self.schema.check_row(&row)?;
+        let key = self.schema.key_of(&row);
+        if self.pk.contains_key(&key) {
+            return Err(SqlError::Constraint(format!(
+                "duplicate primary key {key:?} in {}",
+                self.schema.name
+            )));
+        }
+        let rid = self.next_rowid;
+        self.next_rowid += 1;
+        for idx in &mut self.secondary {
+            let ikey: Vec<SqlValue> = idx.columns.iter().map(|&c| row[c].clone()).collect();
+            idx.map.entry(ikey).or_default().insert(rid);
+        }
+        self.pk.insert(key, rid);
+        self.rows.insert(rid, row);
+        Ok(rid)
+    }
+
+    /// Fetches a row by id.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.rows.get(&rid)
+    }
+
+    /// Re-inserts a previously deleted row under its *original* id (the
+    /// undo path: a transaction that deleted and re-inserted a key must
+    /// roll back to exactly the ids it started from).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the id or primary key is already in use, or on schema
+    /// violations.
+    pub fn restore(&mut self, rid: RowId, row: Row) -> Result<()> {
+        self.schema.check_row(&row)?;
+        if self.rows.contains_key(&rid) {
+            return Err(SqlError::Constraint(format!("row id {rid} already occupied")));
+        }
+        let key = self.schema.key_of(&row);
+        if self.pk.contains_key(&key) {
+            return Err(SqlError::Constraint(format!("duplicate primary key {key:?}")));
+        }
+        for idx in &mut self.secondary {
+            let ikey: Vec<SqlValue> = idx.columns.iter().map(|c| row[*c].clone()).collect();
+            idx.map.entry(ikey).or_default().insert(rid);
+        }
+        self.pk.insert(key, rid);
+        self.rows.insert(rid, row);
+        self.next_rowid = self.next_rowid.max(rid + 1);
+        Ok(())
+    }
+
+    /// Deletes a row by id, returning it.
+    pub fn delete(&mut self, rid: RowId) -> Option<Row> {
+        let row = self.rows.remove(&rid)?;
+        self.pk.remove(&self.schema.key_of(&row));
+        for idx in &mut self.secondary {
+            let ikey: Vec<SqlValue> = idx.columns.iter().map(|&c| row[c].clone()).collect();
+            if let Some(set) = idx.map.get_mut(&ikey) {
+                set.remove(&rid);
+                if set.is_empty() {
+                    idx.map.remove(&ikey);
+                }
+            }
+        }
+        Some(row)
+    }
+
+    /// Replaces a row in place, maintaining all indexes.
+    ///
+    /// # Errors
+    ///
+    /// Fails on schema violations or if the new primary key collides with a
+    /// different row.
+    pub fn update(&mut self, rid: RowId, new_row: Row) -> Result<Row> {
+        self.schema.check_row(&new_row)?;
+        let old = self
+            .rows
+            .get(&rid)
+            .cloned()
+            .ok_or_else(|| SqlError::Unknown(format!("row id {rid}")))?;
+        let old_key = self.schema.key_of(&old);
+        let new_key = self.schema.key_of(&new_row);
+        if new_key != old_key {
+            if self.pk.contains_key(&new_key) {
+                return Err(SqlError::Constraint(format!(
+                    "update collides on primary key {new_key:?}"
+                )));
+            }
+            self.pk.remove(&old_key);
+            self.pk.insert(new_key, rid);
+        }
+        for idx in &mut self.secondary {
+            let old_ikey: Vec<SqlValue> = idx.columns.iter().map(|&c| old[c].clone()).collect();
+            let new_ikey: Vec<SqlValue> =
+                idx.columns.iter().map(|&c| new_row[c].clone()).collect();
+            if old_ikey != new_ikey {
+                if let Some(set) = idx.map.get_mut(&old_ikey) {
+                    set.remove(&rid);
+                    if set.is_empty() {
+                        idx.map.remove(&old_ikey);
+                    }
+                }
+                idx.map.entry(new_ikey).or_default().insert(rid);
+            }
+        }
+        self.rows.insert(rid, new_row);
+        Ok(old)
+    }
+
+    /// Looks up a row id by full primary key.
+    pub fn lookup_pk(&self, key: &[SqlValue]) -> Option<RowId> {
+        self.pk.get(key).copied()
+    }
+
+    /// The row ids a predicate may match, using the cheapest access path:
+    /// point lookup on a full primary key, range scan on a key prefix
+    /// (primary or secondary), or a full scan.
+    pub fn candidates(&self, filter: Option<&Expr>) -> Vec<RowId> {
+        if let Some(f) = filter {
+            let prefix = f.pk_prefix(&self.schema);
+            if prefix.len() == self.schema.primary_key.len() {
+                return self.lookup_pk(&prefix).into_iter().collect();
+            }
+            if !prefix.is_empty() {
+                return self.pk_prefix_range(&prefix);
+            }
+            // Try a secondary index with a fully pinned key prefix.
+            if let Some((idx, key)) = self.secondary_match(f) {
+                return idx.map.get(&key).map(|s| s.iter().copied().collect()).unwrap_or_default();
+            }
+        }
+        self.rows.keys().copied().collect()
+    }
+
+    /// Rows whose primary key starts with `prefix`.
+    fn pk_prefix_range(&self, prefix: &[SqlValue]) -> Vec<RowId> {
+        self.pk
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, rid)| *rid)
+            .collect()
+    }
+
+    fn secondary_match(&self, f: &Expr) -> Option<(&SecondaryIndex, Vec<SqlValue>)> {
+        // Reuse the pk_prefix machinery by building a pseudo-schema whose
+        // "primary key" is the index's columns.
+        for idx in &self.secondary {
+            let pseudo = TableSchema {
+                name: self.schema.name.clone(),
+                columns: self.schema.columns.clone(),
+                primary_key: idx.columns.clone(),
+            };
+            let prefix = f.pk_prefix(&pseudo);
+            if prefix.len() == idx.columns.len() {
+                return Some((idx, prefix));
+            }
+        }
+        None
+    }
+
+    /// Iterates over `(row id, row)` pairs in heap order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> {
+        self.rows.iter().map(|(rid, row)| (*rid, row))
+    }
+
+    /// Approximate total data size in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.rows.values().map(|r| self.schema.row_bytes(r)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+    use crate::schema::{Column, DataType};
+
+    fn accounts() -> Table {
+        Table::new(
+            TableSchema::new(
+                "accounts",
+                vec![
+                    Column { name: "id".into(), dtype: DataType::Int },
+                    Column { name: "owner".into(), dtype: DataType::Text },
+                    Column { name: "balance".into(), dtype: DataType::Int },
+                ],
+                vec![0],
+            )
+            .unwrap(),
+        )
+    }
+
+    fn row(id: i64, owner: &str, bal: i64) -> Row {
+        vec![SqlValue::Int(id), SqlValue::from(owner), SqlValue::Int(bal)]
+    }
+
+    #[test]
+    fn insert_lookup_delete() {
+        let mut t = accounts();
+        let rid = t.insert(row(1, "a", 10)).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup_pk(&[SqlValue::Int(1)]), Some(rid));
+        assert_eq!(t.delete(rid).unwrap()[2], SqlValue::Int(10));
+        assert!(t.is_empty());
+        assert_eq!(t.lookup_pk(&[SqlValue::Int(1)]), None);
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = accounts();
+        t.insert(row(1, "a", 10)).unwrap();
+        assert!(matches!(t.insert(row(1, "b", 20)), Err(SqlError::Constraint(_))));
+    }
+
+    #[test]
+    fn update_maintains_pk_index() {
+        let mut t = accounts();
+        let rid = t.insert(row(1, "a", 10)).unwrap();
+        t.update(rid, row(2, "a", 10)).unwrap();
+        assert_eq!(t.lookup_pk(&[SqlValue::Int(1)]), None);
+        assert_eq!(t.lookup_pk(&[SqlValue::Int(2)]), Some(rid));
+        // Colliding key change rejected.
+        let rid3 = t.insert(row(3, "c", 0)).unwrap();
+        assert!(t.update(rid3, row(2, "c", 0)).is_err());
+    }
+
+    #[test]
+    fn secondary_index_used_and_maintained() {
+        let mut t = accounts();
+        for i in 0..10 {
+            t.insert(row(i, if i % 2 == 0 { "even" } else { "odd" }, i * 10)).unwrap();
+        }
+        t.create_index("by_owner", &["owner".into()]).unwrap();
+        let f = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Col(1)),
+            Box::new(Expr::Lit(SqlValue::from("even"))),
+        );
+        assert_eq!(t.candidates(Some(&f)).len(), 5);
+        // Update moves a row between index keys.
+        let rid = t.lookup_pk(&[SqlValue::Int(0)]).unwrap();
+        t.update(rid, row(0, "odd", 0)).unwrap();
+        assert_eq!(t.candidates(Some(&f)).len(), 4);
+        // Delete removes from the index.
+        let rid2 = t.lookup_pk(&[SqlValue::Int(2)]).unwrap();
+        t.delete(rid2);
+        assert_eq!(t.candidates(Some(&f)).len(), 3);
+    }
+
+    #[test]
+    fn pk_point_lookup_path() {
+        let mut t = accounts();
+        for i in 0..100 {
+            t.insert(row(i, "x", 0)).unwrap();
+        }
+        let f = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Col(0)),
+            Box::new(Expr::Lit(SqlValue::Int(42))),
+        );
+        let c = t.candidates(Some(&f));
+        assert_eq!(c.len(), 1);
+        assert_eq!(t.get(c[0]).unwrap()[0], SqlValue::Int(42));
+    }
+
+    #[test]
+    fn composite_pk_prefix_range() {
+        let mut t = Table::new(
+            TableSchema::new(
+                "orders",
+                vec![
+                    Column { name: "w".into(), dtype: DataType::Int },
+                    Column { name: "d".into(), dtype: DataType::Int },
+                    Column { name: "id".into(), dtype: DataType::Int },
+                ],
+                vec![0, 1, 2],
+            )
+            .unwrap(),
+        );
+        for w in 0..2 {
+            for d in 0..3 {
+                for id in 0..4 {
+                    t.insert(vec![SqlValue::Int(w), SqlValue::Int(d), SqlValue::Int(id)])
+                        .unwrap();
+                }
+            }
+        }
+        // w = 1 AND d = 2 pins a prefix of 2 of 3 key columns → 4 rows.
+        let f = Expr::And(
+            Box::new(Expr::Cmp(
+                CmpOp::Eq,
+                Box::new(Expr::Col(0)),
+                Box::new(Expr::Lit(SqlValue::Int(1))),
+            )),
+            Box::new(Expr::Cmp(
+                CmpOp::Eq,
+                Box::new(Expr::Col(1)),
+                Box::new(Expr::Lit(SqlValue::Int(2))),
+            )),
+        );
+        assert_eq!(t.candidates(Some(&f)).len(), 4);
+    }
+
+    #[test]
+    fn byte_size_tracks_rows() {
+        let mut t = accounts();
+        t.insert(row(1, "", 10)).unwrap();
+        assert_eq!(t.byte_size(), 16);
+        t.insert(row(2, "abcd", 10)).unwrap();
+        assert_eq!(t.byte_size(), 36);
+    }
+}

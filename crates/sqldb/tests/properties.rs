@@ -1,0 +1,271 @@
+//! Property-based tests of the storage engine's invariants.
+//!
+//! The engine is the one hand-written component under the replication
+//! protocols (the paper trusts H2/HSQLDB/Derby; we built ours), so its
+//! invariants get the heaviest randomized testing:
+//!
+//! * a `BTreeMap` model predicts every committed read;
+//! * rollback is a perfect inverse of any statement sequence;
+//! * indexes and heap never disagree;
+//! * snapshot → batches → restore is lossless for arbitrary data.
+
+use proptest::prelude::*;
+use shadowdb_sqldb::{Database, EngineProfile, RowBatch, Snapshot, SqlValue};
+use std::collections::BTreeMap;
+
+/// A model operation over a single-table integer store.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert { id: i64, v: i64 },
+    Update { id: i64, v: i64 },
+    Delete { id: i64 },
+    AddDelta { id: i64, d: i64 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..40, any::<i16>()).prop_map(|(id, v)| Op::Insert { id, v: v as i64 }),
+        (0i64..40, any::<i16>()).prop_map(|(id, v)| Op::Update { id, v: v as i64 }),
+        (0i64..40).prop_map(|id| Op::Delete { id }),
+        (0i64..40, -50i64..50).prop_map(|(id, d)| Op::AddDelta { id, d }),
+    ]
+}
+
+fn fresh() -> Database {
+    let db = Database::new(EngineProfile::h2());
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").expect("ddl");
+    db
+}
+
+/// Applies one op to both the engine and the model; they must agree on
+/// whether it succeeded.
+fn apply(db: &Database, model: &mut BTreeMap<i64, i64>, op: &Op) {
+    match op {
+        Op::Insert { id, v } => {
+            let r = db.execute(&format!("INSERT INTO t VALUES ({id}, {v})"));
+            if model.contains_key(id) {
+                assert!(r.is_err(), "duplicate PK must be rejected");
+            } else {
+                r.expect("insert succeeds");
+                model.insert(*id, *v);
+            }
+        }
+        Op::Update { id, v } => {
+            let r = db.execute(&format!("UPDATE t SET v = {v} WHERE id = {id}")).expect("runs");
+            assert_eq!(r.affected, usize::from(model.contains_key(id)));
+            if let Some(slot) = model.get_mut(id) {
+                *slot = *v;
+            }
+        }
+        Op::Delete { id } => {
+            let r = db.execute(&format!("DELETE FROM t WHERE id = {id}")).expect("runs");
+            assert_eq!(r.affected, usize::from(model.remove(id).is_some()));
+        }
+        Op::AddDelta { id, d } => {
+            db.execute(&format!("UPDATE t SET v = v + {d} WHERE id = {id}")).expect("runs");
+            if let Some(slot) = model.get_mut(id) {
+                *slot += *d;
+            }
+        }
+    }
+}
+
+fn assert_matches_model(db: &Database, model: &BTreeMap<i64, i64>) {
+    let rs = db.execute("SELECT id, v FROM t ORDER BY id").expect("reads");
+    let got: Vec<(i64, i64)> = rs
+        .rows
+        .iter()
+        .map(|r| (r[0].as_int().expect("int"), r[1].as_int().expect("int")))
+        .collect();
+    let want: Vec<(i64, i64)> = model.iter().map(|(k, v)| (*k, *v)).collect();
+    assert_eq!(got, want);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The engine agrees with a map model over arbitrary CRUD sequences.
+    #[test]
+    fn engine_matches_map_model(ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let db = fresh();
+        let mut model = BTreeMap::new();
+        for op in &ops {
+            apply(&db, &mut model, op);
+        }
+        assert_matches_model(&db, &model);
+        // Aggregates agree too.
+        let rs = db.execute("SELECT COUNT(*), SUM(v) FROM t").expect("aggregates");
+        prop_assert_eq!(rs.rows[0][0].as_int().expect("count"), model.len() as i64);
+        let sum = model.values().sum::<i64>();
+        let got_sum = rs.rows[0][1].as_int();
+        if model.is_empty() {
+            prop_assert!(rs.rows[0][1].is_null());
+        } else {
+            prop_assert_eq!(got_sum, Some(sum));
+        }
+    }
+
+    /// Rolling back any suffix of operations restores the exact state.
+    #[test]
+    fn rollback_is_a_perfect_inverse(
+        committed in proptest::collection::vec(arb_op(), 0..25),
+        rolled_back in proptest::collection::vec(arb_op(), 1..25),
+    ) {
+        let db = fresh();
+        let mut model = BTreeMap::new();
+        for op in &committed {
+            apply(&db, &mut model, op);
+        }
+        // Run a batch inside one transaction, then roll it back.
+        {
+            let mut txn = db.begin().expect("begins");
+            for op in &rolled_back {
+                let sql = match op {
+                    Op::Insert { id, v } => format!("INSERT INTO t VALUES ({id}, {v})"),
+                    Op::Update { id, v } => format!("UPDATE t SET v = {v} WHERE id = {id}"),
+                    Op::Delete { id } => format!("DELETE FROM t WHERE id = {id}"),
+                    Op::AddDelta { id, d } => {
+                        format!("UPDATE t SET v = v + {d} WHERE id = {id}")
+                    }
+                };
+                let _ = txn.execute(&sql); // duplicate-PK failures are fine
+            }
+            txn.rollback().expect("rolls back");
+        }
+        assert_matches_model(&db, &model);
+    }
+
+    /// Secondary indexes return exactly what a full scan returns.
+    #[test]
+    fn index_agrees_with_scan(values in proptest::collection::vec((0i64..30, 0i64..5), 1..40)) {
+        let db = Database::new(EngineProfile::h2());
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)").expect("ddl");
+        db.execute("CREATE INDEX by_grp ON t (grp)").expect("index");
+        let mut next_id = 0;
+        for (id_hint, grp) in &values {
+            let _ = db.execute(&format!(
+                "INSERT INTO t VALUES ({next_id}, {grp}, {id_hint})"
+            ));
+            next_id += 1;
+        }
+        for grp in 0..5 {
+            let indexed = db
+                .execute(&format!("SELECT id FROM t WHERE grp = {grp} ORDER BY id"))
+                .expect("indexed read");
+            // Force a scan by using a predicate the planner cannot index.
+            let scanned = db
+                .execute(&format!("SELECT id FROM t WHERE grp + 0 = {grp} ORDER BY id"))
+                .expect("scan read");
+            prop_assert_eq!(indexed.rows, scanned.rows);
+        }
+    }
+
+    /// snapshot → ~50 KB batches → wire → restore is lossless.
+    #[test]
+    fn state_transfer_is_lossless(
+        rows in proptest::collection::vec((any::<i16>(), "[a-z]{0,12}", any::<bool>()), 0..50),
+        batch_bytes in 32usize..4096,
+    ) {
+        let db = Database::new(EngineProfile::hsqldb());
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, r REAL)").expect("ddl");
+        let mut id = 0;
+        for (v, name, neg) in &rows {
+            let r = if *neg { -0.5 } else { 1.25 } * f64::from(*v);
+            db.execute(&format!("INSERT INTO t VALUES ({id}, '{name}', {r})")).expect("insert");
+            id += 1;
+        }
+        let snap = db.snapshot();
+        let wire: Vec<_> = snap.to_batches(batch_bytes).iter().map(RowBatch::encode).collect();
+        let back: Result<Vec<RowBatch>, _> = wire.into_iter().map(RowBatch::decode).collect();
+        let restored = Snapshot::from_batches(&back.expect("decodes")).expect("reassembles");
+        let dst = Database::new(EngineProfile::derby());
+        dst.restore(&restored).expect("restores");
+        prop_assert_eq!(dst.table_len("t"), rows.len());
+        let a = db.execute("SELECT id, name, r FROM t ORDER BY id").expect("reads");
+        let b = dst.execute("SELECT id, name, r FROM t ORDER BY id").expect("reads");
+        prop_assert_eq!(a.rows, b.rows);
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_total_on_garbage(input in "[ -~]{0,80}") {
+        let _ = shadowdb_sqldb::sql::parse(&input);
+    }
+
+    /// Parse → execute of generated predicates matches direct evaluation.
+    #[test]
+    fn where_clauses_filter_correctly(threshold in -100i64..100) {
+        let db = fresh();
+        for i in 0..20 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, {})", i * 10 - 100)).expect("ins");
+        }
+        let rs = db
+            .execute(&format!("SELECT id FROM t WHERE v >= {threshold} AND NOT id = 3"))
+            .expect("reads");
+        let got: Vec<i64> = rs.rows.iter().map(|r| r[0].as_int().expect("int")).collect();
+        let want: Vec<i64> = (0..20)
+            .filter(|i| i * 10 - 100 >= threshold && *i != 3)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}
+
+/// Concurrent disjoint-row writers on a row-locking engine never abort and
+/// never lose updates (a sanity check of the real lock manager under real
+/// threads).
+#[test]
+fn concurrent_row_writers_are_linearizable() {
+    let db = Database::new(EngineProfile::innodb());
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").expect("ddl");
+    for i in 0..8 {
+        db.execute(&format!("INSERT INTO t VALUES ({i}, 0)")).expect("insert");
+    }
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let db = db.clone();
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    db.execute(&format!("UPDATE t SET v = v + 1 WHERE id = {i}"))
+                        .expect("no aborts on disjoint rows");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("finishes");
+    }
+    let rs = db.execute("SELECT SUM(v) FROM t").expect("sums");
+    assert_eq!(rs.rows[0][0], SqlValue::Int(8 * 50));
+}
+
+/// Table-locking engines serialize concurrent writers without losing
+/// updates either (they just wait or abort; committed work is correct).
+#[test]
+fn concurrent_table_writers_do_not_lose_committed_updates() {
+    let db = Database::new(EngineProfile::h2());
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").expect("ddl");
+    db.execute("INSERT INTO t VALUES (0, 0)").expect("insert");
+    let committed = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let db = db.clone();
+            let committed = committed.clone();
+            std::thread::spawn(move || {
+                for _ in 0..40 {
+                    if db.execute("UPDATE t SET v = v + 1 WHERE id = 0").is_ok() {
+                        committed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("finishes");
+    }
+    let rs = db.execute("SELECT v FROM t").expect("reads");
+    assert_eq!(
+        rs.rows[0][0],
+        SqlValue::Int(committed.load(std::sync::atomic::Ordering::Relaxed)),
+        "value reflects exactly the committed updates"
+    );
+}

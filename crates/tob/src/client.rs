@@ -1,0 +1,246 @@
+//! A closed-loop broadcast client with timeout and resend.
+//!
+//! The benchmark clients of Sec. IV-A: each broadcasts a message, waits for
+//! its delivery notification, records the latency, and immediately
+//! broadcasts the next message. On timeout it resends — to the next server
+//! in its list — relying on the service's per-client message ids to make
+//! duplicates no-ops.
+
+use crate::{broadcast_msg, parse_deliver};
+use parking_lot::Mutex;
+use shadowdb_eventml::process::HasherAdapter;
+use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_loe::{Loc, VTime};
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Header of the kick-off message a driver sends a client.
+pub const START_HEADER: &str = "tobclient/start";
+/// Header of the client's internal retransmission timer.
+pub const TIMEOUT_HEADER: &str = "tobclient/timeout";
+
+/// Latency measurements accumulated by a client, shared with the driver.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// One entry per completed broadcast: (send time, delivery time).
+    pub completed: Vec<(VTime, VTime)>,
+    /// Number of retransmissions performed.
+    pub resends: u64,
+}
+
+impl ClientStats {
+    /// Mean broadcast-to-delivery latency.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        if self.completed.is_empty() {
+            return None;
+        }
+        let total: u64 =
+            self.completed.iter().map(|(s, d)| d.saturating_since(*s).as_micros() as u64).sum();
+        Some(Duration::from_micros(total / self.completed.len() as u64))
+    }
+}
+
+/// A closed-loop broadcast client.
+pub struct TobClient {
+    servers: Vec<Loc>,
+    server_idx: usize,
+    payload: Value,
+    remaining: u64,
+    next_msgid: i64,
+    outstanding: Option<(i64, VTime)>,
+    timeout: Duration,
+    stats: Arc<Mutex<ClientStats>>,
+}
+
+impl TobClient {
+    /// Creates a client that will broadcast `count` copies of `payload`
+    /// round-robin starting at `servers[0]`, recording latencies in
+    /// `stats`.
+    pub fn new(
+        servers: Vec<Loc>,
+        payload: Value,
+        count: u64,
+        stats: Arc<Mutex<ClientStats>>,
+    ) -> TobClient {
+        assert!(!servers.is_empty(), "a client needs at least one server");
+        TobClient {
+            servers,
+            server_idx: 0,
+            payload,
+            remaining: count,
+            next_msgid: 0,
+            outstanding: None,
+            timeout: Duration::from_secs(5),
+            stats,
+        }
+    }
+
+    /// Overrides the retransmission timeout (default 5 s).
+    pub fn with_timeout(mut self, timeout: Duration) -> TobClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// The message a driver injects to start the client's loop.
+    pub fn start_msg() -> Msg {
+        Msg::new(START_HEADER, Value::Unit)
+    }
+
+    fn send_next(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        if self.remaining == 0 || self.outstanding.is_some() {
+            return;
+        }
+        self.remaining -= 1;
+        let msgid = self.next_msgid;
+        self.next_msgid += 1;
+        self.outstanding = Some((msgid, ctx.now));
+        let server = self.servers[self.server_idx % self.servers.len()];
+        outs.push(SendInstr::now(server, broadcast_msg(ctx.slf, msgid, self.payload.clone())));
+        outs.push(SendInstr::after(
+            self.timeout,
+            ctx.slf,
+            Msg::new(TIMEOUT_HEADER, Value::Int(msgid)),
+        ));
+    }
+}
+
+impl Process for TobClient {
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        let mut outs = Vec::new();
+        match msg.header.name() {
+            START_HEADER => self.send_next(ctx, &mut outs),
+            TIMEOUT_HEADER => {
+                let msgid = msg.body.int();
+                if let Some((outstanding, _)) = self.outstanding {
+                    if outstanding == msgid {
+                        // Resend to the next server; same msgid, so the
+                        // service deduplicates if the original got through.
+                        self.server_idx += 1;
+                        self.stats.lock().resends += 1;
+                        let server = self.servers[self.server_idx % self.servers.len()];
+                        outs.push(SendInstr::now(
+                            server,
+                            broadcast_msg(ctx.slf, msgid, self.payload.clone()),
+                        ));
+                        outs.push(SendInstr::after(
+                            self.timeout,
+                            ctx.slf,
+                            Msg::new(TIMEOUT_HEADER, Value::Int(msgid)),
+                        ));
+                    }
+                }
+            }
+            _ => {
+                if let Some(d) = parse_deliver(msg) {
+                    if d.client == ctx.slf {
+                        if let Some((msgid, sent_at)) = self.outstanding {
+                            if d.msgid == msgid {
+                                self.outstanding = None;
+                                self.stats.lock().completed.push((sent_at, ctx.now));
+                                self.send_next(ctx, &mut outs);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        outs
+    }
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(TobClient {
+            servers: self.servers.clone(),
+            server_idx: self.server_idx,
+            payload: self.payload.clone(),
+            remaining: self.remaining,
+            next_msgid: self.next_msgid,
+            outstanding: self.outstanding,
+            timeout: self.timeout,
+            stats: self.stats.clone(),
+        })
+    }
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        let mut h = HasherAdapter(hasher);
+        (self.server_idx, self.remaining, self.next_msgid).hash(&mut h);
+        self.outstanding.map(|(id, t)| (id, t.as_micros())).hash(&mut h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DELIVER_HEADER;
+
+    fn deliver_msg(seq: i64, client: Loc, msgid: i64) -> Msg {
+        Msg::new(
+            DELIVER_HEADER,
+            Value::pair(
+                Value::Int(seq),
+                Value::pair(Value::Loc(client), Value::pair(Value::Int(msgid), Value::Unit)),
+            ),
+        )
+    }
+
+    #[test]
+    fn closed_loop_sends_one_at_a_time() {
+        let stats = Arc::new(Mutex::new(ClientStats::default()));
+        let mut c = TobClient::new(vec![Loc::new(5)], Value::Unit, 2, stats.clone());
+        let slf = Loc::new(9);
+        let outs = c.step(&Ctx::new(slf, VTime::from_millis(1)), &TobClient::start_msg());
+        assert_eq!(outs[0].dest, Loc::new(5));
+        // Delivery of msg 0 completes it and triggers msg 1.
+        let outs =
+            c.step(&Ctx::new(slf, VTime::from_millis(4)), &deliver_msg(0, slf, 0));
+        assert!(outs.iter().any(|o| o.dest == Loc::new(5)));
+        assert_eq!(stats.lock().completed.len(), 1);
+        assert_eq!(stats.lock().mean_latency(), Some(Duration::from_millis(3)));
+        // Delivery of msg 1 completes the run; nothing further is sent to
+        // the server.
+        let outs =
+            c.step(&Ctx::new(slf, VTime::from_millis(9)), &deliver_msg(1, slf, 1));
+        assert!(outs.iter().all(|o| o.dest == slf)); // only timer remnants
+        assert_eq!(stats.lock().completed.len(), 2);
+    }
+
+    #[test]
+    fn timeout_resends_to_next_server() {
+        let stats = Arc::new(Mutex::new(ClientStats::default()));
+        let mut c = TobClient::new(vec![Loc::new(5), Loc::new(6)], Value::Unit, 1, stats.clone())
+            .with_timeout(Duration::from_millis(100));
+        let slf = Loc::new(9);
+        c.step(&Ctx::new(slf, VTime::ZERO), &TobClient::start_msg());
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(100)),
+            &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
+        );
+        let resent = outs.iter().find(|o| o.dest == Loc::new(6)).expect("resend to server 2");
+        assert_eq!(resent.msg.header.name(), crate::BROADCAST_HEADER);
+        assert_eq!(stats.lock().resends, 1);
+    }
+
+    #[test]
+    fn stale_timeout_ignored_after_delivery() {
+        let stats = Arc::new(Mutex::new(ClientStats::default()));
+        let mut c = TobClient::new(vec![Loc::new(5)], Value::Unit, 1, stats);
+        let slf = Loc::new(9);
+        c.step(&Ctx::new(slf, VTime::ZERO), &TobClient::start_msg());
+        c.step(&Ctx::new(slf, VTime::from_millis(2)), &deliver_msg(0, slf, 0));
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_secs(5)),
+            &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
+        );
+        assert!(outs.is_empty());
+    }
+
+    #[test]
+    fn foreign_deliveries_ignored() {
+        let stats = Arc::new(Mutex::new(ClientStats::default()));
+        let mut c = TobClient::new(vec![Loc::new(5)], Value::Unit, 1, stats.clone());
+        let slf = Loc::new(9);
+        c.step(&Ctx::new(slf, VTime::ZERO), &TobClient::start_msg());
+        let outs =
+            c.step(&Ctx::new(slf, VTime::from_millis(2)), &deliver_msg(0, Loc::new(8), 0));
+        assert!(outs.is_empty());
+        assert!(stats.lock().completed.is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Broadcast-service fault tolerance: "if we deploy the broadcast service
+//! on three replicas, then at most one failure can be masked" (Sec. III).
+//!
+//! One whole service machine (server + replica + leader + acceptor) is
+//! crashed; with standby leaders running, the surviving majority keeps
+//! ordering, and clients — retrying other servers on timeout — lose
+//! nothing.
+
+use parking_lot::Mutex;
+use shadowdb_eventml::{Ctx, FnProcess, Msg, Process, Value};
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_simnet::{NetworkConfig, SimBuilder};
+use shadowdb_tob::deploy::BackendKind;
+use shadowdb_tob::{
+    parse_deliver, ClientStats, Delivery, ExecutionMode, InOrderBuffer, TobClient,
+    TobDeployment, TobOptions,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+type Log = Arc<Mutex<Vec<Delivery>>>;
+
+fn subscriber(log: Log) -> Box<dyn Process> {
+    Box::new(FnProcess::new(InOrderBuffer::new(), move |buf, _c: &Ctx, m: &Msg| {
+        if let Some(d) = parse_deliver(m) {
+            log.lock().extend(buf.offer(d));
+        }
+        vec![]
+    }))
+}
+
+fn crash_one_machine(victim_machine: u32, seed: u64) {
+    let n_clients = 3u32;
+    let per = 4;
+    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let log: Log = Arc::new(Mutex::new(Vec::new()));
+    let sub = sim.add_node(subscriber(log.clone()));
+    assert_eq!(sub, Loc::new(0));
+    let first_server = 1 + n_clients;
+    let servers: Vec<Loc> = (0..3).map(|i| Loc::new(first_server + i * per)).collect();
+    let mut stats = Vec::new();
+    let mut clients = Vec::new();
+    for c in 0..n_clients {
+        let s = Arc::new(Mutex::new(ClientStats::default()));
+        stats.push(s.clone());
+        let mut order = servers.clone();
+        order.rotate_left(c as usize % 3);
+        clients.push(sim.add_node(Box::new(
+            TobClient::new(order, Value::Int(c as i64), 15, s)
+                .with_timeout(Duration::from_millis(300)),
+        )));
+    }
+    let mut subscribers = vec![sub];
+    subscribers.extend(clients.iter().copied());
+    let d = TobDeployment::build(
+        &mut sim,
+        &TobOptions {
+            machines: 3,
+            backend: BackendKind::Paxos,
+            mode: ExecutionMode::Compiled,
+            max_batch: 16,
+            start_all_leaders: true,
+        },
+        subscribers,
+    );
+    assert_eq!(d.servers, servers);
+    for c in &clients {
+        sim.send_at(VTime::ZERO, *c, TobClient::start_msg());
+    }
+    // Kill every role on the victim machine shortly into the run.
+    sim.run_until(VTime::from_millis(40));
+    for k in 0..per {
+        sim.crash_at(sim.now(), Loc::new(first_server + victim_machine * per + k));
+    }
+    sim.run_until_quiescent(VTime::from_secs(600));
+
+    // Every client message delivered, exactly once, in one global order.
+    for (c, s) in stats.iter().enumerate() {
+        assert_eq!(s.lock().completed.len(), 15, "client {c} finished");
+    }
+    let log = log.lock();
+    assert_eq!(log.len(), 3 * 15, "subscriber saw everything exactly once");
+    for (i, del) in log.iter().enumerate() {
+        assert_eq!(del.seq, i as i64, "gapless sequence");
+    }
+}
+
+#[test]
+fn crash_of_leader_machine_is_masked() {
+    crash_one_machine(0, 11);
+}
+
+#[test]
+fn crash_of_follower_machine_is_masked() {
+    crash_one_machine(1, 12);
+}
+
+#[test]
+fn crash_of_third_machine_is_masked() {
+    crash_one_machine(2, 13);
+}

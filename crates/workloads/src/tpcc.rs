@@ -1,0 +1,921 @@
+//! TPC-C (reference \[27\]): schema, loader, and all five transaction types.
+//!
+//! The paper runs TPC-C "configured with 1 warehouse" (≈100 MB loaded) and
+//! reports "the average transaction execution latency, considering all
+//! five TPC-C transaction types". This module implements the benchmark as
+//! deterministic stored procedures over the `shadowdb-sqldb` engine: all
+//! randomness is drawn client-side into the transaction's parameters, so
+//! replicas replay identically.
+//!
+//! The standard mix is used: 45 % NewOrder, 43 % Payment, 4 % OrderStatus,
+//! 4 % Delivery, 4 % StockLevel, with 1 % of NewOrders rolling back on an
+//! invalid item, per the specification.
+
+use crate::txn::TxnOutcome;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use shadowdb_eventml::Value;
+use shadowdb_sqldb::{Database, SqlError, SqlValue};
+
+/// Sizing of a TPC-C database.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TpccScale {
+    /// Districts per warehouse (spec: 10).
+    pub districts: i64,
+    /// Customers per district (spec: 3 000).
+    pub customers_per_district: i64,
+    /// Item catalog size (spec: 100 000).
+    pub items: i64,
+    /// Initially loaded orders per district (spec: 3 000).
+    pub orders_per_district: i64,
+}
+
+impl TpccScale {
+    /// The specification's 1-warehouse sizing (≈100 MB, as in the paper).
+    pub fn full() -> TpccScale {
+        TpccScale {
+            districts: 10,
+            customers_per_district: 3_000,
+            items: 100_000,
+            orders_per_district: 3_000,
+        }
+    }
+
+    /// A miniature sizing for tests.
+    pub fn small() -> TpccScale {
+        TpccScale {
+            districts: 2,
+            customers_per_district: 30,
+            items: 200,
+            orders_per_district: 20,
+        }
+    }
+
+    /// Total initially loaded rows.
+    pub fn total_rows(&self) -> i64 {
+        1 + self.districts
+            + self.districts * self.customers_per_district
+            + self.items * 2 // item + stock
+            + self.districts * self.orders_per_district // orders
+            + self.districts * self.orders_per_district * 10 // ~10 lines each
+            + self.districts * (self.orders_per_district / 3) // new_order backlog
+    }
+}
+
+const W: i64 = 1; // single warehouse, as in the paper
+
+/// Creates the nine TPC-C tables and their indexes.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn create_schema(db: &Database) -> Result<(), SqlError> {
+    let ddl = [
+        "CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name TEXT, w_tax REAL, w_ytd REAL)",
+        "CREATE TABLE district (d_w_id INT, d_id INT, d_name TEXT, d_tax REAL, d_ytd REAL, \
+         d_next_o_id INT, PRIMARY KEY (d_w_id, d_id))",
+        "CREATE TABLE customer (c_w_id INT, c_d_id INT, c_id INT, c_last TEXT, c_first TEXT, \
+         c_credit TEXT, c_balance REAL, c_ytd_payment REAL, c_payment_cnt INT, \
+         c_delivery_cnt INT, PRIMARY KEY (c_w_id, c_d_id, c_id))",
+        "CREATE TABLE history (h_id INT PRIMARY KEY, h_c_id INT, h_c_d_id INT, h_c_w_id INT, \
+         h_d_id INT, h_w_id INT, h_amount REAL)",
+        "CREATE TABLE orders (o_w_id INT, o_d_id INT, o_id INT, o_c_id INT, o_entry_d INT, \
+         o_carrier_id INT, o_ol_cnt INT, PRIMARY KEY (o_w_id, o_d_id, o_id))",
+        "CREATE TABLE new_order (no_w_id INT, no_d_id INT, no_o_id INT, \
+         PRIMARY KEY (no_w_id, no_d_id, no_o_id))",
+        "CREATE TABLE order_line (ol_w_id INT, ol_d_id INT, ol_o_id INT, ol_number INT, \
+         ol_i_id INT, ol_qty INT, ol_amount REAL, ol_delivery_d INT, \
+         PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number))",
+        "CREATE TABLE item (i_id INT PRIMARY KEY, i_name TEXT, i_price REAL)",
+        "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, s_ytd INT, \
+         s_order_cnt INT, s_remote_cnt INT, PRIMARY KEY (s_w_id, s_i_id))",
+        "CREATE INDEX idx_orders_cust ON orders (o_w_id, o_d_id, o_c_id)",
+    ];
+    for s in ddl {
+        db.execute(s)?;
+    }
+    Ok(())
+}
+
+/// Loads a 1-warehouse TPC-C database at the given scale.
+///
+/// # Errors
+///
+/// Propagates engine errors.
+pub fn load(db: &Database, scale: &TpccScale, seed: u64) -> Result<(), SqlError> {
+    create_schema(db)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    db.insert_rows(
+        "warehouse",
+        std::iter::once(vec![
+            SqlValue::Int(W),
+            SqlValue::from("WAREHOUSE1"),
+            SqlValue::Real(0.08),
+            SqlValue::Real(0.0),
+        ]),
+    )?;
+    db.insert_rows(
+        "district",
+        (1..=scale.districts).map(|d| {
+            vec![
+                SqlValue::Int(W),
+                SqlValue::Int(d),
+                SqlValue::Text(format!("DIST{d}")),
+                SqlValue::Real(0.05),
+                SqlValue::Real(0.0),
+                SqlValue::Int(scale.orders_per_district + 1),
+            ]
+        }),
+    )?;
+    for d in 1..=scale.districts {
+        db.insert_rows(
+            "customer",
+            (1..=scale.customers_per_district).map(|c| {
+                vec![
+                    SqlValue::Int(W),
+                    SqlValue::Int(d),
+                    SqlValue::Int(c),
+                    SqlValue::Text(format!("LAST{}", c % 100)),
+                    SqlValue::Text(format!("FIRST{c}")),
+                    SqlValue::from(if c % 10 == 0 { "BC" } else { "GC" }),
+                    SqlValue::Real(-10.0),
+                    SqlValue::Real(10.0),
+                    SqlValue::Int(1),
+                    SqlValue::Int(0),
+                ]
+            }),
+        )?;
+    }
+    db.insert_rows(
+        "item",
+        (1..=scale.items).map(|i| {
+            vec![
+                SqlValue::Int(i),
+                SqlValue::Text(format!("ITEM-{i}")),
+                SqlValue::Real(1.0 + (i % 100) as f64),
+            ]
+        }),
+    )?;
+    db.insert_rows(
+        "stock",
+        (1..=scale.items).map(|i| {
+            vec![
+                SqlValue::Int(W),
+                SqlValue::Int(i),
+                SqlValue::Int(10 + (i % 91)),
+                SqlValue::Int(0),
+                SqlValue::Int(0),
+                SqlValue::Int(0),
+            ]
+        }),
+    )?;
+    // Initial orders: every customer has roughly one historical order; the
+    // last third of each district's orders are still undelivered.
+    let mut history_id = 0;
+    for d in 1..=scale.districts {
+        let mut orders = Vec::new();
+        let mut lines = Vec::new();
+        let mut new_orders = Vec::new();
+        for o in 1..=scale.orders_per_district {
+            let c = rng.gen_range(1..=scale.customers_per_district);
+            let ol_cnt = rng.gen_range(5..=15i64);
+            let delivered = o <= scale.orders_per_district * 2 / 3;
+            orders.push(vec![
+                SqlValue::Int(W),
+                SqlValue::Int(d),
+                SqlValue::Int(o),
+                SqlValue::Int(c),
+                SqlValue::Int(0),
+                if delivered { SqlValue::Int(rng.gen_range(1..=10)) } else { SqlValue::Null },
+                SqlValue::Int(ol_cnt),
+            ]);
+            if !delivered {
+                new_orders.push(vec![SqlValue::Int(W), SqlValue::Int(d), SqlValue::Int(o)]);
+            }
+            for n in 1..=ol_cnt {
+                let i = rng.gen_range(1..=scale.items);
+                lines.push(vec![
+                    SqlValue::Int(W),
+                    SqlValue::Int(d),
+                    SqlValue::Int(o),
+                    SqlValue::Int(n),
+                    SqlValue::Int(i),
+                    SqlValue::Int(5),
+                    SqlValue::Real(rng.gen_range(1.0..100.0)),
+                    if delivered { SqlValue::Int(0) } else { SqlValue::Null },
+                ]);
+            }
+        }
+        db.insert_rows("orders", orders)?;
+        db.insert_rows("order_line", lines)?;
+        db.insert_rows("new_order", new_orders)?;
+        history_id += 1;
+        let _ = history_id;
+    }
+    Ok(())
+}
+
+/// One NewOrder line item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderLine {
+    /// Ordered item id (0 = the spec's invalid "unused" item, forcing a
+    /// rollback).
+    pub item: i64,
+    /// Quantity.
+    pub qty: i64,
+}
+
+/// A TPC-C transaction with its parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TpccTxn {
+    /// Enter a new order.
+    NewOrder {
+        /// District.
+        district: i64,
+        /// Customer.
+        customer: i64,
+        /// Line items (5–15 per spec).
+        lines: Vec<OrderLine>,
+    },
+    /// Record a customer payment.
+    Payment {
+        /// District.
+        district: i64,
+        /// Customer.
+        customer: i64,
+        /// Payment amount.
+        amount: f64,
+        /// Unique history-row id (chosen by the client so replays are
+        /// deterministic and idempotent per request).
+        history_id: i64,
+    },
+    /// Query a customer's most recent order.
+    OrderStatus {
+        /// District.
+        district: i64,
+        /// Customer.
+        customer: i64,
+    },
+    /// Deliver the oldest undelivered order of every district.
+    Delivery {
+        /// Carrier assigned to the delivered orders.
+        carrier: i64,
+    },
+    /// Count recently-sold items with low stock.
+    StockLevel {
+        /// District.
+        district: i64,
+        /// Stock threshold.
+        threshold: i64,
+    },
+}
+
+impl TpccTxn {
+    /// Executes the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only; spec-mandated rollbacks return
+    /// `committed: false`.
+    pub fn apply(&self, db: &Database) -> Result<TxnOutcome, SqlError> {
+        match self {
+            TpccTxn::NewOrder { district, customer, lines } => {
+                new_order(db, *district, *customer, lines)
+            }
+            TpccTxn::Payment { district, customer, amount, history_id } => {
+                payment(db, *district, *customer, *amount, *history_id)
+            }
+            TpccTxn::OrderStatus { district, customer } => {
+                order_status(db, *district, *customer)
+            }
+            TpccTxn::Delivery { carrier } => delivery(db, *carrier),
+            TpccTxn::StockLevel { district, threshold } => {
+                stock_level(db, *district, *threshold)
+            }
+        }
+    }
+
+    /// Wire encoding.
+    pub fn to_value(&self) -> Value {
+        match self {
+            TpccTxn::NewOrder { district, customer, lines } => Value::pair(
+                Value::str("no"),
+                Value::pair(
+                    Value::Int(*district),
+                    Value::pair(
+                        Value::Int(*customer),
+                        Value::list(lines.iter().map(|l| {
+                            Value::pair(Value::Int(l.item), Value::Int(l.qty))
+                        })),
+                    ),
+                ),
+            ),
+            TpccTxn::Payment { district, customer, amount, history_id } => Value::pair(
+                Value::str("pay"),
+                Value::pair(
+                    Value::pair(Value::Int(*district), Value::Int(*customer)),
+                    Value::pair(
+                        Value::Int((amount * 100.0).round() as i64),
+                        Value::Int(*history_id),
+                    ),
+                ),
+            ),
+            TpccTxn::OrderStatus { district, customer } => Value::pair(
+                Value::str("os"),
+                Value::pair(Value::Int(*district), Value::Int(*customer)),
+            ),
+            TpccTxn::Delivery { carrier } => {
+                Value::pair(Value::str("dl"), Value::Int(*carrier))
+            }
+            TpccTxn::StockLevel { district, threshold } => Value::pair(
+                Value::str("sl"),
+                Value::pair(Value::Int(*district), Value::Int(*threshold)),
+            ),
+        }
+    }
+
+    /// Wire decoding.
+    pub fn from_value(v: &Value) -> Option<TpccTxn> {
+        let (tag, body) = v.fst().zip(v.snd())?;
+        match tag.as_str()? {
+            "no" => {
+                let (district, rest) = body.fst().zip(body.snd())?;
+                let (customer, lines) = rest.fst().zip(rest.snd())?;
+                let lines: Option<Vec<OrderLine>> = lines
+                    .as_list()?
+                    .iter()
+                    .map(|l| {
+                        Some(OrderLine {
+                            item: l.fst()?.as_int()?,
+                            qty: l.snd()?.as_int()?,
+                        })
+                    })
+                    .collect();
+                Some(TpccTxn::NewOrder {
+                    district: district.as_int()?,
+                    customer: customer.as_int()?,
+                    lines: lines?,
+                })
+            }
+            "pay" => {
+                let (dc, ah) = body.fst().zip(body.snd())?;
+                Some(TpccTxn::Payment {
+                    district: dc.fst()?.as_int()?,
+                    customer: dc.snd()?.as_int()?,
+                    amount: ah.fst()?.as_int()? as f64 / 100.0,
+                    history_id: ah.snd()?.as_int()?,
+                })
+            }
+            "os" => Some(TpccTxn::OrderStatus {
+                district: body.fst()?.as_int()?,
+                customer: body.snd()?.as_int()?,
+            }),
+            "dl" => Some(TpccTxn::Delivery { carrier: body.as_int()? }),
+            "sl" => Some(TpccTxn::StockLevel {
+                district: body.fst()?.as_int()?,
+                threshold: body.snd()?.as_int()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+fn one_int(rs: &shadowdb_sqldb::ResultSet) -> Option<i64> {
+    rs.rows.first().and_then(|r| r.first()).and_then(SqlValue::as_int)
+}
+
+fn one_real(rs: &shadowdb_sqldb::ResultSet) -> Option<f64> {
+    rs.rows.first().and_then(|r| r.first()).and_then(SqlValue::as_real)
+}
+
+fn new_order(
+    db: &Database,
+    d: i64,
+    c: i64,
+    lines: &[OrderLine],
+) -> Result<TxnOutcome, SqlError> {
+    let mut txn = db.begin()?;
+    let w_tax = one_real(&txn.query(&format!(
+        "SELECT w_tax FROM warehouse WHERE w_id = {W}"
+    ))?)
+    .unwrap_or(0.0);
+    let rs = txn.query(&format!(
+        "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = {W} AND d_id = {d}"
+    ))?;
+    let d_tax = rs.rows[0][0].as_real().unwrap_or(0.0);
+    let o_id = rs.rows[0][1].as_int().unwrap_or(1);
+    txn.execute(&format!(
+        "UPDATE district SET d_next_o_id = {} WHERE d_w_id = {W} AND d_id = {d}",
+        o_id + 1
+    ))?;
+    txn.execute(&format!(
+        "INSERT INTO orders VALUES ({W}, {d}, {o_id}, {c}, 0, NULL, {})",
+        lines.len()
+    ))?;
+    txn.execute(&format!("INSERT INTO new_order VALUES ({W}, {d}, {o_id})"))?;
+    let mut total = 0.0;
+    for (n, line) in lines.iter().enumerate() {
+        let price = one_real(&txn.query(&format!(
+            "SELECT i_price FROM item WHERE i_id = {}",
+            line.item
+        ))?);
+        let Some(price) = price else {
+            // Spec: 1% of NewOrders carry an unused item id and roll back.
+            txn.rollback()?;
+            return Ok(TxnOutcome {
+                committed: false,
+                result: vec![SqlValue::Text("item not found".into())],
+                cost: std::time::Duration::from_micros(100),
+            });
+        };
+        let qty = one_int(&txn.query(&format!(
+            "SELECT s_quantity FROM stock WHERE s_w_id = {W} AND s_i_id = {}",
+            line.item
+        ))?)
+        .unwrap_or(0);
+        let new_qty = if qty - line.qty >= 10 { qty - line.qty } else { qty - line.qty + 91 };
+        txn.execute(&format!(
+            "UPDATE stock SET s_quantity = {new_qty}, s_ytd = s_ytd + {q}, \
+             s_order_cnt = s_order_cnt + 1 WHERE s_w_id = {W} AND s_i_id = {i}",
+            q = line.qty,
+            i = line.item
+        ))?;
+        let amount = price * line.qty as f64;
+        total += amount;
+        txn.execute(&format!(
+            "INSERT INTO order_line VALUES ({W}, {d}, {o_id}, {}, {}, {}, {amount}, NULL)",
+            n + 1,
+            line.item,
+            line.qty
+        ))?;
+    }
+    total *= (1.0 + w_tax + d_tax) * 0.98; // spec's discount/tax roll-up
+    let cost = txn.virtual_cost();
+    txn.commit()?;
+    Ok(TxnOutcome {
+        committed: true,
+        result: vec![SqlValue::Int(o_id), SqlValue::Real(total)],
+        cost,
+    })
+}
+
+fn payment(
+    db: &Database,
+    d: i64,
+    c: i64,
+    amount: f64,
+    history_id: i64,
+) -> Result<TxnOutcome, SqlError> {
+    let mut txn = db.begin()?;
+    txn.execute(&format!(
+        "UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {W}"
+    ))?;
+    txn.execute(&format!(
+        "UPDATE district SET d_ytd = d_ytd + {amount} WHERE d_w_id = {W} AND d_id = {d}"
+    ))?;
+    txn.execute(&format!(
+        "UPDATE customer SET c_balance = c_balance - {amount}, \
+         c_ytd_payment = c_ytd_payment + {amount}, c_payment_cnt = c_payment_cnt + 1 \
+         WHERE c_w_id = {W} AND c_d_id = {d} AND c_id = {c}"
+    ))?;
+    txn.execute(&format!(
+        "INSERT INTO history VALUES ({history_id}, {c}, {d}, {W}, {d}, {W}, {amount})"
+    ))?;
+    let balance = one_real(&txn.query(&format!(
+        "SELECT c_balance FROM customer WHERE c_w_id = {W} AND c_d_id = {d} AND c_id = {c}"
+    ))?)
+    .unwrap_or(0.0);
+    let cost = txn.virtual_cost();
+    txn.commit()?;
+    Ok(TxnOutcome { committed: true, result: vec![SqlValue::Real(balance)], cost })
+}
+
+fn order_status(db: &Database, d: i64, c: i64) -> Result<TxnOutcome, SqlError> {
+    let mut txn = db.begin()?;
+    let bal = one_real(&txn.query(&format!(
+        "SELECT c_balance FROM customer WHERE c_w_id = {W} AND c_d_id = {d} AND c_id = {c}"
+    ))?)
+    .unwrap_or(0.0);
+    let rs = txn.query(&format!(
+        "SELECT o_id, o_carrier_id FROM orders \
+         WHERE o_w_id = {W} AND o_d_id = {d} AND o_c_id = {c} ORDER BY o_id DESC LIMIT 1"
+    ))?;
+    let mut result = vec![SqlValue::Real(bal)];
+    if let Some(order) = rs.rows.first() {
+        let o_id = order[0].as_int().unwrap_or(0);
+        result.push(SqlValue::Int(o_id));
+        let lines = txn.query(&format!(
+            "SELECT ol_i_id, ol_qty, ol_amount FROM order_line \
+             WHERE ol_w_id = {W} AND ol_d_id = {d} AND ol_o_id = {o_id}"
+        ))?;
+        result.push(SqlValue::Int(lines.rows.len() as i64));
+    }
+    let cost = txn.virtual_cost();
+    txn.commit()?;
+    Ok(TxnOutcome { committed: true, result, cost })
+}
+
+fn delivery(db: &Database, carrier: i64) -> Result<TxnOutcome, SqlError> {
+    let mut txn = db.begin()?;
+    let districts = one_int(&txn.query(
+        "SELECT COUNT(*) FROM district WHERE d_w_id = 1",
+    )?)
+    .unwrap_or(0);
+    let mut delivered = 0;
+    for d in 1..=districts {
+        let oldest = one_int(&txn.query(&format!(
+            "SELECT MIN(no_o_id) FROM new_order WHERE no_w_id = {W} AND no_d_id = {d}"
+        ))?);
+        let Some(o_id) = oldest else { continue };
+        txn.execute(&format!(
+            "DELETE FROM new_order WHERE no_w_id = {W} AND no_d_id = {d} AND no_o_id = {o_id}"
+        ))?;
+        let c = one_int(&txn.query(&format!(
+            "SELECT o_c_id FROM orders WHERE o_w_id = {W} AND o_d_id = {d} AND o_id = {o_id}"
+        ))?)
+        .unwrap_or(1);
+        txn.execute(&format!(
+            "UPDATE orders SET o_carrier_id = {carrier} \
+             WHERE o_w_id = {W} AND o_d_id = {d} AND o_id = {o_id}"
+        ))?;
+        txn.execute(&format!(
+            "UPDATE order_line SET ol_delivery_d = 1 \
+             WHERE ol_w_id = {W} AND ol_d_id = {d} AND ol_o_id = {o_id}"
+        ))?;
+        let amount = one_real(&txn.query(&format!(
+            "SELECT SUM(ol_amount) FROM order_line \
+             WHERE ol_w_id = {W} AND ol_d_id = {d} AND ol_o_id = {o_id}"
+        ))?)
+        .unwrap_or(0.0);
+        txn.execute(&format!(
+            "UPDATE customer SET c_balance = c_balance + {amount}, \
+             c_delivery_cnt = c_delivery_cnt + 1 \
+             WHERE c_w_id = {W} AND c_d_id = {d} AND c_id = {c}"
+        ))?;
+        delivered += 1;
+    }
+    let cost = txn.virtual_cost();
+    txn.commit()?;
+    Ok(TxnOutcome { committed: true, result: vec![SqlValue::Int(delivered)], cost })
+}
+
+fn stock_level(db: &Database, d: i64, threshold: i64) -> Result<TxnOutcome, SqlError> {
+    let mut txn = db.begin()?;
+    let next = one_int(&txn.query(&format!(
+        "SELECT d_next_o_id FROM district WHERE d_w_id = {W} AND d_id = {d}"
+    ))?)
+    .unwrap_or(1);
+    // Items sold in the last 20 orders of the district.
+    let lines = txn.query(&format!(
+        "SELECT ol_i_id FROM order_line \
+         WHERE ol_w_id = {W} AND ol_d_id = {d} AND ol_o_id >= {}",
+        next - 20
+    ))?;
+    let mut items: Vec<i64> =
+        lines.rows.iter().filter_map(|r| r[0].as_int()).collect();
+    items.sort_unstable();
+    items.dedup();
+    let mut low = 0;
+    for i in items {
+        let qty = one_int(&txn.query(&format!(
+            "SELECT s_quantity FROM stock WHERE s_w_id = {W} AND s_i_id = {i}"
+        ))?)
+        .unwrap_or(i64::MAX);
+        if qty < threshold {
+            low += 1;
+        }
+    }
+    let cost = txn.virtual_cost();
+    txn.commit()?;
+    Ok(TxnOutcome { committed: true, result: vec![SqlValue::Int(low)], cost })
+}
+
+/// A deterministic generator of TPC-C transactions with the standard mix.
+#[derive(Clone, Debug)]
+pub struct TpccGen {
+    rng: SmallRng,
+    scale: TpccScale,
+    next_history: i64,
+}
+
+impl TpccGen {
+    /// Creates a generator. `client_id` spaces history ids so concurrent
+    /// clients never collide.
+    pub fn new(seed: u64, scale: TpccScale, client_id: u64) -> TpccGen {
+        TpccGen {
+            rng: SmallRng::seed_from_u64(seed),
+            scale,
+            next_history: 1_000_000 * client_id as i64 + 1,
+        }
+    }
+
+    /// The next transaction, per the standard mix.
+    pub fn next_txn(&mut self) -> TpccTxn {
+        let d = self.rng.gen_range(1..=self.scale.districts);
+        let c = self.rng.gen_range(1..=self.scale.customers_per_district);
+        match self.rng.gen_range(0..100) {
+            0..=44 => {
+                let n = self.rng.gen_range(5..=15);
+                let mut lines: Vec<OrderLine> = (0..n)
+                    .map(|_| OrderLine {
+                        item: self.rng.gen_range(1..=self.scale.items),
+                        qty: self.rng.gen_range(1..=10),
+                    })
+                    .collect();
+                if self.rng.gen_range(0..100) == 0 {
+                    // 1% invalid item → deterministic rollback.
+                    lines.last_mut().expect("n >= 5").item = 0;
+                }
+                TpccTxn::NewOrder { district: d, customer: c, lines }
+            }
+            45..=87 => {
+                let h = self.next_history;
+                self.next_history += 1;
+                TpccTxn::Payment {
+                    district: d,
+                    customer: c,
+                    // Whole cents: the wire format carries amounts as cents.
+                    amount: self.rng.gen_range(100..500_000) as f64 / 100.0,
+                    history_id: h,
+                }
+            }
+            88..=91 => TpccTxn::OrderStatus { district: d, customer: c },
+            92..=95 => TpccTxn::Delivery { carrier: self.rng.gen_range(1..=10) },
+            _ => TpccTxn::StockLevel { district: d, threshold: self.rng.gen_range(10..=20) },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdb_sqldb::EngineProfile;
+
+    fn loaded() -> Database {
+        let db = Database::new(EngineProfile::h2());
+        load(&db, &TpccScale::small(), 1).unwrap();
+        db
+    }
+
+    #[test]
+    fn load_populates_all_tables() {
+        let db = loaded();
+        assert_eq!(db.table_len("warehouse"), 1);
+        assert_eq!(db.table_len("district"), 2);
+        assert_eq!(db.table_len("customer"), 60);
+        assert_eq!(db.table_len("item"), 200);
+        assert_eq!(db.table_len("stock"), 200);
+        assert_eq!(db.table_len("orders"), 40);
+        assert!(db.table_len("order_line") > 100);
+        assert!(db.table_len("new_order") > 5);
+    }
+
+    #[test]
+    fn new_order_commits_and_advances_sequence() {
+        let db = loaded();
+        let t = TpccTxn::NewOrder {
+            district: 1,
+            customer: 3,
+            lines: vec![OrderLine { item: 5, qty: 2 }, OrderLine { item: 9, qty: 1 }],
+        };
+        let before = db.table_len("orders");
+        let out = t.apply(&db).unwrap();
+        assert!(out.committed);
+        assert_eq!(db.table_len("orders"), before + 1);
+        // Sequence advanced.
+        let r = db
+            .execute("SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = 1")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap(), 22);
+    }
+
+    #[test]
+    fn invalid_item_rolls_back_completely() {
+        let db = loaded();
+        let before_orders = db.table_len("orders");
+        let before_lines = db.table_len("order_line");
+        let t = TpccTxn::NewOrder {
+            district: 1,
+            customer: 1,
+            lines: vec![OrderLine { item: 5, qty: 1 }, OrderLine { item: 0, qty: 1 }],
+        };
+        let out = t.apply(&db).unwrap();
+        assert!(!out.committed);
+        assert_eq!(db.table_len("orders"), before_orders);
+        assert_eq!(db.table_len("order_line"), before_lines);
+        let r = db
+            .execute("SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = 1")
+            .unwrap();
+        assert_eq!(r.rows[0][0].as_int().unwrap(), 21, "sequence rolled back");
+    }
+
+    #[test]
+    fn payment_moves_money() {
+        let db = loaded();
+        let t = TpccTxn::Payment { district: 2, customer: 7, amount: 12.5, history_id: 1 };
+        let out = t.apply(&db).unwrap();
+        assert!(out.committed);
+        assert_eq!(out.result[0].as_real().unwrap(), -22.5);
+        assert_eq!(db.table_len("history"), 1);
+        let r = db.execute("SELECT w_ytd FROM warehouse WHERE w_id = 1").unwrap();
+        assert_eq!(r.rows[0][0].as_real().unwrap(), 12.5);
+    }
+
+    #[test]
+    fn order_status_reads_latest_order() {
+        let db = loaded();
+        TpccTxn::NewOrder {
+            district: 1,
+            customer: 4,
+            lines: vec![OrderLine { item: 3, qty: 1 }],
+        }
+        .apply(&db)
+        .unwrap();
+        let out = TpccTxn::OrderStatus { district: 1, customer: 4 }.apply(&db).unwrap();
+        assert!(out.committed);
+        assert_eq!(out.result[1].as_int().unwrap(), 21, "latest order id");
+        assert_eq!(out.result[2].as_int().unwrap(), 1, "one line");
+    }
+
+    #[test]
+    fn delivery_consumes_new_orders() {
+        let db = loaded();
+        let backlog = db.table_len("new_order");
+        let out = TpccTxn::Delivery { carrier: 3 }.apply(&db).unwrap();
+        assert!(out.committed);
+        assert_eq!(out.result[0].as_int().unwrap(), 2, "one per district");
+        assert_eq!(db.table_len("new_order"), backlog - 2);
+    }
+
+    #[test]
+    fn stock_level_counts_low_stock() {
+        let db = loaded();
+        let out = TpccTxn::StockLevel { district: 1, threshold: 100 }.apply(&db).unwrap();
+        assert!(out.committed);
+        let high = TpccTxn::StockLevel { district: 1, threshold: 0 }.apply(&db).unwrap();
+        assert_eq!(high.result[0].as_int().unwrap(), 0);
+        assert!(out.result[0].as_int().unwrap() >= high.result[0].as_int().unwrap());
+    }
+
+    #[test]
+    fn wire_roundtrip_all_types() {
+        let mut g = TpccGen::new(5, TpccScale::small(), 2);
+        for _ in 0..50 {
+            let t = g.next_txn();
+            assert_eq!(TpccTxn::from_value(&t.to_value()), Some(t));
+        }
+    }
+
+    #[test]
+    fn replicas_replay_identically() {
+        let db1 = loaded();
+        let db2 = loaded();
+        let mut g = TpccGen::new(11, TpccScale::small(), 1);
+        for _ in 0..60 {
+            let t = g.next_txn();
+            let a = t.apply(&db1).unwrap();
+            let b = t.apply(&db2).unwrap();
+            assert_eq!(a.committed, b.committed);
+            assert_eq!(a.result, b.result);
+        }
+        for table in ["district", "customer", "orders", "order_line", "stock", "history"] {
+            assert_eq!(db1.table_len(table), db2.table_len(table), "{table}");
+        }
+    }
+
+    #[test]
+    fn generator_mix_is_roughly_standard() {
+        let mut g = TpccGen::new(1, TpccScale::small(), 1);
+        let mut counts = [0u32; 5];
+        for _ in 0..2_000 {
+            match g.next_txn() {
+                TpccTxn::NewOrder { .. } => counts[0] += 1,
+                TpccTxn::Payment { .. } => counts[1] += 1,
+                TpccTxn::OrderStatus { .. } => counts[2] += 1,
+                TpccTxn::Delivery { .. } => counts[3] += 1,
+                TpccTxn::StockLevel { .. } => counts[4] += 1,
+            }
+        }
+        assert!((800..1_000).contains(&counts[0]), "NewOrder {counts:?}");
+        assert!((760..960).contains(&counts[1]), "Payment {counts:?}");
+        for c in &counts[2..] {
+            assert!((40..140).contains(c), "{counts:?}");
+        }
+    }
+}
+
+/// TPC-C consistency conditions (clause 3.3.2 of the specification,
+/// conditions 1–4): structural invariants any correct execution history
+/// must leave in the database. Replication must preserve them on every
+/// replica.
+///
+/// Returns the first violated condition as an error string.
+pub fn check_consistency(db: &Database) -> Result<(), String> {
+    let one_int = |sql: &str| -> Result<Option<i64>, String> {
+        let rs = db.execute(sql).map_err(|e| format!("{sql}: {e}"))?;
+        Ok(rs.rows.first().and_then(|r| r.first()).and_then(SqlValue::as_int))
+    };
+    let districts = one_int("SELECT COUNT(*) FROM district WHERE d_w_id = 1")?
+        .ok_or("no districts")?;
+    for d in 1..=districts {
+        // Condition 2: d_next_o_id - 1 = max(o_id) = max(no_o_id ∪ o_id).
+        let next = one_int(&format!(
+            "SELECT d_next_o_id FROM district WHERE d_w_id = 1 AND d_id = {d}"
+        ))?
+        .ok_or("district missing")?;
+        let max_o = one_int(&format!(
+            "SELECT MAX(o_id) FROM orders WHERE o_w_id = 1 AND o_d_id = {d}"
+        ))?
+        .unwrap_or(0);
+        if next - 1 != max_o {
+            return Err(format!(
+                "condition 2 violated in district {d}: d_next_o_id-1={} but max(o_id)={max_o}",
+                next - 1
+            ));
+        }
+        // Condition 3: new_order ids form a contiguous range ending at max.
+        let no_count = one_int(&format!(
+            "SELECT COUNT(*) FROM new_order WHERE no_w_id = 1 AND no_d_id = {d}"
+        ))?
+        .unwrap_or(0);
+        if no_count > 0 {
+            let no_min = one_int(&format!(
+                "SELECT MIN(no_o_id) FROM new_order WHERE no_w_id = 1 AND no_d_id = {d}"
+            ))?
+            .ok_or("min missing")?;
+            let no_max = one_int(&format!(
+                "SELECT MAX(no_o_id) FROM new_order WHERE no_w_id = 1 AND no_d_id = {d}"
+            ))?
+            .ok_or("max missing")?;
+            if no_max - no_min + 1 != no_count {
+                return Err(format!(
+                    "condition 3 violated in district {d}: new_order range \
+                     [{no_min}, {no_max}] has {no_count} rows"
+                ));
+            }
+        }
+        // Condition 4: sum(o_ol_cnt) = number of order lines.
+        let ol_cnt_sum = one_int(&format!(
+            "SELECT SUM(o_ol_cnt) FROM orders WHERE o_w_id = 1 AND o_d_id = {d}"
+        ))?
+        .unwrap_or(0);
+        let ol_rows = one_int(&format!(
+            "SELECT COUNT(*) FROM order_line WHERE ol_w_id = 1 AND ol_d_id = {d}"
+        ))?
+        .unwrap_or(0);
+        if ol_cnt_sum != ol_rows {
+            return Err(format!(
+                "condition 4 violated in district {d}: sum(o_ol_cnt)={ol_cnt_sum} \
+                 but {ol_rows} order lines"
+            ));
+        }
+    }
+    // Condition 1 (adapted to our schema): w_ytd = sum(d_ytd).
+    let rs = db
+        .execute("SELECT w_ytd FROM warehouse WHERE w_id = 1")
+        .map_err(|e| e.to_string())?;
+    let w_ytd = rs.rows[0][0].as_real().ok_or("w_ytd")?;
+    let rs = db
+        .execute("SELECT SUM(d_ytd) FROM district WHERE d_w_id = 1")
+        .map_err(|e| e.to_string())?;
+    let d_ytd = rs.rows[0][0].as_real().ok_or("d_ytd")?;
+    if (w_ytd - d_ytd).abs() > 1e-6 {
+        return Err(format!("condition 1 violated: w_ytd={w_ytd} but sum(d_ytd)={d_ytd}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod consistency_tests {
+    use super::*;
+    use shadowdb_sqldb::EngineProfile;
+
+    #[test]
+    fn fresh_load_is_consistent() {
+        let db = Database::new(EngineProfile::h2());
+        load(&db, &TpccScale::small(), 4).unwrap();
+        check_consistency(&db).unwrap();
+    }
+
+    #[test]
+    fn consistency_survives_a_workload() {
+        let db = Database::new(EngineProfile::h2());
+        load(&db, &TpccScale::small(), 4).unwrap();
+        let mut g = TpccGen::new(2, TpccScale::small(), 1);
+        for _ in 0..150 {
+            g.next_txn().apply(&db).unwrap();
+        }
+        check_consistency(&db).unwrap();
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let db = Database::new(EngineProfile::h2());
+        load(&db, &TpccScale::small(), 4).unwrap();
+        // Simulate a Mandelbug: bump a district sequence without an order.
+        db.execute("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_id = 1")
+            .unwrap();
+        let err = check_consistency(&db).unwrap_err();
+        assert!(err.contains("condition 2"), "{err}");
+    }
+}
