@@ -13,7 +13,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
 use shadowdb_consensus::{handcoded, synod};
 use shadowdb_eventml::optimize::optimize;
-use shadowdb_eventml::{clk, Ctx, InterpretedProcess, Process, Value};
+use shadowdb_eventml::{clk, Ctx, InterpretedProcess, Process, SendInstr, Value};
 use shadowdb_loe::Loc;
 use shadowdb_sqldb::{Database, EngineProfile, RowBatch};
 use shadowdb_workloads::bank;
@@ -24,26 +24,32 @@ fn bench_opt_speedup(c: &mut Criterion) {
     let config = TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)]).with_auto_adopt();
     let class = TwoThird::new(config).class();
     let msgs: Vec<_> = (0..8).map(|i| propose_msg(i, Value::Int(i))).collect();
+    // Processes are driven the way the runtimes drive them: `step_into`
+    // with a caller-owned output buffer reused across steps.
     g.bench_function("interpreted", |b| {
         b.iter_batched(
-            || InterpretedProcess::compile(&class),
-            |mut p| {
+            || (InterpretedProcess::compile(&class), Vec::<SendInstr>::new()),
+            |(mut p, mut out)| {
                 for m in &msgs {
-                    p.step(&Ctx::at(Loc::new(0)), m);
+                    out.clear();
+                    p.step_into(&Ctx::at(Loc::new(0)), m, &mut out);
                 }
+                (p, out)
             },
-            BatchSize::SmallInput,
+            BatchSize::LargeInput,
         )
     });
     g.bench_function("fused", |b| {
         b.iter_batched(
-            || optimize(&class),
-            |mut p| {
+            || (optimize(&class), Vec::<SendInstr>::new()),
+            |(mut p, mut out)| {
                 for m in &msgs {
-                    p.step(&Ctx::at(Loc::new(0)), m);
+                    out.clear();
+                    p.step_into(&Ctx::at(Loc::new(0)), m, &mut out);
                 }
+                (p, out)
             },
-            BatchSize::SmallInput,
+            BatchSize::LargeInput,
         )
     });
     // The running example too, for a small-spec data point.
@@ -51,16 +57,27 @@ fn bench_opt_speedup(c: &mut Criterion) {
     let clk_msg = clk::clk_msg(Value::Int(0), 3);
     g.bench_function("clk_interpreted", |b| {
         b.iter_batched(
-            || InterpretedProcess::compile(&clk_class),
-            |mut p| p.step(&Ctx::at(Loc::new(0)), &clk_msg),
-            BatchSize::SmallInput,
+            || {
+                (
+                    InterpretedProcess::compile(&clk_class),
+                    Vec::<SendInstr>::new(),
+                )
+            },
+            |(mut p, mut out)| {
+                p.step_into(&Ctx::at(Loc::new(0)), &clk_msg, &mut out);
+                (p, out)
+            },
+            BatchSize::LargeInput,
         )
     });
     g.bench_function("clk_fused", |b| {
         b.iter_batched(
-            || optimize(&clk_class),
-            |mut p| p.step(&Ctx::at(Loc::new(0)), &clk_msg),
-            BatchSize::SmallInput,
+            || (optimize(&clk_class), Vec::<SendInstr>::new()),
+            |(mut p, mut out)| {
+                p.step_into(&Ctx::at(Loc::new(0)), &clk_msg, &mut out);
+                (p, out)
+            },
+            BatchSize::LargeInput,
         )
     });
     // Where CSE structurally wins: the same stateful subexpression used
@@ -81,16 +98,27 @@ fn bench_opt_speedup(c: &mut Criterion) {
     let m = shadowdb_eventml::Msg::new("m", Value::Int(1));
     g.bench_function("shared8_interpreted", |b| {
         b.iter_batched(
-            || InterpretedProcess::compile(&shared),
-            |mut p| p.step(&Ctx::at(Loc::new(0)), &m),
-            BatchSize::SmallInput,
+            || {
+                (
+                    InterpretedProcess::compile(&shared),
+                    Vec::<SendInstr>::new(),
+                )
+            },
+            |(mut p, mut out)| {
+                p.step_into(&Ctx::at(Loc::new(0)), &m, &mut out);
+                (p, out)
+            },
+            BatchSize::LargeInput,
         )
     });
     g.bench_function("shared8_fused", |b| {
         b.iter_batched(
-            || optimize(&shared),
-            |mut p| p.step(&Ctx::at(Loc::new(0)), &m),
-            BatchSize::SmallInput,
+            || (optimize(&shared), Vec::<SendInstr>::new()),
+            |(mut p, mut out)| {
+                p.step_into(&Ctx::at(Loc::new(0)), &m, &mut out);
+                (p, out)
+            },
+            BatchSize::LargeInput,
         )
     });
     g.finish();
@@ -101,6 +129,7 @@ fn bench_opt_speedup(c: &mut Criterion) {
 fn synod_round(procs: &mut [(Loc, Box<dyn Process>)], cmd: Value) -> usize {
     let mut queue: VecDeque<(Loc, shadowdb_eventml::Msg)> =
         VecDeque::from([(Loc::new(0), synod::request_msg(cmd))]);
+    let mut outs: Vec<SendInstr> = Vec::new();
     let mut hops = 0;
     while let Some((dest, msg)) = queue.pop_front() {
         hops += 1;
@@ -108,7 +137,9 @@ fn synod_round(procs: &mut [(Loc, Box<dyn Process>)], cmd: Value) -> usize {
             continue;
         }
         if let Some((_, p)) = procs.iter_mut().find(|(l, _)| *l == dest) {
-            for o in p.step(&Ctx::at(dest), &msg) {
+            outs.clear();
+            p.step_into(&Ctx::at(dest), &msg, &mut outs);
+            for o in outs.drain(..) {
                 queue.push_back((o.dest, o.msg));
             }
         }
@@ -131,22 +162,30 @@ fn bench_consensus(c: &mut Criterion) {
                 synod_round(&mut procs, Value::str("warm")); // adopt a ballot
                 procs
             },
-            |mut procs| synod_round(&mut procs, Value::str("cmd")),
-            BatchSize::SmallInput,
+            |mut procs| {
+                synod_round(&mut procs, Value::str("cmd"));
+                procs
+            },
+            BatchSize::LargeInput,
         )
     });
+    // The generated program as deployed: the optimizer's fused output
+    // (interpreted-vs-fused for the same specs is covered by opt_speedup).
     g.bench_function("generated_round", |b| {
         b.iter_batched(
             || {
                 let mut procs: Vec<(Loc, Box<dyn Process>)> = vec![
-                    (Loc::new(0), Box::new(InterpretedProcess::compile(&synod::replica_class(&config)))),
-                    (Loc::new(1), Box::new(InterpretedProcess::compile(&synod::leader_class(&config)))),
+                    (
+                        Loc::new(0),
+                        Box::new(optimize(&synod::replica_class(&config))),
+                    ),
+                    (
+                        Loc::new(1),
+                        Box::new(optimize(&synod::leader_class(&config))),
+                    ),
                 ];
                 for a in &config.acceptors {
-                    procs.push((
-                        *a,
-                        Box::new(InterpretedProcess::compile(&synod::acceptor_class(&config))),
-                    ));
+                    procs.push((*a, Box::new(optimize(&synod::acceptor_class(&config)))));
                 }
                 let mut procs = {
                     // Kick the leader's first scout.
@@ -169,8 +208,11 @@ fn bench_consensus(c: &mut Criterion) {
                 synod_round(&mut procs, Value::str("warm"));
                 procs
             },
-            |mut procs| synod_round(&mut procs, Value::str("cmd")),
-            BatchSize::SmallInput,
+            |mut procs| {
+                synod_round(&mut procs, Value::str("cmd"));
+                procs
+            },
+            BatchSize::LargeInput,
         )
     });
     g.finish();
@@ -184,14 +226,17 @@ fn bench_sqldb(c: &mut Criterion) {
     g.bench_function("point_update", |b| {
         b.iter(|| {
             i = (i + 7) % 10_000;
-            db.execute(&format!("UPDATE accounts SET balance = balance + 1 WHERE id = {i}"))
-                .unwrap()
+            db.execute(&format!(
+                "UPDATE accounts SET balance = balance + 1 WHERE id = {i}"
+            ))
+            .unwrap()
         })
     });
     g.bench_function("point_select", |b| {
         b.iter(|| {
             i = (i + 7) % 10_000;
-            db.execute(&format!("SELECT balance FROM accounts WHERE id = {i}")).unwrap()
+            db.execute(&format!("SELECT balance FROM accounts WHERE id = {i}"))
+                .unwrap()
         })
     });
     g.bench_function("parse_only", |b| {
@@ -222,5 +267,11 @@ fn bench_transfer(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_opt_speedup, bench_consensus, bench_sqldb, bench_transfer);
+criterion_group!(
+    benches,
+    bench_opt_speedup,
+    bench_consensus,
+    bench_sqldb,
+    bench_transfer
+);
 criterion_main!(benches);

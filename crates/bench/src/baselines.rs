@@ -18,7 +18,7 @@
 
 use shadowdb::msgs::{reply_msg, TxnEnvelope, SUBMIT_HEADER};
 use shadowdb_eventml::process::HasherAdapter;
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr};
+use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr};
 use shadowdb_loe::VTime;
 use shadowdb_sqldb::{Database, SqlValue};
 use std::hash::{Hash, Hasher};
@@ -39,23 +39,31 @@ pub struct StandaloneServer {
 impl StandaloneServer {
     /// Creates a server over `db`.
     pub fn new(db: Database) -> StandaloneServer {
-        StandaloneServer { db, step_cost: Duration::ZERO }
+        StandaloneServer {
+            db,
+            step_cost: Duration::ZERO,
+        }
     }
 }
 
 impl Process for StandaloneServer {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        if msg.header.name() != SUBMIT_HEADER {
-            return Vec::new();
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        if msg.header != cached_header!(SUBMIT_HEADER) {
+            return;
         }
-        let Some(env) = TxnEnvelope::from_value(&msg.body) else { return Vec::new() };
+        let Some(env) = TxnEnvelope::from_value(&msg.body) else {
+            return;
+        };
         let (committed, result, cost) = env
             .txn
             .apply(&self.db)
             .map(|o| (o.committed, o.result, o.cost))
             .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
         self.step_cost += cost + REQUEST_OVERHEAD;
-        vec![SendInstr::now(env.client, reply_msg(ctx.slf, env.cseq, committed, &result))]
+        out.push(SendInstr::now(
+            env.client,
+            reply_msg(ctx.slf, env.cseq, committed, &result),
+        ));
     }
     fn take_step_cost(&mut self) -> Duration {
         std::mem::take(&mut self.step_cost)
@@ -63,7 +71,10 @@ impl Process for StandaloneServer {
     fn clone_box(&self) -> Box<dyn Process> {
         let db = Database::new(self.db.profile().clone());
         db.restore(&self.db.snapshot()).expect("valid snapshot");
-        Box::new(StandaloneServer { db, step_cost: self.step_cost })
+        Box::new(StandaloneServer {
+            db,
+            step_cost: self.step_cost,
+        })
     }
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
@@ -135,22 +146,30 @@ impl LockCoupledReplServer {
 }
 
 impl Process for LockCoupledReplServer {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        if msg.header.name() != SUBMIT_HEADER {
-            return Vec::new();
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        if msg.header != cached_header!(SUBMIT_HEADER) {
+            return;
         }
-        let Some(env) = TxnEnvelope::from_value(&msg.body) else { return Vec::new() };
+        let Some(env) = TxnEnvelope::from_value(&msg.body) else {
+            return;
+        };
         let backlog = self.backlog(ctx.now);
         let start = ctx.now.max(self.lock_free_at);
         let wait = start.saturating_since(ctx.now);
         if wait > self.coupling.lock_timeout {
             // Lock timeout: the engine aborts the transaction.
             let delay = self.coupling.lock_timeout;
-            return vec![SendInstr::after(
+            out.push(SendInstr::after(
                 delay,
                 env.client,
-                reply_msg(ctx.slf, env.cseq, false, &[SqlValue::Text("lock timeout".into())]),
-            )];
+                reply_msg(
+                    ctx.slf,
+                    env.cseq,
+                    false,
+                    &[SqlValue::Text("lock timeout".into())],
+                ),
+            ));
+            return;
         }
         // Execute for real (functional path), then model the lock-coupled
         // hold across the replication round trip.
@@ -162,11 +181,11 @@ impl Process for LockCoupledReplServer {
         let hold = self.coupling.hold + self.coupling.contention_slowdown * backlog;
         self.lock_free_at = start + hold;
         let done_in = self.lock_free_at.saturating_since(ctx.now);
-        vec![SendInstr::after(
+        out.push(SendInstr::after(
             done_in,
             env.client,
             reply_msg(ctx.slf, env.cseq, committed, &result),
-        )]
+        ));
     }
     fn take_step_cost(&mut self) -> Duration {
         std::mem::take(&mut self.step_cost)
@@ -211,14 +230,24 @@ mod tests {
             stats.push(s.clone());
             let mut g = bank::BankGen::new(i as u64, 1_000);
             let list = (0..txns).map(|_| g.next_txn()).collect();
-            let c = DbClient::new(Submission::Pbr { replicas: vec![server_loc] }, list, s)
-                .with_timeout(Duration::from_secs(30));
+            let c = DbClient::new(
+                Submission::Pbr {
+                    replicas: vec![server_loc],
+                },
+                list,
+                s,
+            )
+            .with_timeout(Duration::from_secs(30));
             sim.add_node(Box::new(c));
         }
         let added = sim.add_node(server);
         assert_eq!(added, server_loc);
         for i in 0..n_clients {
-            sim.send_at(VTime::ZERO, shadowdb_loe::Loc::new(i as u32), DbClient::start_msg());
+            sim.send_at(
+                VTime::ZERO,
+                shadowdb_loe::Loc::new(i as u32),
+                DbClient::start_msg(),
+            );
         }
         sim.run_until_quiescent(VTime::from_secs(3_600));
         stats
@@ -249,13 +278,25 @@ mod tests {
     #[test]
     fn h2_replication_saturates_flat() {
         let one = {
-            let s =
-                drive(Box::new(LockCoupledReplServer::new(bank_db(), LockCoupling::h2_replication())), 1, 200);
+            let s = drive(
+                Box::new(LockCoupledReplServer::new(
+                    bank_db(),
+                    LockCoupling::h2_replication(),
+                )),
+                1,
+                200,
+            );
             crate::measure::aggregate(1, &s)
         };
         let many = {
-            let s =
-                drive(Box::new(LockCoupledReplServer::new(bank_db(), LockCoupling::h2_replication())), 16, 200);
+            let s = drive(
+                Box::new(LockCoupledReplServer::new(
+                    bank_db(),
+                    LockCoupling::h2_replication(),
+                )),
+                16,
+                200,
+            );
             crate::measure::aggregate(16, &s)
         };
         // Saturation is flat: 16 clients get at most ~the hold-rate…
@@ -266,9 +307,17 @@ mod tests {
 
     #[test]
     fn mysql_declines_under_contention() {
-        let mk = || Box::new(LockCoupledReplServer::new(bank_db(), LockCoupling::mysql_replication()));
+        let mk = || {
+            Box::new(LockCoupledReplServer::new(
+                bank_db(),
+                LockCoupling::mysql_replication(),
+            ))
+        };
         let at8 = crate::measure::aggregate(8, &drive(mk(), 8, 300));
         let at32 = crate::measure::aggregate(32, &drive(mk(), 32, 300));
-        assert!(at8.throughput > at32.throughput, "decline: {at8:?} vs {at32:?}");
+        assert!(
+            at8.throughput > at32.throughput,
+            "decline: {at8:?} vs {at32:?}"
+        );
     }
 }

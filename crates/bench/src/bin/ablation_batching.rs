@@ -78,10 +78,18 @@ fn main() {
         .iter()
         .map(|&b| {
             let (tput, lat) = run(b, clients, msgs);
-            (format!("batch ≤ {b}"), format!("{tput:>8.1}/s   {lat:>8.2} ms"))
+            (
+                format!("batch ≤ {b}"),
+                format!("{tput:>8.1}/s   {lat:>8.2} ms"),
+            )
         })
         .collect();
-    output::pairs("throughput by batch bound", "bound", "delivered/s, latency", &rows);
+    output::pairs(
+        "throughput by batch bound",
+        "bound",
+        "delivered/s, latency",
+        &rows,
+    );
     println!();
     println!("batching amortizes the fixed per-proposal consensus cost across");
     println!("messages; without it the service saturates at the per-slot rate.");

@@ -52,7 +52,11 @@ fn run(overlapped: bool) -> f64 {
     sim.crash_at(sim.now(), d.replicas[0]);
     sim.run_until_quiescent(VTime::from_secs(600));
     if d.committed() != 4 * 8_000 {
-        eprintln!("WARN overlapped={overlapped}: committed {} of {}", d.committed(), 4 * 8_000);
+        eprintln!(
+            "WARN overlapped={overlapped}: committed {} of {}",
+            d.committed(),
+            4 * 8_000
+        );
     }
 
     let mut answers: Vec<VTime> = Vec::new();
@@ -71,11 +75,20 @@ fn main() {
         "Ablation — overlapped state transfer",
         "the Sec. III-A recovery optimization",
     );
-    output::kv("database", format!("{ROWS} rows × 16 B; spare needs a full snapshot"));
+    output::kv(
+        "database",
+        format!("{ROWS} rows × 16 B; spare needs a full snapshot"),
+    );
     let blocking = run(false);
     let overlapped = run(true);
-    output::kv("client outage, blocking transfer  ", format!("{blocking:.0} ms"));
-    output::kv("client outage, overlapped transfer", format!("{overlapped:.0} ms"));
+    output::kv(
+        "client outage, blocking transfer  ",
+        format!("{blocking:.0} ms"),
+    );
+    output::kv(
+        "client outage, overlapped transfer",
+        format!("{overlapped:.0} ms"),
+    );
     output::kv("improvement", format!("{:.1}×", blocking / overlapped));
     println!();
     println!("with overlap, the primary resumes after the first recovered backup");

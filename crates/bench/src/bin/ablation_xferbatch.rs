@@ -32,7 +32,11 @@ fn run(batch_bytes: usize) -> (f64, u64) {
     let joiner = sim.add_node(Box::new(shadowdb::smr::SmrReplica::joining(Database::new(
         EngineProfile::h2(),
     ))));
-    sim.send_at(VTime::ZERO, donor_loc, shadowdb::smr::SmrReplica::fetch_snapshot_msg(joiner));
+    sim.send_at(
+        VTime::ZERO,
+        donor_loc,
+        shadowdb::smr::SmrReplica::fetch_snapshot_msg(joiner),
+    );
     let end = sim.run_until_quiescent(VTime::from_secs(36_000));
     let SimStats { delivered, .. } = sim.stats();
     (end.as_secs_f64(), delivered)
@@ -51,7 +55,10 @@ fn main() {
         .iter()
         .map(|&b| {
             let (t, msgs) = run(b);
-            (format!("{:>8} B", b), format!("{t:>7.2} s  ({msgs} messages)"))
+            (
+                format!("{:>8} B", b),
+                format!("{t:>7.2} s  ({msgs} messages)"),
+            )
         })
         .collect();
     output::pairs("50,000-row transfer", "batch bound", "time", &rows);

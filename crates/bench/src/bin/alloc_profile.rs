@@ -1,0 +1,121 @@
+//! Allocation profile of the per-message hot paths: counts heap
+//! allocations (and bytes) per step for the interpreted and fused forms of
+//! the shipped specifications. A development aid for keeping the fused
+//! path allocation-light; run with `cargo run --release --bin alloc_profile`.
+
+use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
+use shadowdb_eventml::optimize::optimize;
+use shadowdb_eventml::{clk, Ctx, InterpretedProcess, Process, SendInstr, Value};
+use shadowdb_loe::Loc;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+fn measure<F: FnMut()>(label: &str, steps: u64, mut f: F) {
+    // Warm once so one-time lazy init (interning, statics) is excluded.
+    f();
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let b0 = BYTES.load(Ordering::Relaxed);
+    let t = std::time::Instant::now();
+    f();
+    let dt = t.elapsed();
+    let da = ALLOCS.load(Ordering::Relaxed) - a0;
+    let db = BYTES.load(Ordering::Relaxed) - b0;
+    println!(
+        "{label:<28} {:>6.1} allocs/step {:>7.1} B/step {:>9.1} ns/step",
+        da as f64 / steps as f64,
+        db as f64 / steps as f64,
+        dt.as_nanos() as f64 / steps as f64,
+    );
+}
+
+fn main() {
+    let config = TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)]).with_auto_adopt();
+    let class = TwoThird::new(config).class();
+    let msgs: Vec<_> = (0..8).map(|i| propose_msg(i, Value::Int(i))).collect();
+    let ctx = Ctx::at(Loc::new(0));
+    let mut out: Vec<SendInstr> = Vec::with_capacity(16);
+
+    measure("twothird/interpreted", 8, || {
+        let mut p = InterpretedProcess::compile(&class);
+        for m in &msgs {
+            out.clear();
+            p.step_into(&ctx, m, &mut out);
+        }
+    });
+    measure("twothird/fused", 8, || {
+        let mut p = optimize(&class);
+        for m in &msgs {
+            out.clear();
+            p.step_into(&ctx, m, &mut out);
+        }
+    });
+    // Steady state: the same warm process stepping many fresh instances.
+    let mut p = optimize(&class);
+    let mut i = 0i64;
+    measure("twothird/fused_steady", 64, || {
+        for _ in 0..64 {
+            out.clear();
+            p.step_into(&ctx, &propose_msg(i, Value::Int(i)), &mut out);
+            i += 1;
+        }
+    });
+
+    let clk_class = clk::handler_class(clk::ring_handle(3));
+    let clk_msg = clk::clk_msg(Value::Int(0), 3);
+    measure("clk/interpreted", 1, || {
+        let mut p = InterpretedProcess::compile(&clk_class);
+        out.clear();
+        p.step_into(&ctx, &clk_msg, &mut out);
+    });
+    measure("clk/fused", 1, || {
+        let mut p = optimize(&clk_class);
+        out.clear();
+        p.step_into(&ctx, &clk_msg, &mut out);
+    });
+    let mut p = optimize(&clk_class);
+    measure("clk/fused_steady", 64, || {
+        for _ in 0..64 {
+            out.clear();
+            p.step_into(&ctx, &clk_msg, &mut out);
+        }
+    });
+    let mut p = InterpretedProcess::compile(&clk_class);
+    measure("clk/interp_steady", 64, || {
+        for _ in 0..64 {
+            out.clear();
+            p.step_into(&ctx, &clk_msg, &mut out);
+        }
+    });
+
+    // Setup (program construction) cost, for context.
+    measure("clk/optimize_only", 1, || {
+        std::hint::black_box(optimize(&clk_class));
+    });
+    measure("clk/compile_only", 1, || {
+        std::hint::black_box(InterpretedProcess::compile(&clk_class));
+    });
+}

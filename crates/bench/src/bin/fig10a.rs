@@ -17,10 +17,10 @@ use shadowdb::pbr::PbrOptions;
 use shadowdb::PbrDeployment;
 use shadowdb_bench::cost::ShadowDbCost;
 use shadowdb_bench::measure::throughput_timeline;
-use shadowdb_tob::mode::ModeCost;
 use shadowdb_bench::output;
 use shadowdb_loe::VTime;
 use shadowdb_simnet::{NetworkConfig, SimBuilder};
+use shadowdb_tob::mode::ModeCost;
 use shadowdb_tob::ExecutionMode;
 use shadowdb_workloads::bank;
 use std::time::Duration;
@@ -69,7 +69,12 @@ fn main() {
         .iter()
         .map(|(sec, commits)| (format!("{sec}"), format!("{commits}")))
         .collect();
-    output::pairs("instantaneous throughput", "second", "committed txns", &rows);
+    output::pairs(
+        "instantaneous throughput",
+        "second",
+        "committed txns",
+        &rows,
+    );
 
     // Phase annotations (the 1/2/3 markers of the figure).
     let crash_s = 15;
@@ -83,7 +88,10 @@ fn main() {
         .find(|(s, c)| *s > crash_s + 1 && *c > 0)
         .map(|(s, _)| *s);
     println!();
-    output::kv("1: crash at", format!("{crash_s} s; detection configured at 10 s"));
+    output::kv(
+        "1: crash at",
+        format!("{crash_s} s; detection configured at 10 s"),
+    );
     output::kv(
         "2: outage window (zero-commit seconds)",
         format!("{:?}..{:?}", outage.first(), outage.last()),

@@ -20,7 +20,7 @@
 //! engine profile, plus network).
 
 use shadowdb::smr::SmrReplica;
-use shadowdb_bench::{full_scale, output};
+use shadowdb_bench::output;
 use shadowdb_loe::VTime;
 use shadowdb_simnet::{NetworkConfig, SimBuilder};
 use shadowdb_sqldb::{Database, EngineProfile};
@@ -50,15 +50,20 @@ fn main() {
         "Fig. 10(b) — state transfer time vs database size",
         "Fig. 10(b) (Sec. IV-B): ~50 KB batches, insertion-bound",
     );
-    let row_counts: &[usize] = if full_scale() {
-        &[500, 5_000, 50_000, 500_000]
-    } else {
-        &[500, 5_000, 50_000, 500_000] // virtual time: full sweep is cheap
-    };
+    // Virtual time makes the full sweep cheap, so --full changes nothing.
+    let row_counts: &[usize] = &[500, 5_000, 50_000, 500_000];
 
     for (label, row_bytes, anchors) in [
-        ("16 B rows (3 columns)", 16, "paper: 0.4 / 1.4 / 3.8 / 22.6 s"),
-        ("1 KB rows (4 columns)", 1_024, "paper: 0.5 / 2.4 / 9.1 / 69.6 s"),
+        (
+            "16 B rows (3 columns)",
+            16,
+            "paper: 0.4 / 1.4 / 3.8 / 22.6 s",
+        ),
+        (
+            "1 KB rows (4 columns)",
+            1_024,
+            "paper: 0.5 / 2.4 / 9.1 / 69.6 s",
+        ),
     ] {
         let rows: Vec<(String, String)> = row_counts
             .iter()
@@ -71,8 +76,8 @@ fn main() {
         output::kv("anchor", anchors);
     }
 
-    // TPC-C, 1 warehouse.
-    let scale = if full_scale() { tpcc::TpccScale::full() } else { tpcc::TpccScale::full() };
+    // TPC-C, 1 warehouse (spec sizing regardless of --full, as above).
+    let scale = tpcc::TpccScale::full();
     let db = Database::new(EngineProfile::h2());
     tpcc::load(&db, &scale, 3).expect("loads");
     let mb = db.byte_size() as f64 / 1e6;

@@ -31,15 +31,23 @@ fn run_point(mode: ExecutionMode, n_clients: u32, msgs_each: u64) -> (f64, f64) 
         stats.push(s.clone());
         let mut order = servers.clone();
         order.rotate_left((c % 3) as usize);
-        clients.push(sim.add_node(Box::new(
-            TobClient::new(order, payload.clone(), msgs_each, s)
-                .with_timeout(std::time::Duration::from_secs(120)),
-        )));
+        clients.push(
+            sim.add_node(Box::new(
+                TobClient::new(order, payload.clone(), msgs_each, s)
+                    .with_timeout(std::time::Duration::from_secs(120)),
+            )),
+        );
     }
     let subscribers: Vec<Loc> = clients.clone();
     let deployment = TobDeployment::build(
         &mut sim,
-        &TobOptions { machines: 3, backend: BackendKind::Paxos, mode, max_batch: 64, ..TobOptions::default() },
+        &TobOptions {
+            machines: 3,
+            backend: BackendKind::Paxos,
+            mode,
+            max_batch: 64,
+            ..TobOptions::default()
+        },
         subscribers,
     );
     assert_eq!(deployment.servers, servers);

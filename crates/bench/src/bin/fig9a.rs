@@ -84,7 +84,9 @@ fn run_single_server(
         let s = Arc::new(Mutex::new(DbClientStats::default()));
         stats.push(s.clone());
         let c = DbClient::new(
-            Submission::Pbr { replicas: vec![server_loc] },
+            Submission::Pbr {
+                replicas: vec![server_loc],
+            },
             txns_for(i, txns),
             s,
         )
@@ -117,7 +119,11 @@ fn main() {
     let mut curves: Vec<(&str, Vec<Point>, &str)> = Vec::new();
 
     let pbr: Vec<Point> = CLIENT_COUNTS.iter().map(|&n| run_pbr(n, txns)).collect();
-    curves.push(("ShadowDB-PBR", pbr, "paper: ≈4,600 txns/s max (72% of standalone H2)"));
+    curves.push((
+        "ShadowDB-PBR",
+        pbr,
+        "paper: ≈4,600 txns/s max (72% of standalone H2)",
+    ));
 
     let smr: Vec<Point> = CLIENT_COUNTS.iter().map(|&n| run_smr(n, txns)).collect();
     curves.push(("ShadowDB-SMR", smr, "paper: ≈760 txns/s max"));
@@ -126,13 +132,20 @@ fn main() {
         .iter()
         .map(|&n| {
             run_single_server(
-                Box::new(LockCoupledReplServer::new(bank_db(), LockCoupling::h2_replication())),
+                Box::new(LockCoupledReplServer::new(
+                    bank_db(),
+                    LockCoupling::h2_replication(),
+                )),
                 n,
                 txns,
             )
         })
         .collect();
-    curves.push(("H2-repl.", h2r, "paper: early flat saturation, lock timeouts"));
+    curves.push((
+        "H2-repl.",
+        h2r,
+        "paper: early flat saturation, lock timeouts",
+    ));
 
     let myr: Vec<Point> = CLIENT_COUNTS
         .iter()
@@ -147,7 +160,11 @@ fn main() {
             )
         })
         .collect();
-    curves.push(("MySQL-repl.", myr, "paper: ≈3,900 txns/s peak, then declining"));
+    curves.push((
+        "MySQL-repl.",
+        myr,
+        "paper: ≈3,900 txns/s peak, then declining",
+    ));
 
     let std: Vec<Point> = CLIENT_COUNTS
         .iter()
@@ -163,6 +180,9 @@ fn main() {
     // The headline orderings of the figure.
     let max = |pts: &[Point]| pts.iter().map(|p| p.throughput).fold(0.0, f64::max);
     println!();
-    output::kv("PBR / standalone peak ratio", format!("{:.2}", max(&curves[0].1) / max(&curves[4].1)));
+    output::kv(
+        "PBR / standalone peak ratio",
+        format!("{:.2}", max(&curves[0].1) / max(&curves[4].1)),
+    );
     output::kv("SMR peak", format!("{:.0} txns/s", max(&curves[1].1)));
 }

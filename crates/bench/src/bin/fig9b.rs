@@ -94,8 +94,14 @@ fn run_single(server: Box<dyn shadowdb_eventml::Process>, n_clients: usize, txns
     for i in 0..n_clients {
         let s = Arc::new(Mutex::new(DbClientStats::default()));
         stats.push(s.clone());
-        let c = DbClient::new(Submission::Pbr { replicas: vec![server_loc] }, txns_for(i, txns), s)
-            .with_timeout(Duration::from_secs(600));
+        let c = DbClient::new(
+            Submission::Pbr {
+                replicas: vec![server_loc],
+            },
+            txns_for(i, txns),
+            s,
+        )
+        .with_timeout(Duration::from_secs(600));
         sim.add_node(Box::new(c));
     }
     let added = sim.add_node(server);
@@ -130,9 +136,17 @@ fn main() {
 
     let mut curves: Vec<(&str, Vec<Point>, &str)> = Vec::new();
     let pbr: Vec<Point> = CLIENT_COUNTS.iter().map(|&n| run_pbr(n, txns)).collect();
-    curves.push(("ShadowDB-PBR", pbr, "paper: ≈550 txns/s max (66% of standalone H2)"));
+    curves.push((
+        "ShadowDB-PBR",
+        pbr,
+        "paper: ≈550 txns/s max (66% of standalone H2)",
+    ));
     let smr: Vec<Point> = CLIENT_COUNTS.iter().map(|&n| run_smr(n, txns)).collect();
-    curves.push(("ShadowDB-SMR", smr, "paper: ≈526 txns/s max — similar to PBR"));
+    curves.push((
+        "ShadowDB-SMR",
+        smr,
+        "paper: ≈526 txns/s max — similar to PBR",
+    ));
     let myr: Vec<Point> = CLIENT_COUNTS
         .iter()
         .map(|&n| {
@@ -152,7 +166,11 @@ fn main() {
             )
         })
         .collect();
-    curves.push(("MySQL-repl. (InnoDB)", myr, "paper: below both ShadowDB variants"));
+    curves.push((
+        "MySQL-repl. (InnoDB)",
+        myr,
+        "paper: below both ShadowDB variants",
+    ));
     let h2r: Vec<Point> = CLIENT_COUNTS
         .iter()
         .map(|&n| {
@@ -170,7 +188,11 @@ fn main() {
             )
         })
         .collect();
-    curves.push(("H2-repl.", h2r, "paper: 62 txns/s max, omitted from the graph"));
+    curves.push((
+        "H2-repl.",
+        h2r,
+        "paper: 62 txns/s max, omitted from the graph",
+    ));
     let std: Vec<Point> = CLIENT_COUNTS
         .iter()
         .map(|&n| run_single(Box::new(StandaloneServer::new(tpcc_h2())), n, txns))
@@ -184,7 +206,10 @@ fn main() {
 
     let max = |pts: &[Point]| pts.iter().map(|p| p.throughput).fold(0.0, f64::max);
     println!();
-    output::kv("PBR / standalone peak ratio", format!("{:.2}", max(&curves[0].1) / max(&curves[4].1)));
+    output::kv(
+        "PBR / standalone peak ratio",
+        format!("{:.2}", max(&curves[0].1) / max(&curves[4].1)),
+    );
     output::kv(
         "SMR / PBR peak ratio (the paper's headline: ≈0.96)",
         format!("{:.2}", max(&curves[1].1) / max(&curves[0].1)),

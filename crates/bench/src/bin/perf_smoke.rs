@@ -1,0 +1,143 @@
+//! Fast non-criterion perf smoke test for the fused GPM hot path.
+//!
+//! Drives the fused (dispatch-optimized) TwoThird and CLK programs for a
+//! fixed number of messages, reports msgs/sec, and **fails** (exit 1) if
+//! either path regresses more than 30 % against the baseline recorded in
+//! `crates/bench/perf_smoke_baseline.json`. The whole run takes well under
+//! a second, so CI can afford it on every push — unlike the criterion
+//! suite, which needs minutes.
+//!
+//! Regenerate the baseline (after an intentional perf change, on the
+//! reference machine) with:
+//!
+//! ```text
+//! PERF_SMOKE_WRITE_BASELINE=1 cargo run --release -p shadowdb-bench --bin perf_smoke
+//! ```
+//!
+//! The allowed regression is deliberately loose (30 %) because absolute
+//! msgs/sec depends on the host; the gate exists to catch cliffs (an
+//! accidental per-step allocation or a disabled dispatch table is worth
+//! 2×, far beyond tolerance), not to police single-digit drift. Set
+//! `PERF_SMOKE_FACTOR` to scale the threshold for known-slow hosts
+//! (e.g. `PERF_SMOKE_FACTOR=0.5` halves the required msgs/sec).
+
+use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
+use shadowdb_eventml::optimize::optimize;
+use shadowdb_eventml::{clk, Ctx, Process, SendInstr, Value};
+use shadowdb_loe::Loc;
+use std::time::Instant;
+
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/perf_smoke_baseline.json");
+const TOLERANCE: f64 = 0.70;
+
+/// msgs/sec of the fused TwoThird program: repeated fresh 8-instance
+/// proposal bursts, the `opt_speedup/fused` workload.
+fn twothird_fused_rate() -> f64 {
+    let config = TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)]).with_auto_adopt();
+    let class = TwoThird::new(config).class();
+    let template = optimize(&class);
+    let msgs: Vec<_> = (0..8).map(|i| propose_msg(i, Value::Int(i))).collect();
+    let ctx = Ctx::at(Loc::new(0));
+    let mut out: Vec<SendInstr> = Vec::new();
+    let reps = 2_000usize;
+    // Warm-up: fault in the symbol table and code paths.
+    for _ in 0..50 {
+        let mut p = template.clone();
+        for m in &msgs {
+            out.clear();
+            p.step_into(&ctx, m, &mut out);
+        }
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        let mut p = template.clone();
+        for m in &msgs {
+            out.clear();
+            p.step_into(&ctx, m, &mut out);
+        }
+    }
+    (reps * msgs.len()) as f64 / t.elapsed().as_secs_f64()
+}
+
+/// msgs/sec of the fused CLK handler in steady state: one long-lived
+/// process, one message repeated.
+fn clk_fused_rate() -> f64 {
+    let class = clk::handler_class(clk::ring_handle(3));
+    let mut p = optimize(&class);
+    let m = clk::clk_msg(Value::Int(0), 3);
+    let ctx = Ctx::at(Loc::new(0));
+    let mut out: Vec<SendInstr> = Vec::new();
+    let steps = 200_000usize;
+    for _ in 0..1_000 {
+        out.clear();
+        p.step_into(&ctx, &m, &mut out);
+    }
+    let t = Instant::now();
+    for _ in 0..steps {
+        out.clear();
+        p.step_into(&ctx, &m, &mut out);
+    }
+    steps as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Minimal extraction of `"key": <number>` from the baseline JSON — the
+/// file is machine-written with a fixed shape, so no JSON library needed.
+fn read_baseline(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(&format!("\"{key}\""))?;
+    let rest = &json[at..];
+    let colon = rest.find(':')?;
+    let tail = rest[colon + 1..].trim_start();
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn main() {
+    let measured = [
+        ("twothird_fused", twothird_fused_rate()),
+        ("clk_fused", clk_fused_rate()),
+    ];
+
+    if std::env::var("PERF_SMOKE_WRITE_BASELINE").is_ok() {
+        let mut body = String::from("{\n");
+        for (i, (k, v)) in measured.iter().enumerate() {
+            let sep = if i + 1 == measured.len() { "" } else { "," };
+            body.push_str(&format!("  \"{k}_msgs_per_sec\": {v:.0}{sep}\n"));
+        }
+        body.push_str("}\n");
+        std::fs::write(BASELINE_PATH, body).expect("write baseline");
+        println!("baseline written to {BASELINE_PATH}");
+        for (k, v) in &measured {
+            println!("  {k}: {v:.0} msgs/sec");
+        }
+        return;
+    }
+
+    let factor: f64 = match std::env::var("PERF_SMOKE_FACTOR") {
+        Ok(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("PERF_SMOKE_FACTOR must be a number, got {s:?}");
+            std::process::exit(2);
+        }),
+        Err(_) => 1.0,
+    };
+    let json = std::fs::read_to_string(BASELINE_PATH).unwrap_or_else(|e| {
+        eprintln!("cannot read {BASELINE_PATH}: {e}");
+        eprintln!("run with PERF_SMOKE_WRITE_BASELINE=1 to create it");
+        std::process::exit(2);
+    });
+    let mut failed = false;
+    for (k, v) in &measured {
+        let base = read_baseline(&json, &format!("{k}_msgs_per_sec"))
+            .unwrap_or_else(|| panic!("no baseline for {k}"));
+        let floor = base * TOLERANCE * factor;
+        let verdict = if *v < floor { "FAIL" } else { "ok" };
+        println!("{k}: {v:.0} msgs/sec (baseline {base:.0}, floor {floor:.0}) .. {verdict}");
+        failed |= *v < floor;
+    }
+    if failed {
+        eprintln!("perf smoke FAILED: fused-path throughput regressed >30% vs baseline");
+        std::process::exit(1);
+    }
+    println!("perf smoke passed");
+}

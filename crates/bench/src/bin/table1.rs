@@ -33,22 +33,38 @@ struct Row {
 fn measure(spec: &Spec) -> (usize, usize, usize) {
     let interp = InterpretedProcess::compile_spec(spec);
     let fused = optimize(spec.main());
-    (spec.ast_nodes(), interp.program_nodes(), fused.program_nodes())
+    (
+        spec.ast_nodes(),
+        interp.program_nodes(),
+        fused.program_nodes(),
+    )
 }
 
 fn main() {
-    output::banner("Table I — specification and program sizes", "Table I of the paper");
+    output::banner(
+        "Table I — specification and program sizes",
+        "Table I of the paper",
+    );
 
     let clk_spec = clk::clk_spec(clk::ring_handle(3));
     let (s, g, o) = measure(&clk_spec);
-    let mut rows = vec![Row { module: "CLK", spec: s, gpm: g, opt: o }];
+    let mut rows = vec![Row {
+        module: "CLK",
+        spec: s,
+        gpm: g,
+        opt: o,
+    }];
 
-    let tt = TwoThird::new(
-        TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)]).with_auto_adopt(),
-    )
-    .spec();
+    let tt =
+        TwoThird::new(TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)]).with_auto_adopt())
+            .spec();
     let (s, g, o) = measure(&tt);
-    rows.push(Row { module: "TwoThird Consensus", spec: s, gpm: g, opt: o });
+    rows.push(Row {
+        module: "TwoThird Consensus",
+        spec: s,
+        gpm: g,
+        opt: o,
+    });
 
     let config = SynodConfig::compact(3, vec![Loc::new(100)]);
     let synod = SynodSpec::new(&config);
@@ -60,14 +76,26 @@ fn main() {
         g += b;
         o += c;
     }
-    rows.push(Row { module: "Paxos-Synod (3 roles)", spec: s, gpm: g, opt: o });
+    rows.push(Row {
+        module: "Paxos-Synod (3 roles)",
+        spec: s,
+        gpm: g,
+        opt: o,
+    });
 
     let tob = service_spec(&TobConfig::new(
-        Backend::Paxos { replica: Loc::new(1) },
+        Backend::Paxos {
+            replica: Loc::new(1),
+        },
         vec![Loc::new(100)],
     ));
     let (s, g, o) = measure(&tob);
-    rows.push(Row { module: "Broadcast Service", spec: s, gpm: g, opt: o });
+    rows.push(Row {
+        module: "Broadcast Service",
+        spec: s,
+        gpm: g,
+        opt: o,
+    });
 
     println!();
     println!(
@@ -75,7 +103,10 @@ fn main() {
         "module", "EventML AST", "GPM nodes", "opt. GPM ops"
     );
     for r in &rows {
-        println!("{:<24} {:>12} {:>12} {:>14}", r.module, r.spec, r.gpm, r.opt);
+        println!(
+            "{:<24} {:>12} {:>12} {:>14}",
+            r.module, r.spec, r.gpm, r.opt
+        );
     }
 
     println!();
@@ -107,14 +138,27 @@ fn main() {
         procs: (0..3).map(|_| tt_member()).collect(),
         env: vec![Loc::new(100)],
         init_msgs: vec![
-            (Loc::new(0), shadowdb_consensus::twothird::propose_msg(0, shadowdb_eventml::Value::Int(1))),
-            (Loc::new(1), shadowdb_consensus::twothird::propose_msg(0, shadowdb_eventml::Value::Int(2))),
-            (Loc::new(2), shadowdb_consensus::twothird::propose_msg(0, shadowdb_eventml::Value::Int(1))),
+            (
+                Loc::new(0),
+                shadowdb_consensus::twothird::propose_msg(0, shadowdb_eventml::Value::Int(1)),
+            ),
+            (
+                Loc::new(1),
+                shadowdb_consensus::twothird::propose_msg(0, shadowdb_eventml::Value::Int(2)),
+            ),
+            (
+                Loc::new(2),
+                shadowdb_consensus::twothird::propose_msg(0, shadowdb_eventml::Value::Int(1)),
+            ),
         ],
     };
     let outcome = shadowdb_mck::explore(
         spec,
-        shadowdb_mck::Options { max_depth: 40, max_states: 400_000, ..Default::default() },
+        shadowdb_mck::Options {
+            max_depth: 40,
+            max_states: 400_000,
+            ..Default::default()
+        },
         |_| Ok(()),
     );
     output::kv(
@@ -125,5 +169,8 @@ fn main() {
         ),
     );
     output::kv("automatically checked invariants (mck + proptest)", 14);
-    output::kv("hand-scripted scenario checks (e.g. Paxos-made-live bug)", 8);
+    output::kv(
+        "hand-scripted scenario checks (e.g. Paxos-made-live bug)",
+        8,
+    );
 }

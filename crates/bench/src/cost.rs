@@ -21,7 +21,11 @@ impl ShadowDbCost {
     /// handling cost at a replica (400 µs for the tiny-payload micro
     /// benchmark, 60 µs for execution-dominated TPC-C).
     pub fn new(tob: ModeCost, replicas: Vec<Loc>, deliver_us: u64) -> ShadowDbCost {
-        ShadowDbCost { tob, replicas, deliver: Duration::from_micros(deliver_us) }
+        ShadowDbCost {
+            tob,
+            replicas,
+            deliver: Duration::from_micros(deliver_us),
+        }
     }
 }
 

@@ -37,7 +37,12 @@ pub fn aggregate(clients: usize, stats: &[Arc<Mutex<DbClientStats>>]) -> Point {
         }
     }
     if commits.is_empty() {
-        return Point { clients, throughput: 0.0, latency_ms: f64::NAN, abort_rate: 1.0 };
+        return Point {
+            clients,
+            throughput: 0.0,
+            latency_ms: f64::NAN,
+            abort_rate: 1.0,
+        };
     }
     let first = commits.iter().map(|(s, _)| *s).min().expect("non-empty");
     let last = commits.iter().map(|(_, d)| *d).max().expect("non-empty");

@@ -17,7 +17,10 @@ pub fn banner(title: &str, paper_ref: &str) {
 pub fn series(name: &str, points: &[Point]) {
     println!();
     println!("-- {name} --");
-    println!("{:>8} {:>14} {:>13} {:>11}", "clients", "committed/s", "latency(ms)", "abort-rate");
+    println!(
+        "{:>8} {:>14} {:>13} {:>11}",
+        "clients", "committed/s", "latency(ms)", "abort-rate"
+    );
     for p in points {
         println!(
             "{:>8} {:>14.1} {:>13.3} {:>11.3}",

@@ -12,12 +12,12 @@
 //! spec-generated leader and vice versa.
 
 use crate::synod::{
-    SynodConfig, DECISION_HEADER, P1A_HEADER, P1B_HEADER, P2A_HEADER, P2B_HEADER,
-    PROPOSE_HEADER, REQUEST_HEADER, RESCOUT_BACKOFF, RESCOUT_HEADER, START_HEADER,
+    SynodConfig, DECISION_HEADER, P1A_HEADER, P1B_HEADER, P2A_HEADER, P2B_HEADER, PROPOSE_HEADER,
+    REQUEST_HEADER, RESCOUT_BACKOFF, RESCOUT_HEADER, START_HEADER,
 };
 use crate::{decide_body, vmap, DECIDE_HEADER};
 use shadowdb_eventml::process::HasherAdapter;
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::Loc;
 use std::collections::{BTreeMap, BTreeSet};
 use std::hash::{Hash, Hasher};
@@ -34,7 +34,10 @@ pub struct Ballot {
 impl Ballot {
     /// The ballot below all real ballots.
     pub const fn bottom() -> Ballot {
-        Ballot { round: -1, leader: Loc::new(0) }
+        Ballot {
+            round: -1,
+            leader: Loc::new(0),
+        }
     }
 
     fn to_value(self) -> Value {
@@ -43,7 +46,10 @@ impl Ballot {
 
     fn from_value(v: &Value) -> Ballot {
         let (r, l) = v.unpair();
-        Ballot { round: r.int(), leader: l.loc() }
+        Ballot {
+            round: r.int(),
+            leader: l.loc(),
+        }
     }
 }
 
@@ -82,46 +88,44 @@ impl HandAcceptor {
 }
 
 impl Process for HandAcceptor {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        match msg.header.name() {
-            P1A_HEADER => {
-                let (leader, b) = msg.body.unpair();
-                let b = Ballot::from_value(b);
-                if b > self.cur() {
-                    self.ballot = Some(b);
-                }
-                vec![SendInstr::now(
-                    leader.loc(),
-                    Msg::new(
-                        P1B_HEADER,
-                        Value::pair(
-                            Value::Loc(ctx.slf),
-                            Value::pair(self.cur().to_value(), self.accepted_value()),
-                        ),
-                    ),
-                )]
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        // Dispatch on the interned symbol: one integer comparison per arm.
+        let h = msg.header;
+        if h == cached_header!(P1A_HEADER) {
+            let (leader, b) = msg.body.unpair();
+            let b = Ballot::from_value(b);
+            if b > self.cur() {
+                self.ballot = Some(b);
             }
-            P2A_HEADER => {
-                let (leader, rest) = msg.body.unpair();
-                let (b, sc) = rest.unpair();
-                let (slot, cmd) = sc.unpair();
-                let b = Ballot::from_value(b);
-                if b >= self.cur() {
-                    self.ballot = Some(b);
-                    self.accepted.insert(slot.int(), (b, cmd.clone()));
-                }
-                vec![SendInstr::now(
-                    leader.loc(),
-                    Msg::new(
-                        P2B_HEADER,
-                        Value::pair(
-                            Value::Loc(ctx.slf),
-                            Value::pair(self.cur().to_value(), slot.clone()),
-                        ),
+            out.push(SendInstr::now(
+                leader.loc(),
+                Msg::new(
+                    cached_header!(P1B_HEADER),
+                    Value::pair(
+                        Value::Loc(ctx.slf),
+                        Value::pair(self.cur().to_value(), self.accepted_value()),
                     ),
-                )]
+                ),
+            ));
+        } else if h == cached_header!(P2A_HEADER) {
+            let (leader, rest) = msg.body.unpair();
+            let (b, sc) = rest.unpair();
+            let (slot, cmd) = sc.unpair();
+            let b = Ballot::from_value(b);
+            if b >= self.cur() {
+                self.ballot = Some(b);
+                self.accepted.insert(slot.int(), (b, cmd.clone()));
             }
-            _ => Vec::new(),
+            out.push(SendInstr::now(
+                leader.loc(),
+                Msg::new(
+                    cached_header!(P2B_HEADER),
+                    Value::pair(
+                        Value::Loc(ctx.slf),
+                        Value::pair(self.cur().to_value(), slot.clone()),
+                    ),
+                ),
+            ));
         }
     }
     fn clone_box(&self) -> Box<dyn Process> {
@@ -138,6 +142,10 @@ impl Process for HandAcceptor {
 // Leader
 // ---------------------------------------------------------------------------
 
+/// An in-progress scout: the acceptors still awaited and the accepted
+/// pvalues (slot → highest-ballot command) gathered so far.
+type ScoutState = (BTreeSet<Loc>, BTreeMap<i64, (Ballot, Value)>);
+
 /// A native Synod leader with folded scout/commander sub-state.
 #[derive(Clone, Debug)]
 pub struct HandLeader {
@@ -145,7 +153,7 @@ pub struct HandLeader {
     round: i64,
     active: bool,
     proposals: BTreeMap<i64, Value>,
-    scout: Option<(BTreeSet<Loc>, BTreeMap<i64, (Ballot, Value)>)>,
+    scout: Option<ScoutState>,
     commanders: BTreeMap<i64, BTreeSet<Loc>>,
 }
 
@@ -163,16 +171,22 @@ impl HandLeader {
     }
 
     fn ballot(&self, slf: Loc) -> Ballot {
-        Ballot { round: self.round, leader: slf }
+        Ballot {
+            round: self.round,
+            leader: slf,
+        }
     }
 
     fn spawn_scout(&mut self, slf: Loc, outs: &mut Vec<SendInstr>) {
-        self.scout = Some((self.config.acceptors.iter().copied().collect(), BTreeMap::new()));
+        self.scout = Some((
+            self.config.acceptors.iter().copied().collect(),
+            BTreeMap::new(),
+        ));
         for a in &self.config.acceptors {
             outs.push(SendInstr::now(
                 *a,
                 Msg::new(
-                    P1A_HEADER,
+                    cached_header!(P1A_HEADER),
                     Value::pair(Value::Loc(slf), self.ballot(slf).to_value()),
                 ),
             ));
@@ -180,12 +194,13 @@ impl HandLeader {
     }
 
     fn spawn_commander(&mut self, slf: Loc, slot: i64, cmd: &Value, outs: &mut Vec<SendInstr>) {
-        self.commanders.insert(slot, self.config.acceptors.iter().copied().collect());
+        self.commanders
+            .insert(slot, self.config.acceptors.iter().copied().collect());
         for a in &self.config.acceptors {
             outs.push(SendInstr::now(
                 *a,
                 Msg::new(
-                    P2A_HEADER,
+                    cached_header!(P2A_HEADER),
                     Value::pair(
                         Value::Loc(slf),
                         Value::pair(
@@ -203,7 +218,11 @@ impl HandLeader {
         self.active = false;
         self.scout = None;
         self.commanders.clear();
-        outs.push(SendInstr::after(RESCOUT_BACKOFF, slf, Msg::new(RESCOUT_HEADER, Value::Unit)));
+        outs.push(SendInstr::after(
+            RESCOUT_BACKOFF,
+            slf,
+            Msg::new(cached_header!(RESCOUT_HEADER), Value::Unit),
+        ));
     }
 
     fn majority(&self) -> usize {
@@ -212,100 +231,96 @@ impl HandLeader {
 }
 
 impl Process for HandLeader {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
         let slf = ctx.slf;
-        let mut outs = Vec::new();
-        match msg.header.name() {
-            START_HEADER => {
-                if self.round < 0 {
-                    self.round = 0;
-                    self.spawn_scout(slf, &mut outs);
+        let outs = out;
+        let h = msg.header;
+        if h == cached_header!(START_HEADER) {
+            if self.round < 0 {
+                self.round = 0;
+                self.spawn_scout(slf, outs);
+            }
+        } else if h == cached_header!(RESCOUT_HEADER) {
+            if !self.active && self.scout.is_none() {
+                self.spawn_scout(slf, outs);
+            }
+        } else if h == cached_header!(PROPOSE_HEADER) {
+            let (slot, cmd) = msg.body.unpair();
+            let slot = slot.int();
+            if let std::collections::btree_map::Entry::Vacant(e) = self.proposals.entry(slot) {
+                e.insert(cmd.clone());
+                if self.active {
+                    let cmd = cmd.clone();
+                    self.spawn_commander(slf, slot, &cmd, outs);
                 }
             }
-            RESCOUT_HEADER => {
-                if !self.active && self.scout.is_none() {
-                    self.spawn_scout(slf, &mut outs);
-                }
-            }
-            PROPOSE_HEADER => {
-                let (slot, cmd) = msg.body.unpair();
-                let slot = slot.int();
-                if let std::collections::btree_map::Entry::Vacant(e) =
-                    self.proposals.entry(slot)
-                {
-                    e.insert(cmd.clone());
-                    if self.active {
-                        let cmd = cmd.clone();
-                        self.spawn_commander(slf, slot, &cmd, &mut outs);
-                    }
-                }
-            }
-            P1B_HEADER => {
-                let (acceptor, rest) = msg.body.unpair();
-                let (b, accepted) = rest.unpair();
-                let b = Ballot::from_value(b);
-                if b == self.ballot(slf) {
-                    if let Some((mut waitfor, mut pvals)) = self.scout.take() {
-                        for (slot, bc) in vmap::iter(accepted) {
-                            let (pb, cmd) = bc.unpair();
-                            let pb = Ballot::from_value(pb);
-                            let slot = slot.int();
-                            if pvals.get(&slot).map(|(eb, _)| pb > *eb).unwrap_or(true) {
-                                pvals.insert(slot, (pb, cmd.clone()));
-                            }
-                        }
-                        waitfor.remove(&acceptor.loc());
-                        let heard = self.config.acceptors.len() - waitfor.len();
-                        if heard >= self.majority() {
-                            self.active = true;
-                            for (slot, (_, cmd)) in &pvals {
-                                self.proposals.insert(*slot, cmd.clone());
-                            }
-                            let proposals: Vec<(i64, Value)> =
-                                self.proposals.iter().map(|(s, c)| (*s, c.clone())).collect();
-                            for (slot, cmd) in proposals {
-                                self.spawn_commander(slf, slot, &cmd, &mut outs);
-                            }
-                        } else {
-                            self.scout = Some((waitfor, pvals));
+        } else if h == cached_header!(P1B_HEADER) {
+            let (acceptor, rest) = msg.body.unpair();
+            let (b, accepted) = rest.unpair();
+            let b = Ballot::from_value(b);
+            if b == self.ballot(slf) {
+                if let Some((mut waitfor, mut pvals)) = self.scout.take() {
+                    for (slot, bc) in vmap::iter(accepted) {
+                        let (pb, cmd) = bc.unpair();
+                        let pb = Ballot::from_value(pb);
+                        let slot = slot.int();
+                        if pvals.get(&slot).map(|(eb, _)| pb > *eb).unwrap_or(true) {
+                            pvals.insert(slot, (pb, cmd.clone()));
                         }
                     }
-                } else if b > self.ballot(slf) {
-                    self.preempt(slf, b, &mut outs);
-                }
-            }
-            P2B_HEADER => {
-                let (acceptor, rest) = msg.body.unpair();
-                let (b, slot) = rest.unpair();
-                let b = Ballot::from_value(b);
-                let slot = slot.int();
-                if b == self.ballot(slf) {
-                    if let Some(mut waitfor) = self.commanders.remove(&slot) {
-                        waitfor.remove(&acceptor.loc());
-                        let heard = self.config.acceptors.len() - waitfor.len();
-                        if heard >= self.majority() {
-                            let cmd =
-                                self.proposals.get(&slot).expect("commander implies proposal");
-                            for r in &self.config.replicas {
-                                outs.push(SendInstr::now(
-                                    *r,
-                                    Msg::new(
-                                        DECISION_HEADER,
-                                        Value::pair(Value::Int(slot), cmd.clone()),
-                                    ),
-                                ));
-                            }
-                        } else {
-                            self.commanders.insert(slot, waitfor);
+                    waitfor.remove(&acceptor.loc());
+                    let heard = self.config.acceptors.len() - waitfor.len();
+                    if heard >= self.majority() {
+                        self.active = true;
+                        for (slot, (_, cmd)) in &pvals {
+                            self.proposals.insert(*slot, cmd.clone());
                         }
+                        let proposals: Vec<(i64, Value)> = self
+                            .proposals
+                            .iter()
+                            .map(|(s, c)| (*s, c.clone()))
+                            .collect();
+                        for (slot, cmd) in proposals {
+                            self.spawn_commander(slf, slot, &cmd, outs);
+                        }
+                    } else {
+                        self.scout = Some((waitfor, pvals));
                     }
-                } else if b > self.ballot(slf) {
-                    self.preempt(slf, b, &mut outs);
                 }
+            } else if b > self.ballot(slf) {
+                self.preempt(slf, b, outs);
             }
-            _ => {}
+        } else if h == cached_header!(P2B_HEADER) {
+            let (acceptor, rest) = msg.body.unpair();
+            let (b, slot) = rest.unpair();
+            let b = Ballot::from_value(b);
+            let slot = slot.int();
+            if b == self.ballot(slf) {
+                if let Some(mut waitfor) = self.commanders.remove(&slot) {
+                    waitfor.remove(&acceptor.loc());
+                    let heard = self.config.acceptors.len() - waitfor.len();
+                    if heard >= self.majority() {
+                        let cmd = self
+                            .proposals
+                            .get(&slot)
+                            .expect("commander implies proposal");
+                        for r in &self.config.replicas {
+                            outs.push(SendInstr::now(
+                                *r,
+                                Msg::new(
+                                    cached_header!(DECISION_HEADER),
+                                    Value::pair(Value::Int(slot), cmd.clone()),
+                                ),
+                            ));
+                        }
+                    } else {
+                        self.commanders.insert(slot, waitfor);
+                    }
+                }
+            } else if b > self.ballot(slf) {
+                self.preempt(slf, b, outs);
+            }
         }
-        outs
     }
     fn clone_box(&self) -> Box<dyn Process> {
         Box::new(self.clone())
@@ -361,44 +376,47 @@ impl HandReplica {
         for l in &self.config.leaders {
             outs.push(SendInstr::now(
                 *l,
-                Msg::new(PROPOSE_HEADER, Value::pair(Value::Int(self.slot_in), cmd.clone())),
+                Msg::new(
+                    cached_header!(PROPOSE_HEADER),
+                    Value::pair(Value::Int(self.slot_in), cmd.clone()),
+                ),
             ));
         }
     }
 }
 
 impl Process for HandReplica {
-    fn step(&mut self, _ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        let mut outs = Vec::new();
-        match msg.header.name() {
-            REQUEST_HEADER => {
-                let outstanding = self.proposals.values().any(|c| c == &msg.body);
-                if !outstanding {
-                    let cmd = msg.body.clone();
-                    self.propose(&cmd, &mut outs);
-                }
+    fn step_into(&mut self, _ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        let h = msg.header;
+        if h == cached_header!(REQUEST_HEADER) {
+            let outstanding = self.proposals.values().any(|c| c == &msg.body);
+            if !outstanding {
+                let cmd = msg.body.clone();
+                self.propose(&cmd, out);
             }
-            DECISION_HEADER => {
-                let (slot, cmd) = msg.body.unpair();
-                self.decisions.entry(slot.int()).or_insert_with(|| cmd.clone());
-                while let Some(decided) = self.decisions.get(&self.slot_out).cloned() {
-                    if let Some(ours) = self.proposals.remove(&self.slot_out) {
-                        if ours != decided {
-                            self.propose(&ours, &mut outs);
-                        }
+        } else if h == cached_header!(DECISION_HEADER) {
+            let (slot, cmd) = msg.body.unpair();
+            self.decisions
+                .entry(slot.int())
+                .or_insert_with(|| cmd.clone());
+            while let Some(decided) = self.decisions.get(&self.slot_out).cloned() {
+                if let Some(ours) = self.proposals.remove(&self.slot_out) {
+                    if ours != decided {
+                        self.propose(&ours, out);
                     }
-                    for learner in &self.config.learners {
-                        outs.push(SendInstr::now(
-                            *learner,
-                            Msg::new(DECIDE_HEADER, decide_body(self.slot_out, &decided)),
-                        ));
-                    }
-                    self.slot_out += 1;
                 }
+                for learner in &self.config.learners {
+                    out.push(SendInstr::now(
+                        *learner,
+                        Msg::new(
+                            cached_header!(DECIDE_HEADER),
+                            decide_body(self.slot_out, &decided),
+                        ),
+                    ));
+                }
+                self.slot_out += 1;
             }
-            _ => {}
         }
-        outs
     }
     fn clone_box(&self) -> Box<dyn Process> {
         Box::new(self.clone())
@@ -494,7 +512,9 @@ mod tests {
         for a in &cfg.acceptors {
             procs.push((
                 *a,
-                Box::new(InterpretedProcess::compile(&crate::synod::acceptor_class(&cfg))),
+                Box::new(InterpretedProcess::compile(&crate::synod::acceptor_class(
+                    &cfg,
+                ))),
             ));
         }
         let inj = vec![
@@ -514,11 +534,15 @@ mod tests {
         let mut procs: Vec<(Loc, Box<dyn Process>)> = vec![
             (
                 cfg.replicas[0],
-                Box::new(InterpretedProcess::compile(&crate::synod::replica_class(&cfg))),
+                Box::new(InterpretedProcess::compile(&crate::synod::replica_class(
+                    &cfg,
+                ))),
             ),
             (
                 cfg.leaders[0],
-                Box::new(InterpretedProcess::compile(&crate::synod::leader_class(&cfg))),
+                Box::new(InterpretedProcess::compile(&crate::synod::leader_class(
+                    &cfg,
+                ))),
             ),
         ];
         for a in &cfg.acceptors {

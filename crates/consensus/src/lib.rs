@@ -43,7 +43,7 @@ pub fn decide_body(instance: i64, value: &shadowdb_eventml::Value) -> shadowdb_e
 
 /// Parses a decision notification, returning `(instance, value)`.
 pub fn parse_decide(msg: &shadowdb_eventml::Msg) -> Option<(i64, shadowdb_eventml::Value)> {
-    if msg.header.name() != DECIDE_HEADER {
+    if msg.header != shadowdb_eventml::cached_header!(DECIDE_HEADER) {
         return None;
     }
     let (inst, value) = msg.body.fst().zip(msg.body.snd())?;

@@ -28,7 +28,7 @@
 use crate::vmap;
 use crate::{decide_body, DECIDE_HEADER};
 use shadowdb_eventml::patterns::{mealy, tagged_union};
-use shadowdb_eventml::{ClassExpr, Msg, SendInstr, Spec, Value};
+use shadowdb_eventml::{cached_header, ClassExpr, Msg, SendInstr, Spec, Value};
 use shadowdb_loe::Loc;
 use std::sync::Arc;
 use std::time::Duration;
@@ -89,12 +89,12 @@ impl SynodConfig {
 
 /// Builds a client request message carrying `command`.
 pub fn request_msg(command: Value) -> Msg {
-    Msg::new(REQUEST_HEADER, command)
+    Msg::new(cached_header!(REQUEST_HEADER), command)
 }
 
 /// Builds the message that starts a leader's first scout.
 pub fn start_msg() -> Msg {
-    Msg::new(START_HEADER, Value::Unit)
+    Msg::new(cached_header!(START_HEADER), Value::Unit)
 }
 
 fn ballot(round: i64, leader: Loc) -> Value {
@@ -139,7 +139,7 @@ pub fn acceptor_class(_config: &SynodConfig) -> ClassExpr {
                     outs.push(SendInstr::now(
                         leader.loc(),
                         Msg::new(
-                            P1B_HEADER,
+                            cached_header!(P1B_HEADER),
                             Value::pair(
                                 Value::Loc(slf),
                                 Value::pair(cur_ballot.clone(), accepted.clone()),
@@ -153,16 +153,13 @@ pub fn acceptor_class(_config: &SynodConfig) -> ClassExpr {
                     let (slot, cmd) = sc.unpair();
                     if *b >= cur_ballot {
                         cur_ballot = b.clone();
-                        accepted = vmap::set(
-                            &accepted,
-                            slot.clone(),
-                            Value::pair(b.clone(), cmd.clone()),
-                        );
+                        accepted =
+                            vmap::set(&accepted, slot.clone(), Value::pair(b.clone(), cmd.clone()));
                     }
                     outs.push(SendInstr::now(
                         leader.loc(),
                         Msg::new(
-                            P2B_HEADER,
+                            cached_header!(P2B_HEADER),
                             Value::pair(
                                 Value::Loc(slf),
                                 Value::pair(cur_ballot.clone(), slot.clone()),
@@ -210,16 +207,20 @@ impl LeaderState {
 
     fn to_value(&self) -> Value {
         let scout = match &self.scout {
-            Some((waitfor, pvals)) => {
-                Value::pair(Value::Bool(true), Value::pair(waitfor.clone(), pvals.clone()))
-            }
+            Some((waitfor, pvals)) => Value::pair(
+                Value::Bool(true),
+                Value::pair(waitfor.clone(), pvals.clone()),
+            ),
             None => Value::pair(Value::Bool(false), Value::Unit),
         };
         Value::pair(
             Value::Int(self.ballot_round),
             Value::pair(
                 Value::Bool(self.active),
-                Value::pair(self.proposals.clone(), Value::pair(scout, self.commanders.clone())),
+                Value::pair(
+                    self.proposals.clone(),
+                    Value::pair(scout, self.commanders.clone()),
+                ),
             ),
         )
     }
@@ -257,7 +258,13 @@ pub fn leader_class(config: &SynodConfig) -> ClassExpr {
         "leader_transition",
         650,
         LeaderState::init().to_value(),
-        tagged_union(&[START_HEADER, RESCOUT_HEADER, PROPOSE_HEADER, P1B_HEADER, P2B_HEADER]),
+        tagged_union(&[
+            START_HEADER,
+            RESCOUT_HEADER,
+            PROPOSE_HEADER,
+            P1B_HEADER,
+            P2B_HEADER,
+        ]),
         Arc::new(move |slf, input, state| leader_transition(&config, slf, input, state)),
     )
 }
@@ -268,10 +275,13 @@ fn spawn_scout(config: &SynodConfig, slf: Loc, st: &mut LeaderState, outs: &mut 
         waitfor = vmap::set(&waitfor, Value::Loc(*a), Value::Unit);
     }
     st.scout = Some((waitfor, vmap::empty()));
+    // One body, shared by every recipient: per-acceptor cost is a refcount
+    // bump, not a fresh allocation.
+    let body = Value::pair(Value::Loc(slf), st.ballot(slf));
     for a in &config.acceptors {
         outs.push(SendInstr::now(
             *a,
-            Msg::new(P1A_HEADER, Value::pair(Value::Loc(slf), st.ballot(slf))),
+            Msg::new(cached_header!(P1A_HEADER), body.clone()),
         ));
     }
 }
@@ -289,26 +299,19 @@ fn spawn_commander(
         waitfor = vmap::set(&waitfor, Value::Loc(*a), Value::Unit);
     }
     st.commanders = vmap::set(&st.commanders, slot.clone(), waitfor);
+    let body = Value::pair(
+        Value::Loc(slf),
+        Value::pair(st.ballot(slf), Value::pair(slot.clone(), cmd.clone())),
+    );
     for a in &config.acceptors {
         outs.push(SendInstr::now(
             *a,
-            Msg::new(
-                P2A_HEADER,
-                Value::pair(
-                    Value::Loc(slf),
-                    Value::pair(st.ballot(slf), Value::pair(slot.clone(), cmd.clone())),
-                ),
-            ),
+            Msg::new(cached_header!(P2A_HEADER), body.clone()),
         ));
     }
 }
 
-fn preempt(
-    slf: Loc,
-    st: &mut LeaderState,
-    seen_ballot: &Value,
-    outs: &mut Vec<SendInstr>,
-) {
+fn preempt(slf: Loc, st: &mut LeaderState, seen_ballot: &Value, outs: &mut Vec<SendInstr>) {
     let seen_round = seen_ballot.fst().expect("ballot").int();
     st.ballot_round = seen_round.max(st.ballot_round) + 1;
     st.active = false;
@@ -317,7 +320,7 @@ fn preempt(
     outs.push(SendInstr::after(
         RESCOUT_BACKOFF,
         slf,
-        Msg::new(RESCOUT_HEADER, Value::Unit),
+        Msg::new(cached_header!(RESCOUT_HEADER), Value::Unit),
     ));
 }
 
@@ -406,13 +409,11 @@ fn leader_transition(
                         let cmd = vmap::get(&st.proposals, slot)
                             .cloned()
                             .expect("commander implies proposal");
+                        let body = Value::pair(slot.clone(), cmd.clone());
                         for r in &config.replicas {
                             outs.push(SendInstr::now(
                                 *r,
-                                Msg::new(
-                                    DECISION_HEADER,
-                                    Value::pair(slot.clone(), cmd.clone()),
-                                ),
+                                Msg::new(cached_header!(DECISION_HEADER), body.clone()),
                             ));
                         }
                     } else {
@@ -499,12 +500,7 @@ pub fn replica_class(config: &SynodConfig) -> ClassExpr {
     )
 }
 
-fn propose(
-    config: &SynodConfig,
-    st: &mut ReplicaState,
-    cmd: &Value,
-    outs: &mut Vec<SendInstr>,
-) {
+fn propose(config: &SynodConfig, st: &mut ReplicaState, cmd: &Value, outs: &mut Vec<SendInstr>) {
     if st.decided_somewhere(cmd) {
         return;
     }
@@ -516,10 +512,11 @@ fn propose(
     }
     let slot = Value::Int(st.slot_in);
     st.proposals = vmap::set(&st.proposals, slot.clone(), cmd.clone());
+    let body = Value::pair(slot, cmd.clone());
     for l in &config.leaders {
         outs.push(SendInstr::now(
             *l,
-            Msg::new(PROPOSE_HEADER, Value::pair(slot.clone(), cmd.clone())),
+            Msg::new(cached_header!(PROPOSE_HEADER), body.clone()),
         ));
     }
 }
@@ -548,9 +545,7 @@ fn replica_transition(
             }
             // Deliver in slot order, re-proposing our commands that lost
             // their slot to someone else's command.
-            while let Some(decided) =
-                vmap::get(&st.decisions, &Value::Int(st.slot_out)).cloned()
-            {
+            while let Some(decided) = vmap::get(&st.decisions, &Value::Int(st.slot_out)).cloned() {
                 let slot_v = Value::Int(st.slot_out);
                 if let Some(ours) = vmap::get(&st.proposals, &slot_v).cloned() {
                     st.proposals = vmap::remove(&st.proposals, &slot_v);
@@ -558,10 +553,11 @@ fn replica_transition(
                         propose(config, &mut st, &ours, &mut outs);
                     }
                 }
+                let body = decide_body(st.slot_out, &decided);
                 for learner in &config.learners {
                     outs.push(SendInstr::now(
                         *learner,
-                        Msg::new(DECIDE_HEADER, decide_body(st.slot_out, &decided)),
+                        Msg::new(cached_header!(DECIDE_HEADER), body.clone()),
                     ));
                 }
                 st.slot_out += 1;
@@ -727,8 +723,7 @@ mod tests {
             }
             by_slot.insert(*s, c.clone());
         }
-        let decided: std::collections::BTreeSet<i64> =
-            by_slot.values().map(Value::int).collect();
+        let decided: std::collections::BTreeSet<i64> = by_slot.values().map(Value::int).collect();
         assert_eq!(decided, (0..3).collect());
     }
 
@@ -749,8 +744,14 @@ mod tests {
         let spec = SynodSpec::new(&config());
         assert!(spec.ast_nodes() > 1_000, "nodes = {}", spec.ast_nodes());
         // The relative shape of Table I: Synod is the largest module.
-        assert!(spec.ast_nodes() > crate::TwoThird::new(
-            crate::TwoThirdConfig::new(Loc::first_n(3), vec![Loc::new(100)])
-        ).spec().ast_nodes());
+        assert!(
+            spec.ast_nodes()
+                > crate::TwoThird::new(crate::TwoThirdConfig::new(
+                    Loc::first_n(3),
+                    vec![Loc::new(100)]
+                ))
+                .spec()
+                .ast_nodes()
+        );
     }
 }

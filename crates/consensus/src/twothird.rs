@@ -22,9 +22,8 @@
 use crate::vmap;
 use crate::{decide_body, DECIDE_HEADER};
 use shadowdb_eventml::patterns::{mealy, tagged_union};
-use shadowdb_eventml::{ClassExpr, Msg, SendInstr, Spec, Value};
+use shadowdb_eventml::{cached_header, ClassExpr, Msg, SendInstr, Spec, Value};
 use shadowdb_loe::Loc;
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Header of a proposal submission: body `<instance, value>`.
@@ -54,7 +53,11 @@ pub struct TwoThirdConfig {
 impl TwoThirdConfig {
     /// Creates a configuration (without auto-adoption).
     pub fn new(members: Vec<Loc>, learners: Vec<Loc>) -> TwoThirdConfig {
-        TwoThirdConfig { members, learners, auto_adopt: false }
+        TwoThirdConfig {
+            members,
+            learners,
+            auto_adopt: false,
+        }
     }
 
     /// Enables auto-adoption (see [`TwoThirdConfig::auto_adopt`]).
@@ -66,7 +69,10 @@ impl TwoThirdConfig {
 
 /// Builds a proposal message for `instance` carrying `value`.
 pub fn propose_msg(instance: i64, value: Value) -> Msg {
-    Msg::new(PROPOSE_HEADER, Value::pair(Value::Int(instance), value))
+    Msg::new(
+        cached_header!(PROPOSE_HEADER),
+        Value::pair(Value::Int(instance), value),
+    )
 }
 
 /// Per-instance protocol state (decoded form of the `Value` the spec keeps).
@@ -82,41 +88,42 @@ struct Inst {
 
 impl Inst {
     fn to_value(&self) -> Value {
-        Value::pair(
+        // Flat 6-element list: one Vec + one Arc per encode, instead of the
+        // five nested pair Arcs of the obvious `Value::pair` chain. The state
+        // is re-encoded on every transition, so this is hot.
+        let (has, dv) = match &self.decided {
+            Some(v) => (Value::Bool(true), v.clone()),
+            None => (Value::Bool(false), Value::Unit),
+        };
+        Value::list([
             Value::Bool(self.proposed),
-            Value::pair(
-                Value::Int(self.round),
-                Value::pair(
-                    self.est.clone(),
-                    Value::pair(
-                        match &self.decided {
-                            Some(v) => Value::pair(Value::Bool(true), v.clone()),
-                            None => Value::pair(Value::Bool(false), Value::Unit),
-                        },
-                        self.votes.clone(),
-                    ),
-                ),
-            ),
-        )
+            Value::Int(self.round),
+            self.est.clone(),
+            has,
+            dv,
+            self.votes.clone(),
+        ])
     }
 
     fn from_value(v: &Value) -> Inst {
-        let (proposed, rest) = v.unpair();
-        let (round, rest) = rest.unpair();
-        let (est, rest) = rest.unpair();
-        let (dec, votes) = rest.unpair();
-        let (has, dv) = dec.unpair();
+        let e = v.as_list().expect("inst encoding");
         Inst {
-            proposed: proposed.as_bool().unwrap_or(false),
-            round: round.int(),
-            est: est.clone(),
-            decided: if has.as_bool().unwrap_or(false) { Some(dv.clone()) } else { None },
-            votes: votes.clone(),
+            proposed: e[0].as_bool().unwrap_or(false),
+            round: e[1].int(),
+            est: e[2].clone(),
+            decided: if e[3].as_bool().unwrap_or(false) {
+                Some(e[4].clone())
+            } else {
+                None
+            },
+            votes: e[5].clone(),
         }
     }
 
     fn votes_for_round(&self, round: i64) -> Value {
-        vmap::get(&self.votes, &Value::Int(round)).cloned().unwrap_or_else(vmap::empty)
+        vmap::get(&self.votes, &Value::Int(round))
+            .cloned()
+            .unwrap_or_else(vmap::empty)
     }
 
     fn record_vote(&mut self, round: i64, voter: Loc, value: Value) {
@@ -169,7 +176,9 @@ fn transition(
     let (tag, body) = input.unpair();
     let (inst_v, payload) = body.unpair();
     let instance = inst_v.int();
-    let mut inst = vmap::get(state, inst_v).map(Inst::from_value).unwrap_or_default();
+    let mut inst = vmap::get(state, inst_v)
+        .map(Inst::from_value)
+        .unwrap_or_default();
     let mut outs = Vec::new();
 
     match tag.as_str().expect("tagged input") {
@@ -196,7 +205,7 @@ fn transition(
                 outs.push(SendInstr::now(
                     voter.loc(),
                     Msg::new(
-                        INTERNAL_DECIDE_HEADER,
+                        cached_header!(INTERNAL_DECIDE_HEADER),
                         Value::pair(Value::Int(instance), v),
                     ),
                 ));
@@ -242,24 +251,27 @@ fn advance(
         if received * 3 <= 2 * n {
             return; // no quorum yet
         }
-        // Tally the received values.
-        let mut freq: BTreeMap<Value, i64> = BTreeMap::new();
+        // Tally the received values. A round has at most `n` distinct values
+        // (n is small), so a borrowed linear-scan tally beats a BTreeMap: one
+        // Vec allocation, no per-entry node allocs, no value clones.
+        let mut freq: Vec<(&Value, i64)> = Vec::with_capacity(received as usize);
         for (_, v) in vmap::iter(&rv) {
-            *freq.entry(v.clone()).or_insert(0) += 1;
+            match freq.iter_mut().find(|(u, _)| *u == v) {
+                Some((_, c)) => *c += 1,
+                None => freq.push((v, 1)),
+            }
         }
         // Decision rule: some value voted by more than 2n/3 of all processes.
-        if let Some((winner, _)) = freq.iter().find(|(_, c)| **c * 3 > 2 * n) {
-            let winner = winner.clone();
+        if let Some((winner, _)) = freq.iter().find(|(_, c)| *c * 3 > 2 * n) {
+            let winner = (*winner).clone();
             inst.decided = Some(winner.clone());
             inst.est = winner.clone();
+            let body = Value::pair(Value::Int(instance), winner.clone());
             for m in &config.members {
                 if *m != slf {
                     outs.push(SendInstr::now(
                         *m,
-                        Msg::new(
-                            INTERNAL_DECIDE_HEADER,
-                            Value::pair(Value::Int(instance), winner.clone()),
-                        ),
+                        Msg::new(cached_header!(INTERNAL_DECIDE_HEADER), body.clone()),
                     ));
                 }
             }
@@ -267,11 +279,13 @@ fn advance(
             return;
         }
         // Otherwise: adopt the smallest most-frequent value and start the
-        // next round (BTreeMap iteration makes "smallest" canonical).
+        // next round. The comparator is a strict total order over distinct
+        // values (count, then smaller-value-wins), so the pick is canonical
+        // regardless of tally iteration order.
         let best = freq
             .iter()
-            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
-            .map(|(v, _)| v.clone())
+            .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(v, _)| (*v).clone())
             .expect("non-empty quorum");
         inst.round += 1;
         inst.est = best.clone();
@@ -289,20 +303,20 @@ fn broadcast_vote(
     value: &Value,
     outs: &mut Vec<SendInstr>,
 ) {
+    // One body, shared by every recipient: per-member cost is a refcount
+    // bump, not a rebuild of the nested pairs.
+    let body = Value::pair(
+        Value::Int(instance),
+        Value::pair(
+            Value::Int(round),
+            Value::pair(Value::Loc(slf), value.clone()),
+        ),
+    );
     for m in &config.members {
         if *m != slf {
             outs.push(SendInstr::now(
                 *m,
-                Msg::new(
-                    VOTE_HEADER,
-                    Value::pair(
-                        Value::Int(instance),
-                        Value::pair(
-                            Value::Int(round),
-                            Value::pair(Value::Loc(slf), value.clone()),
-                        ),
-                    ),
-                ),
+                Msg::new(cached_header!(VOTE_HEADER), body.clone()),
             ));
         }
     }
@@ -314,8 +328,12 @@ fn notify_learners(
     value: &Value,
     outs: &mut Vec<SendInstr>,
 ) {
+    let body = decide_body(instance, value);
     for l in &config.learners {
-        outs.push(SendInstr::now(*l, Msg::new(DECIDE_HEADER, decide_body(instance, value))));
+        outs.push(SendInstr::now(
+            *l,
+            Msg::new(cached_header!(DECIDE_HEADER), body.clone()),
+        ));
     }
 }
 
@@ -371,7 +389,9 @@ mod tests {
             ],
         );
         assert!(!decisions.is_empty());
-        assert!(decisions.iter().all(|(i, v)| *i == 0 && *v == Value::Int(7)));
+        assert!(decisions
+            .iter()
+            .all(|(i, v)| *i == 0 && *v == Value::Int(7)));
     }
 
     #[test]
@@ -386,7 +406,10 @@ mod tests {
         );
         assert!(!decisions.is_empty(), "must decide");
         let first = &decisions[0].1;
-        assert!(decisions.iter().all(|(_, v)| v == first), "agreement violated");
+        assert!(
+            decisions.iter().all(|(_, v)| v == first),
+            "agreement violated"
+        );
         assert!(
             [Value::Int(1), Value::Int(2), Value::Int(3)].contains(first),
             "validity violated: {first:?}"
@@ -427,7 +450,12 @@ mod tests {
 
     #[test]
     fn state_roundtrips_through_value() {
-        let mut i = Inst { proposed: true, round: 3, est: Value::Int(9), ..Inst::default() };
+        let mut i = Inst {
+            proposed: true,
+            round: 3,
+            est: Value::Int(9),
+            ..Inst::default()
+        };
         i.record_vote(3, Loc::new(1), Value::Int(9));
         i.decided = Some(Value::Int(9));
         let v = i.to_value();

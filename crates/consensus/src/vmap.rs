@@ -9,9 +9,13 @@
 
 use shadowdb_eventml::Value;
 
-/// The empty map.
+/// The empty map. Cached: returning it is a refcount bump, so hot paths
+/// that default a missing binding to the empty map allocate nothing.
 pub fn empty() -> Value {
-    Value::list(std::iter::empty())
+    static EMPTY: std::sync::OnceLock<Value> = std::sync::OnceLock::new();
+    EMPTY
+        .get_or_init(|| Value::list(std::iter::empty()))
+        .clone()
 }
 
 /// Looks up `key`, returning the mapped value if present.
@@ -28,14 +32,18 @@ pub fn get<'a>(map: &'a Value, key: &Value) -> Option<&'a Value> {
 
 /// Returns a new map with `key` bound to `val` (replacing any existing
 /// binding), keeping entries sorted by key.
+///
+/// Entries are already sorted (the module's invariant), so this is a single
+/// merge pass — no re-sort, and the per-entry cost is a refcount bump.
 pub fn set(map: &Value, key: Value, val: Value) -> Value {
-    let mut entries: Vec<Value> = map
-        .as_list()
-        .map(|l| l.iter().filter(|e| e.fst() != Some(&key)).cloned().collect())
-        .unwrap_or_default();
+    let old: &[Value] = map.as_list().unwrap_or(&[]);
+    let pos = old.partition_point(|e| e.fst().map(|k| k < &key).unwrap_or(true));
+    let replacing = old.get(pos).and_then(Value::fst) == Some(&key);
+    let mut entries: Vec<Value> = Vec::with_capacity(old.len() + usize::from(!replacing));
+    entries.extend_from_slice(&old[..pos]);
     entries.push(Value::pair(key, val));
-    entries.sort();
-    Value::list(entries)
+    entries.extend_from_slice(&old[pos + usize::from(replacing)..]);
+    Value::List(std::sync::Arc::new(entries))
 }
 
 /// Returns a new map without `key`.

@@ -63,7 +63,11 @@ fn twothird_agreement_under_all_interleavings() {
     };
     let outcome = explore(
         spec,
-        Options { max_depth: 40, max_states: 400_000, ..Options::default() },
+        Options {
+            max_depth: 40,
+            max_states: 400_000,
+            ..Options::default()
+        },
         tt_invariant(&[1, 2]),
     );
     assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
@@ -85,7 +89,12 @@ fn twothird_safe_under_message_loss() {
     };
     let outcome = explore(
         spec,
-        Options { max_depth: 40, max_states: 600_000, loss_budget: 2, ..Options::default() },
+        Options {
+            max_depth: 40,
+            max_states: 600_000,
+            loss_budget: 2,
+            ..Options::default()
+        },
         tt_invariant(&[1, 2]),
     );
     assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
@@ -105,7 +114,12 @@ fn twothird_safe_under_one_crash() {
     };
     let outcome = explore(
         spec,
-        Options { max_depth: 40, max_states: 600_000, crash_budget: 1, ..Options::default() },
+        Options {
+            max_depth: 40,
+            max_states: 600_000,
+            crash_budget: 1,
+            ..Options::default()
+        },
         tt_invariant(&[1, 2]),
     );
     assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
@@ -140,16 +154,18 @@ fn synod_per_slot_agreement_under_all_interleavings() {
     };
     let outcome = explore(
         spec,
-        Options { max_depth: 26, max_states: 250_000, ..Options::default() },
+        Options {
+            max_depth: 26,
+            max_states: 250_000,
+            ..Options::default()
+        },
         |w| {
             let mut decided: BTreeMap<i64, Value> = BTreeMap::new();
             for (_, _, msg) in &w.observations {
                 if let Some((slot, v)) = parse_decide(msg) {
                     if let Some(prev) = decided.get(&slot) {
                         if *prev != v {
-                            return Err(format!(
-                                "slot {slot} decided {prev:?} and {v:?}"
-                            ));
+                            return Err(format!("slot {slot} decided {prev:?} and {v:?}"));
                         }
                     }
                     decided.insert(slot, v);
@@ -175,20 +191,24 @@ struct AmnesiacAcceptor {
 
 impl AmnesiacAcceptor {
     fn new() -> AmnesiacAcceptor {
-        AmnesiacAcceptor { inner: handcoded::HandAcceptor::new() }
+        AmnesiacAcceptor {
+            inner: handcoded::HandAcceptor::new(),
+        }
     }
 }
 
 impl Process for AmnesiacAcceptor {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
         if msg.header.name() == "corrupt" {
             self.inner = handcoded::HandAcceptor::new();
-            return Vec::new();
+            return;
         }
-        self.inner.step(ctx, msg)
+        self.inner.step_into(ctx, msg, out)
     }
     fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(AmnesiacAcceptor { inner: self.inner.clone() })
+        Box::new(AmnesiacAcceptor {
+            inner: self.inner.clone(),
+        })
     }
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
@@ -233,7 +253,12 @@ impl Scripted {
             }
             return;
         }
-        let proc = &mut self.procs.iter_mut().find(|(l, _)| *l == dest).expect("node").1;
+        let proc = &mut self
+            .procs
+            .iter_mut()
+            .find(|(l, _)| *l == dest)
+            .expect("node")
+            .1;
         for o in proc.step(&Ctx::at(dest), &msg) {
             if o.dest == self.learner {
                 if let Some(d) = parse_any_decision(&o.msg) {
@@ -247,7 +272,11 @@ impl Scripted {
 
     /// Delivers all pending messages matching `(dest, header)`.
     fn deliver_all(&mut self, dest: Loc, header: &str) {
-        while self.pending.iter().any(|(d, m)| *d == dest && m.header.name() == header) {
+        while self
+            .pending
+            .iter()
+            .any(|(d, m)| *d == dest && m.header.name() == header)
+        {
             self.deliver_next(dest, header);
         }
     }
@@ -275,8 +304,14 @@ fn corruption_scenario(faulty: bool) -> Scripted {
         Box::new(handcoded::HandAcceptor::new())
     };
     let procs: Vec<(Loc, Box<dyn Process>)> = vec![
-        (Loc::new(0), Box::new(handcoded::HandLeader::new(config.clone()))),
-        (Loc::new(1), Box::new(handcoded::HandLeader::new(config.clone()))),
+        (
+            Loc::new(0),
+            Box::new(handcoded::HandLeader::new(config.clone())),
+        ),
+        (
+            Loc::new(1),
+            Box::new(handcoded::HandLeader::new(config.clone())),
+        ),
         (Loc::new(2), Box::new(handcoded::HandAcceptor::new())),
         (Loc::new(3), mid),
         (Loc::new(4), Box::new(handcoded::HandAcceptor::new())),
@@ -287,11 +322,25 @@ fn corruption_scenario(faulty: bool) -> Scripted {
     let pending = vec![
         (l0, Msg::new(synod::START_HEADER, Value::Unit)),
         (l1, Msg::new(synod::START_HEADER, Value::Unit)),
-        (l0, Msg::new(synod::PROPOSE_HEADER, Value::pair(slot0.clone(), Value::str("v1")))),
-        (l1, Msg::new(synod::PROPOSE_HEADER, Value::pair(slot0, Value::str("v2")))),
+        (
+            l0,
+            Msg::new(
+                synod::PROPOSE_HEADER,
+                Value::pair(slot0.clone(), Value::str("v1")),
+            ),
+        ),
+        (
+            l1,
+            Msg::new(synod::PROPOSE_HEADER, Value::pair(slot0, Value::str("v2"))),
+        ),
         (Loc::new(3), Msg::new("corrupt", Value::Unit)),
     ];
-    Scripted { procs, pending, decisions: Vec::new(), learner: Loc::new(100) }
+    Scripted {
+        procs,
+        pending,
+        decisions: Vec::new(),
+        learner: Loc::new(100),
+    }
 }
 
 /// Replays the bug schedule. With a correct acceptor the second leader's
@@ -312,7 +361,11 @@ fn run_corruption_schedule(s: &mut Scripted) {
     s.deliver_next(a2, synod::P2A_HEADER);
     s.deliver_next(a3, synod::P2A_HEADER);
     s.deliver_all(l0, synod::P2B_HEADER);
-    assert_eq!(s.decisions, vec![(0, Value::str("v1"))], "v1 must be decided first");
+    assert_eq!(
+        s.decisions,
+        vec![(0, Value::str("v1"))],
+        "v1 must be decided first"
+    );
     // Acceptor 3 loses its disk.
     s.deliver_next(a3, "corrupt");
     // Leader 1 wakes up with a higher ballot and quorum {3, 4}.

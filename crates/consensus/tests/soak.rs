@@ -69,7 +69,10 @@ fn twothird_seven_members_with_loss() {
         let mut decided: BTreeMap<i64, Value> = BTreeMap::new();
         for (inst, v) in log.lock().iter() {
             if let Some(prev) = decided.get(inst) {
-                assert_eq!(prev, v, "agreement violated at instance {inst}, seed {seed}");
+                assert_eq!(
+                    prev, v,
+                    "agreement violated at instance {inst}, seed {seed}"
+                );
             }
             decided.insert(*inst, v.clone());
             let val = v.int();
@@ -80,7 +83,11 @@ fn twothird_seven_members_with_loss() {
         }
         // With 10% loss some instances may stall (no retransmission layer
         // at this level) — but most decide, and none decide twice.
-        assert!(decided.len() >= 15, "seed {seed}: only {} decided", decided.len());
+        assert!(
+            decided.len() >= 15,
+            "seed {seed}: only {} decided",
+            decided.len()
+        );
     }
 }
 
@@ -141,7 +148,11 @@ fn synod_with_competing_leaders_across_seeds() {
         assert_eq!(decided, (0..30).collect::<Vec<_>>(), "seed {seed}");
         // Gapless slots from 0.
         let slots: Vec<i64> = by_slot.keys().copied().collect();
-        assert_eq!(slots, (0..slots.len() as i64).collect::<Vec<_>>(), "seed {seed}");
+        assert_eq!(
+            slots,
+            (0..slots.len() as i64).collect::<Vec<_>>(),
+            "seed {seed}"
+        );
     }
 }
 
@@ -182,5 +193,9 @@ fn synod_survives_minority_acceptor_crashes() {
         }
         by_slot.insert(*slot, v.clone());
     }
-    assert_eq!(by_slot.len(), 40, "all commands decided despite two crashes");
+    assert_eq!(
+        by_slot.len(),
+        40,
+        "all commands decided despite two crashes"
+    );
 }

@@ -18,7 +18,7 @@
 use crate::msgs::{parse_reply, submit_msg, TxnEnvelope};
 use parking_lot::Mutex;
 use shadowdb_eventml::process::HasherAdapter;
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_tob::broadcast_msg;
 use shadowdb_workloads::TxnRequest;
@@ -68,7 +68,9 @@ impl DbClientStats {
         if committed.is_empty() {
             return None;
         }
-        Some(Duration::from_micros(committed.iter().sum::<u64>() / committed.len() as u64))
+        Some(Duration::from_micros(
+            committed.iter().sum::<u64>() / committed.len() as u64,
+        ))
     }
 
     /// Number of committed transactions.
@@ -123,7 +125,11 @@ impl DbClient {
 
     fn submit(&mut self, ctx: &Ctx, cseq: i64, resend: bool, outs: &mut Vec<SendInstr>) {
         let txn = self.txns[cseq as usize].clone();
-        let env = TxnEnvelope { client: ctx.slf, cseq, txn };
+        let env = TxnEnvelope {
+            client: ctx.slf,
+            cseq,
+            txn,
+        };
         match &self.submission {
             Submission::Pbr { replicas } => {
                 if resend {
@@ -165,39 +171,34 @@ impl DbClient {
 }
 
 impl Process for DbClient {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        let mut outs = Vec::new();
-        match msg.header.name() {
-            START_HEADER => self.send_next(ctx, &mut outs),
-            TIMEOUT_HEADER => {
-                let cseq = msg.body.int();
-                if let Some((outstanding, _)) = self.outstanding {
-                    if outstanding == cseq {
-                        self.resend_round += 1;
-                        self.stats.lock().resends += 1;
-                        self.submit(ctx, cseq, true, &mut outs);
-                    }
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        let h = msg.header;
+        if h == cached_header!(START_HEADER) {
+            self.send_next(ctx, out);
+        } else if h == cached_header!(TIMEOUT_HEADER) {
+            let cseq = msg.body.int();
+            if let Some((outstanding, _)) = self.outstanding {
+                if outstanding == cseq {
+                    self.resend_round += 1;
+                    self.stats.lock().resends += 1;
+                    self.submit(ctx, cseq, true, out);
                 }
             }
-            _ => {
-                if let Some(reply) = parse_reply(msg) {
-                    if matches!(self.submission, Submission::Pbr { .. }) {
-                        self.believed_primary = Some(reply.from);
-                    }
-                    if let Some((outstanding, sent)) = self.outstanding {
-                        if reply.cseq == outstanding {
-                            self.outstanding = None;
-                            self.stats
-                                .lock()
-                                .completed
-                                .push((sent, ctx.now, reply.committed));
-                            self.send_next(ctx, &mut outs);
-                        }
-                    }
+        } else if let Some(reply) = parse_reply(msg) {
+            if matches!(self.submission, Submission::Pbr { .. }) {
+                self.believed_primary = Some(reply.from);
+            }
+            if let Some((outstanding, sent)) = self.outstanding {
+                if reply.cseq == outstanding {
+                    self.outstanding = None;
+                    self.stats
+                        .lock()
+                        .completed
+                        .push((sent, ctx.now, reply.committed));
+                    self.send_next(ctx, out);
                 }
             }
         }
-        outs
     }
 
     fn clone_box(&self) -> Box<dyn Process> {
@@ -216,7 +217,9 @@ impl Process for DbClient {
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.next, self.resend_round).hash(&mut h);
-        self.outstanding.map(|(c, t)| (c, t.as_micros())).hash(&mut h);
+        self.outstanding
+            .map(|(c, t)| (c, t.as_micros()))
+            .hash(&mut h);
     }
 }
 
@@ -229,10 +232,19 @@ mod tests {
     fn client(n: usize) -> (DbClient, Arc<Mutex<DbClientStats>>) {
         let stats = Arc::new(Mutex::new(DbClientStats::default()));
         let txns = (0..n)
-            .map(|i| TxnRequest::BankDeposit { account: i as i64, amount: 1 })
+            .map(|i| TxnRequest::BankDeposit {
+                account: i as i64,
+                amount: 1,
+            })
             .collect();
         (
-            DbClient::new(Submission::Pbr { replicas: vec![Loc::new(5), Loc::new(6)] }, txns, stats.clone()),
+            DbClient::new(
+                Submission::Pbr {
+                    replicas: vec![Loc::new(5), Loc::new(6)],
+                },
+                txns,
+                stats.clone(),
+            ),
             stats,
         )
     }
@@ -242,15 +254,21 @@ mod tests {
         let (mut c, stats) = client(1);
         let ctx = Ctx::new(Loc::new(0), VTime::ZERO);
         let outs = c.step(&ctx, &DbClient::start_msg());
-        let submits: Vec<Loc> =
-            outs.iter().filter(|o| o.dest != ctx.slf).map(|o| o.dest).collect();
+        let submits: Vec<Loc> = outs
+            .iter()
+            .filter(|o| o.dest != ctx.slf)
+            .map(|o| o.dest)
+            .collect();
         assert_eq!(submits, vec![Loc::new(5)]);
         let outs = c.step(
             &Ctx::new(Loc::new(0), VTime::from_secs(5)),
             &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
         );
-        let resubmits: Vec<Loc> =
-            outs.iter().filter(|o| o.dest != ctx.slf).map(|o| o.dest).collect();
+        let resubmits: Vec<Loc> = outs
+            .iter()
+            .filter(|o| o.dest != ctx.slf)
+            .map(|o| o.dest)
+            .collect();
         assert_eq!(resubmits, vec![Loc::new(5), Loc::new(6)]);
         assert_eq!(stats.lock().resends, 1);
     }
@@ -259,12 +277,18 @@ mod tests {
     fn reply_completes_and_advances() {
         let (mut c, stats) = client(2);
         let slf = Loc::new(0);
-        c.step(&Ctx::new(slf, VTime::from_millis(1)), &DbClient::start_msg());
+        c.step(
+            &Ctx::new(slf, VTime::from_millis(1)),
+            &DbClient::start_msg(),
+        );
         let outs = c.step(
             &Ctx::new(slf, VTime::from_millis(5)),
             &reply_msg(Loc::new(5), 0, true, &[SqlValue::Int(1)]),
         );
-        assert!(outs.iter().any(|o| o.dest == Loc::new(5)), "next txn submitted");
+        assert!(
+            outs.iter().any(|o| o.dest == Loc::new(5)),
+            "next txn submitted"
+        );
         let s = stats.lock();
         assert_eq!(s.committed(), 1);
         assert_eq!(s.mean_latency(), Some(Duration::from_millis(4)));
@@ -275,8 +299,14 @@ mod tests {
         let (mut c, stats) = client(2);
         let slf = Loc::new(0);
         c.step(&Ctx::new(slf, VTime::ZERO), &DbClient::start_msg());
-        c.step(&Ctx::new(slf, VTime::from_millis(5)), &reply_msg(Loc::new(5), 0, true, &[]));
-        c.step(&Ctx::new(slf, VTime::from_millis(6)), &reply_msg(Loc::new(5), 0, true, &[]));
+        c.step(
+            &Ctx::new(slf, VTime::from_millis(5)),
+            &reply_msg(Loc::new(5), 0, true, &[]),
+        );
+        c.step(
+            &Ctx::new(slf, VTime::from_millis(6)),
+            &reply_msg(Loc::new(5), 0, true, &[]),
+        );
         assert_eq!(stats.lock().completed.len(), 1);
     }
 
@@ -285,7 +315,10 @@ mod tests {
         let (mut c, stats) = client(1);
         let slf = Loc::new(0);
         c.step(&Ctx::new(slf, VTime::ZERO), &DbClient::start_msg());
-        c.step(&Ctx::new(slf, VTime::from_millis(2)), &reply_msg(Loc::new(5), 0, false, &[]));
+        c.step(
+            &Ctx::new(slf, VTime::from_millis(2)),
+            &reply_msg(Loc::new(5), 0, false, &[]),
+        );
         let s = stats.lock();
         assert_eq!(s.completed.len(), 1);
         assert_eq!(s.committed(), 0);

@@ -94,12 +94,14 @@ impl PbrDeployment {
         let per = tob_per(backend);
         let c = options.n_clients as u32;
         let first_server = c;
-        let servers: Vec<Loc> =
-            (0..TOB_MACHINES).map(|i| Loc::new(first_server + i * per)).collect();
+        let servers: Vec<Loc> = (0..TOB_MACHINES)
+            .map(|i| Loc::new(first_server + i * per))
+            .collect();
         let replica_base = c + TOB_MACHINES * per;
         let n_replicas = options.active_replicas as u32 + 1; // plus one spare
-        let replicas: Vec<Loc> =
-            (0..n_replicas).map(|i| Loc::new(replica_base + i)).collect();
+        let replicas: Vec<Loc> = (0..n_replicas)
+            .map(|i| Loc::new(replica_base + i))
+            .collect();
 
         // Clients first (locations 0..c).
         let mut stats = Vec::new();
@@ -108,7 +110,9 @@ impl PbrDeployment {
             let s = Arc::new(Mutex::new(DbClientStats::default()));
             stats.push(s.clone());
             let client = DbClient::new(
-                Submission::Pbr { replicas: replicas.clone() },
+                Submission::Pbr {
+                    replicas: replicas.clone(),
+                },
                 (options.client_txns)(i),
                 s,
             )
@@ -133,8 +137,7 @@ impl PbrDeployment {
         // Replicas are co-located with the service machines but run in
         // their own JVM, which the quad-core testbed schedules on separate
         // cores: model them with their own CPU timeline.
-        let config =
-            ReplicaConfig::initial(replicas[..options.active_replicas].to_vec());
+        let config = ReplicaConfig::initial(replicas[..options.active_replicas].to_vec());
         let spares = replicas[options.active_replicas..].to_vec();
         for (i, r) in replicas.iter().enumerate() {
             let db = options.diversity.database(i);
@@ -156,7 +159,12 @@ impl PbrDeployment {
         for cl in &clients {
             sim.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
         }
-        PbrDeployment { replicas, clients, stats, tob }
+        PbrDeployment {
+            replicas,
+            clients,
+            stats,
+            tob,
+        }
     }
 
     /// Total committed transactions across clients.
@@ -187,7 +195,9 @@ impl SmrDeployment {
         let c = options.n_clients as u32;
         let servers: Vec<Loc> = (0..TOB_MACHINES).map(|i| Loc::new(c + i * per)).collect();
         let replica_base = c + TOB_MACHINES * per;
-        let replicas: Vec<Loc> = (0..TOB_MACHINES).map(|i| Loc::new(replica_base + i)).collect();
+        let replicas: Vec<Loc> = (0..TOB_MACHINES)
+            .map(|i| Loc::new(replica_base + i))
+            .collect();
 
         let mut stats = Vec::new();
         let mut clients = Vec::new();
@@ -195,7 +205,9 @@ impl SmrDeployment {
             let s = Arc::new(Mutex::new(DbClientStats::default()));
             stats.push(s.clone());
             let client = DbClient::new(
-                Submission::Smr { servers: servers.clone() },
+                Submission::Smr {
+                    servers: servers.clone(),
+                },
                 (options.client_txns)(i),
                 s,
             )
@@ -229,7 +241,12 @@ impl SmrDeployment {
         for cl in &clients {
             sim.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
         }
-        SmrDeployment { replicas, clients, stats, tob }
+        SmrDeployment {
+            replicas,
+            clients,
+            stats,
+            tob,
+        }
     }
 
     /// Total committed transactions across clients.
@@ -309,7 +326,11 @@ mod tests {
         assert!(before < 300, "the crash must interrupt the run");
         sim.crash_at(sim.now(), d.replicas[0]);
         sim.run_until_quiescent(VTime::from_secs(600));
-        assert_eq!(d.committed(), 300, "all transactions answered after failover");
+        assert_eq!(
+            d.committed(),
+            300,
+            "all transactions answered after failover"
+        );
         let resends: u64 = d.stats.iter().map(|s| s.lock().resends).sum();
         assert!(resends > 0, "clients must have retried during the outage");
     }

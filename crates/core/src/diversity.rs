@@ -29,12 +29,8 @@ impl DiversityPolicy {
     pub fn profile(&self, index: usize) -> EngineProfile {
         match self {
             DiversityPolicy::Uniform => EngineProfile::h2(),
-            DiversityPolicy::Trio => {
-                EngineProfile::diverse_trio()[index % 3].clone()
-            }
-            DiversityPolicy::Explicit(list) => {
-                list[index % list.len()].clone()
-            }
+            DiversityPolicy::Trio => EngineProfile::diverse_trio()[index % 3].clone(),
+            DiversityPolicy::Explicit(list) => list[index % list.len()].clone(),
         }
     }
 

@@ -1,6 +1,6 @@
 //! ShadowDB wire messages and configurations.
 
-use shadowdb_eventml::{Msg, Value};
+use shadowdb_eventml::{cached_header, Msg, Value};
 use shadowdb_loe::Loc;
 use shadowdb_workloads::TxnRequest;
 
@@ -69,9 +69,11 @@ impl ReplicaConfig {
     /// Wire decoding.
     pub fn from_value(v: &Value) -> Option<ReplicaConfig> {
         let (seq, members) = v.fst().zip(v.snd())?;
-        let members: Option<Vec<Loc>> =
-            members.as_list()?.iter().map(Value::as_loc).collect();
-        Some(ReplicaConfig { seq: seq.as_int()?, members: members? })
+        let members: Option<Vec<Loc>> = members.as_list()?.iter().map(Value::as_loc).collect();
+        Some(ReplicaConfig {
+            seq: seq.as_int()?,
+            members: members?,
+        })
     }
 }
 
@@ -111,7 +113,7 @@ impl TxnEnvelope {
 
 /// Builds a client submission message.
 pub fn submit_msg(env: &TxnEnvelope) -> Msg {
-    Msg::new(SUBMIT_HEADER, env.to_value())
+    Msg::new(cached_header!(SUBMIT_HEADER), env.to_value())
 }
 
 /// Builds a reply message; `from` tells the client who answered, so it can
@@ -123,7 +125,7 @@ pub fn reply_msg(
     results: &[shadowdb_sqldb::SqlValue],
 ) -> Msg {
     Msg::new(
-        REPLY_HEADER,
+        cached_header!(REPLY_HEADER),
         Value::pair(
             Value::Loc(from),
             Value::pair(
@@ -152,7 +154,7 @@ pub struct Reply {
 
 /// Parses a reply message.
 pub fn parse_reply(msg: &Msg) -> Option<Reply> {
-    if msg.header.name() != REPLY_HEADER {
+    if msg.header != cached_header!(REPLY_HEADER) {
         return None;
     }
     let (from, rest) = msg.body.fst().zip(msg.body.snd())?;
@@ -213,19 +215,31 @@ mod tests {
         let env = TxnEnvelope {
             client: Loc::new(1),
             cseq: 42,
-            txn: TxnRequest::BankDeposit { account: 7, amount: 5 },
+            txn: TxnRequest::BankDeposit {
+                account: 7,
+                amount: 5,
+            },
         };
         assert_eq!(TxnEnvelope::from_value(&env.to_value()), Some(env));
     }
 
     #[test]
     fn reply_roundtrip_including_reals() {
-        let results =
-            vec![SqlValue::Int(3), SqlValue::Real(2.75), SqlValue::Null, SqlValue::from("x")];
+        let results = vec![
+            SqlValue::Int(3),
+            SqlValue::Real(2.75),
+            SqlValue::Null,
+            SqlValue::from("x"),
+        ];
         let m = reply_msg(Loc::new(4), 9, true, &results);
         assert_eq!(
             parse_reply(&m),
-            Some(Reply { from: Loc::new(4), cseq: 9, committed: true, results })
+            Some(Reply {
+                from: Loc::new(4),
+                cseq: 9,
+                committed: true,
+                results
+            })
         );
     }
 }

@@ -19,9 +19,10 @@
 //!    (ties → smallest identifier) becomes primary;
 //! 5. the new primary sends missing transactions from its cache, or a full
 //!    snapshot in ~50 KB batches when the cache does not reach far enough;
-//! 6–7. backups acknowledge; the primary resumes — immediately after the
-//!    *first* acknowledgment when overlapped state transfer is enabled
-//!    (possible with ≥3 replicas), else after all of them.
+//! 6. backups acknowledge;
+//! 7. the primary resumes — immediately after the *first* acknowledgment
+//!    when overlapped state transfer is enabled (possible with ≥3
+//!    replicas), else after all of them.
 
 use crate::msgs::{
     reply_msg, ReplicaConfig, TxnEnvelope, ACK_HEADER, CATCHUP_HEADER, ELECT_HEADER,
@@ -29,7 +30,7 @@ use crate::msgs::{
     SUBMIT_HEADER,
 };
 use shadowdb_eventml::process::HasherAdapter;
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_sqldb::{Database, RowBatch, SqlValue};
 use shadowdb_tob::{broadcast_msg, parse_deliver, InOrderBuffer};
@@ -203,7 +204,8 @@ impl PbrReplica {
             self.log.pop_front();
             self.log_start += 1;
         }
-        self.last_reply.insert(env.client, (env.cseq, outcome.0, outcome.1.clone()));
+        self.last_reply
+            .insert(env.client, (env.cseq, outcome.0, outcome.1.clone()));
         (outcome.0, outcome.1)
     }
 
@@ -213,21 +215,29 @@ impl PbrReplica {
         if self.mode != Mode::Normal || !self.is_primary(ctx.slf) {
             return; // backups and stopped replicas ignore submissions
         }
-        let Some(env) = TxnEnvelope::from_value(body) else { return };
+        let Some(env) = TxnEnvelope::from_value(body) else {
+            return;
+        };
         // Duplicate suppression by client sequence number.
         if let Some((last, committed, result)) = self.last_reply.get(&env.client) {
             if env.cseq < *last {
                 return;
             }
             if env.cseq == *last {
-                outs.push(SendInstr::now(env.client, reply_msg(ctx.slf, *last, *committed, result)));
+                outs.push(SendInstr::now(
+                    env.client,
+                    reply_msg(ctx.slf, *last, *committed, result),
+                ));
                 return;
             }
         }
         let (committed, result) = self.execute_txn(&env);
         let idx = self.executed;
         if self.active_backups.is_empty() {
-            outs.push(SendInstr::now(env.client, reply_msg(ctx.slf, env.cseq, committed, &result)));
+            outs.push(SendInstr::now(
+                env.client,
+                reply_msg(ctx.slf, env.cseq, committed, &result),
+            ));
         } else {
             for b in self.config.backups() {
                 outs.push(SendInstr::now(
@@ -245,7 +255,11 @@ impl PbrReplica {
                 idx,
                 Pending {
                     env,
-                    outcome: TxnOutcome { committed, result, cost: Duration::ZERO },
+                    outcome: TxnOutcome {
+                        committed,
+                        result,
+                        cost: Duration::ZERO,
+                    },
                     waiting: self.active_backups.clone(),
                 },
             );
@@ -261,7 +275,9 @@ impl PbrReplica {
             return;
         }
         let (idx, env) = rest.unpair();
-        let Some(env) = TxnEnvelope::from_value(env) else { return };
+        let Some(env) = TxnEnvelope::from_value(env) else {
+            return;
+        };
         self.forward_buf.insert(idx.int(), env);
         self.drain_forwards(ctx, outs);
     }
@@ -340,9 +356,10 @@ impl PbrReplica {
             .copied()
             .filter(|m| {
                 *m != ctx.slf
-                    && ctx.now.saturating_since(
-                        *self.last_heard.get(m).unwrap_or(&VTime::ZERO),
-                    ) > self.options.detect_after
+                    && ctx
+                        .now
+                        .saturating_since(*self.last_heard.get(m).unwrap_or(&VTime::ZERO))
+                        > self.options.detect_after
             })
             .collect();
         if !suspects.is_empty() {
@@ -356,15 +373,15 @@ impl PbrReplica {
     }
 
     /// Step 1–2 of the recovery procedure: stop, then broadcast a proposal.
-    fn propose_reconfiguration(
-        &mut self,
-        ctx: &Ctx,
-        suspects: &[Loc],
-        outs: &mut Vec<SendInstr>,
-    ) {
+    fn propose_reconfiguration(&mut self, ctx: &Ctx, suspects: &[Loc], outs: &mut Vec<SendInstr>) {
         self.mode = Mode::Stopped;
-        let mut members: Vec<Loc> =
-            self.config.members.iter().copied().filter(|m| !suspects.contains(m)).collect();
+        let mut members: Vec<Loc> = self
+            .config
+            .members
+            .iter()
+            .copied()
+            .filter(|m| !suspects.contains(m))
+            .collect();
         // Optionally replace crashed members with spares.
         let candidates: Vec<Loc> = self
             .spares
@@ -389,7 +406,10 @@ impl PbrReplica {
         let msgid = self.tob_msgid;
         self.tob_msgid += 1;
         let server = self.tob_servers[(ctx.slf.index() as usize) % self.tob_servers.len()];
-        outs.push(SendInstr::now(server, broadcast_msg(ctx.slf, msgid, proposal)));
+        outs.push(SendInstr::now(
+            server,
+            broadcast_msg(ctx.slf, msgid, proposal),
+        ));
     }
 
     // -- recovery ------------------------------------------------------------
@@ -398,7 +418,9 @@ impl PbrReplica {
     fn on_tob_deliver(&mut self, ctx: &Ctx, msg: &Msg, outs: &mut Vec<SendInstr>) {
         let Some(d) = parse_deliver(msg) else { return };
         for d in self.tob_in.offer(d) {
-            let Some((tag, body)) = d.payload.fst().zip(d.payload.snd()) else { continue };
+            let Some((tag, body)) = d.payload.fst().zip(d.payload.snd()) else {
+                continue;
+            };
             if tag.as_str() != Some("newconfig") {
                 continue;
             }
@@ -406,9 +428,15 @@ impl PbrReplica {
             if old_seq.int() != self.config.seq {
                 continue; // not the first proposal for this configuration
             }
-            let members: Vec<Loc> =
-                members.elems().iter().filter_map(Value::as_loc).collect();
-            self.adopt_config(ctx, ReplicaConfig { seq: old_seq.int() + 1, members }, outs);
+            let members: Vec<Loc> = members.elems().iter().filter_map(Value::as_loc).collect();
+            self.adopt_config(
+                ctx,
+                ReplicaConfig {
+                    seq: old_seq.int() + 1,
+                    members,
+                },
+                outs,
+            );
         }
     }
 
@@ -522,7 +550,9 @@ impl PbrReplica {
                 + Duration::from_micros(costs.scan_row_us * snapshot.row_count() as u64),
         );
         let col_values: usize = batches.iter().map(RowBatch::column_values).sum();
-        self.charge(Duration::from_micros(costs.serialize_col_us * col_values as u64));
+        self.charge(Duration::from_micros(
+            costs.serialize_col_us * col_values as u64,
+        ));
         let total = batches.len() as i64;
         for (i, b) in batches.iter().enumerate() {
             outs.push(SendInstr::now(
@@ -550,14 +580,13 @@ impl PbrReplica {
             return;
         }
         let (start, txns) = rest.unpair();
-        let mut idx = start.int();
-        for t in txns.elems() {
-            if idx == self.executed {
+        let start = start.int();
+        for (off, t) in txns.elems().iter().enumerate() {
+            if start + off as i64 == self.executed {
                 if let Some(env) = TxnEnvelope::from_value(t) {
                     self.execute_txn(&env);
                 }
             }
-            idx += 1;
         }
         self.finish_recovery(ctx, outs);
     }
@@ -579,16 +608,20 @@ impl PbrReplica {
             return;
         }
         // All chunks arrived: decode, restore, charge insertion cost.
-        let decoded: Result<Vec<RowBatch>, _> =
-            self.snap_chunks.values().map(|b| RowBatch::decode(b.clone())).collect();
+        let decoded: Result<Vec<RowBatch>, _> = self
+            .snap_chunks
+            .values()
+            .map(|b| RowBatch::decode(b.clone()))
+            .collect();
         let Ok(batches) = decoded else { return };
-        let Ok(snapshot) = shadowdb_sqldb::Snapshot::from_batches(&batches) else { return };
+        let Ok(snapshot) = shadowdb_sqldb::Snapshot::from_batches(&batches) else {
+            return;
+        };
         let costs = self.db.profile().costs;
         let rows: usize = batches.iter().map(|b| b.rows.len()).sum();
         let bytes: usize = batches.iter().map(RowBatch::encoded_len).sum();
         self.charge(Duration::from_micros(
-            costs.bulk_insert_us * rows as u64
-                + costs.bulk_insert_byte_ns * bytes as u64 / 1_000,
+            costs.bulk_insert_us * rows as u64 + costs.bulk_insert_byte_ns * bytes as u64 / 1_000,
         ));
         if self.db.restore(&snapshot).is_err() {
             return;
@@ -655,22 +688,30 @@ impl PbrReplica {
 }
 
 impl Process for PbrReplica {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
         self.ensure_init(ctx);
-        let mut outs = Vec::new();
-        match msg.header.name() {
-            SUBMIT_HEADER => self.on_submit(ctx, &msg.body, &mut outs),
-            FORWARD_HEADER => self.on_forward(ctx, &msg.body, &mut outs),
-            ACK_HEADER => self.on_ack(ctx, &msg.body, &mut outs),
-            HB_TIMER_HEADER => self.on_hb_timer(ctx, &mut outs),
-            HEARTBEAT_HEADER => self.on_heartbeat(ctx, &msg.body),
-            ELECT_HEADER => self.on_elect(ctx, &msg.body, &mut outs),
-            CATCHUP_HEADER => self.on_catchup(ctx, &msg.body, &mut outs),
-            SNAPSHOT_HEADER => self.on_snapshot(ctx, &msg.body, &mut outs),
-            RECOVERY_ACK_HEADER => self.on_recovery_ack(ctx, &msg.body),
-            _ => self.on_tob_deliver(ctx, msg, &mut outs),
+        let h = msg.header;
+        if h == cached_header!(SUBMIT_HEADER) {
+            self.on_submit(ctx, &msg.body, out);
+        } else if h == cached_header!(FORWARD_HEADER) {
+            self.on_forward(ctx, &msg.body, out);
+        } else if h == cached_header!(ACK_HEADER) {
+            self.on_ack(ctx, &msg.body, out);
+        } else if h == cached_header!(HB_TIMER_HEADER) {
+            self.on_hb_timer(ctx, out);
+        } else if h == cached_header!(HEARTBEAT_HEADER) {
+            self.on_heartbeat(ctx, &msg.body);
+        } else if h == cached_header!(ELECT_HEADER) {
+            self.on_elect(ctx, &msg.body, out);
+        } else if h == cached_header!(CATCHUP_HEADER) {
+            self.on_catchup(ctx, &msg.body, out);
+        } else if h == cached_header!(SNAPSHOT_HEADER) {
+            self.on_snapshot(ctx, &msg.body, out);
+        } else if h == cached_header!(RECOVERY_ACK_HEADER) {
+            self.on_recovery_ack(ctx, &msg.body);
+        } else {
+            self.on_tob_deliver(ctx, msg, out);
         }
-        outs
     }
 
     fn take_step_cost(&mut self) -> Duration {
@@ -681,7 +722,8 @@ impl Process for PbrReplica {
         // Deep-copy the database so the fork is independent (model checking
         // forks executions).
         let db = Database::new(self.db.profile().clone());
-        db.restore(&self.db.snapshot()).expect("snapshot of a valid database restores");
+        db.restore(&self.db.snapshot())
+            .expect("snapshot of a valid database restores");
         Box::new(PbrReplica {
             db,
             options: self.options.clone(),
@@ -697,11 +739,14 @@ impl Process for PbrReplica {
                 .pending
                 .iter()
                 .map(|(k, v)| {
-                    (*k, Pending {
-                        env: v.env.clone(),
-                        outcome: v.outcome.clone(),
-                        waiting: v.waiting.clone(),
-                    })
+                    (
+                        *k,
+                        Pending {
+                            env: v.env.clone(),
+                            outcome: v.outcome.clone(),
+                            waiting: v.waiting.clone(),
+                        },
+                    )
                 })
                 .collect(),
             active_backups: self.active_backups.clone(),

@@ -53,7 +53,11 @@ pub enum Violation {
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            Violation::UnexplainedRead { index, expected, observed } => write!(
+            Violation::UnexplainedRead {
+                index,
+                expected,
+                observed,
+            } => write!(
                 f,
                 "read #{index}: observed balance {observed} but the serial order implies {expected}"
             ),
@@ -86,9 +90,17 @@ pub fn check_bank_history(
             }
             TxnRequest::BankRead { account } => {
                 let expected = *balances.entry(*account).or_insert(initial_balance);
-                let observed = o.result.first().and_then(SqlValue::as_int).unwrap_or(i64::MIN);
+                let observed = o
+                    .result
+                    .first()
+                    .and_then(SqlValue::as_int)
+                    .unwrap_or(i64::MIN);
                 if observed != expected {
-                    return Err(Violation::UnexplainedRead { index, expected, observed });
+                    return Err(Violation::UnexplainedRead {
+                        index,
+                        expected,
+                        observed,
+                    });
                 }
             }
             _ => {} // only bank semantics are modelled
@@ -113,10 +125,36 @@ mod tests {
     #[test]
     fn sequential_history_accepted() {
         let h = vec![
-            obs(0, 1, TxnRequest::BankDeposit { account: 1, amount: 10 }, vec![]),
-            obs(2, 3, TxnRequest::BankRead { account: 1 }, vec![SqlValue::Int(110)]),
-            obs(4, 5, TxnRequest::BankDeposit { account: 1, amount: 5 }, vec![]),
-            obs(6, 7, TxnRequest::BankRead { account: 1 }, vec![SqlValue::Int(115)]),
+            obs(
+                0,
+                1,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 10,
+                },
+                vec![],
+            ),
+            obs(
+                2,
+                3,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(110)],
+            ),
+            obs(
+                4,
+                5,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 5,
+                },
+                vec![],
+            ),
+            obs(
+                6,
+                7,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(115)],
+            ),
         ];
         check_bank_history(&h, 100).expect("serializable");
     }
@@ -124,23 +162,69 @@ mod tests {
     #[test]
     fn stale_read_rejected() {
         let h = vec![
-            obs(0, 1, TxnRequest::BankDeposit { account: 1, amount: 10 }, vec![]),
+            obs(
+                0,
+                1,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 10,
+                },
+                vec![],
+            ),
             // Submitted and answered strictly after the deposit's answer,
             // yet reads the old balance: a strict-serializability violation.
-            obs(2, 3, TxnRequest::BankRead { account: 1 }, vec![SqlValue::Int(100)]),
+            obs(
+                2,
+                3,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(100)],
+            ),
         ];
         let v = check_bank_history(&h, 100).expect_err("stale read");
-        assert_eq!(v, Violation::UnexplainedRead { index: 1, expected: 110, observed: 100 });
+        assert_eq!(
+            v,
+            Violation::UnexplainedRead {
+                index: 1,
+                expected: 110,
+                observed: 100
+            }
+        );
     }
 
     #[test]
     fn concurrent_deposits_commute() {
         // Two overlapping deposits to different accounts; reads after both.
         let h = vec![
-            obs(0, 5, TxnRequest::BankDeposit { account: 1, amount: 1 }, vec![]),
-            obs(0, 4, TxnRequest::BankDeposit { account: 2, amount: 2 }, vec![]),
-            obs(6, 7, TxnRequest::BankRead { account: 1 }, vec![SqlValue::Int(101)]),
-            obs(6, 8, TxnRequest::BankRead { account: 2 }, vec![SqlValue::Int(102)]),
+            obs(
+                0,
+                5,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 1,
+                },
+                vec![],
+            ),
+            obs(
+                0,
+                4,
+                TxnRequest::BankDeposit {
+                    account: 2,
+                    amount: 2,
+                },
+                vec![],
+            ),
+            obs(
+                6,
+                7,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(101)],
+            ),
+            obs(
+                6,
+                8,
+                TxnRequest::BankRead { account: 2 },
+                vec![SqlValue::Int(102)],
+            ),
         ];
         check_bank_history(&h, 100).expect("serializable");
     }
@@ -150,9 +234,30 @@ mod tests {
         // Two deposits to the same account, but a later read shows only one
         // of them: the replication lost an update.
         let h = vec![
-            obs(0, 1, TxnRequest::BankDeposit { account: 3, amount: 10 }, vec![]),
-            obs(2, 3, TxnRequest::BankDeposit { account: 3, amount: 10 }, vec![]),
-            obs(4, 5, TxnRequest::BankRead { account: 3 }, vec![SqlValue::Int(110)]),
+            obs(
+                0,
+                1,
+                TxnRequest::BankDeposit {
+                    account: 3,
+                    amount: 10,
+                },
+                vec![],
+            ),
+            obs(
+                2,
+                3,
+                TxnRequest::BankDeposit {
+                    account: 3,
+                    amount: 10,
+                },
+                vec![],
+            ),
+            obs(
+                4,
+                5,
+                TxnRequest::BankRead { account: 3 },
+                vec![SqlValue::Int(110)],
+            ),
         ];
         assert!(check_bank_history(&h, 100).is_err());
     }

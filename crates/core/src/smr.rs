@@ -14,7 +14,7 @@
 
 use crate::msgs::{reply_msg, TxnEnvelope};
 use shadowdb_eventml::process::HasherAdapter;
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::Loc;
 use shadowdb_sqldb::{Database, RowBatch, Snapshot, SqlValue};
 use shadowdb_tob::{parse_deliver, InOrderBuffer};
@@ -64,7 +64,10 @@ impl SmrReplica {
     /// executing (a replica added by reconfiguration). The deployment must
     /// route a [`FETCH_SNAPSHOT_HEADER`] request to the donor.
     pub fn joining(db: Database) -> SmrReplica {
-        SmrReplica { joining: true, ..SmrReplica::new(db) }
+        SmrReplica {
+            joining: true,
+            ..SmrReplica::new(db)
+        }
     }
 
     /// Builds the snapshot-fetch request sent to the donor replica.
@@ -88,19 +91,19 @@ impl SmrReplica {
         &self.db
     }
 
-    fn execute_delivery(
-        &mut self,
-        slf: Loc,
-        d: shadowdb_tob::Delivery,
-        outs: &mut Vec<SendInstr>,
-    ) {
-        let Some(env) = TxnEnvelope::from_value(&d.payload) else { return };
+    fn execute_delivery(&mut self, slf: Loc, d: shadowdb_tob::Delivery, outs: &mut Vec<SendInstr>) {
+        let Some(env) = TxnEnvelope::from_value(&d.payload) else {
+            return;
+        };
         // Duplicate suppression (client resends surface as fresh broadcast
         // msgids but identical cseq — or as duplicate deliveries filtered
         // by the InOrderBuffer already; both are covered).
         if let Some((last, committed, results)) = self.last_reply.get(&env.client) {
             if env.cseq <= *last {
-                outs.push(SendInstr::now(env.client, reply_msg(slf, *last, *committed, results)));
+                outs.push(SendInstr::now(
+                    env.client,
+                    reply_msg(slf, *last, *committed, results),
+                ));
                 return;
             }
         }
@@ -108,17 +111,21 @@ impl SmrReplica {
             .txn
             .apply(&self.db)
             .map(|o| (o.committed, o.result, o.cost))
-            .unwrap_or_else(|e| {
-                (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO)
-            });
+            .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
         self.step_cost += cost;
         self.executed += 1;
-        self.last_reply.insert(env.client, (env.cseq, committed, results.clone()));
-        outs.push(SendInstr::now(env.client, reply_msg(slf, env.cseq, committed, &results)));
+        self.last_reply
+            .insert(env.client, (env.cseq, committed, results.clone()));
+        outs.push(SendInstr::now(
+            env.client,
+            reply_msg(slf, env.cseq, committed, &results),
+        ));
     }
 
     fn on_fetch_snapshot(&mut self, body: &Value, outs: &mut Vec<SendInstr>) {
-        let Some(requester) = body.as_loc() else { return };
+        let Some(requester) = body.as_loc() else {
+            return;
+        };
         let snapshot = self.db.snapshot();
         let batches = snapshot.to_batches(self.transfer_batch_bytes);
         let costs = self.db.profile().costs;
@@ -160,10 +167,15 @@ impl SmrReplica {
         if (self.snap_chunks.len() as i64) < total {
             return;
         }
-        let decoded: Result<Vec<RowBatch>, _> =
-            self.snap_chunks.values().map(|b| RowBatch::decode(b.clone())).collect();
+        let decoded: Result<Vec<RowBatch>, _> = self
+            .snap_chunks
+            .values()
+            .map(|b| RowBatch::decode(b.clone()))
+            .collect();
         let Ok(batches) = decoded else { return };
-        let Ok(snapshot) = Snapshot::from_batches(&batches) else { return };
+        let Ok(snapshot) = Snapshot::from_batches(&batches) else {
+            return;
+        };
         let costs = self.db.profile().costs;
         let rows: usize = batches.iter().map(|b| b.rows.len()).sum();
         let bytes: usize = batches.iter().map(RowBatch::encoded_len).sum();
@@ -177,8 +189,7 @@ impl SmrReplica {
         // Skip everything the snapshot already covers, then replay whatever
         // arrived while joining.
         self.executed = next_seq;
-        let held =
-            std::mem::replace(&mut self.incoming, InOrderBuffer::starting_at(next_seq));
+        let held = std::mem::replace(&mut self.incoming, InOrderBuffer::starting_at(next_seq));
         for d in held.into_pending() {
             for ready in self.incoming.offer(d) {
                 self.execute_delivery(slf, ready, outs);
@@ -190,23 +201,20 @@ impl SmrReplica {
 }
 
 impl Process for SmrReplica {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        let mut outs = Vec::new();
-        match msg.header.name() {
-            FETCH_SNAPSHOT_HEADER => self.on_fetch_snapshot(&msg.body, &mut outs),
-            SNAPSHOT_CHUNK_HEADER => self.on_snapshot_chunk(ctx.slf, &msg.body, &mut outs),
-            _ => {
-                if let Some(d) = parse_deliver(msg) {
-                    let ready = self.incoming.offer(d);
-                    if !self.joining {
-                        for d in ready {
-                            self.execute_delivery(ctx.slf, d, &mut outs);
-                        }
-                    }
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        let h = msg.header;
+        if h == cached_header!(FETCH_SNAPSHOT_HEADER) {
+            self.on_fetch_snapshot(&msg.body, out);
+        } else if h == cached_header!(SNAPSHOT_CHUNK_HEADER) {
+            self.on_snapshot_chunk(ctx.slf, &msg.body, out);
+        } else if let Some(d) = parse_deliver(msg) {
+            let ready = self.incoming.offer(d);
+            if !self.joining {
+                for d in ready {
+                    self.execute_delivery(ctx.slf, d, out);
                 }
             }
         }
-        outs
     }
 
     fn take_step_cost(&mut self) -> Duration {
@@ -215,7 +223,8 @@ impl Process for SmrReplica {
 
     fn clone_box(&self) -> Box<dyn Process> {
         let db = Database::new(self.db.profile().clone());
-        db.restore(&self.db.snapshot()).expect("snapshot of a valid database restores");
+        db.restore(&self.db.snapshot())
+            .expect("snapshot of a valid database restores");
         Box::new(SmrReplica {
             db,
             incoming: self.incoming.clone(),

@@ -71,7 +71,11 @@ fn run_until_some_commits(t: &mut Torture, target: usize) -> VTime {
 
 fn finish_and_check(mut t: Torture, crashed: &[usize]) {
     t.sim.run_until_quiescent(VTime::from_secs(1_200));
-    assert_eq!(t.d.committed(), CLIENTS * TXNS, "every transaction answered");
+    assert_eq!(
+        t.d.committed(),
+        CLIENTS * TXNS,
+        "every transaction answered"
+    );
     // Surviving replicas agree on the final balance total.
     let dbs = t.dbs.lock();
     let sums: Vec<i64> = dbs
@@ -79,12 +83,17 @@ fn finish_and_check(mut t: Torture, crashed: &[usize]) {
         .enumerate()
         .filter(|(i, _)| !crashed.contains(i))
         .map(|(_, db)| {
-            db.execute("SELECT SUM(balance) FROM accounts").expect("sums").rows[0][0]
+            db.execute("SELECT SUM(balance) FROM accounts")
+                .expect("sums")
+                .rows[0][0]
                 .as_int()
                 .expect("int")
         })
         .collect();
-    assert!(sums.windows(2).all(|w| w[0] == w[1]), "survivors agree: {sums:?}");
+    assert!(
+        sums.windows(2).all(|w| w[0] == w[1]),
+        "survivors agree: {sums:?}"
+    );
     // And the total is exactly initial money plus all answered deposits.
     let mut expected = (ACCOUNTS as i64) * 1_000;
     for client in 0..CLIENTS as u64 {
@@ -136,7 +145,8 @@ fn crash_during_recovery_restarts_procedure() {
     let now = run_until_some_commits(&mut t, 5);
     t.sim.crash_at(now, t.d.replicas[0]);
     // Detection fires at +300 ms; the second crash lands mid-recovery.
-    t.sim.crash_at(now + Duration::from_millis(350), t.d.replicas[1]);
+    t.sim
+        .crash_at(now + Duration::from_millis(350), t.d.replicas[1]);
     finish_and_check(t, &[0, 1]);
 }
 

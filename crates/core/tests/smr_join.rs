@@ -54,7 +54,11 @@ fn joining_replica_converges_with_donors() {
     // reconfiguration the broadcast service's subscriber list is updated;
     // here the donor simply forwards by re-delivering — we instead verify
     // the snapshot semantics: ask the donor for its snapshot now…
-    sim.send_at(sim.now(), d.replicas[0], SmrReplica::fetch_snapshot_msg(joiner));
+    sim.send_at(
+        sim.now(),
+        d.replicas[0],
+        SmrReplica::fetch_snapshot_msg(joiner),
+    );
     sim.run_until_quiescent(VTime::from_secs(600));
     assert_eq!(d.committed(), 400);
 
@@ -78,7 +82,10 @@ fn joining_replica_converges_with_donors() {
         .as_int()
         .expect("int");
     assert!(joined_total > initial, "snapshot covers pre-join commits");
-    assert!(joined_total <= final_total, "snapshot is a prefix of the history");
+    assert!(
+        joined_total <= final_total,
+        "snapshot is a prefix of the history"
+    );
     assert_eq!(joiner_db.table_len("accounts"), ACCOUNTS);
 }
 
@@ -129,7 +136,11 @@ fn joiner_subscribed_from_start_replays_buffered_deliveries() {
     // exactly.
     sim.run_until_quiescent(VTime::from_secs(600));
     assert_eq!(d.committed(), 300);
-    sim.send_at(sim.now(), d.replicas[1], SmrReplica::fetch_snapshot_msg(joiner_loc));
+    sim.send_at(
+        sim.now(),
+        d.replicas[1],
+        SmrReplica::fetch_snapshot_msg(joiner_loc),
+    );
     sim.run_until_quiescent(VTime::from_secs(600));
 
     let donor_total = dbs.lock()[1]
@@ -144,5 +155,8 @@ fn joiner_subscribed_from_start_replays_buffered_deliveries() {
         .rows[0][0]
         .as_int()
         .expect("int");
-    assert_eq!(joined_total, donor_total, "joiner converged to the donor state");
+    assert_eq!(
+        joined_total, donor_total,
+        "joiner converged to the donor state"
+    );
 }

@@ -17,12 +17,18 @@ use shadowdb_loe::Loc;
 use std::fmt;
 use std::sync::Arc;
 
+/// Shared implementation of an update-function body.
+type UpdateImpl = Arc<dyn Fn(Loc, &Value, &Value) -> Value + Send + Sync>;
+
+/// Shared implementation of a handler-function body.
+type HandlerImpl = Arc<dyn Fn(Loc, &[Value]) -> Vec<Value> + Send + Sync>;
+
 /// A named state-update function: `(slf, input, state) -> state`.
 #[derive(Clone)]
 pub struct UpdateFn {
     name: &'static str,
     nodes: usize,
-    f: Arc<dyn Fn(Loc, &Value, &Value) -> Value + Send + Sync>,
+    f: UpdateImpl,
 }
 
 impl UpdateFn {
@@ -33,7 +39,11 @@ impl UpdateFn {
         nodes: usize,
         f: impl Fn(Loc, &Value, &Value) -> Value + Send + Sync + 'static,
     ) -> Self {
-        UpdateFn { name, nodes, f: Arc::new(f) }
+        UpdateFn {
+            name,
+            nodes,
+            f: Arc::new(f),
+        }
     }
 
     /// The function's name (its identity for optimization purposes).
@@ -66,7 +76,7 @@ impl fmt::Debug for UpdateFn {
 pub struct HandlerFn {
     name: &'static str,
     nodes: usize,
-    f: Arc<dyn Fn(Loc, &[Value]) -> Vec<Value> + Send + Sync>,
+    f: HandlerImpl,
 }
 
 impl HandlerFn {
@@ -76,7 +86,11 @@ impl HandlerFn {
         nodes: usize,
         f: impl Fn(Loc, &[Value]) -> Vec<Value> + Send + Sync + 'static,
     ) -> Self {
-        HandlerFn { name, nodes, f: Arc::new(f) }
+        HandlerFn {
+            name,
+            nodes,
+            f: Arc::new(f),
+        }
     }
 
     /// The function's name (its identity for optimization purposes).
@@ -141,7 +155,11 @@ impl ClassExpr {
 
     /// A state machine over this class's outputs.
     pub fn state(self, init: Value, update: UpdateFn) -> ClassExpr {
-        ClassExpr::State { init, update, input: Box::new(self) }
+        ClassExpr::State {
+            init,
+            update,
+            input: Box::new(self),
+        }
     }
 
     /// Simultaneous composition of `args` through `handler`.
@@ -167,15 +185,15 @@ impl ClassExpr {
         match self {
             ClassExpr::Base(_) => 1,
             ClassExpr::Constant(v) => 1 + value_nodes(v),
-            ClassExpr::State { init, update, input } => {
-                1 + value_nodes(init) + update.nodes() + input.ast_nodes()
-            }
+            ClassExpr::State {
+                init,
+                update,
+                input,
+            } => 1 + value_nodes(init) + update.nodes() + input.ast_nodes(),
             ClassExpr::Compose { handler, args } => {
                 1 + handler.nodes() + args.iter().map(ClassExpr::ast_nodes).sum::<usize>()
             }
-            ClassExpr::Parallel(args) => {
-                1 + args.iter().map(ClassExpr::ast_nodes).sum::<usize>()
-            }
+            ClassExpr::Parallel(args) => 1 + args.iter().map(ClassExpr::ast_nodes).sum::<usize>(),
             ClassExpr::Once(inner) => 1 + inner.ast_nodes(),
         }
     }
@@ -187,8 +205,17 @@ impl ClassExpr {
         match self {
             ClassExpr::Base(h) => format!("base({})", h.name()),
             ClassExpr::Constant(v) => format!("const({v:?})"),
-            ClassExpr::State { init, update, input } => {
-                format!("state({:?},{},{})", init, update.name(), input.structural_key())
+            ClassExpr::State {
+                init,
+                update,
+                input,
+            } => {
+                format!(
+                    "state({:?},{},{})",
+                    init,
+                    update.name(),
+                    input.structural_key()
+                )
             }
             ClassExpr::Compose { handler, args } => {
                 let args: Vec<_> = args.iter().map(ClassExpr::structural_key).collect();
@@ -222,7 +249,10 @@ pub struct Spec {
 impl Spec {
     /// Creates a specification.
     pub fn new(name: impl Into<String>, main: ClassExpr) -> Spec {
-        Spec { name: name.into(), main }
+        Spec {
+            name: name.into(),
+            main,
+        }
     }
 
     /// The specification's name.
@@ -251,7 +281,10 @@ mod tests {
         let h = HandlerFn::new("echo", 2, |_l, args| vec![args[0].clone()]);
         ClassExpr::compose(
             h,
-            vec![ClassExpr::base("msg"), ClassExpr::base("msg").state(Value::Int(0), upd)],
+            vec![
+                ClassExpr::base("msg"),
+                ClassExpr::base("msg").state(Value::Int(0), upd),
+            ],
         )
     }
 
@@ -271,7 +304,10 @@ mod tests {
         let a = ClassExpr::base("msg");
         let b = ClassExpr::base("msg");
         assert_eq!(a.structural_key(), b.structural_key());
-        assert_ne!(a.structural_key(), ClassExpr::base("other").structural_key());
+        assert_ne!(
+            a.structural_key(),
+            ClassExpr::base("other").structural_key()
+        );
     }
 
     #[test]

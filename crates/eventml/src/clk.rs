@@ -36,12 +36,15 @@ pub const MSG_HEADER: &str = "msg";
 
 /// Builds a CLK message body `<value, timestamp>`.
 pub fn clk_msg(value: Value, timestamp: i64) -> Msg {
-    Msg::new(MSG_HEADER, Value::pair(value, Value::Int(timestamp)))
+    Msg::new(
+        crate::cached_header!(MSG_HEADER),
+        Value::pair(value, Value::Int(timestamp)),
+    )
 }
 
 /// The timestamp carried by a CLK message, if it is one.
 pub fn timestamp_of(msg: &Msg) -> Option<i64> {
-    if msg.header.name() != MSG_HEADER {
+    if msg.header != crate::cached_header!(MSG_HEADER) {
         return None;
     }
     msg.body.snd()?.as_int()
@@ -64,7 +67,10 @@ pub fn handler_class(handle: HandleFn) -> ClassExpr {
         let value = args[0].fst().cloned().unwrap_or(Value::Unit);
         let clock = args[1].int();
         let (newval, recipient) = handle(slf, &value);
-        vec![send_value(&SendInstr::now(recipient, clk_msg(newval, clock)))]
+        vec![send_value(&SendInstr::now(
+            recipient,
+            clk_msg(newval, clock),
+        ))]
     });
     ClassExpr::compose(on_msg, vec![ClassExpr::base(MSG_HEADER), clock_class()])
 }
@@ -94,9 +100,15 @@ mod tests {
         let mut clock = InterpretedProcess::compile(&clock_class());
         let slf = Loc::new(0);
         // first(e): imax(ts, 0) + 1
-        assert_eq!(clock.step_values(slf, &clk_msg(Value::Unit, 10)), vec![Value::Int(11)]);
+        assert_eq!(
+            clock.step_values(slf, &clk_msg(Value::Unit, 10)),
+            vec![Value::Int(11)]
+        );
         // later: imax(ts, prior) + 1
-        assert_eq!(clock.step_values(slf, &clk_msg(Value::Unit, 3)), vec![Value::Int(12)]);
+        assert_eq!(
+            clock.step_values(slf, &clk_msg(Value::Unit, 3)),
+            vec![Value::Int(12)]
+        );
     }
 
     #[test]
@@ -121,6 +133,8 @@ mod tests {
     #[test]
     fn ignores_foreign_messages() {
         let mut h = InterpretedProcess::compile(&handler_class(ring_handle(2)));
-        assert!(h.step(&Ctx::at(Loc::new(0)), &Msg::new("other", Value::Unit)).is_empty());
+        assert!(h
+            .step(&Ctx::at(Loc::new(0)), &Msg::new("other", Value::Unit))
+            .is_empty());
     }
 }

@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn compound_roundtrips() {
-        roundtrip(Value::pair(Value::Int(1), Value::list([Value::Unit, Value::Bool(false)])));
+        roundtrip(Value::pair(
+            Value::Int(1),
+            Value::list([Value::Unit, Value::Bool(false)]),
+        ));
         roundtrip(Value::list((0..100).map(Value::from)));
     }
 

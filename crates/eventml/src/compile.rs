@@ -20,18 +20,32 @@ use std::hash::{Hash, Hasher};
 enum Node {
     Base(Header),
     Constant(Value),
-    State { st: Value, update: crate::ast::UpdateFn, input: Box<Node> },
-    Compose { handler: crate::ast::HandlerFn, args: Vec<Node> },
+    State {
+        st: Value,
+        update: crate::ast::UpdateFn,
+        input: Box<Node>,
+    },
+    Compose {
+        handler: crate::ast::HandlerFn,
+        args: Vec<Node>,
+    },
     Parallel(Vec<Node>),
-    Once { fired: bool, inner: Box<Node> },
+    Once {
+        fired: bool,
+        inner: Box<Node>,
+    },
 }
 
 impl Node {
     fn build(expr: &ClassExpr) -> Node {
         match expr {
-            ClassExpr::Base(h) => Node::Base(h.clone()),
+            ClassExpr::Base(h) => Node::Base(*h),
             ClassExpr::Constant(v) => Node::Constant(v.clone()),
-            ClassExpr::State { init, update, input } => Node::State {
+            ClassExpr::State {
+                init,
+                update,
+                input,
+            } => Node::State {
                 st: init.clone(),
                 update: update.clone(),
                 input: Box::new(Node::build(input)),
@@ -41,9 +55,10 @@ impl Node {
                 args: args.iter().map(Node::build).collect(),
             },
             ClassExpr::Parallel(args) => Node::Parallel(args.iter().map(Node::build).collect()),
-            ClassExpr::Once(inner) => {
-                Node::Once { fired: false, inner: Box::new(Node::build(inner)) }
-            }
+            ClassExpr::Once(inner) => Node::Once {
+                fired: false,
+                inner: Box::new(Node::build(inner)),
+            },
         }
     }
 
@@ -132,9 +147,7 @@ impl Node {
                 NODE_OVERHEAD + update.nodes() + input.node_count()
             }
             Node::Compose { handler, args } => {
-                NODE_OVERHEAD
-                    + handler.nodes()
-                    + args.iter().map(Node::node_count).sum::<usize>()
+                NODE_OVERHEAD + handler.nodes() + args.iter().map(Node::node_count).sum::<usize>()
             }
             Node::Parallel(args) => {
                 NODE_OVERHEAD + args.iter().map(Node::node_count).sum::<usize>()
@@ -173,7 +186,9 @@ pub struct InterpretedProcess {
 impl InterpretedProcess {
     /// Compiles a class expression.
     pub fn compile(expr: &ClassExpr) -> InterpretedProcess {
-        InterpretedProcess { root: Node::build(expr) }
+        InterpretedProcess {
+            root: Node::build(expr),
+        }
     }
 
     /// Compiles a specification's main class.
@@ -194,8 +209,12 @@ impl InterpretedProcess {
 }
 
 impl Process for InterpretedProcess {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        self.step_values(ctx.slf, msg).iter().filter_map(as_send_value).collect()
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        out.extend(
+            self.step_values(ctx.slf, msg)
+                .iter()
+                .filter_map(as_send_value),
+        );
     }
     fn clone_box(&self) -> Box<dyn Process> {
         Box::new(self.clone())
@@ -218,19 +237,33 @@ mod tests {
     #[test]
     fn base_matches_header_only() {
         let mut p = InterpretedProcess::compile(&ClassExpr::base("msg"));
-        assert_eq!(p.step_values(l(0), &Msg::new("msg", Value::Int(1))), vec![Value::Int(1)]);
-        assert!(p.step_values(l(0), &Msg::new("other", Value::Int(1))).is_empty());
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("msg", Value::Int(1))),
+            vec![Value::Int(1)]
+        );
+        assert!(p
+            .step_values(l(0), &Msg::new("other", Value::Int(1)))
+            .is_empty());
     }
 
     #[test]
     fn state_accumulates() {
         let sum = UpdateFn::new("sum", 1, |_l, v, s| Value::Int(s.int() + v.int()));
         let mut p = InterpretedProcess::compile(&ClassExpr::base("n").state(Value::Int(0), sum));
-        assert_eq!(p.step_values(l(0), &Msg::new("n", Value::Int(2))), vec![Value::Int(2)]);
-        assert_eq!(p.step_values(l(0), &Msg::new("n", Value::Int(5))), vec![Value::Int(7)]);
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("n", Value::Int(2))),
+            vec![Value::Int(2)]
+        );
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("n", Value::Int(5))),
+            vec![Value::Int(7)]
+        );
         assert!(p.step_values(l(0), &Msg::new("x", Value::Unit)).is_empty());
         // Unrecognized messages leave the state untouched.
-        assert_eq!(p.step_values(l(0), &Msg::new("n", Value::Int(1))), vec![Value::Int(8)]);
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("n", Value::Int(1))),
+            vec![Value::Int(8)]
+        );
     }
 
     #[test]
@@ -243,8 +276,12 @@ mod tests {
             vec![ClassExpr::base("a"), ClassExpr::base("b")],
         ));
         // A message matches only one base class, so compose never fires…
-        assert!(p.step_values(l(0), &Msg::new("a", Value::Int(1))).is_empty());
-        assert!(p.step_values(l(0), &Msg::new("b", Value::Int(1))).is_empty());
+        assert!(p
+            .step_values(l(0), &Msg::new("a", Value::Int(1)))
+            .is_empty());
+        assert!(p
+            .step_values(l(0), &Msg::new("b", Value::Int(1)))
+            .is_empty());
     }
 
     #[test]
@@ -263,7 +300,9 @@ mod tests {
     fn once_fires_once() {
         let mut p = InterpretedProcess::compile(&ClassExpr::base("m").once());
         assert_eq!(p.step_values(l(0), &Msg::new("m", Value::Int(1))).len(), 1);
-        assert!(p.step_values(l(0), &Msg::new("m", Value::Int(2))).is_empty());
+        assert!(p
+            .step_values(l(0), &Msg::new("m", Value::Int(2)))
+            .is_empty());
     }
 
     #[test]
@@ -272,8 +311,7 @@ mod tests {
             let instr = SendInstr::now(Loc::new(9), Msg::new("fwd", args[0].clone()));
             vec![send_value(&instr), Value::Int(0)]
         });
-        let mut p =
-            InterpretedProcess::compile(&ClassExpr::compose(h, vec![ClassExpr::base("m")]));
+        let mut p = InterpretedProcess::compile(&ClassExpr::compose(h, vec![ClassExpr::base("m")]));
         let sends = p.step(&Ctx::at(l(0)), &Msg::new("m", Value::Int(7)));
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].dest, Loc::new(9));
@@ -286,9 +324,15 @@ mod tests {
         let expr = ClassExpr::base("n").state(Value::Int(0), sum);
         let mut p = InterpretedProcess::compile(&expr);
         let q = InterpretedProcess::compile(&expr);
-        assert_eq!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+        assert_eq!(
+            crate::process::fingerprint(&p),
+            crate::process::fingerprint(&q)
+        );
         p.step_values(l(0), &Msg::new("n", Value::Int(1)));
-        assert_ne!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+        assert_ne!(
+            crate::process::fingerprint(&p),
+            crate::process::fingerprint(&q)
+        );
     }
 
     #[test]

@@ -28,7 +28,11 @@ pub fn denote(expr: &ClassExpr, eo: &EventOrder<Msg>, e: EventId) -> Vec<Value> 
             }
         }
         ClassExpr::Constant(v) => vec![v.clone()],
-        ClassExpr::State { init, update, input } => {
+        ClassExpr::State {
+            init,
+            update,
+            input,
+        } => {
             if denote(input, eo, e).is_empty() {
                 return Vec::new();
             }
@@ -104,7 +108,13 @@ fn cross(lists: &[Vec<Value>], prefix: &mut Vec<Value>, emit: &mut impl FnMut(&[
 pub fn trace_at(slf: Loc, msgs: &[Msg]) -> EventOrder<Msg> {
     let mut eo = EventOrder::new();
     for (i, m) in msgs.iter().enumerate() {
-        eo.record(slf, shadowdb_loe::VTime::from_micros(i as u64 + 1), m.clone(), None, None);
+        eo.record(
+            slf,
+            shadowdb_loe::VTime::from_micros(i as u64 + 1),
+            m.clone(),
+            None,
+            None,
+        );
     }
     eo
 }

@@ -1,0 +1,126 @@
+//! A fast, deterministic, non-cryptographic hasher (FxHash-style).
+//!
+//! `std`'s default hasher is SipHash-1-3 with per-process random keys:
+//! resistant to hash flooding, but slow for the tiny keys this workspace
+//! hashes constantly (header symbols, interner strings, model-checker state
+//! digests), and randomized across runs, which makes state-space statistics
+//! and fingerprint-based debugging non-reproducible. This hasher trades the
+//! flooding resistance — all inputs here are program-internal, not
+//! attacker-controlled — for speed and run-to-run stability: it folds each
+//! 8-byte chunk into the state with one multiply and one rotate.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiply-rotate word hasher.
+#[derive(Clone, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    /// A fresh hasher (state zero; deterministic across runs).
+    pub fn new() -> FxHasher {
+        FxHasher { state: 0 }
+    }
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(chunk);
+            self.fold(u64::from_le_bytes(raw));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut raw = [0u8; 8];
+            raw[..rest.len()].copy_from_slice(rest);
+            // Length-tag the tail so "ab" and "ab\0" differ.
+            raw[7] = rest.len() as u8;
+            self.fold(u64::from_le_bytes(raw));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.fold(v as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-keyed maps.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Hashes one `Hash` value to a `u64` with [`FxHasher`].
+pub fn fxhash<T: std::hash::Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_across_instances() {
+        assert_eq!(fxhash("cs/decide"), fxhash("cs/decide"));
+        assert_eq!(fxhash(&(1u64, 2i32)), fxhash(&(1u64, 2i32)));
+    }
+
+    #[test]
+    fn distinguishes_close_inputs() {
+        assert_ne!(fxhash("a"), fxhash("b"));
+        assert_ne!(fxhash("ab"), fxhash("ab\0"));
+        assert_ne!(fxhash(&1u64), fxhash(&2u64));
+        assert_ne!(fxhash(&[1u8, 2, 3][..]), fxhash(&[1u8, 2, 3, 0][..]));
+    }
+
+    #[test]
+    fn usable_as_map_hasher() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        assert_eq!(m.get("y"), Some(&2));
+    }
+
+    #[test]
+    fn spread_over_small_ints_is_reasonable() {
+        use std::collections::HashSet;
+        let hashes: HashSet<u64> = (0u64..1024).map(|i| fxhash(&i)).collect();
+        assert_eq!(hashes.len(), 1024);
+    }
+}

@@ -42,13 +42,17 @@ pub mod clk;
 pub mod codec;
 pub mod compile;
 pub mod denote;
+pub mod fxhash;
 pub mod optimize;
 pub mod patterns;
 pub mod process;
+pub mod symbol;
 pub mod value;
 
 pub use ast::{ClassExpr, HandlerFn, Spec, UpdateFn};
 pub use compile::InterpretedProcess;
+pub use fxhash::{fxhash, FxBuildHasher, FxHashMap, FxHasher};
 pub use optimize::FusedProcess;
 pub use process::{fingerprint, Ctx, FnProcess, Halt, Process};
+pub use symbol::Symbol;
 pub use value::{as_send_value, send_value, Header, Msg, SendInstr, Value};

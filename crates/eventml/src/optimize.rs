@@ -1,4 +1,5 @@
-//! The program optimizer: fusion and common-subexpression elimination.
+//! The program optimizer: fusion, common-subexpression elimination, and
+//! header-indexed dispatch.
 //!
 //! The paper's optimizer "merges nested recursive functions into one and
 //! also applies common subexpression elimination", producing code that is
@@ -6,12 +7,31 @@
 //! hand, and Nuprl proves the optimized program *bisimilar* to the original
 //! (Fig. 7).
 //!
-//! [`optimize`] performs the same transformation: the combinator tree is
-//! flattened into a topologically ordered op list evaluated by a single
-//! non-recursive loop (fusion), and structurally identical subtrees are
-//! assigned a single op whose outputs — and, crucially, whose *state* — are
-//! shared (CSE). The bisimulation proof becomes the executable check in
-//! [`crate::bisim`], run for every shipped specification.
+//! [`optimize`] performs the same transformation and then goes further on
+//! the per-message hot path:
+//!
+//! * **Fusion** — the combinator tree is flattened into a topologically
+//!   ordered op list evaluated by a single non-recursive loop.
+//! * **CSE** — structurally identical subtrees are assigned a single op
+//!   whose outputs — and, crucially, whose *state* — are shared.
+//! * **Dead-op elimination** — ops unreachable from `main` after CSE are
+//!   dropped and the op list compacted.
+//! * **Header-indexed dispatch** — for every header symbol appearing in a
+//!   base class, the (topologically ordered) slice of ops that can fire on
+//!   it is precomputed; a step walks only that slice. Ops downstream of
+//!   constant classes can fire on *any* header and form the default slice
+//!   used for unknown headers.
+//! * **Allocation-free stepping** — per-op output buffers are owned by the
+//!   process and reused across steps; values are pushed in place instead of
+//!   building fresh `Vec`s.
+//!
+//! Dispatch is sound because skipping an op is observably identical to
+//! running it whenever it would produce nothing: all per-step buffers start
+//! empty, a skipped op's buffer stays empty, and every op (`State`'s update,
+//! `Once`'s flag, `Compose`'s handler) only acts when its inputs are
+//! non-empty. The bisimulation proof becomes the executable check in
+//! [`crate::bisim`], run for every shipped specification across all three
+//! program forms (interpreted, fused-linear, dispatch-fused).
 
 use crate::ast::{ClassExpr, HandlerFn, Spec, UpdateFn};
 use crate::process::{Ctx, HasherAdapter, Process};
@@ -28,10 +48,54 @@ type OpId = usize;
 enum Op {
     Base(Header),
     Constant(Value),
-    State { input: OpId, slot: usize, update: UpdateFn },
-    Compose { handler: HandlerFn, args: Vec<OpId> },
+    State {
+        input: OpId,
+        slot: usize,
+        update: UpdateFn,
+    },
+    Compose {
+        handler: HandlerFn,
+        args: Vec<OpId>,
+    },
     Parallel(Vec<OpId>),
-    Once { inner: OpId, flag: usize },
+    Once {
+        inner: OpId,
+        flag: usize,
+    },
+}
+
+impl Op {
+    fn inputs(&self) -> &[OpId] {
+        match self {
+            Op::Base(_) | Op::Constant(_) => &[],
+            Op::State { input, .. } => std::slice::from_ref(input),
+            Op::Compose { args, .. } => args,
+            Op::Parallel(args) => args,
+            Op::Once { inner, .. } => std::slice::from_ref(inner),
+        }
+    }
+}
+
+/// Which headers can make an op produce output (the dispatch analysis
+/// domain).
+#[derive(Clone, Debug)]
+enum HeaderSet {
+    /// Fires on every message (downstream of a constant class).
+    All,
+    /// Fires only on these header symbols.
+    Finite(Vec<u32>),
+}
+
+/// Precomputed per-header active-op slices.
+#[derive(Debug, Default)]
+struct Dispatch {
+    /// Symbol index → ops (ascending = topological order) that can fire.
+    /// Dense: symbols are small global integers, so a direct-indexed table
+    /// beats hashing on the per-message path. `None` marks symbols the
+    /// program has no finite entry for (they fall through to `default`).
+    by_symbol: Vec<Option<Vec<OpId>>>,
+    /// Ops that fire on headers outside `by_symbol` (the `All` ops).
+    default: Vec<OpId>,
 }
 
 /// The immutable part of a fused program, shared by all its process
@@ -42,6 +106,18 @@ struct Program {
     main: OpId,
     init_slots: Vec<Value>,
     n_flags: usize,
+    dispatch: Dispatch,
+    /// All op ids in order, for the dispatch-disabled (linear) form.
+    all_ops: Vec<OpId>,
+}
+
+impl Program {
+    fn active_ops(&self, msg: &Msg) -> &[OpId] {
+        match self.dispatch.by_symbol.get(msg.header.symbol().index()) {
+            Some(Some(ops)) => ops,
+            _ => &self.dispatch.default,
+        }
+    }
 }
 
 struct Builder {
@@ -58,21 +134,30 @@ impl Builder {
             return id; // common subexpression: share op, outputs, and state
         }
         let op = match expr {
-            ClassExpr::Base(h) => Op::Base(h.clone()),
+            ClassExpr::Base(h) => Op::Base(*h),
             ClassExpr::Constant(v) => Op::Constant(v.clone()),
-            ClassExpr::State { init, update, input } => {
+            ClassExpr::State {
+                init,
+                update,
+                input,
+            } => {
                 let input = self.lower(input);
                 let slot = self.init_slots.len();
                 self.init_slots.push(init.clone());
-                Op::State { input, slot, update: update.clone() }
+                Op::State {
+                    input,
+                    slot,
+                    update: update.clone(),
+                }
             }
             ClassExpr::Compose { handler, args } => {
                 let args = args.iter().map(|a| self.lower(a)).collect();
-                Op::Compose { handler: handler.clone(), args }
+                Op::Compose {
+                    handler: handler.clone(),
+                    args,
+                }
             }
-            ClassExpr::Parallel(args) => {
-                Op::Parallel(args.iter().map(|a| self.lower(a)).collect())
-            }
+            ClassExpr::Parallel(args) => Op::Parallel(args.iter().map(|a| self.lower(a)).collect()),
             ClassExpr::Once(inner) => {
                 let inner = self.lower(inner);
                 let flag = self.n_flags;
@@ -87,11 +172,173 @@ impl Builder {
     }
 }
 
+/// Drops ops unreachable from `main` and compacts ids (order-preserving, so
+/// topological order survives). Returns the remapped op list, the new
+/// `main`, and the slot/flag remappings applied to `init_slots`/`n_flags`.
+fn eliminate_dead_ops(
+    ops: Vec<Op>,
+    main: OpId,
+    init_slots: Vec<Value>,
+) -> (Vec<Op>, OpId, Vec<Value>, usize) {
+    let mut live = vec![false; ops.len()];
+    let mut stack = vec![main];
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id], true) {
+            continue;
+        }
+        stack.extend_from_slice(ops[id].inputs());
+    }
+    if live.iter().all(|&l| l) {
+        let n_flags = ops
+            .iter()
+            .filter(|op| matches!(op, Op::Once { .. }))
+            .count();
+        return (ops, main, init_slots, n_flags);
+    }
+    let mut op_map = vec![usize::MAX; ops.len()];
+    let mut slot_map: HashMap<usize, usize> = HashMap::new();
+    let mut kept: Vec<Op> = Vec::new();
+    let mut slots: Vec<Value> = Vec::new();
+    let mut n_flags = 0;
+    for (id, op) in ops.into_iter().enumerate() {
+        if !live[id] {
+            continue;
+        }
+        op_map[id] = kept.len();
+        let remapped = match op {
+            Op::Base(h) => Op::Base(h),
+            Op::Constant(v) => Op::Constant(v),
+            Op::State {
+                input,
+                slot,
+                update,
+            } => {
+                let new_slot = *slot_map.entry(slot).or_insert_with(|| {
+                    slots.push(init_slots[slot].clone());
+                    slots.len() - 1
+                });
+                Op::State {
+                    input: op_map[input],
+                    slot: new_slot,
+                    update,
+                }
+            }
+            Op::Compose { handler, args } => Op::Compose {
+                handler,
+                args: args.into_iter().map(|a| op_map[a]).collect(),
+            },
+            Op::Parallel(args) => Op::Parallel(args.into_iter().map(|a| op_map[a]).collect()),
+            Op::Once { inner, flag: _ } => {
+                let flag = n_flags;
+                n_flags += 1;
+                Op::Once {
+                    inner: op_map[inner],
+                    flag,
+                }
+            }
+        };
+        kept.push(remapped);
+    }
+    let main = op_map[main];
+    (kept, main, slots, n_flags)
+}
+
+/// Computes, per op, the set of header symbols on which it can produce
+/// output, then inverts that into per-symbol active-op lists.
+fn build_dispatch(ops: &[Op]) -> Dispatch {
+    let mut sets: Vec<HeaderSet> = Vec::with_capacity(ops.len());
+    for op in ops {
+        let set = match op {
+            Op::Base(h) => HeaderSet::Finite(vec![h.symbol().index() as u32]),
+            Op::Constant(_) => HeaderSet::All,
+            Op::State { input, .. } => sets[*input].clone(),
+            Op::Once { inner, .. } => sets[*inner].clone(),
+            Op::Compose { args, .. } => {
+                // Fires only when every argument fires: intersection.
+                let mut acc: Option<HeaderSet> = None;
+                for a in args {
+                    acc = Some(match (acc, &sets[*a]) {
+                        (None, s) => s.clone(),
+                        (Some(HeaderSet::All), s) => s.clone(),
+                        (Some(s @ HeaderSet::Finite(_)), HeaderSet::All) => s,
+                        (Some(HeaderSet::Finite(xs)), HeaderSet::Finite(ys)) => HeaderSet::Finite(
+                            xs.iter().filter(|x| ys.contains(x)).copied().collect(),
+                        ),
+                    });
+                }
+                acc.unwrap_or(HeaderSet::Finite(Vec::new()))
+            }
+            Op::Parallel(args) => {
+                // Fires when any argument fires: union.
+                let mut acc = HeaderSet::Finite(Vec::new());
+                for a in args {
+                    acc = match (acc, &sets[*a]) {
+                        (_, HeaderSet::All) | (HeaderSet::All, _) => HeaderSet::All,
+                        (HeaderSet::Finite(mut xs), HeaderSet::Finite(ys)) => {
+                            for y in ys {
+                                if !xs.contains(y) {
+                                    xs.push(*y);
+                                }
+                            }
+                            HeaderSet::Finite(xs)
+                        }
+                    };
+                }
+                acc
+            }
+        };
+        sets.push(set);
+    }
+
+    let mut dispatch = Dispatch::default();
+    // Known symbols: everything mentioned by some finite set.
+    let mut symbols: Vec<u32> = Vec::new();
+    for set in &sets {
+        if let HeaderSet::Finite(xs) = set {
+            for &x in xs {
+                if !symbols.contains(&x) {
+                    symbols.push(x);
+                }
+            }
+        }
+    }
+    let table_len = symbols.iter().map(|&s| s as usize + 1).max().unwrap_or(0);
+    dispatch.by_symbol = vec![None; table_len];
+    for &s in &symbols {
+        dispatch.by_symbol[s as usize] = Some(Vec::new());
+    }
+    for (id, set) in sets.iter().enumerate() {
+        match set {
+            HeaderSet::All => {
+                dispatch.default.push(id);
+                for &s in &symbols {
+                    dispatch.by_symbol[s as usize]
+                        .as_mut()
+                        .expect("pre-seeded")
+                        .push(id);
+                }
+            }
+            HeaderSet::Finite(xs) => {
+                for &x in xs {
+                    dispatch.by_symbol[x as usize]
+                        .as_mut()
+                        .expect("pre-seeded")
+                        .push(id);
+                }
+            }
+        }
+    }
+    // Per-symbol lists were filled in ascending op order by construction
+    // (one pass over ops), so they are already topologically sorted.
+    dispatch
+}
+
 /// A fused, deduplicated process: the output of the optimizer.
 ///
 /// Bisimilar to the [`InterpretedProcess`](crate::InterpretedProcess)
 /// compiled from the same expression (checked by [`crate::bisim`]), but
-/// evaluated by one flat pass with shared subresults.
+/// evaluated by one flat pass over the ops reachable from the incoming
+/// header, with shared subresults and no per-step allocation.
 pub struct FusedProcess {
     program: Arc<Program>,
     slots: Vec<Value>,
@@ -99,6 +346,11 @@ pub struct FusedProcess {
     /// Reused per-step output buffers, one per op (fusion's second win:
     /// no per-step allocation of the combinator plumbing).
     scratch: Vec<Vec<Value>>,
+    /// Reused cross-product prefix buffer for `Compose` ops.
+    cross_buf: Vec<Value>,
+    /// When false, ignore the dispatch table and walk every op (the
+    /// "fused-linear" form used by bisimulation checks and ablations).
+    use_dispatch: bool,
 }
 
 impl Clone for FusedProcess {
@@ -107,9 +359,17 @@ impl Clone for FusedProcess {
             program: self.program.clone(),
             slots: self.slots.clone(),
             flags: self.flags.clone(),
-            scratch: vec![Vec::new(); self.program.ops.len()],
+            scratch: fresh_scratch(self.program.ops.len()),
+            cross_buf: Vec::with_capacity(4),
+            use_dispatch: self.use_dispatch,
         }
     }
+}
+
+/// Pre-sized per-op output buffers: paying the small allocations at build
+/// time keeps even a process's first step allocation-free.
+fn fresh_scratch(n: usize) -> Vec<Vec<Value>> {
+    (0..n).map(|_| Vec::with_capacity(4)).collect()
 }
 
 impl std::fmt::Debug for FusedProcess {
@@ -118,6 +378,7 @@ impl std::fmt::Debug for FusedProcess {
             .field("ops", &self.program.ops.len())
             .field("slots", &self.slots)
             .field("flags", &self.flags)
+            .field("use_dispatch", &self.use_dispatch)
             .finish()
     }
 }
@@ -131,11 +392,23 @@ pub fn optimize(expr: &ClassExpr) -> FusedProcess {
         memo: HashMap::new(),
     };
     let main = b.lower(expr);
-    let program = Program { ops: b.ops, main, init_slots: b.init_slots, n_flags: b.n_flags };
+    let (ops, main, init_slots, n_flags) = eliminate_dead_ops(b.ops, main, b.init_slots);
+    let dispatch = build_dispatch(&ops);
+    let all_ops = (0..ops.len()).collect();
+    let program = Program {
+        ops,
+        main,
+        init_slots,
+        n_flags,
+        dispatch,
+        all_ops,
+    };
     FusedProcess {
         slots: program.init_slots.clone(),
         flags: vec![false; program.n_flags],
-        scratch: vec![Vec::new(); program.ops.len()],
+        scratch: fresh_scratch(program.ops.len()),
+        cross_buf: Vec::with_capacity(4),
+        use_dispatch: true,
         program: Arc::new(program),
     }
 }
@@ -146,71 +419,102 @@ pub fn optimize_spec(spec: &Spec) -> FusedProcess {
 }
 
 impl FusedProcess {
+    /// Disables header-indexed dispatch: every step walks the whole op
+    /// list, as the fused evaluator did before dispatch tables. Used to
+    /// check all three program forms against each other.
+    pub fn linear(mut self) -> FusedProcess {
+        self.use_dispatch = false;
+        self
+    }
+
+    /// Whether header-indexed dispatch is enabled.
+    pub fn dispatches(&self) -> bool {
+        self.use_dispatch
+    }
+
+    /// Evaluates one message into the per-op scratch buffers; `main`'s
+    /// buffer holds the output bag afterwards.
+    fn run(&mut self, slf: Loc, msg: &Msg) {
+        // Destructure: `program` (shared, read-only) and the mutable
+        // per-process buffers are disjoint fields, so no Arc refcount
+        // traffic is needed on the per-message path.
+        let FusedProcess {
+            program,
+            slots,
+            flags,
+            scratch,
+            cross_buf,
+            use_dispatch,
+        } = self;
+        let ops = &program.ops;
+        let active: &[OpId] = if *use_dispatch {
+            program.active_ops(msg)
+        } else {
+            &program.all_ops
+        };
+        // Clearing every buffer (not just the active ones) is what makes
+        // skipping an op sound: a skipped op's output reads as empty.
+        // `clear` keeps capacity, so steady-state steps never allocate.
+        for o in scratch.iter_mut() {
+            o.clear();
+        }
+        // One pass in topological order; children precede parents by
+        // construction, so each op's inputs are ready when it runs. Op `i`
+        // only reads outputs of ops `< i`, which `split_at_mut` exposes
+        // alongside `i`'s own buffer.
+        for &i in active {
+            let (before, rest) = scratch.split_at_mut(i);
+            let out = &mut rest[0];
+            match &ops[i] {
+                Op::Base(h) => {
+                    if msg.header == *h {
+                        out.push(msg.body.clone());
+                    }
+                }
+                Op::Constant(v) => out.push(v.clone()),
+                Op::State {
+                    input,
+                    slot,
+                    update,
+                } => {
+                    let inputs = &before[*input];
+                    if !inputs.is_empty() {
+                        let st = &mut slots[*slot];
+                        for v in inputs {
+                            *st = update.apply(slf, v, st);
+                        }
+                        out.push(st.clone());
+                    }
+                }
+                Op::Compose { handler, args } => {
+                    if args.iter().all(|a| !before[*a].is_empty()) {
+                        cross_buf.clear();
+                        cross(before, args, cross_buf, &mut |combo| {
+                            out.extend(handler.apply(slf, combo));
+                        });
+                    }
+                }
+                Op::Parallel(args) => {
+                    for a in args {
+                        out.extend_from_slice(&before[*a]);
+                    }
+                }
+                Op::Once { inner, flag } => {
+                    if !flags[*flag] && !before[*inner].is_empty() {
+                        flags[*flag] = true;
+                        out.push(before[*inner][0].clone());
+                    }
+                }
+            }
+        }
+    }
+
     /// Evaluates one message and returns the entire output bag (the
     /// fused analogue of
     /// [`InterpretedProcess::step_values`](crate::InterpretedProcess::step_values)).
     pub fn step_values(&mut self, slf: Loc, msg: &Msg) -> Vec<Value> {
-        let program = self.program.clone();
-        let ops = &program.ops;
-        // One pass in topological order; children precede parents by
-        // construction, so each op's inputs are ready when it runs. The
-        // scratch buffers keep their capacity across steps.
-        let mut outs = std::mem::take(&mut self.scratch);
-        for o in &mut outs {
-            o.clear();
-        }
-        for (i, op) in ops.iter().enumerate() {
-            let produced: Vec<Value> = match op {
-                Op::Base(h) => {
-                    if msg.header == *h {
-                        vec![msg.body.clone()]
-                    } else {
-                        Vec::new()
-                    }
-                }
-                Op::Constant(v) => vec![v.clone()],
-                Op::State { input, slot, update } => {
-                    let inputs = &outs[*input];
-                    if inputs.is_empty() {
-                        Vec::new()
-                    } else {
-                        let st = &mut self.slots[*slot];
-                        for v in inputs {
-                            *st = update.apply(slf, v, st);
-                        }
-                        vec![st.clone()]
-                    }
-                }
-                Op::Compose { handler, args } => {
-                    if args.iter().any(|a| outs[*a].is_empty()) {
-                        Vec::new()
-                    } else {
-                        let mut produced = Vec::new();
-                        let arg_outs: Vec<&[Value]> =
-                            args.iter().map(|a| outs[*a].as_slice()).collect();
-                        cross(&arg_outs, &mut Vec::new(), &mut |combo| {
-                            produced.extend(handler.apply(slf, combo));
-                        });
-                        produced
-                    }
-                }
-                Op::Parallel(args) => {
-                    args.iter().flat_map(|a| outs[*a].iter().cloned()).collect()
-                }
-                Op::Once { inner, flag } => {
-                    if self.flags[*flag] || outs[*inner].is_empty() {
-                        Vec::new()
-                    } else {
-                        self.flags[*flag] = true;
-                        vec![outs[*inner][0].clone()]
-                    }
-                }
-            };
-            outs[i] = produced;
-        }
-        let result = std::mem::take(&mut outs[program.main]);
-        self.scratch = outs;
-        result
+        self.run(slf, msg);
+        std::mem::take(&mut self.scratch[self.program.main])
     }
 
     /// Program size of the fused program (Table I, "opt. GPM prog."
@@ -240,21 +544,34 @@ impl FusedProcess {
     }
 }
 
-fn cross(lists: &[&[Value]], prefix: &mut Vec<Value>, emit: &mut impl FnMut(&[Value])) {
-    if prefix.len() == lists.len() {
+/// Enumerates the cross product of the argument buffers in lexicographic
+/// order, reusing `prefix` as the combination being built.
+fn cross(
+    outs: &[Vec<Value>],
+    args: &[OpId],
+    prefix: &mut Vec<Value>,
+    emit: &mut impl FnMut(&[Value]),
+) {
+    if prefix.len() == args.len() {
         emit(prefix);
         return;
     }
-    for v in lists[prefix.len()] {
-        prefix.push(v.clone());
-        cross(lists, prefix, emit);
+    let arg = args[prefix.len()];
+    for idx in 0..outs[arg].len() {
+        prefix.push(outs[arg][idx].clone());
+        cross(outs, args, prefix, emit);
         prefix.pop();
     }
 }
 
 impl Process for FusedProcess {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        self.step_values(ctx.slf, msg).iter().filter_map(as_send_value).collect()
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        self.run(ctx.slf, msg);
+        for v in &self.scratch[self.program.main] {
+            if let Some(instr) = as_send_value(v) {
+                out.push(instr);
+            }
+        }
     }
     fn clone_box(&self) -> Box<dyn Process> {
         Box::new(self.clone())
@@ -288,6 +605,19 @@ mod tests {
         let mut b = optimize(&expr);
         for i in 0..5 {
             let m = Msg::new(if i % 2 == 0 { "m" } else { "x" }, Value::Int(i));
+            assert_eq!(a.step_values(l(0), &m), b.step_values(l(0), &m));
+        }
+    }
+
+    #[test]
+    fn linear_form_matches_dispatch_form() {
+        let expr = counter_expr();
+        let mut a = optimize(&expr);
+        let mut b = optimize(&expr).linear();
+        assert!(a.dispatches());
+        assert!(!b.dispatches());
+        for i in 0..6 {
+            let m = Msg::new(if i % 2 == 0 { "m" } else { "unknown" }, Value::Int(i));
             assert_eq!(a.step_values(l(0), &m), b.step_values(l(0), &m));
         }
     }
@@ -329,8 +659,134 @@ mod tests {
         let expr = counter_expr();
         let mut p = optimize(&expr);
         let q = optimize(&expr);
-        assert_eq!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+        assert_eq!(
+            crate::process::fingerprint(&p),
+            crate::process::fingerprint(&q)
+        );
         p.step_values(l(0), &Msg::new("m", Value::Unit));
-        assert_ne!(crate::process::fingerprint(&p), crate::process::fingerprint(&q));
+        assert_ne!(
+            crate::process::fingerprint(&p),
+            crate::process::fingerprint(&q)
+        );
+    }
+
+    #[test]
+    fn dispatch_skips_unrelated_ops_but_state_still_advances() {
+        // Two counters on different headers; a message for one must not
+        // disturb (or even run) the other.
+        let inc = UpdateFn::new("inc", 1, |_l, _v, s| Value::Int(s.int() + 1));
+        let expr = ClassExpr::parallel(vec![
+            ClassExpr::base("left").state(Value::Int(0), inc.clone()),
+            ClassExpr::base("right").state(Value::Int(100), inc),
+        ]);
+        let mut p = optimize(&expr);
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("left", Value::Unit)),
+            vec![Value::Int(1)]
+        );
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("right", Value::Unit)),
+            vec![Value::Int(101)]
+        );
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("left", Value::Unit)),
+            vec![Value::Int(2)]
+        );
+        assert!(p
+            .step_values(l(0), &Msg::new("neither", Value::Unit))
+            .is_empty());
+    }
+
+    #[test]
+    fn constants_fire_on_unknown_headers() {
+        // A constant composed with a counter: the constant leg is
+        // header-independent (`All`), the counter leg finite. The compose
+        // fires exactly on the counter's header.
+        let h = HandlerFn::new("pairup", 1, |_l, args| {
+            vec![Value::pair(args[0].clone(), args[1].clone())]
+        });
+        let expr = ClassExpr::compose(
+            h,
+            vec![ClassExpr::Constant(Value::Int(7)), ClassExpr::base("m")],
+        );
+        let mut p = optimize(&expr);
+        let mut q = InterpretedProcess::compile(&expr);
+        for hname in ["m", "other", "m", "stranger"] {
+            let m = Msg::new(hname, Value::Int(1));
+            assert_eq!(p.step_values(l(0), &m), q.step_values(l(0), &m));
+        }
+        // A bare constant produces on every header, known or not.
+        let mut c = optimize(&ClassExpr::Constant(Value::Int(9)));
+        assert_eq!(
+            c.step_values(l(0), &Msg::new("anything", Value::Unit)),
+            vec![Value::Int(9)]
+        );
+    }
+
+    #[test]
+    fn dead_op_elimination_keeps_live_programs_intact() {
+        // Lowering never produces unreachable ops today, so the pass must
+        // be the identity on every real program.
+        let h = HandlerFn::new("both", 1, |_l, args| {
+            vec![Value::pair(args[0].clone(), args[1].clone())]
+        });
+        let expr = ClassExpr::compose(h, vec![counter_expr(), counter_expr().once()]).once();
+        let p = optimize(&expr);
+        assert_eq!(p.program.all_ops.len(), p.program.ops.len());
+        assert_eq!(p.program.main, p.program.ops.len() - 1);
+    }
+
+    #[test]
+    fn dead_op_elimination_compacts_unreachable_ops() {
+        // Drive the pass directly with a hand-built op list whose op 0 is
+        // unreachable from main.
+        let inc = UpdateFn::new("inc", 1, |_l, _v, s| Value::Int(s.int() + 1));
+        let ops = vec![
+            Op::Base(Header::new("dead")),
+            Op::Base(Header::new("live")),
+            Op::State {
+                input: 1,
+                slot: 1,
+                update: inc,
+            },
+            Op::Once { inner: 2, flag: 3 },
+        ];
+        let slots = vec![Value::Int(-1), Value::Int(0)];
+        let (kept, main, slots, n_flags) = eliminate_dead_ops(ops, 3, slots);
+        assert_eq!(kept.len(), 3);
+        assert_eq!(main, 2);
+        assert_eq!(slots, vec![Value::Int(0)]);
+        assert_eq!(n_flags, 1);
+        match &kept[1] {
+            Op::State { input, slot, .. } => {
+                assert_eq!(*input, 0);
+                assert_eq!(*slot, 0);
+            }
+            other => panic!("expected remapped State, got {other:?}"),
+        }
+        match &kept[2] {
+            Op::Once { inner, flag } => {
+                assert_eq!(*inner, 1);
+                assert_eq!(*flag, 0);
+            }
+            other => panic!("expected remapped Once, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scratch_buffers_do_not_leak_between_steps() {
+        // A header the program knows, then one it does not, then the known
+        // one again: stale outputs must never resurface.
+        let expr = counter_expr();
+        let mut p = optimize(&expr);
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("m", Value::Unit)),
+            vec![Value::Int(1)]
+        );
+        assert!(p.step_values(l(0), &Msg::new("x", Value::Unit)).is_empty());
+        assert_eq!(
+            p.step_values(l(0), &Msg::new("m", Value::Unit)),
+            vec![Value::Int(2)]
+        );
     }
 }

@@ -21,8 +21,7 @@ use std::sync::Arc;
 
 /// A transition function for [`mealy`]: given `(slf, tagged-input, state)`,
 /// returns the new state and the messages to send.
-pub type Transition =
-    Arc<dyn Fn(Loc, &Value, &Value) -> (Value, Vec<SendInstr>) + Send + Sync>;
+pub type Transition = Arc<dyn Fn(Loc, &Value, &Value) -> (Value, Vec<SendInstr>) + Send + Sync>;
 
 /// Builds the parallel composition of base classes for `headers`, each
 /// output tagged `<header, body>` so one state machine can dispatch on kind.
@@ -31,8 +30,11 @@ pub fn tagged_union(headers: &[&'static str]) -> ClassExpr {
         .iter()
         .map(|h| {
             let name: &'static str = h;
+            // The tag string is built once and shared: per-message cost is
+            // a refcount bump, not an allocation.
+            let tag_value = Value::str(name);
             let tag = HandlerFn::new(name, 2, move |_slf, args| {
-                vec![Value::pair(Value::str(name), args[0].clone())]
+                vec![Value::pair(tag_value.clone(), args[0].clone())]
             });
             ClassExpr::compose(tag, vec![ClassExpr::base(*h)])
         })
@@ -74,6 +76,15 @@ pub fn tagged_union(headers: &[&'static str]) -> ClassExpr {
 /// let out = p.step(&Ctx::at(Loc::new(0)), &Msg::new("ping", Value::Unit));
 /// assert_eq!(out[0].msg.body, Value::Int(1));
 /// ```
+/// The cached empty output list (most transitions emit nothing; returning
+/// the shared empty list keeps those steps allocation-free).
+fn empty_outputs() -> Value {
+    static EMPTY: std::sync::OnceLock<Value> = std::sync::OnceLock::new();
+    EMPTY
+        .get_or_init(|| Value::list(std::iter::empty()))
+        .clone()
+}
+
 pub fn mealy(
     name: &'static str,
     trans_nodes: usize,
@@ -84,13 +95,19 @@ pub fn mealy(
     let update = UpdateFn::new(name, trans_nodes, move |slf, tagged, state| {
         let core = state.fst().expect("mealy state is <core, outputs>");
         let (new_core, sends) = transition(slf, tagged, core);
-        let outputs: Value = sends.iter().map(|s| send_value(s)).collect();
+        let outputs: Value = if sends.is_empty() {
+            empty_outputs()
+        } else {
+            sends.iter().map(send_value).collect()
+        };
         Value::pair(new_core, outputs)
     });
-    let state_class =
-        input.state(Value::pair(init, Value::list(std::iter::empty())), update);
+    let state_class = input.state(Value::pair(init, Value::list(std::iter::empty())), update);
     let emit = HandlerFn::new("emit_pending", 3, |_slf, args| {
-        args[0].snd().map(|outs| outs.elems().to_vec()).unwrap_or_default()
+        args[0]
+            .snd()
+            .map(|outs| outs.elems().to_vec())
+            .unwrap_or_default()
     });
     ClassExpr::compose(emit, vec![state_class])
 }
@@ -108,7 +125,9 @@ mod tests {
         let mut p = InterpretedProcess::compile(&expr);
         let out = p.step_values(Loc::new(0), &Msg::new("b", Value::Int(5)));
         assert_eq!(out, vec![Value::pair(Value::str("b"), Value::Int(5))]);
-        assert!(p.step_values(Loc::new(0), &Msg::new("c", Value::Unit)).is_empty());
+        assert!(p
+            .step_values(Loc::new(0), &Msg::new("c", Value::Unit))
+            .is_empty());
     }
 
     #[test]

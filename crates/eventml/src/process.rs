@@ -30,7 +30,10 @@ pub struct Ctx {
 impl Ctx {
     /// A context at time zero (sufficient for time-oblivious processes).
     pub fn at(slf: Loc) -> Ctx {
-        Ctx { slf, now: VTime::ZERO }
+        Ctx {
+            slf,
+            now: VTime::ZERO,
+        }
     }
 
     /// A context at a given time.
@@ -41,8 +44,20 @@ impl Ctx {
 
 /// An executable process in the General Process Model.
 pub trait Process: Send {
+    /// Handles one input message, appending the send instructions it emits
+    /// to `out`. This is the required method so runtimes can drain a
+    /// reusable buffer instead of allocating a `Vec` per step; `out` is not
+    /// cleared — the caller owns its lifecycle.
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>);
+
     /// Handles one input message, returning the send instructions it emits.
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr>;
+    /// Convenience wrapper over [`Process::step_into`]; allocates, so hot
+    /// loops should prefer `step_into`.
+    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
+        let mut out = Vec::new();
+        self.step_into(ctx, msg, &mut out);
+        out
+    }
 
     /// Whether this process has halted (a halted process ignores inputs).
     fn halted(&self) -> bool {
@@ -75,8 +90,12 @@ impl Clone for Box<dyn Process> {
 }
 
 /// Computes a 64-bit fingerprint of a process's state.
+///
+/// Uses [`crate::fxhash::FxHasher`]: fingerprints are stable across runs
+/// (reproducible model-checking statistics) and cheap — state spaces hash
+/// every explored node.
 pub fn fingerprint(p: &dyn Process) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = crate::fxhash::FxHasher::new();
     p.digest(&mut h);
     h.finish()
 }
@@ -86,9 +105,7 @@ pub fn fingerprint(p: &dyn Process) -> u64 {
 pub struct Halt;
 
 impl Process for Halt {
-    fn step(&mut self, _ctx: &Ctx, _msg: &Msg) -> Vec<SendInstr> {
-        Vec::new()
-    }
+    fn step_into(&mut self, _ctx: &Ctx, _msg: &Msg, _out: &mut Vec<SendInstr>) {}
     fn halted(&self) -> bool {
         true
     }
@@ -142,11 +159,14 @@ where
     S: Clone + Hash + Send + 'static,
     F: FnMut(&mut S, &Ctx, &Msg) -> Vec<SendInstr> + Clone + Send + 'static,
 {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        (self.f)(&mut self.state, ctx, msg)
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        out.extend((self.f)(&mut self.state, ctx, msg));
     }
     fn clone_box(&self) -> Box<dyn Process> {
-        Box::new(FnProcess { state: self.state.clone(), f: self.f.clone() })
+        Box::new(FnProcess {
+            state: self.state.clone(),
+            f: self.f.clone(),
+        })
     }
     fn digest(&self, hasher: &mut dyn Hasher) {
         self.state.hash(&mut HasherAdapter(hasher));
@@ -175,7 +195,9 @@ mod tests {
     fn halt_ignores_input() {
         let mut h = Halt;
         assert!(h.halted());
-        assert!(h.step(&Ctx::at(Loc::new(0)), &Msg::new("x", Value::Unit)).is_empty());
+        assert!(h
+            .step(&Ctx::at(Loc::new(0)), &Msg::new("x", Value::Unit))
+            .is_empty());
     }
 
     #[test]

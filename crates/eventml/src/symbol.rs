@@ -1,0 +1,112 @@
+//! Global string interning for message-header symbols.
+//!
+//! Every base-class recognizer match used to be an `Arc<str>` string
+//! comparison; with ~10 messages per consensus round and one recognizer per
+//! op, header comparison sits on the hottest path in the system. Interning
+//! maps each distinct header name to a dense [`Symbol`] (`u32`) exactly once,
+//! after which equality, hashing, and dispatch-table indexing are integer
+//! operations, and [`crate::Header`] is `Copy`.
+//!
+//! The table is global and append-only: names are leaked (each *distinct*
+//! name once — header vocabularies are small and static), so resolved
+//! `&'static str` names never require a lock. Interning an already-known
+//! name takes a read lock; protocols cache their `Header` constants anyway.
+
+use crate::fxhash::FxHashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// An interned header name: a dense index into the global symbol table.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Symbol(u32);
+
+struct SymbolTable {
+    by_name: FxHashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+    /// Shared string payloads for embedding names in `Value`s (the send
+    /// encoding) without allocating a fresh `Arc<str>` per message.
+    shared: Vec<Arc<str>>,
+}
+
+fn table() -> &'static RwLock<SymbolTable> {
+    static TABLE: OnceLock<RwLock<SymbolTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(SymbolTable {
+            by_name: FxHashMap::default(),
+            names: Vec::new(),
+            shared: Vec::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns `name`, returning its symbol and its canonical (leaked)
+    /// string. Idempotent: the same name always yields the same symbol.
+    pub fn intern(name: &str) -> (Symbol, &'static str) {
+        let t = table();
+        {
+            let r = t.read().expect("symbol table");
+            if let Some(&id) = r.by_name.get(name) {
+                return (Symbol(id), r.names[id as usize]);
+            }
+        }
+        let mut w = t.write().expect("symbol table");
+        // Re-check: another thread may have interned between the locks.
+        if let Some(&id) = w.by_name.get(name) {
+            return (Symbol(id), w.names[id as usize]);
+        }
+        let canonical: &'static str = Box::leak(name.to_string().into_boxed_str());
+        let id = u32::try_from(w.names.len()).expect("symbol table overflow");
+        w.names.push(canonical);
+        w.shared.push(Arc::from(canonical));
+        w.by_name.insert(canonical, id);
+        (Symbol(id), canonical)
+    }
+
+    /// The dense index, for direct-indexed dispatch tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The canonical name.
+    pub fn name(self) -> &'static str {
+        table().read().expect("symbol table").names[self.0 as usize]
+    }
+
+    /// The canonical name as a shared `Arc<str>`: cloning is a refcount
+    /// bump, so embedding a header name in a `Value` allocates nothing.
+    pub fn name_shared(self) -> Arc<str> {
+        table().read().expect("symbol table").shared[self.0 as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let (a, sa) = Symbol::intern("sym/test/alpha");
+        let (b, sb) = Symbol::intern("sym/test/alpha");
+        assert_eq!(a, b);
+        // Canonical strings are the same leaked allocation.
+        assert!(std::ptr::eq(sa, sb));
+        assert_eq!(a.name(), "sym/test/alpha");
+    }
+
+    #[test]
+    fn distinct_names_distinct_symbols() {
+        let (a, _) = Symbol::intern("sym/test/one");
+        let (b, _) = Symbol::intern("sym/test/two");
+        assert_ne!(a, b);
+        assert_ne!(a.index(), b.index());
+    }
+
+    #[test]
+    fn concurrent_interning_agrees() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Symbol::intern("sym/test/racy").0))
+            .collect();
+        let syms: Vec<Symbol> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(syms.windows(2).all(|w| w[0] == w[1]));
+    }
+}

@@ -29,9 +29,14 @@ use std::time::Duration;
 /// assert_eq!(v.fst().unwrap().as_int(), Some(3));
 /// assert_eq!(v.snd().unwrap().as_str(), Some("ts"));
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+// The manual `PartialEq` below only adds an `Arc::ptr_eq` short-circuit on
+// top of structural equality, so the derived `Hash` remains consistent:
+// pointer-equal values are structurally equal.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Default, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// The unit value.
+    #[default]
     Unit,
     /// A boolean.
     Bool(bool),
@@ -136,7 +141,8 @@ impl Value {
     ///
     /// Panics if the value is not an `Int`.
     pub fn int(&self) -> i64 {
-        self.as_int().unwrap_or_else(|| panic!("expected Int, got {self:?}"))
+        self.as_int()
+            .unwrap_or_else(|| panic!("expected Int, got {self:?}"))
     }
 
     /// Like [`Value::as_loc`] but panicking.
@@ -145,7 +151,8 @@ impl Value {
     ///
     /// Panics if the value is not a `Loc`.
     pub fn loc(&self) -> Loc {
-        self.as_loc().unwrap_or_else(|| panic!("expected Loc, got {self:?}"))
+        self.as_loc()
+            .unwrap_or_else(|| panic!("expected Loc, got {self:?}"))
     }
 
     /// Destructures a pair, panicking otherwise.
@@ -166,7 +173,27 @@ impl Value {
     ///
     /// Panics if the value is not a `List`.
     pub fn elems(&self) -> &[Value] {
-        self.as_list().unwrap_or_else(|| panic!("expected List, got {self:?}"))
+        self.as_list()
+            .unwrap_or_else(|| panic!("expected List, got {self:?}"))
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Loc(a), Value::Loc(b)) => a == b,
+            // Compound values are shared through Arcs and mostly compared
+            // against clones of themselves (bisimulation, dedup sets), so a
+            // pointer check short-circuits the content walk.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Bytes(a), Value::Bytes(b)) => a == b,
+            (Value::Pair(a), Value::Pair(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
     }
 }
 
@@ -197,12 +224,6 @@ impl fmt::Debug for Value {
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         fmt::Debug::fmt(self, f)
-    }
-}
-
-impl Default for Value {
-    fn default() -> Self {
-        Value::Unit
     }
 }
 
@@ -244,19 +265,65 @@ impl FromIterator<Value> for Value {
 
 /// A message header: the tag that base classes pattern-match on.
 ///
-/// Headers intern their name behind an `Arc`, so cloning is cheap.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct Header(Arc<str>);
+/// Headers are interned through the global [`Symbol`](crate::symbol::Symbol)
+/// table: equality, hashing, and dispatch are integer operations on the
+/// symbol, the type is `Copy`, and the canonical name rides along as a
+/// `&'static str` so display and the codec never touch the table's lock.
+/// Ordering remains lexicographic on the name (protocols pick canonical
+/// representatives by comparing values containing headers).
+#[derive(Clone, Copy)]
+pub struct Header {
+    sym: crate::symbol::Symbol,
+    name: &'static str,
+}
 
 impl Header {
-    /// Creates a header with the given name.
+    /// Creates a header with the given name, interning it on first use.
+    /// Protocol code on a hot path should cache the result rather than
+    /// re-interning per message.
     pub fn new(name: &str) -> Header {
-        Header(Arc::from(name))
+        let (sym, name) = crate::symbol::Symbol::intern(name);
+        Header { sym, name }
     }
 
     /// The header's name.
-    pub fn name(&self) -> &str {
-        &self.0
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The interned symbol (dense index for dispatch tables).
+    pub fn symbol(&self) -> crate::symbol::Symbol {
+        self.sym
+    }
+}
+
+impl PartialEq for Header {
+    fn eq(&self, other: &Header) -> bool {
+        self.sym == other.sym
+    }
+}
+
+impl Eq for Header {}
+
+impl std::hash::Hash for Header {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sym.hash(state);
+    }
+}
+
+impl PartialOrd for Header {
+    fn partial_cmp(&self, other: &Header) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Header {
+    fn cmp(&self, other: &Header) -> std::cmp::Ordering {
+        if self.sym == other.sym {
+            std::cmp::Ordering::Equal
+        } else {
+            self.name.cmp(other.name)
+        }
     }
 }
 
@@ -268,8 +335,20 @@ impl From<&str> for Header {
 
 impl fmt::Display for Header {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "``{}``", self.0)
+        write!(f, "``{}``", self.name)
     }
+}
+
+/// Interns a header name once per call site and yields the cached
+/// [`Header`]: the idiom for protocol dispatch, where comparing `msg.header`
+/// against `cached_header!(P1A_HEADER)` is a single integer comparison with
+/// no table lookup after the first hit.
+#[macro_export]
+macro_rules! cached_header {
+    ($name:expr) => {{
+        static __HEADER: ::std::sync::OnceLock<$crate::Header> = ::std::sync::OnceLock::new();
+        *__HEADER.get_or_init(|| $crate::Header::new($name))
+    }};
 }
 
 impl fmt::Debug for Header {
@@ -290,7 +369,10 @@ pub struct Msg {
 impl Msg {
     /// Creates a message (the `make-Msg` of the paper's ILF).
     pub fn new(header: impl Into<Header>, body: Value) -> Msg {
-        Msg { header: header.into(), body }
+        Msg {
+            header: header.into(),
+            body,
+        }
     }
 }
 
@@ -312,7 +394,11 @@ pub struct SendInstr {
 impl SendInstr {
     /// An immediate send.
     pub fn now(dest: Loc, msg: Msg) -> SendInstr {
-        SendInstr { dest, delay: Duration::ZERO, msg }
+        SendInstr {
+            dest,
+            delay: Duration::ZERO,
+            msg,
+        }
     }
 
     /// A delayed send (the basis of timers: a delayed send to oneself).
@@ -321,14 +407,31 @@ impl SendInstr {
     }
 }
 
+/// The cached `"#send"` tag: cloning it is a refcount bump, and decoding
+/// recognizes it by pointer before falling back to a content compare.
+fn send_tag() -> &'static Value {
+    static TAG: std::sync::OnceLock<Value> = std::sync::OnceLock::new();
+    TAG.get_or_init(|| Value::str("#send"))
+}
+
 /// Encodes a send instruction as a [`Value`] so combinator programs can emit
 /// it: `<"#send", <<dest, delay_us>, <header, body>>>`.
+///
+/// Allocation-light: the tag and the header-name string are shared (the
+/// name through the symbol table), so encoding a send costs only the pair
+/// spine.
 pub fn send_value(instr: &SendInstr) -> Value {
     Value::pair(
-        Value::str("#send"),
+        send_tag().clone(),
         Value::pair(
-            Value::pair(Value::Loc(instr.dest), Value::Int(instr.delay.as_micros() as i64)),
-            Value::pair(Value::str(instr.msg.header.name()), instr.msg.body.clone()),
+            Value::pair(
+                Value::Loc(instr.dest),
+                Value::Int(instr.delay.as_micros() as i64),
+            ),
+            Value::pair(
+                Value::Str(instr.msg.header.symbol().name_shared()),
+                instr.msg.body.clone(),
+            ),
         ),
     )
 }
@@ -336,7 +439,8 @@ pub fn send_value(instr: &SendInstr) -> Value {
 /// Decodes a send instruction from a [`Value`], if it is one.
 pub fn as_send_value(v: &Value) -> Option<SendInstr> {
     let (tag, rest) = v.fst().zip(v.snd())?;
-    if tag.as_str()? != "#send" {
+    // `Value` equality pointer-shortcuts strings cloned from `send_tag`.
+    if tag != send_tag() {
         return None;
     }
     let (addr, msg) = rest.fst().zip(rest.snd())?;
@@ -344,7 +448,11 @@ pub fn as_send_value(v: &Value) -> Option<SendInstr> {
     let delay = Duration::from_micros(addr.snd()?.as_int()?.max(0) as u64);
     let header = Header::new(msg.fst()?.as_str()?);
     let body = msg.snd()?.clone();
-    Some(SendInstr { dest, delay, msg: Msg { header, body } })
+    Some(SendInstr {
+        dest,
+        delay,
+        msg: Msg { header, body },
+    })
 }
 
 #[cfg(test)]
@@ -353,7 +461,10 @@ mod tests {
 
     #[test]
     fn accessors_roundtrip() {
-        let v = Value::pair(Value::from(1), Value::list([Value::from(true), Value::Unit]));
+        let v = Value::pair(
+            Value::from(1),
+            Value::list([Value::from(true), Value::Unit]),
+        );
         assert_eq!(v.fst().unwrap().int(), 1);
         assert_eq!(v.snd().unwrap().elems().len(), 2);
         assert_eq!(v.snd().unwrap().elems()[0].as_bool(), Some(true));
@@ -389,13 +500,34 @@ mod tests {
     #[test]
     fn non_send_values_rejected() {
         assert_eq!(as_send_value(&Value::from(3)), None);
-        assert_eq!(as_send_value(&Value::pair(Value::str("other"), Value::Unit)), None);
+        assert_eq!(
+            as_send_value(&Value::pair(Value::str("other"), Value::Unit)),
+            None
+        );
     }
 
     #[test]
     fn header_equality_by_name() {
         assert_eq!(Header::new("msg"), Header::from("msg"));
         assert_ne!(Header::new("msg"), Header::new("msG"));
+    }
+
+    #[test]
+    fn header_order_is_lexicographic() {
+        let mut hs = [Header::new("zz"), Header::new("aa"), Header::new("mm")];
+        hs.sort();
+        let names: Vec<&str> = hs.iter().map(Header::name).collect();
+        assert_eq!(names, ["aa", "mm", "zz"]);
+        assert_eq!(
+            Header::new("aa").cmp(&Header::new("aa")),
+            std::cmp::Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn header_symbol_stable() {
+        assert_eq!(Header::new("hsym").symbol(), Header::new("hsym").symbol());
+        assert_ne!(Header::new("hsym").symbol(), Header::new("hsym2").symbol());
     }
 
     #[test]

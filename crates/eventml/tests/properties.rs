@@ -16,7 +16,9 @@ use shadowdb_loe::Loc;
 /// Names identify behaviour, as the optimizer requires.
 fn update_fn(idx: usize) -> UpdateFn {
     match idx % 4 {
-        0 => UpdateFn::new("u_count", 1, |_l, _v, s| Value::Int(s.as_int().unwrap_or(0) + 1)),
+        0 => UpdateFn::new("u_count", 1, |_l, _v, s| {
+            Value::Int(s.as_int().unwrap_or(0) + 1)
+        }),
         1 => UpdateFn::new("u_last", 1, |_l, v, _s| v.clone()),
         2 => UpdateFn::new("u_pair", 1, |_l, v, s| Value::pair(s.clone(), v.clone())),
         _ => UpdateFn::new("u_max", 1, |_l, v, s| {
@@ -29,7 +31,9 @@ fn handler_fn(idx: usize) -> HandlerFn {
     match idx % 4 {
         0 => HandlerFn::new("h_first", 1, |_l, args| vec![args[0].clone()]),
         1 => HandlerFn::new("h_tuple", 1, |_l, args| vec![Value::list(args.to_vec())]),
-        2 => HandlerFn::new("h_dup", 1, |_l, args| vec![args[0].clone(), args[0].clone()]),
+        2 => HandlerFn::new("h_dup", 1, |_l, args| {
+            vec![args[0].clone(), args[0].clone()]
+        }),
         _ => HandlerFn::new("h_posint", 1, |_l, args| {
             // A filtering handler: only passes positive integers through.
             args.first()
@@ -52,8 +56,8 @@ fn arb_expr(depth: u32) -> BoxedStrategy<ClassExpr> {
     ];
     leaf.prop_recursive(depth, 24, 3, |inner| {
         prop_oneof![
-            (inner.clone(), 0..4usize, -2i64..3).prop_map(|(e, u, init)| e
-                .state(Value::Int(init), update_fn(u))),
+            (inner.clone(), 0..4usize, -2i64..3)
+                .prop_map(|(e, u, init)| e.state(Value::Int(init), update_fn(u))),
             (proptest::collection::vec(inner.clone(), 1..3), 0..4usize)
                 .prop_map(|(args, h)| ClassExpr::compose(handler_fn(h), args)),
             proptest::collection::vec(inner.clone(), 1..3).prop_map(ClassExpr::parallel),
@@ -65,8 +69,7 @@ fn arb_expr(depth: u32) -> BoxedStrategy<ClassExpr> {
 
 fn arb_msgs() -> impl Strategy<Value = Vec<Msg>> {
     proptest::collection::vec(
-        ((0..HEADERS.len()), -5i64..6)
-            .prop_map(|(h, v)| Msg::new(HEADERS[h], Value::Int(v))),
+        ((0..HEADERS.len()), -5i64..6).prop_map(|(h, v)| Msg::new(HEADERS[h], Value::Int(v))),
         1..25,
     )
 }
@@ -147,8 +150,9 @@ fn clk_satisfies_clock_condition_on_random_runs() {
     let n = 4u32;
     let spec = clk::clk_spec(clk::ring_handle(n));
     // One process per location; drive a ring exchange plus random injections.
-    let mut procs: Vec<InterpretedProcess> =
-        (0..n).map(|_| InterpretedProcess::compile_spec(&spec)).collect();
+    let mut procs: Vec<InterpretedProcess> = (0..n)
+        .map(|_| InterpretedProcess::compile_spec(&spec))
+        .collect();
     let mut eo: EventOrder<Msg> = EventOrder::new();
     let mut now = 0u64;
     // queue of (dest, msg, cause)
@@ -165,7 +169,8 @@ fn clk_satisfies_clock_condition_on_random_runs() {
         now += 1;
         let sender = cause.map(|c: shadowdb_loe::EventId| eo.event(c).loc());
         let e = eo.record(dest, VTime::from_micros(now), msg.clone(), cause, sender);
-        let outs = procs[dest.index() as usize].step(&Ctx::new(dest, VTime::from_micros(now)), &msg);
+        let outs =
+            procs[dest.index() as usize].step(&Ctx::new(dest, VTime::from_micros(now)), &msg);
         for o in outs {
             queue.push((o.dest, o.msg, Some(e)));
         }
@@ -176,7 +181,10 @@ fn clk_satisfies_clock_condition_on_random_runs() {
     let _ = &mut checker;
     // Clock value at each event, via the denotational reading.
     let violation = check_clock_condition(&eo, |eo, e| {
-        shadowdb_eventml::denote::denote(&clock, eo, e).into_iter().next().map(|v| v.int())
+        shadowdb_eventml::denote::denote(&clock, eo, e)
+            .into_iter()
+            .next()
+            .map(|v| v.int())
     });
     assert_eq!(violation, None);
 }

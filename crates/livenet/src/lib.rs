@@ -108,13 +108,14 @@ impl LiveNetBuilder {
             let stop = stop.clone();
             let latency = self.latency;
             handles.push(std::thread::spawn(move || {
+                let mut outs = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
                     match rx.recv_timeout(Duration::from_millis(50)) {
                         Ok(msg) => {
-                            let now =
-                                VTime::from_micros(start.elapsed().as_micros() as u64);
-                            let outs = process.step(&Ctx::new(slf, now), &msg);
-                            for SendInstr { dest, delay, msg } in outs {
+                            let now = VTime::from_micros(start.elapsed().as_micros() as u64);
+                            outs.clear();
+                            process.step_into(&Ctx::new(slf, now), &msg, &mut outs);
+                            for SendInstr { dest, delay, msg } in outs.drain(..) {
                                 let wire = if dest == slf { Duration::ZERO } else { latency };
                                 let _ = router.send(Routed::Deliver {
                                     at: Instant::now() + delay + wire,
@@ -173,7 +174,13 @@ impl LiveNetBuilder {
         });
         handles.push(router_handle);
 
-        LiveNet { n_nodes: n, router: router_tx, ports, stop, handles }
+        LiveNet {
+            n_nodes: n,
+            router: router_tx,
+            ports,
+            stop,
+            handles,
+        }
     }
 }
 
@@ -189,7 +196,10 @@ pub struct LiveNet {
 impl LiveNet {
     /// Starts building a network.
     pub fn builder() -> LiveNetBuilder {
-        LiveNetBuilder { processes: Vec::new(), latency: Duration::from_micros(100) }
+        LiveNetBuilder {
+            processes: Vec::new(),
+            latency: Duration::from_micros(100),
+        }
     }
 
     /// Number of process nodes.
@@ -199,7 +209,11 @@ impl LiveNet {
 
     /// Injects a message from outside the system.
     pub fn send(&self, dest: Loc, msg: Msg) {
-        let _ = self.router.send(Routed::Deliver { at: Instant::now(), dest, msg });
+        let _ = self.router.send(Routed::Deliver {
+            at: Instant::now(),
+            dest,
+            msg,
+        });
     }
 
     /// Creates an external mailbox: a fresh location whose messages are
@@ -235,8 +249,8 @@ impl Drop for LiveNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
     use shadowdb_consensus::parse_decide;
+    use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
     use shadowdb_eventml::{FnProcess, InterpretedProcess, Value};
 
     #[test]
@@ -246,7 +260,10 @@ mod tests {
                 *n += 1;
                 match m.body.as_loc() {
                     Some(from) => {
-                        vec![SendInstr::now(from, Msg::new("pong", Value::Int(*n as i64)))]
+                        vec![SendInstr::now(
+                            from,
+                            Msg::new("pong", Value::Int(*n as i64)),
+                        )]
                     }
                     None => vec![],
                 }
@@ -265,28 +282,28 @@ mod tests {
     #[test]
     fn delayed_self_send_fires_later() {
         let net = LiveNet::builder()
-            .node(Box::new(FnProcess::new((), |_s, ctx: &Ctx, m: &Msg| {
-                match m.header.name() {
-                    "start" => vec![
-                        SendInstr::after(
-                            Duration::from_millis(80),
-                            ctx.slf,
-                            Msg::new("timer", m.body.clone()),
-                        ),
-                    ],
-                    "timer" => vec![SendInstr::now(
-                        m.body.loc(),
-                        Msg::new("fired", Value::Unit),
+            .node(Box::new(FnProcess::new(
+                (),
+                |_s, ctx: &Ctx, m: &Msg| match m.header.name() {
+                    "start" => vec![SendInstr::after(
+                        Duration::from_millis(80),
+                        ctx.slf,
+                        Msg::new("timer", m.body.clone()),
                     )],
+                    "timer" => vec![SendInstr::now(m.body.loc(), Msg::new("fired", Value::Unit))],
                     _ => vec![],
-                }
-            })))
+                },
+            )))
             .spawn();
         let (port, rx) = net.port();
         let t0 = Instant::now();
         net.send(Loc::new(0), Msg::new("start", Value::Loc(port)));
         rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert!(t0.elapsed() >= Duration::from_millis(75), "{:?}", t0.elapsed());
+        assert!(
+            t0.elapsed() >= Duration::from_millis(75),
+            "{:?}",
+            t0.elapsed()
+        );
         net.shutdown();
     }
 
@@ -310,7 +327,9 @@ mod tests {
         net.send(Loc::new(2), propose_msg(0, Value::Int(41)));
         let mut decisions = Vec::new();
         while decisions.len() < 3 {
-            let m = rx.recv_timeout(Duration::from_secs(10)).expect("a decision");
+            let m = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("a decision");
             if let Some(d) = parse_decide(&m) {
                 decisions.push(d);
             }

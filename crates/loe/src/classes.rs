@@ -65,7 +65,11 @@ impl<C, S, U> StateClass<C, S, U> {
     /// Creates a state class with initial state `init` over inputs from
     /// `inner`, applying `update(loc, input, state) -> state`.
     pub fn new(init: S, update: U, inner: C) -> Self {
-        StateClass { inner, init, update }
+        StateClass {
+            inner,
+            init,
+            update,
+        }
     }
 
     /// The single-valued function of this class (the `ClockVal` analogue):
@@ -259,12 +263,17 @@ mod tests {
 
     /// The Clock class of the paper: `State(0, upd_clock, msg'base)` where
     /// `upd_clock` takes `imax(timestamp, clock) + 1`.
-    fn clock() -> StateClass<
-        Base<impl Fn(&ClkMsg) -> Option<ClkMsg>>,
-        i64,
-        impl Fn(Loc, &ClkMsg, &i64) -> i64,
-    > {
-        StateClass::new(0i64, |_l, (_v, ts): &ClkMsg, clk: &i64| (*ts).max(*clk) + 1, msg_base())
+    // The nested generics cannot be aliased: `impl Trait` is not allowed in
+    // type aliases on stable.
+    #[allow(clippy::type_complexity)]
+    fn clock(
+    ) -> StateClass<Base<impl Fn(&ClkMsg) -> Option<ClkMsg>>, i64, impl Fn(Loc, &ClkMsg, &i64) -> i64>
+    {
+        StateClass::new(
+            0i64,
+            |_l, (_v, ts): &ClkMsg, clk: &i64| (*ts).max(*clk) + 1,
+            msg_base(),
+        )
     }
 
     #[test]

@@ -133,7 +133,10 @@ impl VTime {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "time must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "time must be finite and non-negative"
+        );
         VTime((s * 1e6).round() as u64)
     }
 
@@ -174,7 +177,11 @@ impl AddAssign<Duration> for VTime {
 impl Sub<VTime> for VTime {
     type Output = Duration;
     fn sub(self, rhs: VTime) -> Duration {
-        Duration::from_micros(self.0.checked_sub(rhs.0).expect("VTime subtraction underflow"))
+        Duration::from_micros(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("VTime subtraction underflow"),
+        )
     }
 }
 

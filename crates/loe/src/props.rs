@@ -20,7 +20,11 @@ pub struct Violation {
 
 impl std::fmt::Display for Violation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "property violated by events {} and {}", self.first, self.second)
+        write!(
+            f,
+            "property violated by events {} and {}",
+            self.first, self.second
+        )
     }
 }
 
@@ -40,7 +44,10 @@ where
             for v in class.observe(eo, ev.id()) {
                 if let Some((pid, pv)) = &last {
                     if *pv >= v {
-                        return Some(Violation { first: *pid, second: ev.id() });
+                        return Some(Violation {
+                            first: *pid,
+                            second: ev.id(),
+                        });
                     }
                 }
                 last = Some((ev.id(), v));
@@ -67,10 +74,16 @@ where
     for (i, (e1, c1)) in clocked.iter().enumerate() {
         for (e2, c2) in &clocked[i + 1..] {
             if eo.happens_before(*e1, *e2) && c1 >= c2 {
-                return Some(Violation { first: *e1, second: *e2 });
+                return Some(Violation {
+                    first: *e1,
+                    second: *e2,
+                });
             }
             if eo.happens_before(*e2, *e1) && c2 >= c1 {
-                return Some(Violation { first: *e2, second: *e1 });
+                return Some(Violation {
+                    first: *e2,
+                    second: *e1,
+                });
             }
         }
     }
@@ -92,11 +105,11 @@ mod tests {
         VTime::from_micros(us)
     }
 
-    fn clock() -> StateClass<
-        Base<impl Fn(&ClkMsg) -> Option<ClkMsg>>,
-        i64,
-        impl Fn(Loc, &ClkMsg, &i64) -> i64,
-    > {
+    // `impl Trait` is not allowed in type aliases on stable, so no alias.
+    #[allow(clippy::type_complexity)]
+    fn clock(
+    ) -> StateClass<Base<impl Fn(&ClkMsg) -> Option<ClkMsg>>, i64, impl Fn(Loc, &ClkMsg, &i64) -> i64>
+    {
         StateClass::new(
             0i64,
             |_l, (_v, ts): &ClkMsg, clk: &i64| (*ts).max(*clk) + 1,
@@ -138,7 +151,13 @@ mod tests {
         // already has clock 1; the checker reports the first such pair.
         let violation =
             check_clock_condition(&eo, |eo, e| broken.observe(eo, e).into_iter().next());
-        assert_eq!(violation, Some(Violation { first: e0, second: e2 }));
+        assert_eq!(
+            violation,
+            Some(Violation {
+                first: e0,
+                second: e2
+            })
+        );
         let _ = e1;
     }
 
@@ -155,7 +174,10 @@ mod tests {
         );
         assert_eq!(
             check_strictly_increasing(&eo, &echo),
-            Some(Violation { first: e0, second: e1 })
+            Some(Violation {
+                first: e0,
+                second: e1
+            })
         );
     }
 }

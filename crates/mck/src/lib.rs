@@ -39,9 +39,8 @@
 //! assert!(outcome.violation.is_none());
 //! ```
 
-use shadowdb_eventml::{Ctx, Msg, Process};
+use shadowdb_eventml::{Ctx, FxHasher, Msg, Process};
 use shadowdb_loe::{Loc, VTime};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
@@ -72,7 +71,12 @@ pub struct Options {
 
 impl Default for Options {
     fn default() -> Self {
-        Options { max_depth: 24, max_states: 200_000, crash_budget: 0, loss_budget: 0 }
+        Options {
+            max_depth: 24,
+            max_states: 200_000,
+            crash_budget: 0,
+            loss_budget: 0,
+        }
     }
 }
 
@@ -142,7 +146,10 @@ struct Node {
 
 impl Node {
     fn fingerprint(&self) -> u64 {
-        let mut h = DefaultHasher::new();
+        // FxHasher: stable across runs and processes (DefaultHasher's
+        // SipHash keys are randomized per process), and much cheaper —
+        // every explored state is hashed.
+        let mut h = FxHasher::new();
         for p in &self.procs {
             p.digest(&mut h);
         }
@@ -152,7 +159,7 @@ impl Node {
             .inflight
             .iter()
             .map(|(d, s, m)| {
-                let mut mh = DefaultHasher::new();
+                let mut mh = FxHasher::new();
                 (d, s, m).hash(&mut mh);
                 mh.finish()
             })
@@ -199,7 +206,15 @@ pub fn explore(
     let mut outcome = Outcome::default();
     let mut visited: HashSet<u64> = HashSet::new();
     let mut schedule: Vec<Choice> = Vec::new();
-    dfs(&root, &env, &options, &invariant, &mut visited, &mut schedule, &mut outcome);
+    dfs(
+        &root,
+        &env,
+        &options,
+        &invariant,
+        &mut visited,
+        &mut schedule,
+        &mut outcome,
+    );
     outcome
 }
 
@@ -232,7 +247,10 @@ fn dfs(
         depth: schedule.len(),
     };
     if let Err(message) = invariant(&world) {
-        outcome.violation = Some(Violation { message, schedule: schedule.clone() });
+        outcome.violation = Some(Violation {
+            message,
+            schedule: schedule.clone(),
+        });
         return;
     }
     if schedule.len() >= options.max_depth {
@@ -243,15 +261,18 @@ fn dfs(
     }
 
     // Choice 1: deliver any in-flight message.
+    let mut outputs = Vec::new();
     for i in 0..node.inflight.len() {
-        let (dest, src, msg) = node.inflight[i].clone();
         let mut next = node.clone_node();
-        next.inflight.remove(i);
+        // Take the message out of the fork's own queue: no extra clone of
+        // the (potentially large) payload per branch.
+        let (dest, _src, msg) = next.inflight.remove(i);
         let idx = dest.index() as usize;
         if idx < next.procs.len() && next.alive[idx] {
             let ctx = Ctx::new(dest, VTime::from_micros(schedule.len() as u64));
-            let outputs = next.procs[idx].step(&ctx, &msg);
-            for instr in outputs {
+            outputs.clear();
+            next.procs[idx].step_into(&ctx, &msg, &mut outputs);
+            for instr in outputs.drain(..) {
                 if env.contains(&instr.dest) {
                     next.observations.push((instr.dest, dest, instr.msg));
                 } else {
@@ -260,8 +281,10 @@ fn dfs(
             }
         }
         // Delivery to a crashed or unknown node silently consumes the message.
-        let _ = src;
-        schedule.push(Choice::Deliver { dest, header: msg.header.name().to_owned() });
+        schedule.push(Choice::Deliver {
+            dest,
+            header: msg.header.name().to_owned(),
+        });
         dfs(&next, env, options, invariant, visited, schedule, outcome);
         schedule.pop();
         if outcome.violation.is_some() {
@@ -290,11 +313,13 @@ fn dfs(
     // Choice 3: drop any in-flight message (within budget).
     if node.loss_budget > 0 {
         for i in 0..node.inflight.len() {
-            let (dest, _src, msg) = node.inflight[i].clone();
             let mut next = node.clone_node();
-            next.inflight.remove(i);
+            let (dest, _src, msg) = next.inflight.remove(i);
             next.loss_budget -= 1;
-            schedule.push(Choice::Drop { dest, header: msg.header.name().to_owned() });
+            schedule.push(Choice::Drop {
+                dest,
+                header: msg.header.name().to_owned(),
+            });
             dfs(&next, env, options, invariant, visited, schedule, outcome);
             schedule.pop();
             if outcome.violation.is_some() {
@@ -332,8 +357,11 @@ mod tests {
             ],
         };
         let outcome = explore(spec, Options::default(), |w| {
-            let ids: HashSet<i64> =
-                w.observations.iter().filter_map(|(_, _, m)| m.body.as_int()).collect();
+            let ids: HashSet<i64> = w
+                .observations
+                .iter()
+                .filter_map(|(_, _, m)| m.body.as_int())
+                .collect();
             if ids.len() <= 1 {
                 Ok(())
             } else {
@@ -351,7 +379,10 @@ mod tests {
         let ponger = Box::new(FnProcess::new(0u32, move |n, _c: &Ctx, m: &Msg| {
             if m.header.name() == "ping" {
                 *n += 1;
-                vec![SendInstr::now(Loc::new(1), Msg::new("pong", Value::Int(*n as i64)))]
+                vec![SendInstr::now(
+                    Loc::new(1),
+                    Msg::new("pong", Value::Int(*n as i64)),
+                )]
             } else {
                 vec![]
             }
@@ -366,7 +397,10 @@ mod tests {
         };
         let outcome = explore(
             spec,
-            Options { crash_budget: 1, ..Options::default() },
+            Options {
+                crash_budget: 1,
+                ..Options::default()
+            },
             |w| {
                 if w.observations.len() <= 2 {
                     Ok(())
@@ -379,7 +413,11 @@ mod tests {
         assert!(!outcome.truncated);
         // Crash placements multiply the state space: > the 4 states of the
         // crash-free run.
-        assert!(outcome.states_visited > 4, "visited {}", outcome.states_visited);
+        assert!(
+            outcome.states_visited > 4,
+            "visited {}",
+            outcome.states_visited
+        );
     }
 
     /// Loss budget lets the adversary eat messages; an invariant demanding a
@@ -390,7 +428,10 @@ mod tests {
     fn loss_budget_preserves_safety_invariants() {
         let echo = Box::new(FnProcess::new((), move |_s, _c: &Ctx, m: &Msg| {
             if m.header.name() == "req" {
-                vec![SendInstr::now(Loc::new(1), Msg::new("resp", m.body.clone()))]
+                vec![SendInstr::now(
+                    Loc::new(1),
+                    Msg::new("resp", m.body.clone()),
+                )]
             } else {
                 vec![]
             }
@@ -405,7 +446,10 @@ mod tests {
         };
         let outcome = explore(
             spec,
-            Options { loss_budget: 2, ..Options::default() },
+            Options {
+                loss_budget: 2,
+                ..Options::default()
+            },
             |w| {
                 // Safety: responses only ever carry values that were requested.
                 for (_, _, m) in &w.observations {
@@ -459,8 +503,14 @@ mod tests {
             env: vec![],
             init_msgs: vec![(Loc::new(0), Msg::new("ball", Value::Unit))],
         };
-        let outcome =
-            explore(spec, Options { max_depth: 6, ..Options::default() }, |_| Ok(()));
+        let outcome = explore(
+            spec,
+            Options {
+                max_depth: 6,
+                ..Options::default()
+            },
+            |_| Ok(()),
+        );
         assert!(outcome.violation.is_none());
         assert!(outcome.truncated);
         assert_eq!(outcome.max_depth_reached, 6);
@@ -480,8 +530,14 @@ mod tests {
             env: vec![],
             init_msgs: vec![(Loc::new(0), Msg::new("ball", Value::Unit))],
         };
-        let outcome =
-            explore(spec, Options { max_depth: 50, ..Options::default() }, |_| Ok(()));
+        let outcome = explore(
+            spec,
+            Options {
+                max_depth: 50,
+                ..Options::default()
+            },
+            |_| Ok(()),
+        );
         assert!(outcome.violation.is_none());
         assert!(!outcome.truncated);
         // init (external ball), ball at node1, ball back at node0; the third

@@ -100,8 +100,18 @@ impl NetworkConfig {
 
     /// Adds a bidirectional partition between two nodes during a window.
     pub fn partition_pair(mut self, a: Loc, b: Loc, start: VTime, end: VTime) -> NetworkConfig {
-        self.partitions.push(Partition { from: a, to: b, start, end });
-        self.partitions.push(Partition { from: b, to: a, start, end });
+        self.partitions.push(Partition {
+            from: a,
+            to: b,
+            start,
+            end,
+        });
+        self.partitions.push(Partition {
+            from: b,
+            to: a,
+            start,
+            end,
+        });
         self
     }
 
@@ -133,7 +143,10 @@ mod tests {
     #[test]
     fn fixed_latency_is_fixed() {
         let l = Latency::Fixed(Duration::from_micros(50));
-        assert_eq!(l.sample(Loc::new(0), Loc::new(1), &mut rng()), Duration::from_micros(50));
+        assert_eq!(
+            l.sample(Loc::new(0), Loc::new(1), &mut rng()),
+            Duration::from_micros(50)
+        );
     }
 
     #[test]

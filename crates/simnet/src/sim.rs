@@ -10,7 +10,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 enum Action {
-    Deliver { dest: Loc, msg: Msg, cause: Option<EventId>, sender: Option<Loc> },
+    Deliver {
+        dest: Loc,
+        msg: Msg,
+        cause: Option<EventId>,
+        sender: Option<Loc>,
+    },
     Crash(Loc),
     Restart(Loc, Box<dyn Process>),
 }
@@ -110,8 +115,13 @@ impl SimBuilder {
             rng: SmallRng::seed_from_u64(self.seed),
             seq: 0,
             link_last_arrival: HashMap::new(),
-            trace: if self.capture_trace { Some(EventOrder::new()) } else { None },
+            trace: if self.capture_trace {
+                Some(EventOrder::new())
+            } else {
+                None
+            },
             stats: SimStats::default(),
+            outbuf: Vec::new(),
         }
     }
 }
@@ -131,6 +141,10 @@ pub struct Simulation {
     link_last_arrival: HashMap<(Loc, Loc), VTime>,
     trace: Option<EventOrder<Msg>>,
     stats: SimStats,
+    /// Reusable buffer the stepped process writes its sends into; drained
+    /// by [`Simulation::execute`], so the delivery hot path allocates
+    /// nothing once the buffer has grown to the working-set size.
+    outbuf: Vec<shadowdb_eventml::SendInstr>,
 }
 
 impl Simulation {
@@ -140,7 +154,12 @@ impl Simulation {
         let loc = Loc::new(self.nodes.len() as u32);
         let machine = self.machines.len();
         self.machines.push(VTime::ZERO);
-        self.nodes.push(NodeSlot { process, up: true, machine, handled: 0 });
+        self.nodes.push(NodeSlot {
+            process,
+            up: true,
+            machine,
+            handled: 0,
+        });
         loc
     }
 
@@ -155,7 +174,12 @@ impl Simulation {
     pub fn add_node_colocated(&mut self, process: Box<dyn Process>, peer: Loc) -> Loc {
         let machine = self.nodes[peer.index() as usize].machine;
         let loc = Loc::new(self.nodes.len() as u32);
-        self.nodes.push(NodeSlot { process, up: true, machine, handled: 0 });
+        self.nodes.push(NodeSlot {
+            process,
+            up: true,
+            machine,
+            handled: 0,
+        });
         loc
     }
 
@@ -204,7 +228,15 @@ impl Simulation {
     /// network model).
     pub fn send_at(&mut self, time: VTime, dest: Loc, msg: Msg) {
         let time = time.max(self.now);
-        self.push(time, Action::Deliver { dest, msg, cause: None, sender: None });
+        self.push(
+            time,
+            Action::Deliver {
+                dest,
+                msg,
+                cause: None,
+                sender: None,
+            },
+        );
     }
 
     /// Schedules a crash of `loc` at `time`.
@@ -274,7 +306,12 @@ impl Simulation {
                 slot.process = process;
                 slot.up = true;
             }
-            Action::Deliver { dest, msg, cause, sender } => {
+            Action::Deliver {
+                dest,
+                msg,
+                cause,
+                sender,
+            } => {
                 let idx = dest.index() as usize;
                 assert!(idx < self.nodes.len(), "message to unknown node {dest}");
                 if !self.nodes[idx].up {
@@ -286,7 +323,15 @@ impl Simulation {
                 let machine = self.nodes[idx].machine;
                 if self.machines[machine] > item.time {
                     let at = self.machines[machine];
-                    self.push(at, Action::Deliver { dest, msg, cause, sender });
+                    self.push(
+                        at,
+                        Action::Deliver {
+                            dest,
+                            msg,
+                            cause,
+                            sender,
+                        },
+                    );
                     return;
                 }
                 let start = self.now;
@@ -298,15 +343,18 @@ impl Simulation {
                     .as_mut()
                     .map(|eo| eo.record(dest, start, msg.clone(), cause, sender));
                 let ctx = Ctx::new(dest, start);
-                let outputs = self.nodes[idx].process.step(&ctx, &msg);
+                let mut outbuf = std::mem::take(&mut self.outbuf);
+                outbuf.clear();
+                self.nodes[idx].process.step_into(&ctx, &msg, &mut outbuf);
                 // Charge both the model cost and whatever the process
                 // itself consumed (e.g. transaction execution).
                 let step_cost = self.nodes[idx].process.take_step_cost();
                 let leave = start + cost + step_cost;
                 self.machines[machine] = leave;
-                for instr in outputs {
+                for instr in outbuf.drain(..) {
                     self.route(dest, leave, instr, event);
                 }
+                self.outbuf = outbuf;
             }
         }
     }
@@ -322,12 +370,15 @@ impl Simulation {
         let depart = leave + instr.delay;
         if instr.dest == from {
             // Local (timer) delivery: no network.
-            self.push(depart, Action::Deliver {
-                dest: instr.dest,
-                msg: instr.msg,
-                cause,
-                sender: Some(from),
-            });
+            self.push(
+                depart,
+                Action::Deliver {
+                    dest: instr.dest,
+                    msg: instr.msg,
+                    cause,
+                    sender: Some(from),
+                },
+            );
             return;
         }
         if self.network.drops(from, instr.dest, depart, &mut self.rng) {
@@ -337,15 +388,21 @@ impl Simulation {
         let latency = self.network.latency.sample(from, instr.dest, &mut self.rng);
         let mut arrival = depart + latency;
         // FIFO per link, as over a TCP connection.
-        let last = self.link_last_arrival.entry((from, instr.dest)).or_insert(VTime::ZERO);
+        let last = self
+            .link_last_arrival
+            .entry((from, instr.dest))
+            .or_insert(VTime::ZERO);
         arrival = arrival.max(*last);
         *last = arrival;
-        self.push(arrival, Action::Deliver {
-            dest: instr.dest,
-            msg: instr.msg,
-            cause,
-            sender: Some(from),
-        });
+        self.push(
+            arrival,
+            Action::Deliver {
+                dest: instr.dest,
+                msg: instr.msg,
+                cause,
+                sender: Some(from),
+            },
+        );
     }
 }
 
@@ -441,7 +498,9 @@ mod tests {
             vec![]
         });
         let mut sim = SimBuilder::new(1)
-            .cost_model(crate::cost::FnCost(|_l: Loc, _m: &Msg| Duration::from_millis(10)))
+            .cost_model(crate::cost::FnCost(|_l: Loc, _m: &Msg| {
+                Duration::from_millis(10)
+            }))
             .build();
         let a = sim.add_node(Box::new(p));
         sim.send_at(VTime::from_micros(0), a, Msg::new("x", Value::Unit));

@@ -50,7 +50,9 @@ pub struct Driver {
 
 impl std::fmt::Debug for Driver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Driver").field("databases", &self.registry.lock().len()).finish()
+        f.debug_struct("Driver")
+            .field("databases", &self.registry.lock().len())
+            .finish()
     }
 }
 
@@ -104,7 +106,10 @@ mod tests {
     fn url_parsing() {
         assert_eq!(
             ConnUrl::parse("shadowdb:h2:mem:bank").unwrap(),
-            ConnUrl { engine: "h2".into(), name: "bank".into() }
+            ConnUrl {
+                engine: "h2".into(),
+                name: "bank".into()
+            }
         );
         assert!(ConnUrl::parse("jdbc:h2:mem:bank").is_err());
         assert!(ConnUrl::parse("shadowdb:h2:file:bank").is_err());
@@ -129,7 +134,10 @@ mod tests {
         let b = driver.connect("shadowdb:derby:mem:two").unwrap();
         a.execute("CREATE TABLE t (id INT PRIMARY KEY)").unwrap();
         assert!(b.execute("SELECT id FROM t").is_err());
-        assert_eq!(driver.open_databases(), vec!["one".to_owned(), "two".to_owned()]);
+        assert_eq!(
+            driver.open_databases(),
+            vec!["one".to_owned(), "two".to_owned()]
+        );
     }
 
     #[test]
@@ -156,7 +164,9 @@ mod tests {
         // The deployment idiom: one URL per replica, three engines.
         let driver = Driver::new();
         for (i, engine) in ["h2", "hsqldb", "derby"].iter().enumerate() {
-            let db = driver.connect(&format!("shadowdb:{engine}:mem:replica{i}")).unwrap();
+            let db = driver
+                .connect(&format!("shadowdb:{engine}:mem:replica{i}"))
+                .unwrap();
             assert_eq!(&db.profile().name, engine);
         }
     }

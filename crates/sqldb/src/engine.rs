@@ -15,6 +15,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// A bound filter expression plus the `(rid, row)` pairs it matched.
+type FilterMatches = (Option<Expr>, Vec<(RowId, Row)>);
+
 /// The result of executing a statement.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ResultSet {
@@ -104,7 +107,12 @@ impl Database {
 
     /// Number of rows in `table` (0 if absent) — a cheap metadata read.
     pub fn table_len(&self, table: &str) -> usize {
-        self.inner.tables.read().get(&table.to_lowercase()).map(Table::len).unwrap_or(0)
+        self.inner
+            .tables
+            .read()
+            .get(&table.to_lowercase())
+            .map(Table::len)
+            .unwrap_or(0)
     }
 
     /// Names of all tables.
@@ -116,7 +124,12 @@ impl Database {
 
     /// Total data size in bytes across all tables.
     pub fn byte_size(&self) -> usize {
-        self.inner.tables.read().values().map(Table::byte_size).sum()
+        self.inner
+            .tables
+            .read()
+            .values()
+            .map(Table::byte_size)
+            .sum()
     }
 
     /// Bulk-inserts rows directly (loader fast path; bypasses SQL parsing
@@ -294,11 +307,17 @@ impl Transaction {
             LockGranularity::Table => Resource::Table(table.to_owned()),
             LockGranularity::Row => Resource::Row(table.to_owned(), key.to_vec()),
         };
-        if self.db.locks.acquire(self.id, res, LockMode::Exclusive, self.db.profile.lock_timeout)
-        {
+        if self.db.locks.acquire(
+            self.id,
+            res,
+            LockMode::Exclusive,
+            self.db.profile.lock_timeout,
+        ) {
             Ok(())
         } else {
-            Err(SqlError::LockTimeout { table: table.to_owned() })
+            Err(SqlError::LockTimeout {
+                table: table.to_owned(),
+            })
         }
     }
 
@@ -312,7 +331,9 @@ impl Transaction {
                 .locks
                 .acquire(self.id, res, LockMode::Shared, self.db.profile.lock_timeout)
             {
-                return Err(SqlError::LockTimeout { table: table.to_owned() });
+                return Err(SqlError::LockTimeout {
+                    table: table.to_owned(),
+                });
             }
         }
         Ok(())
@@ -321,12 +342,18 @@ impl Transaction {
     fn dispatch(&mut self, stmt: Statement) -> Result<ResultSet> {
         match stmt {
             Statement::CreateTable(schema) => self.create_table(schema),
-            Statement::CreateIndex { name, table, columns } => {
-                self.create_index(&name, &table, &columns)
-            }
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => self.create_index(&name, &table, &columns),
             Statement::Insert { table, rows } => self.insert(&table, rows),
             Statement::Select(sel) => self.select(sel),
-            Statement::Update { table, sets, filter } => self.update(&table, sets, filter),
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => self.update(&table, sets, filter),
             Statement::Delete { table, filter } => self.delete(&table, filter),
         }
     }
@@ -335,7 +362,10 @@ impl Transaction {
         self.charge(self.db.profile.costs.per_statement_us);
         let mut tables = self.db.tables.write();
         if tables.contains_key(&schema.name) {
-            return Err(SqlError::Constraint(format!("table {} already exists", schema.name)));
+            return Err(SqlError::Constraint(format!(
+                "table {} already exists",
+                schema.name
+            )));
         }
         let name = schema.name.clone();
         tables.insert(name.clone(), Table::new(schema));
@@ -382,11 +412,17 @@ impl Transaction {
                 let t = tables.get_mut(&table).expect("checked above");
                 t.insert(row)?
             };
-            self.undo.push(Undo::Insert { table: table.clone(), rid });
+            self.undo.push(Undo::Insert {
+                table: table.clone(),
+                rid,
+            });
             self.charge(costs.write_us);
             affected += 1;
         }
-        Ok(ResultSet { affected, ..ResultSet::default() })
+        Ok(ResultSet {
+            affected,
+            ..ResultSet::default()
+        })
     }
 
     /// Binds a filter and collects the matching `(rid, row)` pairs.
@@ -394,7 +430,7 @@ impl Transaction {
         &mut self,
         table: &str,
         filter: &Option<crate::sql::ExprAst>,
-    ) -> Result<(Option<Expr>, Vec<(RowId, Row)>)> {
+    ) -> Result<FilterMatches> {
         let costs = self.db.profile.costs;
         let tables = self.db.tables.read();
         let t = tables
@@ -422,7 +458,13 @@ impl Transaction {
         if indexed {
             self.charge(costs.point_read_us * out.len().max(1) as u64);
         } else {
-            let scanned = self.db.tables.read().get(table).map(Table::len).unwrap_or(0);
+            let scanned = self
+                .db
+                .tables
+                .read()
+                .get(table)
+                .map(Table::len)
+                .unwrap_or(0);
             self.charge(costs.scan_row_us * scanned as u64);
         }
         Ok((bound, out))
@@ -497,7 +539,11 @@ impl Transaction {
                     labels.push(label);
                     out.push(v);
                 }
-                Ok(ResultSet { columns: labels, rows: vec![out], affected: 0 })
+                Ok(ResultSet {
+                    columns: labels,
+                    rows: vec![out],
+                    affected: 0,
+                })
             }
         }
     }
@@ -549,19 +595,22 @@ impl Transaction {
                 let mut tables = self.db.tables.write();
                 let t = tables.get_mut(&table).expect("checked");
                 let old = t.update(rid, new_row)?;
-                self.undo.push(Undo::Update { table: table.clone(), rid, old });
+                self.undo.push(Undo::Update {
+                    table: table.clone(),
+                    rid,
+                    old,
+                });
             }
             affected += 1;
             self.charge(costs.write_us);
         }
-        Ok(ResultSet { affected, ..ResultSet::default() })
+        Ok(ResultSet {
+            affected,
+            ..ResultSet::default()
+        })
     }
 
-    fn delete(
-        &mut self,
-        table: &str,
-        filter: Option<crate::sql::ExprAst>,
-    ) -> Result<ResultSet> {
+    fn delete(&mut self, table: &str, filter: Option<crate::sql::ExprAst>) -> Result<ResultSet> {
         let table = table.to_lowercase();
         let costs = self.db.profile.costs;
         self.charge(costs.per_statement_us);
@@ -587,14 +636,21 @@ impl Transaction {
             };
             if still_matches {
                 if let Some(old) = t.delete(rid) {
-                    self.undo.push(Undo::Delete { table: table.clone(), rid, row: old });
+                    self.undo.push(Undo::Delete {
+                        table: table.clone(),
+                        rid,
+                        row: old,
+                    });
                     affected += 1;
                     drop(tables);
                     self.charge(costs.write_us);
                 }
             }
         }
-        Ok(ResultSet { affected, ..ResultSet::default() })
+        Ok(ResultSet {
+            affected,
+            ..ResultSet::default()
+        })
     }
 }
 
@@ -613,14 +669,24 @@ fn eval_aggregate(
 ) -> Result<(String, SqlValue)> {
     let col_vals = |name: &str| -> Result<Vec<SqlValue>> {
         let ci = schema.col(name)?;
-        Ok(rows.iter().map(|r| r[ci].clone()).filter(|v| !v.is_null()).collect())
+        Ok(rows
+            .iter()
+            .map(|r| r[ci].clone())
+            .filter(|v| !v.is_null())
+            .collect())
     };
     Ok(match agg {
         Aggregate::CountStar => ("count(*)".into(), SqlValue::Int(rows.len() as i64)),
-        Aggregate::Count(c) => (format!("count({c})"), SqlValue::Int(col_vals(c)?.len() as i64)),
+        Aggregate::Count(c) => (
+            format!("count({c})"),
+            SqlValue::Int(col_vals(c)?.len() as i64),
+        ),
         Aggregate::CountDistinct(c) => {
             let distinct: BTreeSet<SqlValue> = col_vals(c)?.into_iter().collect();
-            (format!("count(distinct {c})"), SqlValue::Int(distinct.len() as i64))
+            (
+                format!("count(distinct {c})"),
+                SqlValue::Int(distinct.len() as i64),
+            )
         }
         Aggregate::Sum(c) => {
             let vals = col_vals(c)?;
@@ -633,12 +699,14 @@ fn eval_aggregate(
             };
             (format!("sum({c})"), v)
         }
-        Aggregate::Min(c) => {
-            (format!("min({c})"), col_vals(c)?.into_iter().min().unwrap_or(SqlValue::Null))
-        }
-        Aggregate::Max(c) => {
-            (format!("max({c})"), col_vals(c)?.into_iter().max().unwrap_or(SqlValue::Null))
-        }
+        Aggregate::Min(c) => (
+            format!("min({c})"),
+            col_vals(c)?.into_iter().min().unwrap_or(SqlValue::Null),
+        ),
+        Aggregate::Max(c) => (
+            format!("max({c})"),
+            col_vals(c)?.into_iter().max().unwrap_or(SqlValue::Null),
+        ),
         Aggregate::Avg(c) => {
             let vals = col_vals(c)?;
             let v = if vals.is_empty() {
@@ -662,8 +730,11 @@ mod tests {
         db.execute("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance INT)")
             .unwrap();
         for i in 0..10 {
-            db.execute(&format!("INSERT INTO accounts VALUES ({i}, 'own{i}', {})", i * 100))
-                .unwrap();
+            db.execute(&format!(
+                "INSERT INTO accounts VALUES ({i}, 'own{i}', {})",
+                i * 100
+            ))
+            .unwrap();
         }
         db
     }
@@ -671,11 +742,17 @@ mod tests {
     #[test]
     fn crud_roundtrip() {
         let db = bank();
-        let r = db.execute("SELECT balance FROM accounts WHERE id = 3").unwrap();
+        let r = db
+            .execute("SELECT balance FROM accounts WHERE id = 3")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![SqlValue::Int(300)]]);
-        let r = db.execute("UPDATE accounts SET balance = balance + 50 WHERE id = 3").unwrap();
+        let r = db
+            .execute("UPDATE accounts SET balance = balance + 50 WHERE id = 3")
+            .unwrap();
         assert_eq!(r.affected, 1);
-        let r = db.execute("SELECT balance FROM accounts WHERE id = 3").unwrap();
+        let r = db
+            .execute("SELECT balance FROM accounts WHERE id = 3")
+            .unwrap();
         assert_eq!(r.rows, vec![vec![SqlValue::Int(350)]]);
         let r = db.execute("DELETE FROM accounts WHERE id >= 8").unwrap();
         assert_eq!(r.affected, 2);
@@ -707,8 +784,11 @@ mod tests {
                 SqlValue::Int(900)
             ]
         );
-        db.execute("UPDATE accounts SET owner = 'dup' WHERE id < 5").unwrap();
-        let r = db.execute("SELECT COUNT(DISTINCT owner) FROM accounts").unwrap();
+        db.execute("UPDATE accounts SET owner = 'dup' WHERE id < 5")
+            .unwrap();
+        let r = db
+            .execute("SELECT COUNT(DISTINCT owner) FROM accounts")
+            .unwrap();
         assert_eq!(r.rows[0][0], SqlValue::Int(6));
     }
 
@@ -716,14 +796,20 @@ mod tests {
     fn rollback_undoes_everything() {
         let db = bank();
         let mut txn = db.begin().unwrap();
-        txn.execute("INSERT INTO accounts VALUES (100, 'new', 1)").unwrap();
-        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 1").unwrap();
+        txn.execute("INSERT INTO accounts VALUES (100, 'new', 1)")
+            .unwrap();
+        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 1")
+            .unwrap();
         txn.execute("DELETE FROM accounts WHERE id = 2").unwrap();
         txn.rollback().unwrap();
         assert_eq!(db.table_len("accounts"), 10);
-        let r = db.execute("SELECT balance FROM accounts WHERE id = 1").unwrap();
+        let r = db
+            .execute("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap();
         assert_eq!(r.rows[0][0], SqlValue::Int(100));
-        let r = db.execute("SELECT COUNT(*) FROM accounts WHERE id = 2").unwrap();
+        let r = db
+            .execute("SELECT COUNT(*) FROM accounts WHERE id = 2")
+            .unwrap();
         assert_eq!(r.rows[0][0], SqlValue::Int(1));
     }
 
@@ -741,20 +827,25 @@ mod tests {
     fn table_lock_contention_times_out() {
         let db = bank();
         let mut t1 = db.begin().unwrap();
-        t1.execute("UPDATE accounts SET balance = 1 WHERE id = 1").unwrap();
+        t1.execute("UPDATE accounts SET balance = 1 WHERE id = 1")
+            .unwrap();
         // A second writer on a table-locking engine must time out.
         let mut t2 = db.begin().unwrap();
-        let err = t2.execute("UPDATE accounts SET balance = 2 WHERE id = 2").unwrap_err();
+        let err = t2
+            .execute("UPDATE accounts SET balance = 2 WHERE id = 2")
+            .unwrap_err();
         assert!(matches!(err, SqlError::LockTimeout { .. }));
         t1.commit().unwrap();
         // After commit, a fresh transaction succeeds.
-        db.execute("UPDATE accounts SET balance = 2 WHERE id = 2").unwrap();
+        db.execute("UPDATE accounts SET balance = 2 WHERE id = 2")
+            .unwrap();
     }
 
     #[test]
     fn row_locks_allow_disjoint_writers() {
         let db = Database::new(EngineProfile::innodb());
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+            .unwrap();
         db.execute("INSERT INTO t VALUES (1, 0), (2, 0)").unwrap();
         let mut t1 = db.begin().unwrap();
         t1.execute("UPDATE t SET v = 1 WHERE id = 1").unwrap();
@@ -770,9 +861,11 @@ mod tests {
     fn lock_timeout_aborts_transaction() {
         let db = bank();
         let mut t1 = db.begin().unwrap();
-        t1.execute("UPDATE accounts SET balance = 1 WHERE id = 1").unwrap();
+        t1.execute("UPDATE accounts SET balance = 1 WHERE id = 1")
+            .unwrap();
         let mut t2 = db.begin().unwrap();
-        t2.execute("INSERT INTO accounts VALUES (50, 'x', 0)").unwrap_err();
+        t2.execute("INSERT INTO accounts VALUES (50, 'x', 0)")
+            .unwrap_err();
         // t2 aborted: further use fails.
         assert!(matches!(
             t2.execute("SELECT id FROM accounts"),
@@ -787,10 +880,12 @@ mod tests {
     fn virtual_cost_accumulates() {
         let db = bank();
         let mut txn = db.begin().unwrap();
-        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 1").unwrap();
+        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 1")
+            .unwrap();
         let c = txn.virtual_cost();
         assert!(c > Duration::ZERO);
-        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 2").unwrap();
+        txn.execute("UPDATE accounts SET balance = 0 WHERE id = 2")
+            .unwrap();
         assert!(txn.virtual_cost() > c);
         txn.commit().unwrap();
     }
@@ -802,7 +897,9 @@ mod tests {
         let copy = Database::new(EngineProfile::derby());
         copy.restore(&snap).unwrap();
         assert_eq!(copy.table_len("accounts"), 10);
-        let r = copy.execute("SELECT balance FROM accounts WHERE id = 7").unwrap();
+        let r = copy
+            .execute("SELECT balance FROM accounts WHERE id = 7")
+            .unwrap();
         assert_eq!(r.rows[0][0], SqlValue::Int(700));
     }
 

@@ -100,12 +100,12 @@ impl Expr {
                         }
                     },
                     _ => {
-                        let x = a.as_real().ok_or_else(|| {
-                            SqlError::Constraint(format!("arithmetic on {a}"))
-                        })?;
-                        let y = b.as_real().ok_or_else(|| {
-                            SqlError::Constraint(format!("arithmetic on {b}"))
-                        })?;
+                        let x = a
+                            .as_real()
+                            .ok_or_else(|| SqlError::Constraint(format!("arithmetic on {a}")))?;
+                        let y = b
+                            .as_real()
+                            .ok_or_else(|| SqlError::Constraint(format!("arithmetic on {b}")))?;
                         match op {
                             ArithOp::Add => SqlValue::Real(x + y),
                             ArithOp::Sub => SqlValue::Real(x - y),
@@ -115,9 +115,7 @@ impl Expr {
                     }
                 }
             }
-            Expr::Cmp(op, a, b) => {
-                SqlValue::Int(op.apply(&a.eval(row)?, &b.eval(row)?) as i64)
-            }
+            Expr::Cmp(op, a, b) => SqlValue::Int(op.apply(&a.eval(row)?, &b.eval(row)?) as i64),
             Expr::And(a, b) => {
                 SqlValue::Int((truthy(&a.eval(row)?) && truthy(&b.eval(row)?)) as i64)
             }
@@ -217,9 +215,15 @@ mod tests {
     fn boolean_connectives() {
         let t = Expr::Cmp(CmpOp::Eq, lit(1), lit(1));
         let f = Expr::Cmp(CmpOp::Eq, lit(1), lit(2));
-        assert!(Expr::And(Box::new(t.clone()), Box::new(t.clone())).matches(&[]).unwrap());
-        assert!(!Expr::And(Box::new(t.clone()), Box::new(f.clone())).matches(&[]).unwrap());
-        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone())).matches(&[]).unwrap());
+        assert!(Expr::And(Box::new(t.clone()), Box::new(t.clone()))
+            .matches(&[])
+            .unwrap());
+        assert!(!Expr::And(Box::new(t.clone()), Box::new(f.clone()))
+            .matches(&[])
+            .unwrap());
+        assert!(Expr::Or(Box::new(f.clone()), Box::new(t.clone()))
+            .matches(&[])
+            .unwrap());
         assert!(Expr::Not(Box::new(f)).matches(&[]).unwrap());
         let _ = t;
     }
@@ -229,9 +233,18 @@ mod tests {
         let schema = TableSchema::new(
             "t",
             vec![
-                Column { name: "a".into(), dtype: DataType::Int },
-                Column { name: "b".into(), dtype: DataType::Int },
-                Column { name: "c".into(), dtype: DataType::Int },
+                Column {
+                    name: "a".into(),
+                    dtype: DataType::Int,
+                },
+                Column {
+                    name: "b".into(),
+                    dtype: DataType::Int,
+                },
+                Column {
+                    name: "c".into(),
+                    dtype: DataType::Int,
+                },
             ],
             vec![0, 1],
         )
@@ -241,7 +254,10 @@ mod tests {
             Box::new(Expr::Cmp(CmpOp::Eq, col(0), lit(1))),
             Box::new(Expr::Cmp(CmpOp::Eq, col(1), lit(2))),
         );
-        assert_eq!(e.pk_prefix(&schema), vec![SqlValue::Int(1), SqlValue::Int(2)]);
+        assert_eq!(
+            e.pk_prefix(&schema),
+            vec![SqlValue::Int(1), SqlValue::Int(2)]
+        );
         // b = 2 only → no prefix (a unpinned).
         let e = Expr::Cmp(CmpOp::Eq, col(1), lit(2));
         assert!(e.pk_prefix(&schema).is_empty());

@@ -196,13 +196,28 @@ mod tests {
     #[test]
     fn acquire_times_out_then_succeeds_after_release() {
         let lm = Arc::new(LockManager::new());
-        assert!(lm.acquire(1, table_res(), LockMode::Exclusive, Duration::from_millis(10)));
+        assert!(lm.acquire(
+            1,
+            table_res(),
+            LockMode::Exclusive,
+            Duration::from_millis(10)
+        ));
         // Contender times out while txn 1 holds the lock.
-        assert!(!lm.acquire(2, table_res(), LockMode::Exclusive, Duration::from_millis(30)));
+        assert!(!lm.acquire(
+            2,
+            table_res(),
+            LockMode::Exclusive,
+            Duration::from_millis(30)
+        ));
         // Release in another thread while a waiter blocks.
         let lm2 = lm.clone();
         let waiter = std::thread::spawn(move || {
-            lm2.acquire(3, Resource::Table("t".into()), LockMode::Exclusive, Duration::from_secs(5))
+            lm2.acquire(
+                3,
+                Resource::Table("t".into()),
+                LockMode::Exclusive,
+                Duration::from_secs(5),
+            )
         });
         std::thread::sleep(Duration::from_millis(20));
         lm.release_all(1);
@@ -213,7 +228,11 @@ mod tests {
     fn release_all_clears_state() {
         let lm = LockManager::new();
         lm.try_acquire(1, table_res(), LockMode::Exclusive);
-        lm.try_acquire(1, Resource::Row("t".into(), vec![SqlValue::Int(1)]), LockMode::Exclusive);
+        lm.try_acquire(
+            1,
+            Resource::Row("t".into(), vec![SqlValue::Int(1)]),
+            LockMode::Exclusive,
+        );
         assert_eq!(lm.locked_resources(), 2);
         lm.release_all(1);
         assert_eq!(lm.locked_resources(), 0);

@@ -151,7 +151,11 @@ impl EngineProfile {
 
     /// The diverse trio the paper deploys across ShadowDB replicas.
     pub fn diverse_trio() -> [EngineProfile; 3] {
-        [EngineProfile::h2(), EngineProfile::hsqldb(), EngineProfile::derby()]
+        [
+            EngineProfile::h2(),
+            EngineProfile::hsqldb(),
+            EngineProfile::derby(),
+        ]
     }
 
     /// Looks a profile up by its URL-ish name (the connector's
@@ -191,7 +195,10 @@ mod tests {
     #[test]
     fn granularities_match_the_paper() {
         assert_eq!(EngineProfile::h2().granularity, LockGranularity::Table);
-        assert_eq!(EngineProfile::mysql_memory().granularity, LockGranularity::Table);
+        assert_eq!(
+            EngineProfile::mysql_memory().granularity,
+            LockGranularity::Table
+        );
         assert_eq!(EngineProfile::innodb().granularity, LockGranularity::Row);
     }
 

@@ -58,7 +58,9 @@ impl TableSchema {
     /// names.
     pub fn new(name: &str, columns: Vec<Column>, primary_key: Vec<usize>) -> Result<TableSchema> {
         if primary_key.is_empty() {
-            return Err(SqlError::Constraint(format!("table {name} needs a primary key")));
+            return Err(SqlError::Constraint(format!(
+                "table {name} needs a primary key"
+            )));
         }
         for &k in &primary_key {
             if k >= columns.len() {
@@ -75,7 +77,11 @@ impl TableSchema {
                 )));
             }
         }
-        Ok(TableSchema { name: name.to_lowercase(), columns, primary_key })
+        Ok(TableSchema {
+            name: name.to_lowercase(),
+            columns,
+            primary_key,
+        })
     }
 
     /// Index of a column by (case-insensitive) name.
@@ -127,9 +133,18 @@ mod tests {
         TableSchema::new(
             "Accounts",
             vec![
-                Column { name: "id".into(), dtype: DataType::Int },
-                Column { name: "owner".into(), dtype: DataType::Text },
-                Column { name: "balance".into(), dtype: DataType::Int },
+                Column {
+                    name: "id".into(),
+                    dtype: DataType::Int,
+                },
+                Column {
+                    name: "owner".into(),
+                    dtype: DataType::Text,
+                },
+                Column {
+                    name: "balance".into(),
+                    dtype: DataType::Int,
+                },
             ],
             vec![0],
         )
@@ -154,15 +169,28 @@ mod tests {
     #[test]
     fn row_validation() {
         let s = schema();
-        assert!(s.check_row(&vec![SqlValue::Int(1), SqlValue::from("x"), SqlValue::Int(2)]).is_ok());
+        assert!(s
+            .check_row(&vec![
+                SqlValue::Int(1),
+                SqlValue::from("x"),
+                SqlValue::Int(2)
+            ])
+            .is_ok());
         assert!(s.check_row(&vec![SqlValue::Int(1)]).is_err());
         assert!(s
-            .check_row(&vec![SqlValue::from("oops"), SqlValue::from("x"), SqlValue::Int(2)])
+            .check_row(&vec![
+                SqlValue::from("oops"),
+                SqlValue::from("x"),
+                SqlValue::Int(2)
+            ])
             .is_err());
         // NULL fits anywhere; INT fits REAL.
         let real = TableSchema::new(
             "t",
-            vec![Column { name: "x".into(), dtype: DataType::Real }],
+            vec![Column {
+                name: "x".into(),
+                dtype: DataType::Real,
+            }],
             vec![0],
         )
         .unwrap();
@@ -173,7 +201,10 @@ mod tests {
     #[test]
     fn bad_schemas_rejected() {
         assert!(TableSchema::new("t", vec![], vec![]).is_err());
-        let c = Column { name: "a".into(), dtype: DataType::Int };
+        let c = Column {
+            name: "a".into(),
+            dtype: DataType::Int,
+        };
         assert!(TableSchema::new("t", vec![c.clone()], vec![3]).is_err());
         assert!(TableSchema::new("t", vec![c.clone(), c], vec![0]).is_err());
     }
@@ -183,7 +214,11 @@ mod tests {
         // The paper's micro-benchmark uses 16-byte rows; our bank schema
         // produces exactly that with an empty owner string padded to 0.
         let s = schema();
-        let row = vec![SqlValue::Int(1), SqlValue::Text(String::new()), SqlValue::Int(100)];
+        let row = vec![
+            SqlValue::Int(1),
+            SqlValue::Text(String::new()),
+            SqlValue::Int(100),
+        ];
         assert_eq!(s.row_bytes(&row), 16);
     }
 }

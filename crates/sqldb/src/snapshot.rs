@@ -95,7 +95,10 @@ impl Snapshot {
         let mut snapshot = Snapshot::default();
         for b in batches {
             if let Some(schema) = &b.schema {
-                snapshot.tables.push(TableDump { schema: schema.clone(), rows: Vec::new() });
+                snapshot.tables.push(TableDump {
+                    schema: schema.clone(),
+                    rows: Vec::new(),
+                });
             }
             let dump = snapshot
                 .tables
@@ -149,7 +152,11 @@ impl RowBatch {
     /// Fails on truncated or malformed input.
     pub fn decode(mut buf: Bytes) -> Result<RowBatch> {
         let table = get_str(&mut buf)?;
-        let schema = if get_u8(&mut buf)? == 1 { Some(decode_schema(&mut buf)?) } else { None };
+        let schema = if get_u8(&mut buf)? == 1 {
+            Some(decode_schema(&mut buf)?)
+        } else {
+            None
+        };
         let n = get_u32(&mut buf)? as usize;
         let mut rows = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
@@ -160,7 +167,11 @@ impl RowBatch {
             }
             rows.push(row);
         }
-        Ok(RowBatch { table, schema, rows })
+        Ok(RowBatch {
+            table,
+            schema,
+            rows,
+        })
     }
 
     /// Serialized size in bytes.
@@ -308,9 +319,11 @@ mod tests {
 
     fn sample_db(rows: usize) -> Database {
         let db = Database::new(EngineProfile::h2());
-        db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, bal REAL)").unwrap();
+        db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, bal REAL)")
+            .unwrap();
         for i in 0..rows {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'name{i}', {i}.5)")).unwrap();
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'name{i}', {i}.5)"))
+                .unwrap();
         }
         db
     }
@@ -333,7 +346,11 @@ mod tests {
         assert!(batches.len() > 5, "should split into many batches");
         for b in &batches {
             // Allow one row of overshoot.
-            assert!(b.encoded_len() < 256 + 64, "batch of {} bytes", b.encoded_len());
+            assert!(
+                b.encoded_len() < 256 + 64,
+                "batch of {} bytes",
+                b.encoded_len()
+            );
         }
         let rebuilt = Snapshot::from_batches(&batches).unwrap();
         assert_eq!(rebuilt, snap);
@@ -344,8 +361,7 @@ mod tests {
         let db = sample_db(50);
         let batches = db.snapshot().to_batches(50_000);
         let wire: Vec<Bytes> = batches.iter().map(RowBatch::encode).collect();
-        let received: Result<Vec<RowBatch>> =
-            wire.into_iter().map(RowBatch::decode).collect();
+        let received: Result<Vec<RowBatch>> = wire.into_iter().map(RowBatch::decode).collect();
         let snap = Snapshot::from_batches(&received.unwrap()).unwrap();
         let dst = Database::new(EngineProfile::hsqldb());
         dst.restore(&snap).unwrap();
@@ -368,7 +384,11 @@ mod tests {
 
     #[test]
     fn orphan_batch_rejected() {
-        let b = RowBatch { table: "ghost".into(), schema: None, rows: vec![] };
+        let b = RowBatch {
+            table: "ghost".into(),
+            schema: None,
+            rows: vec![],
+        };
         assert!(Snapshot::from_batches(&[b]).is_err());
     }
 

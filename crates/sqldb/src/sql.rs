@@ -107,8 +107,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
                 while i < b.len() && (b[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|c| c.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
                     i += 1;
                     while i < b.len() && (b[i] as char).is_ascii_digit() {
                         i += 1;
@@ -126,9 +125,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
-                while i < b.len()
-                    && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
-                {
+                while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
                 }
                 out.push(Tok::Ident(input[start..i].to_lowercase()));
@@ -174,9 +171,7 @@ impl ExprAst {
             ExprAst::Cmp(op, a, b) => {
                 Expr::Cmp(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
             }
-            ExprAst::And(a, b) => {
-                Expr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
-            }
+            ExprAst::And(a, b) => Expr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
             ExprAst::Or(a, b) => Expr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
             ExprAst::Not(a) => Expr::Not(Box::new(a.bind(schema)?)),
         })
@@ -186,7 +181,10 @@ impl ExprAst {
     pub fn eval_const(&self) -> Result<SqlValue> {
         self.bind(&TableSchema::new(
             "const",
-            vec![Column { name: "dummy".into(), dtype: DataType::Int }],
+            vec![Column {
+                name: "dummy".into(),
+                dtype: DataType::Int,
+            }],
             vec![0],
         )?)
         .and_then(|e| e.eval(&[]))
@@ -292,7 +290,10 @@ pub fn parse(input: &str) -> Result<Statement> {
     let stmt = p.statement()?;
     p.eat_sym(";").ok();
     if p.pos != p.toks.len() {
-        return Err(SqlError::Parse(format!("trailing input at token {}", p.pos)));
+        return Err(SqlError::Parse(format!(
+            "trailing input at token {}",
+            p.pos
+        )));
     }
     Ok(stmt)
 }
@@ -352,7 +353,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.next()? {
             Tok::Ident(w) => Ok(w),
-            other => Err(SqlError::Parse(format!("expected identifier, got {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -363,7 +366,9 @@ impl Parser {
             Tok::Ident(w) if w == "select" => self.select().map(Statement::Select),
             Tok::Ident(w) if w == "update" => self.update(),
             Tok::Ident(w) if w == "delete" => self.delete(),
-            other => Err(SqlError::Parse(format!("unknown statement start {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "unknown statement start {other:?}"
+            ))),
         }
     }
 
@@ -381,7 +386,11 @@ impl Parser {
             columns.push(self.ident()?);
         }
         self.eat_sym(")")?;
-        Ok(Statement::CreateIndex { name, table, columns })
+        Ok(Statement::CreateIndex {
+            name,
+            table,
+            columns,
+        })
     }
 
     fn create_table(&mut self) -> Result<Statement> {
@@ -424,7 +433,9 @@ impl Parser {
                     .ok_or_else(|| SqlError::Parse(format!("primary key column {n} undefined")))
             })
             .collect();
-        Ok(Statement::CreateTable(TableSchema::new(&name, columns, pk_idx?)?))
+        Ok(Statement::CreateTable(TableSchema::new(
+            &name, columns, pk_idx?,
+        )?))
     }
 
     fn data_type(&mut self) -> Result<DataType> {
@@ -440,9 +451,7 @@ impl Parser {
             loop {
                 match self.next()? {
                     Tok::Int(_) => {}
-                    other => {
-                        return Err(SqlError::Parse(format!("bad type argument {other:?}")))
-                    }
+                    other => return Err(SqlError::Parse(format!("bad type argument {other:?}"))),
                 }
                 if !self.try_sym(",") {
                     break;
@@ -477,7 +486,11 @@ impl Parser {
         let projection = self.projection()?;
         self.eat_kw("from")?;
         let table = self.ident()?;
-        let filter = if self.try_kw("where") { Some(self.expr()?) } else { None };
+        let filter = if self.try_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let order_by = if self.try_kw("order") {
             self.eat_kw("by")?;
             let col = self.ident()?;
@@ -505,7 +518,14 @@ impl Parser {
         } else {
             false
         };
-        Ok(SelectStmt { table, projection, filter, order_by, limit, for_update })
+        Ok(SelectStmt {
+            table,
+            projection,
+            filter,
+            order_by,
+            limit,
+            for_update,
+        })
     }
 
     fn projection(&mut self) -> Result<Projection> {
@@ -566,14 +586,26 @@ impl Parser {
                 break;
             }
         }
-        let filter = if self.try_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Statement::Update { table, sets, filter })
+        let filter = if self.try_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement> {
         self.eat_kw("from")?;
         let table = self.ident()?;
-        let filter = if self.try_kw("where") { Some(self.expr()?) } else { None };
+        let filter = if self.try_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         Ok(Statement::Delete { table, filter })
     }
 
@@ -726,7 +758,10 @@ mod tests {
         match s {
             Statement::Select(sel) => {
                 assert_eq!(sel.table, "t");
-                assert_eq!(sel.projection, Projection::Cols(vec!["a".into(), "b".into()]));
+                assert_eq!(
+                    sel.projection,
+                    Projection::Cols(vec!["a".into(), "b".into()])
+                );
                 assert!(sel.filter.is_some());
                 assert_eq!(sel.order_by, Some(("b".into(), true)));
                 assert_eq!(sel.limit, Some(10));
@@ -772,7 +807,11 @@ mod tests {
     fn create_index() {
         let s = parse("CREATE INDEX idx_cust ON customer (c_w_id, c_d_id, c_last)").unwrap();
         match s {
-            Statement::CreateIndex { name, table, columns } => {
+            Statement::CreateIndex {
+                name,
+                table,
+                columns,
+            } => {
                 assert_eq!(name, "idx_cust");
                 assert_eq!(table, "customer");
                 assert_eq!(columns.len(), 3);
@@ -785,9 +824,18 @@ mod tests {
     fn errors_reported() {
         assert!(matches!(parse("SELEC a FROM t"), Err(SqlError::Parse(_))));
         assert!(matches!(parse("SELECT FROM t"), Err(SqlError::Parse(_))));
-        assert!(matches!(parse("INSERT INTO t VALUES (1"), Err(SqlError::Parse(_))));
-        assert!(matches!(parse("SELECT a FROM t WHERE a = 'unterminated"), Err(SqlError::Parse(_))));
-        assert!(matches!(parse("SELECT a FROM t extra junk"), Err(SqlError::Parse(_))));
+        assert!(matches!(
+            parse("INSERT INTO t VALUES (1"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("SELECT a FROM t WHERE a = 'unterminated"),
+            Err(SqlError::Parse(_))
+        ));
+        assert!(matches!(
+            parse("SELECT a FROM t extra junk"),
+            Err(SqlError::Parse(_))
+        ));
     }
 
     #[test]
@@ -795,7 +843,9 @@ mod tests {
         // a + b * 2 = 7 parses as (a + (b*2)) = 7.
         let s = parse("SELECT a FROM t WHERE a + b * 2 = 7").unwrap();
         let Statement::Select(sel) = s else { panic!() };
-        let ExprAst::Cmp(CmpOp::Eq, lhs, _) = sel.filter.unwrap() else { panic!() };
+        let ExprAst::Cmp(CmpOp::Eq, lhs, _) = sel.filter.unwrap() else {
+            panic!()
+        };
         assert!(matches!(*lhs, ExprAst::Arith(ArithOp::Add, _, _)));
     }
 }

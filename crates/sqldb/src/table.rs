@@ -67,8 +67,11 @@ impl Table {
             return Err(SqlError::Constraint(format!("index {name} already exists")));
         }
         let cols: Result<Vec<usize>> = columns.iter().map(|c| self.schema.col(c)).collect();
-        let mut idx =
-            SecondaryIndex { name: name.to_owned(), columns: cols?, map: BTreeMap::new() };
+        let mut idx = SecondaryIndex {
+            name: name.to_owned(),
+            columns: cols?,
+            map: BTreeMap::new(),
+        };
         for (&rid, row) in &self.rows {
             let key: Vec<SqlValue> = idx.columns.iter().map(|&c| row[c].clone()).collect();
             idx.map.entry(key).or_default().insert(rid);
@@ -118,11 +121,15 @@ impl Table {
     pub fn restore(&mut self, rid: RowId, row: Row) -> Result<()> {
         self.schema.check_row(&row)?;
         if self.rows.contains_key(&rid) {
-            return Err(SqlError::Constraint(format!("row id {rid} already occupied")));
+            return Err(SqlError::Constraint(format!(
+                "row id {rid} already occupied"
+            )));
         }
         let key = self.schema.key_of(&row);
         if self.pk.contains_key(&key) {
-            return Err(SqlError::Constraint(format!("duplicate primary key {key:?}")));
+            return Err(SqlError::Constraint(format!(
+                "duplicate primary key {key:?}"
+            )));
         }
         for idx in &mut self.secondary {
             let ikey: Vec<SqlValue> = idx.columns.iter().map(|c| row[*c].clone()).collect();
@@ -176,8 +183,7 @@ impl Table {
         }
         for idx in &mut self.secondary {
             let old_ikey: Vec<SqlValue> = idx.columns.iter().map(|&c| old[c].clone()).collect();
-            let new_ikey: Vec<SqlValue> =
-                idx.columns.iter().map(|&c| new_row[c].clone()).collect();
+            let new_ikey: Vec<SqlValue> = idx.columns.iter().map(|&c| new_row[c].clone()).collect();
             if old_ikey != new_ikey {
                 if let Some(set) = idx.map.get_mut(&old_ikey) {
                     set.remove(&rid);
@@ -211,7 +217,11 @@ impl Table {
             }
             // Try a secondary index with a fully pinned key prefix.
             if let Some((idx, key)) = self.secondary_match(f) {
-                return idx.map.get(&key).map(|s| s.iter().copied().collect()).unwrap_or_default();
+                return idx
+                    .map
+                    .get(&key)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
             }
         }
         self.rows.keys().copied().collect()
@@ -265,9 +275,18 @@ mod tests {
             TableSchema::new(
                 "accounts",
                 vec![
-                    Column { name: "id".into(), dtype: DataType::Int },
-                    Column { name: "owner".into(), dtype: DataType::Text },
-                    Column { name: "balance".into(), dtype: DataType::Int },
+                    Column {
+                        name: "id".into(),
+                        dtype: DataType::Int,
+                    },
+                    Column {
+                        name: "owner".into(),
+                        dtype: DataType::Text,
+                    },
+                    Column {
+                        name: "balance".into(),
+                        dtype: DataType::Int,
+                    },
                 ],
                 vec![0],
             )
@@ -294,7 +313,10 @@ mod tests {
     fn duplicate_pk_rejected() {
         let mut t = accounts();
         t.insert(row(1, "a", 10)).unwrap();
-        assert!(matches!(t.insert(row(1, "b", 20)), Err(SqlError::Constraint(_))));
+        assert!(matches!(
+            t.insert(row(1, "b", 20)),
+            Err(SqlError::Constraint(_))
+        ));
     }
 
     #[test]
@@ -313,7 +335,8 @@ mod tests {
     fn secondary_index_used_and_maintained() {
         let mut t = accounts();
         for i in 0..10 {
-            t.insert(row(i, if i % 2 == 0 { "even" } else { "odd" }, i * 10)).unwrap();
+            t.insert(row(i, if i % 2 == 0 { "even" } else { "odd" }, i * 10))
+                .unwrap();
         }
         t.create_index("by_owner", &["owner".into()]).unwrap();
         let f = Expr::Cmp(
@@ -354,9 +377,18 @@ mod tests {
             TableSchema::new(
                 "orders",
                 vec![
-                    Column { name: "w".into(), dtype: DataType::Int },
-                    Column { name: "d".into(), dtype: DataType::Int },
-                    Column { name: "id".into(), dtype: DataType::Int },
+                    Column {
+                        name: "w".into(),
+                        dtype: DataType::Int,
+                    },
+                    Column {
+                        name: "d".into(),
+                        dtype: DataType::Int,
+                    },
+                    Column {
+                        name: "id".into(),
+                        dtype: DataType::Int,
+                    },
                 ],
                 vec![0, 1, 2],
             )

@@ -33,7 +33,8 @@ fn arb_op() -> impl Strategy<Value = Op> {
 
 fn fresh() -> Database {
     let db = Database::new(EngineProfile::h2());
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").expect("ddl");
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .expect("ddl");
     db
 }
 
@@ -51,18 +52,23 @@ fn apply(db: &Database, model: &mut BTreeMap<i64, i64>, op: &Op) {
             }
         }
         Op::Update { id, v } => {
-            let r = db.execute(&format!("UPDATE t SET v = {v} WHERE id = {id}")).expect("runs");
+            let r = db
+                .execute(&format!("UPDATE t SET v = {v} WHERE id = {id}"))
+                .expect("runs");
             assert_eq!(r.affected, usize::from(model.contains_key(id)));
             if let Some(slot) = model.get_mut(id) {
                 *slot = *v;
             }
         }
         Op::Delete { id } => {
-            let r = db.execute(&format!("DELETE FROM t WHERE id = {id}")).expect("runs");
+            let r = db
+                .execute(&format!("DELETE FROM t WHERE id = {id}"))
+                .expect("runs");
             assert_eq!(r.affected, usize::from(model.remove(id).is_some()));
         }
         Op::AddDelta { id, d } => {
-            db.execute(&format!("UPDATE t SET v = v + {d} WHERE id = {id}")).expect("runs");
+            db.execute(&format!("UPDATE t SET v = v + {d} WHERE id = {id}"))
+                .expect("runs");
             if let Some(slot) = model.get_mut(id) {
                 *slot += *d;
             }
@@ -71,7 +77,9 @@ fn apply(db: &Database, model: &mut BTreeMap<i64, i64>, op: &Op) {
 }
 
 fn assert_matches_model(db: &Database, model: &BTreeMap<i64, i64>) {
-    let rs = db.execute("SELECT id, v FROM t ORDER BY id").expect("reads");
+    let rs = db
+        .execute("SELECT id, v FROM t ORDER BY id")
+        .expect("reads");
     let got: Vec<(i64, i64)> = rs
         .rows
         .iter()
@@ -141,12 +149,10 @@ proptest! {
         let db = Database::new(EngineProfile::h2());
         db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp INT, v INT)").expect("ddl");
         db.execute("CREATE INDEX by_grp ON t (grp)").expect("index");
-        let mut next_id = 0;
-        for (id_hint, grp) in &values {
+        for (next_id, (id_hint, grp)) in values.iter().enumerate() {
             let _ = db.execute(&format!(
                 "INSERT INTO t VALUES ({next_id}, {grp}, {id_hint})"
             ));
-            next_id += 1;
         }
         for grp in 0..5 {
             let indexed = db
@@ -168,11 +174,9 @@ proptest! {
     ) {
         let db = Database::new(EngineProfile::hsqldb());
         db.execute("CREATE TABLE t (id INT PRIMARY KEY, name TEXT, r REAL)").expect("ddl");
-        let mut id = 0;
-        for (v, name, neg) in &rows {
+        for (id, (v, name, neg)) in rows.iter().enumerate() {
             let r = if *neg { -0.5 } else { 1.25 } * f64::from(*v);
             db.execute(&format!("INSERT INTO t VALUES ({id}, '{name}', {r})")).expect("insert");
-            id += 1;
         }
         let snap = db.snapshot();
         let wire: Vec<_> = snap.to_batches(batch_bytes).iter().map(RowBatch::encode).collect();
@@ -216,9 +220,11 @@ proptest! {
 #[test]
 fn concurrent_row_writers_are_linearizable() {
     let db = Database::new(EngineProfile::innodb());
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").expect("ddl");
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .expect("ddl");
     for i in 0..8 {
-        db.execute(&format!("INSERT INTO t VALUES ({i}, 0)")).expect("insert");
+        db.execute(&format!("INSERT INTO t VALUES ({i}, 0)"))
+            .expect("insert");
     }
     let handles: Vec<_> = (0..8)
         .map(|i| {
@@ -243,7 +249,8 @@ fn concurrent_row_writers_are_linearizable() {
 #[test]
 fn concurrent_table_writers_do_not_lose_committed_updates() {
     let db = Database::new(EngineProfile::h2());
-    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)").expect("ddl");
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        .expect("ddl");
     db.execute("INSERT INTO t VALUES (0, 0)").expect("insert");
     let committed = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
     let handles: Vec<_> = (0..4)

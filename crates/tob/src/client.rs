@@ -9,7 +9,7 @@
 use crate::{broadcast_msg, parse_deliver};
 use parking_lot::Mutex;
 use shadowdb_eventml::process::HasherAdapter;
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr, Value};
+use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -35,8 +35,11 @@ impl ClientStats {
         if self.completed.is_empty() {
             return None;
         }
-        let total: u64 =
-            self.completed.iter().map(|(s, d)| d.saturating_since(*s).as_micros() as u64).sum();
+        let total: u64 = self
+            .completed
+            .iter()
+            .map(|(s, d)| d.saturating_since(*s).as_micros() as u64)
+            .sum();
         Some(Duration::from_micros(total / self.completed.len() as u64))
     }
 }
@@ -96,56 +99,54 @@ impl TobClient {
         self.next_msgid += 1;
         self.outstanding = Some((msgid, ctx.now));
         let server = self.servers[self.server_idx % self.servers.len()];
-        outs.push(SendInstr::now(server, broadcast_msg(ctx.slf, msgid, self.payload.clone())));
+        outs.push(SendInstr::now(
+            server,
+            broadcast_msg(ctx.slf, msgid, self.payload.clone()),
+        ));
         outs.push(SendInstr::after(
             self.timeout,
             ctx.slf,
-            Msg::new(TIMEOUT_HEADER, Value::Int(msgid)),
+            Msg::new(cached_header!(TIMEOUT_HEADER), Value::Int(msgid)),
         ));
     }
 }
 
 impl Process for TobClient {
-    fn step(&mut self, ctx: &Ctx, msg: &Msg) -> Vec<SendInstr> {
-        let mut outs = Vec::new();
-        match msg.header.name() {
-            START_HEADER => self.send_next(ctx, &mut outs),
-            TIMEOUT_HEADER => {
-                let msgid = msg.body.int();
-                if let Some((outstanding, _)) = self.outstanding {
-                    if outstanding == msgid {
-                        // Resend to the next server; same msgid, so the
-                        // service deduplicates if the original got through.
-                        self.server_idx += 1;
-                        self.stats.lock().resends += 1;
-                        let server = self.servers[self.server_idx % self.servers.len()];
-                        outs.push(SendInstr::now(
-                            server,
-                            broadcast_msg(ctx.slf, msgid, self.payload.clone()),
-                        ));
-                        outs.push(SendInstr::after(
-                            self.timeout,
-                            ctx.slf,
-                            Msg::new(TIMEOUT_HEADER, Value::Int(msgid)),
-                        ));
-                    }
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        let h = msg.header;
+        if h == cached_header!(START_HEADER) {
+            self.send_next(ctx, out);
+        } else if h == cached_header!(TIMEOUT_HEADER) {
+            let msgid = msg.body.int();
+            if let Some((outstanding, _)) = self.outstanding {
+                if outstanding == msgid {
+                    // Resend to the next server; same msgid, so the
+                    // service deduplicates if the original got through.
+                    self.server_idx += 1;
+                    self.stats.lock().resends += 1;
+                    let server = self.servers[self.server_idx % self.servers.len()];
+                    out.push(SendInstr::now(
+                        server,
+                        broadcast_msg(ctx.slf, msgid, self.payload.clone()),
+                    ));
+                    out.push(SendInstr::after(
+                        self.timeout,
+                        ctx.slf,
+                        Msg::new(cached_header!(TIMEOUT_HEADER), Value::Int(msgid)),
+                    ));
                 }
             }
-            _ => {
-                if let Some(d) = parse_deliver(msg) {
-                    if d.client == ctx.slf {
-                        if let Some((msgid, sent_at)) = self.outstanding {
-                            if d.msgid == msgid {
-                                self.outstanding = None;
-                                self.stats.lock().completed.push((sent_at, ctx.now));
-                                self.send_next(ctx, &mut outs);
-                            }
-                        }
+        } else if let Some(d) = parse_deliver(msg) {
+            if d.client == ctx.slf {
+                if let Some((msgid, sent_at)) = self.outstanding {
+                    if d.msgid == msgid {
+                        self.outstanding = None;
+                        self.stats.lock().completed.push((sent_at, ctx.now));
+                        self.send_next(ctx, out);
                     }
                 }
             }
         }
-        outs
     }
     fn clone_box(&self) -> Box<dyn Process> {
         Box::new(TobClient {
@@ -162,7 +163,9 @@ impl Process for TobClient {
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.server_idx, self.remaining, self.next_msgid).hash(&mut h);
-        self.outstanding.map(|(id, t)| (id, t.as_micros())).hash(&mut h);
+        self.outstanding
+            .map(|(id, t)| (id, t.as_micros()))
+            .hash(&mut h);
     }
 }
 
@@ -176,7 +179,10 @@ mod tests {
             DELIVER_HEADER,
             Value::pair(
                 Value::Int(seq),
-                Value::pair(Value::Loc(client), Value::pair(Value::Int(msgid), Value::Unit)),
+                Value::pair(
+                    Value::Loc(client),
+                    Value::pair(Value::Int(msgid), Value::Unit),
+                ),
             ),
         )
     }
@@ -186,18 +192,25 @@ mod tests {
         let stats = Arc::new(Mutex::new(ClientStats::default()));
         let mut c = TobClient::new(vec![Loc::new(5)], Value::Unit, 2, stats.clone());
         let slf = Loc::new(9);
-        let outs = c.step(&Ctx::new(slf, VTime::from_millis(1)), &TobClient::start_msg());
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(1)),
+            &TobClient::start_msg(),
+        );
         assert_eq!(outs[0].dest, Loc::new(5));
         // Delivery of msg 0 completes it and triggers msg 1.
-        let outs =
-            c.step(&Ctx::new(slf, VTime::from_millis(4)), &deliver_msg(0, slf, 0));
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(4)),
+            &deliver_msg(0, slf, 0),
+        );
         assert!(outs.iter().any(|o| o.dest == Loc::new(5)));
         assert_eq!(stats.lock().completed.len(), 1);
         assert_eq!(stats.lock().mean_latency(), Some(Duration::from_millis(3)));
         // Delivery of msg 1 completes the run; nothing further is sent to
         // the server.
-        let outs =
-            c.step(&Ctx::new(slf, VTime::from_millis(9)), &deliver_msg(1, slf, 1));
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(9)),
+            &deliver_msg(1, slf, 1),
+        );
         assert!(outs.iter().all(|o| o.dest == slf)); // only timer remnants
         assert_eq!(stats.lock().completed.len(), 2);
     }
@@ -205,15 +218,23 @@ mod tests {
     #[test]
     fn timeout_resends_to_next_server() {
         let stats = Arc::new(Mutex::new(ClientStats::default()));
-        let mut c = TobClient::new(vec![Loc::new(5), Loc::new(6)], Value::Unit, 1, stats.clone())
-            .with_timeout(Duration::from_millis(100));
+        let mut c = TobClient::new(
+            vec![Loc::new(5), Loc::new(6)],
+            Value::Unit,
+            1,
+            stats.clone(),
+        )
+        .with_timeout(Duration::from_millis(100));
         let slf = Loc::new(9);
         c.step(&Ctx::new(slf, VTime::ZERO), &TobClient::start_msg());
         let outs = c.step(
             &Ctx::new(slf, VTime::from_millis(100)),
             &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
         );
-        let resent = outs.iter().find(|o| o.dest == Loc::new(6)).expect("resend to server 2");
+        let resent = outs
+            .iter()
+            .find(|o| o.dest == Loc::new(6))
+            .expect("resend to server 2");
         assert_eq!(resent.msg.header.name(), crate::BROADCAST_HEADER);
         assert_eq!(stats.lock().resends, 1);
     }
@@ -224,7 +245,10 @@ mod tests {
         let mut c = TobClient::new(vec![Loc::new(5)], Value::Unit, 1, stats);
         let slf = Loc::new(9);
         c.step(&Ctx::new(slf, VTime::ZERO), &TobClient::start_msg());
-        c.step(&Ctx::new(slf, VTime::from_millis(2)), &deliver_msg(0, slf, 0));
+        c.step(
+            &Ctx::new(slf, VTime::from_millis(2)),
+            &deliver_msg(0, slf, 0),
+        );
         let outs = c.step(
             &Ctx::new(slf, VTime::from_secs(5)),
             &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
@@ -238,8 +262,10 @@ mod tests {
         let mut c = TobClient::new(vec![Loc::new(5)], Value::Unit, 1, stats.clone());
         let slf = Loc::new(9);
         c.step(&Ctx::new(slf, VTime::ZERO), &TobClient::start_msg());
-        let outs =
-            c.step(&Ctx::new(slf, VTime::from_millis(2)), &deliver_msg(0, Loc::new(8), 0));
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(2)),
+            &deliver_msg(0, Loc::new(8), 0),
+        );
         assert!(outs.is_empty());
         assert!(stats.lock().completed.is_empty());
     }

@@ -8,9 +8,9 @@
 
 use crate::mode::{ExecutionMode, ModeCost};
 use crate::service::{service_class, Backend, TobConfig};
+use shadowdb_consensus::handcoded;
 use shadowdb_consensus::synod::{self, SynodConfig};
 use shadowdb_consensus::twothird::{TwoThird, TwoThirdConfig};
-use shadowdb_consensus::handcoded;
 use shadowdb_eventml::Process;
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_simnet::Simulation;
@@ -86,11 +86,13 @@ impl TobDeployment {
         match options.backend {
             BackendKind::TwoThird => {
                 let members: Vec<Loc> = (0..m).map(|i| Loc::new(base + i * per + 1)).collect();
-                let tt_config = TwoThirdConfig::new(members.clone(), servers.clone())
-                    .with_auto_adopt();
+                let tt_config =
+                    TwoThirdConfig::new(members.clone(), servers.clone()).with_auto_adopt();
                 for i in 0..m {
                     let tob_config = TobConfig::new(
-                        Backend::TwoThird { member: members[i as usize] },
+                        Backend::TwoThird {
+                            member: members[i as usize],
+                        },
                         subscribers.clone(),
                     )
                     .with_max_batch(options.max_batch);
@@ -98,7 +100,9 @@ impl TobDeployment {
                         sim.add_node(options.mode.instantiate(&service_class(&tob_config)));
                     debug_assert_eq!(server, server_loc(i));
                     let member = sim.add_node_colocated(
-                        options.mode.instantiate(&TwoThird::new(tt_config.clone()).class()),
+                        options
+                            .mode
+                            .instantiate(&TwoThird::new(tt_config.clone()).class()),
                         server,
                     );
                     debug_assert_eq!(member, members[i as usize]);
@@ -116,7 +120,9 @@ impl TobDeployment {
                 };
                 for i in 0..m {
                     let tob_config = TobConfig::new(
-                        Backend::Paxos { replica: replicas[i as usize] },
+                        Backend::Paxos {
+                            replica: replicas[i as usize],
+                        },
                         subscribers.clone(),
                     )
                     .with_max_batch(options.max_batch);
@@ -143,7 +149,10 @@ impl TobDeployment {
         }
 
         sim.set_cost_model(ModeCost::new(options.mode, service_locs.clone()));
-        TobDeployment { servers, service_locs }
+        TobDeployment {
+            servers,
+            service_locs,
+        }
     }
 }
 
@@ -181,7 +190,11 @@ mod tests {
         let stats = Arc::new(parking_lot::Mutex::new(ClientStats::default()));
         // Client gets loc 0; deployment follows.
         let client_loc = Loc::new(0);
-        let options = TobOptions { backend, mode, ..TobOptions::default() };
+        let options = TobOptions {
+            backend,
+            mode,
+            ..TobOptions::default()
+        };
         // Reserve the client slot with a placeholder first? No: build the
         // client after computing server locs — the deployment starts at
         // loc 1 if we add the client first, so add the client first with
@@ -190,7 +203,9 @@ mod tests {
             BackendKind::TwoThird => 2,
             BackendKind::Paxos => 4,
         };
-        let servers: Vec<Loc> = (0..options.machines).map(|i| Loc::new(1 + i * per)).collect();
+        let servers: Vec<Loc> = (0..options.machines)
+            .map(|i| Loc::new(1 + i * per))
+            .collect();
         let client = TobClient::new(servers, Value::str("payload"), n_msgs, stats.clone());
         let added = sim.add_node(Box::new(client));
         assert_eq!(added, client_loc);
@@ -227,7 +242,13 @@ mod tests {
         );
         // One-client latency in the right neighbourhood of Fig. 8
         // (122 ms interpreted, 8.8 ms compiled).
-        assert!(slow_lat.as_millis() > 60 && slow_lat.as_millis() < 250, "{slow_lat:?}");
-        assert!(fast_lat.as_millis() >= 4 && fast_lat.as_millis() < 25, "{fast_lat:?}");
+        assert!(
+            slow_lat.as_millis() > 60 && slow_lat.as_millis() < 250,
+            "{slow_lat:?}"
+        );
+        assert!(
+            fast_lat.as_millis() >= 4 && fast_lat.as_millis() < 25,
+            "{fast_lat:?}"
+        );
     }
 }

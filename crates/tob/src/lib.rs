@@ -42,13 +42,13 @@ pub const BROADCAST_HEADER: &str = "tob/broadcast";
 /// body `<seq, <client, <msgid, payload>>>`.
 pub const DELIVER_HEADER: &str = "tob/deliver";
 
-use shadowdb_eventml::{Msg, Value};
+use shadowdb_eventml::{cached_header, Msg, Value};
 use shadowdb_loe::Loc;
 
 /// Builds a broadcast submission.
 pub fn broadcast_msg(client: Loc, msgid: i64, payload: Value) -> Msg {
     Msg::new(
-        BROADCAST_HEADER,
+        cached_header!(BROADCAST_HEADER),
         Value::pair(Value::Loc(client), Value::pair(Value::Int(msgid), payload)),
     )
 }
@@ -69,7 +69,7 @@ pub struct Delivery {
 
 /// Parses a delivery notification.
 pub fn parse_deliver(msg: &Msg) -> Option<Delivery> {
-    if msg.header.name() != DELIVER_HEADER {
+    if msg.header != cached_header!(DELIVER_HEADER) {
         return None;
     }
     let (seq, rest) = msg.body.fst().zip(msg.body.snd())?;
@@ -92,7 +92,7 @@ mod tests {
         let m = broadcast_msg(Loc::new(9), 3, Value::str("x"));
         assert_eq!(m.header.name(), BROADCAST_HEADER);
         let d = Msg::new(
-            DELIVER_HEADER,
+            cached_header!(DELIVER_HEADER),
             Value::pair(
                 Value::Int(0),
                 Value::pair(
@@ -103,7 +103,12 @@ mod tests {
         );
         assert_eq!(
             parse_deliver(&d),
-            Some(Delivery { seq: 0, client: Loc::new(9), msgid: 3, payload: Value::str("x") })
+            Some(Delivery {
+                seq: 0,
+                client: Loc::new(9),
+                msgid: 3,
+                payload: Value::str("x")
+            })
         );
         assert_eq!(parse_deliver(&m), None);
     }

@@ -41,8 +41,11 @@ pub enum ExecutionMode {
 
 impl ExecutionMode {
     /// All three modes, in the order Fig. 8 plots them.
-    pub const ALL: [ExecutionMode; 3] =
-        [ExecutionMode::Interpreted, ExecutionMode::InterpretedOpt, ExecutionMode::Compiled];
+    pub const ALL: [ExecutionMode; 3] = [
+        ExecutionMode::Interpreted,
+        ExecutionMode::InterpretedOpt,
+        ExecutionMode::Compiled,
+    ];
 
     /// Human-readable label matching the figure legend.
     pub fn label(self) -> &'static str {
@@ -160,6 +163,9 @@ mod tests {
         let model = ModeCost::new(ExecutionMode::Compiled, vec![Loc::new(1)]);
         let m = Msg::new("x", Value::Unit);
         assert_eq!(model.handle_cost(Loc::new(0), &m), Duration::ZERO);
-        assert_eq!(model.handle_cost(Loc::new(1), &m), ExecutionMode::Compiled.cost_base());
+        assert_eq!(
+            model.handle_cost(Loc::new(1), &m),
+            ExecutionMode::Compiled.cost_base()
+        );
     }
 }

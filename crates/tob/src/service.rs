@@ -21,7 +21,7 @@
 use crate::{BROADCAST_HEADER, DELIVER_HEADER};
 use shadowdb_consensus::{synod, twothird, vmap, DECIDE_HEADER};
 use shadowdb_eventml::patterns::{mealy, tagged_union};
-use shadowdb_eventml::{ClassExpr, Msg, SendInstr, Spec, Value};
+use shadowdb_eventml::{cached_header, ClassExpr, Msg, SendInstr, Spec, Value};
 use shadowdb_loe::Loc;
 use std::sync::Arc;
 
@@ -56,7 +56,11 @@ impl TobConfig {
     /// Creates a configuration with the paper's batching enabled
     /// (`max_batch` = 64).
     pub fn new(backend: Backend, subscribers: Vec<Loc>) -> TobConfig {
-        TobConfig { backend, subscribers, max_batch: 64 }
+        TobConfig {
+            backend,
+            subscribers,
+            max_batch: 64,
+        }
     }
 
     /// Overrides the batch bound (1 disables batching — the ablation case).
@@ -204,7 +208,9 @@ fn transition(
         BROADCAST_HEADER => {
             let (client, rest) = body.unpair();
             let (msgid, _payload) = rest.unpair();
-            let last = vmap::get(&st.last_enq, client).and_then(Value::as_int).unwrap_or(-1);
+            let last = vmap::get(&st.last_enq, client)
+                .and_then(Value::as_int)
+                .unwrap_or(-1);
             if msgid.int() > last {
                 st.last_enq = vmap::set(&st.last_enq, client.clone(), msgid.clone());
                 let mut pending: Vec<Value> = st.pending.elems().to_vec();
@@ -243,8 +249,9 @@ fn deliver_ready(config: &TobConfig, st: &mut ServerState, outs: &mut Vec<SendIn
         for entry in batch_entries(&batch) {
             let (client, rest) = entry.unpair();
             let (msgid, _payload) = rest.unpair();
-            let last =
-                vmap::get(&st.last_del, client).and_then(Value::as_int).unwrap_or(-1);
+            let last = vmap::get(&st.last_del, client)
+                .and_then(Value::as_int)
+                .unwrap_or(-1);
             if msgid.int() <= last {
                 continue; // duplicate of an already-delivered message
             }
@@ -252,7 +259,10 @@ fn deliver_ready(config: &TobConfig, st: &mut ServerState, outs: &mut Vec<SendIn
             for sub in &config.subscribers {
                 outs.push(SendInstr::now(
                     *sub,
-                    Msg::new(DELIVER_HEADER, Value::pair(Value::Int(st.seq), entry.clone())),
+                    Msg::new(
+                        cached_header!(DELIVER_HEADER),
+                        Value::pair(Value::Int(st.seq), entry.clone()),
+                    ),
                 ));
             }
             st.seq += 1;
@@ -299,7 +309,9 @@ mod tests {
 
     fn server(max_batch: usize) -> (InterpretedProcess, TobConfig) {
         let config = TobConfig::new(
-            Backend::TwoThird { member: Loc::new(50) },
+            Backend::TwoThird {
+                member: Loc::new(50),
+            },
             vec![Loc::new(60), Loc::new(61)],
         )
         .with_max_batch(max_batch);
@@ -310,13 +322,19 @@ mod tests {
     fn broadcast_triggers_batched_proposal() {
         let (mut p, _) = server(64);
         let slf = Loc::new(0);
-        let outs = p.step(&Ctx::at(slf), &broadcast_msg(Loc::new(9), 0, Value::str("a")));
+        let outs = p.step(
+            &Ctx::at(slf),
+            &broadcast_msg(Loc::new(9), 0, Value::str("a")),
+        );
         assert_eq!(outs.len(), 1);
         assert_eq!(outs[0].dest, Loc::new(50));
         assert_eq!(outs[0].msg.header.name(), twothird::PROPOSE_HEADER);
         // A second broadcast while the first is outstanding: queued, no
         // second proposal.
-        let outs = p.step(&Ctx::at(slf), &broadcast_msg(Loc::new(9), 1, Value::str("b")));
+        let outs = p.step(
+            &Ctx::at(slf),
+            &broadcast_msg(Loc::new(9), 1, Value::str("b")),
+        );
         assert!(outs.is_empty());
     }
 
@@ -325,18 +343,29 @@ mod tests {
         let (mut p, _) = server(64);
         let slf = Loc::new(0);
         let entry = |c: u32, id: i64| {
-            Value::pair(Value::Loc(Loc::new(c)), Value::pair(Value::Int(id), Value::Unit))
+            Value::pair(
+                Value::Loc(Loc::new(c)),
+                Value::pair(Value::Int(id), Value::Unit),
+            )
         };
         // Decide slot 1 first: nothing delivered yet.
         let b1 = batch_value(Loc::new(1), 0, &[entry(8, 0)]);
-        let outs = p.step(&Ctx::at(slf), &Msg::new(DECIDE_HEADER, decide_body(1, &b1)));
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(1, &b1)),
+        );
         assert!(outs.is_empty());
         // Decide slot 0: both batches flush, in slot order, seq 0..=1 at
         // each subscriber.
         let b0 = batch_value(Loc::new(2), 0, &[entry(9, 0)]);
-        let outs = p.step(&Ctx::at(slf), &Msg::new(DECIDE_HEADER, decide_body(0, &b0)));
-        let deliveries: Vec<_> =
-            outs.iter().filter_map(|o| parse_deliver(&o.msg).map(|d| (o.dest, d))).collect();
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(0, &b0)),
+        );
+        let deliveries: Vec<_> = outs
+            .iter()
+            .filter_map(|o| parse_deliver(&o.msg).map(|d| (o.dest, d)))
+            .collect();
         assert_eq!(deliveries.len(), 4); // 2 messages × 2 subscribers
         assert_eq!(deliveries[0].1.client, Loc::new(9));
         assert_eq!(deliveries[0].1.seq, 0);
@@ -360,18 +389,27 @@ mod tests {
         let (mut p, _) = server(64);
         let slf = Loc::new(0);
         // Our batch goes out for slot 0.
-        p.step(&Ctx::at(slf), &broadcast_msg(Loc::new(9), 0, Value::str("mine")));
+        p.step(
+            &Ctx::at(slf),
+            &broadcast_msg(Loc::new(9), 0, Value::str("mine")),
+        );
         // Slot 0 decides with someone else's batch.
         let other = batch_value(
             Loc::new(1),
             7,
-            &[Value::pair(Value::Loc(Loc::new(8)), Value::pair(Value::Int(0), Value::Unit))],
+            &[Value::pair(
+                Value::Loc(Loc::new(8)),
+                Value::pair(Value::Int(0), Value::Unit),
+            )],
         );
-        let outs = p.step(&Ctx::at(slf), &Msg::new(DECIDE_HEADER, decide_body(0, &other)));
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(0, &other)),
+        );
         // The other batch is delivered AND our batch is re-proposed (slot 1).
         let proposals: Vec<_> = outs
             .iter()
-            .filter(|o| o.msg.header.name() == twothird::PROPOSE_HEADER)
+            .filter(|o| o.msg.header == cached_header!(twothird::PROPOSE_HEADER))
             .collect();
         assert_eq!(proposals.len(), 1);
         let (slot, batch) = proposals[0].msg.body.unpair();
@@ -391,18 +429,24 @@ mod tests {
         // First proposal (1 message went out immediately; the rest queued).
         // Decide it; the next proposal must carry exactly max_batch = 2.
         let st = |p: &mut InterpretedProcess, slot: i64, b: &Value| {
-            p.step(&Ctx::at(slf), &Msg::new(DECIDE_HEADER, decide_body(slot, b)))
+            p.step(
+                &Ctx::at(slf),
+                &Msg::new(cached_header!(DECIDE_HEADER), decide_body(slot, b)),
+            )
         };
         // Reconstruct the outstanding batch: proposer slf, batchid 0, first msg.
         let b0 = batch_value(
             slf,
             0,
-            &[Value::pair(Value::Loc(Loc::new(9)), Value::pair(Value::Int(0), Value::Unit))],
+            &[Value::pair(
+                Value::Loc(Loc::new(9)),
+                Value::pair(Value::Int(0), Value::Unit),
+            )],
         );
         let outs = st(&mut p, 0, &b0);
         let proposal = outs
             .iter()
-            .find(|o| o.msg.header.name() == twothird::PROPOSE_HEADER)
+            .find(|o| o.msg.header == cached_header!(twothird::PROPOSE_HEADER))
             .expect("next batch proposed");
         let (_, batch) = proposal.msg.body.unpair();
         assert_eq!(batch_entries(batch).len(), 2);
@@ -419,7 +463,9 @@ mod size_tests {
     #[test]
     fn spec_size_reported_for_table1() {
         let spec = service_spec(&TobConfig::new(
-            Backend::Paxos { replica: Loc::new(1) },
+            Backend::Paxos {
+                replica: Loc::new(1),
+            },
             vec![Loc::new(100)],
         ));
         let nodes = spec.ast_nodes();

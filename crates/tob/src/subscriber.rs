@@ -27,7 +27,10 @@ impl InOrderBuffer {
     /// Creates a buffer that starts at `seq` (everything below is treated
     /// as already consumed — e.g. covered by a state-transfer snapshot).
     pub fn starting_at(seq: i64) -> InOrderBuffer {
-        InOrderBuffer { next: seq, buffered: BTreeMap::new() }
+        InOrderBuffer {
+            next: seq,
+            buffered: BTreeMap::new(),
+        }
     }
 
     /// Consumes the buffer, returning the out-of-order deliveries it was
@@ -64,7 +67,12 @@ mod tests {
     use shadowdb_loe::Loc;
 
     fn d(seq: i64) -> Delivery {
-        Delivery { seq, client: Loc::new(1), msgid: seq, payload: Value::Unit }
+        Delivery {
+            seq,
+            client: Loc::new(1),
+            msgid: seq,
+            payload: Value::Unit,
+        }
     }
 
     #[test]

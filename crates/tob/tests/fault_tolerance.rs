@@ -12,8 +12,8 @@ use shadowdb_loe::{Loc, VTime};
 use shadowdb_simnet::{NetworkConfig, SimBuilder};
 use shadowdb_tob::deploy::BackendKind;
 use shadowdb_tob::{
-    parse_deliver, ClientStats, Delivery, ExecutionMode, InOrderBuffer, TobClient,
-    TobDeployment, TobOptions,
+    parse_deliver, ClientStats, Delivery, ExecutionMode, InOrderBuffer, TobClient, TobDeployment,
+    TobOptions,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,12 +21,15 @@ use std::time::Duration;
 type Log = Arc<Mutex<Vec<Delivery>>>;
 
 fn subscriber(log: Log) -> Box<dyn Process> {
-    Box::new(FnProcess::new(InOrderBuffer::new(), move |buf, _c: &Ctx, m: &Msg| {
-        if let Some(d) = parse_deliver(m) {
-            log.lock().extend(buf.offer(d));
-        }
-        vec![]
-    }))
+    Box::new(FnProcess::new(
+        InOrderBuffer::new(),
+        move |buf, _c: &Ctx, m: &Msg| {
+            if let Some(d) = parse_deliver(m) {
+                log.lock().extend(buf.offer(d));
+            }
+            vec![]
+        },
+    ))
 }
 
 fn crash_one_machine(victim_machine: u32, seed: u64) {
@@ -45,10 +48,12 @@ fn crash_one_machine(victim_machine: u32, seed: u64) {
         stats.push(s.clone());
         let mut order = servers.clone();
         order.rotate_left(c as usize % 3);
-        clients.push(sim.add_node(Box::new(
-            TobClient::new(order, Value::Int(c as i64), 15, s)
-                .with_timeout(Duration::from_millis(300)),
-        )));
+        clients.push(
+            sim.add_node(Box::new(
+                TobClient::new(order, Value::Int(c as i64), 15, s)
+                    .with_timeout(Duration::from_millis(300)),
+            )),
+        );
     }
     let mut subscribers = vec![sub];
     subscribers.extend(clients.iter().copied());

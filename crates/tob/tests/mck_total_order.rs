@@ -51,14 +51,20 @@ fn tob_total_order_checked_exhaustively() {
         // Bounds sized for CI: ~100 k states in seconds. The space has
         // been explored to 3 M states / depth 34 without violation; raise
         // the bounds to reproduce.
-        Options { max_depth: 22, max_states: 30_000, ..Options::default() },
+        Options {
+            max_depth: 22,
+            max_states: 30_000,
+            ..Options::default()
+        },
         |w| {
             // Per-subscriber: sequence numbers unique; across subscribers:
             // same seq ⇒ same message.
             let mut by_seq: BTreeMap<(Loc, i64), (Loc, i64)> = BTreeMap::new();
             let mut global: BTreeMap<i64, (Loc, i64)> = BTreeMap::new();
             for (sub, _, msg) in &w.observations {
-                let Some(d) = parse_deliver(msg) else { continue };
+                let Some(d) = parse_deliver(msg) else {
+                    continue;
+                };
                 let ident = (d.client, d.msgid);
                 if let Some(prev) = by_seq.insert((*sub, d.seq), ident) {
                     if prev != ident {

@@ -14,8 +14,8 @@ use shadowdb_loe::{Loc, VTime};
 use shadowdb_simnet::{NetworkConfig, SimBuilder};
 use shadowdb_tob::deploy::BackendKind;
 use shadowdb_tob::{
-    parse_deliver, ClientStats, Delivery, ExecutionMode, InOrderBuffer, TobClient,
-    TobDeployment, TobOptions,
+    parse_deliver, ClientStats, Delivery, ExecutionMode, InOrderBuffer, TobClient, TobDeployment,
+    TobOptions,
 };
 use std::sync::Arc;
 
@@ -23,12 +23,15 @@ type Log = Arc<Mutex<Vec<Delivery>>>;
 
 /// A subscriber: dedup/reorder through an [`InOrderBuffer`], then log.
 fn subscriber(log: Log) -> Box<dyn Process> {
-    Box::new(FnProcess::new(InOrderBuffer::new(), move |buf, _ctx: &Ctx, msg: &Msg| {
-        if let Some(d) = parse_deliver(msg) {
-            log.lock().extend(buf.offer(d));
-        }
-        vec![]
-    }))
+    Box::new(FnProcess::new(
+        InOrderBuffer::new(),
+        move |buf, _ctx: &Ctx, msg: &Msg| {
+            if let Some(d) = parse_deliver(msg) {
+                log.lock().extend(buf.offer(d));
+            }
+            vec![]
+        },
+    ))
 }
 
 /// Runs `n_clients` clients × `msgs_each` messages against a deployment
@@ -53,7 +56,9 @@ fn run(
         BackendKind::Paxos => 4,
     };
     let first_server = 2 + n_clients;
-    let servers: Vec<Loc> = (0..3u32).map(|i| Loc::new(first_server + i * per)).collect();
+    let servers: Vec<Loc> = (0..3u32)
+        .map(|i| Loc::new(first_server + i * per))
+        .collect();
 
     let mut stats = Vec::new();
     let mut client_locs = Vec::new();
@@ -69,7 +74,13 @@ fn run(
 
     let mut subscribers = vec![sub_a, sub_b];
     subscribers.extend(client_locs.iter().copied());
-    let options = TobOptions { backend, mode: ExecutionMode::Compiled, max_batch, machines: 3, ..TobOptions::default() };
+    let options = TobOptions {
+        backend,
+        mode: ExecutionMode::Compiled,
+        max_batch,
+        machines: 3,
+        ..TobOptions::default()
+    };
     let deployment = TobDeployment::build(&mut sim, &options, subscribers);
     assert_eq!(deployment.servers, servers);
 
@@ -101,7 +112,11 @@ fn assert_properties(
     // in client order (clients are closed-loop).
     for c in 0..n_clients {
         let loc = Loc::new(client_locs_start + c);
-        let ids: Vec<i64> = a.iter().filter(|d| d.client == loc).map(|d| d.msgid).collect();
+        let ids: Vec<i64> = a
+            .iter()
+            .filter(|d| d.client == loc)
+            .map(|d| d.msgid)
+            .collect();
         assert_eq!(ids, (0..msgs_each as i64).collect::<Vec<_>>(), "client {c}");
     }
 }

@@ -25,7 +25,11 @@ pub fn load(db: &Database, rows: usize) -> Result<(), SqlError> {
     db.insert_rows(
         "accounts",
         (0..rows as i64).map(|i| {
-            vec![SqlValue::Int(i), SqlValue::Text(String::new()), SqlValue::Int(1_000)]
+            vec![
+                SqlValue::Int(i),
+                SqlValue::Text(String::new()),
+                SqlValue::Int(1_000),
+            ]
         }),
     )?;
     Ok(())
@@ -43,9 +47,7 @@ pub fn load_sized(db: &Database, rows: usize, row_bytes: usize) -> Result<(), Sq
     if row_bytes <= 16 {
         return load(db, rows);
     }
-    db.execute(
-        "CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, note TEXT, balance INT)",
-    )?;
+    db.execute("CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, note TEXT, balance INT)")?;
     let pad = row_bytes.saturating_sub(16) / 2;
     db.insert_rows(
         "accounts",
@@ -79,11 +81,21 @@ pub fn deposit(db: &Database, account: i64, amount: i64) -> Result<TxnOutcome, S
 /// The read stored procedure.
 pub fn read_balance(db: &Database, account: i64) -> Result<TxnOutcome, SqlError> {
     let mut txn = db.begin()?;
-    let rs = txn.query(&format!("SELECT balance FROM accounts WHERE id = {account}"))?;
+    let rs = txn.query(&format!(
+        "SELECT balance FROM accounts WHERE id = {account}"
+    ))?;
     let cost = txn.virtual_cost();
     txn.commit()?;
-    let balance = rs.rows.first().map(|r| r[0].clone()).unwrap_or(SqlValue::Null);
-    Ok(TxnOutcome { committed: true, result: vec![balance], cost })
+    let balance = rs
+        .rows
+        .first()
+        .map(|r| r[0].clone())
+        .unwrap_or(SqlValue::Null);
+    Ok(TxnOutcome {
+        committed: true,
+        result: vec![balance],
+        cost,
+    })
 }
 
 /// A deterministic generator of deposit requests on random accounts.
@@ -96,7 +108,10 @@ pub struct BankGen {
 impl BankGen {
     /// Creates a generator over `rows` accounts.
     pub fn new(seed: u64, rows: usize) -> BankGen {
-        BankGen { rng: SmallRng::seed_from_u64(seed), rows }
+        BankGen {
+            rng: SmallRng::seed_from_u64(seed),
+            rows,
+        }
     }
 
     /// The next deposit request.
@@ -172,7 +187,10 @@ mod tests {
             t.apply(&db2).unwrap();
         }
         let sum = |db: &Database| {
-            db.execute("SELECT SUM(balance) FROM accounts").unwrap().rows[0][0].clone()
+            db.execute("SELECT SUM(balance) FROM accounts")
+                .unwrap()
+                .rows[0][0]
+                .clone()
         };
         assert_eq!(sum(&db1), sum(&db2));
     }

@@ -171,7 +171,6 @@ pub fn load(db: &Database, scale: &TpccScale, seed: u64) -> Result<(), SqlError>
     )?;
     // Initial orders: every customer has roughly one historical order; the
     // last third of each district's orders are still undelivered.
-    let mut history_id = 0;
     for d in 1..=scale.districts {
         let mut orders = Vec::new();
         let mut lines = Vec::new();
@@ -186,7 +185,11 @@ pub fn load(db: &Database, scale: &TpccScale, seed: u64) -> Result<(), SqlError>
                 SqlValue::Int(o),
                 SqlValue::Int(c),
                 SqlValue::Int(0),
-                if delivered { SqlValue::Int(rng.gen_range(1..=10)) } else { SqlValue::Null },
+                if delivered {
+                    SqlValue::Int(rng.gen_range(1..=10))
+                } else {
+                    SqlValue::Null
+                },
                 SqlValue::Int(ol_cnt),
             ]);
             if !delivered {
@@ -202,15 +205,17 @@ pub fn load(db: &Database, scale: &TpccScale, seed: u64) -> Result<(), SqlError>
                     SqlValue::Int(i),
                     SqlValue::Int(5),
                     SqlValue::Real(rng.gen_range(1.0..100.0)),
-                    if delivered { SqlValue::Int(0) } else { SqlValue::Null },
+                    if delivered {
+                        SqlValue::Int(0)
+                    } else {
+                        SqlValue::Null
+                    },
                 ]);
             }
         }
         db.insert_rows("orders", orders)?;
         db.insert_rows("order_line", lines)?;
         db.insert_rows("new_order", new_orders)?;
-        history_id += 1;
-        let _ = history_id;
     }
     Ok(())
 }
@@ -279,38 +284,53 @@ impl TpccTxn {
     /// `committed: false`.
     pub fn apply(&self, db: &Database) -> Result<TxnOutcome, SqlError> {
         match self {
-            TpccTxn::NewOrder { district, customer, lines } => {
-                new_order(db, *district, *customer, lines)
-            }
-            TpccTxn::Payment { district, customer, amount, history_id } => {
-                payment(db, *district, *customer, *amount, *history_id)
-            }
-            TpccTxn::OrderStatus { district, customer } => {
-                order_status(db, *district, *customer)
-            }
+            TpccTxn::NewOrder {
+                district,
+                customer,
+                lines,
+            } => new_order(db, *district, *customer, lines),
+            TpccTxn::Payment {
+                district,
+                customer,
+                amount,
+                history_id,
+            } => payment(db, *district, *customer, *amount, *history_id),
+            TpccTxn::OrderStatus { district, customer } => order_status(db, *district, *customer),
             TpccTxn::Delivery { carrier } => delivery(db, *carrier),
-            TpccTxn::StockLevel { district, threshold } => {
-                stock_level(db, *district, *threshold)
-            }
+            TpccTxn::StockLevel {
+                district,
+                threshold,
+            } => stock_level(db, *district, *threshold),
         }
     }
 
     /// Wire encoding.
     pub fn to_value(&self) -> Value {
         match self {
-            TpccTxn::NewOrder { district, customer, lines } => Value::pair(
+            TpccTxn::NewOrder {
+                district,
+                customer,
+                lines,
+            } => Value::pair(
                 Value::str("no"),
                 Value::pair(
                     Value::Int(*district),
                     Value::pair(
                         Value::Int(*customer),
-                        Value::list(lines.iter().map(|l| {
-                            Value::pair(Value::Int(l.item), Value::Int(l.qty))
-                        })),
+                        Value::list(
+                            lines
+                                .iter()
+                                .map(|l| Value::pair(Value::Int(l.item), Value::Int(l.qty))),
+                        ),
                     ),
                 ),
             ),
-            TpccTxn::Payment { district, customer, amount, history_id } => Value::pair(
+            TpccTxn::Payment {
+                district,
+                customer,
+                amount,
+                history_id,
+            } => Value::pair(
                 Value::str("pay"),
                 Value::pair(
                     Value::pair(Value::Int(*district), Value::Int(*customer)),
@@ -324,10 +344,11 @@ impl TpccTxn {
                 Value::str("os"),
                 Value::pair(Value::Int(*district), Value::Int(*customer)),
             ),
-            TpccTxn::Delivery { carrier } => {
-                Value::pair(Value::str("dl"), Value::Int(*carrier))
-            }
-            TpccTxn::StockLevel { district, threshold } => Value::pair(
+            TpccTxn::Delivery { carrier } => Value::pair(Value::str("dl"), Value::Int(*carrier)),
+            TpccTxn::StockLevel {
+                district,
+                threshold,
+            } => Value::pair(
                 Value::str("sl"),
                 Value::pair(Value::Int(*district), Value::Int(*threshold)),
             ),
@@ -370,7 +391,9 @@ impl TpccTxn {
                 district: body.fst()?.as_int()?,
                 customer: body.snd()?.as_int()?,
             }),
-            "dl" => Some(TpccTxn::Delivery { carrier: body.as_int()? }),
+            "dl" => Some(TpccTxn::Delivery {
+                carrier: body.as_int()?,
+            }),
             "sl" => Some(TpccTxn::StockLevel {
                 district: body.fst()?.as_int()?,
                 threshold: body.snd()?.as_int()?,
@@ -381,24 +404,23 @@ impl TpccTxn {
 }
 
 fn one_int(rs: &shadowdb_sqldb::ResultSet) -> Option<i64> {
-    rs.rows.first().and_then(|r| r.first()).and_then(SqlValue::as_int)
+    rs.rows
+        .first()
+        .and_then(|r| r.first())
+        .and_then(SqlValue::as_int)
 }
 
 fn one_real(rs: &shadowdb_sqldb::ResultSet) -> Option<f64> {
-    rs.rows.first().and_then(|r| r.first()).and_then(SqlValue::as_real)
+    rs.rows
+        .first()
+        .and_then(|r| r.first())
+        .and_then(SqlValue::as_real)
 }
 
-fn new_order(
-    db: &Database,
-    d: i64,
-    c: i64,
-    lines: &[OrderLine],
-) -> Result<TxnOutcome, SqlError> {
+fn new_order(db: &Database, d: i64, c: i64, lines: &[OrderLine]) -> Result<TxnOutcome, SqlError> {
     let mut txn = db.begin()?;
-    let w_tax = one_real(&txn.query(&format!(
-        "SELECT w_tax FROM warehouse WHERE w_id = {W}"
-    ))?)
-    .unwrap_or(0.0);
+    let w_tax = one_real(&txn.query(&format!("SELECT w_tax FROM warehouse WHERE w_id = {W}"))?)
+        .unwrap_or(0.0);
     let rs = txn.query(&format!(
         "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = {W} AND d_id = {d}"
     ))?;
@@ -433,7 +455,11 @@ fn new_order(
             line.item
         ))?)
         .unwrap_or(0);
-        let new_qty = if qty - line.qty >= 10 { qty - line.qty } else { qty - line.qty + 91 };
+        let new_qty = if qty - line.qty >= 10 {
+            qty - line.qty
+        } else {
+            qty - line.qty + 91
+        };
         txn.execute(&format!(
             "UPDATE stock SET s_quantity = {new_qty}, s_ytd = s_ytd + {q}, \
              s_order_cnt = s_order_cnt + 1 WHERE s_w_id = {W} AND s_i_id = {i}",
@@ -487,7 +513,11 @@ fn payment(
     .unwrap_or(0.0);
     let cost = txn.virtual_cost();
     txn.commit()?;
-    Ok(TxnOutcome { committed: true, result: vec![SqlValue::Real(balance)], cost })
+    Ok(TxnOutcome {
+        committed: true,
+        result: vec![SqlValue::Real(balance)],
+        cost,
+    })
 }
 
 fn order_status(db: &Database, d: i64, c: i64) -> Result<TxnOutcome, SqlError> {
@@ -512,15 +542,17 @@ fn order_status(db: &Database, d: i64, c: i64) -> Result<TxnOutcome, SqlError> {
     }
     let cost = txn.virtual_cost();
     txn.commit()?;
-    Ok(TxnOutcome { committed: true, result, cost })
+    Ok(TxnOutcome {
+        committed: true,
+        result,
+        cost,
+    })
 }
 
 fn delivery(db: &Database, carrier: i64) -> Result<TxnOutcome, SqlError> {
     let mut txn = db.begin()?;
-    let districts = one_int(&txn.query(
-        "SELECT COUNT(*) FROM district WHERE d_w_id = 1",
-    )?)
-    .unwrap_or(0);
+    let districts =
+        one_int(&txn.query("SELECT COUNT(*) FROM district WHERE d_w_id = 1")?).unwrap_or(0);
     let mut delivered = 0;
     for d in 1..=districts {
         let oldest = one_int(&txn.query(&format!(
@@ -556,7 +588,11 @@ fn delivery(db: &Database, carrier: i64) -> Result<TxnOutcome, SqlError> {
     }
     let cost = txn.virtual_cost();
     txn.commit()?;
-    Ok(TxnOutcome { committed: true, result: vec![SqlValue::Int(delivered)], cost })
+    Ok(TxnOutcome {
+        committed: true,
+        result: vec![SqlValue::Int(delivered)],
+        cost,
+    })
 }
 
 fn stock_level(db: &Database, d: i64, threshold: i64) -> Result<TxnOutcome, SqlError> {
@@ -571,8 +607,7 @@ fn stock_level(db: &Database, d: i64, threshold: i64) -> Result<TxnOutcome, SqlE
          WHERE ol_w_id = {W} AND ol_d_id = {d} AND ol_o_id >= {}",
         next - 20
     ))?;
-    let mut items: Vec<i64> =
-        lines.rows.iter().filter_map(|r| r[0].as_int()).collect();
+    let mut items: Vec<i64> = lines.rows.iter().filter_map(|r| r[0].as_int()).collect();
     items.sort_unstable();
     items.dedup();
     let mut low = 0;
@@ -587,7 +622,11 @@ fn stock_level(db: &Database, d: i64, threshold: i64) -> Result<TxnOutcome, SqlE
     }
     let cost = txn.virtual_cost();
     txn.commit()?;
-    Ok(TxnOutcome { committed: true, result: vec![SqlValue::Int(low)], cost })
+    Ok(TxnOutcome {
+        committed: true,
+        result: vec![SqlValue::Int(low)],
+        cost,
+    })
 }
 
 /// A deterministic generator of TPC-C transactions with the standard mix.
@@ -626,7 +665,11 @@ impl TpccGen {
                     // 1% invalid item → deterministic rollback.
                     lines.last_mut().expect("n >= 5").item = 0;
                 }
-                TpccTxn::NewOrder { district: d, customer: c, lines }
+                TpccTxn::NewOrder {
+                    district: d,
+                    customer: c,
+                    lines,
+                }
             }
             45..=87 => {
                 let h = self.next_history;
@@ -639,9 +682,17 @@ impl TpccGen {
                     history_id: h,
                 }
             }
-            88..=91 => TpccTxn::OrderStatus { district: d, customer: c },
-            92..=95 => TpccTxn::Delivery { carrier: self.rng.gen_range(1..=10) },
-            _ => TpccTxn::StockLevel { district: d, threshold: self.rng.gen_range(10..=20) },
+            88..=91 => TpccTxn::OrderStatus {
+                district: d,
+                customer: c,
+            },
+            92..=95 => TpccTxn::Delivery {
+                carrier: self.rng.gen_range(1..=10),
+            },
+            _ => TpccTxn::StockLevel {
+                district: d,
+                threshold: self.rng.gen_range(10..=20),
+            },
         }
     }
 }
@@ -712,12 +763,19 @@ mod tests {
     #[test]
     fn payment_moves_money() {
         let db = loaded();
-        let t = TpccTxn::Payment { district: 2, customer: 7, amount: 12.5, history_id: 1 };
+        let t = TpccTxn::Payment {
+            district: 2,
+            customer: 7,
+            amount: 12.5,
+            history_id: 1,
+        };
         let out = t.apply(&db).unwrap();
         assert!(out.committed);
         assert_eq!(out.result[0].as_real().unwrap(), -22.5);
         assert_eq!(db.table_len("history"), 1);
-        let r = db.execute("SELECT w_ytd FROM warehouse WHERE w_id = 1").unwrap();
+        let r = db
+            .execute("SELECT w_ytd FROM warehouse WHERE w_id = 1")
+            .unwrap();
         assert_eq!(r.rows[0][0].as_real().unwrap(), 12.5);
     }
 
@@ -731,7 +789,12 @@ mod tests {
         }
         .apply(&db)
         .unwrap();
-        let out = TpccTxn::OrderStatus { district: 1, customer: 4 }.apply(&db).unwrap();
+        let out = TpccTxn::OrderStatus {
+            district: 1,
+            customer: 4,
+        }
+        .apply(&db)
+        .unwrap();
         assert!(out.committed);
         assert_eq!(out.result[1].as_int().unwrap(), 21, "latest order id");
         assert_eq!(out.result[2].as_int().unwrap(), 1, "one line");
@@ -750,9 +813,19 @@ mod tests {
     #[test]
     fn stock_level_counts_low_stock() {
         let db = loaded();
-        let out = TpccTxn::StockLevel { district: 1, threshold: 100 }.apply(&db).unwrap();
+        let out = TpccTxn::StockLevel {
+            district: 1,
+            threshold: 100,
+        }
+        .apply(&db)
+        .unwrap();
         assert!(out.committed);
-        let high = TpccTxn::StockLevel { district: 1, threshold: 0 }.apply(&db).unwrap();
+        let high = TpccTxn::StockLevel {
+            district: 1,
+            threshold: 0,
+        }
+        .apply(&db)
+        .unwrap();
         assert_eq!(high.result[0].as_int().unwrap(), 0);
         assert!(out.result[0].as_int().unwrap() >= high.result[0].as_int().unwrap());
     }
@@ -778,7 +851,14 @@ mod tests {
             assert_eq!(a.committed, b.committed);
             assert_eq!(a.result, b.result);
         }
-        for table in ["district", "customer", "orders", "order_line", "stock", "history"] {
+        for table in [
+            "district",
+            "customer",
+            "orders",
+            "order_line",
+            "stock",
+            "history",
+        ] {
             assert_eq!(db1.table_len(table), db2.table_len(table), "{table}");
         }
     }
@@ -813,10 +893,14 @@ mod tests {
 pub fn check_consistency(db: &Database) -> Result<(), String> {
     let one_int = |sql: &str| -> Result<Option<i64>, String> {
         let rs = db.execute(sql).map_err(|e| format!("{sql}: {e}"))?;
-        Ok(rs.rows.first().and_then(|r| r.first()).and_then(SqlValue::as_int))
+        Ok(rs
+            .rows
+            .first()
+            .and_then(|r| r.first())
+            .and_then(SqlValue::as_int))
     };
-    let districts = one_int("SELECT COUNT(*) FROM district WHERE d_w_id = 1")?
-        .ok_or("no districts")?;
+    let districts =
+        one_int("SELECT COUNT(*) FROM district WHERE d_w_id = 1")?.ok_or("no districts")?;
     for d in 1..=districts {
         // Condition 2: d_next_o_id - 1 = max(o_id) = max(no_o_id ∪ o_id).
         let next = one_int(&format!(
@@ -880,7 +964,9 @@ pub fn check_consistency(db: &Database) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let d_ytd = rs.rows[0][0].as_real().ok_or("d_ytd")?;
     if (w_ytd - d_ytd).abs() > 1e-6 {
-        return Err(format!("condition 1 violated: w_ytd={w_ytd} but sum(d_ytd)={d_ytd}"));
+        return Err(format!(
+            "condition 1 violated: w_ytd={w_ytd} but sum(d_ytd)={d_ytd}"
+        ));
     }
     Ok(())
 }

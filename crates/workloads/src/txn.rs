@@ -53,9 +53,7 @@ impl TxnRequest {
     /// them identically.
     pub fn apply(&self, db: &Database) -> Result<TxnOutcome, SqlError> {
         match self {
-            TxnRequest::BankDeposit { account, amount } => {
-                bank::deposit(db, *account, *amount)
-            }
+            TxnRequest::BankDeposit { account, amount } => bank::deposit(db, *account, *amount),
             TxnRequest::BankRead { account } => bank::read_balance(db, *account),
             TxnRequest::Tpcc(t) => t.apply(db),
             TxnRequest::Sql(stmts) => {
@@ -70,7 +68,11 @@ impl TxnRequest {
                 }
                 let cost = txn.virtual_cost();
                 txn.commit()?;
-                Ok(TxnOutcome { committed: true, result, cost })
+                Ok(TxnOutcome {
+                    committed: true,
+                    result,
+                    cost,
+                })
             }
         }
     }
@@ -101,7 +103,9 @@ impl TxnRequest {
                 account: body.fst()?.as_int()?,
                 amount: body.snd()?.as_int()?,
             }),
-            "read" => Some(TxnRequest::BankRead { account: body.as_int()? }),
+            "read" => Some(TxnRequest::BankRead {
+                account: body.as_int()?,
+            }),
             "tpcc" => tpcc::TpccTxn::from_value(body).map(TxnRequest::Tpcc),
             "sql" => {
                 let stmts: Option<Vec<String>> = body
@@ -123,7 +127,10 @@ mod tests {
     #[test]
     fn value_roundtrip() {
         let reqs = vec![
-            TxnRequest::BankDeposit { account: 7, amount: 100 },
+            TxnRequest::BankDeposit {
+                account: 7,
+                amount: 100,
+            },
             TxnRequest::BankRead { account: 3 },
             TxnRequest::Sql(vec!["SELECT 1 FROM t".into(), "DELETE FROM t".into()]),
         ];

@@ -60,7 +60,11 @@ fn main() {
     let resends: u64 = deployment.stats.iter().map(|s| s.lock().resends).sum();
     println!("committed after failover: {after}");
     println!("client retransmissions  : {resends}");
-    assert_eq!(after, clients * txns_per_client, "every transaction answered exactly once");
+    assert_eq!(
+        after,
+        clients * txns_per_client,
+        "every transaction answered exactly once"
+    );
 
     // The timeline, reconstructed from client observations.
     let mut all: Vec<(VTime, VTime)> = Vec::new();

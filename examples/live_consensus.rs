@@ -36,19 +36,28 @@ fn main() {
     for inst in 0..instances {
         // Conflicting proposals: each member starts from its own value.
         for m in 0..3 {
-            net.send(Loc::new(m), propose_msg(inst, Value::Int(inst * 10 + m as i64)));
+            net.send(
+                Loc::new(m),
+                propose_msg(inst, Value::Int(inst * 10 + m as i64)),
+            );
         }
     }
 
     // Each member notifies the learner once per decided instance.
     let mut decided: BTreeMap<i64, Vec<Value>> = BTreeMap::new();
     while decided.values().map(Vec::len).sum::<usize>() < (instances * 3) as usize {
-        let msg = rx.recv_timeout(Duration::from_secs(20)).expect("decisions keep arriving");
+        let msg = rx
+            .recv_timeout(Duration::from_secs(20))
+            .expect("decisions keep arriving");
         if let Some((inst, v)) = parse_decide(&msg) {
             decided.entry(inst).or_default().push(v);
         }
     }
-    println!("decided {} instances in {:?} on real threads", instances, t0.elapsed());
+    println!(
+        "decided {} instances in {:?} on real threads",
+        instances,
+        t0.elapsed()
+    );
     for (inst, values) in &decided {
         let first = &values[0];
         assert!(values.iter().all(|v| v == first), "agreement per instance");

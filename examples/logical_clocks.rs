@@ -49,13 +49,20 @@ fn main() {
 
     // A real multi-process run: a ring of 4 processes forwarding a value,
     // with trace capture feeding the Clock Condition checker.
-    let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).capture_trace(true).build();
+    let mut sim = SimBuilder::new(11)
+        .network(NetworkConfig::lan())
+        .capture_trace(true)
+        .build();
     for _ in 0..n {
         sim.add_node(Box::new(InterpretedProcess::compile_spec(&spec)));
     }
     // Two concurrent tokens entering at different processes.
     sim.send_at(VTime::ZERO, Loc::new(0), clk::clk_msg(Value::str("a"), 0));
-    sim.send_at(VTime::from_micros(40), Loc::new(2), clk::clk_msg(Value::str("b"), 0));
+    sim.send_at(
+        VTime::from_micros(40),
+        Loc::new(2),
+        clk::clk_msg(Value::str("b"), 0),
+    );
     sim.run_until(VTime::from_millis(3)); // a few dozen hops
 
     let trace = sim.trace().expect("trace capture enabled");

@@ -60,6 +60,9 @@ fn main() {
     );
     let d2 = SmrDeployment::build(&mut sim2, &options);
     sim2.run_until_quiescent(VTime::from_secs(60));
-    println!("fresh deployment read of account 0 committed: {}", d2.committed() == 1);
+    println!(
+        "fresh deployment read of account 0 committed: {}",
+        d2.committed() == 1
+    );
     println!("done — every answer came from a totally ordered, replicated execution.");
 }

@@ -33,11 +33,11 @@ fn main() {
             clients,
             move |client| {
                 let mut g = TpccGen::new(80 + client as u64, scale, client as u64 + 1);
-                (0..txns_per_client).map(|_| TxnRequest::Tpcc(g.next_txn())).collect()
+                (0..txns_per_client)
+                    .map(|_| TxnRequest::Tpcc(g.next_txn()))
+                    .collect()
             },
-            move |db| {
-                shadowdb_workloads::tpcc::load(db, &scale, 5).expect("warehouse loads")
-            },
+            move |db| shadowdb_workloads::tpcc::load(db, &scale, 5).expect("warehouse loads"),
         )
     };
     let deployment = SmrDeployment::build(&mut sim, &options);
@@ -50,7 +50,10 @@ fn main() {
     // normally with no interruptions as long as at least one replica
     // survives").
     sim.run_until(VTime::from_secs(1));
-    println!("crashing replica {} — clients should not notice", deployment.replicas[1]);
+    println!(
+        "crashing replica {} — clients should not notice",
+        deployment.replicas[1]
+    );
     sim.crash_at(sim.now(), deployment.replicas[1]);
     sim.run_until_quiescent(VTime::from_secs(3_600));
 
@@ -61,8 +64,10 @@ fn main() {
         committed += s.committed();
         aborted += s.completed.len() - s.committed();
     }
-    println!("answered: {} committed + {} rolled back (the spec's invalid-item NewOrders)",
-        committed, aborted);
+    println!(
+        "answered: {} committed + {} rolled back (the spec's invalid-item NewOrders)",
+        committed, aborted
+    );
     assert_eq!(committed + aborted, clients * txns_per_client);
     let resends: u64 = deployment.stats.iter().map(|s| s.lock().resends).sum();
     println!("client retransmissions despite the crash: {resends}");

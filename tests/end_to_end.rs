@@ -37,7 +37,9 @@ fn options_with_dbs(
 }
 
 fn total_balance(db: &Database) -> i64 {
-    db.execute("SELECT SUM(balance) FROM accounts").expect("sums").rows[0][0]
+    db.execute("SELECT SUM(balance) FROM accounts")
+        .expect("sums")
+        .rows[0][0]
         .as_int()
         .expect("integer sum")
 }
@@ -155,8 +157,15 @@ fn tpcc_smr_replicas_agree_on_everything() {
     assert_eq!(answered, 160);
 
     let dbs = dbs.lock();
-    for table in ["district", "customer", "orders", "new_order", "order_line", "history", "stock"]
-    {
+    for table in [
+        "district",
+        "customer",
+        "orders",
+        "new_order",
+        "order_line",
+        "history",
+        "stock",
+    ] {
         let counts: Vec<usize> = dbs.iter().map(|db| db.table_len(table)).collect();
         assert_eq!(counts[0], counts[1], "{table}");
         assert_eq!(counts[1], counts[2], "{table}");
@@ -192,7 +201,10 @@ fn smr_exactly_once_despite_duplicate_submissions() {
         1,
         |_| {
             (0..50)
-                .map(|i| TxnRequest::BankDeposit { account: i % 10, amount: 7 })
+                .map(|i| TxnRequest::BankDeposit {
+                    account: i % 10,
+                    amount: 7,
+                })
                 .collect()
         },
         |db| bank::load(db, ACCOUNTS).expect("loads"),
@@ -228,7 +240,9 @@ fn smr_history_is_strictly_serializable() {
             (0..60)
                 .map(|i| {
                     if (i + client) % 3 == 0 {
-                        TxnRequest::BankRead { account: ((i * 7 + client) % ACCOUNTS) as i64 }
+                        TxnRequest::BankRead {
+                            account: ((i * 7 + client) % ACCOUNTS) as i64,
+                        }
                     } else {
                         TxnRequest::BankDeposit {
                             account: ((i * 5 + client) % ACCOUNTS) as i64,
@@ -298,7 +312,9 @@ fn smr_history_is_strictly_serializable() {
     for db in dbs.iter() {
         for (account, expected) in &balances {
             let r = db
-                .execute(&format!("SELECT balance FROM accounts WHERE id = {account}"))
+                .execute(&format!(
+                    "SELECT balance FROM accounts WHERE id = {account}"
+                ))
                 .expect("reads");
             assert_eq!(
                 r.rows[0][0],

