@@ -1,8 +1,9 @@
 //! Fast non-criterion perf smoke test for the fused GPM hot path.
 //!
 //! Drives the fused (dispatch-optimized) TwoThird and CLK programs for a
-//! fixed number of messages, reports msgs/sec, and **fails** (exit 1) if
-//! either path regresses more than 30 % against the baseline recorded in
+//! fixed number of messages — standalone and through the `Runtime` seam —
+//! reports msgs/sec, and **fails** (exit 1) if
+//! any path regresses more than 30 % against the baseline recorded in
 //! `crates/bench/perf_smoke_baseline.json`. The whole run takes well under
 //! a second, so CI can afford it on every push — unlike the criterion
 //! suite, which needs minutes.
@@ -24,8 +25,10 @@
 use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
 use shadowdb_eventml::optimize::optimize;
 use shadowdb_eventml::{clk, Ctx, Process, SendInstr, Value};
-use shadowdb_loe::Loc;
-use std::time::Instant;
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::Runtime;
+use shadowdb_simnet::{Latency, NetworkConfig, SimBuilder};
+use std::time::{Duration, Instant};
 
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/perf_smoke_baseline.json");
 const TOLERANCE: f64 = 0.70;
@@ -80,6 +83,39 @@ fn clk_fused_rate() -> f64 {
     steps as f64 / t.elapsed().as_secs_f64()
 }
 
+/// msgs/sec of the fused CLK ring hosted in the simulator but assembled
+/// and driven purely through `&mut dyn Runtime` — the seam every
+/// deployment builder now uses. The trait only mediates *construction*
+/// (add_node / send_at / run_for); each delivered message still goes
+/// through the fused dispatch table directly, so this rate must stay on
+/// the same order as the simulator's native event loop. A cliff here
+/// would mean the runtime abstraction grew a per-message virtual hop.
+fn clk_runtime_rate() -> f64 {
+    const RING: u32 = 3;
+    let hop = Duration::from_micros(1); // zero latency would never advance time
+    let net = NetworkConfig {
+        latency: Latency::Fixed(hop),
+        drop_probability: 0.0,
+        partitions: Vec::new(),
+    };
+    let mut sim = SimBuilder::new(7).network(net).build();
+    {
+        let rt: &mut dyn Runtime = &mut sim;
+        let class = clk::handler_class(clk::ring_handle(RING));
+        for _ in 0..RING {
+            rt.add_node(Box::new(optimize(&class)));
+        }
+        rt.send_at(VTime::ZERO, Loc::new(0), clk::clk_msg(Value::Int(0), 0));
+        // Warm-up: ~20k hops.
+        rt.run_for(Duration::from_millis(20));
+    }
+    let before = sim.stats().delivered;
+    let t = Instant::now();
+    (&mut sim as &mut dyn Runtime).run_for(Duration::from_millis(300));
+    let wall = t.elapsed().as_secs_f64();
+    (sim.stats().delivered - before) as f64 / wall
+}
+
 /// Minimal extraction of `"key": <number>` from the baseline JSON — the
 /// file is machine-written with a fixed shape, so no JSON library needed.
 fn read_baseline(json: &str, key: &str) -> Option<f64> {
@@ -97,6 +133,7 @@ fn main() {
     let measured = [
         ("twothird_fused", twothird_fused_rate()),
         ("clk_fused", clk_fused_rate()),
+        ("clk_runtime", clk_runtime_rate()),
     ];
 
     if std::env::var("PERF_SMOKE_WRITE_BASELINE").is_ok() {

@@ -90,6 +90,7 @@ mod tests {
                 .into_iter()
                 .map(|(a, b, c)| (VTime::from_millis(a), VTime::from_millis(b), c))
                 .collect(),
+            results: Vec::new(),
             resends: 0,
         };
         Arc::new(Mutex::new(s))

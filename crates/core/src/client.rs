@@ -52,6 +52,9 @@ pub struct DbClientStats {
     /// One entry per answered transaction:
     /// `(submit time, answer time, committed)`.
     pub completed: Vec<(VTime, VTime, bool)>,
+    /// The answer's result values, parallel to `completed` (the client is
+    /// closed-loop, so entry `i` answers client sequence number `i`).
+    pub results: Vec<Vec<shadowdb_sqldb::SqlValue>>,
     /// Retransmissions performed.
     pub resends: u64,
 }
@@ -76,6 +79,26 @@ impl DbClientStats {
     /// Number of committed transactions.
     pub fn committed(&self) -> usize {
         self.completed.iter().filter(|(_, _, c)| *c).count()
+    }
+
+    /// The committed transactions as serializability-checker observations,
+    /// with the read results the client actually saw. `txns` must be the
+    /// script this client ran (closed loop: entry `i` of `completed`
+    /// answers `txns[i]`).
+    pub fn observations(&self, txns: &[TxnRequest]) -> Vec<crate::serializability::Observation> {
+        self.completed
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, _, committed))| *committed)
+            .map(
+                |(i, (submitted, answered, _))| crate::serializability::Observation {
+                    submitted: *submitted,
+                    answered: *answered,
+                    txn: txns[i].clone(),
+                    result: self.results.get(i).cloned().unwrap_or_default(),
+                },
+            )
+            .collect()
     }
 }
 
@@ -191,10 +214,10 @@ impl Process for DbClient {
             if let Some((outstanding, sent)) = self.outstanding {
                 if reply.cseq == outstanding {
                     self.outstanding = None;
-                    self.stats
-                        .lock()
-                        .completed
-                        .push((sent, ctx.now, reply.committed));
+                    let mut stats = self.stats.lock();
+                    stats.completed.push((sent, ctx.now, reply.committed));
+                    stats.results.push(reply.results);
+                    drop(stats);
                     self.send_next(ctx, out);
                 }
             }

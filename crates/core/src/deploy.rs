@@ -1,10 +1,12 @@
-//! Full ShadowDB deployments inside the simulator.
+//! Full ShadowDB deployments into any [`Runtime`].
 //!
 //! Mirrors the paper's testbed (Sec. IV): the broadcast service runs on
 //! three machines, "databases are co-located with the processes of the
 //! broadcast service", and clients run on a separate machine. PBR deploys
 //! two active replicas plus a spare; SMR deploys replicas at every service
-//! machine.
+//! machine. The builders are generic over the execution substrate: the
+//! same deployment graph runs under the simulator, on real threads
+//! (`shadowdb-livenet`), and inside the model checker (`shadowdb-mck`).
 
 use crate::client::{DbClient, DbClientStats, Submission};
 use crate::diversity::DiversityPolicy;
@@ -13,7 +15,7 @@ use crate::pbr::{PbrOptions, PbrReplica};
 use crate::smr::SmrReplica;
 use parking_lot::Mutex;
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_simnet::Simulation;
+use shadowdb_runtime::Runtime;
 use shadowdb_sqldb::Database;
 use shadowdb_tob::deploy::BackendKind;
 use shadowdb_tob::{ExecutionMode, TobDeployment, TobOptions};
@@ -41,6 +43,13 @@ pub struct DeployOptions {
     /// "the third database is used to replace the backup"; overlapped
     /// state transfer needs 3).
     pub active_replicas: usize,
+    /// Number of broadcast-service machines (the paper uses 3).
+    pub machines: u32,
+    /// Consensus module of the broadcast service. Paxos matches the paper;
+    /// TwoThird keeps the state space small enough for exhaustive model
+    /// checking (Paxos leader timers re-arm forever, which a checker
+    /// exploring all timings cannot bound).
+    pub backend: BackendKind,
 }
 
 impl DeployOptions {
@@ -60,11 +69,11 @@ impl DeployOptions {
             client_timeout: Duration::from_secs(20),
             max_batch: 64,
             active_replicas: 2,
+            machines: 3,
+            backend: BackendKind::Paxos,
         }
     }
 }
-
-const TOB_MACHINES: u32 = 3;
 
 fn tob_per(backend: BackendKind) -> u32 {
     match backend {
@@ -86,18 +95,23 @@ pub struct PbrDeployment {
 }
 
 impl PbrDeployment {
-    /// Builds the deployment into `sim` and schedules the start messages.
+    /// Builds the deployment into `rt` and schedules the start messages.
     /// The paper runs the PBR broadcast service in the interpreter; pass
     /// [`ExecutionMode::InterpretedOpt`] in `options.mode` to match.
-    pub fn build(sim: &mut Simulation, options: &DeployOptions, pbr: PbrOptions) -> PbrDeployment {
-        let backend = BackendKind::Paxos;
+    pub fn build<R: Runtime + ?Sized>(
+        rt: &mut R,
+        options: &DeployOptions,
+        pbr: PbrOptions,
+    ) -> PbrDeployment {
+        let backend = options.backend;
         let per = tob_per(backend);
+        let base = rt.node_count();
         let c = options.n_clients as u32;
-        let first_server = c;
-        let servers: Vec<Loc> = (0..TOB_MACHINES)
+        let first_server = base + c;
+        let servers: Vec<Loc> = (0..options.machines)
             .map(|i| Loc::new(first_server + i * per))
             .collect();
-        let replica_base = c + TOB_MACHINES * per;
+        let replica_base = first_server + options.machines * per;
         let n_replicas = options.active_replicas as u32 + 1; // plus one spare
         let replicas: Vec<Loc> = (0..n_replicas)
             .map(|i| Loc::new(replica_base + i))
@@ -117,14 +131,14 @@ impl PbrDeployment {
                 s,
             )
             .with_timeout(options.client_timeout);
-            clients.push(sim.add_node(Box::new(client)));
+            clients.push(rt.add_node(Box::new(client)));
         }
 
         // The broadcast service; replicas subscribe (for reconfigurations).
         let tob = TobDeployment::build(
-            sim,
+            rt,
             &TobOptions {
-                machines: TOB_MACHINES,
+                machines: options.machines,
                 backend,
                 mode: options.mode,
                 max_batch: options.max_batch,
@@ -149,15 +163,15 @@ impl PbrDeployment {
                 servers.clone(),
                 pbr.clone(),
             );
-            let loc = sim.add_node(Box::new(replica));
+            let loc = rt.add_node(Box::new(replica));
             assert_eq!(loc, *r);
         }
 
         for r in &replicas {
-            sim.send_at(VTime::ZERO, *r, PbrReplica::start_msg());
+            rt.send_at(VTime::ZERO, *r, PbrReplica::start_msg());
         }
         for cl in &clients {
-            sim.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+            rt.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
         }
         PbrDeployment {
             replicas,
@@ -186,16 +200,20 @@ pub struct SmrDeployment {
 }
 
 impl SmrDeployment {
-    /// Builds the deployment into `sim` and schedules the start messages.
+    /// Builds the deployment into `rt` and schedules the start messages.
     /// The paper runs the SMR broadcast service compiled (Lisp); the
     /// default [`ExecutionMode::Compiled`] matches.
-    pub fn build(sim: &mut Simulation, options: &DeployOptions) -> SmrDeployment {
-        let backend = BackendKind::Paxos;
+    pub fn build<R: Runtime + ?Sized>(rt: &mut R, options: &DeployOptions) -> SmrDeployment {
+        let backend = options.backend;
         let per = tob_per(backend);
+        let base = rt.node_count();
         let c = options.n_clients as u32;
-        let servers: Vec<Loc> = (0..TOB_MACHINES).map(|i| Loc::new(c + i * per)).collect();
-        let replica_base = c + TOB_MACHINES * per;
-        let replicas: Vec<Loc> = (0..TOB_MACHINES)
+        let first_server = base + c;
+        let servers: Vec<Loc> = (0..options.machines)
+            .map(|i| Loc::new(first_server + i * per))
+            .collect();
+        let replica_base = first_server + options.machines * per;
+        let replicas: Vec<Loc> = (0..options.machines)
             .map(|i| Loc::new(replica_base + i))
             .collect();
 
@@ -212,15 +230,15 @@ impl SmrDeployment {
                 s,
             )
             .with_timeout(options.client_timeout);
-            clients.push(sim.add_node(Box::new(client)));
+            clients.push(rt.add_node(Box::new(client)));
         }
 
         // Replicas subscribe to every delivery (they *are* the state
         // machines).
         let tob = TobDeployment::build(
-            sim,
+            rt,
             &TobOptions {
-                machines: TOB_MACHINES,
+                machines: options.machines,
                 backend,
                 mode: options.mode,
                 max_batch: options.max_batch,
@@ -234,12 +252,12 @@ impl SmrDeployment {
         for (i, r) in replicas.iter().enumerate() {
             let db = options.diversity.database(i);
             (options.loader)(&db);
-            let loc = sim.add_node(Box::new(SmrReplica::new(db)));
+            let loc = rt.add_node(Box::new(SmrReplica::new(db)));
             assert_eq!(loc, *r);
         }
 
         for cl in &clients {
-            sim.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+            rt.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
         }
         SmrDeployment {
             replicas,
@@ -258,7 +276,6 @@ impl SmrDeployment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shadowdb_simnet::{NetworkConfig, SimBuilder};
     use shadowdb_workloads::bank;
 
     fn bank_options(n_clients: usize, txns_each: usize) -> DeployOptions {
@@ -274,7 +291,7 @@ mod tests {
 
     #[test]
     fn pbr_normal_case_commits_everything() {
-        let mut sim = SimBuilder::new(3).network(NetworkConfig::lan()).build();
+        let mut sim = shadowdb_simnet::testing::default_net(3);
         let d = PbrDeployment::build(&mut sim, &bank_options(2, 15), PbrOptions::default());
         sim.run_until_quiescent(VTime::from_secs(120));
         assert_eq!(d.committed(), 30);
@@ -285,7 +302,7 @@ mod tests {
 
     #[test]
     fn smr_commits_everything() {
-        let mut sim = SimBuilder::new(4).network(NetworkConfig::lan()).build();
+        let mut sim = shadowdb_simnet::testing::default_net(4);
         let d = SmrDeployment::build(&mut sim, &bank_options(2, 12));
         sim.run_until_quiescent(VTime::from_secs(300));
         assert_eq!(d.committed(), 24);
@@ -293,7 +310,7 @@ mod tests {
 
     #[test]
     fn smr_replica_crash_is_transparent() {
-        let mut sim = SimBuilder::new(5).network(NetworkConfig::lan()).build();
+        let mut sim = shadowdb_simnet::testing::default_net(5);
         let d = SmrDeployment::build(&mut sim, &bank_options(2, 20));
         // Crash one replica early: clients still get all answers from the
         // survivors, with no retransmissions needed beyond the timeout-free
@@ -305,7 +322,7 @@ mod tests {
 
     #[test]
     fn pbr_primary_crash_recovers_and_resumes() {
-        let mut sim = SimBuilder::new(6).network(NetworkConfig::lan()).build();
+        let mut sim = shadowdb_simnet::testing::default_net(6);
         let pbr = PbrOptions {
             detect_after: Duration::from_millis(500),
             heartbeat_every: Duration::from_millis(100),
@@ -337,7 +354,7 @@ mod tests {
 
     #[test]
     fn pbr_backup_crash_recovers_with_spare() {
-        let mut sim = SimBuilder::new(7).network(NetworkConfig::lan()).build();
+        let mut sim = shadowdb_simnet::testing::default_net(7);
         let pbr = PbrOptions {
             detect_after: Duration::from_millis(500),
             heartbeat_every: Duration::from_millis(100),

@@ -1,0 +1,164 @@
+//! Model checking the *shipping* deployment builders.
+//!
+//! `SmrDeployment::build` and `PbrDeployment::build` — the exact functions
+//! that assemble ShadowDB under the simulator and on real threads — here
+//! build into `shadowdb_mck::WorldBuilder`, and the checker explores the
+//! delivery interleavings of the resulting graph. The client is an
+//! environment port, so every reply becomes an observation the invariant
+//! inspects.
+//!
+//! TwoThird keeps the broadcast-service state space bounded (Paxos leader
+//! timers re-arm forever, which an all-timings explorer cannot exhaust);
+//! `machines: 2` keeps it small.
+
+use shadowdb::deploy::{DeployOptions, PbrDeployment, SmrDeployment};
+use shadowdb::msgs::{parse_reply, submit_msg, TxnEnvelope};
+use shadowdb::pbr::PbrOptions;
+use shadowdb_loe::VTime;
+use shadowdb_mck::{Options, WorldBuilder};
+use shadowdb_runtime::Runtime;
+use shadowdb_sqldb::SqlValue;
+use shadowdb_tob::broadcast_msg;
+use shadowdb_tob::deploy::BackendKind;
+use shadowdb_workloads::{bank, TxnRequest};
+use std::collections::BTreeMap;
+
+const ACCOUNTS: usize = 4;
+
+fn checker_options() -> DeployOptions {
+    let mut options = DeployOptions::new(
+        0, // clients are environment ports, not deployed processes
+        |_| Vec::new(),
+        |db| bank::load(db, ACCOUNTS).expect("bank loads"),
+    );
+    options.machines = 2;
+    options.backend = BackendKind::TwoThird;
+    options
+}
+
+/// A deposit and a read race through the SMR deployment: in every
+/// interleaving the replicas agree on every answer, and the read only ever
+/// returns a balance some serial order explains.
+#[test]
+fn mck_smr_deployment_replicas_agree_in_all_interleavings() {
+    let mut world = WorldBuilder::new();
+    let (client, _rx) = world.port();
+    let d = SmrDeployment::build(&mut world, &checker_options());
+
+    let txns = [
+        TxnRequest::BankDeposit {
+            account: 0,
+            amount: 5,
+        },
+        TxnRequest::BankRead { account: 0 },
+    ];
+    // Two concurrent submissions to *different* servers — the racing-slot
+    // case.
+    for (cseq, txn) in txns.iter().enumerate() {
+        let env = TxnEnvelope {
+            client,
+            cseq: cseq as i64,
+            txn: txn.clone(),
+        };
+        world.send_at(
+            VTime::ZERO,
+            d.tob.servers[cseq % d.tob.servers.len()],
+            broadcast_msg(client, cseq as i64, env.to_value()),
+        );
+    }
+
+    let outcome = world.explore(
+        Options {
+            max_depth: 20,
+            max_states: 20_000,
+            ..Options::default()
+        },
+        |w| {
+            let mut answers: BTreeMap<i64, (bool, Vec<SqlValue>)> = BTreeMap::new();
+            for (_, _, msg) in &w.observations {
+                let Some(reply) = parse_reply(msg) else {
+                    continue;
+                };
+                let this = (reply.committed, reply.results.clone());
+                if let Some(prev) = answers.get(&reply.cseq) {
+                    if *prev != this {
+                        return Err(format!(
+                            "replicas disagree on cseq {}: {prev:?} vs {this:?}",
+                            reply.cseq
+                        ));
+                    }
+                } else {
+                    answers.insert(reply.cseq, this);
+                }
+                // The read admits exactly two serial explanations.
+                if reply.cseq == 1 && reply.committed {
+                    match reply.results.first() {
+                        Some(SqlValue::Int(b)) if *b == 1_000 || *b == 1_005 => {}
+                        other => return Err(format!("unexplainable read result {other:?}")),
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(
+        outcome.states_visited > 100,
+        "the interleaving space should be non-trivial: {}",
+        outcome.states_visited
+    );
+    eprintln!(
+        "SMR deployment: explored {} states (truncated: {})",
+        outcome.states_visited, outcome.truncated
+    );
+}
+
+/// PBR normal-case smoke under the checker: one submission to the primary;
+/// within the explored bounds, every answer the client port observes is the
+/// committed deposit — no interleaving of heartbeats, service traffic, and
+/// the submission produces a wrong or contradictory answer.
+#[test]
+fn mck_pbr_deployment_normal_case_smoke() {
+    let mut world = WorldBuilder::new();
+    let (client, _rx) = world.port();
+    let d = PbrDeployment::build(&mut world, &checker_options(), PbrOptions::default());
+
+    let env = TxnEnvelope {
+        client,
+        cseq: 0,
+        txn: TxnRequest::BankDeposit {
+            account: 1,
+            amount: 9,
+        },
+    };
+    world.send_at(VTime::ZERO, d.replicas[0], submit_msg(&env));
+
+    let outcome = world.explore(
+        // The PBR graph re-arms heartbeat timers forever; depth-bound the
+        // exploration (a smoke check, not an exhaustive proof).
+        Options {
+            max_depth: 12,
+            max_states: 20_000,
+            ..Options::default()
+        },
+        |w| {
+            for (_, _, msg) in &w.observations {
+                let Some(reply) = parse_reply(msg) else {
+                    continue;
+                };
+                if reply.cseq != 0 || !reply.committed {
+                    return Err(format!(
+                        "unexpected answer: cseq {} committed {}",
+                        reply.cseq, reply.committed
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    eprintln!(
+        "PBR deployment: explored {} states (truncated: {})",
+        outcome.states_visited, outcome.truncated
+    );
+}

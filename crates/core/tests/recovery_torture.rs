@@ -12,7 +12,7 @@ use shadowdb::deploy::{DeployOptions, PbrDeployment};
 use shadowdb::diversity::DiversityPolicy;
 use shadowdb::pbr::PbrOptions;
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_simnet::{NetworkConfig, SimBuilder, Simulation};
+use shadowdb_simnet::Simulation;
 use shadowdb_sqldb::Database;
 use shadowdb_tob::ExecutionMode;
 use shadowdb_workloads::bank;
@@ -30,7 +30,7 @@ struct Torture {
 }
 
 fn setup(seed: u64, active_replicas: usize) -> Torture {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(seed);
     let dbs: Arc<Mutex<Vec<Database>>> = Arc::new(Mutex::new(Vec::new()));
     let captured = dbs.clone();
     let options = DeployOptions {

@@ -10,7 +10,6 @@ use parking_lot::Mutex;
 use shadowdb::deploy::{DeployOptions, SmrDeployment};
 use shadowdb::smr::SmrReplica;
 use shadowdb_loe::VTime;
-use shadowdb_simnet::{NetworkConfig, SimBuilder};
 use shadowdb_sqldb::{Database, EngineProfile};
 use shadowdb_workloads::bank;
 use std::sync::Arc;
@@ -20,7 +19,7 @@ const ACCOUNTS: usize = 400;
 
 #[test]
 fn joining_replica_converges_with_donors() {
-    let mut sim = SimBuilder::new(8).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(8);
     let dbs: Arc<Mutex<Vec<Database>>> = Arc::new(Mutex::new(Vec::new()));
     let captured = dbs.clone();
     let options = DeployOptions {
@@ -94,7 +93,7 @@ fn joining_replica_converges_with_donors() {
 /// the donors' exact final state.
 #[test]
 fn joiner_subscribed_from_start_replays_buffered_deliveries() {
-    let mut sim = SimBuilder::new(9).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(9);
     let dbs: Arc<Mutex<Vec<Database>>> = Arc::new(Mutex::new(Vec::new()));
     let captured = dbs.clone();
     // Plan locations: clients 0..2, TOB machines at 2..14 (4 per machine),

@@ -4,11 +4,26 @@
 //! run here on operating-system threads with real clocks — the repository's
 //! counterpart of the paper running its generated programs in actual
 //! interpreters over TCP. Nodes exchange messages through crossbeam
-//! channels; a router thread implements delayed sends (timers) and an
-//! optional artificial link latency.
+//! channels; a router thread implements delayed sends (timers), link
+//! latency, and scheduled fault injection (crash / restart), so the same
+//! failure scenarios the simulator and model checker explore also run on
+//! real threads.
 //!
-//! Intended for demos and end-to-end examples; experiments use
-//! `shadowdb-simnet`, which is deterministic and measures virtual time.
+//! [`LiveNet`] implements [`shadowdb_runtime::Runtime`], so the deployment
+//! builders in `shadowdb::deploy` and `shadowdb_tob::deploy` host their
+//! graphs here unchanged. Intended for demos and end-to-end examples;
+//! experiments use `shadowdb-simnet`, which is deterministic and measures
+//! virtual time.
+//!
+//! # Seeded delivery
+//!
+//! Real threads cannot be made fully deterministic, but
+//! [`LiveNetBuilder::seeded`] gets close for messages in flight at the same
+//! time: each message's wire latency gains a jitter that is a pure function
+//! of `(seed, src, dest, per-sender sequence number)`. Two runs with the
+//! same seed therefore present the same *relative delivery order* for
+//! concurrently outstanding messages, which is what protocol interleavings
+//! are sensitive to.
 //!
 //! # Example
 //!
@@ -35,22 +50,49 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use shadowdb_eventml::{Ctx, Msg, Process, SendInstr};
 use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::{PortRx, Runtime};
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Per-link one-way latency as a function of (src, dest).
+type LinkLatency = Arc<dyn Fn(Loc, Loc) -> Duration + Send + Sync>;
+
+/// What a node thread can be told to do.
+enum NodeCtl {
+    Deliver(Msg),
+    /// Lose volatile state and silently drop deliveries until restarted.
+    Crash,
+    /// Resume as a fresh process (crash-recovery).
+    Restart(Box<dyn Process>),
+    /// Exit the thread.
+    Stop,
+}
+
+/// An action the router performs on a location when its instant comes due.
+enum Act {
+    Deliver(Msg),
+    Crash,
+    Restart(Box<dyn Process>),
+}
+
 enum Routed {
-    Deliver { at: Instant, dest: Loc, msg: Msg },
+    At { at: Instant, dest: Loc, act: Act },
     Shutdown,
+}
+
+/// A location's receive side: a process node or a driver-visible port.
+enum Slot {
+    Node(Sender<NodeCtl>),
+    Port(Sender<Msg>),
 }
 
 struct Due {
     at: Instant,
     seq: u64,
     dest: Loc,
-    msg: Msg,
+    act: Act,
 }
 
 impl PartialEq for Due {
@@ -71,10 +113,20 @@ impl Ord for Due {
     }
 }
 
+/// SplitMix64-style bit mixer: the jitter source for seeded delivery.
+/// A pure function of its input, so runs with equal seeds see equal jitter.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 /// Configures a [`LiveNet`].
 pub struct LiveNetBuilder {
     processes: Vec<Box<dyn Process>>,
-    latency: Duration,
+    link: LinkLatency,
+    seed: Option<u64>,
 }
 
 impl LiveNetBuilder {
@@ -84,56 +136,75 @@ impl LiveNetBuilder {
         self
     }
 
-    /// Adds an artificial one-way latency to every inter-node message.
+    /// Adds a uniform artificial one-way latency to every inter-node
+    /// message.
     pub fn latency(mut self, latency: Duration) -> LiveNetBuilder {
-        self.latency = latency;
+        self.link = Arc::new(move |_s, _d| latency);
         self
     }
 
-    /// Starts all node threads and the router.
+    /// Sets a per-link one-way latency as a function of `(src, dest)`.
+    pub fn link_latency<F>(mut self, f: F) -> LiveNetBuilder
+    where
+        F: Fn(Loc, Loc) -> Duration + Send + Sync + 'static,
+    {
+        self.link = Arc::new(f);
+        self
+    }
+
+    /// Enables seeded delivery: each message's wire latency gains a jitter
+    /// (up to ~400µs) that is a pure function of `(seed, src, dest,
+    /// per-sender sequence number)`, making the relative delivery order of
+    /// concurrently outstanding messages reproducible across runs with the
+    /// same seed.
+    pub fn seeded(mut self, seed: u64) -> LiveNetBuilder {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Starts the router and all node threads.
     pub fn spawn(self) -> LiveNet {
-        let n = self.processes.len() as u32;
-        let start = Instant::now();
-        let stop = Arc::new(AtomicBool::new(false));
-        let (router_tx, router_rx) = channel::unbounded::<Routed>();
-
-        // Ports occupy locations ≥ n + node channels.
-        let mut node_txs: Vec<Sender<Msg>> = Vec::new();
-        let mut handles: Vec<JoinHandle<()>> = Vec::new();
-        for (i, mut process) in self.processes.into_iter().enumerate() {
-            let (tx, rx) = channel::unbounded::<Msg>();
-            node_txs.push(tx);
-            let slf = Loc::new(i as u32);
-            let router = router_tx.clone();
-            let stop = stop.clone();
-            let latency = self.latency;
-            handles.push(std::thread::spawn(move || {
-                let mut outs = Vec::new();
-                while !stop.load(Ordering::Relaxed) {
-                    match rx.recv_timeout(Duration::from_millis(50)) {
-                        Ok(msg) => {
-                            let now = VTime::from_micros(start.elapsed().as_micros() as u64);
-                            outs.clear();
-                            process.step_into(&Ctx::new(slf, now), &msg, &mut outs);
-                            for SendInstr { dest, delay, msg } in outs.drain(..) {
-                                let wire = if dest == slf { Duration::ZERO } else { latency };
-                                let _ = router.send(Routed::Deliver {
-                                    at: Instant::now() + delay + wire,
-                                    dest,
-                                    msg,
-                                });
-                            }
-                        }
-                        Err(channel::RecvTimeoutError::Timeout) => continue,
-                        Err(channel::RecvTimeoutError::Disconnected) => break,
-                    }
-                }
-            }));
+        let mut net = LiveNet::with_config(self.link, self.seed);
+        for process in self.processes {
+            net.add_node(process);
         }
+        net
+    }
+}
 
-        let ports: Arc<Mutex<Vec<Sender<Msg>>>> = Arc::new(Mutex::new(Vec::new()));
-        let router_ports = ports.clone();
-        let stop_router = stop.clone();
+/// A running thread-per-node network.
+pub struct LiveNet {
+    start: Instant,
+    router: Sender<Routed>,
+    slots: Arc<Mutex<Vec<Slot>>>,
+    link: LinkLatency,
+    seed: Option<u64>,
+    node_handles: Vec<JoinHandle<()>>,
+    router_handle: Option<JoinHandle<()>>,
+}
+
+impl LiveNet {
+    /// Starts building a network.
+    pub fn builder() -> LiveNetBuilder {
+        LiveNetBuilder {
+            processes: Vec::new(),
+            link: Arc::new(|_s, _d| Duration::from_micros(100)),
+            seed: None,
+        }
+    }
+
+    /// An empty running network (router only); add nodes with
+    /// [`LiveNet::add_node`].
+    pub fn new() -> LiveNet {
+        LiveNet::builder().spawn()
+    }
+
+    fn with_config(link: LinkLatency, seed: Option<u64>) -> LiveNet {
+        let start = Instant::now();
+        let (router_tx, router_rx) = channel::unbounded::<Routed>();
+        let slots: Arc<Mutex<Vec<Slot>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let router_slots = slots.clone();
         let router_handle = std::thread::spawn(move || {
             let mut heap: BinaryHeap<Due> = BinaryHeap::new();
             let mut seq = 0u64;
@@ -142,14 +213,23 @@ impl LiveNetBuilder {
                 let now = Instant::now();
                 while heap.peek().map(|d| d.at <= now).unwrap_or(false) {
                     let due = heap.pop().expect("peeked");
-                    let idx = due.dest.index() as usize;
-                    if idx < node_txs.len() {
-                        let _ = node_txs[idx].send(due.msg);
-                    } else {
-                        let ports = router_ports.lock();
-                        if let Some(tx) = ports.get(idx - node_txs.len()) {
-                            let _ = tx.send(due.msg);
+                    let slots = router_slots.lock();
+                    match (slots.get(due.dest.index() as usize), due.act) {
+                        (Some(Slot::Node(tx)), Act::Deliver(msg)) => {
+                            let _ = tx.send(NodeCtl::Deliver(msg));
                         }
+                        (Some(Slot::Node(tx)), Act::Crash) => {
+                            let _ = tx.send(NodeCtl::Crash);
+                        }
+                        (Some(Slot::Node(tx)), Act::Restart(p)) => {
+                            let _ = tx.send(NodeCtl::Restart(p));
+                        }
+                        (Some(Slot::Port(tx)), Act::Deliver(msg)) => {
+                            let _ = tx.send(msg);
+                        }
+                        // Faults aimed at ports, or at locations never
+                        // allocated, have nothing to act on.
+                        (Some(Slot::Port(_)), _) | (None, _) => {}
                     }
                 }
                 let wait = heap
@@ -158,61 +238,152 @@ impl LiveNetBuilder {
                     .unwrap_or(Duration::from_millis(20))
                     .min(Duration::from_millis(20));
                 match router_rx.recv_timeout(wait) {
-                    Ok(Routed::Deliver { at, dest, msg }) => {
+                    Ok(Routed::At { at, dest, act }) => {
                         seq += 1;
-                        heap.push(Due { at, seq, dest, msg });
+                        heap.push(Due { at, seq, dest, act });
                     }
-                    Ok(Routed::Shutdown) => break,
-                    Err(channel::RecvTimeoutError::Timeout) => {
-                        if stop_router.load(Ordering::Relaxed) {
-                            break;
+                    Ok(Routed::Shutdown) | Err(channel::RecvTimeoutError::Disconnected) => {
+                        // Deterministic drain: discard pending timers and
+                        // deliveries, then stop every node so threads exit
+                        // their blocking receive.
+                        heap.clear();
+                        for slot in router_slots.lock().iter() {
+                            if let Slot::Node(tx) = slot {
+                                let _ = tx.send(NodeCtl::Stop);
+                            }
                         }
+                        break;
                     }
-                    Err(channel::RecvTimeoutError::Disconnected) => break,
+                    Err(channel::RecvTimeoutError::Timeout) => {}
                 }
             }
         });
-        handles.push(router_handle);
 
         LiveNet {
-            n_nodes: n,
+            start,
             router: router_tx,
-            ports,
-            stop,
-            handles,
-        }
-    }
-}
-
-/// A running thread-per-node network.
-pub struct LiveNet {
-    n_nodes: u32,
-    router: Sender<Routed>,
-    ports: Arc<Mutex<Vec<Sender<Msg>>>>,
-    stop: Arc<AtomicBool>,
-    handles: Vec<JoinHandle<()>>,
-}
-
-impl LiveNet {
-    /// Starts building a network.
-    pub fn builder() -> LiveNetBuilder {
-        LiveNetBuilder {
-            processes: Vec::new(),
-            latency: Duration::from_micros(100),
+            slots,
+            link,
+            seed,
+            node_handles: Vec::new(),
+            router_handle: Some(router_handle),
         }
     }
 
-    /// Number of process nodes.
+    /// Hosts `process` on a fresh thread at the next location.
+    pub fn add_node(&mut self, mut process: Box<dyn Process>) -> Loc {
+        let (tx, rx) = channel::unbounded::<NodeCtl>();
+        let slf = {
+            let mut slots = self.slots.lock();
+            let loc = Loc::new(slots.len() as u32);
+            slots.push(Slot::Node(tx));
+            loc
+        };
+        let router = self.router.clone();
+        let start = self.start;
+        let link = self.link.clone();
+        let seed = self.seed;
+        self.node_handles.push(std::thread::spawn(move || {
+            let mut crashed = false;
+            let mut sent = 0u64;
+            let mut outs = Vec::new();
+            // Blocking receive: the thread exits on Stop (sent by the
+            // router at shutdown) or when every sender is gone.
+            for ctl in rx.iter() {
+                match ctl {
+                    NodeCtl::Stop => break,
+                    NodeCtl::Crash => crashed = true,
+                    NodeCtl::Restart(p) => {
+                        process = p;
+                        crashed = false;
+                    }
+                    NodeCtl::Deliver(_) if crashed => {}
+                    NodeCtl::Deliver(msg) => {
+                        let now = VTime::from_micros(start.elapsed().as_micros() as u64);
+                        outs.clear();
+                        process.step_into(&Ctx::new(slf, now), &msg, &mut outs);
+                        for SendInstr { dest, delay, msg } in outs.drain(..) {
+                            let wire = if dest == slf {
+                                Duration::ZERO
+                            } else {
+                                let jitter = match seed {
+                                    Some(s) => {
+                                        sent += 1;
+                                        let h = mix64(
+                                            s ^ mix64(
+                                                ((slf.index() as u64) << 40)
+                                                    ^ ((dest.index() as u64) << 16)
+                                                    ^ sent,
+                                            ),
+                                        );
+                                        Duration::from_micros(h % 400)
+                                    }
+                                    None => Duration::ZERO,
+                                };
+                                link(slf, dest) + jitter
+                            };
+                            let _ = router.send(Routed::At {
+                                at: Instant::now() + delay + wire,
+                                dest,
+                                act: Act::Deliver(msg),
+                            });
+                        }
+                    }
+                }
+            }
+        }));
+        slf
+    }
+
+    /// Number of locations allocated so far (nodes and ports).
     pub fn node_count(&self) -> u32 {
-        self.n_nodes
+        self.slots.lock().len() as u32
     }
 
-    /// Injects a message from outside the system.
+    /// Elapsed time since the network started, as the runtime clock.
+    pub fn now(&self) -> VTime {
+        VTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn instant_of(&self, at: VTime) -> Instant {
+        self.start + Duration::from_micros(at.as_micros())
+    }
+
+    /// Injects a message from outside the system, delivered immediately.
     pub fn send(&self, dest: Loc, msg: Msg) {
-        let _ = self.router.send(Routed::Deliver {
+        let _ = self.router.send(Routed::At {
             at: Instant::now(),
             dest,
-            msg,
+            act: Act::Deliver(msg),
+        });
+    }
+
+    /// Injects a message from outside the system, delivered at `at` on the
+    /// runtime clock (clamped to now if already past).
+    pub fn send_at(&self, at: VTime, dest: Loc, msg: Msg) {
+        let _ = self.router.send(Routed::At {
+            at: self.instant_of(at).max(Instant::now()),
+            dest,
+            act: Act::Deliver(msg),
+        });
+    }
+
+    /// Schedules a crash of the node at `loc`: from `at` on, it drops
+    /// deliveries (losing its volatile state) until restarted.
+    pub fn crash_at(&self, at: VTime, loc: Loc) {
+        let _ = self.router.send(Routed::At {
+            at: self.instant_of(at).max(Instant::now()),
+            dest: loc,
+            act: Act::Crash,
+        });
+    }
+
+    /// Schedules a restart of the node at `loc` with a fresh process.
+    pub fn restart_at(&self, at: VTime, loc: Loc, process: Box<dyn Process>) {
+        let _ = self.router.send(Routed::At {
+            at: self.instant_of(at).max(Instant::now()),
+            dest: loc,
+            act: Act::Restart(process),
         });
     }
 
@@ -220,29 +391,76 @@ impl LiveNet {
     /// handed to the returned receiver (how a driver observes the network).
     pub fn port(&self) -> (Loc, Receiver<Msg>) {
         let (tx, rx) = channel::unbounded();
-        let mut ports = self.ports.lock();
-        let loc = Loc::new(self.n_nodes + ports.len() as u32);
-        ports.push(tx);
+        let mut slots = self.slots.lock();
+        let loc = Loc::new(slots.len() as u32);
+        slots.push(Slot::Port(tx));
         (loc, rx)
     }
 
-    /// Stops every thread and waits for them.
+    /// Stops every thread and waits for them: the router drains (discarding
+    /// pending timers), tells each node to stop, and is joined first; then
+    /// every node thread is joined.
     pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
         let _ = self.router.send(Routed::Shutdown);
-        for h in self.handles.drain(..) {
+        if let Some(h) = self.router_handle.take() {
+            let _ = h.join();
+        }
+        for h in self.node_handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
+impl Default for LiveNet {
+    fn default() -> Self {
+        LiveNet::new()
+    }
+}
+
 impl Drop for LiveNet {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        let _ = self.router.send(Routed::Shutdown);
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
+        self.stop_and_join();
+    }
+}
+
+impl Runtime for LiveNet {
+    fn add_node(&mut self, process: Box<dyn Process>) -> Loc {
+        LiveNet::add_node(self, process)
+    }
+
+    fn node_count(&self) -> u32 {
+        LiveNet::node_count(self)
+    }
+
+    fn now(&self) -> VTime {
+        LiveNet::now(self)
+    }
+
+    fn send_at(&mut self, at: VTime, dest: Loc, msg: Msg) {
+        LiveNet::send_at(self, at, dest, msg);
+    }
+
+    fn crash_at(&mut self, at: VTime, loc: Loc) {
+        LiveNet::crash_at(self, at, loc);
+    }
+
+    fn restart_at(&mut self, at: VTime, loc: Loc, process: Box<dyn Process>) {
+        LiveNet::restart_at(self, at, loc, process);
+    }
+
+    fn port(&mut self) -> (Loc, PortRx) {
+        let (loc, rx) = LiveNet::port(self);
+        (loc, PortRx::new(rx))
+    }
+
+    /// Real threads run on their own; letting the system execute for a
+    /// duration is simply sleeping that long.
+    fn run_for(&mut self, duration: Duration) {
+        std::thread::sleep(duration);
     }
 }
 
@@ -253,22 +471,24 @@ mod tests {
     use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
     use shadowdb_eventml::{FnProcess, InterpretedProcess, Value};
 
+    fn echo_counter() -> Box<dyn Process> {
+        Box::new(FnProcess::new(0u32, |n, _c: &Ctx, m: &Msg| {
+            *n += 1;
+            match m.body.as_loc() {
+                Some(from) => {
+                    vec![SendInstr::now(
+                        from,
+                        Msg::new("pong", Value::Int(*n as i64)),
+                    )]
+                }
+                None => vec![],
+            }
+        }))
+    }
+
     #[test]
     fn echo_roundtrip() {
-        let net = LiveNet::builder()
-            .node(Box::new(FnProcess::new(0u32, |n, _c: &Ctx, m: &Msg| {
-                *n += 1;
-                match m.body.as_loc() {
-                    Some(from) => {
-                        vec![SendInstr::now(
-                            from,
-                            Msg::new("pong", Value::Int(*n as i64)),
-                        )]
-                    }
-                    None => vec![],
-                }
-            })))
-            .spawn();
+        let net = LiveNet::builder().node(echo_counter()).spawn();
         let (port, rx) = net.port();
         net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
         net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
@@ -312,7 +532,7 @@ mod tests {
     #[test]
     fn twothird_consensus_over_threads() {
         let members = Loc::first_n(3);
-        // The learner port will be loc 3 (first port after 3 nodes).
+        // The learner port will be loc 3 (first location after 3 nodes).
         let config = TwoThirdConfig::new(members, vec![Loc::new(3)]).with_auto_adopt();
         let class = TwoThird::new(config).class();
         let mut builder = LiveNet::builder().latency(Duration::from_micros(200));
@@ -337,5 +557,101 @@ mod tests {
         let first = decisions[0].1.clone();
         assert!(decisions.iter().all(|(i, v)| *i == 0 && *v == first));
         net.shutdown();
+    }
+
+    /// A crashed node drops deliveries; after restart it answers again with
+    /// fresh state.
+    #[test]
+    fn crash_silences_node_until_restart() {
+        let net = LiveNet::builder().node(echo_counter()).spawn();
+        let (port, rx) = net.port();
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
+
+        net.crash_at(VTime::ZERO, Loc::new(0));
+        std::thread::sleep(Duration::from_millis(30));
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        assert!(
+            rx.recv_timeout(Duration::from_millis(200)).is_err(),
+            "crashed node must stay silent"
+        );
+
+        net.restart_at(VTime::ZERO, Loc::new(0), echo_counter());
+        std::thread::sleep(Duration::from_millis(30));
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        // Fresh process: the counter restarts from 1.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
+        net.shutdown();
+    }
+
+    /// Nodes added after spawn and ports share one location sequence.
+    #[test]
+    fn dynamic_nodes_and_ports_share_locations() {
+        let mut net = LiveNet::new();
+        assert_eq!(LiveNet::node_count(&net), 0);
+        let a = net.add_node(echo_counter());
+        let (p, _rx) = LiveNet::port(&net);
+        let b = net.add_node(echo_counter());
+        assert_eq!((a, p, b), (Loc::new(0), Loc::new(1), Loc::new(2)));
+        assert_eq!(LiveNet::node_count(&net), 3);
+        net.shutdown();
+    }
+
+    /// Seeded delivery is a pure function of the send sequence: the jitter
+    /// mixer must be deterministic.
+    #[test]
+    fn seeded_jitter_is_deterministic() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+        let net = LiveNet::builder().seeded(7).node(echo_counter()).spawn();
+        let (port, rx) = net.port();
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        net.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    fn os_thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("procfs")
+            .count()
+    }
+
+    /// Shutdown must join the router and every node thread — spawning and
+    /// shutting down many nets must not leak OS threads, even with timers
+    /// still in flight.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn hundred_nets_leak_no_threads() {
+        let before = os_thread_count();
+        for i in 0..100u64 {
+            let net = LiveNet::builder()
+                .node(echo_counter())
+                .node(Box::new(FnProcess::new((), |_s, ctx: &Ctx, m: &Msg| {
+                    // Arm a far-future timer so shutdown always has an
+                    // in-flight delivery to drain.
+                    vec![SendInstr::after(
+                        Duration::from_secs(3600),
+                        ctx.slf,
+                        m.clone(),
+                    )]
+                })))
+                .spawn();
+            net.send(Loc::new(1), Msg::new("tick", Value::Int(i as i64)));
+            net.send(Loc::new(0), Msg::new("ping", Value::Unit));
+            net.shutdown();
+        }
+        let after = os_thread_count();
+        assert!(
+            after <= before,
+            "leaked {} threads across 100 nets",
+            after - before
+        );
     }
 }

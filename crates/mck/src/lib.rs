@@ -41,8 +41,10 @@
 
 use shadowdb_eventml::{Ctx, FxHasher, Msg, Process};
 use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::{PortRx, Runtime};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
+use std::time::Duration;
 
 /// The initial configuration of a checking run.
 pub struct Spec {
@@ -203,12 +205,28 @@ pub fn explore(
     for (dest, msg) in spec.init_msgs {
         root.inflight.push((dest, dest, msg)); // external: src = dest
     }
+    // Spec hosts process i at location i: the loc→slot map is the identity.
+    let map: Vec<Option<usize>> = (0..n).map(Some).collect();
+    let slot_locs = Loc::first_n(n as u32);
+    run_dfs(root, env, map, slot_locs, options, invariant)
+}
+
+fn run_dfs(
+    root: Node,
+    env: HashSet<Loc>,
+    map: Vec<Option<usize>>,
+    slot_locs: Vec<Loc>,
+    options: Options,
+    invariant: impl Fn(&World) -> Result<(), String>,
+) -> Outcome {
     let mut outcome = Outcome::default();
     let mut visited: HashSet<u64> = HashSet::new();
     let mut schedule: Vec<Choice> = Vec::new();
     dfs(
         &root,
         &env,
+        &map,
+        &slot_locs,
         &options,
         &invariant,
         &mut visited,
@@ -222,6 +240,8 @@ pub fn explore(
 fn dfs(
     node: &Node,
     env: &HashSet<Loc>,
+    map: &[Option<usize>],
+    slot_locs: &[Loc],
     options: &Options,
     invariant: &impl Fn(&World) -> Result<(), String>,
     visited: &mut HashSet<u64>,
@@ -267,16 +287,18 @@ fn dfs(
         // Take the message out of the fork's own queue: no extra clone of
         // the (potentially large) payload per branch.
         let (dest, _src, msg) = next.inflight.remove(i);
-        let idx = dest.index() as usize;
-        if idx < next.procs.len() && next.alive[idx] {
-            let ctx = Ctx::new(dest, VTime::from_micros(schedule.len() as u64));
-            outputs.clear();
-            next.procs[idx].step_into(&ctx, &msg, &mut outputs);
-            for instr in outputs.drain(..) {
-                if env.contains(&instr.dest) {
-                    next.observations.push((instr.dest, dest, instr.msg));
-                } else {
-                    next.inflight.push((instr.dest, dest, instr.msg));
+        let slot = map.get(dest.index() as usize).copied().flatten();
+        if let Some(s) = slot {
+            if next.alive[s] {
+                let ctx = Ctx::new(dest, VTime::from_micros(schedule.len() as u64));
+                outputs.clear();
+                next.procs[s].step_into(&ctx, &msg, &mut outputs);
+                for instr in outputs.drain(..) {
+                    if env.contains(&instr.dest) {
+                        next.observations.push((instr.dest, dest, instr.msg));
+                    } else {
+                        next.inflight.push((instr.dest, dest, instr.msg));
+                    }
                 }
             }
         }
@@ -285,7 +307,9 @@ fn dfs(
             dest,
             header: msg.header.name().to_owned(),
         });
-        dfs(&next, env, options, invariant, visited, schedule, outcome);
+        dfs(
+            &next, env, map, slot_locs, options, invariant, visited, schedule, outcome,
+        );
         schedule.pop();
         if outcome.violation.is_some() {
             return;
@@ -294,15 +318,17 @@ fn dfs(
 
     // Choice 2: crash any alive node (within budget).
     if node.crash_budget > 0 {
-        for idx in 0..node.procs.len() {
-            if !node.alive[idx] {
+        for s in 0..node.procs.len() {
+            if !node.alive[s] {
                 continue;
             }
             let mut next = node.clone_node();
-            next.alive[idx] = false;
+            next.alive[s] = false;
             next.crash_budget -= 1;
-            schedule.push(Choice::Crash(Loc::new(idx as u32)));
-            dfs(&next, env, options, invariant, visited, schedule, outcome);
+            schedule.push(Choice::Crash(slot_locs[s]));
+            dfs(
+                &next, env, map, slot_locs, options, invariant, visited, schedule, outcome,
+            );
             schedule.pop();
             if outcome.violation.is_some() {
                 return;
@@ -320,12 +346,133 @@ fn dfs(
                 dest,
                 header: msg.header.name().to_owned(),
             });
-            dfs(&next, env, options, invariant, visited, schedule, outcome);
+            dfs(
+                &next, env, map, slot_locs, options, invariant, visited, schedule, outcome,
+            );
             schedule.pop();
             if outcome.violation.is_some() {
                 return;
             }
         }
+    }
+}
+
+/// Hosts a deployment graph for bounded checking: the [`Runtime`]
+/// implementation of the model checker.
+///
+/// The same `PbrDeployment`/`SmrDeployment` builders that run under the
+/// simulator and on real threads build *here*, and [`WorldBuilder::explore`]
+/// then checks every delivery interleaving of the resulting graph — the
+/// checker verifies the deployment code that actually ships, not a
+/// hand-mirrored copy.
+///
+/// Time is abstracted away: the `at` arguments of [`Runtime::send_at`],
+/// [`Runtime::crash_at`], and [`Runtime::restart_at`] are ignored, because
+/// exploring all delivery orders subsumes all timings. Concretely:
+/// `send_at` queues an initially in-flight message, `crash_at` marks the
+/// node initially crashed, `restart_at` replaces its process (and revives
+/// it) before exploration. [`Runtime::port`] allocates an *environment*
+/// location — messages sent to it become [`World::observations`] visible to
+/// the invariant, and the returned receiver stays empty.
+pub struct WorldBuilder {
+    procs: Vec<Box<dyn Process>>,
+    alive: Vec<bool>,
+    /// Location → process slot; `None` marks an environment (port) location.
+    map: Vec<Option<usize>>,
+    slot_locs: Vec<Loc>,
+    env: Vec<Loc>,
+    init_msgs: Vec<(Loc, Msg)>,
+}
+
+impl WorldBuilder {
+    /// An empty deployment graph.
+    pub fn new() -> WorldBuilder {
+        WorldBuilder {
+            procs: Vec::new(),
+            alive: Vec::new(),
+            map: Vec::new(),
+            slot_locs: Vec::new(),
+            env: Vec::new(),
+            init_msgs: Vec::new(),
+        }
+    }
+
+    /// Explores all schedules of the built graph within `options`, checking
+    /// `invariant` in every reachable state.
+    ///
+    /// `World::crashed` is indexed by node *insertion order* (ports do not
+    /// count), matching the order of `add_node` calls.
+    pub fn explore(
+        self,
+        options: Options,
+        invariant: impl Fn(&World) -> Result<(), String>,
+    ) -> Outcome {
+        let mut root = Node {
+            procs: self.procs,
+            alive: self.alive,
+            inflight: Vec::new(),
+            observations: Vec::new(),
+            crash_budget: options.crash_budget,
+            loss_budget: options.loss_budget,
+        };
+        for (dest, msg) in self.init_msgs {
+            root.inflight.push((dest, dest, msg)); // external: src = dest
+        }
+        let env: HashSet<Loc> = self.env.into_iter().collect();
+        run_dfs(root, env, self.map, self.slot_locs, options, invariant)
+    }
+}
+
+impl Default for WorldBuilder {
+    fn default() -> Self {
+        WorldBuilder::new()
+    }
+}
+
+impl Runtime for WorldBuilder {
+    fn add_node(&mut self, process: Box<dyn Process>) -> Loc {
+        let loc = Loc::new(self.map.len() as u32);
+        self.map.push(Some(self.procs.len()));
+        self.slot_locs.push(loc);
+        self.procs.push(process);
+        self.alive.push(true);
+        loc
+    }
+
+    fn node_count(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    fn now(&self) -> VTime {
+        VTime::ZERO
+    }
+
+    fn send_at(&mut self, _at: VTime, dest: Loc, msg: Msg) {
+        self.init_msgs.push((dest, msg));
+    }
+
+    fn crash_at(&mut self, _at: VTime, loc: Loc) {
+        if let Some(Some(s)) = self.map.get(loc.index() as usize).copied() {
+            self.alive[s] = false;
+        }
+    }
+
+    fn restart_at(&mut self, _at: VTime, loc: Loc, process: Box<dyn Process>) {
+        if let Some(Some(s)) = self.map.get(loc.index() as usize).copied() {
+            self.procs[s] = process;
+            self.alive[s] = true;
+        }
+    }
+
+    fn port(&mut self) -> (Loc, PortRx) {
+        let loc = Loc::new(self.map.len() as u32);
+        self.map.push(None);
+        self.env.push(loc);
+        (loc, PortRx::closed())
+    }
+
+    fn run_for(&mut self, _duration: Duration) {
+        // Exploration is driven by `WorldBuilder::explore`, not by time.
     }
 }
 
@@ -514,6 +661,83 @@ mod tests {
         assert!(outcome.violation.is_none());
         assert!(outcome.truncated);
         assert_eq!(outcome.max_depth_reached, 6);
+    }
+
+    /// The Runtime-built world behaves like the equivalent Spec: a port
+    /// created *before* the nodes shifts every location, and messages to it
+    /// become observations.
+    #[test]
+    fn world_builder_hosts_ports_and_nodes() {
+        let mut w = WorldBuilder::new();
+        let (observer, rx) = Runtime::port(&mut w);
+        assert_eq!(observer, Loc::new(0));
+        let teller = |id: i64| {
+            Box::new(FnProcess::new((), move |_s, _c: &Ctx, m: &Msg| {
+                if m.header.name() == "go" {
+                    vec![SendInstr::now(Loc::new(0), Msg::new("id", Value::Int(id)))]
+                } else {
+                    vec![]
+                }
+            })) as Box<dyn Process>
+        };
+        let a = w.add_node(teller(0));
+        let b = w.add_node(teller(1));
+        assert_eq!((a, b), (Loc::new(1), Loc::new(2)));
+        assert_eq!(w.node_count(), 3);
+        w.send_at(VTime::ZERO, a, Msg::new("go", Value::Unit));
+        w.send_at(VTime::ZERO, b, Msg::new("go", Value::Unit));
+        let outcome = w.explore(Options::default(), |world| {
+            let ids: HashSet<i64> = world
+                .observations
+                .iter()
+                .filter_map(|(_, _, m)| m.body.as_int())
+                .collect();
+            if ids.len() <= 1 {
+                Ok(())
+            } else {
+                Err(format!("observer heard {} different ids", ids.len()))
+            }
+        });
+        let v = outcome.violation.as_ref().expect("must find the violation");
+        assert_eq!(v.schedule.len(), 2);
+        // Port traffic is routed to the invariant, never to the receiver.
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    /// Pre-run fault injection: `crash_at` silences a node for the whole
+    /// exploration; `restart_at` revives it with a fresh process.
+    #[test]
+    fn world_builder_crash_and_restart_before_run() {
+        let build = |crash: bool, restart: bool| {
+            let mut w = WorldBuilder::new();
+            let (obs, _rx) = Runtime::port(&mut w);
+            let echo = || {
+                Box::new(FnProcess::new((), move |_s, _c: &Ctx, m: &Msg| {
+                    vec![SendInstr::now(Loc::new(0), m.clone())]
+                })) as Box<dyn Process>
+            };
+            let n = w.add_node(echo());
+            assert_eq!(obs, Loc::new(0));
+            if crash {
+                w.crash_at(VTime::ZERO, n);
+            }
+            if restart {
+                w.restart_at(VTime::ZERO, n, echo());
+            }
+            w.send_at(VTime::ZERO, n, Msg::new("x", Value::Unit));
+            let mut heard = std::cell::Cell::new(false);
+            let outcome = w.explore(Options::default(), |world| {
+                if !world.observations.is_empty() {
+                    heard.set(true);
+                }
+                Ok(())
+            });
+            assert!(outcome.violation.is_none());
+            heard.get_mut().to_owned()
+        };
+        assert!(build(false, false), "healthy node echoes");
+        assert!(!build(true, false), "crashed node stays silent");
+        assert!(build(true, true), "restarted node echoes again");
     }
 
     /// A stateless ping-pong closes a 2-state cycle: the explorer proves the

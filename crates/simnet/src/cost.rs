@@ -5,44 +5,20 @@
 //! simulator reproduces that mechanism by charging each handled message a
 //! service time at the receiving node; while a node is busy, further inputs
 //! queue. Calibrated per-backend costs live in `shadowdb-bench`.
+//!
+//! The model traits themselves live in `shadowdb-runtime` (so deployment
+//! code generic over [`shadowdb_runtime::Runtime`] can install them without
+//! naming the simulator); this module re-exports them under their historic
+//! paths.
 
-use shadowdb_eventml::Msg;
-use shadowdb_loe::Loc;
-use std::time::Duration;
-
-/// Assigns a CPU service time to each handled message.
-pub trait CostModel: Send {
-    /// How long `dest` is busy handling `msg`.
-    fn handle_cost(&self, dest: Loc, msg: &Msg) -> Duration;
-}
-
-/// The zero-cost model: infinitely fast CPUs (pure message-count semantics).
-#[derive(Clone, Copy, Debug, Default)]
-pub struct ZeroCost;
-
-impl CostModel for ZeroCost {
-    fn handle_cost(&self, _dest: Loc, _msg: &Msg) -> Duration {
-        Duration::ZERO
-    }
-}
-
-/// A cost model from a plain function.
-#[derive(Clone, Debug)]
-pub struct FnCost<F>(pub F);
-
-impl<F> CostModel for FnCost<F>
-where
-    F: Fn(Loc, &Msg) -> Duration + Send,
-{
-    fn handle_cost(&self, dest: Loc, msg: &Msg) -> Duration {
-        (self.0)(dest, msg)
-    }
-}
+pub use shadowdb_runtime::{CostModel, FnCost, ZeroCost};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shadowdb_eventml::Value;
+    use shadowdb_eventml::{Msg, Value};
+    use shadowdb_loe::Loc;
+    use std::time::Duration;
 
     #[test]
     fn zero_cost_is_zero() {

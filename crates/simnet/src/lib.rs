@@ -52,6 +52,7 @@
 pub mod cost;
 pub mod net;
 pub mod sim;
+pub mod testing;
 
 pub use cost::{CostModel, FnCost, ZeroCost};
 pub use net::{Latency, NetworkConfig, Partition};

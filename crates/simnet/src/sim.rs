@@ -406,6 +406,54 @@ impl Simulation {
     }
 }
 
+impl shadowdb_runtime::Runtime for Simulation {
+    fn add_node(&mut self, process: Box<dyn Process>) -> Loc {
+        Simulation::add_node(self, process)
+    }
+
+    fn add_node_colocated(&mut self, process: Box<dyn Process>, peer: Loc) -> Loc {
+        Simulation::add_node_colocated(self, process, peer)
+    }
+
+    fn node_count(&self) -> u32 {
+        Simulation::node_count(self)
+    }
+
+    fn now(&self) -> VTime {
+        Simulation::now(self)
+    }
+
+    fn send_at(&mut self, at: VTime, dest: Loc, msg: Msg) {
+        Simulation::send_at(self, at, dest, msg);
+    }
+
+    fn crash_at(&mut self, at: VTime, loc: Loc) {
+        Simulation::crash_at(self, at, loc);
+    }
+
+    fn restart_at(&mut self, at: VTime, loc: Loc, process: Box<dyn Process>) {
+        Simulation::restart_at(self, at, loc, process);
+    }
+
+    fn set_cost_model(&mut self, cost: Box<dyn shadowdb_runtime::CostModel>) {
+        self.cost = cost;
+    }
+
+    /// A port is an ordinary simulated node running a
+    /// [`shadowdb_runtime::PortProcess`]; it occupies the next location, so
+    /// numbering matches every other substrate.
+    fn port(&mut self) -> (Loc, shadowdb_runtime::PortRx) {
+        let (tx, rx) = shadowdb_runtime::PortRx::pair();
+        let loc = Simulation::add_node(self, Box::new(shadowdb_runtime::PortProcess::new(tx)));
+        (loc, rx)
+    }
+
+    fn run_for(&mut self, duration: std::time::Duration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,26 @@
+//! Shared test scaffolding.
+//!
+//! Deployment tests across the workspace all want the same thing: a LAN-like
+//! simulated network with a fixed seed. Building it lives here so the recipe
+//! is written once instead of copy-pasted per test module.
+
+use crate::{NetworkConfig, SimBuilder, Simulation};
+
+/// A simulation over [`NetworkConfig::lan`] with the given seed — the
+/// standard substrate for deployment and protocol tests.
+pub fn default_net(seed: u64) -> Simulation {
+    SimBuilder::new(seed).network(NetworkConfig::lan()).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_net_is_deterministic_per_seed() {
+        let a = default_net(42);
+        let b = default_net(42);
+        assert_eq!(a.node_count(), b.node_count());
+        assert_eq!(a.now(), b.now());
+    }
+}

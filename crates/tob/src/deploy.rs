@@ -1,10 +1,12 @@
-//! Deployment of a complete broadcast service into a simulation.
+//! Deployment of a complete broadcast service into a [`Runtime`].
 //!
 //! Mirrors the paper's testbed layout: the service runs on `machines`
 //! servers (three in Sec. IV, tolerating one failure with Paxos), each
 //! machine co-hosting the TOB server process and its consensus roles —
 //! the processes share the machine's CPU, which is what eventually makes
-//! the service CPU-bound.
+//! the service CPU-bound. The builder is generic over the execution
+//! substrate: the same graph deploys into the simulator, onto real threads
+//! (`shadowdb-livenet`), or into the model checker (`shadowdb-mck`).
 
 use crate::mode::{ExecutionMode, ModeCost};
 use crate::service::{service_class, Backend, TobConfig};
@@ -13,7 +15,7 @@ use shadowdb_consensus::synod::{self, SynodConfig};
 use shadowdb_consensus::twothird::{TwoThird, TwoThirdConfig};
 use shadowdb_eventml::Process;
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_simnet::Simulation;
+use shadowdb_runtime::Runtime;
 
 /// Which consensus module the deployment wires the servers to.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,16 +66,16 @@ pub struct TobDeployment {
 }
 
 impl TobDeployment {
-    /// Adds the full service to `sim`: one machine per server with all
+    /// Adds the full service to `rt`: one machine per server with all
     /// consensus roles co-located, every process built per
     /// `options.mode`, and the mode's CPU cost model installed.
     /// `subscribers` receive every delivery notification.
-    pub fn build(
-        sim: &mut Simulation,
+    pub fn build<R: Runtime + ?Sized>(
+        rt: &mut R,
         options: &TobOptions,
         subscribers: Vec<Loc>,
     ) -> TobDeployment {
-        let base = sim.node_count();
+        let base = rt.node_count();
         let m = options.machines;
         let per = match options.backend {
             BackendKind::TwoThird => 2, // server + member
@@ -96,10 +98,9 @@ impl TobDeployment {
                         subscribers.clone(),
                     )
                     .with_max_batch(options.max_batch);
-                    let server =
-                        sim.add_node(options.mode.instantiate(&service_class(&tob_config)));
+                    let server = rt.add_node(options.mode.instantiate(&service_class(&tob_config)));
                     debug_assert_eq!(server, server_loc(i));
-                    let member = sim.add_node_colocated(
+                    let member = rt.add_node_colocated(
                         options
                             .mode
                             .instantiate(&TwoThird::new(tt_config.clone()).class()),
@@ -126,29 +127,28 @@ impl TobDeployment {
                         subscribers.clone(),
                     )
                     .with_max_batch(options.max_batch);
-                    let server =
-                        sim.add_node(options.mode.instantiate(&service_class(&tob_config)));
+                    let server = rt.add_node(options.mode.instantiate(&service_class(&tob_config)));
                     debug_assert_eq!(server, server_loc(i));
                     let (replica, leader, acceptor) = paxos_roles(options.mode, &px_config);
-                    let r = sim.add_node_colocated(replica, server);
-                    let l = sim.add_node_colocated(leader, server);
-                    let a = sim.add_node_colocated(acceptor, server);
+                    let r = rt.add_node_colocated(replica, server);
+                    let l = rt.add_node_colocated(leader, server);
+                    let a = rt.add_node_colocated(acceptor, server);
                     debug_assert_eq!(r, replicas[i as usize]);
                     debug_assert_eq!(l, leaders[i as usize]);
                     debug_assert_eq!(a, acceptors[i as usize]);
                 }
                 if options.start_all_leaders {
                     for l in &leaders {
-                        sim.send_at(VTime::ZERO, *l, synod::start_msg());
+                        rt.send_at(VTime::ZERO, *l, synod::start_msg());
                     }
                 } else {
                     // One active leader; the others stay passive.
-                    sim.send_at(VTime::ZERO, leaders[0], synod::start_msg());
+                    rt.send_at(VTime::ZERO, leaders[0], synod::start_msg());
                 }
             }
         }
 
-        sim.set_cost_model(ModeCost::new(options.mode, service_locs.clone()));
+        rt.set_cost_model(Box::new(ModeCost::new(options.mode, service_locs.clone())));
         TobDeployment {
             servers,
             service_locs,
@@ -182,11 +182,10 @@ mod tests {
     use super::*;
     use crate::client::{ClientStats, TobClient};
     use shadowdb_eventml::Value;
-    use shadowdb_simnet::{NetworkConfig, SimBuilder};
     use std::sync::Arc;
 
     fn run_deployment(backend: BackendKind, mode: ExecutionMode, n_msgs: u64) -> ClientStats {
-        let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).build();
+        let mut sim = shadowdb_simnet::testing::default_net(11);
         let stats = Arc::new(parking_lot::Mutex::new(ClientStats::default()));
         // Client gets loc 0; deployment follows.
         let client_loc = Loc::new(0);

@@ -23,7 +23,7 @@
 
 use shadowdb_eventml::{ClassExpr, InterpretedProcess, Msg, Process, Value};
 use shadowdb_loe::Loc;
-use shadowdb_simnet::CostModel;
+use shadowdb_runtime::CostModel;
 use std::time::Duration;
 
 /// How the generated broadcast/consensus programs are executed.

@@ -9,7 +9,6 @@
 use parking_lot::Mutex;
 use shadowdb_eventml::{Ctx, FnProcess, Msg, Process, Value};
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_simnet::{NetworkConfig, SimBuilder};
 use shadowdb_tob::deploy::BackendKind;
 use shadowdb_tob::{
     parse_deliver, ClientStats, Delivery, ExecutionMode, InOrderBuffer, TobClient, TobDeployment,
@@ -35,7 +34,7 @@ fn subscriber(log: Log) -> Box<dyn Process> {
 fn crash_one_machine(victim_machine: u32, seed: u64) {
     let n_clients = 3u32;
     let per = 4;
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(seed);
     let log: Log = Arc::new(Mutex::new(Vec::new()));
     let sub = sim.add_node(subscriber(log.clone()));
     assert_eq!(sub, Loc::new(0));

@@ -1,56 +1,56 @@
 //! Exhaustive checking of the broadcast service itself.
 //!
-//! A minimal TOB deployment — two servers backed by a three-member
-//! TwoThird consensus — carries two concurrent client messages. The model
-//! checker explores *every* delivery interleaving and asserts the total
-//! order property in each reachable state: the two subscribers never
-//! observe different messages at the same sequence number, and no message
-//! is delivered twice at one subscriber.
+//! The *shipping* deployment builder — the same `TobDeployment::build` that
+//! assembles the service under the simulator and on real threads — builds a
+//! minimal instance directly into the model checker: two machines backed by
+//! TwoThird consensus, carrying two concurrent client messages. The checker
+//! explores *every* delivery interleaving and asserts the total order
+//! property in each reachable state: the two subscribers never observe
+//! different messages at the same sequence number, and no message is
+//! delivered twice at one subscriber.
 
-use shadowdb_consensus::twothird::{TwoThird, TwoThirdConfig};
-use shadowdb_eventml::{InterpretedProcess, Process, Value};
+use shadowdb_eventml::Value;
 use shadowdb_loe::Loc;
-use shadowdb_mck::{explore, Options, Spec};
-use shadowdb_tob::service::{service_class, Backend, TobConfig};
+use shadowdb_loe::VTime;
+use shadowdb_mck::{Options, WorldBuilder};
+use shadowdb_runtime::Runtime;
+use shadowdb_tob::deploy::{BackendKind, TobDeployment, TobOptions};
+use shadowdb_tob::mode::ExecutionMode;
 use shadowdb_tob::{broadcast_msg, parse_deliver};
 use std::collections::BTreeMap;
 
 #[test]
 fn tob_total_order_checked_exhaustively() {
-    // Locations: 0,1 = TOB servers; 2,3,4 = TwoThird members; 100,101 =
-    // subscribers (environment).
-    let servers = [Loc::new(0), Loc::new(1)];
-    let members = vec![Loc::new(2), Loc::new(3), Loc::new(4)];
-    let subs = vec![Loc::new(100), Loc::new(101)];
-    let tt = TwoThirdConfig::new(members.clone(), servers.to_vec()).with_auto_adopt();
-    let member_class = TwoThird::new(tt).class();
-
-    let mut procs: Vec<Box<dyn Process>> = Vec::new();
-    for (i, s) in servers.iter().enumerate() {
-        let cfg = TobConfig::new(Backend::TwoThird { member: members[i] }, subs.clone())
-            .with_max_batch(4);
-        let _ = s;
-        procs.push(Box::new(InterpretedProcess::compile(&service_class(&cfg))));
-    }
-    for _ in &members {
-        procs.push(Box::new(InterpretedProcess::compile(&member_class)));
-    }
+    let mut world = WorldBuilder::new();
+    // Subscribers are environment ports, created first: locs 0 and 1.
+    let (sub_a, _rx_a) = world.port();
+    let (sub_b, _rx_b) = world.port();
+    let options = TobOptions {
+        machines: 2,
+        backend: BackendKind::TwoThird,
+        mode: ExecutionMode::Interpreted,
+        max_batch: 4,
+        start_all_leaders: false,
+    };
+    let deployment = TobDeployment::build(&mut world, &options, vec![sub_a, sub_b]);
+    assert_eq!(deployment.servers, vec![Loc::new(2), Loc::new(4)]);
 
     // Two clients submit one message each, to *different* servers — the
     // racing-slot case that exercises re-proposal.
-    let spec = Spec {
-        procs,
-        env: subs.clone(),
-        init_msgs: vec![
-            (servers[0], broadcast_msg(Loc::new(200), 0, Value::str("a"))),
-            (servers[1], broadcast_msg(Loc::new(201), 0, Value::str("b"))),
-        ],
-    };
-    let outcome = explore(
-        spec,
-        // Bounds sized for CI: ~100 k states in seconds. The space has
-        // been explored to 3 M states / depth 34 without violation; raise
-        // the bounds to reproduce.
+    world.send_at(
+        VTime::ZERO,
+        deployment.servers[0],
+        broadcast_msg(Loc::new(200), 0, Value::str("a")),
+    );
+    world.send_at(
+        VTime::ZERO,
+        deployment.servers[1],
+        broadcast_msg(Loc::new(201), 0, Value::str("b")),
+    );
+
+    let outcome = world.explore(
+        // Bounds sized for CI. Raise them to push the exploration deeper;
+        // the space is cyclic-free but wide.
         Options {
             max_depth: 22,
             max_states: 30_000,
@@ -85,7 +85,7 @@ fn tob_total_order_checked_exhaustively() {
                 global.insert(d.seq, ident);
             }
             // Integrity: a message id appears at most once per subscriber.
-            for sub in [Loc::new(100), Loc::new(101)] {
+            for sub in [sub_a, sub_b] {
                 let mut seen = std::collections::BTreeSet::new();
                 for ((s, _), ident) in &by_seq {
                     if *s == sub && !seen.insert(*ident) {
@@ -98,7 +98,7 @@ fn tob_total_order_checked_exhaustively() {
     );
     assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
     assert!(
-        outcome.states_visited > 5_000,
+        outcome.states_visited > 1_000,
         "the interleaving space should be non-trivial: {}",
         outcome.states_visited
     );

@@ -11,7 +11,6 @@
 use parking_lot::Mutex;
 use shadowdb_eventml::{Ctx, FnProcess, Msg, Process, Value};
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_simnet::{NetworkConfig, SimBuilder};
 use shadowdb_tob::deploy::BackendKind;
 use shadowdb_tob::{
     parse_deliver, ClientStats, Delivery, ExecutionMode, InOrderBuffer, TobClient, TobDeployment,
@@ -43,7 +42,7 @@ fn run(
     max_batch: usize,
     seed: u64,
 ) -> (Vec<Delivery>, Vec<Delivery>, Vec<Arc<Mutex<ClientStats>>>) {
-    let mut sim = SimBuilder::new(seed).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(seed);
     let log_a: Log = Arc::new(Mutex::new(Vec::new()));
     let log_b: Log = Arc::new(Mutex::new(Vec::new()));
     let sub_a = sim.add_node(subscriber(log_a.clone()));

@@ -12,7 +12,6 @@ use shadowdb::deploy::{DeployOptions, PbrDeployment, SmrDeployment};
 use shadowdb::diversity::DiversityPolicy;
 use shadowdb::pbr::PbrOptions;
 use shadowdb_loe::VTime;
-use shadowdb_simnet::{NetworkConfig, SimBuilder};
 use shadowdb_sqldb::Database;
 use shadowdb_tob::ExecutionMode;
 use shadowdb_workloads::tpcc::{TpccGen, TpccScale};
@@ -47,7 +46,7 @@ fn total_balance(db: &Database) -> i64 {
 #[test]
 fn smr_state_agreement_across_diverse_engines() {
     const ACCOUNTS: usize = 2_000;
-    let mut sim = SimBuilder::new(1).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(1);
     let (mut options, dbs) = options_with_dbs(
         3,
         |client| {
@@ -86,7 +85,7 @@ fn smr_state_agreement_across_diverse_engines() {
 #[test]
 fn pbr_failover_durability_and_state_agreement() {
     const ACCOUNTS: usize = 1_500;
-    let mut sim = SimBuilder::new(2).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(2);
     let (mut options, dbs) = options_with_dbs(
         2,
         |client| {
@@ -141,7 +140,7 @@ fn pbr_failover_durability_and_state_agreement() {
 #[test]
 fn tpcc_smr_replicas_agree_on_everything() {
     let scale = TpccScale::small();
-    let mut sim = SimBuilder::new(3).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(3);
     let (mut options, dbs) = options_with_dbs(
         2,
         move |client| {
@@ -196,7 +195,7 @@ fn tpcc_smr_replicas_agree_on_everything() {
 #[test]
 fn smr_exactly_once_despite_duplicate_submissions() {
     const ACCOUNTS: usize = 500;
-    let mut sim = SimBuilder::new(4).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(4);
     let (options, dbs) = options_with_dbs(
         1,
         |_| {
@@ -234,7 +233,7 @@ fn smr_history_is_strictly_serializable() {
     use shadowdb::serializability::{check_bank_history, Observation};
     const ACCOUNTS: usize = 20; // few accounts → reads really constrain order
 
-    let mut sim = SimBuilder::new(5).network(NetworkConfig::lan()).build();
+    let mut sim = shadowdb_simnet::testing::default_net(5);
     let txn_scripts: Vec<Vec<TxnRequest>> = (0..3)
         .map(|client| {
             (0..60)
@@ -263,49 +262,24 @@ fn smr_history_is_strictly_serializable() {
     sim.run_until_quiescent(VTime::from_secs(600));
     assert_eq!(d.committed(), 180);
 
-    // Reconstruct observations: clients record (submit, answer, committed);
-    // results come from a re-query — instead, pair stats with the known
-    // scripts and read results recorded per reply. DbClientStats does not
-    // keep result values, so replay reads against answer-ordered deposits
-    // using the checker's own semantics *plus* the replica's final state as
-    // the last read of every account.
+    // Clients record the results they actually saw, so the checker runs on
+    // the genuine observed history — not a replay-filled approximation.
     let mut observations: Vec<Observation> = Vec::new();
     for (client, stats) in d.stats.iter().enumerate() {
         let s = stats.lock();
         assert_eq!(s.completed.len(), txn_scripts[client].len());
-        for (i, (submitted, answered, committed)) in s.completed.iter().enumerate() {
-            assert!(*committed);
-            let txn = txn_scripts[client][i].clone();
-            // Results are validated against replica state below; reads are
-            // re-derived by the checker, so pass the checker's own
-            // prediction by replaying answer order — i.e. build the
-            // observation without a result and fill reads from a replay.
-            observations.push(Observation {
-                submitted: *submitted,
-                answered: *answered,
-                txn,
-                result: vec![],
-            });
-        }
+        observations.extend(s.observations(&txn_scripts[client]));
     }
-    // Fill read results by replaying in answer order (what a correct SMR
-    // must produce), then assert the checker accepts the history AND the
-    // final balances equal the replicas' actual state.
     observations.sort_by_key(|o| o.answered);
+    check_bank_history(&observations, 1_000).expect("strictly serializable");
+    // Replay the deposits to predict final balances for the cross-check
+    // against replica state below.
     let mut balances = std::collections::HashMap::new();
-    for o in &mut observations {
-        match &o.txn {
-            TxnRequest::BankDeposit { account, amount } => {
-                *balances.entry(*account).or_insert(1_000i64) += amount;
-            }
-            TxnRequest::BankRead { account } => {
-                let b = *balances.entry(*account).or_insert(1_000i64);
-                o.result = vec![shadowdb_sqldb::SqlValue::Int(b)];
-            }
-            _ => {}
+    for o in &observations {
+        if let TxnRequest::BankDeposit { account, amount } = &o.txn {
+            *balances.entry(*account).or_insert(1_000i64) += amount;
         }
     }
-    check_bank_history(&observations, 1_000).expect("strictly serializable");
     // Cross-check the replay's final state against every replica's actual
     // database: the serial witness and reality agree.
     let dbs = _dbs.lock();
