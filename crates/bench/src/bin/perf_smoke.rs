@@ -1,7 +1,9 @@
-//! Fast non-criterion perf smoke test for the fused GPM hot path.
+//! Fast non-criterion perf smoke test for the fused GPM hot path and the
+//! message plane.
 //!
 //! Drives the fused (dispatch-optimized) TwoThird and CLK programs for a
 //! fixed number of messages — standalone and through the `Runtime` seam —
+//! plus the framed wire codec and a TCP loopback echo,
 //! reports msgs/sec, and **fails** (exit 1) if
 //! any path regresses more than 30 % against the baseline recorded in
 //! `crates/bench/perf_smoke_baseline.json`. The whole run takes well under
@@ -24,10 +26,13 @@
 
 use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
 use shadowdb_eventml::optimize::optimize;
-use shadowdb_eventml::{clk, Ctx, Process, SendInstr, Value};
+use shadowdb_eventml::{
+    clk, Ctx, FnProcess, FrameEncoder, FrameReader, Msg, Process, SendInstr, Value,
+};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_runtime::Runtime;
 use shadowdb_simnet::{Latency, NetworkConfig, SimBuilder};
+use shadowdb_tcpnet::TcpNet;
 use std::time::{Duration, Instant};
 
 const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/perf_smoke_baseline.json");
@@ -116,6 +121,78 @@ fn clk_runtime_rate() -> f64 {
     (sim.stats().delivered - before) as f64 / wall
 }
 
+/// msgs/sec through the full wire path in-process: encode + frame into
+/// the reused per-connection scratch buffer, reassemble, decode. Uses a
+/// Fig-8-sized payload (the paper's broadcast experiments use 140-byte
+/// messages). Steady state must be allocation-light: the encoder scratch
+/// and reader buffer are reused across all iterations, so a cliff here
+/// means the codec grew a per-message allocation or copy.
+fn codec_roundtrip_rate() -> f64 {
+    // Header + int + 128-byte payload ≈ 140 encoded bytes.
+    let msg = Msg::new(
+        "bcast",
+        Value::pair(
+            Value::Int(7),
+            Value::Bytes(bytes::Bytes::from(vec![0xA5u8; 128])),
+        ),
+    );
+    let mut enc = FrameEncoder::new();
+    let mut rdr = FrameReader::new();
+    let mut roundtrip = |msg: &Msg| {
+        let frame = enc.encode(msg);
+        rdr.extend(frame);
+        rdr.next_msg().expect("decodes").expect("one whole frame")
+    };
+    let reps = 100_000usize;
+    for _ in 0..1_000 {
+        let got = roundtrip(&msg);
+        assert_eq!(got.header, msg.header);
+    }
+    let t = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(roundtrip(&msg));
+    }
+    reps as f64 / t.elapsed().as_secs_f64()
+}
+
+/// msgs/sec of a ping/pong echo over real loopback TCP sockets: every
+/// message is framed, crosses the kernel, and is decoded on the other
+/// side. Requests are pipelined in one burst, so the rate measures the
+/// transport's sustained throughput (including the injection path through
+/// the control thread), not a per-message RTT.
+fn tcp_echo_rate() -> f64 {
+    let mut net = TcpNet::new();
+    let echo = net.add_node(Box::new(FnProcess::new(
+        (),
+        |_s, _c: &Ctx, m: &Msg| match m.body.as_loc() {
+            Some(from) => vec![SendInstr::now(from, Msg::new("pong", Value::Unit))],
+            None => vec![],
+        },
+    )));
+    let (port, rx) = net.port();
+    let ping = || Msg::new("ping", Value::Loc(port));
+    let recv = |n: usize| {
+        for _ in 0..n {
+            rx.recv_timeout(Duration::from_secs(30))
+                .expect("echo reply");
+        }
+    };
+    // Warm-up: establish both connections and fault in the code paths.
+    for _ in 0..200 {
+        net.send(echo, ping());
+    }
+    recv(200);
+    let reps = 5_000usize;
+    let t = Instant::now();
+    for _ in 0..reps {
+        net.send(echo, ping());
+    }
+    recv(reps);
+    let rate = reps as f64 / t.elapsed().as_secs_f64();
+    net.shutdown();
+    rate
+}
+
 /// Minimal extraction of `"key": <number>` from the baseline JSON — the
 /// file is machine-written with a fixed shape, so no JSON library needed.
 fn read_baseline(json: &str, key: &str) -> Option<f64> {
@@ -134,6 +211,8 @@ fn main() {
         ("twothird_fused", twothird_fused_rate()),
         ("clk_fused", clk_fused_rate()),
         ("clk_runtime", clk_runtime_rate()),
+        ("codec_roundtrip", codec_roundtrip_rate()),
+        ("tcp_echo", tcp_echo_rate()),
     ];
 
     if std::env::var("PERF_SMOKE_WRITE_BASELINE").is_ok() {

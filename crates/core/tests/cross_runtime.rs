@@ -1,10 +1,12 @@
 //! One deployment graph, interchangeable substrates.
 //!
 //! The same `SmrDeployment`/`PbrDeployment` builders that the simulator
-//! tests exercise here run on real threads (`shadowdb-livenet`): the SMR
-//! bank workload commits the same set of answers under both runtimes and
-//! both observed histories are strictly serializable, and a PBR deployment
-//! on threads survives a primary crash — the thread-runtime mirror of the
+//! tests exercise here run on real threads (`shadowdb-livenet`, in
+//! wire-framed mode so every message round-trips through the byte codec)
+//! and on real loopback sockets (`shadowdb-tcpnet`): the SMR bank workload
+//! commits the same set of answers under all three runtimes and every
+//! observed history is strictly serializable, and a PBR deployment on
+//! threads survives a primary crash — the thread-runtime mirror of the
 //! simulator's `pbr_primary_crash_recovers_and_resumes`.
 
 use shadowdb::client::DbClientStats;
@@ -79,7 +81,7 @@ fn wait_for(deadline: Duration, mut done: impl FnMut() -> bool) {
 }
 
 #[test]
-fn smr_bank_commits_identically_on_simnet_and_livenet() {
+fn smr_bank_commits_identically_on_simnet_livenet_and_tcpnet() {
     const N_CLIENTS: usize = 2;
     const TXNS_EACH: usize = 25;
     let scripts = scripts(N_CLIENTS, TXNS_EACH);
@@ -91,10 +93,12 @@ fn smr_bank_commits_identically_on_simnet_and_livenet() {
     let (committed_sim, obs_sim) = harvest(&d_sim.stats, &scripts);
 
     // Substrate 2: real threads, seeded delivery for a reproducible
-    // interleaving.
+    // interleaving, wire-framed so every delivery round-trips through the
+    // length-prefixed byte codec.
     let mut net = LiveNet::builder()
         .latency(Duration::from_micros(100))
         .seeded(17)
+        .wire_framed()
         .spawn();
     let d_live = SmrDeployment::build(&mut net, &bank_options(scripts.clone()));
     wait_for(Duration::from_secs(60), || {
@@ -103,13 +107,25 @@ fn smr_bank_commits_identically_on_simnet_and_livenet() {
     let (committed_live, obs_live) = harvest(&d_live.stats, &scripts);
     net.shutdown();
 
-    // Both substrates answer the same committed set…
+    // Substrate 3: real loopback TCP sockets — the identical builder, the
+    // identical codec, actual kernel byte streams between nodes.
+    let mut tcp = shadowdb_tcpnet::TcpNet::new();
+    let d_tcp = SmrDeployment::build(&mut tcp, &bank_options(scripts.clone()));
+    wait_for(Duration::from_secs(60), || {
+        d_tcp.committed() == N_CLIENTS * TXNS_EACH
+    });
+    let (committed_tcp, obs_tcp) = harvest(&d_tcp.stats, &scripts);
+    tcp.shutdown();
+
+    // All three substrates answer the same committed set…
     assert_eq!(committed_sim.len(), N_CLIENTS * TXNS_EACH);
     assert_eq!(committed_sim, committed_live);
+    assert_eq!(committed_sim, committed_tcp);
     // …and each observed history is strictly serializable with the read
     // results the clients actually saw.
     check_bank_history(&obs_sim, 1_000).expect("simnet history serializable");
     check_bank_history(&obs_live, 1_000).expect("livenet history serializable");
+    check_bank_history(&obs_tcp, 1_000).expect("tcpnet history serializable");
     // Deposits commute, so identical committed sets imply identical final
     // balances; assert the derived balances agree as a belt-and-braces
     // check on the harvested histories themselves.
@@ -123,6 +139,7 @@ fn smr_bank_commits_identically_on_simnet_and_livenet() {
         b
     };
     assert_eq!(final_balances(&obs_sim), final_balances(&obs_live));
+    assert_eq!(final_balances(&obs_sim), final_balances(&obs_tcp));
 }
 
 /// The thread-runtime mirror of the simulator's

@@ -1,15 +1,53 @@
-//! A compact binary wire format for values and messages.
+//! The binary wire format for values and messages, plus length-prefixed
+//! framing.
 //!
-//! Used wherever serialized size matters: the 140-byte payloads of the
-//! broadcast-service benchmark (Fig. 8), and the ~50 KB state-transfer
-//! batches of Fig. 10(b).
+//! This module is the **single codec boundary** of the system: everything
+//! that crosses a byte boundary — TCP links in `shadowdb-tcpnet`, the
+//! wire-framed mode of `shadowdb-livenet`, the ~50 KB state-transfer
+//! batches of Fig. 10(b), and the 140-byte payloads of the
+//! broadcast-service benchmark (Fig. 8) — goes through `encode_msg_into`
+//! and `decode_msg` with [`FrameEncoder`]/[`FrameReader`] supplying frame
+//! boundaries on top.
+//!
+//! # Robustness contract
+//!
+//! Decoding is **total** on arbitrary bytes: it never panics and never
+//! sizes an allocation from an untrusted length prefix. Every claimed
+//! length is checked against the bytes actually remaining before anything
+//! is allocated ([`DecodeError::LengthOverflow`]), value nesting is
+//! bounded by [`MAX_DEPTH`] ([`DecodeError::TooDeep`]), and frames are
+//! bounded by the reader's configured maximum
+//! ([`DecodeError::FrameTooLarge`]). Encoding of any [`Value`] the system
+//! can construct within [`MAX_DEPTH`] round-trips exactly.
+//!
+//! # Allocation discipline
+//!
+//! [`FrameEncoder`] owns a per-connection scratch [`BytesMut`]; in steady
+//! state an encode clears and refills it in place, so sending allocates
+//! nothing (DESIGN §7). Decoding allocates only the `Value` tree it
+//! returns.
 
 use crate::value::{Header, Msg, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use shadowdb_loe::Loc;
 use std::fmt;
 
-/// An error decoding a value or message.
+/// Deepest value nesting the decoder accepts (and the encoder is expected
+/// to produce). Protocol messages are a handful of levels deep; the bound
+/// exists so adversarial input cannot trigger unbounded recursion.
+pub const MAX_DEPTH: u32 = 128;
+
+/// Longest header name the message decoder accepts. Headers name protocol
+/// message kinds and are interned into a global, never-freed symbol table,
+/// so unbounded attacker-chosen names would be a memory leak.
+pub const MAX_HEADER_LEN: usize = 256;
+
+/// Default cap on a single frame's payload, sized to fit the largest
+/// legitimate message (state-transfer batches are ~50 KB) with two orders
+/// of magnitude of headroom.
+pub const DEFAULT_MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// An error decoding a value, message, or frame.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
     /// The buffer ended before the value was complete.
@@ -18,6 +56,25 @@ pub enum DecodeError {
     BadTag(u8),
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// A length prefix claims more bytes or elements than could possibly
+    /// remain in the buffer — the decoder refuses before allocating.
+    LengthOverflow {
+        /// What the prefix claimed.
+        claimed: u64,
+        /// Bytes actually remaining after the prefix.
+        remaining: usize,
+    },
+    /// Value nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// A message header name exceeded [`MAX_HEADER_LEN`].
+    HeaderTooLong(usize),
+    /// A frame's length prefix exceeded the reader's configured maximum.
+    FrameTooLarge {
+        /// What the frame header claimed.
+        claimed: usize,
+        /// The reader's cap.
+        max: usize,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -26,6 +83,17 @@ impl fmt::Display for DecodeError {
             DecodeError::Truncated => write!(f, "buffer truncated"),
             DecodeError::BadTag(t) => write!(f, "unknown type tag {t}"),
             DecodeError::BadUtf8 => write!(f, "invalid utf-8 in string"),
+            DecodeError::LengthOverflow { claimed, remaining } => write!(
+                f,
+                "length prefix claims {claimed} with only {remaining} bytes remaining"
+            ),
+            DecodeError::TooDeep => write!(f, "value nesting exceeds {MAX_DEPTH}"),
+            DecodeError::HeaderTooLong(n) => {
+                write!(f, "header name of {n} bytes exceeds {MAX_HEADER_LEN}")
+            }
+            DecodeError::FrameTooLarge { claimed, max } => {
+                write!(f, "frame of {claimed} bytes exceeds the {max}-byte cap")
+            }
         }
     }
 }
@@ -84,10 +152,21 @@ pub fn encode_value(v: &Value, buf: &mut BytesMut) {
 
 /// Decodes one value from the front of `buf`, advancing it.
 ///
+/// Total on arbitrary input: never panics, never allocates proportionally
+/// to an unvalidated length prefix.
+///
 /// # Errors
 ///
-/// Returns a [`DecodeError`] if the buffer is truncated or malformed.
+/// Returns a [`DecodeError`] if the buffer is truncated, malformed, claims
+/// impossible lengths, or nests deeper than [`MAX_DEPTH`].
 pub fn decode_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
+    decode_value_at(buf, 0)
+}
+
+fn decode_value_at(buf: &mut Bytes, depth: u32) -> Result<Value, DecodeError> {
+    if depth >= MAX_DEPTH {
+        return Err(DecodeError::TooDeep);
+    }
     if buf.remaining() < 1 {
         return Err(DecodeError::Truncated);
     }
@@ -107,30 +186,31 @@ pub fn decode_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
             Ok(Value::Loc(Loc::new(buf.get_u32_le())))
         }
         TAG_STR => {
-            need(buf, 4)?;
-            let len = buf.get_u32_le() as usize;
-            need(buf, len)?;
+            let len = claimed_len(buf)?;
             let raw = buf.split_to(len);
             let s = std::str::from_utf8(&raw).map_err(|_| DecodeError::BadUtf8)?;
             Ok(Value::str(s))
         }
         TAG_BYTES => {
-            need(buf, 4)?;
-            let len = buf.get_u32_le() as usize;
-            need(buf, len)?;
+            let len = claimed_len(buf)?;
             Ok(Value::Bytes(buf.split_to(len)))
         }
         TAG_PAIR => {
-            let a = decode_value(buf)?;
-            let b = decode_value(buf)?;
+            let a = decode_value_at(buf, depth + 1)?;
+            let b = decode_value_at(buf, depth + 1)?;
             Ok(Value::pair(a, b))
         }
         TAG_LIST => {
-            need(buf, 4)?;
-            let len = buf.get_u32_le() as usize;
+            // Every element occupies at least one byte (its tag), so a
+            // claimed element count above the remaining byte count is a lie;
+            // reject it *before* anything is sized from it. Even a truthful
+            // count only bounds *bytes*, not element slots (a Value slot is
+            // larger than a byte), so the pre-reservation is additionally
+            // clamped and large lists grow the honest way.
+            let len = claimed_len(buf)?;
             let mut items = Vec::with_capacity(len.min(4096));
             for _ in 0..len {
-                items.push(decode_value(buf)?);
+                items.push(decode_value_at(buf, depth + 1)?);
             }
             Ok(Value::list(items))
         }
@@ -138,16 +218,36 @@ pub fn decode_value(buf: &mut Bytes) -> Result<Value, DecodeError> {
     }
 }
 
+/// Reads a u32 length prefix and validates it against the bytes remaining,
+/// so callers may use it both to slice and to size allocations.
+fn claimed_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
+    need(buf, 4)?;
+    let len = buf.get_u32_le() as usize;
+    if len > buf.remaining() {
+        return Err(DecodeError::LengthOverflow {
+            claimed: len as u64,
+            remaining: buf.remaining(),
+        });
+    }
+    Ok(len)
+}
+
+/// Appends the encoding of `msg` (header + body) to `buf` — the
+/// scratch-buffer entry point used by [`FrameEncoder`].
+pub fn encode_msg_into(msg: &Msg, buf: &mut BytesMut) {
+    buf.put_u32_le(msg.header.name().len() as u32);
+    buf.put_slice(msg.header.name().as_bytes());
+    encode_value(&msg.body, buf);
+}
+
 /// Encodes a message (header + body) to fresh bytes.
 pub fn encode_msg(msg: &Msg) -> Bytes {
     let mut buf = BytesMut::new();
-    buf.put_u32_le(msg.header.name().len() as u32);
-    buf.put_slice(msg.header.name().as_bytes());
-    encode_value(&msg.body, &mut buf);
+    encode_msg_into(msg, &mut buf);
     buf.freeze()
 }
 
-/// Decodes a message produced by [`encode_msg`].
+/// Decodes a message produced by [`encode_msg`]/[`encode_msg_into`].
 ///
 /// # Errors
 ///
@@ -155,7 +255,15 @@ pub fn encode_msg(msg: &Msg) -> Bytes {
 pub fn decode_msg(mut buf: Bytes) -> Result<Msg, DecodeError> {
     need(&buf, 4)?;
     let len = buf.get_u32_le() as usize;
-    need(&buf, len)?;
+    if len > MAX_HEADER_LEN {
+        return Err(DecodeError::HeaderTooLong(len));
+    }
+    if len > buf.remaining() {
+        return Err(DecodeError::LengthOverflow {
+            claimed: len as u64,
+            remaining: buf.remaining(),
+        });
+    }
     let raw = buf.split_to(len);
     let name = std::str::from_utf8(&raw).map_err(|_| DecodeError::BadUtf8)?;
     let header = Header::new(name);
@@ -182,6 +290,107 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
         Err(DecodeError::Truncated)
     } else {
         Ok(())
+    }
+}
+
+/// Frames messages for a byte stream: `[u32_le payload_len][payload]`,
+/// where the payload is [`encode_msg_into`]'s output.
+///
+/// One encoder per connection: it owns a scratch buffer that is cleared
+/// and refilled in place, so steady-state sends allocate nothing once the
+/// buffer has grown to the connection's working-set frame size.
+#[derive(Default)]
+pub struct FrameEncoder {
+    scratch: BytesMut,
+}
+
+impl FrameEncoder {
+    /// A fresh encoder with an empty scratch buffer.
+    pub fn new() -> FrameEncoder {
+        FrameEncoder::default()
+    }
+
+    /// Encodes `msg` as one frame and returns the wire bytes, valid until
+    /// the next call. The caller writes the slice to its transport.
+    pub fn encode(&mut self, msg: &Msg) -> &[u8] {
+        self.scratch.clear();
+        self.scratch.put_u32_le(0); // length, patched below
+        encode_msg_into(msg, &mut self.scratch);
+        let len = (self.scratch.len() - 4) as u32;
+        self.scratch[..4].copy_from_slice(&len.to_le_bytes());
+        &self.scratch
+    }
+}
+
+/// Reassembles frames from a byte stream fed in arbitrary chunks, the
+/// receive half of [`FrameEncoder`].
+///
+/// Feed raw bytes with [`FrameReader::extend`]; pull complete messages
+/// with [`FrameReader::next_msg`]. A frame claiming more than the
+/// configured cap is rejected *from its header alone* — the reader never
+/// buffers toward an impossible length.
+pub struct FrameReader {
+    buf: BytesMut,
+    max_frame: usize,
+}
+
+impl FrameReader {
+    /// A reader with the [`DEFAULT_MAX_FRAME`] payload cap.
+    pub fn new() -> FrameReader {
+        FrameReader::with_max_frame(DEFAULT_MAX_FRAME)
+    }
+
+    /// A reader capping frame payloads at `max_frame` bytes.
+    pub fn with_max_frame(max_frame: usize) -> FrameReader {
+        FrameReader {
+            buf: BytesMut::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.put_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Extracts the next complete message, if a full frame has arrived.
+    ///
+    /// `Ok(None)` means "need more bytes". After any `Err` the stream is
+    /// unsynchronized and the connection should be dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DecodeError`] if the frame header exceeds the cap or the
+    /// payload fails to decode.
+    pub fn next_msg(&mut self) -> Result<Option<Msg>, DecodeError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let head: &[u8] = &self.buf;
+        let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
+        if len > self.max_frame {
+            return Err(DecodeError::FrameTooLarge {
+                claimed: len,
+                max: self.max_frame,
+            });
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.advance(4);
+        let payload = self.buf.split_to(len).freeze();
+        decode_msg(payload).map(Some)
+    }
+}
+
+impl Default for FrameReader {
+    fn default() -> FrameReader {
+        FrameReader::new()
     }
 }
 
@@ -235,6 +444,111 @@ mod tests {
     fn bad_tag_detected() {
         let mut bytes = Bytes::from_static(&[99]);
         assert_eq!(decode_value(&mut bytes), Err(DecodeError::BadTag(99)));
+    }
+
+    /// The satellite regression: a tiny buffer claiming a 2^31-element list
+    /// must return a `DecodeError`, not size an allocation from the claim.
+    #[test]
+    fn huge_claimed_list_rejected_without_allocating() {
+        let mut raw = vec![TAG_LIST];
+        raw.extend_from_slice(&(1u32 << 31).to_le_bytes()); // 4-byte prefix
+        let mut bytes = Bytes::from(raw);
+        assert_eq!(
+            decode_value(&mut bytes),
+            Err(DecodeError::LengthOverflow {
+                claimed: 1 << 31,
+                remaining: 0,
+            })
+        );
+    }
+
+    #[test]
+    fn huge_claimed_string_rejected() {
+        let mut raw = vec![TAG_STR];
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(b"abc");
+        let mut bytes = Bytes::from(raw);
+        assert!(matches!(
+            decode_value(&mut bytes),
+            Err(DecodeError::LengthOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn nesting_bounded() {
+        // A chain of MAX_DEPTH pair tags: each nests one level deeper, with
+        // no terminal value — depth must trip before truncation.
+        let raw = vec![TAG_PAIR; MAX_DEPTH as usize + 1];
+        let mut bytes = Bytes::from(raw);
+        assert_eq!(decode_value(&mut bytes), Err(DecodeError::TooDeep));
+
+        // Just under the limit decodes fine.
+        let mut deep = Value::Unit;
+        for _ in 0..MAX_DEPTH - 1 {
+            deep = Value::pair(deep, Value::Unit);
+        }
+        roundtrip(deep);
+    }
+
+    #[test]
+    fn oversized_header_rejected() {
+        let mut raw = Vec::new();
+        raw.put_u32_le(MAX_HEADER_LEN as u32 + 1);
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_LEN + 1));
+        raw.push(TAG_UNIT);
+        assert_eq!(
+            decode_msg(Bytes::from(raw)),
+            Err(DecodeError::HeaderTooLong(MAX_HEADER_LEN + 1))
+        );
+    }
+
+    #[test]
+    fn frame_roundtrip_and_reuse() {
+        let mut enc = FrameEncoder::new();
+        let mut rdr = FrameReader::new();
+        let msgs = [
+            Msg::new("vote", Value::pair(Value::Int(1), Value::str("x"))),
+            Msg::new("ack", Value::Unit),
+            Msg::new("batch", Value::list((0..50).map(Value::from))),
+        ];
+        for m in &msgs {
+            rdr.extend(enc.encode(m));
+        }
+        for m in &msgs {
+            assert_eq!(rdr.next_msg().unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(rdr.next_msg().unwrap(), None);
+        assert_eq!(rdr.buffered(), 0);
+    }
+
+    #[test]
+    fn frames_reassemble_from_single_byte_chunks() {
+        let mut enc = FrameEncoder::new();
+        let mut rdr = FrameReader::new();
+        let m = Msg::new("drip", Value::list((0..10).map(Value::from)));
+        let wire: Vec<u8> = enc.encode(&m).to_vec();
+        for (i, b) in wire.iter().enumerate() {
+            rdr.extend(std::slice::from_ref(b));
+            let got = rdr.next_msg().unwrap();
+            if i + 1 < wire.len() {
+                assert_eq!(got, None, "no frame before byte {}", i + 1);
+            } else {
+                assert_eq!(got, Some(m.clone()));
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_frame_rejected_from_header_alone() {
+        let mut rdr = FrameReader::with_max_frame(1024);
+        rdr.extend(&(2048u32).to_le_bytes());
+        assert_eq!(
+            rdr.next_msg(),
+            Err(DecodeError::FrameTooLarge {
+                claimed: 2048,
+                max: 1024,
+            })
+        );
     }
 
     #[test]

@@ -18,7 +18,9 @@
 //!   LoE (arrow *c*) and optimized ∼ original;
 //! * [`process`] — the [`Process`] trait every runnable node implements;
 //! * [`value`] — the untyped value universe and message format;
-//! * [`codec`] — a binary wire format (used for payload sizing);
+//! * [`codec`] — the binary wire format and length-prefixed framing every
+//!   byte-crossing transport shares (TCP links, wire-framed livenet,
+//!   state-transfer batches);
 //! * [`clk`] — the paper's running example, Lamport clocks (Fig. 3).
 //!
 //! # Quick start
@@ -50,6 +52,7 @@ pub mod symbol;
 pub mod value;
 
 pub use ast::{ClassExpr, HandlerFn, Spec, UpdateFn};
+pub use codec::{DecodeError, FrameEncoder, FrameReader};
 pub use compile::InterpretedProcess;
 pub use fxhash::{fxhash, FxBuildHasher, FxHashMap, FxHasher};
 pub use optimize::FusedProcess;

@@ -15,6 +15,15 @@
 //! experiments use `shadowdb-simnet`, which is deterministic and measures
 //! virtual time.
 //!
+//! # Wire-framed mode
+//!
+//! [`LiveNetBuilder::wire_framed`] interposes the system codec on every
+//! delivery: the router encodes each message into a length-prefixed frame
+//! (`shadowdb_eventml::codec`) and decodes it back before the destination
+//! sees it. The in-process runtime then exercises the byte path a TCP
+//! link uses, so codec bugs surface in fast deterministic tests instead
+//! of socket runs.
+//!
 //! # Seeded delivery
 //!
 //! Real threads cannot be made fully deterministic, but
@@ -48,7 +57,7 @@
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr};
+use shadowdb_eventml::{Ctx, FrameEncoder, FrameReader, Msg, Process, SendInstr};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_runtime::{PortRx, Runtime};
 use std::collections::BinaryHeap;
@@ -113,6 +122,42 @@ impl Ord for Due {
     }
 }
 
+/// The wire-framed mode's codec stage: every delivered message is encoded
+/// to frame bytes and decoded back, so the in-process runtime exercises the
+/// identical codec path a TCP link uses — a message that would not survive
+/// the wire does not survive livenet either, and codec bugs surface in
+/// fast deterministic tests instead of socket runs.
+struct WireStage {
+    enc: FrameEncoder,
+    rdr: FrameReader,
+}
+
+impl WireStage {
+    fn new() -> WireStage {
+        WireStage {
+            enc: FrameEncoder::new(),
+            rdr: FrameReader::new(),
+        }
+    }
+
+    /// Encode + frame + decode. Panics on any codec failure: in this mode a
+    /// non-roundtripping message is a bug to surface, not tolerate.
+    fn roundtrip(&mut self, msg: Msg) -> Msg {
+        self.rdr.extend(self.enc.encode(&msg));
+        match self.rdr.next_msg() {
+            Ok(Some(decoded)) => {
+                assert_eq!(
+                    self.rdr.buffered(),
+                    0,
+                    "frame for {msg:?} left trailing bytes"
+                );
+                decoded
+            }
+            other => panic!("wire-framed roundtrip failed for {msg:?}: {other:?}"),
+        }
+    }
+}
+
 /// SplitMix64-style bit mixer: the jitter source for seeded delivery.
 /// A pure function of its input, so runs with equal seeds see equal jitter.
 fn mix64(mut x: u64) -> u64 {
@@ -127,6 +172,7 @@ pub struct LiveNetBuilder {
     processes: Vec<Box<dyn Process>>,
     link: LinkLatency,
     seed: Option<u64>,
+    wire: bool,
 }
 
 impl LiveNetBuilder {
@@ -162,9 +208,20 @@ impl LiveNetBuilder {
         self
     }
 
+    /// Enables wire-framed delivery: the router encodes every message to
+    /// length-prefixed frame bytes and decodes it back before handing it to
+    /// the destination, so this runtime exercises the identical codec path
+    /// as the TCP transport. A message that fails to round-trip panics the
+    /// router — codec bugs surface here, in fast deterministic tests,
+    /// instead of in socket runs.
+    pub fn wire_framed(mut self) -> LiveNetBuilder {
+        self.wire = true;
+        self
+    }
+
     /// Starts the router and all node threads.
     pub fn spawn(self) -> LiveNet {
-        let mut net = LiveNet::with_config(self.link, self.seed);
+        let mut net = LiveNet::with_config(self.link, self.seed, self.wire);
         for process in self.processes {
             net.add_node(process);
         }
@@ -190,6 +247,7 @@ impl LiveNet {
             processes: Vec::new(),
             link: Arc::new(|_s, _d| Duration::from_micros(100)),
             seed: None,
+            wire: false,
         }
     }
 
@@ -199,7 +257,7 @@ impl LiveNet {
         LiveNet::builder().spawn()
     }
 
-    fn with_config(link: LinkLatency, seed: Option<u64>) -> LiveNet {
+    fn with_config(link: LinkLatency, seed: Option<u64>, wire: bool) -> LiveNet {
         let start = Instant::now();
         let (router_tx, router_rx) = channel::unbounded::<Routed>();
         let slots: Arc<Mutex<Vec<Slot>>> = Arc::new(Mutex::new(Vec::new()));
@@ -208,13 +266,20 @@ impl LiveNet {
         let router_handle = std::thread::spawn(move || {
             let mut heap: BinaryHeap<Due> = BinaryHeap::new();
             let mut seq = 0u64;
+            let mut wire_stage = wire.then(WireStage::new);
             loop {
                 // Deliver everything due.
                 let now = Instant::now();
                 while heap.peek().map(|d| d.at <= now).unwrap_or(false) {
-                    let due = heap.pop().expect("peeked");
+                    let Due { dest, act, .. } = heap.pop().expect("peeked");
+                    // Wire-framed mode: push the message through the codec
+                    // at the same point a socket transport would.
+                    let act = match (wire_stage.as_mut(), act) {
+                        (Some(stage), Act::Deliver(msg)) => Act::Deliver(stage.roundtrip(msg)),
+                        (_, act) => act,
+                    };
                     let slots = router_slots.lock();
-                    match (slots.get(due.dest.index() as usize), due.act) {
+                    match (slots.get(dest.index() as usize), act) {
                         (Some(Slot::Node(tx)), Act::Deliver(msg)) => {
                             let _ = tx.send(NodeCtl::Deliver(msg));
                         }
@@ -613,6 +678,58 @@ mod tests {
         let (port, rx) = net.port();
         net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
         assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        net.shutdown();
+    }
+
+    /// Wire-framed mode: the same echo exchange, every message crossing
+    /// the codec boundary.
+    #[test]
+    fn echo_roundtrip_wire_framed() {
+        let net = LiveNet::builder()
+            .wire_framed()
+            .node(echo_counter())
+            .spawn();
+        let (port, rx) = net.port();
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        let a = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.body, Value::Int(1));
+        assert_eq!(b.body, Value::Int(2));
+        net.shutdown();
+    }
+
+    /// The full generated TwoThird consensus with every message passing
+    /// through encode + frame + decode: the protocol cannot tell the
+    /// difference, and the decision set is unchanged.
+    #[test]
+    fn twothird_consensus_wire_framed() {
+        let members = Loc::first_n(3);
+        let config = TwoThirdConfig::new(members, vec![Loc::new(3)]).with_auto_adopt();
+        let class = TwoThird::new(config).class();
+        let mut builder = LiveNet::builder()
+            .wire_framed()
+            .latency(Duration::from_micros(200));
+        for _ in 0..3 {
+            builder = builder.node(Box::new(InterpretedProcess::compile(&class)));
+        }
+        let net = builder.spawn();
+        let (port, rx) = net.port();
+        assert_eq!(port, Loc::new(3));
+        net.send(Loc::new(0), propose_msg(0, Value::Int(41)));
+        net.send(Loc::new(1), propose_msg(0, Value::Int(42)));
+        net.send(Loc::new(2), propose_msg(0, Value::Int(41)));
+        let mut decisions = Vec::new();
+        while decisions.len() < 3 {
+            let m = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("a decision");
+            if let Some(d) = parse_decide(&m) {
+                decisions.push(d);
+            }
+        }
+        let first = decisions[0].1.clone();
+        assert!(decisions.iter().all(|(i, v)| *i == 0 && *v == first));
         net.shutdown();
     }
 

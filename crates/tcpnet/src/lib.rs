@@ -1,0 +1,574 @@
+//! A real TCP runtime for GPM processes: every inter-node message crosses
+//! a byte boundary over a `std::net` loopback socket.
+//!
+//! This is the repository's counterpart of the paper's testbed wiring —
+//! ShadowDB's generated processes exchanging framed messages over real
+//! sockets — and the fourth substrate behind the [`Runtime`] seam: the
+//! same unmodified `PbrDeployment`/`SmrDeployment`/TOB builders that run
+//! under the simulator, on thread channels, and inside the model checker
+//! deploy here onto actual TCP connections.
+//!
+//! # Architecture
+//!
+//! * Every location (node or port) owns a loopback `TcpListener`; accepted
+//!   connections get a reader thread that reassembles length-prefixed
+//!   frames (`shadowdb_eventml::codec`) and pushes decoded messages into
+//!   the destination's inbox.
+//! * Every node runs on its own thread, stepping the hosted [`Process`]
+//!   and writing remote sends through lazily established per-link
+//!   connections (reconnect with capped exponential backoff, FIFO per
+//!   link, allocation-free steady-state encodes). Delayed sends are held
+//!   in a sender-local timer heap until due.
+//! * A control thread schedules external injections ([`TcpNet::send_at`])
+//!   and fault actions: [`TcpNet::crash_at`] *drops the node's thread*
+//!   (volatile state, timers, and outbound connections die with it) and
+//!   [`TcpNet::restart_at`] spawns a fresh thread behind the same
+//!   listener, so crash-recovery behaves like a process restart behind a
+//!   stable address.
+//! * Driver ports ([`TcpNet::port`]) are loopback listeners too: replies
+//!   to a client port travel over a socket like any other message.
+//!
+//! [`TcpNet::shutdown`] follows the same deterministic join-all
+//! discipline as `shadowdb-livenet`: control thread, node threads,
+//! listener threads (unblocked by a poison connect), and reader threads
+//! (unblocked by writer EOF) are all joined before it returns.
+//!
+//! # Example
+//!
+//! ```
+//! use shadowdb_eventml::{Ctx, FnProcess, Msg, SendInstr, Value};
+//! use shadowdb_tcpnet::TcpNet;
+//!
+//! let mut net = TcpNet::new();
+//! let echo = net.add_node(Box::new(FnProcess::new((), |_s, _c: &Ctx, m: &Msg| {
+//!     match m.body.as_loc() {
+//!         Some(from) => vec![SendInstr::now(from, Msg::new("pong", Value::Unit))],
+//!         None => vec![],
+//!     }
+//! })));
+//! let (port, rx) = TcpNet::port(&mut net);
+//! net.send(echo, Msg::new("ping", Value::Loc(port)));
+//! let reply = rx.recv_timeout(std::time::Duration::from_secs(5)).unwrap();
+//! assert_eq!(reply.header.name(), "pong");
+//! net.shutdown();
+//! ```
+
+mod link;
+mod node;
+mod registry;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use link::Links;
+use node::spawn_node_thread;
+use registry::{spawn_listener, NodeCtl, NodeGate, Registry, SlotInfo, Target};
+use shadowdb_eventml::{Msg, Process};
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::{PortRx, Runtime};
+use std::collections::BinaryHeap;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// An action the control thread performs when its instant comes due.
+enum Act {
+    /// Deliver an externally injected message (over a real socket).
+    Deliver(Loc, Msg),
+    /// Drop the node's thread: volatile state and timers are lost and
+    /// deliveries are silently dropped until restart.
+    Crash(Loc),
+    /// Spawn a fresh thread for the location behind its existing listener.
+    Restart(Loc, Box<dyn Process>),
+}
+
+enum Ctl {
+    At { at: Instant, act: Act },
+    Shutdown,
+}
+
+struct Due {
+    at: Instant,
+    seq: u64,
+    act: Act,
+}
+
+impl PartialEq for Due {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Due {}
+impl PartialOrd for Due {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Due {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A running TCP network of process nodes.
+pub struct TcpNet {
+    start: Instant,
+    registry: Arc<Registry>,
+    ctl: Sender<Ctl>,
+    ctl_handle: Option<JoinHandle<()>>,
+    listener_handles: Vec<JoinHandle<()>>,
+}
+
+impl TcpNet {
+    /// An empty running network (control thread only); add nodes with
+    /// [`TcpNet::add_node`].
+    pub fn new() -> TcpNet {
+        let start = Instant::now();
+        let registry = Registry::new();
+        let (ctl_tx, ctl_rx) = channel::unbounded::<Ctl>();
+        let ctl_handle = {
+            let registry = registry.clone();
+            std::thread::spawn(move || control_loop(registry, start, ctl_rx))
+        };
+        TcpNet {
+            start,
+            registry,
+            ctl: ctl_tx,
+            ctl_handle: Some(ctl_handle),
+            listener_handles: Vec::new(),
+        }
+    }
+
+    /// Hosts `process` at the next location: binds its listener, then
+    /// spawns its node thread.
+    pub fn add_node(&mut self, process: Box<dyn Process>) -> Loc {
+        let (tx, rx) = channel::unbounded::<NodeCtl>();
+        let gate = Arc::new(Mutex::new(NodeGate { tx, crashed: false }));
+        let (addr, listener) = spawn_listener(&self.registry, Target::Node(gate.clone()));
+        let loc = {
+            let mut slots = self.registry.slots.lock();
+            let loc = Loc::new(slots.len() as u32);
+            slots.push(SlotInfo {
+                addr,
+                gate: Some(gate),
+            });
+            loc
+        };
+        self.listener_handles.push(listener);
+        spawn_node_thread(&self.registry, loc, self.start, process, rx);
+        loc
+    }
+
+    /// Number of locations allocated so far (nodes and ports).
+    pub fn node_count(&self) -> u32 {
+        self.registry.slots.lock().len() as u32
+    }
+
+    /// Elapsed time since the network started, as the runtime clock.
+    pub fn now(&self) -> VTime {
+        VTime::from_micros(self.start.elapsed().as_micros() as u64)
+    }
+
+    fn instant_of(&self, at: VTime) -> Instant {
+        (self.start + Duration::from_micros(at.as_micros())).max(Instant::now())
+    }
+
+    /// Injects a message from outside the system, delivered as soon as
+    /// possible (over the injector's own loopback connection).
+    pub fn send(&self, dest: Loc, msg: Msg) {
+        self.send_at(VTime::ZERO, dest, msg);
+    }
+
+    /// Injects a message from outside the system at `at` on the runtime
+    /// clock (clamped to now if already past).
+    pub fn send_at(&self, at: VTime, dest: Loc, msg: Msg) {
+        let _ = self.ctl.send(Ctl::At {
+            at: self.instant_of(at),
+            act: Act::Deliver(dest, msg),
+        });
+    }
+
+    /// Schedules a crash of the node at `loc`: its thread is dropped —
+    /// volatile state, pending timers, and outbound connections die — and
+    /// deliveries are silently dropped until restart.
+    pub fn crash_at(&self, at: VTime, loc: Loc) {
+        let _ = self.ctl.send(Ctl::At {
+            at: self.instant_of(at),
+            act: Act::Crash(loc),
+        });
+    }
+
+    /// Schedules a restart of the node at `loc`: a fresh thread hosting
+    /// `process` behind the location's existing listener.
+    pub fn restart_at(&self, at: VTime, loc: Loc, process: Box<dyn Process>) {
+        let _ = self.ctl.send(Ctl::At {
+            at: self.instant_of(at),
+            act: Act::Restart(loc, process),
+        });
+    }
+
+    /// Creates an external mailbox at the next location, backed by its own
+    /// loopback listener: messages sent to it cross a socket and land in
+    /// the returned receiver.
+    pub fn port(&mut self) -> (Loc, Receiver<Msg>) {
+        let (tx, rx) = channel::unbounded();
+        let (addr, listener) = spawn_listener(&self.registry, Target::Port(tx));
+        let loc = {
+            let mut slots = self.registry.slots.lock();
+            let loc = Loc::new(slots.len() as u32);
+            slots.push(SlotInfo { addr, gate: None });
+            loc
+        };
+        self.listener_handles.push(listener);
+        (loc, rx)
+    }
+
+    /// Stops every thread and waits for all of them: control thread first,
+    /// then node threads, then listeners (poison connect), then readers
+    /// (writer EOF).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        let _ = self.ctl.send(Ctl::Shutdown);
+        if let Some(h) = self.ctl_handle.take() {
+            let _ = h.join();
+        }
+        // Stop node threads; marking them crashed makes concurrent reader
+        // deliveries drop instead of queueing into a dead inbox.
+        for slot in self.registry.slots.lock().iter() {
+            if let Some(gate) = &slot.gate {
+                let mut gate = gate.lock();
+                gate.crashed = true;
+                let _ = gate.tx.send(NodeCtl::Stop);
+            }
+        }
+        let nodes: Vec<_> = self.registry.nodes.lock().drain(..).collect();
+        for h in nodes {
+            let _ = h.join();
+        }
+        // Unblock every listener's accept with a poison connect.
+        self.registry.shutdown.store(true, Ordering::SeqCst);
+        let addrs: Vec<_> = self.registry.slots.lock().iter().map(|s| s.addr).collect();
+        for addr in addrs {
+            let _ = TcpStream::connect(addr);
+        }
+        for h in self.listener_handles.drain(..) {
+            let _ = h.join();
+        }
+        // All writers are gone: readers see EOF and exit.
+        let readers: Vec<_> = self.registry.readers.lock().drain(..).collect();
+        for h in readers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Default for TcpNet {
+    fn default() -> Self {
+        TcpNet::new()
+    }
+}
+
+impl Drop for TcpNet {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The control thread: a timer heap of scheduled injections and fault
+/// actions, with its own outbound links for external deliveries.
+fn control_loop(registry: Arc<Registry>, start: Instant, rx: Receiver<Ctl>) {
+    let mut links = Links::new(registry.clone());
+    let mut heap: BinaryHeap<Due> = BinaryHeap::new();
+    let mut seq = 0u64;
+    loop {
+        let now = Instant::now();
+        while heap.peek().map(|d| d.at <= now).unwrap_or(false) {
+            let due = heap.pop().expect("peeked");
+            match due.act {
+                Act::Deliver(dest, msg) => links.send(dest, &msg),
+                Act::Crash(loc) => {
+                    if let Some(gate) = registry.gate_of(loc.index()) {
+                        let mut gate = gate.lock();
+                        gate.crashed = true;
+                        let _ = gate.tx.send(NodeCtl::Stop);
+                    }
+                }
+                Act::Restart(loc, process) => {
+                    if let Some(gate) = registry.gate_of(loc.index()) {
+                        let (tx, node_rx) = channel::unbounded::<NodeCtl>();
+                        {
+                            let mut gate = gate.lock();
+                            gate.tx = tx;
+                            gate.crashed = false;
+                        }
+                        spawn_node_thread(&registry, loc, start, process, node_rx);
+                    }
+                }
+            }
+        }
+        let wait = heap
+            .peek()
+            .map(|d| d.at.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(20))
+            .min(Duration::from_millis(20));
+        match rx.recv_timeout(wait) {
+            Ok(Ctl::At { at, act }) => {
+                seq += 1;
+                heap.push(Due { at, seq, act });
+            }
+            Ok(Ctl::Shutdown) | Err(channel::RecvTimeoutError::Disconnected) => break,
+            Err(channel::RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+impl Runtime for TcpNet {
+    fn add_node(&mut self, process: Box<dyn Process>) -> Loc {
+        TcpNet::add_node(self, process)
+    }
+
+    fn node_count(&self) -> u32 {
+        TcpNet::node_count(self)
+    }
+
+    fn now(&self) -> VTime {
+        TcpNet::now(self)
+    }
+
+    fn send_at(&mut self, at: VTime, dest: Loc, msg: Msg) {
+        TcpNet::send_at(self, at, dest, msg);
+    }
+
+    fn crash_at(&mut self, at: VTime, loc: Loc) {
+        TcpNet::crash_at(self, at, loc);
+    }
+
+    fn restart_at(&mut self, at: VTime, loc: Loc, process: Box<dyn Process>) {
+        TcpNet::restart_at(self, at, loc, process);
+    }
+
+    fn port(&mut self) -> (Loc, PortRx) {
+        let (loc, rx) = TcpNet::port(self);
+        (loc, PortRx::new(rx))
+    }
+
+    /// Real threads and sockets run on their own; letting the system
+    /// execute for a duration is simply sleeping that long.
+    fn run_for(&mut self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdb_consensus::parse_decide;
+    use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
+    use shadowdb_eventml::{Ctx, FnProcess, InterpretedProcess, SendInstr, Value};
+
+    fn echo_counter() -> Box<dyn Process> {
+        Box::new(FnProcess::new(0u32, |n, _c: &Ctx, m: &Msg| {
+            *n += 1;
+            match m.body.as_loc() {
+                Some(from) => {
+                    vec![SendInstr::now(
+                        from,
+                        Msg::new("pong", Value::Int(*n as i64)),
+                    )]
+                }
+                None => vec![],
+            }
+        }))
+    }
+
+    #[test]
+    fn echo_roundtrip_over_sockets() {
+        let mut net = TcpNet::new();
+        let echo = net.add_node(echo_counter());
+        let (port, rx) = TcpNet::port(&mut net);
+        net.send(echo, Msg::new("ping", Value::Loc(port)));
+        net.send(echo, Msg::new("ping", Value::Loc(port)));
+        let a = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.body, Value::Int(1));
+        assert_eq!(b.body, Value::Int(2));
+        net.shutdown();
+    }
+
+    /// A single link carries frames in FIFO order: a relay node forwards a
+    /// numbered burst and the port sees it in sequence.
+    #[test]
+    fn fifo_per_link() {
+        let mut net = TcpNet::new();
+        let relay = net.add_node(Box::new(FnProcess::new(
+            (),
+            |_s, _c: &Ctx, m: &Msg| match (m.body.fst(), m.body.snd()) {
+                (Some(to), Some(v)) => vec![SendInstr::now(to.loc(), Msg::new("seq", v.clone()))],
+                _ => vec![],
+            },
+        )));
+        let (port, rx) = TcpNet::port(&mut net);
+        const N: i64 = 500;
+        for i in 0..N {
+            net.send(
+                relay,
+                Msg::new("fwd", Value::pair(Value::Loc(port), Value::Int(i))),
+            );
+        }
+        for i in 0..N {
+            let m = rx.recv_timeout(Duration::from_secs(10)).expect("in order");
+            assert_eq!(m.body, Value::Int(i), "link reordered messages");
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn delayed_self_send_fires_later() {
+        let mut net = TcpNet::new();
+        let node = net.add_node(Box::new(FnProcess::new(
+            (),
+            |_s, ctx: &Ctx, m: &Msg| match m.header.name() {
+                "start" => vec![SendInstr::after(
+                    Duration::from_millis(80),
+                    ctx.slf,
+                    Msg::new("timer", m.body.clone()),
+                )],
+                "timer" => vec![SendInstr::now(m.body.loc(), Msg::new("fired", Value::Unit))],
+                _ => vec![],
+            },
+        )));
+        let (port, rx) = TcpNet::port(&mut net);
+        let t0 = Instant::now();
+        net.send(node, Msg::new("start", Value::Loc(port)));
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert!(
+            t0.elapsed() >= Duration::from_millis(75),
+            "{:?}",
+            t0.elapsed()
+        );
+        net.shutdown();
+    }
+
+    /// The generated TwoThird consensus over real sockets: three members
+    /// decide one value and notify the learner port.
+    #[test]
+    fn twothird_consensus_over_sockets() {
+        let members = Loc::first_n(3);
+        // The learner port will be loc 3 (first location after 3 nodes).
+        let config = TwoThirdConfig::new(members, vec![Loc::new(3)]).with_auto_adopt();
+        let class = TwoThird::new(config).class();
+        let mut net = TcpNet::new();
+        for _ in 0..3 {
+            net.add_node(Box::new(InterpretedProcess::compile(&class)));
+        }
+        let (port, rx) = TcpNet::port(&mut net);
+        assert_eq!(port, Loc::new(3));
+        net.send(Loc::new(0), propose_msg(0, Value::Int(41)));
+        net.send(Loc::new(1), propose_msg(0, Value::Int(42)));
+        net.send(Loc::new(2), propose_msg(0, Value::Int(41)));
+        let mut decisions = Vec::new();
+        while decisions.len() < 3 {
+            let m = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("a decision");
+            if let Some(d) = parse_decide(&m) {
+                decisions.push(d);
+            }
+        }
+        let first = decisions[0].1.clone();
+        assert!(decisions.iter().all(|(i, v)| *i == 0 && *v == first));
+        net.shutdown();
+    }
+
+    /// A crashed node's thread is gone: deliveries are dropped. After
+    /// restart the location answers again with fresh state.
+    #[test]
+    fn crash_silences_node_until_restart() {
+        let mut net = TcpNet::new();
+        let node = net.add_node(echo_counter());
+        let (port, rx) = TcpNet::port(&mut net);
+        net.send(node, Msg::new("ping", Value::Loc(port)));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
+
+        net.crash_at(VTime::ZERO, node);
+        std::thread::sleep(Duration::from_millis(50));
+        net.send(node, Msg::new("ping", Value::Loc(port)));
+        assert!(
+            rx.recv_timeout(Duration::from_millis(200)).is_err(),
+            "crashed node must stay silent"
+        );
+
+        net.restart_at(VTime::ZERO, node, echo_counter());
+        std::thread::sleep(Duration::from_millis(50));
+        net.send(node, Msg::new("ping", Value::Loc(port)));
+        // Fresh process: the counter restarts from 1.
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
+        net.shutdown();
+    }
+
+    /// Nodes and ports share one location sequence, as the deployment
+    /// builders require for precomputing locations.
+    #[test]
+    fn dynamic_nodes_and_ports_share_locations() {
+        let mut net = TcpNet::new();
+        assert_eq!(TcpNet::node_count(&net), 0);
+        let a = net.add_node(echo_counter());
+        let (p, _rx) = TcpNet::port(&mut net);
+        let b = net.add_node(echo_counter());
+        assert_eq!((a, p, b), (Loc::new(0), Loc::new(1), Loc::new(2)));
+        assert_eq!(TcpNet::node_count(&net), 3);
+        net.shutdown();
+    }
+
+    #[cfg(target_os = "linux")]
+    fn os_thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("procfs")
+            .count()
+    }
+
+    /// Shutdown joins the control thread, every node thread, every
+    /// listener, and every reader — repeated nets must not leak OS
+    /// threads, even with timers and traffic in flight.
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn repeated_nets_leak_no_threads() {
+        let before = os_thread_count();
+        for i in 0..10u64 {
+            let mut net = TcpNet::new();
+            let echo = net.add_node(echo_counter());
+            let timer = net.add_node(Box::new(FnProcess::new((), |_s, ctx: &Ctx, m: &Msg| {
+                // Arm a far-future timer so shutdown always has an
+                // in-flight delayed send to discard.
+                vec![SendInstr::after(
+                    Duration::from_secs(3600),
+                    ctx.slf,
+                    m.clone(),
+                )]
+            })));
+            let (port, rx) = TcpNet::port(&mut net);
+            net.send(timer, Msg::new("tick", Value::Int(i as i64)));
+            net.send(echo, Msg::new("ping", Value::Loc(port)));
+            let _ = rx.recv_timeout(Duration::from_secs(5));
+            net.shutdown();
+        }
+        let after = os_thread_count();
+        assert!(
+            after <= before,
+            "leaked {} threads across 10 nets",
+            after - before
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Outbound links: lazily established per-(sender, destination) TCP
+//! connections with reconnect and capped exponential backoff.
+//!
+//! Each sending thread (a node thread, or the control thread injecting
+//! external messages) owns one [`Links`]. A link is a single TCP stream
+//! written by a single thread, so messages on one link arrive in FIFO
+//! order; the per-connection [`FrameEncoder`] scratch buffer makes
+//! steady-state sends allocation-free.
+
+use crate::registry::Registry;
+use shadowdb_eventml::{FrameEncoder, Msg};
+use shadowdb_loe::Loc;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// First reconnect delay; doubles per attempt up to [`BACKOFF_CAP`].
+const BACKOFF_START: Duration = Duration::from_millis(1);
+/// Ceiling on a single backoff sleep.
+const BACKOFF_CAP: Duration = Duration::from_millis(50);
+/// Connection attempts per send before the message is dropped. Protocols
+/// assume fair-lossy links at worst (clients retransmit), so a send to a
+/// persistently unreachable listener gives up rather than wedge the
+/// sending protocol thread.
+const MAX_ATTEMPTS: u32 = 6;
+
+/// The outbound half of one sending thread.
+pub struct Links {
+    registry: Arc<Registry>,
+    /// Indexed by destination location; `None` until first use (or after a
+    /// broken connection is dropped).
+    conns: Vec<Option<TcpStream>>,
+    enc: FrameEncoder,
+}
+
+impl Links {
+    /// No connections yet; they are established on first send per link.
+    pub fn new(registry: Arc<Registry>) -> Links {
+        Links {
+            registry,
+            conns: Vec::new(),
+            enc: FrameEncoder::new(),
+        }
+    }
+
+    /// Encodes `msg` and writes the frame to the link to `dest`,
+    /// establishing or re-establishing the connection as needed. On a
+    /// persistent link failure the message is dropped (fair-lossy link
+    /// semantics; see [`MAX_ATTEMPTS`]).
+    pub fn send(&mut self, dest: Loc, msg: &Msg) {
+        let idx = dest.index() as usize;
+        if self.conns.len() <= idx {
+            self.conns.resize_with(idx + 1, || None);
+        }
+        let frame = self.enc.encode(msg);
+        if let Some(conn) = self.conns[idx].as_mut() {
+            if conn.write_all(frame).is_ok() {
+                return;
+            }
+            // Broken pipe: drop the stream and fall through to reconnect.
+            self.conns[idx] = None;
+        }
+        if let Some(mut conn) = connect(&self.registry, idx) {
+            if conn.write_all(frame).is_ok() {
+                self.conns[idx] = Some(conn);
+            }
+        }
+    }
+}
+
+/// Dials the listener of location `idx` with capped exponential backoff.
+fn connect(registry: &Registry, idx: usize) -> Option<TcpStream> {
+    let addr = registry.addr_of(idx as u32)?;
+    let mut backoff = BACKOFF_START;
+    for attempt in 0..MAX_ATTEMPTS {
+        if registry.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                return Some(stream);
+            }
+            Err(_) if attempt + 1 < MAX_ATTEMPTS => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_CAP);
+            }
+            Err(_) => {}
+        }
+    }
+    None
+}

@@ -204,12 +204,46 @@ impl BytesMut {
             Bytes::from(self.data[self.pos..].to_vec())
         }
     }
+
+    /// Discards all bytes (read and unread) while keeping the allocation,
+    /// so a scratch buffer can be reused without reallocating.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.pos = 0;
+    }
+
+    /// Splits off and returns the first `n` unread bytes, advancing `self`
+    /// past them. Upstream does this zero-copy inside one allocation; this
+    /// stand-in copies, which preserves the semantics (and the consumed
+    /// prefix is reclaimed once it dominates the buffer, so a long-lived
+    /// read cursor does not grow without bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len`.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to out of bounds");
+        let head = self.data[self.pos..self.pos + n].to_vec();
+        self.pos += n;
+        if self.pos >= 4096 && self.pos * 2 >= self.data.len() {
+            self.data.drain(..self.pos);
+            self.pos = 0;
+        }
+        BytesMut { data: head, pos: 0 }
+    }
 }
 
 impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data[self.pos..]
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        let pos = self.pos;
+        &mut self.data[pos..]
     }
 }
 
@@ -352,6 +386,24 @@ mod tests {
         let s = b.slice(1..3);
         assert_eq!(&s[..], &[2, 3]);
         assert_eq!(b.len(), 4);
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_split_to_advances() {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_slice(b"hello world");
+        let head = b.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&b[..], b"world");
+        let cap = b.data.capacity();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.data.capacity(), cap, "clear must keep the allocation");
+        b.put_u8(9);
+        assert_eq!(&b[..], &[9]);
+        // DerefMut allows in-place patching (length-prefix fixup).
+        b[0] = 7;
+        assert_eq!(&b[..], &[7]);
     }
 
     #[test]
