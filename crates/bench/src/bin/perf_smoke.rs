@@ -3,12 +3,14 @@
 //!
 //! Drives the fused (dispatch-optimized) TwoThird and CLK programs for a
 //! fixed number of messages — standalone and through the `Runtime` seam —
-//! plus the framed wire codec and a TCP loopback echo,
-//! reports msgs/sec, and **fails** (exit 1) if
-//! any path regresses more than 30 % against the baseline recorded in
-//! `crates/bench/perf_smoke_baseline.json`. The whole run takes well under
-//! a second, so CI can afford it on every push — unlike the criterion
-//! suite, which needs minutes.
+//! plus the framed wire codec, a TCP loopback echo, and a deterministic
+//! virtual-time PBR failover-recovery measurement;
+//! reports each metric, and **fails** (exit 1) if
+//! any drifts more than 30 % the wrong way against the baseline recorded
+//! in `crates/bench/perf_smoke_baseline.json` (throughput legs gate on a
+//! floor, the recovery-latency leg on a ceiling). The whole run takes
+//! well under a second, so CI can afford it on every push — unlike the
+//! criterion suite, which needs minutes.
 //!
 //! Regenerate the baseline (after an intentional perf change, on the
 //! reference machine) with:
@@ -101,7 +103,7 @@ fn clk_runtime_rate() -> f64 {
     let net = NetworkConfig {
         latency: Latency::Fixed(hop),
         drop_probability: 0.0,
-        partitions: Vec::new(),
+        faults: Default::default(),
     };
     let mut sim = SimBuilder::new(7).network(net).build();
     {
@@ -193,6 +195,77 @@ fn tcp_echo_rate() -> f64 {
     rate
 }
 
+/// Client-observed failover time on the simulator, in **virtual**
+/// milliseconds: a PBR deployment runs a bank workload, the primary is
+/// crashed mid-run, and the leg reports the gap between the crash and the
+/// first transaction answered after it — detection silence, the
+/// reconfiguration broadcast, and the client's retry all included. This
+/// is the analogue of the paper's Fig. 10 recovery experiment (≈640 ms
+/// from failure to the service processing transactions again).
+///
+/// Virtual time makes the number deterministic: it does not depend on the
+/// host, so the gate on it is about protocol/timer changes (a slower
+/// detector, a lost-reconfiguration retry storm), not machine noise.
+fn failover_recovery_ms() -> f64 {
+    use shadowdb::deploy::{DeployOptions, PbrDeployment};
+    use shadowdb::pbr::PbrOptions;
+    use shadowdb_workloads::bank;
+
+    const ACCOUNTS: usize = 400;
+    let mut sim = shadowdb_simnet::testing::default_net(640);
+    let options = DeployOptions {
+        client_timeout: Duration::from_millis(400),
+        ..DeployOptions::new(
+            2,
+            |client| {
+                let mut g = bank::BankGen::new(9 + client as u64, ACCOUNTS);
+                (0..400).map(|_| g.next_txn()).collect()
+            },
+            |db| bank::load(db, ACCOUNTS).expect("loads"),
+        )
+    };
+    let pbr = PbrOptions {
+        heartbeat_every: Duration::from_millis(50),
+        detect_after: Duration::from_millis(300),
+        ..PbrOptions::default()
+    };
+    let d = PbrDeployment::build(&mut sim, &options, pbr);
+    let committed =
+        |d: &PbrDeployment| -> usize { d.stats.iter().map(|s| s.lock().completed.len()).sum() };
+    // Let the service reach steady state, then kill the primary.
+    while committed(&d) < 20 {
+        sim.run_for(Duration::from_millis(5));
+    }
+    let t_crash = sim.now();
+    sim.crash_at(t_crash, d.replicas[0]);
+    // The outage ends when a transaction *submitted after* the crash is
+    // answered — replies already in flight at the crash don't count.
+    let first_post_crash_answer = |d: &PbrDeployment| {
+        d.stats
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .completed
+                    .iter()
+                    .filter(|(submitted, _, _)| *submitted > t_crash)
+                    .map(|(_, answered, _)| *answered)
+                    .collect::<Vec<_>>()
+            })
+            .min()
+    };
+    let first_after = loop {
+        if let Some(t) = first_post_crash_answer(&d) {
+            break t;
+        }
+        sim.run_for(Duration::from_millis(10));
+        assert!(
+            sim.now() < t_crash + Duration::from_secs(600),
+            "failover never completed"
+        );
+    };
+    (first_after.as_micros() - t_crash.as_micros()) as f64 / 1_000.0
+}
+
 /// Minimal extraction of `"key": <number>` from the baseline JSON — the
 /// file is machine-written with a fixed shape, so no JSON library needed.
 fn read_baseline(json: &str, key: &str) -> Option<f64> {
@@ -206,26 +279,58 @@ fn read_baseline(json: &str, key: &str) -> Option<f64> {
     tail[..end].parse().ok()
 }
 
+/// Which direction of drift counts as a regression for a metric.
+#[derive(Clone, Copy)]
+enum Gate {
+    /// Throughput: fail when the value drops below `baseline × TOLERANCE`
+    /// (scaled by `PERF_SMOKE_FACTOR` for slow hosts).
+    HigherBetter,
+    /// Latency: fail when the value climbs above `baseline ÷ TOLERANCE`.
+    /// `PERF_SMOKE_FACTOR < 1` (a slow host) *raises* the ceiling.
+    LowerBetter,
+}
+
 fn main() {
     let measured = [
-        ("twothird_fused", twothird_fused_rate()),
-        ("clk_fused", clk_fused_rate()),
-        ("clk_runtime", clk_runtime_rate()),
-        ("codec_roundtrip", codec_roundtrip_rate()),
-        ("tcp_echo", tcp_echo_rate()),
+        (
+            "twothird_fused_msgs_per_sec",
+            twothird_fused_rate(),
+            Gate::HigherBetter,
+        ),
+        (
+            "clk_fused_msgs_per_sec",
+            clk_fused_rate(),
+            Gate::HigherBetter,
+        ),
+        (
+            "clk_runtime_msgs_per_sec",
+            clk_runtime_rate(),
+            Gate::HigherBetter,
+        ),
+        (
+            "codec_roundtrip_msgs_per_sec",
+            codec_roundtrip_rate(),
+            Gate::HigherBetter,
+        ),
+        ("tcp_echo_msgs_per_sec", tcp_echo_rate(), Gate::HigherBetter),
+        (
+            "failover_recovery_ms",
+            failover_recovery_ms(),
+            Gate::LowerBetter,
+        ),
     ];
 
     if std::env::var("PERF_SMOKE_WRITE_BASELINE").is_ok() {
         let mut body = String::from("{\n");
-        for (i, (k, v)) in measured.iter().enumerate() {
+        for (i, (k, v, _)) in measured.iter().enumerate() {
             let sep = if i + 1 == measured.len() { "" } else { "," };
-            body.push_str(&format!("  \"{k}_msgs_per_sec\": {v:.0}{sep}\n"));
+            body.push_str(&format!("  \"{k}\": {v:.1}{sep}\n"));
         }
         body.push_str("}\n");
         std::fs::write(BASELINE_PATH, body).expect("write baseline");
         println!("baseline written to {BASELINE_PATH}");
-        for (k, v) in &measured {
-            println!("  {k}: {v:.0} msgs/sec");
+        for (k, v, _) in &measured {
+            println!("  {k}: {v:.1}");
         }
         return;
     }
@@ -243,16 +348,30 @@ fn main() {
         std::process::exit(2);
     });
     let mut failed = false;
-    for (k, v) in &measured {
-        let base = read_baseline(&json, &format!("{k}_msgs_per_sec"))
-            .unwrap_or_else(|| panic!("no baseline for {k}"));
-        let floor = base * TOLERANCE * factor;
-        let verdict = if *v < floor { "FAIL" } else { "ok" };
-        println!("{k}: {v:.0} msgs/sec (baseline {base:.0}, floor {floor:.0}) .. {verdict}");
-        failed |= *v < floor;
+    for (k, v, gate) in &measured {
+        let base = read_baseline(&json, k).unwrap_or_else(|| panic!("no baseline for {k}"));
+        let bad = match gate {
+            Gate::HigherBetter => {
+                let floor = base * TOLERANCE * factor;
+                println!(
+                    "{k}: {v:.0} (baseline {base:.0}, floor {floor:.0}) .. {}",
+                    if *v < floor { "FAIL" } else { "ok" }
+                );
+                *v < floor
+            }
+            Gate::LowerBetter => {
+                let ceiling = base / (TOLERANCE * factor);
+                println!(
+                    "{k}: {v:.1} (baseline {base:.1}, ceiling {ceiling:.1}) .. {}",
+                    if *v > ceiling { "FAIL" } else { "ok" }
+                );
+                *v > ceiling
+            }
+        };
+        failed |= bad;
     }
     if failed {
-        eprintln!("perf smoke FAILED: fused-path throughput regressed >30% vs baseline");
+        eprintln!("perf smoke FAILED: >30% drift vs baseline");
         std::process::exit(1);
     }
     println!("perf smoke passed");

@@ -33,7 +33,7 @@ fn jittery(drop_probability: f64) -> NetworkConfig {
             jitter: Duration::from_micros(800),
         },
         drop_probability,
-        partitions: Vec::new(),
+        faults: Default::default(),
     }
 }
 

@@ -1,0 +1,300 @@
+//! Chaos soak harness: a bank workload driven under a seeded nemesis
+//! schedule, with end-to-end safety assertions.
+//!
+//! The harness is generic over the [`Runtime`] seam, so the *same*
+//! `(seed, profile, duration)` triple exercises the simulator (virtual
+//! time), the thread runtime, and the TCP runtime — the nemesis expands
+//! to a byte-identical [`FaultPlan`] on each. After the schedule's last
+//! fault heals (by `0.85 × duration`), the harness requires:
+//!
+//! * **Convergence** — every client eventually gets an answer for every
+//!   transaction (the paper's liveness claim under "correct processes can
+//!   eventually communicate");
+//! * **Strict serializability** — every committed read satisfies the
+//!   real-time bounds of
+//!   [`crate::serializability::check_bank_history_concurrent`] (answers
+//!   can be reordered by retransmission, so answer-order replay would be
+//!   unsound here); a transaction executed twice (a resent deposit not
+//!   deduplicated by cseq) inflates a balance that a post-heal read
+//!   exposes, so this assertion doubles as the no-duplicate-execution
+//!   check;
+//! * **PBR only: at most one primary per configuration** — via the
+//!   [`PrimaryProbe`], no two replicas ever execute client transactions
+//!   as primary of the same configuration sequence number.
+//!
+//! Restart node-faults in a plan are deliberately skipped: a PBR replica
+//! restarted from scratch would rejoin in the initial configuration with
+//! empty state, which the protocol only supports through the
+//! reconfiguration path (spares), not amnesiac resurrection. Crashes are
+//! applied as scheduled.
+
+use crate::client::{DbClient, DbClientStats};
+use crate::deploy::{DeployOptions, PbrDeployment, SmrDeployment};
+use crate::pbr::{PbrOptions, PrimaryProbe};
+use crate::serializability::check_bank_history_concurrent;
+use parking_lot::Mutex;
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::fault::mix64;
+use shadowdb_runtime::{schedule_node_faults, FaultTopology, Nemesis, NemesisProfile, Runtime};
+use shadowdb_workloads::{bank, TxnRequest};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Initial per-account balance loaded by [`bank::load`].
+const INITIAL_BALANCE: i64 = 1_000;
+
+/// Tuning for one chaos soak run.
+#[derive(Clone, Debug)]
+pub struct ChaosOptions {
+    /// Schedule seed: same seed + profile + duration → same fault plan on
+    /// every substrate.
+    pub seed: u64,
+    /// The nemesis scenario.
+    pub profile: NemesisProfile,
+    /// The nemesis window; every fault heals by `0.85 ×` this.
+    pub duration: Duration,
+    /// Total time budget (nemesis window plus convergence tail). The
+    /// harness panics if clients have unanswered transactions past this.
+    pub deadline: Duration,
+    /// Number of closed-loop clients.
+    pub n_clients: usize,
+    /// Transactions per client (deposits with a read every third).
+    pub txns_per_client: usize,
+    /// Bank accounts; small keeps reads landing on written accounts.
+    pub rows: usize,
+    /// PBR failure-detection silence threshold.
+    pub detect_after: Duration,
+    /// PBR heartbeat period.
+    pub heartbeat_every: Duration,
+    /// Client retransmission base timeout (backs off exponentially).
+    pub client_timeout: Duration,
+}
+
+impl ChaosOptions {
+    /// A soak sized for CI: a short nemesis window, a convergence tail of
+    /// 4× the window, and a workload small enough for real-time runtimes.
+    pub fn quick(seed: u64, profile: NemesisProfile, duration: Duration) -> ChaosOptions {
+        ChaosOptions {
+            seed,
+            profile,
+            duration,
+            deadline: duration * 4,
+            n_clients: 2,
+            txns_per_client: 40,
+            rows: 64,
+            detect_after: duration.mul_f64(0.10).max(Duration::from_millis(300)),
+            heartbeat_every: duration.mul_f64(0.02).max(Duration::from_millis(50)),
+            client_timeout: duration.mul_f64(0.05).max(Duration::from_millis(150)),
+        }
+    }
+}
+
+/// What a soak run observed (assertions have already passed when this is
+/// returned).
+#[derive(Clone, Debug)]
+pub struct ChaosReport {
+    /// Committed transactions (equals the total submitted).
+    pub committed: usize,
+    /// Client retransmissions — a proxy for how much the nemesis bit.
+    pub resends: u64,
+    /// Runtime fault-plane counters: messages/frames dropped.
+    pub dropped: u64,
+    /// Runtime fault-plane counters: messages/frames duplicated.
+    pub duplicated: u64,
+    /// PBR: the probe's `(config seq, primary)` log (empty for SMR).
+    pub primaries: Vec<(i64, Loc)>,
+}
+
+/// The per-client transaction script: deposits with a read every third
+/// transaction, on a deterministic account, so the serializability
+/// checker has balances to pin the order with.
+pub fn mixed_txns(seed: u64, n: usize, rows: usize) -> Vec<TxnRequest> {
+    let mut gen = bank::BankGen::new(seed, rows);
+    (0..n)
+        .map(|k| {
+            if k % 3 == 2 {
+                TxnRequest::BankRead {
+                    account: (mix64(seed ^ (k as u64) << 16) % rows as u64) as i64,
+                }
+            } else {
+                gen.next_txn()
+            }
+        })
+        .collect()
+}
+
+fn deploy_options(opts: &ChaosOptions) -> (Vec<Vec<TxnRequest>>, DeployOptions) {
+    let scripts: Vec<Vec<TxnRequest>> = (0..opts.n_clients)
+        .map(|i| {
+            mixed_txns(
+                opts.seed.wrapping_add(7919 * (i as u64 + 1)),
+                opts.txns_per_client,
+                opts.rows,
+            )
+        })
+        .collect();
+    let per_client = scripts.clone();
+    let rows = opts.rows;
+    let mut dopts = DeployOptions::new(
+        opts.n_clients,
+        move |i| per_client[i].clone(),
+        move |db| bank::load(db, rows).expect("bank loads"),
+    );
+    dopts.client_timeout = opts.client_timeout;
+    // The harness starts the clients itself, *after* the fault plan is
+    // armed: on a real-time runtime the clock runs during deployment, so
+    // a builder-scheduled kick-off would race the workload against the
+    // nemesis installation.
+    dopts.start_clients = false;
+    (scripts, dopts)
+}
+
+/// Installs the expanded plan (anchored at `epoch`, the workload start)
+/// and applies its crash schedule, then kicks off the clients at `epoch`.
+/// Restarts are skipped (see the module docs).
+fn arm_nemesis<R: Runtime + ?Sized>(
+    rt: &mut R,
+    opts: &ChaosOptions,
+    victim: Loc,
+    clients: &[Loc],
+) -> VTime {
+    let core: Vec<Loc> = (clients.len() as u32..rt.node_count())
+        .map(Loc::new)
+        .collect();
+    let topo = FaultTopology {
+        clients: clients.to_vec(),
+        core,
+        victim,
+    };
+    let epoch = rt.now() + Duration::from_millis(5);
+    let plan = Nemesis::new(opts.seed, opts.profile, opts.duration)
+        .plan(&topo)
+        .shifted(Duration::from_micros(epoch.as_micros()));
+    schedule_node_faults(rt, &plan, |_loc| None);
+    rt.install_fault_plan(plan);
+    for cl in clients {
+        rt.send_at(epoch, *cl, DbClient::start_msg());
+    }
+    epoch
+}
+
+/// Runs the runtime in slices until every transaction is answered or the
+/// deadline passes; returns the number answered.
+fn drive<R: Runtime + ?Sized>(
+    rt: &mut R,
+    opts: &ChaosOptions,
+    stats: &[Arc<Mutex<DbClientStats>>],
+) -> usize {
+    let total = opts.n_clients * opts.txns_per_client;
+    let slice = (opts.deadline / 64).max(Duration::from_millis(10));
+    let deadline = rt.now() + opts.deadline;
+    let answered =
+        |stats: &[Arc<Mutex<DbClientStats>>]| stats.iter().map(|s| s.lock().completed.len()).sum();
+    let mut done: usize = answered(stats);
+    while done < total && rt.now() < deadline {
+        rt.run_for(slice);
+        done = answered(stats);
+    }
+    done
+}
+
+/// Checks convergence, strict serializability, and (when observations
+/// disagree) reports exactly which invariant broke.
+fn assert_history(
+    opts: &ChaosOptions,
+    kind: &str,
+    answered: usize,
+    scripts: &[Vec<TxnRequest>],
+    stats: &[Arc<Mutex<DbClientStats>>],
+) -> usize {
+    let total = opts.n_clients * opts.txns_per_client;
+    assert_eq!(
+        answered, total,
+        "{kind} soak did not converge after heal: {answered}/{total} answered \
+         (seed {}, {:?})",
+        opts.seed, opts.profile
+    );
+    let mut observations = Vec::new();
+    for (i, s) in stats.iter().enumerate() {
+        observations.extend(s.lock().observations(&scripts[i]));
+    }
+    let committed = observations.len();
+    assert_eq!(
+        committed,
+        total,
+        "{kind} soak: {} transactions aborted (seed {}, {:?})",
+        total - committed,
+        opts.seed,
+        opts.profile
+    );
+    if let Err(v) = check_bank_history_concurrent(&observations, INITIAL_BALANCE) {
+        panic!(
+            "{kind} soak history not strictly serializable (seed {}, {:?}): {v} \
+             — a duplicated or lost transaction execution",
+            opts.seed, opts.profile
+        );
+    }
+    committed
+}
+
+/// Soaks a primary-backup deployment under the nemesis and asserts the
+/// safety properties listed in the module docs.
+pub fn soak_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let probe: PrimaryProbe = Arc::new(Mutex::new(Vec::new()));
+    let pbr = PbrOptions {
+        heartbeat_every: opts.heartbeat_every,
+        detect_after: opts.detect_after,
+        probe: Some(probe.clone()),
+        ..PbrOptions::default()
+    };
+    let (scripts, dopts) = deploy_options(opts);
+    let d = PbrDeployment::build(rt, &dopts, pbr);
+    arm_nemesis(rt, opts, d.replicas[0], &d.clients);
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "pbr", answered, &scripts, &d.stats);
+
+    // Election safety, observed end to end: no configuration sequence
+    // number ever had two distinct replicas executing as its primary.
+    let primaries = probe.lock().clone();
+    let mut by_seq: HashMap<i64, Loc> = HashMap::new();
+    for (seq, loc) in &primaries {
+        if let Some(prev) = by_seq.insert(*seq, *loc) {
+            assert_eq!(
+                prev, *loc,
+                "two primaries executed in config {seq}: {prev:?} and {loc:?} \
+                 (seed {}, {:?})",
+                opts.seed, opts.profile
+            );
+        }
+    }
+
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries,
+    }
+}
+
+/// Soaks a state-machine-replication deployment under the nemesis and
+/// asserts convergence plus strict serializability.
+pub fn soak_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let (scripts, dopts) = deploy_options(opts);
+    let d = SmrDeployment::build(rt, &dopts);
+    // Victim is the last replica: under SMR any single replica is
+    // expendable (clients take the first answer from a survivor).
+    arm_nemesis(rt, opts, *d.replicas.last().expect("replicas"), &d.clients);
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "smr", answered, &scripts, &d.stats);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries: Vec::new(),
+    }
+}

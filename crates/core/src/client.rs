@@ -20,6 +20,7 @@ use parking_lot::Mutex;
 use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::fault::mix64;
 use shadowdb_tob::broadcast_msg;
 use shadowdb_workloads::TxnRequest;
 use std::hash::{Hash, Hasher};
@@ -30,6 +31,10 @@ use std::time::Duration;
 const TIMEOUT_HEADER: &str = "sdbclient/timeout";
 /// Kick-off message.
 const START_HEADER: &str = "sdbclient/start";
+
+/// Retransmission backoff ceiling, as a multiple of the base timeout.
+/// With doubling per resend round, the cap is reached after three rounds.
+const BACKOFF_CAP_MULT: u32 = 8;
 
 /// How submissions reach the system.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -110,6 +115,13 @@ pub struct DbClient {
     next: usize,
     outstanding: Option<(i64, VTime)>,
     resend_round: u64,
+    /// SMR: monotone broadcast msgid. Every submission — including a
+    /// resend of the same cseq — uses a *fresh* msgid, because the TOB
+    /// service deduplicates by `(client, msgid)` and would otherwise
+    /// silently swallow the retransmission; the replicas deduplicate by
+    /// cseq and re-send the cached answer, which is the reply-recovery
+    /// path when the original answer was lost.
+    bcast_seq: i64,
     /// PBR: the replica believed to be primary (updated from replies).
     believed_primary: Option<Loc>,
     timeout: Duration,
@@ -129,6 +141,7 @@ impl DbClient {
             next: 0,
             outstanding: None,
             resend_round: 0,
+            bcast_seq: 0,
             believed_primary: None,
             timeout: Duration::from_secs(5),
             stats,
@@ -144,6 +157,22 @@ impl DbClient {
     /// The kick-off message.
     pub fn start_msg() -> Msg {
         Msg::new(START_HEADER, Value::Unit)
+    }
+
+    /// The retransmission delay for the current resend round: jittered
+    /// exponential backoff. The base timeout doubles per round, capped at
+    /// [`BACKOFF_CAP_MULT`]× the base, then scaled by a deterministic
+    /// jitter factor in `[0.75, 1.25)` derived from `(client, cseq,
+    /// round)` — deterministic so simulation runs replay exactly, jittered
+    /// so a fleet of clients whose timeouts expire together (e.g. after a
+    /// partition) does not retransmit in lockstep forever.
+    fn retry_delay(&self, slf: Loc, cseq: i64) -> Duration {
+        let round = self.resend_round.min(31) as u32;
+        let mult = (1u32 << round.min(16)).min(BACKOFF_CAP_MULT);
+        let backoff = self.timeout.saturating_mul(mult);
+        let h = mix64(mix64(u64::from(slf.index()) ^ ((cseq as u64) << 24)) ^ self.resend_round);
+        let frac = (h >> 11) as f64 / (1u64 << 53) as f64;
+        backoff.mul_f64(0.75 + 0.5 * frac)
     }
 
     fn submit(&mut self, ctx: &Ctx, cseq: i64, resend: bool, outs: &mut Vec<SendInstr>) {
@@ -168,14 +197,16 @@ impl DbClient {
             }
             Submission::Smr { servers } => {
                 let idx = (self.resend_round as usize) % servers.len();
+                let msgid = self.bcast_seq;
+                self.bcast_seq += 1;
                 outs.push(SendInstr::now(
                     servers[idx],
-                    broadcast_msg(ctx.slf, cseq, env.to_value()),
+                    broadcast_msg(ctx.slf, msgid, env.to_value()),
                 ));
             }
         }
         outs.push(SendInstr::after(
-            self.timeout,
+            self.retry_delay(ctx.slf, cseq),
             ctx.slf,
             Msg::new(TIMEOUT_HEADER, Value::Int(cseq)),
         ));
@@ -231,6 +262,7 @@ impl Process for DbClient {
             next: self.next,
             outstanding: self.outstanding,
             resend_round: self.resend_round,
+            bcast_seq: self.bcast_seq,
             believed_primary: self.believed_primary,
             timeout: self.timeout,
             stats: self.stats.clone(),
@@ -239,7 +271,7 @@ impl Process for DbClient {
 
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
-        (self.next, self.resend_round).hash(&mut h);
+        (self.next, self.resend_round, self.bcast_seq).hash(&mut h);
         self.outstanding
             .map(|(c, t)| (c, t.as_micros()))
             .hash(&mut h);
@@ -331,6 +363,84 @@ mod tests {
             &reply_msg(Loc::new(5), 0, true, &[]),
         );
         assert_eq!(stats.lock().completed.len(), 1);
+    }
+
+    /// The retransmission timer backs off exponentially with jitter: each
+    /// round's delay sits in `[0.75, 1.25)`× the doubled base, capped at
+    /// `BACKOFF_CAP_MULT`× the base timeout.
+    #[test]
+    fn resend_timer_backs_off_exponentially_with_cap() {
+        let (c, _stats) = client(1);
+        let mut c = c.with_timeout(Duration::from_millis(100));
+        let slf = Loc::new(0);
+        let timer_delay = |outs: &[SendInstr]| -> Duration {
+            outs.iter()
+                .find(|o| o.dest == slf)
+                .expect("a retransmission timer")
+                .delay
+        };
+        let outs = c.step(&Ctx::new(slf, VTime::ZERO), &DbClient::start_msg());
+        let mut delays = vec![timer_delay(&outs)];
+        for round in 1..=6u64 {
+            let outs = c.step(
+                &Ctx::new(slf, VTime::from_secs(round)),
+                &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
+            );
+            delays.push(timer_delay(&outs));
+        }
+        let base = Duration::from_millis(100);
+        for (round, d) in delays.iter().enumerate() {
+            let mult = (1u32 << round.min(16)).min(BACKOFF_CAP_MULT);
+            let lo = base.saturating_mul(mult).mul_f64(0.75);
+            let hi = base.saturating_mul(mult).mul_f64(1.25);
+            assert!(
+                *d >= lo && *d < hi,
+                "round {round}: delay {d:?} outside [{lo:?}, {hi:?})"
+            );
+        }
+        // Rounds past the cap stay bounded.
+        assert!(delays[6] <= base.saturating_mul(BACKOFF_CAP_MULT).mul_f64(1.25));
+        // Rounds 4 and 5 are both at the cap: any difference is jitter.
+        assert_ne!(delays[4], delays[5], "jitter should vary across rounds");
+    }
+
+    /// After a timeout resend reaches every replica, two replicas may both
+    /// answer the same transaction; the client must count it once and
+    /// continue cleanly with the next (dedup by cseq, first answer wins).
+    #[test]
+    fn duplicate_answers_after_resend_deduplicated_by_cseq() {
+        let (mut c, stats) = client(2);
+        let slf = Loc::new(0);
+        c.step(&Ctx::new(slf, VTime::ZERO), &DbClient::start_msg());
+        // Timeout: resend goes to both replicas.
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_secs(5)),
+            &Msg::new(TIMEOUT_HEADER, Value::Int(0)),
+        );
+        assert_eq!(outs.iter().filter(|o| o.dest != slf).count(), 2);
+        // Both replicas answer cseq 0; the first completes it and submits
+        // cseq 1, the second is a duplicate and must be ignored.
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(5100)),
+            &reply_msg(Loc::new(6), 0, true, &[SqlValue::Int(7)]),
+        );
+        assert!(outs.iter().any(|o| o.dest != slf), "cseq 1 submitted");
+        let outs = c.step(
+            &Ctx::new(slf, VTime::from_millis(5200)),
+            &reply_msg(Loc::new(5), 0, true, &[SqlValue::Int(7)]),
+        );
+        assert!(outs.is_empty(), "duplicate answer must be a no-op");
+        assert_eq!(stats.lock().completed.len(), 1);
+        // The outstanding transaction is still cseq 1 and completes
+        // normally.
+        c.step(
+            &Ctx::new(slf, VTime::from_millis(5300)),
+            &reply_msg(Loc::new(6), 1, true, &[]),
+        );
+        let s = stats.lock();
+        assert_eq!(s.completed.len(), 2);
+        assert_eq!(s.committed(), 2);
+        assert_eq!(s.resends, 1);
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub struct DeployOptions {
     /// checking (Paxos leader timers re-arm forever, which a checker
     /// exploring all timings cannot bound).
     pub backend: BackendKind,
+    /// Whether the builder schedules the client kick-off messages itself
+    /// (at 1 ms on the runtime clock). Harnesses that must do work between
+    /// deployment and workload start — e.g. installing a fault plan whose
+    /// windows are anchored at the workload epoch — set this to `false`
+    /// and send [`DbClient::start_msg`] to each client themselves.
+    pub start_clients: bool,
 }
 
 impl DeployOptions {
@@ -71,6 +77,7 @@ impl DeployOptions {
             active_replicas: 2,
             machines: 3,
             backend: BackendKind::Paxos,
+            start_clients: true,
         }
     }
 }
@@ -170,8 +177,10 @@ impl PbrDeployment {
         for r in &replicas {
             rt.send_at(VTime::ZERO, *r, PbrReplica::start_msg());
         }
-        for cl in &clients {
-            rt.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+        if options.start_clients {
+            for cl in &clients {
+                rt.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+            }
         }
         PbrDeployment {
             replicas,
@@ -256,8 +265,10 @@ impl SmrDeployment {
             assert_eq!(loc, *r);
         }
 
-        for cl in &clients {
-            rt.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+        if options.start_clients {
+            for cl in &clients {
+                rt.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+            }
         }
         SmrDeployment {
             replicas,

@@ -26,6 +26,7 @@
 //! [`diversity`] (each replica can run a different database engine — H2,
 //! HSQLDB, Derby — to mask correlated environment failures).
 
+pub mod chaos;
 pub mod client;
 pub mod deploy;
 pub mod diversity;
@@ -34,6 +35,7 @@ pub mod pbr;
 pub mod serializability;
 pub mod smr;
 
+pub use chaos::{soak_pbr, soak_smr, ChaosOptions, ChaosReport};
 pub use client::{DbClient, DbClientStats};
 pub use deploy::{PbrDeployment, SmrDeployment};
 pub use msgs::ReplicaConfig;

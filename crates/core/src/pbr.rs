@@ -37,7 +37,13 @@ use shadowdb_tob::{broadcast_msg, parse_deliver, InOrderBuffer};
 use shadowdb_workloads::TxnOutcome;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// A shared log of `(configuration seq, replica)` pairs, appended the
+/// first time a replica executes a client transaction as primary in a
+/// configuration. Safety harnesses assert at most one replica per seq.
+pub type PrimaryProbe = Arc<parking_lot::Mutex<Vec<(i64, Loc)>>>;
 
 /// Tuning knobs for a PBR replica.
 #[derive(Clone, Debug)]
@@ -55,6 +61,10 @@ pub struct PbrOptions {
     /// Resume normal processing after the first recovered backup instead
     /// of all of them (Sec. III-A's overlapped state transfer).
     pub overlapped_transfer: bool,
+    /// Optional safety probe: records `(config seq, replica)` the first
+    /// time this replica executes as primary in each configuration.
+    /// Excluded from the digest (it observes state, it is not state).
+    pub probe: Option<PrimaryProbe>,
 }
 
 impl Default for PbrOptions {
@@ -65,6 +75,7 @@ impl Default for PbrOptions {
             cache_limit: 10_000,
             transfer_batch_bytes: 50_000,
             overlapped_transfer: false,
+            probe: None,
         }
     }
 }
@@ -120,6 +131,8 @@ pub struct PbrReplica {
     /// Snapshot reception state: chunks received so far.
     snap_chunks: BTreeMap<i64, bytes::Bytes>,
     snap_total: Option<(i64, i64)>, // (total chunks, executed count)
+    /// Last configuration seq this replica reported to the probe.
+    probe_last: Option<i64>,
     /// Deferred CPU cost (transaction execution, snapshot work).
     step_cost: Duration,
 }
@@ -157,6 +170,7 @@ impl PbrReplica {
             recovery_acks: BTreeSet::new(),
             snap_chunks: BTreeMap::new(),
             snap_total: None,
+            probe_last: None,
             step_cost: Duration::ZERO,
         }
     }
@@ -229,6 +243,14 @@ impl PbrReplica {
                     reply_msg(ctx.slf, *last, *committed, result),
                 ));
                 return;
+            }
+        }
+        // Safety probe: this replica just executed a client transaction
+        // while believing itself primary of the current configuration.
+        if self.probe_last != Some(self.config.seq) {
+            self.probe_last = Some(self.config.seq);
+            if let Some(probe) = &self.options.probe {
+                probe.lock().push((self.config.seq, ctx.slf));
             }
         }
         let (committed, result) = self.execute_txn(&env);
@@ -759,6 +781,7 @@ impl Process for PbrReplica {
             recovery_acks: self.recovery_acks.clone(),
             snap_chunks: self.snap_chunks.clone(),
             snap_total: self.snap_total,
+            probe_last: self.probe_last,
             step_cost: self.step_cost,
         })
     }

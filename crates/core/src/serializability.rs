@@ -48,6 +48,32 @@ pub enum Violation {
         /// The balance the client observed.
         observed: i64,
     },
+    /// A read's balance falls outside the window spanned by its real-time
+    /// predecessor deposits (minimum) and those plus every concurrent
+    /// deposit (maximum).
+    ReadOutOfBounds {
+        /// Index of the offending observation (in answer order).
+        index: usize,
+        /// The balance the client observed.
+        observed: i64,
+        /// Initial balance plus every deposit that *must* precede the read.
+        min: i64,
+        /// `min` plus every deposit that *may* precede the read.
+        max: i64,
+    },
+    /// Two reads of the same account, one completed strictly before the
+    /// other was submitted, returned shrinking balances (deposits only
+    /// ever grow them).
+    NonMonotonicReads {
+        /// Index of the earlier read (in answer order).
+        earlier: usize,
+        /// Index of the later read (in answer order).
+        later: usize,
+        /// Balance the earlier read observed.
+        first: i64,
+        /// Smaller balance the later read observed.
+        second: i64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -60,6 +86,26 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "read #{index}: observed balance {observed} but the serial order implies {expected}"
+            ),
+            Violation::ReadOutOfBounds {
+                index,
+                observed,
+                min,
+                max,
+            } => write!(
+                f,
+                "read #{index}: observed balance {observed} outside the real-time \
+                 window [{min}, {max}]"
+            ),
+            Violation::NonMonotonicReads {
+                earlier,
+                later,
+                first,
+                second,
+            } => write!(
+                f,
+                "reads #{earlier} then #{later} (non-overlapping) observed balances \
+                 {first} then {second}, but deposits only grow them"
             ),
         }
     }
@@ -104,6 +150,95 @@ pub fn check_bank_history(
                 }
             }
             _ => {} // only bank semantics are modelled
+        }
+    }
+    Ok(())
+}
+
+/// Checks a committed bank history for strict serializability when
+/// answers may be *reordered* relative to execution — the situation under
+/// fault injection, where a reply can be lost and only reach the client
+/// on a later retransmission, long after concurrent transactions from
+/// other clients completed.
+///
+/// Answer-time replay ([`check_bank_history`]) is then unsound: a read
+/// executed early but answered late would be replayed after deposits it
+/// legitimately never saw. This checker instead verifies, per read, the
+/// real-time bounds every strictly serializable order must satisfy:
+///
+/// * **lower** — deposits to the account whose answer preceded the read's
+///   submission *must* be serialized before it;
+/// * **upper** — only deposits submitted before the read's answer *can*
+///   be serialized before it;
+/// * **monotonicity** — of two reads of one account where the first
+///   answered before the second was submitted, the second never observes
+///   less.
+///
+/// A duplicated execution inflates post-heal reads past the upper bound;
+/// a lost update drags them under the lower bound. (The interval check
+/// does not prove a single global order exists — it is a sound,
+/// practically tight approximation; reads taken after the system
+/// quiesces, where the window collapses to a point, carry the weight.)
+pub fn check_bank_history_concurrent(
+    observations: &[Observation],
+    initial_balance: i64,
+) -> Result<(), Violation> {
+    let mut ordered: Vec<&Observation> = observations.iter().collect();
+    ordered.sort_by_key(|o| o.answered);
+    for (index, r) in ordered.iter().enumerate() {
+        let TxnRequest::BankRead { account } = &r.txn else {
+            continue;
+        };
+        let observed = r
+            .result
+            .first()
+            .and_then(SqlValue::as_int)
+            .unwrap_or(i64::MIN);
+        let (mut min, mut max) = (initial_balance, initial_balance);
+        for d in &ordered {
+            let TxnRequest::BankDeposit { account: a, amount } = &d.txn else {
+                continue;
+            };
+            if a != account {
+                continue;
+            }
+            if d.answered < r.submitted {
+                min += amount;
+                max += amount;
+            } else if d.submitted < r.answered {
+                max += amount;
+            }
+        }
+        if observed < min || observed > max {
+            return Err(Violation::ReadOutOfBounds {
+                index,
+                observed,
+                min,
+                max,
+            });
+        }
+        // Monotonicity against every earlier-answered read of the account
+        // that completed before this one was submitted.
+        for (earlier, r1) in ordered[..index].iter().enumerate() {
+            let TxnRequest::BankRead { account: a } = &r1.txn else {
+                continue;
+            };
+            if a != account || r1.answered >= r.submitted {
+                continue;
+            }
+            let first = r1
+                .result
+                .first()
+                .and_then(SqlValue::as_int)
+                .unwrap_or(i64::MIN);
+            if first > observed {
+                return Err(Violation::NonMonotonicReads {
+                    earlier,
+                    later: index,
+                    first,
+                    second: observed,
+                });
+            }
         }
     }
     Ok(())
@@ -227,6 +362,119 @@ mod tests {
             ),
         ];
         check_bank_history(&h, 100).expect("serializable");
+    }
+
+    #[test]
+    fn late_answered_read_tolerated_by_concurrent_checker() {
+        // The read executed before the deposit but its answer was lost and
+        // only arrived on a retransmission, after the deposit completed.
+        // Answer-order replay rejects this; the real-time-bounds checker
+        // accepts it (the two transactions overlap).
+        let h = vec![
+            obs(
+                0,
+                50,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(100)],
+            ),
+            obs(
+                5,
+                6,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 10,
+                },
+                vec![],
+            ),
+        ];
+        assert!(check_bank_history(&h, 100).is_err());
+        check_bank_history_concurrent(&h, 100).expect("overlapping, legal");
+    }
+
+    #[test]
+    fn concurrent_checker_rejects_duplicate_execution() {
+        // One deposit, but a post-quiescence read sees it applied twice.
+        let h = vec![
+            obs(
+                0,
+                1,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 10,
+                },
+                vec![],
+            ),
+            obs(
+                5,
+                6,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(120)],
+            ),
+        ];
+        let v = check_bank_history_concurrent(&h, 100).expect_err("duplicate");
+        assert!(matches!(
+            v,
+            Violation::ReadOutOfBounds {
+                min: 110,
+                max: 110,
+                observed: 120,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn concurrent_checker_rejects_lost_update() {
+        let h = vec![
+            obs(
+                0,
+                1,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 10,
+                },
+                vec![],
+            ),
+            obs(
+                5,
+                6,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(100)],
+            ),
+        ];
+        assert!(check_bank_history_concurrent(&h, 100).is_err());
+    }
+
+    #[test]
+    fn concurrent_checker_rejects_shrinking_reads() {
+        // Two sequential reads with a concurrent deposit overlapping both:
+        // each read's interval admits its value, but the later read sees
+        // less than the earlier one — no serial order explains that.
+        let h = vec![
+            obs(
+                0,
+                100,
+                TxnRequest::BankDeposit {
+                    account: 1,
+                    amount: 10,
+                },
+                vec![],
+            ),
+            obs(
+                10,
+                20,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(110)],
+            ),
+            obs(
+                30,
+                40,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(100)],
+            ),
+        ];
+        let v = check_bank_history_concurrent(&h, 100).expect_err("shrinking");
+        assert!(matches!(v, Violation::NonMonotonicReads { .. }));
     }
 
     #[test]

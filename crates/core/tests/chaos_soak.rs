@@ -1,0 +1,150 @@
+//! Chaos soaks: the bank workload under seeded nemesis schedules, on all
+//! three runtimes.
+//!
+//! Every run asserts (in `shadowdb::chaos`) that the system converges
+//! after the last fault heals, that the observed history is strictly
+//! serializable (which also catches duplicated transaction execution),
+//! and — for PBR — that no two replicas ever executed as primary of the
+//! same configuration.
+//!
+//! The simulator legs sweep every nemesis profile in virtual time; the
+//! livenet and tcpnet legs run a representative subset in real time with
+//! fixed seeds. Set `CHAOS_SEEDS=n` to additionally sweep seeds `0..n`
+//! across every profile on the simulator (the opt-in long soak).
+
+use shadowdb::chaos::{soak_pbr, soak_smr, ChaosOptions};
+use shadowdb_livenet::LiveNet;
+use shadowdb_runtime::NemesisProfile;
+use shadowdb_tcpnet::TcpNet;
+use std::time::Duration;
+
+/// Simulator sizing: the nemesis window must overlap the workload, so a
+/// 2 s virtual window over a workload long enough to still be running
+/// when the first fault lands (simulated round trips are ~1 ms).
+fn sim_opts(seed: u64, profile: NemesisProfile) -> ChaosOptions {
+    let mut o = ChaosOptions::quick(seed, profile, Duration::from_secs(2));
+    o.txns_per_client = 150;
+    o.deadline = Duration::from_secs(120);
+    o
+}
+
+/// Real-runtime sizing: a 3 s nemesis window with a generous convergence
+/// deadline (CI machines are noisy) and client timeouts that keep retries
+/// cheap but frequent.
+fn live_opts(seed: u64, profile: NemesisProfile) -> ChaosOptions {
+    let mut o = ChaosOptions::quick(seed, profile, Duration::from_secs(3));
+    o.deadline = Duration::from_secs(40);
+    o.txns_per_client = 25;
+    o
+}
+
+#[test]
+fn simnet_pbr_survives_every_profile() {
+    for (i, profile) in NemesisProfile::ALL.into_iter().enumerate() {
+        let mut sim = shadowdb_simnet::testing::default_net(900 + i as u64);
+        let report = soak_pbr(&mut sim, &sim_opts(42, profile));
+        assert_eq!(report.committed, 300, "{profile:?}");
+    }
+}
+
+#[test]
+fn simnet_smr_survives_every_profile() {
+    for (i, profile) in NemesisProfile::ALL.into_iter().enumerate() {
+        let mut sim = shadowdb_simnet::testing::default_net(700 + i as u64);
+        let report = soak_smr(&mut sim, &sim_opts(43, profile));
+        assert_eq!(report.committed, 300, "{profile:?}");
+    }
+}
+
+/// The fault plane must actually bite: under the lossy-client profile the
+/// simulator's counters record both drops and duplicates. PBR on the LAN
+/// model finishes before the first lossy burst opens, so this leg runs on
+/// a WAN-like latency (2 ms one-way) that stretches the workload across
+/// the fault windows.
+#[test]
+fn simnet_nemesis_actually_injects() {
+    use shadowdb_simnet::{Latency, NetworkConfig, SimBuilder};
+    let net = NetworkConfig {
+        latency: Latency::Jittered {
+            base: Duration::from_millis(2),
+            jitter: Duration::from_micros(300),
+        },
+        ..NetworkConfig::lan()
+    };
+    let mut sim = SimBuilder::new(901).network(net).build();
+    let report = soak_pbr(&mut sim, &sim_opts(7, NemesisProfile::LossyClientLinks));
+    assert!(
+        report.dropped > 0 && report.duplicated > 0,
+        "lossy profile should drop and duplicate: {report:?}"
+    );
+}
+
+#[test]
+fn livenet_pbr_partition_soak() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(21)
+        .spawn();
+    let report = soak_pbr(&mut net, &live_opts(21, NemesisProfile::PartitionVictim));
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+#[test]
+fn livenet_smr_lossy_clients_soak() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(22)
+        .spawn();
+    let report = soak_smr(&mut net, &live_opts(22, NemesisProfile::LossyClientLinks));
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_pbr_crash_soak() {
+    let mut net = TcpNet::new();
+    // Local TCP round trips are sub-millisecond, so the workload would
+    // outrun a crash scheduled from a 3 s window; a 20 ms window puts the
+    // primary's crash (at 0.15–0.40 × duration, so 3–8 ms after the
+    // clients start) inside a 100-transaction run that cannot finish that
+    // fast. The detection/retry timeouts keep their CI-friendly floors
+    // from `ChaosOptions::quick`.
+    let mut opts = live_opts(23, NemesisProfile::CrashVictim);
+    opts.duration = Duration::from_millis(20);
+    opts.txns_per_client = 100;
+    let report = soak_pbr(&mut net, &opts);
+    assert_eq!(report.committed, 200);
+    assert!(
+        report.resends > 0,
+        "the crash must have forced retries: {report:?}"
+    );
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_smr_partition_soak() {
+    let mut net = TcpNet::new();
+    let report = soak_smr(&mut net, &live_opts(24, NemesisProfile::PartitionVictim));
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+/// Opt-in long soak: `CHAOS_SEEDS=n` sweeps seeds `0..n` across every
+/// profile on the simulator, PBR and SMR both. Off (a no-op) by default
+/// so the tier-1 suite stays fast.
+#[test]
+fn long_soak_seed_sweep() {
+    let n: u64 = match std::env::var("CHAOS_SEEDS") {
+        Ok(v) => v.parse().expect("CHAOS_SEEDS must be an integer"),
+        Err(_) => return,
+    };
+    for seed in 0..n {
+        for (i, profile) in NemesisProfile::ALL.into_iter().enumerate() {
+            let mut sim = shadowdb_simnet::testing::default_net(seed * 31 + i as u64);
+            soak_pbr(&mut sim, &sim_opts(seed, profile));
+            let mut sim = shadowdb_simnet::testing::default_net(seed * 37 + i as u64);
+            soak_smr(&mut sim, &sim_opts(seed, profile));
+        }
+    }
+}

@@ -158,6 +158,83 @@ fn three_active_replicas_tolerate_one_crash() {
     finish_and_check(t, &[1]);
 }
 
+mod election_safety_props {
+    //! Property: under an *arbitrary* seeded nemesis schedule, no two PBR
+    //! replicas ever execute client transactions as primary of the same
+    //! configuration epoch. The [`shadowdb::pbr::PrimaryProbe`] records
+    //! `(config seq, replica)` the first time a replica executes as
+    //! primary of an epoch; split-brain would surface as one config seq
+    //! mapped to two locations.
+
+    use super::{ACCOUNTS, CLIENTS, TXNS};
+    use parking_lot::Mutex;
+    use proptest::prelude::*;
+    use shadowdb::deploy::{DeployOptions, PbrDeployment};
+    use shadowdb::pbr::{PbrOptions, PrimaryProbe};
+    use shadowdb_loe::{Loc, VTime};
+    use shadowdb_runtime::{schedule_node_faults, FaultTopology, Nemesis, NemesisProfile};
+    use shadowdb_workloads::bank;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn at_most_one_primary_per_epoch_under_arbitrary_nemesis(
+            seed in 0u64..(1u64 << 32),
+            profile_idx in 0usize..NemesisProfile::ALL.len(),
+            duration_ms in 500u64..3_000,
+        ) {
+            let profile = NemesisProfile::ALL[profile_idx];
+            let duration = Duration::from_millis(duration_ms);
+            let probe: PrimaryProbe = Arc::new(Mutex::new(Vec::new()));
+            let mut sim = shadowdb_simnet::testing::default_net(seed ^ 0x5eed);
+            let options = DeployOptions {
+                client_timeout: Duration::from_millis(400),
+                ..DeployOptions::new(
+                    CLIENTS,
+                    |client| {
+                        let mut g = bank::BankGen::new(70 + client as u64, ACCOUNTS);
+                        (0..TXNS).map(|_| g.next_txn()).collect()
+                    },
+                    |db| bank::load(db, ACCOUNTS).expect("loads"),
+                )
+            };
+            let pbr = PbrOptions {
+                heartbeat_every: Duration::from_millis(50),
+                detect_after: Duration::from_millis(300),
+                probe: Some(probe.clone()),
+                ..PbrOptions::default()
+            };
+            let d = PbrDeployment::build(&mut sim, &options, pbr);
+            let topo = FaultTopology {
+                clients: d.clients.clone(),
+                core: (CLIENTS as u32..sim.node_count()).map(Loc::new).collect(),
+                victim: d.replicas[0],
+            };
+            let plan = Nemesis::new(seed, profile, duration).plan(&topo);
+            schedule_node_faults(&mut sim, &plan, |_| None);
+            sim.install_fault_plan(plan);
+            // Run well past the heal point; the property is about what was
+            // *observed*, not convergence (the chaos soaks assert that).
+            sim.run_until(VTime::ZERO + duration + Duration::from_secs(20));
+
+            let mut by_epoch: HashMap<i64, Loc> = HashMap::new();
+            for (epoch, loc) in probe.lock().iter() {
+                if let Some(prev) = by_epoch.insert(*epoch, *loc) {
+                    prop_assert!(
+                        prev == *loc,
+                        "two primaries in epoch {}: {:?} and {:?} (seed {}, {:?}, {} ms)",
+                        epoch, prev, loc, seed, profile, duration_ms
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn no_crash_no_resends_across_seeds() {
     for seed in [1u64, 2, 3] {

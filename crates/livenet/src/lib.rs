@@ -59,8 +59,9 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use shadowdb_eventml::{Ctx, FrameEncoder, FrameReader, Msg, Process, SendInstr};
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_runtime::{PortRx, Runtime};
+use shadowdb_runtime::{FaultPlan, LinkVerdict, PortRx, Runtime};
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -167,6 +168,25 @@ fn mix64(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// The shared fault plane: node threads consult the installed plan on
+/// every outbound inter-node send. External injections (`send`/`send_at`)
+/// and crash/restart acts bypass it, like on every substrate.
+struct FaultState {
+    plan: Mutex<Option<FaultPlan>>,
+    dropped: AtomicU64,
+    duplicated: AtomicU64,
+}
+
+impl FaultState {
+    fn new() -> FaultState {
+        FaultState {
+            plan: Mutex::new(None),
+            dropped: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+        }
+    }
+}
+
 /// Configures a [`LiveNet`].
 pub struct LiveNetBuilder {
     processes: Vec<Box<dyn Process>>,
@@ -236,6 +256,7 @@ pub struct LiveNet {
     slots: Arc<Mutex<Vec<Slot>>>,
     link: LinkLatency,
     seed: Option<u64>,
+    faults: Arc<FaultState>,
     node_handles: Vec<JoinHandle<()>>,
     router_handle: Option<JoinHandle<()>>,
 }
@@ -330,9 +351,29 @@ impl LiveNet {
             slots,
             link,
             seed,
+            faults: Arc::new(FaultState::new()),
             node_handles: Vec::new(),
             router_handle: Some(router_handle),
         }
+    }
+
+    /// Installs a link-fault schedule: from now on, node-to-node sends
+    /// consult the plan's windows (drop, duplicate, delay, reorder —
+    /// reordering falls out of per-message extra delay, since livenet has
+    /// no per-link FIFO beyond delivery timing). Windows are interpreted
+    /// on the runtime clock ([`LiveNet::now`]). Per-message coin flips are
+    /// pure in `(plan seed, link, per-sender counter)`, so loss patterns
+    /// are reproducible up to thread interleaving.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.faults.plan.lock() = Some(plan);
+    }
+
+    /// `(dropped, duplicated)` message counts from the installed plan.
+    pub fn fault_stats(&self) -> (u64, u64) {
+        (
+            self.faults.dropped.load(Ordering::Relaxed),
+            self.faults.duplicated.load(Ordering::Relaxed),
+        )
     }
 
     /// Hosts `process` on a fresh thread at the next location.
@@ -348,9 +389,11 @@ impl LiveNet {
         let start = self.start;
         let link = self.link.clone();
         let seed = self.seed;
+        let faults = self.faults.clone();
         self.node_handles.push(std::thread::spawn(move || {
             let mut crashed = false;
             let mut sent = 0u64;
+            let mut fault_seq = 0u64;
             let mut outs = Vec::new();
             // Blocking receive: the thread exits on Stop (sent by the
             // router at shutdown) or when every sender is gone.
@@ -387,8 +430,44 @@ impl LiveNet {
                                 };
                                 link(slf, dest) + jitter
                             };
+                            // The fault plane: link faults apply to
+                            // inter-node sends only (self-sends are local
+                            // timers, not network traffic).
+                            let mut extra = Duration::ZERO;
+                            let mut duplicate = false;
+                            if dest != slf {
+                                let guard = faults.plan.lock();
+                                if let Some(plan) = guard.as_ref() {
+                                    if plan.active(slf, dest, now) {
+                                        fault_seq += 1;
+                                        match plan.decide(slf, dest, now, fault_seq) {
+                                            LinkVerdict::Drop { .. } => {
+                                                faults.dropped.fetch_add(1, Ordering::Relaxed);
+                                                continue;
+                                            }
+                                            LinkVerdict::Deliver {
+                                                extra_delay,
+                                                duplicate: dup,
+                                            } => {
+                                                extra = extra_delay;
+                                                duplicate = dup;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            let at = Instant::now() + delay + wire + extra;
+                            if duplicate {
+                                faults.duplicated.fetch_add(1, Ordering::Relaxed);
+                                // The duplicate takes its own wire trip.
+                                let _ = router.send(Routed::At {
+                                    at: at + wire,
+                                    dest,
+                                    act: Act::Deliver(msg.clone()),
+                                });
+                            }
                             let _ = router.send(Routed::At {
-                                at: Instant::now() + delay + wire,
+                                at,
                                 dest,
                                 act: Act::Deliver(msg),
                             });
@@ -526,6 +605,14 @@ impl Runtime for LiveNet {
     /// duration is simply sleeping that long.
     fn run_for(&mut self, duration: Duration) {
         std::thread::sleep(duration);
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        LiveNet::install_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> (u64, u64) {
+        LiveNet::fault_stats(self)
     }
 }
 
@@ -730,6 +817,57 @@ mod tests {
         }
         let first = decisions[0].1.clone();
         assert!(decisions.iter().all(|(i, v)| *i == 0 && *v == first));
+        net.shutdown();
+    }
+
+    /// A partition window silences the link both ways; after the heal time
+    /// the same exchange works again, with drops counted.
+    #[test]
+    fn fault_plan_partition_silences_then_heals() {
+        use shadowdb_runtime::fault::FaultPlan;
+        let net = LiveNet::builder().node(echo_counter()).spawn();
+        let (port, rx) = net.port();
+        // Cut node 0 off for the first 400ms of the plan-relative clock.
+        let cut_until = net.now() + Duration::from_millis(400);
+        net.install_fault_plan(FaultPlan::new(7).with_isolation(
+            Loc::new(0),
+            VTime::ZERO,
+            cut_until,
+        ));
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        assert!(
+            rx.recv_timeout(Duration::from_millis(150)).is_err(),
+            "pong must be lost while the node is isolated"
+        );
+        let (dropped, _) = net.fault_stats();
+        assert_eq!(dropped, 1);
+        // After heal (runtime clock passes cut_until) the echo answers.
+        while net.now() < cut_until {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        net.shutdown();
+    }
+
+    /// A duplicating link delivers the pong twice — the counters and the
+    /// port both see it.
+    #[test]
+    fn fault_plan_duplicates_deliveries() {
+        use shadowdb_runtime::fault::{FaultPlan, LinkFault, LinkSel};
+        let net = LiveNet::builder().node(echo_counter()).spawn();
+        let (port, rx) = net.port();
+        net.install_fault_plan(FaultPlan::new(3).with_rule(
+            LinkSel::Pair(Loc::new(0), port),
+            VTime::ZERO,
+            VTime::from_secs(3600),
+            LinkFault::duplicating(1.0),
+        ));
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        let a = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.body, b.body, "same pong, delivered twice");
+        assert_eq!(net.fault_stats(), (0, 1));
         net.shutdown();
     }
 

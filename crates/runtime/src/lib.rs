@@ -34,6 +34,13 @@ use shadowdb_loe::{Loc, VTime};
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
+pub mod fault;
+
+pub use fault::{
+    FaultPlan, FaultRule, FaultTopology, LinkFault, LinkSel, LinkVerdict, Nemesis, NemesisProfile,
+    NodeFault, NodeFaultKind,
+};
+
 /// A per-message CPU service-time model (simulated substrates only).
 ///
 /// Lives here rather than in `simnet` so that deployment code generic over
@@ -216,6 +223,42 @@ pub trait Runtime {
     /// threads. The model checker ignores this (exploration is driven by
     /// its own `explore` entry point).
     fn run_for(&mut self, duration: Duration);
+
+    /// Installs the link-fault schedule of a [`FaultPlan`]: subsequent
+    /// node-to-node deliveries consult the plan's windows. Node events in
+    /// the plan are *not* applied here — use [`schedule_node_faults`],
+    /// which needs a process factory for restarts. Substrates without a
+    /// network model (the model checker, whose adversary already explores
+    /// reorderings) ignore this — the default.
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        drop(plan);
+    }
+
+    /// Counters for messages the installed fault plan acted on, as
+    /// `(dropped, duplicated)`. Substrates that ignore plans report zeros.
+    fn fault_stats(&self) -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+/// Applies a plan's node crash/restart events to a runtime. `factory`
+/// builds the fresh process for a restart at a location (losing volatile
+/// state, exactly like a real reboot); return `None` to skip that restart.
+pub fn schedule_node_faults<R: Runtime + ?Sized>(
+    rt: &mut R,
+    plan: &FaultPlan,
+    mut factory: impl FnMut(Loc) -> Option<Box<dyn Process>>,
+) {
+    for f in &plan.node_faults {
+        match f.kind {
+            NodeFaultKind::Crash => rt.crash_at(f.at, f.loc),
+            NodeFaultKind::Restart => {
+                if let Some(p) = factory(f.loc) {
+                    rt.restart_at(f.at, f.loc, p);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

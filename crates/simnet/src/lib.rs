@@ -55,5 +55,5 @@ pub mod sim;
 pub mod testing;
 
 pub use cost::{CostModel, FnCost, ZeroCost};
-pub use net::{Latency, NetworkConfig, Partition};
+pub use net::{FaultPlan, FaultRule, Latency, LinkFault, LinkSel, LinkVerdict, NetworkConfig};
 pub use sim::{SimBuilder, SimStats, Simulation};

@@ -1,15 +1,21 @@
-//! Network models: latency, loss, and partitions.
+//! Network models: latency, loss, and the fault plane.
 //!
 //! Links are FIFO and (by default) reliable, matching the paper's system
 //! model: "The participants communicate over TCP channels, and we assume
 //! that correct processes can eventually communicate with one another."
-//! Loss and partitions exist for fault-injection tests; protocols that
-//! assume reliable channels are only exercised under crash faults.
+//! Faults — partitions with heal times, lossy windows, duplication, delay
+//! spikes, reordering — come from the substrate-independent
+//! [`FaultPlan`] (`shadowdb_runtime::fault`), so the same seeded schedule
+//! that runs here replays on livenet and tcpnet. Protocols that assume
+//! reliable channels are only exercised under crash faults and
+//! partitions-with-heal.
 
 use rand::rngs::SmallRng;
 use rand::Rng;
 use shadowdb_loe::{Loc, VTime};
 use std::time::Duration;
+
+pub use shadowdb_runtime::fault::{FaultPlan, FaultRule, LinkFault, LinkSel, LinkVerdict};
 
 /// A point-to-point latency model.
 #[derive(Clone, Debug)]
@@ -41,38 +47,20 @@ impl Latency {
     }
 }
 
-/// A one-directional partition window: messages from `from` to `to` sent
-/// within `[start, end)` are lost.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Partition {
-    /// Sender side of the cut.
-    pub from: Loc,
-    /// Receiver side of the cut.
-    pub to: Loc,
-    /// When the cut begins.
-    pub start: VTime,
-    /// When the cut heals.
-    pub end: VTime,
-}
-
-impl Partition {
-    /// Whether a message sent now on `(from, to)` is cut.
-    pub fn blocks(&self, from: Loc, to: Loc, now: VTime) -> bool {
-        self.from == from && self.to == to && self.start <= now && now < self.end
-    }
-}
-
 /// The complete network configuration of a simulation.
 #[derive(Clone, Debug)]
 pub struct NetworkConfig {
     /// Latency model for messages between distinct nodes. Self-sends are
     /// local (no network) and only incur their explicit delay.
     pub latency: Latency,
-    /// Probability that a message between distinct nodes is silently lost.
-    /// Keep 0.0 for protocols that assume TCP.
+    /// Probability that a message between distinct nodes is silently lost,
+    /// independent of any fault plan. Keep 0.0 for protocols that assume
+    /// TCP.
     pub drop_probability: f64,
-    /// Active partition windows.
-    pub partitions: Vec<Partition>,
+    /// The initial fault schedule (partitions, lossy windows, duplication,
+    /// delay spikes). Replaceable later via
+    /// `Runtime::install_fault_plan`.
+    pub faults: FaultPlan,
 }
 
 impl NetworkConfig {
@@ -85,7 +73,7 @@ impl NetworkConfig {
                 jitter: Duration::from_micros(30),
             },
             drop_probability: 0.0,
-            partitions: Vec::new(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -94,33 +82,24 @@ impl NetworkConfig {
         NetworkConfig {
             latency: Latency::Fixed(Duration::ZERO),
             drop_probability: 0.0,
-            partitions: Vec::new(),
+            faults: FaultPlan::default(),
         }
     }
 
-    /// Adds a bidirectional partition between two nodes during a window.
+    /// Adds a bidirectional partition between two nodes during a window
+    /// (sugar over two [`FaultRule`]s in the fault plan).
     pub fn partition_pair(mut self, a: Loc, b: Loc, start: VTime, end: VTime) -> NetworkConfig {
-        self.partitions.push(Partition {
-            from: a,
-            to: b,
-            start,
-            end,
-        });
-        self.partitions.push(Partition {
-            from: b,
-            to: a,
-            start,
-            end,
-        });
+        self.faults = self
+            .faults
+            .with_rule(LinkSel::Pair(a, b), start, end, LinkFault::partition())
+            .with_rule(LinkSel::Pair(b, a), start, end, LinkFault::partition());
         self
     }
 
-    /// Whether a message sent now from `from` to `to` is dropped by a
-    /// partition or by random loss.
-    pub fn drops(&self, from: Loc, to: Loc, now: VTime, rng: &mut SmallRng) -> bool {
-        if self.partitions.iter().any(|p| p.blocks(from, to, now)) {
-            return true;
-        }
+    /// Whether a message from `from` to `to` is lost to background random
+    /// loss (fault-plan drops are decided by the simulation, which owns
+    /// the per-link counters).
+    pub fn drops(&self, _from: Loc, _to: Loc, rng: &mut SmallRng) -> bool {
         self.drop_probability > 0.0 && rng.gen_bool(self.drop_probability)
     }
 }
@@ -163,20 +142,20 @@ mod tests {
     }
 
     #[test]
-    fn partitions_block_within_window_only() {
+    fn partition_pair_cuts_both_directions_within_window_only() {
         let net = NetworkConfig::instant().partition_pair(
             Loc::new(0),
             Loc::new(1),
             VTime::from_secs(1),
             VTime::from_secs(2),
         );
-        let mut r = rng();
-        assert!(!net.drops(Loc::new(0), Loc::new(1), VTime::from_millis(500), &mut r));
-        assert!(net.drops(Loc::new(0), Loc::new(1), VTime::from_millis(1500), &mut r));
-        assert!(net.drops(Loc::new(1), Loc::new(0), VTime::from_millis(1500), &mut r));
-        assert!(!net.drops(Loc::new(0), Loc::new(1), VTime::from_secs(2), &mut r));
+        let cut = |f: u32, t: u32, now: VTime| net.faults.cut(Loc::new(f), Loc::new(t), now);
+        assert!(!cut(0, 1, VTime::from_millis(500)));
+        assert!(cut(0, 1, VTime::from_millis(1500)));
+        assert!(cut(1, 0, VTime::from_millis(1500)));
+        assert!(!cut(0, 1, VTime::from_secs(2)));
         // Unrelated pair unaffected.
-        assert!(!net.drops(Loc::new(0), Loc::new(2), VTime::from_millis(1500), &mut r));
+        assert!(!cut(0, 2, VTime::from_millis(1500)));
     }
 
     #[test]
@@ -185,7 +164,7 @@ mod tests {
         net.drop_probability = 0.5;
         let mut r = rng();
         let drops = (0..200)
-            .filter(|_| net.drops(Loc::new(0), Loc::new(1), VTime::ZERO, &mut r))
+            .filter(|_| net.drops(Loc::new(0), Loc::new(1), &mut r))
             .count();
         assert!(drops > 50 && drops < 150, "drops={drops}");
     }

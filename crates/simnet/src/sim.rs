@@ -1,13 +1,14 @@
 //! The discrete-event simulation engine.
 
 use crate::cost::{CostModel, ZeroCost};
-use crate::net::NetworkConfig;
+use crate::net::{FaultPlan, LinkVerdict, NetworkConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use shadowdb_eventml::{Ctx, Msg, Process};
 use shadowdb_loe::{EventId, EventOrder, Loc, VTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use std::time::Duration;
 
 enum Action {
     Deliver {
@@ -56,12 +57,16 @@ struct NodeSlot {
 pub struct SimStats {
     /// Messages delivered to (and handled by) a node.
     pub delivered: u64,
-    /// Messages lost to partitions or random loss.
+    /// Messages lost to background random loss.
     pub dropped_net: u64,
     /// Messages addressed to a crashed node.
     pub dropped_down: u64,
     /// Crash events executed.
     pub crashes: u64,
+    /// Messages lost to the fault plan (partitions, lossy windows).
+    pub dropped_fault: u64,
+    /// Messages the fault plan delivered twice.
+    pub duplicated_fault: u64,
 }
 
 /// Configures and creates a [`Simulation`].
@@ -110,10 +115,12 @@ impl SimBuilder {
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
             machines: Vec::new(),
+            faults: self.network.faults.clone(),
             network: self.network,
             cost: self.cost,
             rng: SmallRng::seed_from_u64(self.seed),
             seq: 0,
+            fault_counters: HashMap::new(),
             link_last_arrival: HashMap::new(),
             trace: if self.capture_trace {
                 Some(EventOrder::new())
@@ -137,6 +144,12 @@ pub struct Simulation {
     cost: Box<dyn CostModel>,
     rng: SmallRng,
     seq: u64,
+    /// The active fault schedule (seeded with the network's initial plan,
+    /// replaceable via `Runtime::install_fault_plan`).
+    faults: FaultPlan,
+    /// Per-directed-link message counters driving the plan's pure
+    /// per-message coin flips.
+    fault_counters: HashMap<(Loc, Loc), u64>,
     /// FIFO enforcement per directed link.
     link_last_arrival: HashMap<(Loc, Loc), VTime>,
     trace: Option<EventOrder<Msg>>,
@@ -381,28 +394,100 @@ impl Simulation {
             );
             return;
         }
-        if self.network.drops(from, instr.dest, depart, &mut self.rng) {
+        if self.network.drops(from, instr.dest, &mut self.rng) {
             self.stats.dropped_net += 1;
             return;
         }
-        let latency = self.network.latency.sample(from, instr.dest, &mut self.rng);
-        let mut arrival = depart + latency;
-        // FIFO per link, as over a TCP connection.
-        let last = self
-            .link_last_arrival
-            .entry((from, instr.dest))
-            .or_insert(VTime::ZERO);
-        arrival = arrival.max(*last);
-        *last = arrival;
+        // The fault plane: drop, duplicate, delay, or reorder per the
+        // installed plan's windows.
+        let mut extra = Duration::ZERO;
+        let mut copies = 1;
+        let mut reordering = false;
+        if self.faults.active(from, instr.dest, depart) {
+            let n = self.fault_counters.entry((from, instr.dest)).or_insert(0);
+            let k = *n;
+            *n += 1;
+            match self.faults.decide(from, instr.dest, depart, k) {
+                LinkVerdict::Drop { .. } => {
+                    self.stats.dropped_fault += 1;
+                    return;
+                }
+                LinkVerdict::Deliver {
+                    extra_delay,
+                    duplicate,
+                } => {
+                    extra = extra_delay;
+                    if duplicate {
+                        copies = 2;
+                        self.stats.duplicated_fault += 1;
+                    }
+                    reordering = self.faults.reorders(from, instr.dest, depart);
+                }
+            }
+        }
+        let dest = instr.dest;
+        let latency = self.network.latency.sample(from, dest, &mut self.rng);
+        if copies > 1 {
+            // The duplicate takes its own (jittered) trip.
+            let dup_latency = self.network.latency.sample(from, dest, &mut self.rng);
+            self.deliver_on_link(
+                from,
+                dest,
+                depart + dup_latency + extra,
+                reordering,
+                instr.msg.clone(),
+                cause,
+            );
+        }
+        self.deliver_on_link(
+            from,
+            dest,
+            depart + latency + extra,
+            reordering,
+            instr.msg,
+            cause,
+        );
+    }
+
+    /// Schedules a network delivery, enforcing per-link FIFO unless an
+    /// active reorder window suspends it (deliveries then land wherever
+    /// their jitter puts them, so later sends can overtake earlier ones).
+    fn deliver_on_link(
+        &mut self,
+        from: Loc,
+        dest: Loc,
+        raw_arrival: VTime,
+        reordering: bool,
+        msg: Msg,
+        cause: Option<EventId>,
+    ) {
+        let mut arrival = raw_arrival;
+        if !reordering {
+            // FIFO per link, as over a TCP connection.
+            let last = self
+                .link_last_arrival
+                .entry((from, dest))
+                .or_insert(VTime::ZERO);
+            arrival = arrival.max(*last);
+            *last = arrival;
+        }
         self.push(
             arrival,
             Action::Deliver {
-                dest: instr.dest,
-                msg: instr.msg,
+                dest,
+                msg,
                 cause,
                 sender: Some(from),
             },
         );
+    }
+
+    /// Replaces the active fault schedule (the network's initial plan is
+    /// installed at build time). Per-link fault counters reset so a fresh
+    /// plan replays from coin flip zero.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+        self.fault_counters.clear();
     }
 }
 
@@ -451,6 +536,14 @@ impl shadowdb_runtime::Runtime for Simulation {
     fn run_for(&mut self, duration: std::time::Duration) {
         let deadline = self.now + duration;
         self.run_until(deadline);
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        Simulation::install_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> (u64, u64) {
+        (self.stats.dropped_fault, self.stats.duplicated_fault)
     }
 }
 
@@ -585,7 +678,7 @@ mod tests {
                     jitter: Duration::from_micros(500),
                 },
                 drop_probability: 0.0,
-                partitions: Vec::new(),
+                faults: FaultPlan::default(),
             })
             .build();
         let a = sim.add_node(Box::new(burst));
@@ -610,6 +703,108 @@ mod tests {
         for w in ids.windows(2) {
             assert!(eo.happens_before(w[0], w[1]));
         }
+    }
+
+    #[test]
+    fn fault_plan_partitions_then_heals() {
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        let recv = FnProcess::new((), move |_s, _ctx: &Ctx, _m: &Msg| {
+            s2.fetch_add(1, Ordering::Relaxed);
+            vec![]
+        });
+        let fwd = FnProcess::new((), |_s, _ctx: &Ctx, m: &Msg| {
+            if m.header.name() == "go" {
+                vec![SendInstr::now(Loc::new(1), Msg::new("x", Value::Unit))]
+            } else {
+                vec![]
+            }
+        });
+        let mut net = NetworkConfig::instant();
+        net.faults =
+            FaultPlan::new(1).with_isolation(Loc::new(1), VTime::ZERO, VTime::from_secs(1));
+        let mut sim = SimBuilder::new(1).network(net).build();
+        let a = sim.add_node(Box::new(fwd));
+        let _b = sim.add_node(Box::new(recv));
+        // During the cut: a's relay to b is lost (a's own injected "go"
+        // bypasses the network model, as all external injections do).
+        sim.send_at(VTime::from_millis(100), a, Msg::new("go", Value::Unit));
+        // After heal: delivered.
+        sim.send_at(VTime::from_millis(1_500), a, Msg::new("go", Value::Unit));
+        sim.run_until_quiescent(VTime::from_secs(3));
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+        assert_eq!(sim.stats().dropped_fault, 1);
+        assert_eq!(sim.fault_counters.len(), 1);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_deliveries() {
+        use crate::net::{LinkFault, LinkSel};
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        let recv = FnProcess::new((), move |_s, _ctx: &Ctx, _m: &Msg| {
+            s2.fetch_add(1, Ordering::Relaxed);
+            vec![]
+        });
+        let fwd = FnProcess::new((), |_s, _ctx: &Ctx, m: &Msg| {
+            if m.header.name() == "go" {
+                vec![SendInstr::now(Loc::new(1), Msg::new("x", Value::Unit))]
+            } else {
+                vec![]
+            }
+        });
+        let mut net = NetworkConfig::instant();
+        net.faults = FaultPlan::new(2).with_rule(
+            LinkSel::Pair(Loc::new(0), Loc::new(1)),
+            VTime::ZERO,
+            VTime::from_secs(10),
+            LinkFault::duplicating(1.0),
+        );
+        let mut sim = SimBuilder::new(1).network(net).build();
+        let a = sim.add_node(Box::new(fwd));
+        let _b = sim.add_node(Box::new(recv));
+        sim.send_at(VTime::ZERO, a, Msg::new("go", Value::Unit));
+        sim.run_until_quiescent(VTime::from_secs(1));
+        assert_eq!(seen.load(Ordering::Relaxed), 2);
+        assert_eq!(sim.stats().duplicated_fault, 1);
+        let (dropped, duplicated) = shadowdb_runtime::Runtime::fault_stats(&sim);
+        assert_eq!((dropped, duplicated), (0, 1));
+    }
+
+    #[test]
+    fn fault_plan_reorder_window_breaks_fifo() {
+        use crate::net::{LinkFault, LinkSel};
+        let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let s2 = seen.clone();
+        let recv = FnProcess::new((), move |_s, _ctx: &Ctx, m: &Msg| {
+            s2.lock().push(m.body.int());
+            vec![]
+        });
+        let burst = FnProcess::new((), |_s, _ctx: &Ctx, m: &Msg| {
+            if m.header.name() != "go" {
+                return vec![];
+            }
+            (0..30)
+                .map(|i| SendInstr::now(Loc::new(1), Msg::new("n", Value::Int(i))))
+                .collect()
+        });
+        let mut net = NetworkConfig::instant();
+        net.faults = FaultPlan::new(3).with_rule(
+            LinkSel::Pair(Loc::new(0), Loc::new(1)),
+            VTime::ZERO,
+            VTime::from_secs(10),
+            LinkFault::reordering(Duration::from_millis(5)),
+        );
+        let mut sim = SimBuilder::new(9).network(net).build();
+        let a = sim.add_node(Box::new(burst));
+        let _b = sim.add_node(Box::new(recv));
+        sim.send_at(VTime::ZERO, a, Msg::new("go", Value::Unit));
+        sim.run_until_quiescent(VTime::from_secs(1));
+        let seen = seen.lock();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..30).collect::<Vec<i64>>(), "nothing lost");
+        assert_ne!(*seen, sorted, "jitter inside the window reorders");
     }
 
     #[test]

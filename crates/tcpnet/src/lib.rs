@@ -63,7 +63,9 @@ use node::spawn_node_thread;
 use registry::{spawn_listener, NodeCtl, NodeGate, Registry, SlotInfo, Target};
 use shadowdb_eventml::{Msg, Process};
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_runtime::{PortRx, Runtime};
+use shadowdb_runtime::{FaultPlan, PortRx, Runtime};
+
+pub use registry::LinkStats;
 use std::collections::BinaryHeap;
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
@@ -127,7 +129,7 @@ impl TcpNet {
     /// [`TcpNet::add_node`].
     pub fn new() -> TcpNet {
         let start = Instant::now();
-        let registry = Registry::new();
+        let registry = Registry::new(start);
         let (ctl_tx, ctl_rx) = channel::unbounded::<Ctl>();
         let ctl_handle = {
             let registry = registry.clone();
@@ -210,6 +212,23 @@ impl TcpNet {
         });
     }
 
+    /// Installs (or replaces) the fault plan consulted by every node's
+    /// frame layer. Severed links force-close their connections and park
+    /// frames in bounded pending queues until heal; lossy windows drop
+    /// frames; duplication windows write them twice. Delay spikes and
+    /// reorder windows are not reproducible on a real FIFO stream and are
+    /// ignored (the schedule itself is byte-identical with the other
+    /// substrates). External injections from the driver are never faulted.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.registry.faults.plan.lock() = Some(plan);
+    }
+
+    /// Snapshot of the frame-layer counters (`reconnects`,
+    /// `frames_dropped`, `frames_duplicated`) aggregated over all links.
+    pub fn link_stats(&self) -> LinkStats {
+        self.registry.faults.stats()
+    }
+
     /// Creates an external mailbox at the next location, backed by its own
     /// loopback listener: messages sent to it cross a socket and land in
     /// the returned receiver.
@@ -283,7 +302,7 @@ impl Drop for TcpNet {
 /// The control thread: a timer heap of scheduled injections and fault
 /// actions, with its own outbound links for external deliveries.
 fn control_loop(registry: Arc<Registry>, start: Instant, rx: Receiver<Ctl>) {
-    let mut links = Links::new(registry.clone());
+    let mut links = Links::new(registry.clone(), None);
     let mut heap: BinaryHeap<Due> = BinaryHeap::new();
     let mut seq = 0u64;
     loop {
@@ -325,6 +344,7 @@ fn control_loop(registry: Arc<Registry>, start: Instant, rx: Receiver<Ctl>) {
             Ok(Ctl::Shutdown) | Err(channel::RecvTimeoutError::Disconnected) => break,
             Err(channel::RecvTimeoutError::Timeout) => {}
         }
+        links.tick();
     }
 }
 
@@ -363,6 +383,15 @@ impl Runtime for TcpNet {
     fn run_for(&mut self, duration: Duration) {
         std::thread::sleep(duration);
     }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        TcpNet::install_fault_plan(self, plan);
+    }
+
+    fn fault_stats(&self) -> (u64, u64) {
+        let s = self.link_stats();
+        (s.frames_dropped, s.frames_duplicated)
+    }
 }
 
 #[cfg(test)]
@@ -371,6 +400,7 @@ mod tests {
     use shadowdb_consensus::parse_decide;
     use shadowdb_consensus::twothird::{propose_msg, TwoThird, TwoThirdConfig};
     use shadowdb_eventml::{Ctx, FnProcess, InterpretedProcess, SendInstr, Value};
+    use shadowdb_runtime::{LinkFault, LinkSel};
 
     fn echo_counter() -> Box<dyn Process> {
         Box::new(FnProcess::new(0u32, |n, _c: &Ctx, m: &Msg| {
@@ -529,6 +559,103 @@ mod tests {
         let b = net.add_node(echo_counter());
         assert_eq!((a, p, b), (Loc::new(0), Loc::new(1), Loc::new(2)));
         assert_eq!(TcpNet::node_count(&net), 3);
+        net.shutdown();
+    }
+
+    /// A severed link force-closes its connection and parks frames; after
+    /// heal the pending queue flushes in FIFO order over a fresh
+    /// connection (a counted reconnect), with nothing lost.
+    #[test]
+    fn fault_plan_severs_then_heals_with_fifo_flush() {
+        let mut net = TcpNet::new();
+        let relay = net.add_node(echo_counter());
+        let (port, rx) = TcpNet::port(&mut net);
+        // Establish the link (and the counter baseline) before the fault.
+        net.send(relay, Msg::new("ping", Value::Loc(port)));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
+
+        let start = net.now();
+        let end = start + Duration::from_millis(400);
+        net.install_fault_plan(FaultPlan::new(7).with_rule(
+            LinkSel::Pair(relay, port),
+            start,
+            end,
+            LinkFault::partition(),
+        ));
+        for _ in 0..5 {
+            net.send(relay, Msg::new("ping", Value::Loc(port)));
+        }
+        // Severed: replies are parked at the relay, not delivered.
+        assert!(
+            rx.recv_timeout(Duration::from_millis(250)).is_err(),
+            "severed link must not deliver"
+        );
+        // After heal the parked replies arrive in send order.
+        for i in 2..=6 {
+            let m = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("flushed after heal");
+            assert_eq!(m.body, Value::Int(i), "flush must preserve FIFO");
+        }
+        let stats = net.link_stats();
+        assert!(stats.reconnects >= 1, "{stats:?}");
+        assert_eq!(stats.frames_dropped, 0, "{stats:?}");
+        net.shutdown();
+    }
+
+    /// A duplication window writes each frame twice: the port sees two
+    /// identical replies and the counter records the duplicate.
+    #[test]
+    fn fault_plan_duplicates_frames() {
+        let mut net = TcpNet::new();
+        let relay = net.add_node(echo_counter());
+        let (port, rx) = TcpNet::port(&mut net);
+        let start = net.now();
+        net.install_fault_plan(FaultPlan::new(9).with_rule(
+            LinkSel::Pair(relay, port),
+            start,
+            start + Duration::from_secs(5),
+            LinkFault::duplicating(1.0),
+        ));
+        net.send(relay, Msg::new("ping", Value::Loc(port)));
+        let a = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let b = rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(a.body, Value::Int(1));
+        assert_eq!(b.body, Value::Int(1));
+        assert_eq!(net.link_stats().frames_duplicated, 1);
+        net.shutdown();
+    }
+
+    /// A link severed forever cannot grow memory without bound: the
+    /// pending queue caps at `PENDING_CAP` frames and evicts the oldest,
+    /// counting each eviction as a dropped frame.
+    #[test]
+    fn severed_link_bounds_pending_queue_drop_oldest() {
+        let mut net = TcpNet::new();
+        let relay = net.add_node(echo_counter());
+        let (port, _rx) = TcpNet::port(&mut net);
+        net.install_fault_plan(FaultPlan::new(3).with_rule(
+            LinkSel::Pair(relay, port),
+            VTime::ZERO,
+            VTime::MAX,
+            LinkFault::partition(),
+        ));
+        let extra = 50u64;
+        for _ in 0..(link::PENDING_CAP as u64 + extra) {
+            net.send(relay, Msg::new("ping", Value::Loc(port)));
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while net.link_stats().frames_dropped < extra {
+            assert!(
+                Instant::now() < deadline,
+                "expected >= {extra} evictions, stats: {:?}",
+                net.link_stats()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
         net.shutdown();
     }
 

@@ -1,94 +1,268 @@
 //! Outbound links: lazily established per-(sender, destination) TCP
-//! connections with reconnect and capped exponential backoff.
+//! connections with reconnect, capped exponential backoff, and a bounded
+//! per-link pending queue for frames that cannot be written right now.
 //!
 //! Each sending thread (a node thread, or the control thread injecting
 //! external messages) owns one [`Links`]. A link is a single TCP stream
 //! written by a single thread, so messages on one link arrive in FIFO
 //! order; the per-connection [`FrameEncoder`] scratch buffer makes
-//! steady-state sends allocation-free.
+//! steady-state sends allocation-free (the pending queue only allocates
+//! while a link is down).
+//!
+//! Node-owned links (constructed with an origin location) consult the
+//! net's installed [`FaultPlan`] per frame: a severed link force-closes
+//! the connection and parks frames in the pending queue until the
+//! partition heals — modelling TCP's buffer-and-retransmit behaviour —
+//! while lossy windows drop frames and duplication windows write them
+//! twice. Delay spikes and reorder windows are not reproducible at the
+//! frame layer of a real FIFO stream and are ignored here (documented
+//! substrate-fidelity caveat; the *schedule* is still byte-identical).
 
 use crate::registry::Registry;
 use shadowdb_eventml::{FrameEncoder, Msg};
-use shadowdb_loe::Loc;
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::LinkVerdict;
+use std::collections::VecDeque;
 use std::io::Write;
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// First reconnect delay; doubles per attempt up to [`BACKOFF_CAP`].
+/// First reconnect delay; doubles per failed attempt up to
+/// [`BACKOFF_CAP`].
 const BACKOFF_START: Duration = Duration::from_millis(1);
-/// Ceiling on a single backoff sleep.
+/// Ceiling on the backoff between connection attempts.
 const BACKOFF_CAP: Duration = Duration::from_millis(50);
-/// Connection attempts per send before the message is dropped. Protocols
-/// assume fair-lossy links at worst (clients retransmit), so a send to a
-/// persistently unreachable listener gives up rather than wedge the
-/// sending protocol thread.
-const MAX_ATTEMPTS: u32 = 6;
+/// Maximum frames parked per link while it is down. When full, the
+/// *oldest* frame is evicted (and counted as dropped): protocols assume
+/// fair-lossy links at worst, and the newest frames are the ones whose
+/// delivery still matters after a long outage.
+pub const PENDING_CAP: usize = 1024;
+
+/// The outbound state of one destination.
+struct LinkState {
+    /// Established stream, `None` until first use or after a break.
+    conn: Option<TcpStream>,
+    /// Encoded frames waiting for the link to come (back) up; bounded by
+    /// [`PENDING_CAP`] with drop-oldest eviction.
+    pending: VecDeque<Vec<u8>>,
+    /// Earliest instant the next connection attempt is permitted.
+    next_attempt: Instant,
+    /// Current backoff step, reset on success.
+    backoff: Duration,
+    /// Whether this link ever connected (distinguishes a *re*connect).
+    ever_connected: bool,
+    /// Per-link fault counter: the `n` fed to `FaultPlan::decide`, making
+    /// the coin sequence deterministic per (sender, dest) link.
+    fault_seq: u64,
+}
+
+impl LinkState {
+    fn new() -> LinkState {
+        LinkState {
+            conn: None,
+            pending: VecDeque::new(),
+            next_attempt: Instant::now(),
+            backoff: BACKOFF_START,
+            ever_connected: false,
+            fault_seq: 0,
+        }
+    }
+}
 
 /// The outbound half of one sending thread.
 pub struct Links {
     registry: Arc<Registry>,
-    /// Indexed by destination location; `None` until first use (or after a
-    /// broken connection is dropped).
-    conns: Vec<Option<TcpStream>>,
+    /// The sending location, if this is a node's link set. `None` marks
+    /// the control/external injector, which bypasses the fault plane (the
+    /// driver must always be able to reach the system it is testing).
+    origin: Option<Loc>,
+    /// Indexed by destination location.
+    links: Vec<LinkState>,
     enc: FrameEncoder,
 }
 
 impl Links {
     /// No connections yet; they are established on first send per link.
-    pub fn new(registry: Arc<Registry>) -> Links {
+    /// `origin` is the sending node's location, or `None` for the control
+    /// thread (whose sends are never faulted).
+    pub fn new(registry: Arc<Registry>, origin: Option<Loc>) -> Links {
         Links {
             registry,
-            conns: Vec::new(),
+            origin,
+            links: Vec::new(),
             enc: FrameEncoder::new(),
         }
     }
 
     /// Encodes `msg` and writes the frame to the link to `dest`,
-    /// establishing or re-establishing the connection as needed. On a
-    /// persistent link failure the message is dropped (fair-lossy link
-    /// semantics; see [`MAX_ATTEMPTS`]).
+    /// establishing or re-establishing the connection as needed. Frames
+    /// that cannot be written (link severed by the fault plane, listener
+    /// unreachable) are parked in the bounded pending queue and flushed by
+    /// [`Links::tick`] or a later send.
     pub fn send(&mut self, dest: Loc, msg: &Msg) {
         let idx = dest.index() as usize;
-        if self.conns.len() <= idx {
-            self.conns.resize_with(idx + 1, || None);
+        if self.links.len() <= idx {
+            self.links.resize_with(idx + 1, LinkState::new);
+        }
+        let mut copies = 1usize;
+        if let Some(origin) = self.origin {
+            let now = VTime::from_micros(self.registry.start.elapsed().as_micros() as u64);
+            let guard = self.registry.faults.plan.lock();
+            let verdict = guard.as_ref().and_then(|plan| {
+                plan.active(origin, dest, now).then(|| {
+                    let st = &mut self.links[idx];
+                    let k = st.fault_seq;
+                    st.fault_seq += 1;
+                    plan.decide(origin, dest, now, k)
+                })
+            });
+            drop(guard);
+            match verdict {
+                None => {}
+                Some(LinkVerdict::Drop { severed: false }) => {
+                    self.registry
+                        .faults
+                        .frames_dropped
+                        .fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Some(LinkVerdict::Drop { severed: true }) => {
+                    // Partition: force-close so the peer's reader sees the
+                    // break, and park the frame for the post-heal flush.
+                    if let Some(conn) = self.links[idx].conn.take() {
+                        let _ = conn.shutdown(Shutdown::Both);
+                    }
+                    let frame = self.enc.encode(msg);
+                    enqueue(&self.registry, &mut self.links[idx], frame);
+                    return;
+                }
+                Some(LinkVerdict::Deliver {
+                    duplicate: true, ..
+                }) => {
+                    copies = 2;
+                    self.registry
+                        .faults
+                        .frames_duplicated
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Some(LinkVerdict::Deliver { .. }) => {}
+            }
         }
         let frame = self.enc.encode(msg);
-        if let Some(conn) = self.conns[idx].as_mut() {
-            if conn.write_all(frame).is_ok() {
-                return;
-            }
-            // Broken pipe: drop the stream and fall through to reconnect.
-            self.conns[idx] = None;
+        for _ in 0..copies {
+            transmit(&self.registry, &mut self.links[idx], idx, frame);
         }
-        if let Some(mut conn) = connect(&self.registry, idx) {
-            if conn.write_all(frame).is_ok() {
-                self.conns[idx] = Some(conn);
+    }
+
+    /// Retries links with parked frames: reconnects (respecting backoff)
+    /// and flushes in FIFO order, skipping links the fault plane still
+    /// holds severed. Cheap when nothing is pending; called from the node
+    /// poll loop.
+    pub fn tick(&mut self) {
+        if self.links.iter().all(|st| st.pending.is_empty()) {
+            return;
+        }
+        let now = VTime::from_micros(self.registry.start.elapsed().as_micros() as u64);
+        let plan = self.registry.faults.plan.lock().clone();
+        for idx in 0..self.links.len() {
+            if self.links[idx].pending.is_empty() {
+                continue;
             }
+            if let (Some(origin), Some(plan)) = (self.origin, plan.as_ref()) {
+                if plan.cut(origin, Loc::new(idx as u32), now) {
+                    continue;
+                }
+            }
+            flush(&self.registry, &mut self.links[idx], idx);
         }
     }
 }
 
-/// Dials the listener of location `idx` with capped exponential backoff.
-fn connect(registry: &Registry, idx: usize) -> Option<TcpStream> {
-    let addr = registry.addr_of(idx as u32)?;
-    let mut backoff = BACKOFF_START;
-    for attempt in 0..MAX_ATTEMPTS {
-        if registry.shutdown.load(Ordering::SeqCst) {
-            return None;
+/// Writes one frame on the fast path, falling back to the pending queue
+/// when the link is down.
+fn transmit(registry: &Registry, st: &mut LinkState, idx: usize, frame: &[u8]) {
+    if st.pending.is_empty() {
+        if let Some(conn) = st.conn.as_mut() {
+            if conn.write_all(frame).is_ok() {
+                return;
+            }
+            // Broken pipe: drop the stream and fall through to reconnect.
+            st.conn = None;
         }
-        match TcpStream::connect(addr) {
-            Ok(stream) => {
-                let _ = stream.set_nodelay(true);
-                return Some(stream);
+        if try_connect(registry, st, idx) {
+            let conn = st.conn.as_mut().expect("just connected");
+            if conn.write_all(frame).is_ok() {
+                return;
             }
-            Err(_) if attempt + 1 < MAX_ATTEMPTS => {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(BACKOFF_CAP);
-            }
-            Err(_) => {}
+            st.conn = None;
         }
     }
-    None
+    // Link down (or frames already queued ahead of this one): preserve
+    // FIFO by parking the frame and flushing the queue.
+    enqueue(registry, st, frame);
+    flush(registry, st, idx);
+}
+
+/// Parks an encoded frame, evicting the oldest (counted as dropped) when
+/// the queue is full.
+fn enqueue(registry: &Registry, st: &mut LinkState, frame: &[u8]) {
+    if st.pending.len() >= PENDING_CAP {
+        st.pending.pop_front();
+        registry
+            .faults
+            .frames_dropped
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    st.pending.push_back(frame.to_vec());
+}
+
+/// Drains the pending queue in FIFO order while the link cooperates.
+fn flush(registry: &Registry, st: &mut LinkState, idx: usize) {
+    while !st.pending.is_empty() {
+        if st.conn.is_none() && !try_connect(registry, st, idx) {
+            return;
+        }
+        let conn = st.conn.as_mut().expect("connected");
+        let frame = st.pending.front().expect("non-empty");
+        if conn.write_all(frame).is_ok() {
+            st.pending.pop_front();
+        } else {
+            st.conn = None;
+            return;
+        }
+    }
+}
+
+/// One non-blocking connection attempt, gated by the capped exponential
+/// backoff. Returns whether `st.conn` is now established.
+fn try_connect(registry: &Registry, st: &mut LinkState, idx: usize) -> bool {
+    let now = Instant::now();
+    if now < st.next_attempt {
+        return false;
+    }
+    if registry.shutdown.load(Ordering::SeqCst) {
+        return false;
+    }
+    let Some(addr) = registry.addr_of(idx as u32) else {
+        return false;
+    };
+    match TcpStream::connect(addr) {
+        Ok(stream) => {
+            let _ = stream.set_nodelay(true);
+            if st.ever_connected {
+                registry.faults.reconnects.fetch_add(1, Ordering::Relaxed);
+            }
+            st.ever_connected = true;
+            st.backoff = BACKOFF_START;
+            st.conn = Some(stream);
+            true
+        }
+        Err(_) => {
+            st.next_attempt = now + st.backoff;
+            st.backoff = (st.backoff * 2).min(BACKOFF_CAP);
+            false
+        }
+    }
 }

@@ -50,7 +50,7 @@ pub fn spawn_node_thread(
     mut process: Box<dyn Process>,
     rx: Receiver<NodeCtl>,
 ) {
-    let mut links = Links::new(registry.clone());
+    let mut links = Links::new(registry.clone(), Some(slf));
     let handle: JoinHandle<()> = std::thread::spawn(move || {
         let mut timers: BinaryHeap<TimerDue> = BinaryHeap::new();
         let mut pending: VecDeque<Msg> = VecDeque::new();
@@ -87,6 +87,9 @@ pub fn spawn_node_thread(
         };
 
         loop {
+            // Flush frames parked while a link was down or severed (cheap
+            // when nothing is pending).
+            links.tick();
             // Fire everything due.
             let now = Instant::now();
             while timers.peek().map(|t| t.at <= now).unwrap_or(false) {

@@ -4,11 +4,13 @@
 use crossbeam::channel::Sender;
 use parking_lot::Mutex;
 use shadowdb_eventml::{FrameReader, Msg};
+use shadowdb_runtime::FaultPlan;
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// What a node thread can be told to do. Crash and restart are not inbox
 /// messages here: a crash *drops the thread* (volatile state, pending
@@ -48,6 +50,54 @@ pub struct SlotInfo {
     pub gate: Option<Arc<Mutex<NodeGate>>>,
 }
 
+/// Link-state counters aggregated across every sender in the net: how
+/// often the frame layer reconnected, dropped, or duplicated. Tests
+/// assert on these through `TcpNet::link_stats`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Successful re-establishments of a previously connected link
+    /// (force-closes by the fault shim land here after heal).
+    pub reconnects: u64,
+    /// Frames lost: lossy-window verdicts plus drop-oldest evictions from
+    /// a full pending queue.
+    pub frames_dropped: u64,
+    /// Frames written twice by a duplication window.
+    pub frames_duplicated: u64,
+}
+
+/// The shared fault plane of a net: the installed schedule plus the
+/// frame-layer counters every `Links` reports into.
+pub struct FaultPlane {
+    /// The installed fault schedule, if any.
+    pub plan: Mutex<Option<FaultPlan>>,
+    /// See [`LinkStats::reconnects`].
+    pub reconnects: AtomicU64,
+    /// See [`LinkStats::frames_dropped`].
+    pub frames_dropped: AtomicU64,
+    /// See [`LinkStats::frames_duplicated`].
+    pub frames_duplicated: AtomicU64,
+}
+
+impl FaultPlane {
+    fn new() -> FaultPlane {
+        FaultPlane {
+            plan: Mutex::new(None),
+            reconnects: AtomicU64::new(0),
+            frames_dropped: AtomicU64::new(0),
+            frames_duplicated: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> LinkStats {
+        LinkStats {
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            frames_dropped: self.frames_dropped.load(Ordering::Relaxed),
+            frames_duplicated: self.frames_duplicated.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// State shared by the runtime handle, node threads, the control thread,
 /// and every listener/reader thread.
 pub struct Registry {
@@ -61,16 +111,24 @@ pub struct Registry {
     /// Every node thread ever spawned (including restarts), joined at
     /// shutdown.
     pub nodes: Mutex<Vec<JoinHandle<()>>>,
+    /// The net's start instant: fault windows are interpreted on this
+    /// clock.
+    pub start: Instant,
+    /// The installed fault plan and frame-layer counters.
+    pub faults: FaultPlane,
 }
 
 impl Registry {
-    /// An empty registry.
-    pub fn new() -> Arc<Registry> {
+    /// An empty registry; `start` anchors the runtime clock fault windows
+    /// are checked against.
+    pub fn new(start: Instant) -> Arc<Registry> {
         Arc::new(Registry {
             slots: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
             readers: Mutex::new(Vec::new()),
             nodes: Mutex::new(Vec::new()),
+            start,
+            faults: FaultPlane::new(),
         })
     }
 
