@@ -1,0 +1,134 @@
+//! Ablation: slot-window pipelining in the broadcast service.
+//!
+//! The service's Paxos backend (à la *Paxos Made Moderately Complex*)
+//! decides many slots concurrently; this harness quantifies what that
+//! buys by sweeping the in-flight window (1 = the stop-and-wait baseline:
+//! one proposal in flight per server) crossed with the batch bound
+//! (1 = batching disabled), at a fixed offered load. Window pipelining
+//! and batching attack the same stall from different ends: batching
+//! amortizes the per-proposal consensus cost, pipelining overlaps the
+//! consensus round trips themselves.
+//!
+//! Emits a human-readable table plus one JSON line per configuration
+//! (`{"window":w,"batch":b,"throughput_per_sec":t,"latency_ms":l}`) for
+//! the record in `BENCH_hotpaths.json` (group `pipeline`).
+
+use parking_lot::Mutex;
+use shadowdb_bench::{output, scaled};
+use shadowdb_eventml::Value;
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_simnet::{Latency, NetworkConfig, SimBuilder};
+use shadowdb_tob::deploy::BackendKind;
+use shadowdb_tob::{ClientStats, ExecutionMode, TobClient, TobDeployment, TobOptions};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn run(window: usize, max_batch: usize, n_clients: u32, msgs_each: u64) -> (f64, f64) {
+    // A 2 ms hop keeps the consensus round trip — the thing pipelining
+    // overlaps — visible against the CPU cost model.
+    let net = NetworkConfig {
+        latency: Latency::Jittered {
+            base: Duration::from_millis(2),
+            jitter: Duration::from_micros(100),
+        },
+        ..NetworkConfig::lan()
+    };
+    let mut sim = SimBuilder::new(4).network(net).build();
+    let servers: Vec<Loc> = (0..3u32).map(|i| Loc::new(n_clients + i * 4)).collect();
+    let mut stats = Vec::new();
+    let mut clients = Vec::new();
+    for c in 0..n_clients {
+        let s = Arc::new(Mutex::new(ClientStats::default()));
+        stats.push(s.clone());
+        let mut order = servers.clone();
+        order.rotate_left((c % 3) as usize);
+        clients.push(sim.add_node(Box::new(TobClient::new(
+            order,
+            Value::Int(c as i64),
+            msgs_each,
+            s,
+        ))));
+    }
+    let d = TobDeployment::build(
+        &mut sim,
+        &TobOptions {
+            machines: 3,
+            backend: BackendKind::Paxos,
+            mode: ExecutionMode::Compiled,
+            max_batch,
+            window: Some(window),
+            ..TobOptions::default()
+        },
+        clients.clone(),
+    );
+    assert_eq!(d.servers, servers);
+    for c in &clients {
+        sim.send_at(VTime::ZERO, *c, TobClient::start_msg());
+    }
+    sim.run_until_quiescent(VTime::from_secs(36_000));
+    let mut all: Vec<(VTime, VTime)> = Vec::new();
+    for s in &stats {
+        let s = s.lock();
+        assert_eq!(
+            s.completed.len(),
+            msgs_each as usize,
+            "window {window} batch {max_batch}: every broadcast must deliver"
+        );
+        let warm = s.completed.len() / 10;
+        all.extend(s.completed.iter().skip(warm));
+    }
+    let first = all.iter().map(|(a, _)| *a).min().expect("deliveries");
+    let last = all.iter().map(|(_, b)| *b).max().expect("deliveries");
+    let span = last.saturating_since(first).as_secs_f64().max(1e-9);
+    let lat = all
+        .iter()
+        .map(|(a, b)| b.saturating_since(*a).as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / all.len() as f64;
+    (all.len() as f64 / span, lat)
+}
+
+fn main() {
+    output::banner(
+        "Ablation — slot-window pipelining × batching",
+        "the concurrent-slot design of Paxos Made Moderately Complex",
+    );
+    let clients = 24;
+    let msgs = scaled(1_000, 10) as u64;
+    output::kv("clients", clients);
+    output::kv("messages per client", msgs);
+    let mut json = Vec::new();
+    for &batch in &[1usize, 64] {
+        let rows: Vec<(String, String)> = [1usize, 2, 4, 8, 16]
+            .iter()
+            .map(|&w| {
+                let (tput, lat) = run(w, batch, clients, msgs);
+                json.push(format!(
+                    "{{\"window\":{w},\"batch\":{batch},\"throughput_per_sec\":{tput:.1},\"latency_ms\":{lat:.2}}}"
+                ));
+                (
+                    format!("window {w}"),
+                    format!("{tput:>8.1}/s   {lat:>8.2} ms"),
+                )
+            })
+            .collect();
+        output::pairs(
+            &format!("throughput by window (batch ≤ {batch})"),
+            "window",
+            "delivered/s, latency",
+            &rows,
+        );
+    }
+    println!();
+    for line in &json {
+        println!("{line}");
+    }
+    println!();
+    println!("with batching disabled the window is the only concurrency, so");
+    println!("throughput roughly doubles from window 1 to 4 before the CPU");
+    println!("cost model saturates. at batch 64 under this saturating load");
+    println!("the trade-off inverts: stop-and-wait lets the queue build full");
+    println!("proposals, while a wide window drains it in fragments that each");
+    println!("pay a consensus round — pipelining pays off exactly when");
+    println!("batching cannot fill proposals (small batches or light load).");
+}

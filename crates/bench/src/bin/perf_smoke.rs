@@ -195,6 +195,120 @@ fn tcp_echo_rate() -> f64 {
     rate
 }
 
+/// Virtual-time msgs/sec of the Paxos broadcast service with the slot
+/// window open (8 concurrent proposals), at batch size 1 so pipelining —
+/// not batching — carries the load: 8 closed-loop clients on a 2 ms-hop
+/// network keep several slots in flight at once. The leg also asserts the
+/// tentpole claim directly: the same workload at window 1 (the old
+/// one-proposal-in-flight behavior) must be at least 2× slower. Virtual
+/// time makes both numbers deterministic, so the gate tracks protocol
+/// changes, not host noise.
+fn tob_pipeline_msgs_per_sec() -> f64 {
+    use shadowdb_tob::client::{ClientStats, TobClient};
+    use shadowdb_tob::deploy::{BackendKind, TobDeployment, TobOptions};
+    use std::sync::Arc;
+
+    const CLIENTS: u32 = 8;
+    const MSGS: u64 = 25;
+    let run = |window: usize| -> f64 {
+        let net = NetworkConfig {
+            latency: Latency::Fixed(Duration::from_millis(2)),
+            drop_probability: 0.0,
+            faults: Default::default(),
+        };
+        let mut sim = SimBuilder::new(64).network(net).build();
+        let options = TobOptions {
+            backend: BackendKind::Paxos,
+            max_batch: 1,
+            window: Some(window),
+            ..TobOptions::default()
+        };
+        // Clients take locs 0..CLIENTS; the service deploys after them.
+        let servers: Vec<Loc> = (0..options.machines)
+            .map(|i| Loc::new(CLIENTS + i * 4))
+            .collect();
+        let mut stats = Vec::new();
+        let mut client_locs = Vec::new();
+        for _ in 0..CLIENTS {
+            let s = Arc::new(parking_lot::Mutex::new(ClientStats::default()));
+            let loc = sim.add_node(Box::new(TobClient::new(
+                servers.clone(),
+                Value::str("payload"),
+                MSGS,
+                s.clone(),
+            )));
+            stats.push(s);
+            client_locs.push(loc);
+        }
+        TobDeployment::build(&mut sim, &options, client_locs.clone());
+        for c in &client_locs {
+            sim.send_at(VTime::ZERO, *c, TobClient::start_msg());
+        }
+        sim.run_until_quiescent(VTime::from_secs(600));
+        let mut done = 0usize;
+        let mut last = VTime::ZERO;
+        for s in &stats {
+            let s = s.lock();
+            done += s.completed.len();
+            for (_, d) in &s.completed {
+                last = last.max(*d);
+            }
+        }
+        assert_eq!(done, (CLIENTS as u64 * MSGS) as usize, "window {window}");
+        done as f64 / (last.as_micros() as f64 / 1e6)
+    };
+    let serial = run(1);
+    let pipelined = run(8);
+    println!("  (tob window 1: {serial:.1}/s, window 8: {pipelined:.1}/s)");
+    assert!(
+        pipelined >= 2.0 * serial,
+        "window 8 must at least double window-1 throughput: {pipelined:.0} vs {serial:.0}"
+    );
+    pipelined
+}
+
+/// Speedup of the statement/plan cache on a point-update replay: the same
+/// UPDATE text re-executed through `execute` (cache hit: no parse, no name
+/// resolution, no index selection) versus `execute_uncached` (the
+/// pre-cache path). The ratio is what the gate records — it is
+/// host-independent to first order — and the tentpole floor of 1.3× is
+/// asserted directly.
+fn sqldb_cached_update_speedup() -> f64 {
+    use shadowdb_sqldb::{Database, EngineProfile};
+    use shadowdb_workloads::bank;
+
+    let db = Database::new(EngineProfile::h2());
+    bank::load(&db, 1_000).expect("bank loads");
+    let sql = "UPDATE accounts SET balance = balance + 1 WHERE id = 500";
+    let time_with = |uncached: bool| -> f64 {
+        let reps = 20_000usize;
+        let mut txn = db.begin().expect("begins");
+        for _ in 0..500 {
+            txn.execute(sql).expect("warms");
+        }
+        let t = Instant::now();
+        for _ in 0..reps {
+            let rs = if uncached {
+                txn.execute_uncached(sql)
+            } else {
+                txn.execute(sql)
+            };
+            std::hint::black_box(rs.expect("updates"));
+        }
+        let dt = t.elapsed().as_secs_f64();
+        txn.commit().expect("commits");
+        dt
+    };
+    let uncached = time_with(true);
+    let cached = time_with(false);
+    let speedup = uncached / cached;
+    assert!(
+        speedup >= 1.3,
+        "plan cache must beat re-parsing by ≥1.3×, got {speedup:.2}×"
+    );
+    speedup
+}
+
 /// Client-observed failover time on the simulator, in **virtual**
 /// milliseconds: a PBR deployment runs a bank workload, the primary is
 /// crashed mid-run, and the leg reports the gap between the crash and the
@@ -313,6 +427,16 @@ fn main() {
             Gate::HigherBetter,
         ),
         ("tcp_echo_msgs_per_sec", tcp_echo_rate(), Gate::HigherBetter),
+        (
+            "tob_pipeline_msgs_per_sec",
+            tob_pipeline_msgs_per_sec(),
+            Gate::HigherBetter,
+        ),
+        (
+            "sqldb_cached_update_speedup",
+            sqldb_cached_update_speedup(),
+            Gate::HigherBetter,
+        ),
         (
             "failover_recovery_ms",
             failover_recovery_ms(),

@@ -69,6 +69,8 @@ pub struct ChaosOptions {
     pub heartbeat_every: Duration,
     /// Client retransmission base timeout (backs off exponentially).
     pub client_timeout: Duration,
+    /// Broadcast-service pipelining window (`None` = backend default).
+    pub window: Option<usize>,
 }
 
 impl ChaosOptions {
@@ -86,7 +88,14 @@ impl ChaosOptions {
             detect_after: duration.mul_f64(0.10).max(Duration::from_millis(300)),
             heartbeat_every: duration.mul_f64(0.02).max(Duration::from_millis(50)),
             client_timeout: duration.mul_f64(0.05).max(Duration::from_millis(150)),
+            window: None,
         }
+    }
+
+    /// Overrides the broadcast-service pipelining window.
+    pub fn with_window(mut self, window: usize) -> ChaosOptions {
+        self.window = Some(window);
+        self
     }
 }
 
@@ -142,6 +151,7 @@ fn deploy_options(opts: &ChaosOptions) -> (Vec<Vec<TxnRequest>>, DeployOptions) 
         move |db| bank::load(db, rows).expect("bank loads"),
     );
     dopts.client_timeout = opts.client_timeout;
+    dopts.window = opts.window;
     // The harness starts the clients itself, *after* the fault plan is
     // armed: on a real-time runtime the clock runs during deployment, so
     // a builder-scheduled kick-off would race the workload against the

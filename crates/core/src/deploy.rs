@@ -39,6 +39,10 @@ pub struct DeployOptions {
     pub client_timeout: Duration,
     /// Transactions-per-proposal bound in the broadcast service.
     pub max_batch: usize,
+    /// Broadcast-service pipelining window (concurrent slot proposals per
+    /// server). `None` uses the backend default (8 for Paxos, 1 for
+    /// TwoThird).
+    pub window: Option<usize>,
     /// PBR only: replicas in the active configuration (the paper runs 2,
     /// "the third database is used to replace the backup"; overlapped
     /// state transfer needs 3).
@@ -74,6 +78,7 @@ impl DeployOptions {
             mode: ExecutionMode::Compiled,
             client_timeout: Duration::from_secs(20),
             max_batch: 64,
+            window: None,
             active_replicas: 2,
             machines: 3,
             backend: BackendKind::Paxos,
@@ -149,6 +154,7 @@ impl PbrDeployment {
                 backend,
                 mode: options.mode,
                 max_batch: options.max_batch,
+                window: options.window,
                 ..TobOptions::default()
             },
             replicas.clone(),
@@ -251,6 +257,7 @@ impl SmrDeployment {
                 backend,
                 mode: options.mode,
                 max_batch: options.max_batch,
+                window: options.window,
                 ..TobOptions::default()
             },
             replicas.clone(),

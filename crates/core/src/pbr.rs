@@ -34,7 +34,7 @@ use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_sqldb::{Database, RowBatch, SqlValue};
 use shadowdb_tob::{broadcast_msg, parse_deliver, InOrderBuffer};
-use shadowdb_workloads::TxnOutcome;
+use shadowdb_workloads::{apply_group, TxnOutcome, TxnRequest};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
@@ -206,21 +206,35 @@ impl PbrReplica {
     /// Executes a transaction locally, recording it in the log and reply
     /// cache.
     fn execute_txn(&mut self, env: &TxnEnvelope) -> (bool, Vec<SqlValue>) {
-        let outcome = env
-            .txn
-            .apply(&self.db)
-            .map(|o| (o.committed, o.result, o.cost))
-            .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
-        self.charge(outcome.2);
-        self.executed += 1;
-        self.log.push_back(env.clone());
-        while self.log.len() > self.options.cache_limit {
-            self.log.pop_front();
-            self.log_start += 1;
+        self.execute_txn_group(std::slice::from_ref(env))
+            .pop()
+            .expect("one outcome per envelope")
+    }
+
+    /// Executes a run of transactions under ONE engine transaction (one
+    /// commit for the whole group), with per-transaction log and reply
+    /// bookkeeping identical to sequential execution. Replica execution is
+    /// single-threaded, so the grouped answers match unbatched ones.
+    fn execute_txn_group(&mut self, envs: &[TxnEnvelope]) -> Vec<(bool, Vec<SqlValue>)> {
+        let reqs: Vec<&TxnRequest> = envs.iter().map(|e| &e.txn).collect();
+        let results = apply_group(&self.db, &reqs);
+        let mut outcomes = Vec::with_capacity(envs.len());
+        for (env, res) in envs.iter().zip(results) {
+            let (committed, result, cost) = res
+                .map(|o| (o.committed, o.result, o.cost))
+                .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
+            self.charge(cost);
+            self.executed += 1;
+            self.log.push_back(env.clone());
+            while self.log.len() > self.options.cache_limit {
+                self.log.pop_front();
+                self.log_start += 1;
+            }
+            self.last_reply
+                .insert(env.client, (env.cseq, committed, result.clone()));
+            outcomes.push((committed, result));
         }
-        self.last_reply
-            .insert(env.client, (env.cseq, outcome.0, outcome.1.clone()));
-        (outcome.0, outcome.1)
+        outcomes
     }
 
     // -- normal case -------------------------------------------------------
@@ -305,24 +319,43 @@ impl PbrReplica {
     }
 
     /// Applies buffered forwards in index order (a recovering backup
-    /// buffers them until its snapshot arrives).
+    /// buffers them until its snapshot arrives). Consecutive forwards are
+    /// group-applied under one engine commit; a group breaks when a client
+    /// reappears, so per-client reply bookkeeping stays exact per cseq.
     fn drain_forwards(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
         if self.mode != Mode::Normal {
             return;
         }
-        while let Some(env) = self.forward_buf.remove(&(self.executed + 1)) {
-            self.execute_txn(&env);
-            let idx = self.executed;
-            outs.push(SendInstr::now(
-                self.config.primary(),
-                Msg::new(
-                    ACK_HEADER,
-                    Value::pair(
-                        Value::Int(self.config.seq),
-                        Value::pair(Value::Int(idx), Value::Loc(ctx.slf)),
+        loop {
+            let mut batch: Vec<TxnEnvelope> = Vec::new();
+            loop {
+                let idx = self.executed + 1 + batch.len() as i64;
+                let Some(env) = self.forward_buf.remove(&idx) else {
+                    break;
+                };
+                if batch.iter().any(|b| b.client == env.client) {
+                    self.forward_buf.insert(idx, env);
+                    break;
+                }
+                batch.push(env);
+            }
+            if batch.is_empty() {
+                return;
+            }
+            let first = self.executed + 1;
+            self.execute_txn_group(&batch);
+            for off in 0..batch.len() as i64 {
+                outs.push(SendInstr::now(
+                    self.config.primary(),
+                    Msg::new(
+                        ACK_HEADER,
+                        Value::pair(
+                            Value::Int(self.config.seq),
+                            Value::pair(Value::Int(first + off), Value::Loc(ctx.slf)),
+                        ),
                     ),
-                ),
-            ));
+                ));
+            }
         }
     }
 
@@ -603,12 +636,19 @@ impl PbrReplica {
         }
         let (start, txns) = rest.unpair();
         let start = start.int();
+        // Collect the run of missing transactions, then group-apply it
+        // under one engine commit (no replies are sent during catch-up, so
+        // repeated clients inside the run are fine).
+        let mut batch: Vec<TxnEnvelope> = Vec::new();
         for (off, t) in txns.elems().iter().enumerate() {
-            if start + off as i64 == self.executed {
+            if start + off as i64 == self.executed + batch.len() as i64 {
                 if let Some(env) = TxnEnvelope::from_value(t) {
-                    self.execute_txn(&env);
+                    batch.push(env);
                 }
             }
+        }
+        if !batch.is_empty() {
+            self.execute_txn_group(&batch);
         }
         self.finish_recovery(ctx, outs);
     }

@@ -18,6 +18,7 @@ use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::Loc;
 use shadowdb_sqldb::{Database, RowBatch, Snapshot, SqlValue};
 use shadowdb_tob::{parse_deliver, InOrderBuffer};
+use shadowdb_workloads::apply_group;
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
@@ -42,6 +43,9 @@ pub struct SmrReplica {
     snap_total: Option<(i64, i64)>,
     transfer_batch_bytes: usize,
     step_cost: Duration,
+    /// Reusable envelope buffer for group apply (always empty between
+    /// steps; excluded from digests and cloned empty).
+    group_scratch: Vec<TxnEnvelope>,
 }
 
 impl SmrReplica {
@@ -57,6 +61,7 @@ impl SmrReplica {
             snap_total: None,
             transfer_batch_bytes: 50_000,
             step_cost: Duration::ZERO,
+            group_scratch: Vec::new(),
         }
     }
 
@@ -91,35 +96,65 @@ impl SmrReplica {
         &self.db
     }
 
-    fn execute_delivery(&mut self, slf: Loc, d: shadowdb_tob::Delivery, outs: &mut Vec<SendInstr>) {
-        let Some(env) = TxnEnvelope::from_value(&d.payload) else {
-            return;
-        };
-        // Duplicate suppression (client resends surface as fresh broadcast
-        // msgids but identical cseq — or as duplicate deliveries filtered
-        // by the InOrderBuffer already; both are covered).
-        if let Some((last, committed, results)) = self.last_reply.get(&env.client) {
-            if env.cseq <= *last {
-                outs.push(SendInstr::now(
-                    env.client,
-                    reply_msg(slf, *last, *committed, results),
-                ));
-                return;
+    /// Executes a run of in-order deliveries, group-applying consecutive
+    /// transactions under one engine commit. A group flushes when a client
+    /// reappears: duplicate suppression consults `last_reply`, which must
+    /// reflect the client's earlier request before its next one is
+    /// examined.
+    fn execute_deliveries<I>(&mut self, slf: Loc, ready: I, outs: &mut Vec<SendInstr>)
+    where
+        I: IntoIterator<Item = shadowdb_tob::Delivery>,
+    {
+        let mut group = std::mem::take(&mut self.group_scratch);
+        group.clear();
+        for d in ready {
+            let Some(env) = TxnEnvelope::from_value(&d.payload) else {
+                continue;
+            };
+            if group.iter().any(|g| g.client == env.client) {
+                self.flush_group(slf, &mut group, outs);
             }
+            // Duplicate suppression (client resends surface as fresh
+            // broadcast msgids but identical cseq — or as duplicate
+            // deliveries filtered by the InOrderBuffer already; both are
+            // covered).
+            if let Some((last, committed, results)) = self.last_reply.get(&env.client) {
+                if env.cseq <= *last {
+                    outs.push(SendInstr::now(
+                        env.client,
+                        reply_msg(slf, *last, *committed, results),
+                    ));
+                    continue;
+                }
+            }
+            group.push(env);
         }
-        let (committed, results, cost) = env
-            .txn
-            .apply(&self.db)
-            .map(|o| (o.committed, o.result, o.cost))
-            .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
-        self.step_cost += cost;
-        self.executed += 1;
-        self.last_reply
-            .insert(env.client, (env.cseq, committed, results.clone()));
-        outs.push(SendInstr::now(
-            env.client,
-            reply_msg(slf, env.cseq, committed, &results),
-        ));
+        self.flush_group(slf, &mut group, outs);
+        self.group_scratch = group;
+    }
+
+    /// Applies `group` as one engine transaction and emits replies in
+    /// delivery order, with per-transaction dedup/cost bookkeeping.
+    fn flush_group(&mut self, slf: Loc, group: &mut Vec<TxnEnvelope>, outs: &mut Vec<SendInstr>) {
+        if group.is_empty() {
+            return;
+        }
+        let reqs: Vec<&shadowdb_workloads::TxnRequest> = group.iter().map(|e| &e.txn).collect();
+        let results = apply_group(&self.db, &reqs);
+        drop(reqs);
+        for (env, res) in group.drain(..).zip(results) {
+            let (committed, results, cost) = res
+                .map(|o| (o.committed, o.result, o.cost))
+                .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
+            self.step_cost += cost;
+            self.executed += 1;
+            self.last_reply
+                .insert(env.client, (env.cseq, committed, results.clone()));
+            outs.push(SendInstr::now(
+                env.client,
+                reply_msg(slf, env.cseq, committed, &results),
+            ));
+        }
     }
 
     fn on_fetch_snapshot(&mut self, body: &Value, outs: &mut Vec<SendInstr>) {
@@ -190,11 +225,11 @@ impl SmrReplica {
         // arrived while joining.
         self.executed = next_seq;
         let held = std::mem::replace(&mut self.incoming, InOrderBuffer::starting_at(next_seq));
+        let mut ready = Vec::new();
         for d in held.into_pending() {
-            for ready in self.incoming.offer(d) {
-                self.execute_delivery(slf, ready, outs);
-            }
+            ready.extend(self.incoming.offer(d));
         }
+        self.execute_deliveries(slf, ready, outs);
         self.snap_chunks.clear();
         self.snap_total = None;
     }
@@ -210,9 +245,7 @@ impl Process for SmrReplica {
         } else if let Some(d) = parse_deliver(msg) {
             let ready = self.incoming.offer(d);
             if !self.joining {
-                for d in ready {
-                    self.execute_delivery(ctx.slf, d, out);
-                }
+                self.execute_deliveries(ctx.slf, ready, out);
             }
         }
     }
@@ -235,6 +268,7 @@ impl Process for SmrReplica {
             snap_total: self.snap_total,
             transfer_batch_bytes: self.transfer_batch_bytes,
             step_cost: self.step_cost,
+            group_scratch: Vec::new(),
         })
     }
 

@@ -130,6 +130,51 @@ fn tcpnet_smr_partition_soak() {
     net.shutdown();
 }
 
+/// Pipelined-window soaks: the same harness with the broadcast window
+/// forced open to 8 in-flight slots. SMR routes every transaction through
+/// the service, so this is where pipelining must not reorder or duplicate
+/// under faults; PBR exercises the window on its reconfiguration path.
+#[test]
+fn simnet_windowed_smr_soak_three_seeds() {
+    for seed in [5, 6, 7] {
+        let mut sim = shadowdb_simnet::testing::default_net(1_100 + seed);
+        let opts = sim_opts(seed, NemesisProfile::LossyClientLinks).with_window(8);
+        let report = soak_smr(&mut sim, &opts);
+        assert_eq!(report.committed, 300, "seed {seed}");
+    }
+}
+
+#[test]
+fn simnet_windowed_pbr_soak_three_seeds() {
+    for seed in [5, 6, 7] {
+        let mut sim = shadowdb_simnet::testing::default_net(1_200 + seed);
+        let opts = sim_opts(seed, NemesisProfile::PartitionVictim).with_window(8);
+        let report = soak_pbr(&mut sim, &opts);
+        assert_eq!(report.committed, 300, "seed {seed}");
+    }
+}
+
+#[test]
+fn livenet_windowed_smr_soak() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(25)
+        .spawn();
+    let opts = live_opts(25, NemesisProfile::LossyClientLinks).with_window(8);
+    let report = soak_smr(&mut net, &opts);
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_windowed_smr_soak() {
+    let mut net = TcpNet::new();
+    let opts = live_opts(26, NemesisProfile::PartitionVictim).with_window(8);
+    let report = soak_smr(&mut net, &opts);
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
 /// Opt-in long soak: `CHAOS_SEEDS=n` sweeps seeds `0..n` across every
 /// profile on the simulator, PBR and SMR both. Off (a no-op) by default
 /// so the tier-1 suite stays fast.

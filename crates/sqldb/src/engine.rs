@@ -1,22 +1,138 @@
-//! The database engine: transactions, execution, undo.
+//! The database engine: transactions, execution, undo, and a
+//! per-database statement/plan cache.
+//!
+//! Replicated execution re-runs a small set of statement *shapes*
+//! thousands of times. The engine therefore keeps a bounded cache keyed
+//! by exact SQL text, holding the parsed [`Statement`] and — for
+//! `SELECT`/`UPDATE`/`DELETE` — a resolved [`Plan`]: bound expressions,
+//! fixed column positions, and the chosen [`AccessPath`]. Plans depend
+//! only on the catalog (schemas and indexes), never on row data, so they
+//! are invalidated by a monotone *DDL epoch* bumped on `CREATE TABLE`,
+//! `CREATE INDEX`, `DROP TABLE`, snapshot restore, and rollback of DDL.
 
 use crate::expr::Expr;
 use crate::lock::{LockGranularity, LockManager, LockMode, Resource, TxnId};
 use crate::profile::EngineProfile;
 use crate::schema::TableSchema;
 use crate::snapshot::Snapshot;
-use crate::sql::{parse, Aggregate, Projection, SelectStmt, Statement};
-use crate::table::{RowId, Table};
+use crate::sql::{parse, Aggregate, Projection, Statement};
+use crate::table::{AccessPath, RowId, Table};
 use crate::value::{Row, SqlValue};
 use crate::{Result, SqlError};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// A bound filter expression plus the `(rid, row)` pairs it matched.
-type FilterMatches = (Option<Expr>, Vec<(RowId, Row)>);
+/// How many distinct statement texts the plan cache holds.
+const PLAN_CACHE_CAPACITY: usize = 128;
+
+/// A resolved execution plan: everything name resolution and binding
+/// produce for a statement, computed once per `(SQL text, DDL epoch)`.
+struct Plan {
+    /// The DDL epoch the plan was resolved under.
+    epoch: u64,
+    kind: PlanKind,
+}
+
+enum PlanKind {
+    Select(SelectPlan),
+    Update(UpdatePlan),
+    Delete(DeletePlan),
+}
+
+struct SelectPlan {
+    table: String,
+    schema: TableSchema,
+    filter: Option<Expr>,
+    path: AccessPath,
+    proj: ProjPlan,
+    order_by: Option<(usize, bool)>,
+    limit: Option<usize>,
+    for_update: bool,
+}
+
+enum ProjPlan {
+    /// `*` with the column labels pre-extracted.
+    Star(Vec<String>),
+    /// Named columns: labels plus resolved positions.
+    Cols(Vec<String>, Vec<usize>),
+    Aggregates(Vec<Aggregate>),
+}
+
+struct UpdatePlan {
+    table: String,
+    schema: TableSchema,
+    sets: Vec<(usize, Expr)>,
+    filter: Option<Expr>,
+    path: AccessPath,
+}
+
+struct DeletePlan {
+    table: String,
+    schema: TableSchema,
+    filter: Option<Expr>,
+    path: AccessPath,
+}
+
+/// One cached statement: the parse always, the plan when resolvable.
+struct CacheSlot {
+    last_use: u64,
+    stmt: Arc<Statement>,
+    plan: Option<Arc<Plan>>,
+}
+
+/// Bounded statement/plan cache keyed by exact SQL text.
+#[derive(Default)]
+struct StmtCache {
+    map: HashMap<String, CacheSlot>,
+    tick: u64,
+}
+
+impl StmtCache {
+    fn lookup(&mut self, sql: &str, epoch: u64) -> Option<(Arc<Statement>, Option<Arc<Plan>>)> {
+        self.tick += 1;
+        let tick = self.tick;
+        let slot = self.map.get_mut(sql)?;
+        slot.last_use = tick;
+        // A plan from an older DDL epoch may carry stale column positions
+        // or name a dropped index: hand back only the parse, and replan.
+        let plan = slot.plan.clone().filter(|p| p.epoch == epoch);
+        Some((slot.stmt.clone(), plan))
+    }
+
+    fn attach_plan(&mut self, sql: &str, plan: Arc<Plan>) {
+        if let Some(slot) = self.map.get_mut(sql) {
+            slot.plan = Some(plan);
+        }
+    }
+
+    fn insert(&mut self, sql: &str, stmt: Arc<Statement>, plan: Option<Arc<Plan>>) {
+        if self.map.len() >= PLAN_CACHE_CAPACITY && !self.map.contains_key(sql) {
+            // Evict the least-recently-used of a small sample, keeping the
+            // miss path O(sample) instead of O(capacity).
+            let victim = self
+                .map
+                .iter()
+                .take(8)
+                .min_by_key(|(_, s)| s.last_use)
+                .map(|(k, _)| k.clone());
+            if let Some(k) = victim {
+                self.map.remove(&k);
+            }
+        }
+        self.tick += 1;
+        self.map.insert(
+            sql.to_owned(),
+            CacheSlot {
+                last_use: self.tick,
+                stmt,
+                plan,
+            },
+        );
+    }
+}
 
 /// The result of executing a statement.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -44,6 +160,11 @@ struct Inner {
     tables: RwLock<HashMap<String, Table>>,
     locks: LockManager,
     next_txn: AtomicU64,
+    /// Statement/plan cache shared by every transaction on this database.
+    plans: Mutex<StmtCache>,
+    /// Bumped by every catalog change; a [`Plan`] resolved under an older
+    /// epoch is discarded at lookup.
+    ddl_epoch: AtomicU64,
 }
 
 impl std::fmt::Debug for Database {
@@ -64,6 +185,8 @@ impl Database {
                 tables: RwLock::new(HashMap::new()),
                 locks: LockManager::new(),
                 next_txn: AtomicU64::new(1),
+                plans: Mutex::new(StmtCache::default()),
+                ddl_epoch: AtomicU64::new(0),
             }),
         }
     }
@@ -178,6 +301,9 @@ impl Database {
             }
             tables.insert(dump.schema.name.clone(), t);
         }
+        drop(tables);
+        // The whole catalog was replaced: every cached plan is suspect.
+        self.inner.ddl_epoch.fetch_add(1, Ordering::Release);
         Ok(())
     }
 }
@@ -188,6 +314,7 @@ enum Undo {
     Delete { table: String, rid: RowId, row: Row },
     Update { table: String, rid: RowId, old: Row },
     CreateTable { table: String },
+    DropTable { dropped: Box<Table> },
 }
 
 /// An open transaction. Dropped without [`Transaction::commit`], it rolls
@@ -212,15 +339,74 @@ impl Transaction {
         Duration::from_micros(self.virtual_us)
     }
 
-    /// Parses and executes one statement.
+    /// Executes one statement, going through the database's
+    /// statement/plan cache: a repeated SQL text skips parsing, name
+    /// resolution, expression binding, and access-path selection.
     ///
     /// # Errors
     ///
     /// On [`SqlError::LockTimeout`] the transaction has been rolled back
     /// and must be retried from the start, as with the paper's engines.
     pub fn execute(&mut self, sql: &str) -> Result<ResultSet> {
+        if self.finished {
+            return Err(SqlError::TransactionClosed);
+        }
+        let r = self.execute_cached(sql);
+        if matches!(r, Err(SqlError::LockTimeout { .. })) {
+            // Timeout aborts the transaction, like H2/MySQL.
+            let _ = self.rollback_internal();
+        }
+        r
+    }
+
+    /// Parses and executes without consulting the statement/plan cache —
+    /// the comparator used to measure what the cache saves.
+    ///
+    /// # Errors
+    ///
+    /// As [`Transaction::execute`].
+    pub fn execute_uncached(&mut self, sql: &str) -> Result<ResultSet> {
         let stmt = parse(sql)?;
         self.run(stmt)
+    }
+
+    fn execute_cached(&mut self, sql: &str) -> Result<ResultSet> {
+        let epoch = self.db.ddl_epoch.load(Ordering::Acquire);
+        let hit = self.db.plans.lock().lookup(sql, epoch);
+        match hit {
+            Some((_, Some(plan))) => self.run_plan(&plan),
+            Some((stmt, None)) => match self.resolve_plan(&stmt)? {
+                Some(plan) => {
+                    let plan = Arc::new(plan);
+                    self.db.plans.lock().attach_plan(sql, plan.clone());
+                    self.run_plan(&plan)
+                }
+                None => self.dispatch(&stmt),
+            },
+            None => {
+                let stmt = Arc::new(parse(sql)?);
+                match self.resolve_plan(&stmt) {
+                    Ok(Some(plan)) => {
+                        let plan = Arc::new(plan);
+                        self.db
+                            .plans
+                            .lock()
+                            .insert(sql, stmt.clone(), Some(plan.clone()));
+                        self.run_plan(&plan)
+                    }
+                    Ok(None) => {
+                        self.db.plans.lock().insert(sql, stmt.clone(), None);
+                        self.dispatch(&stmt)
+                    }
+                    Err(e) => {
+                        // Resolution failed (unknown table or column): keep
+                        // the parse — the object may exist next time.
+                        self.db.plans.lock().insert(sql, stmt, None);
+                        Err(e)
+                    }
+                }
+            }
+        }
     }
 
     /// Executes a `SELECT` and returns its rows (convenience alias).
@@ -228,17 +414,38 @@ impl Transaction {
         self.execute(sql)
     }
 
-    /// Executes a pre-parsed statement.
+    /// Executes a pre-parsed statement (uncached: the plan is resolved
+    /// transiently).
     pub fn run(&mut self, stmt: Statement) -> Result<ResultSet> {
         if self.finished {
             return Err(SqlError::TransactionClosed);
         }
-        let r = self.dispatch(stmt);
+        let r = self.dispatch(&stmt);
         if matches!(r, Err(SqlError::LockTimeout { .. })) {
             // Timeout aborts the transaction, like H2/MySQL.
             let _ = self.rollback_internal();
         }
         r
+    }
+
+    /// Marks the current undo position for [`Transaction::rollback_to`].
+    pub fn savepoint(&self) -> usize {
+        self.undo.len()
+    }
+
+    /// Undoes every change made after savepoint `sp` without closing the
+    /// transaction. Locks acquired since are retained, per strict
+    /// two-phase locking.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the transaction is already finished.
+    pub fn rollback_to(&mut self, sp: usize) -> Result<()> {
+        if self.finished {
+            return Err(SqlError::TransactionClosed);
+        }
+        let sp = sp.min(self.undo.len());
+        self.undo_to(sp)
     }
 
     /// Commits, releasing all locks.
@@ -270,8 +477,18 @@ impl Transaction {
 
     fn rollback_internal(&mut self) -> Result<()> {
         self.finished = true;
+        self.undo_to(0)?;
+        self.db.locks.release_all(self.id);
+        Ok(())
+    }
+
+    /// Applies undo records from log position `from` to the end, newest
+    /// first, under one catalog lock; bumps the DDL epoch if any undone
+    /// operation changed the catalog.
+    fn undo_to(&mut self, from: usize) -> Result<()> {
         let mut tables = self.db.tables.write();
-        for op in self.undo.drain(..).rev() {
+        let mut ddl = false;
+        for op in self.undo.drain(from..).rev() {
             match op {
                 Undo::Insert { table, rid } => {
                     if let Some(t) = tables.get_mut(&table) {
@@ -290,11 +507,18 @@ impl Transaction {
                 }
                 Undo::CreateTable { table } => {
                     tables.remove(&table);
+                    ddl = true;
+                }
+                Undo::DropTable { dropped } => {
+                    tables.insert(dropped.schema().name.clone(), *dropped);
+                    ddl = true;
                 }
             }
         }
         drop(tables);
-        self.db.locks.release_all(self.id);
+        if ddl {
+            self.db.ddl_epoch.fetch_add(1, Ordering::Release);
+        }
         Ok(())
     }
 
@@ -339,22 +563,125 @@ impl Transaction {
         Ok(())
     }
 
-    fn dispatch(&mut self, stmt: Statement) -> Result<ResultSet> {
+    fn dispatch(&mut self, stmt: &Statement) -> Result<ResultSet> {
         match stmt {
-            Statement::CreateTable(schema) => self.create_table(schema),
+            Statement::CreateTable(schema) => self.create_table(schema.clone()),
             Statement::CreateIndex {
                 name,
                 table,
                 columns,
-            } => self.create_index(&name, &table, &columns),
-            Statement::Insert { table, rows } => self.insert(&table, rows),
-            Statement::Select(sel) => self.select(sel),
+            } => self.create_index(name, table, columns),
+            Statement::DropTable { table } => self.drop_table(table),
+            Statement::Insert { table, rows } => self.insert(table, rows),
+            _ => {
+                let plan = self
+                    .resolve_plan(stmt)?
+                    .expect("select/update/delete always resolve to a plan");
+                self.run_plan(&plan)
+            }
+        }
+    }
+
+    /// Resolves a statement against the current catalog: binds
+    /// expressions, fixes column positions, and chooses the access path.
+    /// Returns `None` for statement kinds executed directly from the AST
+    /// (DDL, `INSERT`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown tables or columns, mirroring what execution of
+    /// the same statement would report.
+    fn resolve_plan(&self, stmt: &Statement) -> Result<Option<Plan>> {
+        let epoch = self.db.ddl_epoch.load(Ordering::Acquire);
+        let tables = self.db.tables.read();
+        let lookup = |name: &str| -> Result<&Table> {
+            tables
+                .get(&name.to_lowercase())
+                .ok_or_else(|| SqlError::Unknown(format!("table {name}")))
+        };
+        let kind = match stmt {
+            Statement::Select(sel) => {
+                let t = lookup(&sel.table)?;
+                let schema = t.schema().clone();
+                let filter = match &sel.filter {
+                    Some(f) => Some(f.bind(&schema)?),
+                    None => None,
+                };
+                let path = t.plan_path(filter.as_ref());
+                let order_by = match &sel.order_by {
+                    Some((c, desc)) => Some((schema.col(c)?, *desc)),
+                    None => None,
+                };
+                let proj = match &sel.projection {
+                    Projection::Star => {
+                        ProjPlan::Star(schema.columns.iter().map(|c| c.name.clone()).collect())
+                    }
+                    Projection::Cols(cols) => {
+                        let idx: Result<Vec<usize>> = cols.iter().map(|c| schema.col(c)).collect();
+                        ProjPlan::Cols(cols.clone(), idx?)
+                    }
+                    Projection::Aggregates(aggs) => ProjPlan::Aggregates(aggs.clone()),
+                };
+                PlanKind::Select(SelectPlan {
+                    table: sel.table.to_lowercase(),
+                    schema,
+                    filter,
+                    path,
+                    proj,
+                    order_by,
+                    limit: sel.limit,
+                    for_update: sel.for_update,
+                })
+            }
             Statement::Update {
                 table,
                 sets,
                 filter,
-            } => self.update(&table, sets, filter),
-            Statement::Delete { table, filter } => self.delete(&table, filter),
+            } => {
+                let t = lookup(table)?;
+                let schema = t.schema().clone();
+                let bound_filter = match filter {
+                    Some(f) => Some(f.bind(&schema)?),
+                    None => None,
+                };
+                let path = t.plan_path(bound_filter.as_ref());
+                let bound_sets: Result<Vec<(usize, Expr)>> = sets
+                    .iter()
+                    .map(|(c, e)| Ok((schema.col(c)?, e.bind(&schema)?)))
+                    .collect();
+                PlanKind::Update(UpdatePlan {
+                    table: table.to_lowercase(),
+                    schema,
+                    sets: bound_sets?,
+                    filter: bound_filter,
+                    path,
+                })
+            }
+            Statement::Delete { table, filter } => {
+                let t = lookup(table)?;
+                let schema = t.schema().clone();
+                let bound_filter = match filter {
+                    Some(f) => Some(f.bind(&schema)?),
+                    None => None,
+                };
+                let path = t.plan_path(bound_filter.as_ref());
+                PlanKind::Delete(DeletePlan {
+                    table: table.to_lowercase(),
+                    schema,
+                    filter: bound_filter,
+                    path,
+                })
+            }
+            _ => return Ok(None),
+        };
+        Ok(Some(Plan { epoch, kind }))
+    }
+
+    fn run_plan(&mut self, plan: &Plan) -> Result<ResultSet> {
+        match &plan.kind {
+            PlanKind::Select(p) => self.run_select(p),
+            PlanKind::Update(p) => self.run_update(p),
+            PlanKind::Delete(p) => self.run_delete(p),
         }
     }
 
@@ -370,6 +697,8 @@ impl Transaction {
         let name = schema.name.clone();
         tables.insert(name.clone(), Table::new(schema));
         self.undo.push(Undo::CreateTable { table: name });
+        drop(tables);
+        self.db.ddl_epoch.fetch_add(1, Ordering::Release);
         Ok(ResultSet::default())
     }
 
@@ -380,16 +709,48 @@ impl Transaction {
             .get_mut(&table.to_lowercase())
             .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
         t.create_index(name, columns)?;
+        drop(tables);
+        // Cached full-scan plans over this table must re-plan to pick the
+        // new index up.
+        self.db.ddl_epoch.fetch_add(1, Ordering::Release);
         Ok(ResultSet::default())
     }
 
-    fn insert(&mut self, table: &str, rows: Vec<Vec<crate::sql::ExprAst>>) -> Result<ResultSet> {
+    fn drop_table(&mut self, table: &str) -> Result<ResultSet> {
+        self.charge(self.db.profile.costs.per_statement_us);
+        let table = table.to_lowercase();
+        if !self.db.tables.read().contains_key(&table) {
+            return Err(SqlError::Unknown(format!("table {table}")));
+        }
+        // Exclusive table lock regardless of granularity: no engine drops
+        // a table out from under a concurrent writer.
+        if !self.db.locks.acquire(
+            self.id,
+            Resource::Table(table.clone()),
+            LockMode::Exclusive,
+            self.db.profile.lock_timeout,
+        ) {
+            return Err(SqlError::LockTimeout { table });
+        }
+        let mut tables = self.db.tables.write();
+        let t = tables
+            .remove(&table)
+            .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
+        self.undo.push(Undo::DropTable {
+            dropped: Box::new(t),
+        });
+        drop(tables);
+        self.db.ddl_epoch.fetch_add(1, Ordering::Release);
+        Ok(ResultSet::default())
+    }
+
+    fn insert(&mut self, table: &str, rows: &[Vec<crate::sql::ExprAst>]) -> Result<ResultSet> {
         let table = table.to_lowercase();
         let costs = self.db.profile.costs;
         self.charge(costs.per_statement_us);
         // Evaluate the constant rows first (no locks needed).
         let mut values: Vec<Row> = Vec::with_capacity(rows.len());
-        for row in &rows {
+        for row in rows {
             let mut out = Vec::with_capacity(row.len());
             for e in row {
                 out.push(e.eval_const()?);
@@ -425,27 +786,25 @@ impl Transaction {
         })
     }
 
-    /// Binds a filter and collects the matching `(rid, row)` pairs.
-    fn matching(
+    /// Collects the `(rid, row)` pairs a planned predicate matches,
+    /// charging index or scan cost per the access path actually taken.
+    fn matched_rows(
         &mut self,
         table: &str,
-        filter: &Option<crate::sql::ExprAst>,
-    ) -> Result<FilterMatches> {
+        filter: &Option<Expr>,
+        path: &AccessPath,
+    ) -> Result<Vec<(RowId, Row)>> {
         let costs = self.db.profile.costs;
         let tables = self.db.tables.read();
         let t = tables
             .get(table)
             .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
-        let bound = match filter {
-            Some(f) => Some(f.bind(t.schema())?),
-            None => None,
-        };
-        let candidates = t.candidates(bound.as_ref());
+        let candidates = t.candidates_via(path);
         let indexed = candidates.len() < t.len() || t.is_empty();
         let mut out = Vec::new();
         for rid in candidates {
             if let Some(row) = t.get(rid) {
-                let keep = match &bound {
+                let keep = match filter {
                     Some(f) => f.matches(row)?,
                     None => true,
                 };
@@ -454,88 +813,65 @@ impl Transaction {
                 }
             }
         }
+        let scanned = t.len();
         drop(tables);
         if indexed {
             self.charge(costs.point_read_us * out.len().max(1) as u64);
         } else {
-            let scanned = self
-                .db
-                .tables
-                .read()
-                .get(table)
-                .map(Table::len)
-                .unwrap_or(0);
             self.charge(costs.scan_row_us * scanned as u64);
         }
-        Ok((bound, out))
+        Ok(out)
     }
 
-    fn select(&mut self, sel: SelectStmt) -> Result<ResultSet> {
-        let table = sel.table.to_lowercase();
+    fn run_select(&mut self, p: &SelectPlan) -> Result<ResultSet> {
         let costs = self.db.profile.costs;
         self.charge(costs.per_statement_us);
-        if sel.for_update {
-            // FOR UPDATE takes exclusive locks up front.
-            let (_, rows) = self.matching(&table, &sel.filter)?;
+        if p.for_update {
+            // FOR UPDATE takes exclusive locks up front, then re-reads
+            // under the locks.
+            let rows = self.matched_rows(&p.table, &p.filter, &p.path)?;
             for (_, row) in &rows {
-                let key = {
-                    let tables = self.db.tables.read();
-                    tables[&table].schema().key_of(row)
-                };
-                self.lock_write(&table, &key)?;
+                self.lock_write(&p.table, &p.schema.key_of(row))?;
             }
         } else {
-            self.lock_read(&table)?;
+            self.lock_read(&p.table)?;
         }
-        let (_, mut matched) = self.matching(&table, &sel.filter)?;
+        let mut matched = self.matched_rows(&p.table, &p.filter, &p.path)?;
 
-        let tables = self.db.tables.read();
-        let schema = tables
-            .get(&table)
-            .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?
-            .schema()
-            .clone();
-        drop(tables);
-
-        if let Some((col, desc)) = &sel.order_by {
-            let ci = schema.col(col)?;
+        if let Some((ci, desc)) = p.order_by {
             matched.sort_by(|(_, a), (_, b)| {
                 let ord = a[ci].cmp(&b[ci]);
-                if *desc {
+                if desc {
                     ord.reverse()
                 } else {
                     ord
                 }
             });
         }
-        if let Some(n) = sel.limit {
+        if let Some(n) = p.limit {
             matched.truncate(n);
         }
 
-        match &sel.projection {
-            Projection::Star => Ok(ResultSet {
-                columns: schema.columns.iter().map(|c| c.name.clone()).collect(),
+        match &p.proj {
+            ProjPlan::Star(cols) => Ok(ResultSet {
+                columns: cols.clone(),
                 rows: matched.into_iter().map(|(_, r)| r).collect(),
                 affected: 0,
             }),
-            Projection::Cols(cols) => {
-                let idx: Result<Vec<usize>> = cols.iter().map(|c| schema.col(c)).collect();
-                let idx = idx?;
-                Ok(ResultSet {
-                    columns: cols.clone(),
-                    rows: matched
-                        .into_iter()
-                        .map(|(_, r)| idx.iter().map(|&i| r[i].clone()).collect())
-                        .collect(),
-                    affected: 0,
-                })
-            }
-            Projection::Aggregates(aggs) => {
+            ProjPlan::Cols(labels, idx) => Ok(ResultSet {
+                columns: labels.clone(),
+                rows: matched
+                    .into_iter()
+                    .map(|(_, r)| idx.iter().map(|&i| r[i].clone()).collect())
+                    .collect(),
+                affected: 0,
+            }),
+            ProjPlan::Aggregates(aggs) => {
                 let rows: Vec<Row> = matched.into_iter().map(|(_, r)| r).collect();
                 let mut out = Vec::with_capacity(aggs.len());
                 let mut labels = Vec::with_capacity(aggs.len());
                 for agg in aggs {
-                    let (label, v) = eval_aggregate(agg, &schema, &rows)?;
+                    let (label, v) = eval_aggregate(agg, &p.schema, &rows)?;
                     labels.push(label);
                     out.push(v);
                 }
@@ -548,55 +884,36 @@ impl Transaction {
         }
     }
 
-    fn update(
-        &mut self,
-        table: &str,
-        sets: Vec<(String, crate::sql::ExprAst)>,
-        filter: Option<crate::sql::ExprAst>,
-    ) -> Result<ResultSet> {
-        let table = table.to_lowercase();
+    fn run_update(&mut self, p: &UpdatePlan) -> Result<ResultSet> {
         let costs = self.db.profile.costs;
         self.charge(costs.per_statement_us);
-        let (bound_filter, matched) = self.matching(&table, &filter)?;
-        let schema = {
-            let tables = self.db.tables.read();
-            tables
-                .get(&table)
-                .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?
-                .schema()
-                .clone()
-        };
-        let bound_sets: Result<Vec<(usize, Expr)>> = sets
-            .iter()
-            .map(|(c, e)| Ok((schema.col(c)?, e.bind(&schema)?)))
-            .collect();
-        let bound_sets = bound_sets?;
+        let matched = self.matched_rows(&p.table, &p.filter, &p.path)?;
         let mut affected = 0;
         for (rid, old_row) in matched {
-            self.lock_write(&table, &schema.key_of(&old_row))?;
+            self.lock_write(&p.table, &p.schema.key_of(&old_row))?;
             // Matching ran before the lock was held: re-read the row and
             // re-validate the predicate against its *current* contents, or
             // concurrent writers would be lost.
             let current = {
                 let tables = self.db.tables.read();
-                tables.get(&table).and_then(|t| t.get(rid).cloned())
+                tables.get(&p.table).and_then(|t| t.get(rid).cloned())
             };
             let Some(current) = current else { continue };
-            if let Some(f) = &bound_filter {
+            if let Some(f) = &p.filter {
                 if !f.matches(&current)? {
                     continue;
                 }
             }
             let mut new_row = current.clone();
-            for (ci, e) in &bound_sets {
+            for (ci, e) in &p.sets {
                 new_row[*ci] = e.eval(&current)?;
             }
             {
                 let mut tables = self.db.tables.write();
-                let t = tables.get_mut(&table).expect("checked");
+                let t = tables.get_mut(&p.table).expect("checked");
                 let old = t.update(rid, new_row)?;
                 self.undo.push(Undo::Update {
-                    table: table.clone(),
+                    table: p.table.clone(),
                     rid,
                     old,
                 });
@@ -610,26 +927,17 @@ impl Transaction {
         })
     }
 
-    fn delete(&mut self, table: &str, filter: Option<crate::sql::ExprAst>) -> Result<ResultSet> {
-        let table = table.to_lowercase();
+    fn run_delete(&mut self, p: &DeletePlan) -> Result<ResultSet> {
         let costs = self.db.profile.costs;
         self.charge(costs.per_statement_us);
-        let (bound_filter, matched) = self.matching(&table, &filter)?;
-        let schema = {
-            let tables = self.db.tables.read();
-            tables
-                .get(&table)
-                .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?
-                .schema()
-                .clone()
-        };
+        let matched = self.matched_rows(&p.table, &p.filter, &p.path)?;
         let mut affected = 0;
         for (rid, row) in matched {
-            self.lock_write(&table, &schema.key_of(&row))?;
+            self.lock_write(&p.table, &p.schema.key_of(&row))?;
             let mut tables = self.db.tables.write();
-            let t = tables.get_mut(&table).expect("checked");
+            let t = tables.get_mut(&p.table).expect("checked");
             // Re-validate under the lock (see update).
-            let still_matches = match (t.get(rid), &bound_filter) {
+            let still_matches = match (t.get(rid), &p.filter) {
                 (None, _) => false,
                 (Some(_), None) => true,
                 (Some(r), Some(f)) => f.matches(r)?,
@@ -637,7 +945,7 @@ impl Transaction {
             if still_matches {
                 if let Some(old) = t.delete(rid) {
                     self.undo.push(Undo::Delete {
-                        table: table.clone(),
+                        table: p.table.clone(),
                         rid,
                         row: old,
                     });
@@ -914,5 +1222,131 @@ mod tests {
             db.execute("SELECT nosuch FROM accounts"),
             Err(SqlError::Unknown(_))
         ));
+        // A statement cached while its table was missing resolves once the
+        // table exists.
+        assert!(matches!(
+            db.execute("SELECT id FROM later"),
+            Err(SqlError::Unknown(_))
+        ));
+        db.execute("CREATE TABLE later (id INT PRIMARY KEY)")
+            .unwrap();
+        assert!(db.execute("SELECT id FROM later").unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn cached_execution_matches_uncached() {
+        let db = bank();
+        let sql = "UPDATE accounts SET balance = balance + 1 WHERE id = 4";
+        let read = "SELECT balance FROM accounts WHERE id = 4";
+        // Prime the cache, then compare a cached run against an uncached
+        // run: same results, same virtual cost (the cache must not change
+        // the simulated cost model, only real parse/bind work).
+        db.execute(sql).unwrap();
+        let mut cached = db.begin().unwrap();
+        cached.execute(sql).unwrap();
+        let cost_cached = cached.virtual_cost();
+        let r1 = cached.execute(read).unwrap();
+        cached.commit().unwrap();
+        let mut uncached = db.begin().unwrap();
+        uncached.execute_uncached(sql).unwrap();
+        assert_eq!(uncached.virtual_cost(), cost_cached);
+        let r2 = uncached.execute_uncached(read).unwrap();
+        uncached.commit().unwrap();
+        assert_eq!(r1.rows[0][0], SqlValue::Int(402));
+        assert_eq!(r2.rows[0][0], SqlValue::Int(403));
+    }
+
+    #[test]
+    fn create_index_refreshes_cached_full_scan_plan() {
+        let db = bank();
+        let sql = "SELECT balance FROM accounts WHERE owner = 'own3'";
+        let cost_of = |db: &Database| {
+            let mut t = db.begin().unwrap();
+            let r = t.execute(sql).unwrap();
+            assert_eq!(r.rows, vec![vec![SqlValue::Int(300)]]);
+            t.commit().unwrap();
+            t.virtual_cost()
+        };
+        // No index on owner: the cached plan is a full scan. Run twice so
+        // the second run provably executes from the cache.
+        let scan = cost_of(&db);
+        assert_eq!(cost_of(&db), scan);
+        // The new index bumps the DDL epoch; the *same* SQL text must be
+        // re-planned onto the index, observable as a cheaper execution.
+        db.execute("CREATE INDEX by_owner ON accounts (owner)")
+            .unwrap();
+        let probe = cost_of(&db);
+        assert!(
+            probe < scan,
+            "cached plan kept scanning after CREATE INDEX: {probe:?} >= {scan:?}"
+        );
+    }
+
+    #[test]
+    fn drop_and_recreate_invalidates_cached_positions() {
+        let db = Database::new(EngineProfile::h2());
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, pad TEXT, v INT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'x', 10)").unwrap();
+        let sql = "SELECT v FROM t WHERE k = 1";
+        assert_eq!(db.execute(sql).unwrap().rows, vec![vec![SqlValue::Int(10)]]);
+        // Recreate with `v` at a different column position: the cached
+        // plan's resolved positions are stale and must not be served.
+        db.execute("DROP TABLE t").unwrap();
+        db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT, pad TEXT)")
+            .unwrap();
+        db.execute("INSERT INTO t VALUES (1, 20, 'x')").unwrap();
+        assert_eq!(db.execute(sql).unwrap().rows, vec![vec![SqlValue::Int(20)]]);
+    }
+
+    #[test]
+    fn drop_table_rolls_back_with_contents_and_indexes() {
+        let db = bank();
+        db.execute("CREATE INDEX by_owner ON accounts (owner)")
+            .unwrap();
+        {
+            let mut txn = db.begin().unwrap();
+            txn.execute("DROP TABLE accounts").unwrap();
+            assert_eq!(db.table_len("accounts"), 0);
+            txn.rollback().unwrap();
+        }
+        assert_eq!(db.table_len("accounts"), 10);
+        // The restored table still answers through its secondary index,
+        // and the post-rollback epoch bump forces a replan.
+        let r = db
+            .execute("SELECT balance FROM accounts WHERE owner = 'own5'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![SqlValue::Int(500)]]);
+    }
+
+    #[test]
+    fn savepoint_rolls_back_partial_work_keeping_txn_open() {
+        let db = bank();
+        let mut txn = db.begin().unwrap();
+        txn.execute("UPDATE accounts SET balance = 1 WHERE id = 1")
+            .unwrap();
+        let sp = txn.savepoint();
+        txn.execute("UPDATE accounts SET balance = 2 WHERE id = 2")
+            .unwrap();
+        txn.execute("INSERT INTO accounts VALUES (100, 'new', 0)")
+            .unwrap();
+        txn.rollback_to(sp).unwrap();
+        // Work after the savepoint is gone; work before it commits.
+        txn.execute("UPDATE accounts SET balance = 3 WHERE id = 3")
+            .unwrap();
+        txn.commit().unwrap();
+        let r = db
+            .execute("SELECT balance FROM accounts WHERE id <= 3 ORDER BY id")
+            .unwrap();
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![SqlValue::Int(0)],
+                vec![SqlValue::Int(1)],
+                vec![SqlValue::Int(200)],
+                vec![SqlValue::Int(3)],
+            ]
+        );
+        assert_eq!(db.table_len("accounts"), 10);
     }
 }

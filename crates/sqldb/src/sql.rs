@@ -277,6 +277,11 @@ pub enum Statement {
         /// Optional filter.
         filter: Option<ExprAst>,
     },
+    /// `DROP TABLE table`.
+    DropTable {
+        /// Dropped table.
+        table: String,
+    },
 }
 
 /// Parses one SQL statement.
@@ -366,6 +371,12 @@ impl Parser {
             Tok::Ident(w) if w == "select" => self.select().map(Statement::Select),
             Tok::Ident(w) if w == "update" => self.update(),
             Tok::Ident(w) if w == "delete" => self.delete(),
+            Tok::Ident(w) if w == "drop" => {
+                self.eat_kw("table")?;
+                Ok(Statement::DropTable {
+                    table: self.ident()?,
+                })
+            }
             other => Err(SqlError::Parse(format!(
                 "unknown statement start {other:?}"
             ))),
@@ -801,6 +812,18 @@ mod tests {
         }
         let s = parse("DELETE FROM t WHERE id >= 5").unwrap();
         assert!(matches!(s, Statement::Delete { .. }));
+    }
+
+    #[test]
+    fn drop_table() {
+        let s = parse("DROP TABLE accounts").unwrap();
+        assert_eq!(
+            s,
+            Statement::DropTable {
+                table: "accounts".into()
+            }
+        );
+        assert!(matches!(parse("DROP accounts"), Err(SqlError::Parse(_))));
     }
 
     #[test]

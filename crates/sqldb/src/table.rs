@@ -9,6 +9,27 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Identifies a row within its table for the lifetime of the table.
 pub type RowId = u64;
 
+/// A resolved access path: *which* index a predicate probes and with what
+/// key. Depends only on the schema and the set of indexes — never on row
+/// data — so a cached path stays valid across DML and needs recomputing
+/// only after DDL.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccessPath {
+    /// Point lookup: the full primary key is pinned by equalities.
+    PkPoint(Vec<SqlValue>),
+    /// Range scan over a non-empty primary-key prefix.
+    PkPrefix(Vec<SqlValue>),
+    /// Probe of a secondary index with a fully pinned key.
+    Secondary {
+        /// Index name (re-resolved by name at execution time).
+        index: String,
+        /// The pinned key.
+        key: Vec<SqlValue>,
+    },
+    /// No usable index: walk the heap.
+    FullScan,
+}
+
 /// A secondary index over a subset of columns.
 #[derive(Clone, Debug)]
 pub struct SecondaryIndex {
@@ -207,24 +228,48 @@ impl Table {
     /// point lookup on a full primary key, range scan on a key prefix
     /// (primary or secondary), or a full scan.
     pub fn candidates(&self, filter: Option<&Expr>) -> Vec<RowId> {
+        self.candidates_via(&self.plan_path(filter))
+    }
+
+    /// Chooses the cheapest access path for a bound predicate. The choice
+    /// depends only on the schema and the index set, so callers may cache
+    /// it across statements and invalidate on DDL.
+    pub fn plan_path(&self, filter: Option<&Expr>) -> AccessPath {
         if let Some(f) = filter {
             let prefix = f.pk_prefix(&self.schema);
             if prefix.len() == self.schema.primary_key.len() {
-                return self.lookup_pk(&prefix).into_iter().collect();
+                return AccessPath::PkPoint(prefix);
             }
             if !prefix.is_empty() {
-                return self.pk_prefix_range(&prefix);
+                return AccessPath::PkPrefix(prefix);
             }
             // Try a secondary index with a fully pinned key prefix.
             if let Some((idx, key)) = self.secondary_match(f) {
-                return idx
-                    .map
-                    .get(&key)
-                    .map(|s| s.iter().copied().collect())
-                    .unwrap_or_default();
+                return AccessPath::Secondary {
+                    index: idx.name.clone(),
+                    key,
+                };
             }
         }
-        self.rows.keys().copied().collect()
+        AccessPath::FullScan
+    }
+
+    /// Executes a previously chosen access path against current data. An
+    /// index that no longer exists degrades to an empty probe — callers
+    /// invalidate cached paths on DDL before that can be observed.
+    pub fn candidates_via(&self, path: &AccessPath) -> Vec<RowId> {
+        match path {
+            AccessPath::PkPoint(key) => self.lookup_pk(key).into_iter().collect(),
+            AccessPath::PkPrefix(prefix) => self.pk_prefix_range(prefix),
+            AccessPath::Secondary { index, key } => self
+                .secondary
+                .iter()
+                .find(|i| &i.name == index)
+                .and_then(|i| i.map.get(key))
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default(),
+            AccessPath::FullScan => self.rows.keys().copied().collect(),
+        }
     }
 
     /// Rows whose primary key starts with `prefix`.
@@ -416,6 +461,32 @@ mod tests {
             )),
         );
         assert_eq!(t.candidates(Some(&f)).len(), 4);
+    }
+
+    #[test]
+    fn plan_path_is_data_independent_but_index_dependent() {
+        let mut t = accounts();
+        for i in 0..4 {
+            t.insert(row(i, "x", 0)).unwrap();
+        }
+        let f = Expr::Cmp(
+            CmpOp::Eq,
+            Box::new(Expr::Col(1)),
+            Box::new(Expr::Lit(SqlValue::from("x"))),
+        );
+        // Without an index on `owner` the path is a full scan…
+        let before = t.plan_path(Some(&f));
+        assert_eq!(before, AccessPath::FullScan);
+        // …and stays valid (same candidates) across DML.
+        t.insert(row(9, "x", 0)).unwrap();
+        assert_eq!(t.candidates_via(&before).len(), 5);
+        // A new index changes the chosen path; the *old* path still
+        // executes (it is the cache's job to refresh it).
+        t.create_index("by_owner", &["owner".into()]).unwrap();
+        let after = t.plan_path(Some(&f));
+        assert!(matches!(after, AccessPath::Secondary { .. }));
+        assert_eq!(t.candidates_via(&after).len(), 5);
+        assert_eq!(t.candidates_via(&before).len(), 5);
     }
 
     #[test]

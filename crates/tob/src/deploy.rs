@@ -38,10 +38,26 @@ pub struct TobOptions {
     pub mode: ExecutionMode,
     /// Batching bound per proposal.
     pub max_batch: usize,
+    /// Pipelining window (concurrent slot proposals per server). `None`
+    /// picks the backend default: 8 for Paxos (whose replicas decide many
+    /// slots concurrently), 1 for TwoThird (the stop-and-wait ablation
+    /// baseline).
+    pub window: Option<usize>,
     /// Start every machine's leader (ballots compete and preempt; needed to
     /// survive the crash of the machine hosting the active leader). When
     /// false, only machine 0's leader runs.
     pub start_all_leaders: bool,
+}
+
+impl TobOptions {
+    /// The window actually deployed: the explicit override, or the
+    /// backend default.
+    pub fn effective_window(&self) -> usize {
+        self.window.unwrap_or(match self.backend {
+            BackendKind::Paxos => 8,
+            BackendKind::TwoThird => 1,
+        })
+    }
 }
 
 impl Default for TobOptions {
@@ -51,6 +67,7 @@ impl Default for TobOptions {
             backend: BackendKind::Paxos,
             mode: ExecutionMode::Compiled,
             max_batch: 64,
+            window: None,
             start_all_leaders: false,
         }
     }
@@ -97,7 +114,8 @@ impl TobDeployment {
                         },
                         subscribers.clone(),
                     )
-                    .with_max_batch(options.max_batch);
+                    .with_max_batch(options.max_batch)
+                    .with_window(options.effective_window());
                     let server = rt.add_node(options.mode.instantiate(&service_class(&tob_config)));
                     debug_assert_eq!(server, server_loc(i));
                     let member = rt.add_node_colocated(
@@ -126,7 +144,8 @@ impl TobDeployment {
                         },
                         subscribers.clone(),
                     )
-                    .with_max_batch(options.max_batch);
+                    .with_max_batch(options.max_batch)
+                    .with_window(options.effective_window());
                     let server = rt.add_node(options.mode.instantiate(&service_class(&tob_config)));
                     debug_assert_eq!(server, server_loc(i));
                     let (replica, leader, acceptor) = paxos_roles(options.mode, &px_config);

@@ -10,11 +10,21 @@
 //! * **Paxos** — the server submits the batch as a command to its
 //!   co-located Synod replica, which owns slot assignment and re-proposal.
 //!
+//! The server keeps up to [`TobConfig::window`] proposals in flight at
+//! once (the paper's Paxos decides many slots concurrently, à la *Paxos
+//! Made Moderately Complex*): while one batch is waiting on its consensus
+//! round, the next batches are already proposed at later slots, so
+//! end-to-end throughput is no longer capped at
+//! `batch_size / round_latency`. Window 1 reproduces the original
+//! stop-and-wait behaviour exactly.
+//!
 //! Decisions arrive as `cs/decide <slot, batch>` notifications; the server
 //! delivers batches in slot order, expanding them into per-message
 //! [`DELIVER_HEADER`] notifications with a gapless
 //! global sequence number — identical at every subscriber, which is the
-//! total-order property checked in `tests/total_order.rs`.
+//! total-order property checked in `tests/total_order.rs`. Delivered slots
+//! are garbage-collected from the decided map; late duplicate decisions
+//! for them are dropped by a frontier check.
 //!
 //! [`DELIVER_HEADER`]: crate::DELIVER_HEADER
 
@@ -50,16 +60,20 @@ pub struct TobConfig {
     pub subscribers: Vec<Loc>,
     /// Maximum number of messages bundled into one proposal.
     pub max_batch: usize,
+    /// Maximum number of proposals concurrently in flight (1 = the
+    /// original stop-and-wait pipeline).
+    pub window: usize,
 }
 
 impl TobConfig {
     /// Creates a configuration with the paper's batching enabled
-    /// (`max_batch` = 64).
+    /// (`max_batch` = 64) and no pipelining (`window` = 1).
     pub fn new(backend: Backend, subscribers: Vec<Loc>) -> TobConfig {
         TobConfig {
             backend,
             subscribers,
             max_batch: 64,
+            window: 1,
         }
     }
 
@@ -67,6 +81,13 @@ impl TobConfig {
     pub fn with_max_batch(mut self, max_batch: usize) -> TobConfig {
         assert!(max_batch >= 1, "a batch holds at least one message");
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Overrides the pipelining window (1 disables pipelining).
+    pub fn with_window(mut self, window: usize) -> TobConfig {
+        assert!(window >= 1, "the window holds at least one proposal");
+        self.window = window;
         self
     }
 }
@@ -80,12 +101,14 @@ struct ServerState {
     seq: i64,
     /// Monotone batch id (unique per server).
     batch_ctr: i64,
-    /// slot -> batch (decided, not yet garbage-collected).
+    /// slot -> batch (decided, garbage-collected once delivered).
     decided: Value,
     /// FIFO of pending entries `<client, <msgid, payload>>`.
     pending: Value,
-    /// `<has, <slot-or-unit, batch>>` — the proposal in flight, if any.
-    outstanding: Option<(Option<i64>, Value)>,
+    /// The proposals in flight, oldest first, as `(slot, batch)` pairs.
+    /// TwoThird entries carry the slot the server claimed; Paxos entries
+    /// carry `None` (the Synod replica owns slot assignment).
+    in_flight: Vec<(Option<i64>, Value)>,
     /// client -> last enqueued msgid.
     last_enq: Value,
     /// client -> last delivered msgid.
@@ -100,32 +123,28 @@ impl ServerState {
             batch_ctr: 0,
             decided: vmap::empty(),
             pending: Value::list(std::iter::empty()),
-            outstanding: None,
+            in_flight: Vec::new(),
             last_enq: vmap::empty(),
             last_del: vmap::empty(),
         }
     }
 
     fn to_value(&self) -> Value {
-        let outstanding = match &self.outstanding {
-            Some((slot, batch)) => Value::pair(
-                Value::Bool(true),
-                Value::pair(
-                    match slot {
-                        Some(s) => Value::Int(*s),
-                        None => Value::Unit,
-                    },
-                    batch.clone(),
-                ),
-            ),
-            None => Value::pair(Value::Bool(false), Value::Unit),
-        };
+        let in_flight = Value::list(self.in_flight.iter().map(|(slot, batch)| {
+            Value::pair(
+                match slot {
+                    Some(s) => Value::Int(*s),
+                    None => Value::Unit,
+                },
+                batch.clone(),
+            )
+        }));
         Value::pair(
             Value::pair(Value::Int(self.deliver_next), Value::Int(self.seq)),
             Value::pair(
                 Value::pair(Value::Int(self.batch_ctr), self.decided.clone()),
                 Value::pair(
-                    Value::pair(self.pending.clone(), outstanding),
+                    Value::pair(self.pending.clone(), in_flight),
                     Value::pair(self.last_enq.clone(), self.last_del.clone()),
                 ),
             ),
@@ -138,22 +157,24 @@ impl ServerState {
         let (b, rest) = rest.unpair();
         let (batch_ctr, decided) = b.unpair();
         let (c, d) = rest.unpair();
-        let (pending, outstanding) = c.unpair();
+        let (pending, in_flight) = c.unpair();
         let (last_enq, last_del) = d.unpair();
-        let (has, oc) = outstanding.unpair();
-        let outstanding = if has.as_bool().expect("bool") {
-            let (slot, batch) = oc.unpair();
-            Some((slot.as_int(), batch.clone()))
-        } else {
-            None
-        };
+        let in_flight = in_flight
+            .as_list()
+            .expect("in-flight list")
+            .iter()
+            .map(|e| {
+                let (slot, batch) = e.unpair();
+                (slot.as_int(), batch.clone())
+            })
+            .collect();
         ServerState {
             deliver_next: deliver_next.int(),
             seq: seq.int(),
             batch_ctr: batch_ctr.int(),
             decided: decided.clone(),
             pending: pending.clone(),
-            outstanding,
+            in_flight,
             last_enq: last_enq.clone(),
             last_del: last_del.clone(),
         }
@@ -220,19 +241,27 @@ fn transition(
         }
         DECIDE_HEADER => {
             let (slot, batch) = body.unpair();
-            if !vmap::contains(&st.decided, slot) {
+            // Slots below the delivery frontier have been delivered and
+            // garbage-collected; a late duplicate decision for one is a
+            // no-op.
+            if slot.int() >= st.deliver_next && !vmap::contains(&st.decided, slot) {
                 st.decided = vmap::set(&st.decided, slot.clone(), batch.clone());
-                // Resolve our in-flight proposal.
-                if let Some((our_slot, our_batch)) = st.outstanding.clone() {
-                    if *batch == our_batch {
-                        st.outstanding = None;
-                    } else if our_slot == slot.as_int() && our_slot.is_some() {
-                        // Slot race lost (TwoThird): re-queue our batch.
-                        let mut pending: Vec<Value> = batch_entries(&our_batch).to_vec();
-                        pending.extend(st.pending.elems().iter().cloned());
-                        st.pending = Value::list(pending);
-                        st.outstanding = None;
-                    }
+                // Resolve whichever in-flight proposal this decision
+                // settles: our batch winning (at any slot) retires its
+                // entry; a TwoThird slot race lost to a foreign batch
+                // re-queues ours at the head of the pending queue, to be
+                // re-proposed at the next free slot.
+                if let Some(i) = st.in_flight.iter().position(|(_, b)| b == batch) {
+                    st.in_flight.remove(i);
+                } else if let Some(i) = st
+                    .in_flight
+                    .iter()
+                    .position(|(s, _)| s.is_some() && *s == slot.as_int())
+                {
+                    let (_, our_batch) = st.in_flight.remove(i);
+                    let mut pending: Vec<Value> = batch_entries(&our_batch).to_vec();
+                    pending.extend(st.pending.elems().iter().cloned());
+                    st.pending = Value::list(pending);
                 }
                 deliver_ready(config, &mut st, &mut outs);
             }
@@ -243,7 +272,9 @@ fn transition(
     (st.to_value(), outs)
 }
 
-/// Delivers decided batches in slot order.
+/// Delivers decided batches in slot order, garbage-collecting each slot
+/// as it is delivered (the frontier check in the DECIDE arm keeps late
+/// duplicates from resurrecting a collected slot).
 fn deliver_ready(config: &TobConfig, st: &mut ServerState, outs: &mut Vec<SendInstr>) {
     while let Some(batch) = vmap::get(&st.decided, &Value::Int(st.deliver_next)).cloned() {
         for entry in batch_entries(&batch) {
@@ -267,35 +298,45 @@ fn deliver_ready(config: &TobConfig, st: &mut ServerState, outs: &mut Vec<SendIn
             }
             st.seq += 1;
         }
+        st.decided = vmap::remove(&st.decided, &Value::Int(st.deliver_next));
         st.deliver_next += 1;
     }
 }
 
-/// Proposes the next batch if none is in flight and messages are pending.
+/// Proposes pending batches until the pipelining window is full or the
+/// pending queue is drained.
 fn try_propose(config: &TobConfig, slf: Loc, st: &mut ServerState, outs: &mut Vec<SendInstr>) {
-    if st.outstanding.is_some() || st.pending.elems().is_empty() {
-        return;
-    }
-    let pending = st.pending.elems();
-    let take = pending.len().min(config.max_batch);
-    let (now, later) = pending.split_at(take);
-    let batch = batch_value(slf, st.batch_ctr, now);
-    st.batch_ctr += 1;
-    st.pending = Value::list(later.to_vec());
-    match config.backend {
-        Backend::TwoThird { member } => {
-            // Choose the lowest undecided slot at or after the delivery
-            // frontier; collisions are resolved by consensus and re-queuing.
-            let mut slot = st.deliver_next;
-            while vmap::contains(&st.decided, &Value::Int(slot)) {
-                slot += 1;
+    while st.in_flight.len() < config.window && !st.pending.elems().is_empty() {
+        let take = st.pending.elems().len().min(config.max_batch);
+        let (batch, rest) = {
+            let pending = st.pending.elems();
+            let (now, later) = pending.split_at(take);
+            (
+                batch_value(slf, st.batch_ctr, now),
+                Value::list(later.to_vec()),
+            )
+        };
+        st.batch_ctr += 1;
+        st.pending = rest;
+        match config.backend {
+            Backend::TwoThird { member } => {
+                // Choose the lowest slot at or after the delivery frontier
+                // that is neither decided nor claimed by an earlier
+                // in-flight proposal of ours; collisions with other servers
+                // are resolved by consensus and re-queuing.
+                let mut slot = st.deliver_next;
+                while vmap::contains(&st.decided, &Value::Int(slot))
+                    || st.in_flight.iter().any(|(s, _)| *s == Some(slot))
+                {
+                    slot += 1;
+                }
+                st.in_flight.push((Some(slot), batch.clone()));
+                outs.push(SendInstr::now(member, twothird::propose_msg(slot, batch)));
             }
-            st.outstanding = Some((Some(slot), batch.clone()));
-            outs.push(SendInstr::now(member, twothird::propose_msg(slot, batch)));
-        }
-        Backend::Paxos { replica } => {
-            st.outstanding = Some((None, batch.clone()));
-            outs.push(SendInstr::now(replica, synod::request_msg(batch)));
+            Backend::Paxos { replica } => {
+                st.in_flight.push((None, batch.clone()));
+                outs.push(SendInstr::now(replica, synod::request_msg(batch)));
+            }
         }
     }
 }
@@ -308,13 +349,18 @@ mod tests {
     use shadowdb_eventml::{Ctx, InterpretedProcess, Process};
 
     fn server(max_batch: usize) -> (InterpretedProcess, TobConfig) {
+        server_windowed(max_batch, 1)
+    }
+
+    fn server_windowed(max_batch: usize, window: usize) -> (InterpretedProcess, TobConfig) {
         let config = TobConfig::new(
             Backend::TwoThird {
                 member: Loc::new(50),
             },
             vec![Loc::new(60), Loc::new(61)],
         )
-        .with_max_batch(max_batch);
+        .with_max_batch(max_batch)
+        .with_window(window);
         (InterpretedProcess::compile(&service_class(&config)), config)
     }
 
@@ -417,6 +463,139 @@ mod tests {
         let payloads: Vec<_> = batch_entries(batch).to_vec();
         assert_eq!(payloads.len(), 1);
         assert_eq!(payloads[0].fst().unwrap().loc(), Loc::new(9));
+    }
+
+    #[test]
+    fn window_keeps_multiple_proposals_in_flight() {
+        let (mut p, _) = server_windowed(1, 3);
+        let slf = Loc::new(0);
+        // Three broadcasts from distinct clients, batch bound 1: each goes
+        // out immediately at its own slot.
+        let mut slots = Vec::new();
+        for c in 0..3u32 {
+            let outs = p.step(
+                &Ctx::at(slf),
+                &broadcast_msg(Loc::new(9 + c), 0, Value::str("m")),
+            );
+            assert_eq!(outs.len(), 1, "broadcast {c} proposes immediately");
+            assert_eq!(outs[0].msg.header.name(), twothird::PROPOSE_HEADER);
+            slots.push(outs[0].msg.body.fst().unwrap().int());
+        }
+        assert_eq!(
+            slots,
+            vec![0, 1, 2],
+            "concurrent proposals claim distinct slots"
+        );
+        // A fourth broadcast: the window is full, so it queues.
+        let outs = p.step(
+            &Ctx::at(slf),
+            &broadcast_msg(Loc::new(20), 0, Value::str("m")),
+        );
+        assert!(outs.is_empty(), "window full: no fourth proposal");
+        // Deciding slot 0 with our batch frees a window seat: the queued
+        // message is proposed at slot 3 (1 and 2 are still claimed).
+        let won = batch_value(
+            slf,
+            0,
+            &[Value::pair(
+                Value::Loc(Loc::new(9)),
+                Value::pair(Value::Int(0), Value::str("m")),
+            )],
+        );
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(0, &won)),
+        );
+        let proposals: Vec<_> = outs
+            .iter()
+            .filter(|o| o.msg.header == cached_header!(twothird::PROPOSE_HEADER))
+            .collect();
+        assert_eq!(proposals.len(), 1);
+        assert_eq!(proposals[0].msg.body.fst().unwrap().int(), 3);
+    }
+
+    #[test]
+    fn lost_race_under_window_requeues_past_claimed_slots() {
+        let (mut p, _) = server_windowed(1, 2);
+        let slf = Loc::new(0);
+        // Two proposals in flight at slots 0 and 1.
+        p.step(
+            &Ctx::at(slf),
+            &broadcast_msg(Loc::new(9), 0, Value::str("a")),
+        );
+        p.step(
+            &Ctx::at(slf),
+            &broadcast_msg(Loc::new(10), 0, Value::str("b")),
+        );
+        // Slot 0 decides with a foreign batch: our slot-0 batch re-queues
+        // and re-proposes at slot 2, skipping slot 1 (still ours).
+        let other = batch_value(
+            Loc::new(1),
+            7,
+            &[Value::pair(
+                Value::Loc(Loc::new(8)),
+                Value::pair(Value::Int(0), Value::Unit),
+            )],
+        );
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(0, &other)),
+        );
+        let proposals: Vec<_> = outs
+            .iter()
+            .filter(|o| o.msg.header == cached_header!(twothird::PROPOSE_HEADER))
+            .collect();
+        assert_eq!(proposals.len(), 1);
+        let (slot, batch) = proposals[0].msg.body.unpair();
+        assert_eq!(slot.int(), 2, "re-proposal skips our own claimed slot 1");
+        assert_eq!(batch_entries(batch)[0].fst().unwrap().loc(), Loc::new(9));
+    }
+
+    #[test]
+    fn late_duplicate_decide_for_collected_slot_is_ignored() {
+        let (mut p, _) = server(64);
+        let slf = Loc::new(0);
+        let entry = Value::pair(
+            Value::Loc(Loc::new(9)),
+            Value::pair(Value::Int(0), Value::Unit),
+        );
+        let b0 = batch_value(Loc::new(2), 0, std::slice::from_ref(&entry));
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(0, &b0)),
+        );
+        assert_eq!(outs.len(), 2, "delivered to both subscribers");
+        // Slot 0 has been delivered and garbage-collected; a duplicate
+        // decision for it — even with a different batch — must not deliver
+        // anything or disturb the frontier.
+        let forged = batch_value(
+            Loc::new(3),
+            9,
+            &[Value::pair(
+                Value::Loc(Loc::new(11)),
+                Value::pair(Value::Int(0), Value::Unit),
+            )],
+        );
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(0, &forged)),
+        );
+        assert!(outs.is_empty(), "late duplicate decide is a no-op");
+        // The frontier advanced: slot 1 delivers next with seq 1.
+        let b1 = batch_value(
+            Loc::new(2),
+            1,
+            &[Value::pair(
+                Value::Loc(Loc::new(9)),
+                Value::pair(Value::Int(1), Value::Unit),
+            )],
+        );
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(1, &b1)),
+        );
+        let d = parse_deliver(&outs[0].msg).expect("delivery");
+        assert_eq!(d.seq, 1);
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn crash_one_machine(victim_machine: u32, seed: u64) {
             backend: BackendKind::Paxos,
             mode: ExecutionMode::Compiled,
             max_batch: 16,
+            window: None,
             start_all_leaders: true,
         },
         subscribers,

@@ -3,21 +3,65 @@
 //! The *shipping* deployment builder — the same `TobDeployment::build` that
 //! assembles the service under the simulator and on real threads — builds a
 //! minimal instance directly into the model checker: two machines backed by
-//! TwoThird consensus, carrying two concurrent client messages. The checker
+//! TwoThird consensus, carrying concurrent client messages. The checker
 //! explores *every* delivery interleaving and asserts the total order
 //! property in each reachable state: the two subscribers never observe
 //! different messages at the same sequence number, and no message is
 //! delivered twice at one subscriber.
+//!
+//! Two configurations run: the stop-and-wait window-1 pipeline, and a
+//! window-2 pipelined server holding two slot proposals in flight at once
+//! (the slot-race/re-queue path under pipelining).
 
 use shadowdb_eventml::Value;
 use shadowdb_loe::Loc;
 use shadowdb_loe::VTime;
-use shadowdb_mck::{Options, WorldBuilder};
+use shadowdb_mck::{Options, World, WorldBuilder};
 use shadowdb_runtime::Runtime;
 use shadowdb_tob::deploy::{BackendKind, TobDeployment, TobOptions};
 use shadowdb_tob::mode::ExecutionMode;
 use shadowdb_tob::{broadcast_msg, parse_deliver};
 use std::collections::BTreeMap;
+
+/// Per-subscriber: sequence numbers unique; across subscribers: same
+/// seq ⇒ same message; integrity: a message id appears at most once per
+/// subscriber.
+fn total_order_invariant(w: &World, subs: &[Loc]) -> Result<(), String> {
+    let mut by_seq: BTreeMap<(Loc, i64), (Loc, i64)> = BTreeMap::new();
+    let mut global: BTreeMap<i64, (Loc, i64)> = BTreeMap::new();
+    for (sub, _, msg) in &w.observations {
+        let Some(d) = parse_deliver(msg) else {
+            continue;
+        };
+        let ident = (d.client, d.msgid);
+        if let Some(prev) = by_seq.insert((*sub, d.seq), ident) {
+            if prev != ident {
+                return Err(format!(
+                    "subscriber {sub} saw two messages at seq {}",
+                    d.seq
+                ));
+            }
+        }
+        if let Some(prev) = global.get(&d.seq) {
+            if *prev != ident {
+                return Err(format!(
+                    "subscribers disagree at seq {}: {prev:?} vs {ident:?}",
+                    d.seq
+                ));
+            }
+        }
+        global.insert(d.seq, ident);
+    }
+    for sub in subs {
+        let mut seen = std::collections::BTreeSet::new();
+        for ((s, _), ident) in &by_seq {
+            if s == sub && !seen.insert(*ident) {
+                return Err(format!("{sub} delivered {ident:?} twice"));
+            }
+        }
+    }
+    Ok(())
+}
 
 #[test]
 fn tob_total_order_checked_exhaustively() {
@@ -30,6 +74,7 @@ fn tob_total_order_checked_exhaustively() {
         backend: BackendKind::TwoThird,
         mode: ExecutionMode::Interpreted,
         max_batch: 4,
+        window: None,
         start_all_leaders: false,
     };
     let deployment = TobDeployment::build(&mut world, &options, vec![sub_a, sub_b]);
@@ -56,45 +101,66 @@ fn tob_total_order_checked_exhaustively() {
             max_states: 30_000,
             ..Options::default()
         },
-        |w| {
-            // Per-subscriber: sequence numbers unique; across subscribers:
-            // same seq ⇒ same message.
-            let mut by_seq: BTreeMap<(Loc, i64), (Loc, i64)> = BTreeMap::new();
-            let mut global: BTreeMap<i64, (Loc, i64)> = BTreeMap::new();
-            for (sub, _, msg) in &w.observations {
-                let Some(d) = parse_deliver(msg) else {
-                    continue;
-                };
-                let ident = (d.client, d.msgid);
-                if let Some(prev) = by_seq.insert((*sub, d.seq), ident) {
-                    if prev != ident {
-                        return Err(format!(
-                            "subscriber {sub} saw two messages at seq {}",
-                            d.seq
-                        ));
-                    }
-                }
-                if let Some(prev) = global.get(&d.seq) {
-                    if *prev != ident {
-                        return Err(format!(
-                            "subscribers disagree at seq {}: {prev:?} vs {ident:?}",
-                            d.seq
-                        ));
-                    }
-                }
-                global.insert(d.seq, ident);
-            }
-            // Integrity: a message id appears at most once per subscriber.
-            for sub in [sub_a, sub_b] {
-                let mut seen = std::collections::BTreeSet::new();
-                for ((s, _), ident) in &by_seq {
-                    if *s == sub && !seen.insert(*ident) {
-                        return Err(format!("{sub} delivered {ident:?} twice"));
-                    }
-                }
-            }
-            Ok(())
+        |w| total_order_invariant(w, &[sub_a, sub_b]),
+    );
+    assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
+    assert!(
+        outcome.states_visited > 1_000,
+        "the interleaving space should be non-trivial: {}",
+        outcome.states_visited
+    );
+    eprintln!(
+        "explored {} states (truncated: {})",
+        outcome.states_visited, outcome.truncated
+    );
+}
+
+#[test]
+fn tob_total_order_checked_exhaustively_window2() {
+    let mut world = WorldBuilder::new();
+    let (sub_a, _rx_a) = world.port();
+    let (sub_b, _rx_b) = world.port();
+    // Window 2 with a batch bound of 1: a server with two pending
+    // messages holds two slot proposals in flight concurrently, so the
+    // exploration covers slot races *between* a server's own pipelined
+    // proposals and a competing server.
+    let options = TobOptions {
+        machines: 2,
+        backend: BackendKind::TwoThird,
+        mode: ExecutionMode::Interpreted,
+        max_batch: 1,
+        window: Some(2),
+        start_all_leaders: false,
+    };
+    let deployment = TobDeployment::build(&mut world, &options, vec![sub_a, sub_b]);
+    assert_eq!(deployment.servers, vec![Loc::new(2), Loc::new(4)]);
+
+    // Three distinct clients (each closed-loop, one message outstanding):
+    // two land on server 0 — filling its window — and one races from
+    // server 1.
+    world.send_at(
+        VTime::ZERO,
+        deployment.servers[0],
+        broadcast_msg(Loc::new(200), 0, Value::str("a")),
+    );
+    world.send_at(
+        VTime::ZERO,
+        deployment.servers[0],
+        broadcast_msg(Loc::new(201), 0, Value::str("b")),
+    );
+    world.send_at(
+        VTime::ZERO,
+        deployment.servers[1],
+        broadcast_msg(Loc::new(202), 0, Value::str("c")),
+    );
+
+    let outcome = world.explore(
+        Options {
+            max_depth: 22,
+            max_states: 30_000,
+            ..Options::default()
         },
+        |w| total_order_invariant(w, &[sub_a, sub_b]),
     );
     assert!(outcome.violation.is_none(), "{:?}", outcome.violation);
     assert!(

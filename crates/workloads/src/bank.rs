@@ -8,7 +8,7 @@
 use crate::txn::{TxnOutcome, TxnRequest};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use shadowdb_sqldb::{Database, SqlError, SqlValue};
+use shadowdb_sqldb::{Database, SqlError, SqlValue, Transaction};
 
 /// The paper's row count.
 pub const DEFAULT_ROWS: usize = 50_000;
@@ -66,26 +66,43 @@ pub fn load_sized(db: &Database, rows: usize, row_bytes: usize) -> Result<(), Sq
 /// The deposit stored procedure.
 pub fn deposit(db: &Database, account: i64, amount: i64) -> Result<TxnOutcome, SqlError> {
     let mut txn = db.begin()?;
+    let out = deposit_in(&mut txn, account, amount)?;
+    txn.commit()?;
+    Ok(out)
+}
+
+/// The deposit body, for an already-open transaction (group apply).
+/// The reported cost is the virtual time this procedure added to `txn`.
+pub fn deposit_in(
+    txn: &mut Transaction,
+    account: i64,
+    amount: i64,
+) -> Result<TxnOutcome, SqlError> {
+    let start = txn.virtual_cost();
     let rs = txn.execute(&format!(
         "UPDATE accounts SET balance = balance + {amount} WHERE id = {account}"
     ))?;
-    let cost = txn.virtual_cost();
-    txn.commit()?;
     Ok(TxnOutcome {
         committed: true,
         result: vec![SqlValue::Int(rs.affected as i64)],
-        cost,
+        cost: txn.virtual_cost() - start,
     })
 }
 
 /// The read stored procedure.
 pub fn read_balance(db: &Database, account: i64) -> Result<TxnOutcome, SqlError> {
     let mut txn = db.begin()?;
+    let out = read_balance_in(&mut txn, account)?;
+    txn.commit()?;
+    Ok(out)
+}
+
+/// The read body, for an already-open transaction (group apply).
+pub fn read_balance_in(txn: &mut Transaction, account: i64) -> Result<TxnOutcome, SqlError> {
+    let start = txn.virtual_cost();
     let rs = txn.query(&format!(
         "SELECT balance FROM accounts WHERE id = {account}"
     ))?;
-    let cost = txn.virtual_cost();
-    txn.commit()?;
     let balance = rs
         .rows
         .first()
@@ -94,7 +111,7 @@ pub fn read_balance(db: &Database, account: i64) -> Result<TxnOutcome, SqlError>
     Ok(TxnOutcome {
         committed: true,
         result: vec![balance],
-        cost,
+        cost: txn.virtual_cost() - start,
     })
 }
 

@@ -20,4 +20,4 @@ pub mod bank;
 pub mod tpcc;
 pub mod txn;
 
-pub use txn::{TxnOutcome, TxnRequest};
+pub use txn::{apply_group, TxnOutcome, TxnRequest};

@@ -15,7 +15,7 @@ use crate::txn::TxnOutcome;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use shadowdb_eventml::Value;
-use shadowdb_sqldb::{Database, SqlError, SqlValue};
+use shadowdb_sqldb::{Database, SqlError, SqlValue, Transaction};
 
 /// Sizing of a TPC-C database.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -276,31 +276,46 @@ pub enum TpccTxn {
 }
 
 impl TpccTxn {
-    /// Executes the transaction.
+    /// Executes the transaction in its own engine transaction.
     ///
     /// # Errors
     ///
     /// Infrastructure failures only; spec-mandated rollbacks return
     /// `committed: false`.
     pub fn apply(&self, db: &Database) -> Result<TxnOutcome, SqlError> {
+        let mut txn = db.begin()?;
+        let out = self.apply_in(&mut txn)?;
+        txn.commit()?;
+        Ok(out)
+    }
+
+    /// Executes the transaction body inside an already-open transaction
+    /// (group apply). The spec's NewOrder rollback is scoped to a
+    /// savepoint, so work from earlier transactions in the group survives.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures only; spec-mandated rollbacks return
+    /// `committed: false`.
+    pub fn apply_in(&self, txn: &mut Transaction) -> Result<TxnOutcome, SqlError> {
         match self {
             TpccTxn::NewOrder {
                 district,
                 customer,
                 lines,
-            } => new_order(db, *district, *customer, lines),
+            } => new_order(txn, *district, *customer, lines),
             TpccTxn::Payment {
                 district,
                 customer,
                 amount,
                 history_id,
-            } => payment(db, *district, *customer, *amount, *history_id),
-            TpccTxn::OrderStatus { district, customer } => order_status(db, *district, *customer),
-            TpccTxn::Delivery { carrier } => delivery(db, *carrier),
+            } => payment(txn, *district, *customer, *amount, *history_id),
+            TpccTxn::OrderStatus { district, customer } => order_status(txn, *district, *customer),
+            TpccTxn::Delivery { carrier } => delivery(txn, *carrier),
             TpccTxn::StockLevel {
                 district,
                 threshold,
-            } => stock_level(db, *district, *threshold),
+            } => stock_level(txn, *district, *threshold),
         }
     }
 
@@ -417,8 +432,14 @@ fn one_real(rs: &shadowdb_sqldb::ResultSet) -> Option<f64> {
         .and_then(SqlValue::as_real)
 }
 
-fn new_order(db: &Database, d: i64, c: i64, lines: &[OrderLine]) -> Result<TxnOutcome, SqlError> {
-    let mut txn = db.begin()?;
+fn new_order(
+    txn: &mut Transaction,
+    d: i64,
+    c: i64,
+    lines: &[OrderLine],
+) -> Result<TxnOutcome, SqlError> {
+    let start = txn.virtual_cost();
+    let sp = txn.savepoint();
     let w_tax = one_real(&txn.query(&format!("SELECT w_tax FROM warehouse WHERE w_id = {W}"))?)
         .unwrap_or(0.0);
     let rs = txn.query(&format!(
@@ -443,7 +464,10 @@ fn new_order(db: &Database, d: i64, c: i64, lines: &[OrderLine]) -> Result<TxnOu
         ))?);
         let Some(price) = price else {
             // Spec: 1% of NewOrders carry an unused item id and roll back.
-            txn.rollback()?;
+            // Rolling back to the entry savepoint (rather than aborting the
+            // whole engine transaction) keeps any earlier work in a group
+            // apply intact.
+            txn.rollback_to(sp)?;
             return Ok(TxnOutcome {
                 committed: false,
                 result: vec![SqlValue::Text("item not found".into())],
@@ -476,23 +500,21 @@ fn new_order(db: &Database, d: i64, c: i64, lines: &[OrderLine]) -> Result<TxnOu
         ))?;
     }
     total *= (1.0 + w_tax + d_tax) * 0.98; // spec's discount/tax roll-up
-    let cost = txn.virtual_cost();
-    txn.commit()?;
     Ok(TxnOutcome {
         committed: true,
         result: vec![SqlValue::Int(o_id), SqlValue::Real(total)],
-        cost,
+        cost: txn.virtual_cost() - start,
     })
 }
 
 fn payment(
-    db: &Database,
+    txn: &mut Transaction,
     d: i64,
     c: i64,
     amount: f64,
     history_id: i64,
 ) -> Result<TxnOutcome, SqlError> {
-    let mut txn = db.begin()?;
+    let start = txn.virtual_cost();
     txn.execute(&format!(
         "UPDATE warehouse SET w_ytd = w_ytd + {amount} WHERE w_id = {W}"
     ))?;
@@ -511,17 +533,15 @@ fn payment(
         "SELECT c_balance FROM customer WHERE c_w_id = {W} AND c_d_id = {d} AND c_id = {c}"
     ))?)
     .unwrap_or(0.0);
-    let cost = txn.virtual_cost();
-    txn.commit()?;
     Ok(TxnOutcome {
         committed: true,
         result: vec![SqlValue::Real(balance)],
-        cost,
+        cost: txn.virtual_cost() - start,
     })
 }
 
-fn order_status(db: &Database, d: i64, c: i64) -> Result<TxnOutcome, SqlError> {
-    let mut txn = db.begin()?;
+fn order_status(txn: &mut Transaction, d: i64, c: i64) -> Result<TxnOutcome, SqlError> {
+    let start = txn.virtual_cost();
     let bal = one_real(&txn.query(&format!(
         "SELECT c_balance FROM customer WHERE c_w_id = {W} AND c_d_id = {d} AND c_id = {c}"
     ))?)
@@ -540,17 +560,15 @@ fn order_status(db: &Database, d: i64, c: i64) -> Result<TxnOutcome, SqlError> {
         ))?;
         result.push(SqlValue::Int(lines.rows.len() as i64));
     }
-    let cost = txn.virtual_cost();
-    txn.commit()?;
     Ok(TxnOutcome {
         committed: true,
         result,
-        cost,
+        cost: txn.virtual_cost() - start,
     })
 }
 
-fn delivery(db: &Database, carrier: i64) -> Result<TxnOutcome, SqlError> {
-    let mut txn = db.begin()?;
+fn delivery(txn: &mut Transaction, carrier: i64) -> Result<TxnOutcome, SqlError> {
+    let start = txn.virtual_cost();
     let districts =
         one_int(&txn.query("SELECT COUNT(*) FROM district WHERE d_w_id = 1")?).unwrap_or(0);
     let mut delivered = 0;
@@ -586,17 +604,15 @@ fn delivery(db: &Database, carrier: i64) -> Result<TxnOutcome, SqlError> {
         ))?;
         delivered += 1;
     }
-    let cost = txn.virtual_cost();
-    txn.commit()?;
     Ok(TxnOutcome {
         committed: true,
         result: vec![SqlValue::Int(delivered)],
-        cost,
+        cost: txn.virtual_cost() - start,
     })
 }
 
-fn stock_level(db: &Database, d: i64, threshold: i64) -> Result<TxnOutcome, SqlError> {
-    let mut txn = db.begin()?;
+fn stock_level(txn: &mut Transaction, d: i64, threshold: i64) -> Result<TxnOutcome, SqlError> {
+    let start = txn.virtual_cost();
     let next = one_int(&txn.query(&format!(
         "SELECT d_next_o_id FROM district WHERE d_w_id = {W} AND d_id = {d}"
     ))?)
@@ -620,12 +636,10 @@ fn stock_level(db: &Database, d: i64, threshold: i64) -> Result<TxnOutcome, SqlE
             low += 1;
         }
     }
-    let cost = txn.virtual_cost();
-    txn.commit()?;
     Ok(TxnOutcome {
         committed: true,
         result: vec![SqlValue::Int(low)],
-        cost,
+        cost: txn.virtual_cost() - start,
     })
 }
 

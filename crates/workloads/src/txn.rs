@@ -2,7 +2,7 @@
 
 use crate::{bank, tpcc};
 use shadowdb_eventml::Value;
-use shadowdb_sqldb::{Database, SqlError, SqlValue};
+use shadowdb_sqldb::{Database, SqlError, SqlValue, Transaction};
 use std::time::Duration;
 
 /// A transaction submitted by a client: type plus parameters.
@@ -52,12 +52,28 @@ impl TxnRequest {
     /// `Ok(TxnOutcome { committed: false, .. })`, since all replicas take
     /// them identically.
     pub fn apply(&self, db: &Database) -> Result<TxnOutcome, SqlError> {
+        let mut txn = db.begin()?;
+        let out = self.apply_in(&mut txn)?;
+        txn.commit()?;
+        Ok(out)
+    }
+
+    /// Executes this request inside an already-open transaction: the
+    /// building block of [`apply_group`]. Semantic aborts roll back to a
+    /// savepoint taken on entry, so earlier work in `txn` survives. The
+    /// reported cost is the virtual time this request added to `txn`.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors are returned; the transaction must then be
+    /// considered dead (the engine rolls back on lock timeouts).
+    pub fn apply_in(&self, txn: &mut Transaction) -> Result<TxnOutcome, SqlError> {
         match self {
-            TxnRequest::BankDeposit { account, amount } => bank::deposit(db, *account, *amount),
-            TxnRequest::BankRead { account } => bank::read_balance(db, *account),
-            TxnRequest::Tpcc(t) => t.apply(db),
+            TxnRequest::BankDeposit { account, amount } => bank::deposit_in(txn, *account, *amount),
+            TxnRequest::BankRead { account } => bank::read_balance_in(txn, *account),
+            TxnRequest::Tpcc(t) => t.apply_in(txn),
             TxnRequest::Sql(stmts) => {
-                let mut txn = db.begin()?;
+                let start = txn.virtual_cost();
                 let mut result = Vec::new();
                 for s in stmts {
                     let rs = txn.execute(s)?;
@@ -66,12 +82,10 @@ impl TxnRequest {
                         result.extend(first.iter().cloned());
                     }
                 }
-                let cost = txn.virtual_cost();
-                txn.commit()?;
                 Ok(TxnOutcome {
                     committed: true,
                     result,
-                    cost,
+                    cost: txn.virtual_cost() - start,
                 })
             }
         }
@@ -120,6 +134,44 @@ impl TxnRequest {
     }
 }
 
+/// Applies a run of transactions under ONE engine transaction: one commit
+/// (and one lock-table pass) for the whole group instead of one per
+/// request. Outcomes are reported per request, in delivery order, and are
+/// identical to unbatched execution: replica execution is sequential, so
+/// folding N deterministic transactions into one engine transaction
+/// cannot change what any of them reads.
+///
+/// If the shared transaction dies on an infrastructure error, the group's
+/// partial work is rolled back and every request is re-applied in its own
+/// transaction, preserving exact unbatched semantics (including which
+/// request fails).
+pub fn apply_group(db: &Database, reqs: &[&TxnRequest]) -> Vec<Result<TxnOutcome, SqlError>> {
+    if reqs.len() > 1 {
+        if let Some(outs) = try_apply_group(db, reqs) {
+            return outs;
+        }
+    }
+    reqs.iter().map(|r| r.apply(db)).collect()
+}
+
+fn try_apply_group(
+    db: &Database,
+    reqs: &[&TxnRequest],
+) -> Option<Vec<Result<TxnOutcome, SqlError>>> {
+    let mut txn = db.begin().ok()?;
+    let mut outs = Vec::with_capacity(reqs.len());
+    for r in reqs {
+        match r.apply_in(&mut txn) {
+            Ok(out) => outs.push(Ok(out)),
+            // Dropping the dead transaction rolls the whole group back;
+            // the caller re-runs every request unbatched.
+            Err(_) => return None,
+        }
+    }
+    txn.commit().ok()?;
+    Some(outs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,5 +198,80 @@ mod tests {
             TxnRequest::from_value(&Value::pair(Value::str("nope"), Value::Unit)),
             None
         );
+    }
+
+    use crate::tpcc::{self, OrderLine, TpccScale, TpccTxn};
+    use shadowdb_sqldb::EngineProfile;
+
+    fn mixed_batch() -> Vec<TxnRequest> {
+        let mut g = tpcc::TpccGen::new(17, TpccScale::small(), 1);
+        let mut reqs: Vec<TxnRequest> = (0..40).map(|_| TxnRequest::Tpcc(g.next_txn())).collect();
+        // Force a semantic abort mid-group: an invalid item id.
+        reqs.insert(
+            13,
+            TxnRequest::Tpcc(TpccTxn::NewOrder {
+                district: 1,
+                customer: 1,
+                lines: vec![OrderLine { item: 5, qty: 1 }, OrderLine { item: 0, qty: 1 }],
+            }),
+        );
+        reqs
+    }
+
+    #[test]
+    fn group_apply_matches_individual_apply() {
+        let mk = || {
+            let db = Database::new(EngineProfile::h2());
+            tpcc::load(&db, &TpccScale::small(), 4).unwrap();
+            db
+        };
+        let reqs = mixed_batch();
+        let solo_db = mk();
+        let solo: Vec<TxnOutcome> = reqs.iter().map(|r| r.apply(&solo_db).unwrap()).collect();
+
+        let group_db = mk();
+        let refs: Vec<&TxnRequest> = reqs.iter().collect();
+        let grouped: Vec<TxnOutcome> = apply_group(&group_db, &refs)
+            .into_iter()
+            .map(Result::unwrap)
+            .collect();
+
+        // Per-transaction answers (including the mid-group abort) and the
+        // final database state are identical either way.
+        assert_eq!(solo.len(), grouped.len());
+        for (s, g) in solo.iter().zip(&grouped) {
+            assert_eq!(s.committed, g.committed);
+            assert_eq!(s.result, g.result);
+        }
+        assert!(grouped.iter().any(|o| !o.committed), "abort exercised");
+        for table in ["district", "orders", "order_line", "new_order", "stock"] {
+            assert_eq!(
+                solo_db.table_len(table),
+                group_db.table_len(table),
+                "{table}"
+            );
+        }
+        tpcc::check_consistency(&group_db).unwrap();
+    }
+
+    #[test]
+    fn group_apply_costs_sum_like_individual_costs() {
+        let db = Database::new(EngineProfile::h2());
+        tpcc::load(&db, &TpccScale::small(), 4).unwrap();
+        let reqs = [
+            TxnRequest::Sql(vec!["SELECT COUNT(*) FROM item".into()]),
+            TxnRequest::Tpcc(TpccTxn::Payment {
+                district: 1,
+                customer: 2,
+                amount: 10.0,
+                history_id: 900,
+            }),
+        ];
+        let refs: Vec<&TxnRequest> = reqs.iter().collect();
+        let outs = apply_group(&db, &refs);
+        for out in outs {
+            let out = out.unwrap();
+            assert!(out.cost.as_micros() > 0, "per-request cost attributed");
+        }
     }
 }
