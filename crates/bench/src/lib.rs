@@ -14,6 +14,7 @@
 pub mod baselines;
 pub mod cost;
 pub mod measure;
+pub mod netload;
 pub mod output;
 
 /// Returns true when `--full` was passed (paper-scale runs).

@@ -103,7 +103,9 @@ fn livenet_smr_lossy_clients_soak() {
 
 #[test]
 fn tcpnet_pbr_crash_soak() {
-    let mut net = TcpNet::new();
+    // Seed the net so reconnect-backoff jitter after the crash is the
+    // same schedule every run.
+    let mut net = TcpNet::builder().seeded(23).spawn();
     // Local TCP round trips are sub-millisecond, so the workload would
     // outrun a crash scheduled from a 3 s window; a 20 ms window puts the
     // primary's crash (at 0.15–0.40 × duration, so 3–8 ms after the
@@ -124,7 +126,7 @@ fn tcpnet_pbr_crash_soak() {
 
 #[test]
 fn tcpnet_smr_partition_soak() {
-    let mut net = TcpNet::new();
+    let mut net = TcpNet::builder().seeded(24).spawn();
     let report = soak_smr(&mut net, &live_opts(24, NemesisProfile::PartitionVictim));
     assert_eq!(report.committed, 50);
     net.shutdown();
@@ -168,7 +170,7 @@ fn livenet_windowed_smr_soak() {
 
 #[test]
 fn tcpnet_windowed_smr_soak() {
-    let mut net = TcpNet::new();
+    let mut net = TcpNet::builder().seeded(26).spawn();
     let opts = live_opts(26, NemesisProfile::PartitionVictim).with_window(8);
     let report = soak_smr(&mut net, &opts);
     assert_eq!(report.committed, 50);

@@ -31,6 +31,7 @@ use crate::value::{Header, Msg, Value};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use shadowdb_loe::Loc;
 use std::fmt;
+use std::sync::Arc;
 
 /// Deepest value nesting the decoder accepts (and the encoder is expected
 /// to produce). Protocol messages are a handful of levels deep; the bound
@@ -186,12 +187,15 @@ fn decode_value_at(buf: &mut Bytes, depth: u32) -> Result<Value, DecodeError> {
             Ok(Value::Loc(Loc::new(buf.get_u32_le())))
         }
         TAG_STR => {
+            // Borrowing decode: the string is a zero-copy UTF-8 view of
+            // the input buffer (validated once), sharing its storage.
             let len = claimed_len(buf)?;
             let raw = buf.split_to(len);
-            let s = std::str::from_utf8(&raw).map_err(|_| DecodeError::BadUtf8)?;
-            Ok(Value::str(s))
+            let s = crate::value::SharedStr::from_utf8(raw).map_err(|_| DecodeError::BadUtf8)?;
+            Ok(Value::Str(s))
         }
         TAG_BYTES => {
+            // Zero-copy: the payload body aliases the input buffer.
             let len = claimed_len(buf)?;
             Ok(Value::Bytes(buf.split_to(len)))
         }
@@ -322,15 +326,45 @@ impl FrameEncoder {
     }
 }
 
+/// Smallest reassembly-buffer allocation: one socket read's worth, so a
+/// fresh connection does not crawl through doubling steps.
+const MIN_STORAGE: usize = 16 * 1024;
+
+/// A reassembly buffer larger than this is reclaimed once the live tail
+/// fits in a quarter of it — a single oversized frame must not pin its
+/// high-water allocation for the connection's lifetime.
+const SHRINK_AT: usize = 256 * 1024;
+
+fn oversized(cap: usize, needed: usize) -> bool {
+    cap > SHRINK_AT && needed <= cap / 4
+}
+
 /// Reassembles frames from a byte stream fed in arbitrary chunks, the
 /// receive half of [`FrameEncoder`].
 ///
-/// Feed raw bytes with [`FrameReader::extend`]; pull complete messages
-/// with [`FrameReader::next_msg`]. A frame claiming more than the
-/// configured cap is rejected *from its header alone* — the reader never
-/// buffers toward an impossible length.
+/// Feed raw bytes with [`FrameReader::extend`] — or read straight from a
+/// socket into [`FrameReader::spare_mut`] and [`FrameReader::commit`] the
+/// byte count — then pull complete messages with
+/// [`FrameReader::next_msg`]. A frame claiming more than the configured
+/// cap is rejected *from its header alone* — the reader never buffers
+/// toward an impossible length.
+///
+/// # Zero-copy ownership
+///
+/// The buffer is shared storage (`Arc<Vec<u8>>`): `next_msg` hands the
+/// decoder a [`Bytes`] *view* of the frame in place, so decoded
+/// `Value::Bytes`/`Value::Str` bodies alias the reassembly buffer rather
+/// than copying out of it. Writing new bytes requires unique ownership
+/// (`Arc::get_mut`): while any decoded view is still alive the next write
+/// swaps in fresh storage and copies only the unconsumed tail, so views
+/// remain valid forever and the steady state — views dropped before the
+/// next read — reuses the buffer allocation-free.
 pub struct FrameReader {
-    buf: BytesMut,
+    storage: Arc<Vec<u8>>,
+    /// First unconsumed byte; `storage[start..filled]` is live.
+    start: usize,
+    /// One past the last byte received.
+    filled: usize,
     max_frame: usize,
 }
 
@@ -343,19 +377,80 @@ impl FrameReader {
     /// A reader capping frame payloads at `max_frame` bytes.
     pub fn with_max_frame(max_frame: usize) -> FrameReader {
         FrameReader {
-            buf: BytesMut::new(),
+            storage: Arc::new(Vec::new()),
+            start: 0,
+            filled: 0,
             max_frame,
         }
     }
 
     /// Appends raw bytes received from the transport.
     pub fn extend(&mut self, chunk: &[u8]) {
-        self.buf.put_slice(chunk);
+        if chunk.is_empty() {
+            return;
+        }
+        let spare = self.spare_mut(chunk.len());
+        spare[..chunk.len()].copy_from_slice(chunk);
+        self.commit(chunk.len());
+    }
+
+    /// Writable spare room of at least `min` bytes, for reading from a
+    /// socket directly into the reassembly buffer. Follow with
+    /// [`FrameReader::commit`] for however many bytes landed.
+    pub fn spare_mut(&mut self, min: usize) -> &mut [u8] {
+        self.reserve(min.max(1));
+        let filled = self.filled;
+        let vec = Arc::get_mut(&mut self.storage).expect("reserve leaves storage unique");
+        &mut vec[filled..]
+    }
+
+    /// Marks `n` bytes of [`FrameReader::spare_mut`] as received.
+    pub fn commit(&mut self, n: usize) {
+        assert!(self.filled + n <= self.storage.len(), "commit past spare");
+        self.filled += n;
     }
 
     /// Bytes buffered but not yet consumed as frames.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.filled - self.start
+    }
+
+    /// Identity of the current backing allocation — lets tests observe
+    /// when decoded views alias the reassembly buffer and when a write
+    /// swapped in fresh storage.
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.storage) as usize
+    }
+
+    /// Ensures unique storage with at least `extra` bytes of spare room,
+    /// compacting in place when possible and reallocating right-sized
+    /// when views pin the buffer, it is too small, or it ballooned past
+    /// the working set.
+    fn reserve(&mut self, extra: usize) {
+        let live = self.filled - self.start;
+        let needed = live + extra;
+        if let Some(vec) = Arc::get_mut(&mut self.storage) {
+            // Reclaim check first: a ballooned buffer is replaced even
+            // when it has plenty of spare room — spare is exactly what an
+            // oversized buffer has too much of.
+            if !oversized(vec.len(), needed) {
+                if vec.len() - self.filled >= extra {
+                    return;
+                }
+                if vec.len() >= needed {
+                    vec.copy_within(self.start..self.filled, 0);
+                    self.start = 0;
+                    self.filled = live;
+                    return;
+                }
+            }
+        }
+        let new_cap = needed.next_power_of_two().max(MIN_STORAGE);
+        let mut fresh = vec![0u8; new_cap];
+        fresh[..live].copy_from_slice(&self.storage[self.start..self.filled]);
+        self.storage = Arc::new(fresh);
+        self.start = 0;
+        self.filled = live;
     }
 
     /// Extracts the next complete message, if a full frame has arrived.
@@ -368,10 +463,10 @@ impl FrameReader {
     /// Returns a [`DecodeError`] if the frame header exceeds the cap or the
     /// payload fails to decode.
     pub fn next_msg(&mut self) -> Result<Option<Msg>, DecodeError> {
-        if self.buf.len() < 4 {
+        if self.buffered() < 4 {
             return Ok(None);
         }
-        let head: &[u8] = &self.buf;
+        let head = &self.storage[self.start..];
         let len = u32::from_le_bytes([head[0], head[1], head[2], head[3]]) as usize;
         if len > self.max_frame {
             return Err(DecodeError::FrameTooLarge {
@@ -379,11 +474,19 @@ impl FrameReader {
                 max: self.max_frame,
             });
         }
-        if self.buf.len() < 4 + len {
+        if self.buffered() < 4 + len {
             return Ok(None);
         }
-        self.buf.advance(4);
-        let payload = self.buf.split_to(len).freeze();
+        let body = self.start + 4;
+        let payload = Bytes::from_shared(self.storage.clone(), body, body + len);
+        self.start = body + len;
+        if self.start == self.filled {
+            // Empty: rewind the indices. Writes stay safe regardless of
+            // live views because they go through `reserve`'s uniqueness
+            // check, not these offsets.
+            self.start = 0;
+            self.filled = 0;
+        }
         decode_msg(payload).map(Some)
     }
 }
@@ -549,6 +652,67 @@ mod tests {
                 max: 1024,
             })
         );
+    }
+
+    #[test]
+    fn decoded_bytes_alias_reassembly_buffer() {
+        let mut enc = FrameEncoder::new();
+        let mut rdr = FrameReader::new();
+        let m = Msg::new("blob", Value::Bytes(Bytes::from(vec![7u8; 512])));
+        rdr.extend(enc.encode(&m));
+        let before = rdr.storage_id();
+        let got = rdr.next_msg().unwrap().unwrap();
+        let Value::Bytes(view) = &got.body else {
+            panic!("expected bytes body")
+        };
+        // Zero-copy: the decoded body is a view of the reader's storage.
+        assert_eq!(view.storage_id(), before);
+        // While the view lives, the next write must swap in fresh storage
+        // rather than scribble under it.
+        rdr.extend(enc.encode(&m));
+        assert_ne!(rdr.storage_id(), before);
+        assert_eq!(&view[..], &[7u8; 512][..]);
+        drop(got);
+        // With views gone, further writes reuse the buffer in place.
+        let stable = rdr.storage_id();
+        assert!(rdr.next_msg().unwrap().is_some());
+        rdr.extend(enc.encode(&Msg::new("ack", Value::Unit)));
+        assert_eq!(rdr.storage_id(), stable);
+    }
+
+    /// Satellite regression: one oversized frame must not pin its
+    /// high-water allocation after it has been consumed.
+    #[test]
+    fn reassembly_buffer_reclaimed_after_oversized_frame() {
+        let mut enc = FrameEncoder::new();
+        let mut rdr = FrameReader::new();
+        let big = Msg::new("big", Value::Bytes(Bytes::from(vec![1u8; 1 << 20])));
+        rdr.extend(enc.encode(&big));
+        assert!(rdr.next_msg().unwrap().is_some());
+        let ballooned = rdr.storage_id();
+        // Steady small traffic: the next reserve sees a live tail far
+        // below the high-water mark and swaps in right-sized storage.
+        let small = Msg::new("s", Value::Int(1));
+        rdr.extend(enc.encode(&small));
+        assert_ne!(rdr.storage_id(), ballooned, "storage not reclaimed");
+        assert_eq!(rdr.next_msg().unwrap(), Some(small));
+    }
+
+    #[test]
+    fn spare_mut_commit_matches_extend() {
+        let mut enc = FrameEncoder::new();
+        let mut rdr = FrameReader::new();
+        let m = Msg::new("direct", Value::list((0..20).map(Value::from)));
+        let wire = enc.encode(&m).to_vec();
+        // Land the wire bytes in two uneven chunks via the socket path.
+        let split = wire.len() / 3;
+        for chunk in [&wire[..split], &wire[split..]] {
+            let spare = rdr.spare_mut(chunk.len());
+            spare[..chunk.len()].copy_from_slice(chunk);
+            rdr.commit(chunk.len());
+        }
+        assert_eq!(rdr.next_msg().unwrap(), Some(m));
+        assert_eq!(rdr.buffered(), 0);
     }
 
     #[test]

@@ -58,4 +58,4 @@ pub use fxhash::{fxhash, FxBuildHasher, FxHashMap, FxHasher};
 pub use optimize::FusedProcess;
 pub use process::{fingerprint, Ctx, FnProcess, Halt, Process};
 pub use symbol::Symbol;
-pub use value::{as_send_value, send_value, Header, Msg, SendInstr, Value};
+pub use value::{as_send_value, send_value, Header, Msg, SendInstr, SharedStr, Value};

@@ -15,6 +15,120 @@ use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// An immutable string that is either owned (`Arc<str>`) or a zero-copy
+/// UTF-8 view into a shared byte buffer ([`bytes::Bytes`]) — the borrow
+/// form the wire decoder produces so string bodies alias the frame they
+/// arrived in instead of being copied out of it.
+///
+/// Equality, ordering, and hashing are all by string content (with a
+/// same-storage shortcut), so owned and view strings are interchangeable
+/// everywhere a [`Value`] flows.
+#[derive(Clone)]
+pub struct SharedStr(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Owned(Arc<str>),
+    View(bytes::Bytes),
+}
+
+impl SharedStr {
+    /// The string content.
+    pub fn as_str(&self) -> &str {
+        match &self.0 {
+            Repr::Owned(s) => s,
+            // SAFETY: validated as UTF-8 at construction, and `Bytes` is
+            // immutable — no API mutates shared storage while a view is
+            // alive (`Arc::get_mut` fails for any would-be writer).
+            Repr::View(b) => unsafe { std::str::from_utf8_unchecked(b) },
+        }
+    }
+
+    /// Wraps `bytes` as a string view without copying, validating UTF-8
+    /// once up front.
+    ///
+    /// # Errors
+    ///
+    /// Returns the validation error if `bytes` is not valid UTF-8.
+    pub fn from_utf8(bytes: bytes::Bytes) -> Result<SharedStr, std::str::Utf8Error> {
+        std::str::from_utf8(&bytes)?;
+        Ok(SharedStr(Repr::View(bytes)))
+    }
+
+    /// Whether this string borrows a shared byte buffer (diagnostic hook
+    /// for zero-copy tests).
+    pub fn is_view(&self) -> bool {
+        matches!(self.0, Repr::View(_))
+    }
+}
+
+impl std::ops::Deref for SharedStr {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for SharedStr {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl PartialEq for SharedStr {
+    fn eq(&self, other: &SharedStr) -> bool {
+        match (&self.0, &other.0) {
+            // Pointer-equal storage short-circuits the content compare
+            // (clones of one interned name, views of one frame).
+            (Repr::Owned(a), Repr::Owned(b)) if Arc::ptr_eq(a, b) => true,
+            (Repr::View(a), Repr::View(b)) => a == b,
+            _ => self.as_str() == other.as_str(),
+        }
+    }
+}
+impl Eq for SharedStr {}
+
+impl PartialOrd for SharedStr {
+    fn partial_cmp(&self, other: &SharedStr) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SharedStr {
+    fn cmp(&self, other: &SharedStr) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for SharedStr {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl From<&str> for SharedStr {
+    fn from(s: &str) -> SharedStr {
+        SharedStr(Repr::Owned(Arc::from(s)))
+    }
+}
+
+impl From<Arc<str>> for SharedStr {
+    fn from(s: Arc<str>) -> SharedStr {
+        SharedStr(Repr::Owned(s))
+    }
+}
+
+impl fmt::Debug for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for SharedStr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self.as_str(), f)
+    }
+}
+
 /// A dynamically typed value.
 ///
 /// Values are totally ordered (derived lexicographic order on the variant
@@ -44,8 +158,8 @@ pub enum Value {
     Int(i64),
     /// A location (process identity).
     Loc(Loc),
-    /// An immutable string.
-    Str(Arc<str>),
+    /// An immutable string (owned or a zero-copy view of a frame buffer).
+    Str(SharedStr),
     /// Raw bytes (opaque application payloads).
     Bytes(bytes::Bytes),
     /// An ordered pair.
@@ -67,7 +181,7 @@ impl Value {
 
     /// Builds a string value.
     pub fn str(s: &str) -> Value {
-        Value::Str(Arc::from(s))
+        Value::Str(SharedStr::from(s))
     }
 
     /// The integer content, if this is an `Int`.
@@ -188,7 +302,7 @@ impl PartialEq for Value {
             // Compound values are shared through Arcs and mostly compared
             // against clones of themselves (bisimulation, dedup sets), so a
             // pointer check short-circuits the content walk.
-            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
             (Value::Bytes(a), Value::Bytes(b)) => a == b,
             (Value::Pair(a), Value::Pair(b)) => Arc::ptr_eq(a, b) || a == b,
             (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b) || a == b,
@@ -429,7 +543,7 @@ pub fn send_value(instr: &SendInstr) -> Value {
                 Value::Int(instr.delay.as_micros() as i64),
             ),
             Value::pair(
-                Value::Str(instr.msg.header.symbol().name_shared()),
+                Value::Str(instr.msg.header.symbol().name_shared().into()),
                 instr.msg.body.clone(),
             ),
         ),

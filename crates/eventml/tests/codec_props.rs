@@ -94,4 +94,45 @@ proptest! {
         rdr.extend(&raw);
         while let Ok(Some(_)) = rdr.next_msg() {}
     }
+
+    /// Zero-copy decode aliases the reassembly buffer and stays correct
+    /// under arbitrary chunking: every decoded `Bytes` body is a view of
+    /// the reader's storage at decode time (no copy), and keeping all
+    /// views alive while the stream keeps flowing — forcing the reader
+    /// onto fresh storage instead of reusing shared bytes — never
+    /// corrupts an earlier view.
+    #[test]
+    fn zero_copy_decode_aliases_and_survives_buffer_turnover(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..160), 1..10),
+        chunk in 1usize..48,
+    ) {
+        let mut enc = FrameEncoder::new();
+        let mut stream = Vec::new();
+        for p in &payloads {
+            let m = Msg::new("blob", Value::Bytes(bytes::Bytes::from(p.clone())));
+            stream.extend_from_slice(enc.encode(&m));
+        }
+        let mut rdr = FrameReader::new();
+        let mut held = Vec::new(); // keep every view alive to the end
+        for piece in stream.chunks(chunk) {
+            rdr.extend(piece);
+            while let Some(m) = rdr.next_msg().unwrap() {
+                if let Value::Bytes(b) = &m.body {
+                    if !b.is_empty() {
+                        // Fresh off the wire: the body is a slice of the
+                        // reassembly buffer itself, not a copy.
+                        prop_assert_eq!(b.storage_id(), rdr.storage_id());
+                    }
+                }
+                held.push(m);
+            }
+        }
+        prop_assert_eq!(held.len(), payloads.len());
+        for (m, p) in held.iter().zip(&payloads) {
+            match &m.body {
+                Value::Bytes(b) => prop_assert_eq!(&b[..], &p[..]),
+                other => prop_assert!(false, "expected bytes, got {:?}", other),
+            }
+        }
+    }
 }

@@ -10,28 +10,35 @@
 //!
 //! # Architecture
 //!
-//! * Every location (node or port) owns a loopback `TcpListener`; accepted
-//!   connections get a reader thread that reassembles length-prefixed
-//!   frames (`shadowdb_eventml::codec`) and pushes decoded messages into
-//!   the destination's inbox.
-//! * Every node runs on its own thread, stepping the hosted [`Process`]
-//!   and writing remote sends through lazily established per-link
-//!   connections (reconnect with capped exponential backoff, FIFO per
-//!   link, allocation-free steady-state encodes). Delayed sends are held
-//!   in a sender-local timer heap until due.
-//! * A control thread schedules external injections ([`TcpNet::send_at`])
-//!   and fault actions: [`TcpNet::crash_at`] *drops the node's thread*
-//!   (volatile state, timers, and outbound connections die with it) and
-//!   [`TcpNet::restart_at`] spawns a fresh thread behind the same
-//!   listener, so crash-recovery behaves like a process restart behind a
-//!   stable address.
+//! * N sharded executor threads (thread-per-core, `loc % shards`) each
+//!   run a readiness event loop over a std-only poller (epoll on Linux,
+//!   `poll(2)` elsewhere). A shard owns its locations' listeners, every
+//!   inbound connection to them, the hosted processes with their timer
+//!   heaps, and the hosts' outbound links — there are no per-node or
+//!   per-connection threads.
+//! * The receive path is allocation-free in steady state: sockets read
+//!   directly into each connection's reassembly buffer and decoded
+//!   message bodies are zero-copy `Bytes`/string views of that buffer
+//!   (`shadowdb_eventml::codec`). Decoding steps the destination process
+//!   inline on its own shard.
+//! * Outbound links are nonblocking with vectored writes: frames drain
+//!   through a per-link queue; when the kernel pushes back the link
+//!   parks on write readiness. Reconnect backoff jitter is a pure
+//!   function of the deployment seed ([`TcpNetBuilder::seeded`]), so
+//!   chaos-soak schedules are byte-identical across runs.
+//! * A control thread schedules external injections ([`TcpNet::send_at`],
+//!   over the injector's own loopback connections) and fault actions:
+//!   [`TcpNet::crash_at`] *removes the host* (volatile state, timers, and
+//!   outbound connections die with it) and [`TcpNet::restart_at`]
+//!   installs a fresh incarnation behind the same listener, so
+//!   crash-recovery behaves like a process restart behind a stable
+//!   address.
 //! * Driver ports ([`TcpNet::port`]) are loopback listeners too: replies
 //!   to a client port travel over a socket like any other message.
 //!
-//! [`TcpNet::shutdown`] follows the same deterministic join-all
-//! discipline as `shadowdb-livenet`: control thread, node threads,
-//! listener threads (unblocked by a poison connect), and reader threads
-//! (unblocked by writer EOF) are all joined before it returns.
+//! [`TcpNet::shutdown`] joins deterministically: the control thread
+//! first, then every shard (woken by its command pipe); each shard drops
+//! its sockets on exit.
 //!
 //! # Example
 //!
@@ -55,34 +62,36 @@
 
 mod link;
 mod node;
+mod poll;
 mod registry;
+mod shard;
 
 use crossbeam::channel::{self, Receiver, Sender};
-use link::Links;
-use node::spawn_node_thread;
-use registry::{spawn_listener, NodeCtl, NodeGate, Registry, SlotInfo, Target};
+use link::Injector;
+use registry::{Registry, SlotInfo};
 use shadowdb_eventml::{Msg, Process};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_runtime::{FaultPlan, PortRx, Runtime};
+use shard::{spawn_shard, ShardCmd, ShardHandle};
 
+pub use link::{OutQueue, PENDING_CAP};
 pub use registry::LinkStats;
+
 use std::collections::BinaryHeap;
-use std::net::TcpStream;
+use std::net::TcpListener;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
-
 /// An action the control thread performs when its instant comes due.
 enum Act {
     /// Deliver an externally injected message (over a real socket).
     Deliver(Loc, Msg),
-    /// Drop the node's thread: volatile state and timers are lost and
+    /// Remove the location's host: volatile state and timers are lost and
     /// deliveries are silently dropped until restart.
     Crash(Loc),
-    /// Spawn a fresh thread for the location behind its existing listener.
+    /// Install a fresh incarnation behind the location's listener.
     Restart(Loc, Box<dyn Process>),
 }
 
@@ -115,52 +124,114 @@ impl Ord for Due {
     }
 }
 
-/// A running TCP network of process nodes.
-pub struct TcpNet {
-    start: Instant,
-    registry: Arc<Registry>,
-    ctl: Sender<Ctl>,
-    ctl_handle: Option<JoinHandle<()>>,
-    listener_handles: Vec<JoinHandle<()>>,
+/// Configures a [`TcpNet`].
+pub struct TcpNetBuilder {
+    seed: u64,
+    shards: Option<usize>,
 }
 
-impl TcpNet {
-    /// An empty running network (control thread only); add nodes with
-    /// [`TcpNet::add_node`].
-    pub fn new() -> TcpNet {
+impl TcpNetBuilder {
+    /// Sets the deployment seed: reconnect-backoff jitter becomes a pure
+    /// function of `(seed, origin, dest, attempt)`, making chaos-soak
+    /// reconnect schedules byte-identical across runs with the same seed
+    /// (livenet and simnet already derive their jitter this way).
+    pub fn seeded(mut self, seed: u64) -> TcpNetBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the shard (executor thread) count; defaults to the
+    /// machine's available parallelism, clamped to `1..=8`.
+    pub fn shards(mut self, n: usize) -> TcpNetBuilder {
+        self.shards = Some(n.max(1));
+        self
+    }
+
+    /// Starts the shard event loops and the control thread.
+    pub fn spawn(self) -> TcpNet {
+        let shards = self.shards.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 8)
+        });
         let start = Instant::now();
-        let registry = Registry::new(start);
+        let registry = Registry::new(start, self.seed);
+        let mut handles = Vec::with_capacity(shards);
+        let mut joins = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (handle, join) = spawn_shard(registry.clone());
+            handles.push(handle);
+            joins.push(join);
+        }
+        let shard_handles = Arc::new(handles);
         let (ctl_tx, ctl_rx) = channel::unbounded::<Ctl>();
         let ctl_handle = {
             let registry = registry.clone();
-            std::thread::spawn(move || control_loop(registry, start, ctl_rx))
+            let shards = shard_handles.clone();
+            std::thread::spawn(move || control_loop(registry, shards, ctl_rx))
         };
         TcpNet {
             start,
             registry,
+            shards: shard_handles,
+            shard_joins: joins,
             ctl: ctl_tx,
             ctl_handle: Some(ctl_handle),
-            listener_handles: Vec::new(),
+        }
+    }
+}
+
+/// A running TCP network of process nodes.
+pub struct TcpNet {
+    start: Instant,
+    registry: Arc<Registry>,
+    shards: Arc<Vec<ShardHandle>>,
+    shard_joins: Vec<JoinHandle<()>>,
+    ctl: Sender<Ctl>,
+    ctl_handle: Option<JoinHandle<()>>,
+}
+
+impl TcpNet {
+    /// Starts building a network.
+    pub fn builder() -> TcpNetBuilder {
+        TcpNetBuilder {
+            seed: 0,
+            shards: None,
         }
     }
 
-    /// Hosts `process` at the next location: binds its listener, then
-    /// spawns its node thread.
-    pub fn add_node(&mut self, process: Box<dyn Process>) -> Loc {
-        let (tx, rx) = channel::unbounded::<NodeCtl>();
-        let gate = Arc::new(Mutex::new(NodeGate { tx, crashed: false }));
-        let (addr, listener) = spawn_listener(&self.registry, Target::Node(gate.clone()));
+    /// An empty running network (shards and control thread only); add
+    /// nodes with [`TcpNet::add_node`].
+    pub fn new() -> TcpNet {
+        TcpNet::builder().spawn()
+    }
+
+    fn shard_of(&self, loc: Loc) -> &ShardHandle {
+        &self.shards[loc.index() as usize % self.shards.len()]
+    }
+
+    fn bind_slot(&self) -> (Loc, TcpListener) {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+        let addr = listener.local_addr().expect("listener address");
         let loc = {
             let mut slots = self.registry.slots.lock();
             let loc = Loc::new(slots.len() as u32);
-            slots.push(SlotInfo {
-                addr,
-                gate: Some(gate),
-            });
+            slots.push(SlotInfo { addr });
             loc
         };
-        self.listener_handles.push(listener);
-        spawn_node_thread(&self.registry, loc, self.start, process, rx);
+        (loc, listener)
+    }
+
+    /// Hosts `process` at the next location: binds its listener, then
+    /// hands both to the location's shard.
+    pub fn add_node(&mut self, process: Box<dyn Process>) -> Loc {
+        let (loc, listener) = self.bind_slot();
+        self.shard_of(loc).send(ShardCmd::AddNode {
+            loc: loc.index(),
+            listener,
+            process,
+        });
         loc
     }
 
@@ -193,7 +264,7 @@ impl TcpNet {
         });
     }
 
-    /// Schedules a crash of the node at `loc`: its thread is dropped —
+    /// Schedules a crash of the node at `loc`: its host is removed —
     /// volatile state, pending timers, and outbound connections die — and
     /// deliveries are silently dropped until restart.
     pub fn crash_at(&self, at: VTime, loc: Loc) {
@@ -203,8 +274,8 @@ impl TcpNet {
         });
     }
 
-    /// Schedules a restart of the node at `loc`: a fresh thread hosting
-    /// `process` behind the location's existing listener.
+    /// Schedules a restart of the node at `loc`: a fresh incarnation
+    /// hosting `process` behind the location's existing listener.
     pub fn restart_at(&self, at: VTime, loc: Loc, process: Box<dyn Process>) {
         let _ = self.ctl.send(Ctl::At {
             at: self.instant_of(at),
@@ -221,6 +292,7 @@ impl TcpNet {
     /// substrates). External injections from the driver are never faulted.
     pub fn install_fault_plan(&self, plan: FaultPlan) {
         *self.registry.faults.plan.lock() = Some(plan);
+        self.registry.faults.engaged.store(true, Ordering::SeqCst);
     }
 
     /// Snapshot of the frame-layer counters (`reconnects`,
@@ -234,20 +306,17 @@ impl TcpNet {
     /// the returned receiver.
     pub fn port(&mut self) -> (Loc, Receiver<Msg>) {
         let (tx, rx) = channel::unbounded();
-        let (addr, listener) = spawn_listener(&self.registry, Target::Port(tx));
-        let loc = {
-            let mut slots = self.registry.slots.lock();
-            let loc = Loc::new(slots.len() as u32);
-            slots.push(SlotInfo { addr, gate: None });
-            loc
-        };
-        self.listener_handles.push(listener);
+        let (loc, listener) = self.bind_slot();
+        self.shard_of(loc).send(ShardCmd::AddPort {
+            loc: loc.index(),
+            listener,
+            tx,
+        });
         (loc, rx)
     }
 
-    /// Stops every thread and waits for all of them: control thread first,
-    /// then node threads, then listeners (poison connect), then readers
-    /// (writer EOF).
+    /// Stops every thread and waits for all of them: the control thread
+    /// first, then every shard event loop.
     pub fn shutdown(mut self) {
         self.stop_and_join();
     }
@@ -257,31 +326,12 @@ impl TcpNet {
         if let Some(h) = self.ctl_handle.take() {
             let _ = h.join();
         }
-        // Stop node threads; marking them crashed makes concurrent reader
-        // deliveries drop instead of queueing into a dead inbox.
-        for slot in self.registry.slots.lock().iter() {
-            if let Some(gate) = &slot.gate {
-                let mut gate = gate.lock();
-                gate.crashed = true;
-                let _ = gate.tx.send(NodeCtl::Stop);
-            }
-        }
-        let nodes: Vec<_> = self.registry.nodes.lock().drain(..).collect();
-        for h in nodes {
-            let _ = h.join();
-        }
-        // Unblock every listener's accept with a poison connect.
+        // Stop link connect retries, then the shard loops themselves.
         self.registry.shutdown.store(true, Ordering::SeqCst);
-        let addrs: Vec<_> = self.registry.slots.lock().iter().map(|s| s.addr).collect();
-        for addr in addrs {
-            let _ = TcpStream::connect(addr);
+        for shard in self.shards.iter() {
+            shard.send(ShardCmd::Shutdown);
         }
-        for h in self.listener_handles.drain(..) {
-            let _ = h.join();
-        }
-        // All writers are gone: readers see EOF and exit.
-        let readers: Vec<_> = self.registry.readers.lock().drain(..).collect();
-        for h in readers {
+        for h in self.shard_joins.drain(..) {
             let _ = h.join();
         }
     }
@@ -300,9 +350,10 @@ impl Drop for TcpNet {
 }
 
 /// The control thread: a timer heap of scheduled injections and fault
-/// actions, with its own outbound links for external deliveries.
-fn control_loop(registry: Arc<Registry>, start: Instant, rx: Receiver<Ctl>) {
-    let mut links = Links::new(registry.clone(), None);
+/// actions, with its own blocking outbound links for external deliveries.
+fn control_loop(registry: Arc<Registry>, shards: Arc<Vec<ShardHandle>>, rx: Receiver<Ctl>) {
+    let mut injector = Injector::new(registry);
+    let shard_of = |loc: Loc| &shards[loc.index() as usize % shards.len()];
     let mut heap: BinaryHeap<Due> = BinaryHeap::new();
     let mut seq = 0u64;
     loop {
@@ -310,24 +361,10 @@ fn control_loop(registry: Arc<Registry>, start: Instant, rx: Receiver<Ctl>) {
         while heap.peek().map(|d| d.at <= now).unwrap_or(false) {
             let due = heap.pop().expect("peeked");
             match due.act {
-                Act::Deliver(dest, msg) => links.send(dest, &msg),
-                Act::Crash(loc) => {
-                    if let Some(gate) = registry.gate_of(loc.index()) {
-                        let mut gate = gate.lock();
-                        gate.crashed = true;
-                        let _ = gate.tx.send(NodeCtl::Stop);
-                    }
-                }
+                Act::Deliver(dest, msg) => injector.send(dest, &msg),
+                Act::Crash(loc) => shard_of(loc).send(ShardCmd::Crash(loc.index())),
                 Act::Restart(loc, process) => {
-                    if let Some(gate) = registry.gate_of(loc.index()) {
-                        let (tx, node_rx) = channel::unbounded::<NodeCtl>();
-                        {
-                            let mut gate = gate.lock();
-                            gate.tx = tx;
-                            gate.crashed = false;
-                        }
-                        spawn_node_thread(&registry, loc, start, process, node_rx);
-                    }
+                    shard_of(loc).send(ShardCmd::Restart(loc.index(), process))
                 }
             }
         }
@@ -344,7 +381,7 @@ fn control_loop(registry: Arc<Registry>, start: Instant, rx: Receiver<Ctl>) {
             Ok(Ctl::Shutdown) | Err(channel::RecvTimeoutError::Disconnected) => break,
             Err(channel::RecvTimeoutError::Timeout) => {}
         }
-        links.tick();
+        injector.tick();
     }
 }
 
@@ -516,7 +553,7 @@ mod tests {
         net.shutdown();
     }
 
-    /// A crashed node's thread is gone: deliveries are dropped. After
+    /// A crashed node's host is gone: deliveries are dropped. After
     /// restart the location answers again with fresh state.
     #[test]
     fn crash_silences_node_until_restart() {
@@ -559,6 +596,21 @@ mod tests {
         let b = net.add_node(echo_counter());
         assert_eq!((a, p, b), (Loc::new(0), Loc::new(1), Loc::new(2)));
         assert_eq!(TcpNet::node_count(&net), 3);
+        net.shutdown();
+    }
+
+    /// A seeded net with an explicit shard count behaves identically at
+    /// the API level: the builder mirrors `LiveNet::builder().seeded(..)`.
+    #[test]
+    fn builder_seed_and_shards_echo() {
+        let mut net = TcpNet::builder().seeded(42).shards(2).spawn();
+        let echo = net.add_node(echo_counter());
+        let (port, rx) = TcpNet::port(&mut net);
+        net.send(echo, Msg::new("ping", Value::Loc(port)));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
         net.shutdown();
     }
 
@@ -666,9 +718,9 @@ mod tests {
             .count()
     }
 
-    /// Shutdown joins the control thread, every node thread, every
-    /// listener, and every reader — repeated nets must not leak OS
-    /// threads, even with timers and traffic in flight.
+    /// Shutdown joins the control thread and every shard event loop —
+    /// repeated nets must not leak OS threads, even with timers and
+    /// traffic in flight.
     #[test]
     #[cfg(target_os = "linux")]
     fn repeated_nets_leak_no_threads() {

@@ -1,135 +1,44 @@
-//! The per-node thread: steps the hosted process on delivered messages,
-//! keeps its own timer heap for delayed sends, and writes remote sends to
-//! its outbound [`Links`].
+//! The per-node host state a shard event loop steps in place: the hosted
+//! process, its self-send inbox, and its outbound links. Unlike the old
+//! thread-per-node runtime there is no node thread — delivering a decoded
+//! frame, firing a timer, and flushing a link all happen inline on the
+//! owning shard's loop.
 
-use crate::link::Links;
-use crate::registry::{NodeCtl, Registry};
-use crossbeam::channel::{Receiver, RecvTimeoutError};
-use shadowdb_eventml::{Ctx, Msg, Process, SendInstr};
-use shadowdb_loe::{Loc, VTime};
-use std::collections::{BinaryHeap, VecDeque};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use crate::link::OutLink;
+use shadowdb_eventml::{FrameEncoder, Msg, Process};
+use shadowdb_loe::Loc;
+use std::collections::{HashMap, VecDeque};
 
-/// A delayed send armed by the hosted process, held at the sender until
-/// due (Fig. 4's "period of time the process must wait before sending").
-struct TimerDue {
-    at: Instant,
-    seq: u64,
-    dest: Loc,
-    msg: Msg,
+/// One hosted process and everything that dies with it on crash: volatile
+/// state, the self-send inbox, and the outbound connections. Pending
+/// timers are invalidated through `epoch` — entries armed by a previous
+/// incarnation never fire into a restarted process.
+pub struct NodeHost {
+    /// The host's own location.
+    pub slf: Loc,
+    /// Incarnation number: bumped on every (re)start, checked by timers.
+    pub epoch: u64,
+    /// The hosted process.
+    pub process: Box<dyn Process>,
+    /// Zero-delay self-sends, drained by the shard loop between polls.
+    pub inbox: VecDeque<Msg>,
+    /// Outbound links by destination location.
+    pub links: HashMap<u32, OutLink>,
+    /// Per-connection scratch encoder: steady-state sends allocate
+    /// nothing.
+    pub enc: FrameEncoder,
 }
 
-impl PartialEq for TimerDue {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for TimerDue {}
-impl PartialOrd for TimerDue {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerDue {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Reversed: BinaryHeap is a max-heap, the earliest timer first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
-    }
-}
-
-/// Spawns the thread hosting `process` at `slf` and registers its handle
-/// for the shutdown join. The thread exits on `NodeCtl::Stop`, when every
-/// gate holding its sender is gone, or when the control plane crashes the
-/// node (by swapping the gate and sending `Stop`).
-pub fn spawn_node_thread(
-    registry: &Arc<Registry>,
-    slf: Loc,
-    start: Instant,
-    mut process: Box<dyn Process>,
-    rx: Receiver<NodeCtl>,
-) {
-    let mut links = Links::new(registry.clone(), Some(slf));
-    let handle: JoinHandle<()> = std::thread::spawn(move || {
-        let mut timers: BinaryHeap<TimerDue> = BinaryHeap::new();
-        let mut pending: VecDeque<Msg> = VecDeque::new();
-        let mut outs: Vec<SendInstr> = Vec::new();
-        let mut seq = 0u64;
-
-        // One delivered message: step the process, then fan its outputs
-        // out to the timer heap (delayed), the local queue (self), or the
-        // TCP links (remote).
-        let mut step = |process: &mut Box<dyn Process>,
-                        msg: &Msg,
-                        timers: &mut BinaryHeap<TimerDue>,
-                        pending: &mut VecDeque<Msg>,
-                        links: &mut Links,
-                        seq: &mut u64| {
-            let now = VTime::from_micros(start.elapsed().as_micros() as u64);
-            outs.clear();
-            process.step_into(&Ctx::new(slf, now), msg, &mut outs);
-            for SendInstr { dest, delay, msg } in outs.drain(..) {
-                if delay > Duration::ZERO {
-                    *seq += 1;
-                    timers.push(TimerDue {
-                        at: Instant::now() + delay,
-                        seq: *seq,
-                        dest,
-                        msg,
-                    });
-                } else if dest == slf {
-                    pending.push_back(msg);
-                } else {
-                    links.send(dest, &msg);
-                }
-            }
-        };
-
-        loop {
-            // Flush frames parked while a link was down or severed (cheap
-            // when nothing is pending).
-            links.tick();
-            // Fire everything due.
-            let now = Instant::now();
-            while timers.peek().map(|t| t.at <= now).unwrap_or(false) {
-                let t = timers.pop().expect("peeked");
-                if t.dest == slf {
-                    pending.push_back(t.msg);
-                } else {
-                    links.send(t.dest, &t.msg);
-                }
-            }
-            // Drain local self-sends before blocking.
-            if let Some(msg) = pending.pop_front() {
-                step(
-                    &mut process,
-                    &msg,
-                    &mut timers,
-                    &mut pending,
-                    &mut links,
-                    &mut seq,
-                );
-                continue;
-            }
-            let wait = timers
-                .peek()
-                .map(|t| t.at.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(20))
-                .min(Duration::from_millis(20));
-            match rx.recv_timeout(wait) {
-                Ok(NodeCtl::Deliver(msg)) => step(
-                    &mut process,
-                    &msg,
-                    &mut timers,
-                    &mut pending,
-                    &mut links,
-                    &mut seq,
-                ),
-                Ok(NodeCtl::Stop) | Err(RecvTimeoutError::Disconnected) => break,
-                Err(RecvTimeoutError::Timeout) => {}
-            }
+impl NodeHost {
+    /// A fresh incarnation of `process` at `slf`.
+    pub fn new(slf: Loc, epoch: u64, process: Box<dyn Process>) -> NodeHost {
+        NodeHost {
+            slf,
+            epoch,
+            process,
+            inbox: VecDeque::new(),
+            links: HashMap::new(),
+            enc: FrameEncoder::new(),
         }
-    });
-    registry.nodes.lock().push(handle);
+    }
 }

@@ -1,53 +1,20 @@
-//! Shared bookkeeping: the location → listener map, per-node delivery
-//! gates, and the listener / reader threads feeding sockets into inboxes.
+//! Shared bookkeeping: the location → listener-address map, the fault
+//! plane, and the deployment seed — the state every shard event loop, the
+//! control thread, and the runtime handle share.
 
-use crossbeam::channel::Sender;
 use parking_lot::Mutex;
-use shadowdb_eventml::{FrameReader, Msg};
 use shadowdb_runtime::FaultPlan;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// What a node thread can be told to do. Crash and restart are not inbox
-/// messages here: a crash *drops the thread* (volatile state, pending
-/// timers and outbound links die with it) and a restart spawns a fresh one
-/// — the control plane swaps the gate underneath.
-pub enum NodeCtl {
-    /// A message decoded off a socket (or a local timer).
-    Deliver(Msg),
-    /// Exit the thread.
-    Stop,
-}
-
-/// The mutable delivery state of one node location: where readers push
-/// decoded messages, and whether the node is currently crashed (readers
-/// silently drop deliveries, exactly as a dead process would).
-pub struct NodeGate {
-    /// Inbox of the currently running node thread (replaced on restart).
-    pub tx: Sender<NodeCtl>,
-    /// Crashed nodes drop deliveries until restarted.
-    pub crashed: bool,
-}
-
-/// Where a listener's decoded frames go.
-#[derive(Clone)]
-pub enum Target {
-    /// A process node, behind its crash gate.
-    Node(Arc<Mutex<NodeGate>>),
-    /// A driver-visible port: frames go straight to the `PortRx` channel.
-    Port(Sender<Msg>),
-}
-
-/// One allocated location: its listener address plus (for nodes) the gate.
+/// One allocated location: its listener address. Whether it is a node or
+/// a port lives on the owning shard (its `hosts`/`ports` maps) — senders
+/// only need somewhere to connect.
 pub struct SlotInfo {
     /// Loopback address of the location's listener.
     pub addr: SocketAddr,
-    /// The crash gate; `None` for ports.
-    pub gate: Option<Arc<Mutex<NodeGate>>>,
 }
 
 /// Link-state counters aggregated across every sender in the net: how
@@ -66,8 +33,11 @@ pub struct LinkStats {
 }
 
 /// The shared fault plane of a net: the installed schedule plus the
-/// frame-layer counters every `Links` reports into.
+/// frame-layer counters every link reports into.
 pub struct FaultPlane {
+    /// Fast-path flag: set once a plan is installed, so the per-frame
+    /// send path never touches the mutex on an unfaulted net.
+    pub engaged: AtomicBool,
     /// The installed fault schedule, if any.
     pub plan: Mutex<Option<FaultPlan>>,
     /// See [`LinkStats::reconnects`].
@@ -81,6 +51,7 @@ pub struct FaultPlane {
 impl FaultPlane {
     fn new() -> FaultPlane {
         FaultPlane {
+            engaged: AtomicBool::new(false),
             plan: Mutex::new(None),
             reconnects: AtomicU64::new(0),
             frames_dropped: AtomicU64::new(0),
@@ -98,112 +69,38 @@ impl FaultPlane {
     }
 }
 
-/// State shared by the runtime handle, node threads, the control thread,
-/// and every listener/reader thread.
+/// State shared by the runtime handle, the shard event loops, and the
+/// control thread.
 pub struct Registry {
     /// Slot `i` is location `i`; grows as locations are allocated.
     pub slots: Mutex<Vec<SlotInfo>>,
-    /// Set once at shutdown: listeners exit on their next accept, link
-    /// connects stop retrying.
+    /// Set once at shutdown: link connects stop retrying.
     pub shutdown: AtomicBool,
-    /// Every reader thread ever spawned, joined at shutdown.
-    pub readers: Mutex<Vec<JoinHandle<()>>>,
-    /// Every node thread ever spawned (including restarts), joined at
-    /// shutdown.
-    pub nodes: Mutex<Vec<JoinHandle<()>>>,
     /// The net's start instant: fault windows are interpreted on this
     /// clock.
     pub start: Instant,
     /// The installed fault plan and frame-layer counters.
     pub faults: FaultPlane,
+    /// The deployment seed: the pure input of reconnect-backoff jitter,
+    /// so chaos-soak schedules are byte-identical across runs.
+    pub seed: u64,
 }
 
 impl Registry {
     /// An empty registry; `start` anchors the runtime clock fault windows
-    /// are checked against.
-    pub fn new(start: Instant) -> Arc<Registry> {
+    /// are checked against, `seed` derives all backoff jitter.
+    pub fn new(start: Instant, seed: u64) -> Arc<Registry> {
         Arc::new(Registry {
             slots: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
-            readers: Mutex::new(Vec::new()),
-            nodes: Mutex::new(Vec::new()),
             start,
             faults: FaultPlane::new(),
+            seed,
         })
     }
 
     /// The listener address of `loc`, if allocated.
     pub fn addr_of(&self, loc: u32) -> Option<SocketAddr> {
         self.slots.lock().get(loc as usize).map(|s| s.addr)
-    }
-
-    /// The crash gate of `loc`, if it is a node.
-    pub fn gate_of(&self, loc: u32) -> Option<Arc<Mutex<NodeGate>>> {
-        self.slots.lock().get(loc as usize)?.gate.clone()
-    }
-}
-
-/// Binds a loopback listener and starts its accept loop; every accepted
-/// connection gets a reader thread decoding frames into `target`.
-/// Returns the bound address and the listener thread's handle.
-pub fn spawn_listener(registry: &Arc<Registry>, target: Target) -> (SocketAddr, JoinHandle<()>) {
-    let listener = TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback listener");
-    let addr = listener.local_addr().expect("listener address");
-    let reg = registry.clone();
-    let handle = std::thread::spawn(move || {
-        loop {
-            match listener.accept() {
-                Ok((stream, _peer)) => {
-                    // The shutdown "poison connect" lands here: exit
-                    // without spawning a reader.
-                    if reg.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                    let _ = stream.set_nodelay(true);
-                    let t = target.clone();
-                    let h = std::thread::spawn(move || reader_loop(stream, t));
-                    reg.readers.lock().push(h);
-                }
-                Err(_) => {
-                    if reg.shutdown.load(Ordering::SeqCst) {
-                        return;
-                    }
-                }
-            }
-        }
-    });
-    (addr, handle)
-}
-
-/// Reads one connection until EOF/error, reassembling frames and handing
-/// each decoded message to the destination. A decode error means the
-/// stream is unsynchronized: the connection is dropped (the sender will
-/// reconnect), which is the only safe recovery for a framed stream.
-fn reader_loop(mut stream: TcpStream, target: Target) {
-    let mut rdr = FrameReader::new();
-    let mut chunk = [0u8; 16 * 1024];
-    loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) | Err(_) => return,
-            Ok(n) => n,
-        };
-        rdr.extend(&chunk[..n]);
-        loop {
-            match rdr.next_msg() {
-                Ok(Some(msg)) => match &target {
-                    Target::Node(gate) => {
-                        let gate = gate.lock();
-                        if !gate.crashed {
-                            let _ = gate.tx.send(NodeCtl::Deliver(msg));
-                        }
-                    }
-                    Target::Port(tx) => {
-                        let _ = tx.send(msg);
-                    }
-                },
-                Ok(None) => break,
-                Err(_) => return,
-            }
-        }
     }
 }

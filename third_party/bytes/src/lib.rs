@@ -4,7 +4,11 @@
 //! workspace vendors minimal implementations of the external crates it uses.
 //! This one provides [`Bytes`], [`BytesMut`], [`Buf`] and [`BufMut`] with the
 //! exact semantics the workspace relies on: cheap clones and cheap zero-copy
-//! `split_to`/`slice` through a shared `Arc<[u8]>`.
+//! `split_to`/`slice` through a shared `Arc<Vec<u8>>`, plus the
+//! slice-reference entry points ([`Bytes::from_shared`]) the zero-copy
+//! frame-decode path builds on: a reassembly buffer can hand out `Bytes`
+//! views of its own storage, and `Arc::get_mut` on that storage tells the
+//! owner whether any view is still alive before it mutates in place.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -14,7 +18,7 @@ use std::sync::Arc;
 /// A cheaply cloneable, immutable view into shared contiguous memory.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -28,6 +32,30 @@ impl Bytes {
     /// Wraps a static slice without copying.
     pub fn from_static(s: &'static [u8]) -> Bytes {
         Bytes::from(s.to_vec())
+    }
+
+    /// A view of `data[start..end]` sharing `data`'s storage — the
+    /// slice-reference constructor the zero-copy frame path uses: the
+    /// reassembly buffer clones its `Arc` per decoded frame, and as long
+    /// as any such view is alive, `Arc::get_mut` on the buffer fails and
+    /// the owner knows it must not reuse the storage in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > data.len()`.
+    pub fn from_shared(data: Arc<Vec<u8>>, start: usize, end: usize) -> Bytes {
+        assert!(
+            start <= end && end <= data.len(),
+            "from_shared range out of bounds"
+        );
+        Bytes { data, start, end }
+    }
+
+    /// An address identifying the backing storage: two `Bytes` with equal
+    /// `storage_id` alias the same allocation. Diagnostic/test hook for
+    /// asserting a decode really was zero-copy.
+    pub fn storage_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
     }
 
     /// The number of bytes in the view.
@@ -88,9 +116,10 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        // Moves the allocation behind the `Arc` — no byte copy.
         let end = v.len();
         Bytes {
-            data: v.into(),
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -404,6 +433,21 @@ mod tests {
         // DerefMut allows in-place patching (length-prefix fixup).
         b[0] = 7;
         assert_eq!(&b[..], &[7]);
+    }
+
+    #[test]
+    fn from_shared_aliases_storage() {
+        let storage = Arc::new(vec![1u8, 2, 3, 4, 5]);
+        let a = Bytes::from_shared(storage.clone(), 1, 4);
+        let b = Bytes::from_shared(storage.clone(), 0, 2);
+        assert_eq!(&a[..], &[2, 3, 4]);
+        assert_eq!(&b[..], &[1, 2]);
+        assert_eq!(a.storage_id(), b.storage_id());
+        // The owner can tell views are alive: get_mut must fail.
+        let mut storage = storage;
+        assert!(Arc::get_mut(&mut storage).is_none());
+        drop((a, b));
+        assert!(Arc::get_mut(&mut storage).is_some());
     }
 
     #[test]
