@@ -1,0 +1,184 @@
+//! Ablation: horizontal sharding — replica groups × clients × cross-shard
+//! fraction.
+//!
+//! Sweeps a bank workload over [`ShardedDeployment`] (PBR groups): each
+//! configuration partitions the same keyspace across `shards` independent
+//! replica groups and offers a closed-loop load in which `cross_pct`
+//! percent of transactions are transfers between accounts on *different*
+//! shards (routed through deterministic 2PC-over-TOB) and the rest are
+//! single-shard deposits (routed straight to the owning group). Virtual
+//! time makes every number deterministic.
+//!
+//! Emits a human-readable table plus one JSON line per configuration
+//! (`{"shards":s,"clients":c,"cross_pct":p,"throughput_per_sec":t,
+//! "latency_ms":l,"cross_committed":n}`) for the record in
+//! `BENCH_hotpaths.json` (group `sharding`).
+
+use parking_lot::Mutex;
+use shadowdb::deploy::{ShardedDeployment, ShardedOptions};
+use shadowdb::pbr::PbrOptions;
+use shadowdb::shard::check_two_pc_atomicity;
+use shadowdb_bench::{output, scaled};
+use shadowdb_loe::VTime;
+use shadowdb_simnet::{NetworkConfig, SimBuilder};
+use shadowdb_workloads::{bank, TxnRequest};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: usize = 256;
+
+/// Deterministic account mixer. A *linear* account formula would walk
+/// every client through the shards with the same stride, so clients that
+/// queue together at one primary move to the next group together — a
+/// stable rotating convoy that serializes the groups and hides the
+/// parallelism being measured. Hashing `(k, client)` decorrelates the
+/// walks.
+fn mix(k: usize, client: usize) -> usize {
+    let mut x = (k as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((client as u64) << 32 | 0xDEAD_BEEF);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x as usize
+}
+
+/// The per-client transaction list: `cross_pct`% cross-shard transfers
+/// (the destination account lives on the next shard over, so at
+/// `shards == 1` the same mix degenerates to single-group transfers and
+/// never runs 2PC), the rest single-shard deposits. Transfers are spread
+/// evenly through the list (Bresenham-style, so the fraction holds at any
+/// `n`), and the whole list is deterministic in `(client, k)` so every
+/// shard count sees the *same* offered load.
+fn txns(client: usize, n: usize, cross_pct: usize) -> Vec<TxnRequest> {
+    (0..n)
+        .map(|k| {
+            let from = (mix(k, client) % ROWS) as i64;
+            if (k + 1) * cross_pct / 100 > k * cross_pct / 100 {
+                // `from + 1` is on a different shard whenever `shards > 1`
+                // (ROWS is a multiple of every swept shard count).
+                TxnRequest::BankTransfer {
+                    from,
+                    to: (from + 1) % ROWS as i64,
+                    amount: 1 + (k % 7) as i64,
+                }
+            } else {
+                TxnRequest::BankDeposit {
+                    account: from,
+                    amount: 1 + (k % 50) as i64,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Runs one configuration to quiescence; returns
+/// `(throughput/s, mean latency ms, cross-shard commits observed)`.
+fn run(shards: usize, n_clients: usize, cross_pct: usize, txns_each: usize) -> (f64, f64, usize) {
+    // LAN latency, unlike the window ablation's 2 ms hops: sharding buys
+    // *CPU* parallelism (one primary and one broadcast service per
+    // group), so the network must be fast enough for the engine cost
+    // model — not the round trip — to be the binding resource. On a WAN
+    // every closed-loop client is latency-bound and no shard count can
+    // help.
+    let net = NetworkConfig::lan();
+    let seed = (shards * 1_000 + n_clients * 10 + cross_pct) as u64;
+    let mut sim = SimBuilder::new(seed).network(net).build();
+    let probe = Arc::new(Mutex::new(Vec::new()));
+    let mut options = ShardedOptions::new(
+        shards,
+        n_clients,
+        move |c| txns(c, txns_each, cross_pct),
+        move |shard, db| bank::load_shard(db, ROWS, shards, shard).expect("loads"),
+    );
+    options.client_timeout = Duration::from_secs(60);
+    options.probe = Some(probe.clone());
+    let d = ShardedDeployment::build_pbr(&mut sim, &options, PbrOptions::default());
+    sim.run_until_quiescent(VTime::from_secs(36_000));
+    assert_eq!(
+        d.committed(),
+        n_clients * txns_each,
+        "shards {shards} clients {n_clients} cross {cross_pct}%: every txn must commit"
+    );
+    let events = probe.lock();
+    check_two_pc_atomicity(&events).expect("cross-shard commits are atomic");
+    // Distinct transactions that committed through 2PC (the probe logs
+    // one `Decided` per replica per participant shard).
+    let cross = events
+        .iter()
+        .filter_map(|e| match e {
+            shadowdb::shard::TwoPcEvent::Decided {
+                txnid,
+                commit: true,
+                ..
+            } => Some(*txnid),
+            _ => None,
+        })
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+
+    let mut all: Vec<(VTime, VTime)> = Vec::new();
+    for s in &d.stats {
+        let s = s.lock();
+        let warm = s.completed.len() / 10;
+        all.extend(s.completed.iter().skip(warm).map(|(a, b, _)| (*a, *b)));
+    }
+    let first = all.iter().map(|(a, _)| *a).min().expect("commits");
+    let last = all.iter().map(|(_, b)| *b).max().expect("commits");
+    let span = last.saturating_since(first).as_secs_f64().max(1e-9);
+    let lat = all
+        .iter()
+        .map(|(a, b)| b.saturating_since(*a).as_secs_f64() * 1e3)
+        .sum::<f64>()
+        / all.len() as f64;
+    (all.len() as f64 / span, lat, cross)
+}
+
+fn main() {
+    output::banner(
+        "Ablation — replica groups × clients × cross-shard fraction",
+        "horizontal sharding with deterministic 2PC-over-TOB",
+    );
+    let txns_each = scaled(100, 5);
+    output::kv("accounts", ROWS);
+    output::kv("transactions per client", txns_each);
+    let mut json = Vec::new();
+    for &clients in &[8usize, 32] {
+        for &cross in &[0usize, 10, 30] {
+            let rows: Vec<(String, String)> = [1usize, 2, 4]
+                .iter()
+                .map(|&s| {
+                    let (tput, lat, ncross) = run(s, clients, cross, txns_each);
+                    json.push(format!(
+                        "{{\"shards\":{s},\"clients\":{clients},\"cross_pct\":{cross},\
+                         \"throughput_per_sec\":{tput:.1},\"latency_ms\":{lat:.2},\
+                         \"cross_committed\":{ncross}}}"
+                    ));
+                    (
+                        format!("shards {s}"),
+                        format!("{tput:>8.1}/s   {lat:>8.2} ms   {ncross:>4} cross"),
+                    )
+                })
+                .collect();
+            output::pairs(
+                &format!("{clients} clients, {cross}% cross-shard"),
+                "shards",
+                "committed/s, latency, 2PC commits",
+                &rows,
+            );
+        }
+    }
+    println!();
+    for line in &json {
+        println!("{line}");
+    }
+    println!();
+    println!("single-shard transactions scale with the group count: each group");
+    println!("runs its own broadcast service and primary, so at 0% cross-shard");
+    println!("four groups carry roughly four single-group loads in parallel.");
+    println!("cross-shard transfers pay the extra 2PC hops (prepare, votes,");
+    println!("decision — all through the participants' own TOB services), so");
+    println!("as the cross fraction grows the speedup flattens: the ablation");
+    println!("quantifies how far the fraction can rise before coordination");
+    println!("overhead eats the parallelism.");
+}

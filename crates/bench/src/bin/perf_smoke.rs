@@ -321,6 +321,73 @@ fn sqldb_cached_update_speedup() -> f64 {
     speedup
 }
 
+/// Virtual-time aggregate bank throughput of a 4-group sharded
+/// deployment over the throughput of the identical workload on a single
+/// group — the tentpole claim of the sharding layer, asserted directly:
+/// four groups must at least double one group. The workload is 48
+/// closed-loop clients of single-shard deposits on a LAN-latency
+/// network, enough offered load to saturate one primary's virtual CPU;
+/// with four groups the same load spreads over four primaries and four
+/// broadcast services. Virtual time makes both numbers deterministic, so
+/// the gate tracks protocol and routing changes, not host noise.
+fn sharded_bank_speedup() -> f64 {
+    use shadowdb::deploy::{ShardedDeployment, ShardedOptions};
+    use shadowdb::pbr::PbrOptions;
+    use shadowdb_workloads::{bank, TxnRequest};
+
+    const ROWS: usize = 256;
+    const CLIENTS: usize = 48;
+    const TXNS: usize = 50;
+    // Deterministic account mixer: a linear account formula would walk
+    // every client through the shards with the same stride, forming
+    // rotating convoys that serialize the groups (see ablation_shards).
+    fn mix(k: usize, client: usize) -> usize {
+        let mut x = (k as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((client as u64) << 32 | 0xDEAD_BEEF);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x ^= x >> 33;
+        x as usize
+    }
+    let run = |shards: usize| -> f64 {
+        let mut sim = SimBuilder::new(11).network(NetworkConfig::lan()).build();
+        let options = ShardedOptions::new(
+            shards,
+            CLIENTS,
+            |client| {
+                (0..TXNS)
+                    .map(|k| TxnRequest::BankDeposit {
+                        account: (mix(k, client) % ROWS) as i64,
+                        amount: 1 + (k % 50) as i64,
+                    })
+                    .collect()
+            },
+            move |shard, db| bank::load_shard(db, ROWS, shards, shard).expect("loads"),
+        );
+        let d = ShardedDeployment::build_pbr(&mut sim, &options, PbrOptions::default());
+        sim.run_until_quiescent(VTime::from_secs(3_600));
+        assert_eq!(d.committed(), CLIENTS * TXNS, "{shards} shard(s)");
+        let mut all: Vec<(VTime, VTime)> = Vec::new();
+        for s in &d.stats {
+            let s = s.lock();
+            let warm = s.completed.len() / 10;
+            all.extend(s.completed.iter().skip(warm).map(|(a, b, _)| (*a, *b)));
+        }
+        let first = all.iter().map(|(a, _)| *a).min().expect("commits");
+        let last = all.iter().map(|(_, b)| *b).max().expect("commits");
+        all.len() as f64 / last.saturating_since(first).as_secs_f64().max(1e-9)
+    };
+    let one = run(1);
+    let four = run(4);
+    println!("  (bank 1 shard: {one:.0}/s, 4 shards: {four:.0}/s)");
+    assert!(
+        four >= 2.0 * one,
+        "4 shards must at least double 1-shard bank throughput: {four:.0} vs {one:.0}"
+    );
+    four / one
+}
+
 /// Client-observed failover time on the simulator, in **virtual**
 /// milliseconds: a PBR deployment runs a bank workload, the primary is
 /// crashed mid-run, and the leg reports the gap between the crash and the
@@ -452,6 +519,11 @@ fn main() {
         (
             "sqldb_cached_update_speedup",
             sqldb_cached_update_speedup(),
+            Gate::HigherBetter,
+        ),
+        (
+            "sharded_bank_speedup_4x1",
+            sharded_bank_speedup(),
             Gate::HigherBetter,
         ),
         (

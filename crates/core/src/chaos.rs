@@ -29,14 +29,17 @@
 //! applied as scheduled.
 
 use crate::client::{DbClient, DbClientStats};
-use crate::deploy::{DeployOptions, PbrDeployment, SmrDeployment};
+use crate::deploy::{
+    DeployOptions, PbrDeployment, ShardedDeployment, ShardedOptions, SmrDeployment,
+};
 use crate::pbr::{PbrOptions, PrimaryProbe};
 use crate::serializability::check_bank_history_concurrent;
+use crate::shard::{check_two_pc_atomicity, TwoPcProbe};
 use parking_lot::Mutex;
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_runtime::fault::mix64;
 use shadowdb_runtime::{schedule_node_faults, FaultTopology, Nemesis, NemesisProfile, Runtime};
-use shadowdb_workloads::{bank, TxnRequest};
+use shadowdb_workloads::{bank, ShardMap, TxnRequest};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -133,6 +136,24 @@ pub fn mixed_txns(seed: u64, n: usize, rows: usize) -> Vec<TxnRequest> {
         .collect()
 }
 
+/// The sharded per-client script: a transfer every third transaction and
+/// a read every third, deposits in between. Transfers draw both accounts
+/// uniformly, so with `s` shards a fraction `(s-1)/s` of them are
+/// cross-shard — the traffic the 2PC path and its atomicity assertions
+/// need.
+pub fn sharded_mixed_txns(seed: u64, n: usize, rows: usize) -> Vec<TxnRequest> {
+    let mut gen = bank::BankGen::new(seed, rows);
+    (0..n)
+        .map(|k| match k % 3 {
+            2 => TxnRequest::BankRead {
+                account: (mix64(seed ^ (k as u64) << 16) % rows as u64) as i64,
+            },
+            1 => gen.next_transfer(),
+            _ => gen.next_txn(),
+        })
+        .collect()
+}
+
 fn deploy_options(opts: &ChaosOptions) -> (Vec<Vec<TxnRequest>>, DeployOptions) {
     let scripts: Vec<Vec<TxnRequest>> = (0..opts.n_clients)
         .map(|i| {
@@ -168,14 +189,20 @@ fn arm_nemesis<R: Runtime + ?Sized>(
     opts: &ChaosOptions,
     victim: Loc,
     clients: &[Loc],
+    groups: Vec<Vec<Loc>>,
 ) -> VTime {
-    let core: Vec<Loc> = (clients.len() as u32..rt.node_count())
+    // Core = every node that is not a client. (Sharded deployments lay
+    // clients out *last*, unsharded ones first; membership, not position,
+    // decides.)
+    let core: Vec<Loc> = (0..rt.node_count())
         .map(Loc::new)
+        .filter(|l| !clients.contains(l))
         .collect();
     let topo = FaultTopology {
         clients: clients.to_vec(),
         core,
         victim,
+        groups,
     };
     let epoch = rt.now() + Duration::from_millis(5);
     let plan = Nemesis::new(opts.seed, opts.profile, opts.duration)
@@ -260,7 +287,7 @@ pub fn soak_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosRe
     };
     let (scripts, dopts) = deploy_options(opts);
     let d = PbrDeployment::build(rt, &dopts, pbr);
-    arm_nemesis(rt, opts, d.replicas[0], &d.clients);
+    arm_nemesis(rt, opts, d.replicas[0], &d.clients, Vec::new());
     let answered = drive(rt, opts, &d.stats);
     let committed = assert_history(opts, "pbr", answered, &scripts, &d.stats);
 
@@ -289,6 +316,165 @@ pub fn soak_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosRe
     }
 }
 
+fn sharded_deploy_options(
+    opts: &ChaosOptions,
+    shards: usize,
+    probe: TwoPcProbe,
+) -> (Vec<Vec<TxnRequest>>, ShardedOptions) {
+    let scripts: Vec<Vec<TxnRequest>> = (0..opts.n_clients)
+        .map(|i| {
+            sharded_mixed_txns(
+                opts.seed.wrapping_add(7919 * (i as u64 + 1)),
+                opts.txns_per_client,
+                opts.rows,
+            )
+        })
+        .collect();
+    let per_client = scripts.clone();
+    let rows = opts.rows;
+    let mut sopts = ShardedOptions::new(
+        shards,
+        opts.n_clients,
+        move |i| per_client[i].clone(),
+        move |shard, db| bank::load_shard(db, rows, shards, shard).expect("bank shard loads"),
+    );
+    sopts.client_timeout = opts.client_timeout;
+    sopts.window = opts.window;
+    sopts.start_clients = false;
+    sopts.probe = Some(probe);
+    (scripts, sopts)
+}
+
+/// The nodes of each shard for the nemesis topology: replicas *and* the
+/// group's broadcast servers, so a group-to-group partition severs every
+/// cross-group path (PBR routes 2PC records replica→replica, SMR routes
+/// them replica→target-group broadcast server).
+fn shard_groups(d: &ShardedDeployment) -> Vec<Vec<Loc>> {
+    d.groups
+        .iter()
+        .map(|g| g.replicas.iter().chain(&g.tob.servers).copied().collect())
+        .collect()
+}
+
+/// Asserts the cross-shard invariants on the 2PC probe: the event log is
+/// internally consistent (no conflicting votes/decisions/applies) and no
+/// transaction committed on one shard while aborting — or never landing —
+/// on another.
+fn assert_two_pc(opts: &ChaosOptions, kind: &str, probe: &TwoPcProbe, map: ShardMap) {
+    let events = probe.lock();
+    if map.shards() > 1 {
+        assert!(
+            !events.is_empty(),
+            "{kind} soak never exercised cross-shard commit (seed {}, {:?})",
+            opts.seed,
+            opts.profile
+        );
+    }
+    if let Err(e) = check_two_pc_atomicity(&events) {
+        panic!(
+            "{kind} soak violated cross-shard atomicity (seed {}, {:?}): {e}",
+            opts.seed, opts.profile
+        );
+    }
+}
+
+/// Soaks a sharded primary-backup deployment — `shards` independent PBR
+/// groups plus the deterministic 2PC-over-TOB cross-shard path — under
+/// the nemesis. The victim handed to the nemesis is **shard 0's
+/// primary**: shard 0 coordinates every 2PC it participates in, so
+/// crash/partition profiles hit the protocol where its recovery argument
+/// lives. On top of the unsharded assertions, the run must keep the 2PC
+/// probe's event log atomic: no transaction half-committed across
+/// groups.
+pub fn soak_sharded_pbr<R: Runtime + ?Sized>(
+    rt: &mut R,
+    opts: &ChaosOptions,
+    shards: usize,
+) -> ChaosReport {
+    let primaries_probe: PrimaryProbe = Arc::new(Mutex::new(Vec::new()));
+    let twopc_probe: TwoPcProbe = Arc::new(Mutex::new(Vec::new()));
+    let pbr = PbrOptions {
+        heartbeat_every: opts.heartbeat_every,
+        detect_after: opts.detect_after,
+        probe: Some(primaries_probe.clone()),
+        ..PbrOptions::default()
+    };
+    let (scripts, sopts) = sharded_deploy_options(opts, shards, twopc_probe.clone());
+    let d = ShardedDeployment::build_pbr(rt, &sopts, pbr);
+    arm_nemesis(
+        rt,
+        opts,
+        d.groups[0].replicas[0],
+        &d.clients,
+        shard_groups(&d),
+    );
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "sharded-pbr", answered, &scripts, &d.stats);
+    assert_two_pc(opts, "sharded-pbr", &twopc_probe, d.map);
+
+    // Election safety per group: config sequence numbers are group-local,
+    // so uniqueness is asserted per (group, seq), not globally.
+    let primaries = primaries_probe.lock().clone();
+    let group_of = |loc: Loc| {
+        d.groups
+            .iter()
+            .position(|g| g.replicas.contains(&loc))
+            .expect("probe entries come from replicas")
+    };
+    let mut by_seq: HashMap<(usize, i64), Loc> = HashMap::new();
+    for (seq, loc) in &primaries {
+        if let Some(prev) = by_seq.insert((group_of(*loc), *seq), *loc) {
+            assert_eq!(
+                prev, *loc,
+                "two primaries executed in one group's config {seq}: {prev:?} and {loc:?} \
+                 (seed {}, {:?})",
+                opts.seed, opts.profile
+            );
+        }
+    }
+
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries,
+    }
+}
+
+/// Soaks a sharded state-machine-replication deployment. The victim is a
+/// replica of shard 0 (the coordinator group); under SMR any single
+/// replica is expendable, so the interesting profiles are the
+/// group-to-group partitions.
+pub fn soak_sharded_smr<R: Runtime + ?Sized>(
+    rt: &mut R,
+    opts: &ChaosOptions,
+    shards: usize,
+) -> ChaosReport {
+    let twopc_probe: TwoPcProbe = Arc::new(Mutex::new(Vec::new()));
+    let (scripts, sopts) = sharded_deploy_options(opts, shards, twopc_probe.clone());
+    let d = ShardedDeployment::build_smr(rt, &sopts);
+    arm_nemesis(
+        rt,
+        opts,
+        *d.groups[0].replicas.last().expect("replicas"),
+        &d.clients,
+        shard_groups(&d),
+    );
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "sharded-smr", answered, &scripts, &d.stats);
+    assert_two_pc(opts, "sharded-smr", &twopc_probe, d.map);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries: Vec::new(),
+    }
+}
+
 /// Soaks a state-machine-replication deployment under the nemesis and
 /// asserts convergence plus strict serializability.
 pub fn soak_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
@@ -296,7 +482,13 @@ pub fn soak_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosRe
     let d = SmrDeployment::build(rt, &dopts);
     // Victim is the last replica: under SMR any single replica is
     // expendable (clients take the first answer from a survivor).
-    arm_nemesis(rt, opts, *d.replicas.last().expect("replicas"), &d.clients);
+    arm_nemesis(
+        rt,
+        opts,
+        *d.replicas.last().expect("replicas"),
+        &d.clients,
+        Vec::new(),
+    );
     let answered = drive(rt, opts, &d.stats);
     let committed = assert_history(opts, "smr", answered, &scripts, &d.stats);
     let (dropped, duplicated) = rt.fault_stats();

@@ -22,7 +22,7 @@ use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_runtime::fault::mix64;
 use shadowdb_tob::broadcast_msg;
-use shadowdb_workloads::TxnRequest;
+use shadowdb_workloads::{ShardMap, TwoPcRecord, TxnRequest};
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,6 +48,17 @@ pub enum Submission {
     Smr {
         /// TOB server entry points.
         servers: Vec<Loc>,
+    },
+    /// A sharded deployment: route single-shard transactions straight to
+    /// their owning group (the fast path — untouched by sharding), and fan
+    /// cross-shard transactions out as a 2PC Prepare to every participant
+    /// group. The coordinator group answers through the ordinary reply
+    /// path. Groups must not themselves be `Sharded`.
+    Sharded {
+        /// The keyspace partitioning.
+        map: ShardMap,
+        /// Per-shard submission routes, indexed by shard id.
+        groups: Vec<Submission>,
     },
 }
 
@@ -124,6 +135,8 @@ pub struct DbClient {
     bcast_seq: i64,
     /// PBR: the replica believed to be primary (updated from replies).
     believed_primary: Option<Loc>,
+    /// Sharded: per-group believed primaries (PBR groups only).
+    believed_groups: Vec<Option<Loc>>,
     timeout: Duration,
     stats: Arc<Mutex<DbClientStats>>,
 }
@@ -135,6 +148,10 @@ impl DbClient {
         txns: Vec<TxnRequest>,
         stats: Arc<Mutex<DbClientStats>>,
     ) -> DbClient {
+        let believed_groups = match &submission {
+            Submission::Sharded { groups, .. } => vec![None; groups.len()],
+            _ => Vec::new(),
+        };
         DbClient {
             submission,
             txns,
@@ -143,6 +160,7 @@ impl DbClient {
             resend_round: 0,
             bcast_seq: 0,
             believed_primary: None,
+            believed_groups,
             timeout: Duration::from_secs(5),
             stats,
         }
@@ -204,6 +222,49 @@ impl DbClient {
                     broadcast_msg(ctx.slf, msgid, env.to_value()),
                 ));
             }
+            Submission::Sharded { map, groups } => {
+                let parts = map.participants(&env.txn);
+                let env = if parts.len() == 1 {
+                    env // single-shard: the original request, fast path
+                } else {
+                    TxnEnvelope {
+                        client: ctx.slf,
+                        cseq,
+                        txn: TxnRequest::TwoPc(TwoPcRecord::Prepare {
+                            txnid: (ctx.slf, cseq),
+                            participants: parts.clone(),
+                            txn: Box::new(env.txn),
+                        }),
+                    }
+                };
+                for p in &parts {
+                    match &groups[*p] {
+                        Submission::Pbr { replicas } => {
+                            if resend {
+                                self.believed_groups[*p] = None;
+                                for r in replicas {
+                                    outs.push(SendInstr::now(*r, submit_msg(&env)));
+                                }
+                            } else {
+                                let target = self.believed_groups[*p].unwrap_or(replicas[0]);
+                                outs.push(SendInstr::now(target, submit_msg(&env)));
+                            }
+                        }
+                        Submission::Smr { servers } => {
+                            let idx = (self.resend_round as usize) % servers.len();
+                            let msgid = self.bcast_seq;
+                            self.bcast_seq += 1;
+                            outs.push(SendInstr::now(
+                                servers[idx],
+                                broadcast_msg(ctx.slf, msgid, env.to_value()),
+                            ));
+                        }
+                        Submission::Sharded { .. } => {
+                            unreachable!("sharded groups cannot nest");
+                        }
+                    }
+                }
+            }
         }
         outs.push(SendInstr::after(
             self.retry_delay(ctx.slf, cseq),
@@ -242,6 +303,15 @@ impl Process for DbClient {
             if matches!(self.submission, Submission::Pbr { .. }) {
                 self.believed_primary = Some(reply.from);
             }
+            if let Submission::Sharded { groups, .. } = &self.submission {
+                for (i, g) in groups.iter().enumerate() {
+                    if let Submission::Pbr { replicas } = g {
+                        if replicas.contains(&reply.from) {
+                            self.believed_groups[i] = Some(reply.from);
+                        }
+                    }
+                }
+            }
             if let Some((outstanding, sent)) = self.outstanding {
                 if reply.cseq == outstanding {
                     self.outstanding = None;
@@ -264,6 +334,7 @@ impl Process for DbClient {
             resend_round: self.resend_round,
             bcast_seq: self.bcast_seq,
             believed_primary: self.believed_primary,
+            believed_groups: self.believed_groups.clone(),
             timeout: self.timeout,
             stats: self.stats.clone(),
         })

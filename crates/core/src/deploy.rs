@@ -12,6 +12,7 @@ use crate::client::{DbClient, DbClientStats, Submission};
 use crate::diversity::DiversityPolicy;
 use crate::msgs::ReplicaConfig;
 use crate::pbr::{PbrOptions, PbrReplica};
+use crate::shard::{GroupRoute, ShardRole, TwoPcProbe};
 use crate::smr::SmrReplica;
 use parking_lot::Mutex;
 use shadowdb_loe::{Loc, VTime};
@@ -19,7 +20,7 @@ use shadowdb_runtime::Runtime;
 use shadowdb_sqldb::Database;
 use shadowdb_tob::deploy::BackendKind;
 use shadowdb_tob::{ExecutionMode, TobDeployment, TobOptions};
-use shadowdb_workloads::TxnRequest;
+use shadowdb_workloads::{ShardMap, TxnRequest};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -291,6 +292,283 @@ impl SmrDeployment {
     }
 }
 
+/// Loads schema and one shard's rows into a group database; the shard id
+/// comes first so the same closure serves every group.
+pub type ShardLoader = Box<dyn Fn(usize, &Database)>;
+
+/// Options for a horizontally sharded deployment: `shards` independent
+/// replica groups (each with its own broadcast service), one logical
+/// database partitioned by [`ShardMap`].
+pub struct ShardedOptions {
+    /// Number of replica groups.
+    pub shards: usize,
+    /// Number of clients (each routes across all groups).
+    pub n_clients: usize,
+    /// Produces the transaction list for client `i`.
+    pub client_txns: Box<dyn Fn(usize) -> Vec<TxnRequest>>,
+    /// Engine assignment across replicas (applied within each group).
+    pub diversity: DiversityPolicy,
+    /// Loads schema and **only shard `shard`'s rows** into one of that
+    /// group's databases. Unlike the unsharded [`DeployOptions::loader`],
+    /// the shard id comes first so the same closure serves every group.
+    pub loader: ShardLoader,
+    /// Broadcast-service execution mode.
+    pub mode: ExecutionMode,
+    /// Client retransmission timeout.
+    pub client_timeout: Duration,
+    /// Transactions-per-proposal bound in each broadcast service.
+    pub max_batch: usize,
+    /// Broadcast-service pipelining window.
+    pub window: Option<usize>,
+    /// PBR only: active replicas per group.
+    pub active_replicas: usize,
+    /// Broadcast-service machines per group.
+    pub machines: u32,
+    /// Consensus module for every group's broadcast service.
+    pub backend: BackendKind,
+    /// Whether the builder schedules client kick-off itself.
+    pub start_clients: bool,
+    /// Optional cross-shard commit observer, shared by every replica; the
+    /// chaos harness checks it with
+    /// [`crate::shard::check_two_pc_atomicity`].
+    pub probe: Option<TwoPcProbe>,
+}
+
+impl ShardedOptions {
+    /// Defaults mirroring [`DeployOptions::new`], with a per-shard loader.
+    pub fn new(
+        shards: usize,
+        n_clients: usize,
+        client_txns: impl Fn(usize) -> Vec<TxnRequest> + 'static,
+        loader: impl Fn(usize, &Database) + 'static,
+    ) -> ShardedOptions {
+        ShardedOptions {
+            shards,
+            n_clients,
+            client_txns: Box::new(client_txns),
+            diversity: DiversityPolicy::Uniform,
+            loader: Box::new(loader),
+            mode: ExecutionMode::Compiled,
+            client_timeout: Duration::from_secs(20),
+            max_batch: 64,
+            window: None,
+            active_replicas: 2,
+            machines: 3,
+            backend: BackendKind::Paxos,
+            start_clients: true,
+            probe: None,
+        }
+    }
+}
+
+/// One replica group of a sharded deployment.
+pub struct ShardGroup {
+    /// Replica locations; under PBR `[primary, backup, spare]`.
+    pub replicas: Vec<Loc>,
+    /// The group's broadcast service.
+    pub tob: TobDeployment,
+}
+
+/// A deployed sharded ShadowDB: `shards` independent replica groups over
+/// one [`Runtime`], with clients routing single-shard transactions
+/// straight to the owning group and cross-shard transactions through
+/// deterministic 2PC-over-TOB (see [`crate::shard`]).
+///
+/// Layout: groups first (each group's broadcast servers then its
+/// replicas), clients **last** — the opposite of the unsharded builders —
+/// so fault harnesses can target the contiguous core prefix.
+pub struct ShardedDeployment {
+    /// The keyspace partitioning.
+    pub map: ShardMap,
+    /// One entry per shard.
+    pub groups: Vec<ShardGroup>,
+    /// Client locations.
+    pub clients: Vec<Loc>,
+    /// Client measurement handles.
+    pub stats: Vec<Arc<Mutex<DbClientStats>>>,
+}
+
+impl ShardedDeployment {
+    /// Builds `shards` primary-backup groups.
+    pub fn build_pbr<R: Runtime + ?Sized>(
+        rt: &mut R,
+        options: &ShardedOptions,
+        pbr: PbrOptions,
+    ) -> ShardedDeployment {
+        Self::build(rt, options, Some(pbr))
+    }
+
+    /// Builds `shards` state-machine-replicated groups.
+    pub fn build_smr<R: Runtime + ?Sized>(
+        rt: &mut R,
+        options: &ShardedOptions,
+    ) -> ShardedDeployment {
+        Self::build(rt, options, None)
+    }
+
+    fn build<R: Runtime + ?Sized>(
+        rt: &mut R,
+        options: &ShardedOptions,
+        pbr: Option<PbrOptions>,
+    ) -> ShardedDeployment {
+        let map = ShardMap::new(options.shards);
+        let backend = options.backend;
+        let per = tob_per(backend);
+        let base = rt.node_count();
+        let n_replicas = match &pbr {
+            Some(_) => options.active_replicas as u32 + 1, // plus one spare
+            None => options.machines,
+        };
+        let group_span = options.machines * per + n_replicas;
+
+        // Every group's layout is a pure function of `base`, so routes to
+        // *all* groups are known before any node exists — replicas need
+        // them to address 2PC records at peers.
+        let mut server_locs: Vec<Vec<Loc>> = Vec::new();
+        let mut replica_locs: Vec<Vec<Loc>> = Vec::new();
+        for g in 0..options.shards {
+            let gbase = base + g as u32 * group_span;
+            server_locs.push(
+                (0..options.machines)
+                    .map(|i| Loc::new(gbase + i * per))
+                    .collect(),
+            );
+            replica_locs.push(
+                (0..n_replicas)
+                    .map(|i| Loc::new(gbase + options.machines * per + i))
+                    .collect(),
+            );
+        }
+        let routes: Vec<GroupRoute> = (0..options.shards)
+            .map(|g| match &pbr {
+                Some(_) => GroupRoute::Pbr {
+                    replicas: replica_locs[g].clone(),
+                },
+                None => GroupRoute::Smr {
+                    servers: server_locs[g].clone(),
+                },
+            })
+            .collect();
+
+        let mut groups = Vec::new();
+        for g in 0..options.shards {
+            let tob = TobDeployment::build(
+                rt,
+                &TobOptions {
+                    machines: options.machines,
+                    backend,
+                    mode: options.mode,
+                    max_batch: options.max_batch,
+                    window: options.window,
+                    ..TobOptions::default()
+                },
+                replica_locs[g].clone(),
+            );
+            assert_eq!(tob.servers, server_locs[g]);
+            let role = ShardRole {
+                map,
+                shard: g,
+                routes: routes.clone(),
+                probe: options.probe.clone(),
+            };
+            match &pbr {
+                Some(pbr_opts) => {
+                    let config =
+                        ReplicaConfig::initial(replica_locs[g][..options.active_replicas].to_vec());
+                    let spares = replica_locs[g][options.active_replicas..].to_vec();
+                    for (i, r) in replica_locs[g].iter().enumerate() {
+                        let db = options.diversity.database(i);
+                        (options.loader)(g, &db);
+                        let replica = PbrReplica::new(
+                            db,
+                            config.clone(),
+                            spares.clone(),
+                            server_locs[g].clone(),
+                            pbr_opts.clone(),
+                        )
+                        .with_role(role.clone());
+                        let loc = rt.add_node(Box::new(replica));
+                        assert_eq!(loc, *r);
+                    }
+                }
+                None => {
+                    for (i, r) in replica_locs[g].iter().enumerate() {
+                        let db = options.diversity.database(i);
+                        (options.loader)(g, &db);
+                        let replica = SmrReplica::new(db).with_role(role.clone());
+                        let loc = rt.add_node(Box::new(replica));
+                        assert_eq!(loc, *r);
+                    }
+                }
+            }
+            groups.push(ShardGroup {
+                replicas: replica_locs[g].clone(),
+                tob,
+            });
+        }
+
+        // Clients last.
+        let sub_groups: Vec<Submission> = (0..options.shards)
+            .map(|g| match &pbr {
+                Some(_) => Submission::Pbr {
+                    replicas: replica_locs[g].clone(),
+                },
+                None => Submission::Smr {
+                    servers: server_locs[g].clone(),
+                },
+            })
+            .collect();
+        let mut stats = Vec::new();
+        let mut clients = Vec::new();
+        for i in 0..options.n_clients {
+            let s = Arc::new(Mutex::new(DbClientStats::default()));
+            stats.push(s.clone());
+            let client = DbClient::new(
+                Submission::Sharded {
+                    map,
+                    groups: sub_groups.clone(),
+                },
+                (options.client_txns)(i),
+                s,
+            )
+            .with_timeout(options.client_timeout);
+            clients.push(rt.add_node(Box::new(client)));
+        }
+
+        if pbr.is_some() {
+            for group in &groups {
+                for r in &group.replicas {
+                    rt.send_at(VTime::ZERO, *r, PbrReplica::start_msg());
+                }
+            }
+        }
+        if options.start_clients {
+            for cl in &clients {
+                rt.send_at(VTime::from_millis(1), *cl, DbClient::start_msg());
+            }
+        }
+        ShardedDeployment {
+            map,
+            groups,
+            clients,
+            stats,
+        }
+    }
+
+    /// Total committed transactions across clients.
+    pub fn committed(&self) -> usize {
+        self.stats.iter().map(|s| s.lock().committed()).sum()
+    }
+
+    /// Every replica location, flattened in shard order.
+    pub fn all_replicas(&self) -> Vec<Loc> {
+        self.groups
+            .iter()
+            .flat_map(|g| g.replicas.clone())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -368,6 +646,78 @@ mod tests {
         );
         let resends: u64 = d.stats.iter().map(|s| s.lock().resends).sum();
         assert!(resends > 0, "clients must have retried during the outage");
+    }
+
+    fn sharded_bank_options(
+        shards: usize,
+        n_clients: usize,
+        txns_each: usize,
+        transfer_every: usize,
+    ) -> ShardedOptions {
+        const ROWS: usize = 64;
+        ShardedOptions::new(
+            shards,
+            n_clients,
+            move |i| {
+                let mut g = bank::BankGen::new(500 + i as u64, ROWS);
+                (0..txns_each)
+                    .map(|k| {
+                        if transfer_every > 0 && k % transfer_every == 0 {
+                            g.next_transfer()
+                        } else {
+                            g.next_txn()
+                        }
+                    })
+                    .collect()
+            },
+            move |shard, db| bank::load_shard(db, ROWS, shards, shard).expect("bank shard loads"),
+        )
+    }
+
+    #[test]
+    fn sharded_single_shard_never_runs_two_pc() {
+        let mut sim = shadowdb_simnet::testing::default_net(8);
+        let probe: TwoPcProbe = Arc::new(Mutex::new(Vec::new()));
+        let mut options = sharded_bank_options(1, 2, 12, 3);
+        options.probe = Some(probe.clone());
+        let d = ShardedDeployment::build_pbr(&mut sim, &options, PbrOptions::default());
+        sim.run_until_quiescent(VTime::from_secs(120));
+        assert_eq!(d.committed(), 24);
+        assert!(
+            probe.lock().is_empty(),
+            "one shard means every transaction is single-shard: no 2PC"
+        );
+    }
+
+    #[test]
+    fn sharded_pbr_cross_shard_commits_atomically() {
+        let mut sim = shadowdb_simnet::testing::default_net(9);
+        let probe: TwoPcProbe = Arc::new(Mutex::new(Vec::new()));
+        let mut options = sharded_bank_options(2, 2, 12, 2);
+        options.probe = Some(probe.clone());
+        let d = ShardedDeployment::build_pbr(&mut sim, &options, PbrOptions::default());
+        sim.run_until_quiescent(VTime::from_secs(300));
+        assert_eq!(d.committed(), 24);
+        let events = probe.lock();
+        assert!(
+            !events.is_empty(),
+            "the workload must actually exercise cross-shard commit"
+        );
+        crate::shard::check_two_pc_atomicity(&events).expect("atomic cross-shard histories");
+    }
+
+    #[test]
+    fn sharded_smr_cross_shard_commits_atomically() {
+        let mut sim = shadowdb_simnet::testing::default_net(10);
+        let probe: TwoPcProbe = Arc::new(Mutex::new(Vec::new()));
+        let mut options = sharded_bank_options(2, 2, 10, 2);
+        options.probe = Some(probe.clone());
+        let d = ShardedDeployment::build_smr(&mut sim, &options);
+        sim.run_until_quiescent(VTime::from_secs(300));
+        assert_eq!(d.committed(), 20);
+        let events = probe.lock();
+        assert!(!events.is_empty(), "cross-shard transfers must appear");
+        crate::shard::check_two_pc_atomicity(&events).expect("atomic cross-shard histories");
     }
 
     #[test]

@@ -33,9 +33,13 @@ pub mod diversity;
 pub mod msgs;
 pub mod pbr;
 pub mod serializability;
+pub mod shard;
 pub mod smr;
 
-pub use chaos::{soak_pbr, soak_smr, ChaosOptions, ChaosReport};
+pub use chaos::{
+    soak_pbr, soak_sharded_pbr, soak_sharded_smr, soak_smr, ChaosOptions, ChaosReport,
+};
 pub use client::{DbClient, DbClientStats};
-pub use deploy::{PbrDeployment, SmrDeployment};
+pub use deploy::{PbrDeployment, ShardedDeployment, SmrDeployment};
 pub use msgs::ReplicaConfig;
+pub use shard::{check_two_pc_atomicity, GroupRoute, ShardRole, TwoPcEngine, TwoPcProbe};

@@ -24,6 +24,9 @@ pub const CATCHUP_HEADER: &str = "sdb/catchup";
 /// Snapshot chunk during state transfer:
 /// body `<config, <chunk_index, <total_chunks, bytes>>>`.
 pub const SNAPSHOT_HEADER: &str = "sdb/snapshot";
+/// Snapshot chunk carrying sharded-deployment protocol state alongside the
+/// rows: body `<config, <chunk_index, <<total, executed>, <state, bytes>>>>`.
+pub const SNAPSHOT2_HEADER: &str = "sdb/snapshot2";
 /// Backup → primary recovery acknowledgment: body `<config, from>`.
 pub const RECOVERY_ACK_HEADER: &str = "sdb/recack";
 

@@ -26,9 +26,10 @@
 
 use crate::msgs::{
     reply_msg, ReplicaConfig, TxnEnvelope, ACK_HEADER, CATCHUP_HEADER, ELECT_HEADER,
-    FORWARD_HEADER, HB_TIMER_HEADER, HEARTBEAT_HEADER, RECOVERY_ACK_HEADER, SNAPSHOT_HEADER,
-    SUBMIT_HEADER,
+    FORWARD_HEADER, HB_TIMER_HEADER, HEARTBEAT_HEADER, RECOVERY_ACK_HEADER, SNAPSHOT2_HEADER,
+    SNAPSHOT_HEADER, SUBMIT_HEADER,
 };
+use crate::shard::{ShardRole, TwoPcEngine};
 use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
@@ -96,6 +97,13 @@ struct Pending {
     env: TxnEnvelope,
     outcome: TxnOutcome,
     waiting: BTreeSet<Loc>,
+    /// Sends computed at execute time (2PC votes, decisions, replies to
+    /// other groups) that must not escape before the backups acknowledged:
+    /// they reflect state the group has not durably replicated yet.
+    extra: Vec<SendInstr>,
+    /// Suppress the client reply on release (2PC records answer through
+    /// the protocol, not the reply path).
+    suppress_reply: bool,
 }
 
 /// A primary-backup ShadowDB replica.
@@ -133,6 +141,18 @@ pub struct PbrReplica {
     snap_total: Option<(i64, i64)>, // (total chunks, executed count)
     /// Last configuration seq this replica reported to the probe.
     probe_last: Option<i64>,
+    /// Sharded deployments: this group's place in the shard map.
+    role: Option<ShardRole>,
+    /// The replicated 2PC state machine (present iff `role` is).
+    engine: Option<TwoPcEngine>,
+    /// Per-target-shard emission counters, advanced in lockstep at every
+    /// member so a promoted primary continues the sequence monotonically.
+    twopc_seq: Vec<i64>,
+    /// Sends rendered while executing 2PC records; the primary attaches
+    /// them to the pending entry (ack-gated), everyone else drops them.
+    twopc_outbox: Vec<SendInstr>,
+    /// Engine state received alongside a sharded snapshot.
+    snap_engine: Option<Value>,
     /// Deferred CPU cost (transaction execution, snapshot work).
     step_cost: Duration,
 }
@@ -171,8 +191,23 @@ impl PbrReplica {
             snap_chunks: BTreeMap::new(),
             snap_total: None,
             probe_last: None,
+            role: None,
+            engine: None,
+            twopc_seq: Vec::new(),
+            twopc_outbox: Vec::new(),
+            snap_engine: None,
             step_cost: Duration::ZERO,
         }
+    }
+
+    /// Places this replica's group inside a sharded deployment: its shard,
+    /// the shard map, and routes to every other group. Activates the 2PC
+    /// engine on the replicated execution path.
+    pub fn with_role(mut self, role: ShardRole) -> PbrReplica {
+        self.engine = Some(TwoPcEngine::new(role.map, role.shard, role.probe.clone()));
+        self.twopc_seq = vec![0; role.map.shards()];
+        self.role = Some(role);
+        self
     }
 
     /// The kick-off message a deployment sends each replica.
@@ -205,36 +240,88 @@ impl PbrReplica {
 
     /// Executes a transaction locally, recording it in the log and reply
     /// cache.
-    fn execute_txn(&mut self, env: &TxnEnvelope) -> (bool, Vec<SqlValue>) {
-        self.execute_txn_group(std::slice::from_ref(env))
+    fn execute_txn(&mut self, slf: Loc, env: &TxnEnvelope) -> (bool, Vec<SqlValue>) {
+        self.execute_txn_group(slf, std::slice::from_ref(env))
             .pop()
             .expect("one outcome per envelope")
     }
 
-    /// Executes a run of transactions under ONE engine transaction (one
-    /// commit for the whole group), with per-transaction log and reply
-    /// bookkeeping identical to sequential execution. Replica execution is
-    /// single-threaded, so the grouped answers match unbatched ones.
-    fn execute_txn_group(&mut self, envs: &[TxnEnvelope]) -> Vec<(bool, Vec<SqlValue>)> {
+    /// Executes a run of transactions, group-applying consecutive plain
+    /// requests under ONE engine transaction (one commit for the whole
+    /// run), with per-transaction log and reply bookkeeping identical to
+    /// sequential execution. Replica execution is single-threaded, so the
+    /// grouped answers match unbatched ones. In a sharded deployment, 2PC
+    /// records break the run and step the protocol engine instead.
+    fn execute_txn_group(&mut self, slf: Loc, envs: &[TxnEnvelope]) -> Vec<(bool, Vec<SqlValue>)> {
+        let mut outcomes = Vec::with_capacity(envs.len());
+        let mut run_start = 0usize;
+        for (i, env) in envs.iter().enumerate() {
+            if self.engine.is_some() && matches!(env.txn, TxnRequest::TwoPc(_)) {
+                self.apply_plain_run(&envs[run_start..i], &mut outcomes);
+                run_start = i + 1;
+                outcomes.push(self.execute_twopc(slf, env));
+            }
+        }
+        self.apply_plain_run(&envs[run_start..], &mut outcomes);
+        outcomes
+    }
+
+    fn apply_plain_run(&mut self, envs: &[TxnEnvelope], outcomes: &mut Vec<(bool, Vec<SqlValue>)>) {
+        if envs.is_empty() {
+            return;
+        }
         let reqs: Vec<&TxnRequest> = envs.iter().map(|e| &e.txn).collect();
         let results = apply_group(&self.db, &reqs);
-        let mut outcomes = Vec::with_capacity(envs.len());
         for (env, res) in envs.iter().zip(results) {
             let (committed, result, cost) = res
                 .map(|o| (o.committed, o.result, o.cost))
                 .unwrap_or_else(|e| (false, vec![SqlValue::Text(e.to_string())], Duration::ZERO));
             self.charge(cost);
-            self.executed += 1;
-            self.log.push_back(env.clone());
-            while self.log.len() > self.options.cache_limit {
-                self.log.pop_front();
-                self.log_start += 1;
-            }
+            self.record_executed(env);
             self.last_reply
                 .insert(env.client, (env.cseq, committed, result.clone()));
             outcomes.push((committed, result));
         }
-        outcomes
+    }
+
+    /// Steps the 2PC engine on an ordered record and renders the owed
+    /// actions into the outbox, advancing the emission counters — at every
+    /// member, so counters stay in lockstep; non-primaries drop the
+    /// rendered sends afterwards.
+    fn execute_twopc(&mut self, slf: Loc, env: &TxnEnvelope) -> (bool, Vec<SqlValue>) {
+        let TxnRequest::TwoPc(rec) = &env.txn else {
+            unreachable!("caller matched TwoPc");
+        };
+        let (actions, cost) = self
+            .engine
+            .as_mut()
+            .expect("engine present on the 2PC path")
+            .step(rec, &self.db);
+        self.charge(cost);
+        self.record_executed(env);
+        // Placeholder entry: duplicates of 2PC records re-drive the
+        // protocol (see `reply_duplicate`), never this cached value. The
+        // recorded cseq is a high-water mark — a reordered older record
+        // must not regress it, or a genuine duplicate of the newer one
+        // would be mistaken for fresh work forever.
+        let hw = self
+            .last_reply
+            .get(&env.client)
+            .map_or(env.cseq, |(l, _, _)| env.cseq.max(*l));
+        self.last_reply.insert(env.client, (hw, true, Vec::new()));
+        let role = self.role.as_ref().expect("role present on the 2PC path");
+        let instrs = role.render(slf, &actions, &mut self.twopc_seq);
+        self.twopc_outbox.extend(instrs);
+        (true, Vec::new())
+    }
+
+    fn record_executed(&mut self, env: &TxnEnvelope) {
+        self.executed += 1;
+        self.log.push_back(env.clone());
+        while self.log.len() > self.options.cache_limit {
+            self.log.pop_front();
+            self.log_start += 1;
+        }
     }
 
     // -- normal case -------------------------------------------------------
@@ -246,16 +333,20 @@ impl PbrReplica {
         let Some(env) = TxnEnvelope::from_value(body) else {
             return;
         };
-        // Duplicate suppression by client sequence number.
-        if let Some((last, committed, result)) = self.last_reply.get(&env.client) {
-            if env.cseq < *last {
+        // Duplicate suppression by client sequence number. Peer 2PC
+        // records are exempt from the lower-than-last drop: their cseq is
+        // the sender's emission counter, and two sends from the same peer
+        // can reorder in flight, so an "old" record may carry a step the
+        // engine has never seen. Stepping it is safe — the engine is
+        // idempotent — while dropping it would stall the transaction
+        // until a client retransmission re-drives the protocol.
+        let is_2pc = self.engine.is_some() && matches!(env.txn, TxnRequest::TwoPc(_));
+        if let Some((last, _, _)) = self.last_reply.get(&env.client) {
+            if env.cseq == *last {
+                self.reply_duplicate(ctx, &env, outs);
                 return;
             }
-            if env.cseq == *last {
-                outs.push(SendInstr::now(
-                    env.client,
-                    reply_msg(ctx.slf, *last, *committed, result),
-                ));
+            if env.cseq < *last && !is_2pc {
                 return;
             }
         }
@@ -267,13 +358,19 @@ impl PbrReplica {
                 probe.lock().push((self.config.seq, ctx.slf));
             }
         }
-        let (committed, result) = self.execute_txn(&env);
+        let (committed, result) = self.execute_txn(ctx.slf, &env);
+        let extra = std::mem::take(&mut self.twopc_outbox);
         let idx = self.executed;
         if self.active_backups.is_empty() {
-            outs.push(SendInstr::now(
-                env.client,
-                reply_msg(ctx.slf, env.cseq, committed, &result),
-            ));
+            if is_2pc {
+                // No backups to wait for: the engine's sends go out now.
+                outs.extend(extra);
+            } else {
+                outs.push(SendInstr::now(
+                    env.client,
+                    reply_msg(ctx.slf, env.cseq, committed, &result),
+                ));
+            }
         } else {
             for b in self.config.backups() {
                 outs.push(SendInstr::now(
@@ -297,8 +394,53 @@ impl PbrReplica {
                         cost: Duration::ZERO,
                     },
                     waiting: self.active_backups.clone(),
+                    extra,
+                    suppress_reply: is_2pc,
                 },
             );
+        }
+    }
+
+    /// Answers a retransmission of the last-seen request. Plain requests
+    /// get the cached reply; 2PC records instead re-derive the owed
+    /// protocol sends from replicated state (the cached entry is a
+    /// placeholder — the real answer flows through the protocol).
+    fn reply_duplicate(&mut self, ctx: &Ctx, env: &TxnEnvelope, outs: &mut Vec<SendInstr>) {
+        if self.engine.is_some() {
+            if let TxnRequest::TwoPc(rec) = &env.txn {
+                self.redrive_twopc(ctx, rec.txnid(), outs);
+                return;
+            }
+        }
+        if let Some((last, committed, result)) = self.last_reply.get(&env.client) {
+            outs.push(SendInstr::now(
+                env.client,
+                reply_msg(ctx.slf, *last, *committed, result),
+            ));
+        }
+    }
+
+    /// Re-emits whatever the group currently owes for `txnid`. If unacked
+    /// forwards are outstanding the emission parks on the newest pending
+    /// entry instead of going out directly: the state it reflects becomes
+    /// durable only once the backups acknowledged everything executed so
+    /// far, and backups apply forwards in index order, so the newest
+    /// entry's acks imply all older entries were executed there too.
+    fn redrive_twopc(
+        &mut self,
+        ctx: &Ctx,
+        txnid: shadowdb_workloads::TxnId,
+        outs: &mut Vec<SendInstr>,
+    ) {
+        let (Some(role), Some(engine)) = (&self.role, &self.engine) else {
+            return;
+        };
+        let actions = engine.emissions(txnid);
+        let instrs = role.render(ctx.slf, &actions, &mut self.twopc_seq);
+        if let Some(p) = self.pending.values_mut().next_back() {
+            p.extra.extend(instrs);
+        } else {
+            outs.extend(instrs);
         }
     }
 
@@ -343,7 +485,10 @@ impl PbrReplica {
                 return;
             }
             let first = self.executed + 1;
-            self.execute_txn_group(&batch);
+            self.execute_txn_group(ctx.slf, &batch);
+            // Backups advance the 2PC emission counters in lockstep but
+            // never send: emission is the (acked) primary's job.
+            self.twopc_outbox.clear();
             for off in 0..batch.len() as i64 {
                 outs.push(SendInstr::now(
                     self.config.primary(),
@@ -370,10 +515,13 @@ impl PbrReplica {
             p.waiting.remove(&from.loc());
             if p.waiting.is_empty() {
                 let p = self.pending.remove(&idx).expect("present");
-                outs.push(SendInstr::now(
-                    p.env.client,
-                    reply_msg(ctx.slf, p.env.cseq, p.outcome.committed, &p.outcome.result),
-                ));
+                if !p.suppress_reply {
+                    outs.push(SendInstr::now(
+                        p.env.client,
+                        reply_msg(ctx.slf, p.env.cseq, p.outcome.committed, &p.outcome.result),
+                    ));
+                }
+                outs.extend(p.extra);
             }
         }
     }
@@ -609,20 +757,35 @@ impl PbrReplica {
             costs.serialize_col_us * col_values as u64,
         ));
         let total = batches.len() as i64;
+        // Sharded groups must also transfer the 2PC protocol state and
+        // emission counters: the row snapshot alone would lose in-flight
+        // cross-shard transactions. Attached to every chunk (the state is
+        // small — in-flight transactions only) so arrival order is moot.
+        let shard_state = self.engine.as_ref().map(|e| {
+            Value::pair(
+                Value::list(self.twopc_seq.iter().map(|s| Value::Int(*s))),
+                e.to_value(),
+            )
+        });
         for (i, b) in batches.iter().enumerate() {
+            let meta = Value::pair(Value::Int(total), Value::Int(self.executed));
+            let payload = match &shard_state {
+                Some(state) => {
+                    Value::pair(meta, Value::pair(state.clone(), Value::Bytes(b.encode())))
+                }
+                None => Value::pair(meta, Value::Bytes(b.encode())),
+            };
             outs.push(SendInstr::now(
                 to,
                 Msg::new(
-                    SNAPSHOT_HEADER,
+                    if shard_state.is_some() {
+                        SNAPSHOT2_HEADER
+                    } else {
+                        SNAPSHOT_HEADER
+                    },
                     Value::pair(
                         Value::Int(self.config.seq),
-                        Value::pair(
-                            Value::Int(i as i64),
-                            Value::pair(
-                                Value::pair(Value::Int(total), Value::Int(self.executed)),
-                                Value::Bytes(b.encode()),
-                            ),
-                        ),
+                        Value::pair(Value::Int(i as i64), payload),
                     ),
                 ),
             ));
@@ -648,18 +811,27 @@ impl PbrReplica {
             }
         }
         if !batch.is_empty() {
-            self.execute_txn_group(&batch);
+            self.execute_txn_group(ctx.slf, &batch);
+            // Catch-up replay advances 2PC counters without emitting.
+            self.twopc_outbox.clear();
         }
         self.finish_recovery(ctx, outs);
     }
 
-    fn on_snapshot(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+    fn on_snapshot(&mut self, ctx: &Ctx, body: &Value, sharded: bool, outs: &mut Vec<SendInstr>) {
         let (cfg, rest) = body.unpair();
         if cfg.int() != self.config.seq || self.mode != Mode::Recovering {
             return;
         }
         let (i, rest) = rest.unpair();
-        let (meta, data) = rest.unpair();
+        let (meta, rest) = rest.unpair();
+        let data = if sharded {
+            let (state, data) = rest.unpair();
+            self.snap_engine = Some(state.clone());
+            data
+        } else {
+            rest
+        };
         let (total, executed) = meta.unpair();
         self.snap_total = Some((total.int(), executed.int()));
         if let Some(b) = data.as_bytes() {
@@ -693,6 +865,24 @@ impl PbrReplica {
         self.log_start = executed;
         self.snap_chunks.clear();
         self.snap_total = None;
+        // Sharded: adopt the donor's 2PC state and emission counters, so
+        // this replica resumes the protocol exactly where the group is.
+        if let (Some(state), Some(role)) = (self.snap_engine.take(), &self.role) {
+            let (seqs, engine) = state.unpair();
+            let restored: Option<Vec<i64>> = seqs
+                .as_list()
+                .map(|l| l.iter().filter_map(Value::as_int).collect());
+            if let Some(seqs) = restored {
+                if seqs.len() == role.map.shards() {
+                    self.twopc_seq = seqs;
+                }
+            }
+            if let Some(e) =
+                TwoPcEngine::from_value(engine, role.map, role.shard, role.probe.clone())
+            {
+                self.engine = Some(e);
+            }
+        }
         self.finish_recovery(ctx, outs);
     }
 
@@ -768,7 +958,9 @@ impl Process for PbrReplica {
         } else if h == cached_header!(CATCHUP_HEADER) {
             self.on_catchup(ctx, &msg.body, out);
         } else if h == cached_header!(SNAPSHOT_HEADER) {
-            self.on_snapshot(ctx, &msg.body, out);
+            self.on_snapshot(ctx, &msg.body, false, out);
+        } else if h == cached_header!(SNAPSHOT2_HEADER) {
+            self.on_snapshot(ctx, &msg.body, true, out);
         } else if h == cached_header!(RECOVERY_ACK_HEADER) {
             self.on_recovery_ack(ctx, &msg.body);
         } else {
@@ -807,6 +999,8 @@ impl Process for PbrReplica {
                             env: v.env.clone(),
                             outcome: v.outcome.clone(),
                             waiting: v.waiting.clone(),
+                            extra: v.extra.clone(),
+                            suppress_reply: v.suppress_reply,
                         },
                     )
                 })
@@ -822,6 +1016,11 @@ impl Process for PbrReplica {
             snap_chunks: self.snap_chunks.clone(),
             snap_total: self.snap_total,
             probe_last: self.probe_last,
+            role: self.role.clone(),
+            engine: self.engine.clone(),
+            twopc_seq: self.twopc_seq.clone(),
+            twopc_outbox: self.twopc_outbox.clone(),
+            snap_engine: self.snap_engine.clone(),
             step_cost: self.step_cost,
         })
     }
@@ -829,5 +1028,6 @@ impl Process for PbrReplica {
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.executed, self.config.seq, self.mode).hash(&mut h);
+        self.twopc_seq.hash(&mut h);
     }
 }

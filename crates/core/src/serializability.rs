@@ -134,6 +134,10 @@ pub fn check_bank_history(
             TxnRequest::BankDeposit { account, amount } => {
                 *balances.entry(*account).or_insert(initial_balance) += amount;
             }
+            TxnRequest::BankTransfer { from, to, amount } => {
+                *balances.entry(*from).or_insert(initial_balance) -= amount;
+                *balances.entry(*to).or_insert(initial_balance) += amount;
+            }
             TxnRequest::BankRead { account } => {
                 let expected = *balances.entry(*account).or_insert(initial_balance);
                 let observed = o
@@ -179,12 +183,46 @@ pub fn check_bank_history(
 /// does not prove a single global order exists — it is a sound,
 /// practically tight approximation; reads taken after the system
 /// quiesces, where the window collapses to a point, carry the weight.)
+///
+/// Histories may contain [`TxnRequest::BankTransfer`]s, including
+/// cross-shard ones from a sharded deployment. A transfer moves `amount`
+/// atomically, so it contributes one delta per touched account: mandatory
+/// predecessors shift both bounds, while an overlapping transfer widens
+/// only the bound it can move the balance toward (a debit can only
+/// lower it, a credit only raise it). This makes the bounds check a
+/// **cross-shard atomicity pass**: if a crash mid-commit applied the
+/// debit on one shard but lost the credit on the other, a post-quiescence
+/// read of the credited account falls below its lower bound.
+/// Monotonicity is only asserted for accounts no transfer (or negative
+/// deposit) can shrink.
 pub fn check_bank_history_concurrent(
     observations: &[Observation],
     initial_balance: i64,
 ) -> Result<(), Violation> {
+    // The delta `txn` applies to `account`, if it touches it at all.
+    fn delta_for(txn: &TxnRequest, account: i64) -> Option<i64> {
+        match txn {
+            TxnRequest::BankDeposit { account: a, amount } if *a == account => Some(*amount),
+            TxnRequest::BankTransfer { from, to, amount } => {
+                let d = if *to == account { *amount } else { 0 }
+                    - if *from == account { *amount } else { 0 };
+                (d != 0).then_some(d)
+            }
+            _ => None,
+        }
+    }
     let mut ordered: Vec<&Observation> = observations.iter().collect();
     ordered.sort_by_key(|o| o.answered);
+    // Accounts some transaction can shrink: their reads have no
+    // monotonicity guarantee.
+    let shrinkable: std::collections::HashSet<i64> = ordered
+        .iter()
+        .flat_map(|o| match &o.txn {
+            TxnRequest::BankDeposit { account, amount } if *amount < 0 => vec![*account],
+            TxnRequest::BankTransfer { from, .. } => vec![*from],
+            _ => vec![],
+        })
+        .collect();
     for (index, r) in ordered.iter().enumerate() {
         let TxnRequest::BankRead { account } = &r.txn else {
             continue;
@@ -196,17 +234,18 @@ pub fn check_bank_history_concurrent(
             .unwrap_or(i64::MIN);
         let (mut min, mut max) = (initial_balance, initial_balance);
         for d in &ordered {
-            let TxnRequest::BankDeposit { account: a, amount } = &d.txn else {
+            let Some(delta) = delta_for(&d.txn, *account) else {
                 continue;
             };
-            if a != account {
-                continue;
-            }
             if d.answered < r.submitted {
-                min += amount;
-                max += amount;
+                min += delta;
+                max += delta;
             } else if d.submitted < r.answered {
-                max += amount;
+                if delta > 0 {
+                    max += delta;
+                } else {
+                    min += delta;
+                }
             }
         }
         if observed < min || observed > max {
@@ -218,7 +257,11 @@ pub fn check_bank_history_concurrent(
             });
         }
         // Monotonicity against every earlier-answered read of the account
-        // that completed before this one was submitted.
+        // that completed before this one was submitted — only meaningful
+        // while nothing can shrink the balance.
+        if shrinkable.contains(account) {
+            continue;
+        }
         for (earlier, r1) in ordered[..index].iter().enumerate() {
             let TxnRequest::BankRead { account: a } = &r1.txn else {
                 continue;
@@ -475,6 +518,151 @@ mod tests {
         ];
         let v = check_bank_history_concurrent(&h, 100).expect_err("shrinking");
         assert!(matches!(v, Violation::NonMonotonicReads { .. }));
+    }
+
+    #[test]
+    fn transfer_history_accepted_by_both_checkers() {
+        let h = vec![
+            obs(
+                0,
+                1,
+                TxnRequest::BankTransfer {
+                    from: 1,
+                    to: 2,
+                    amount: 30,
+                },
+                vec![SqlValue::Int(2)],
+            ),
+            obs(
+                2,
+                3,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(70)],
+            ),
+            obs(
+                4,
+                5,
+                TxnRequest::BankRead { account: 2 },
+                vec![SqlValue::Int(130)],
+            ),
+        ];
+        check_bank_history(&h, 100).expect("serializable");
+        check_bank_history_concurrent(&h, 100).expect("serializable");
+    }
+
+    #[test]
+    fn partial_cross_shard_commit_detected() {
+        // A cross-shard transfer whose debit applied but whose credit was
+        // lost (the atomicity failure 2PC must prevent): the post-
+        // quiescence read of the credited account misses the money.
+        let h = vec![
+            obs(
+                0,
+                1,
+                TxnRequest::BankTransfer {
+                    from: 0,
+                    to: 1,
+                    amount: 10,
+                },
+                vec![SqlValue::Int(2)],
+            ),
+            obs(
+                5,
+                6,
+                TxnRequest::BankRead { account: 0 },
+                vec![SqlValue::Int(90)],
+            ),
+            obs(
+                7,
+                8,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(100)],
+            ),
+        ];
+        let v = check_bank_history_concurrent(&h, 100).expect_err("lost credit");
+        assert!(matches!(
+            v,
+            Violation::ReadOutOfBounds {
+                observed: 100,
+                min: 110,
+                max: 110,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn overlapping_transfer_widens_only_reachable_bound() {
+        // A transfer concurrent with both reads: the source account may
+        // or may not have been debited yet, the destination may or may
+        // not have been credited.
+        let h = vec![
+            obs(
+                0,
+                100,
+                TxnRequest::BankTransfer {
+                    from: 1,
+                    to: 2,
+                    amount: 40,
+                },
+                vec![SqlValue::Int(2)],
+            ),
+            obs(
+                10,
+                20,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(60)],
+            ),
+            obs(
+                10,
+                21,
+                TxnRequest::BankRead { account: 2 },
+                vec![SqlValue::Int(140)],
+            ),
+        ];
+        check_bank_history_concurrent(&h, 100).expect("both orders legal");
+        // But the source can never *gain* from its own outgoing transfer.
+        let h2 = vec![
+            h[0].clone(),
+            obs(
+                10,
+                20,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(140)],
+            ),
+        ];
+        assert!(check_bank_history_concurrent(&h2, 100).is_err());
+    }
+
+    #[test]
+    fn monotonicity_skipped_for_transfer_sources() {
+        // Account 1 is a transfer source: shrinking reads are legal
+        // (the transfer serialized between them).
+        let h = vec![
+            obs(
+                0,
+                100,
+                TxnRequest::BankTransfer {
+                    from: 1,
+                    to: 2,
+                    amount: 10,
+                },
+                vec![SqlValue::Int(2)],
+            ),
+            obs(
+                10,
+                20,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(100)],
+            ),
+            obs(
+                30,
+                40,
+                TxnRequest::BankRead { account: 1 },
+                vec![SqlValue::Int(90)],
+            ),
+        ];
+        check_bank_history_concurrent(&h, 100).expect("transfer explains the shrink");
     }
 
     #[test]

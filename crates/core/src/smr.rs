@@ -13,12 +13,13 @@
 //! fetches the snapshot from the proposer.
 
 use crate::msgs::{reply_msg, TxnEnvelope};
+use crate::shard::{ShardRole, TwoPcEngine};
 use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::Loc;
 use shadowdb_sqldb::{Database, RowBatch, Snapshot, SqlValue};
 use shadowdb_tob::{parse_deliver, InOrderBuffer};
-use shadowdb_workloads::apply_group;
+use shadowdb_workloads::{apply_group, TxnRequest};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
@@ -46,6 +47,14 @@ pub struct SmrReplica {
     /// Reusable envelope buffer for group apply (always empty between
     /// steps; excluded from digests and cloned empty).
     group_scratch: Vec<TxnEnvelope>,
+    /// Sharded deployments: this group's place in the shard map.
+    role: Option<ShardRole>,
+    /// The replicated 2PC state machine (present iff `role` is).
+    engine: Option<TwoPcEngine>,
+    /// Per-target-shard emission counters. Under SMR *every* replica
+    /// emits (there is no primary); receivers deduplicate semantically,
+    /// since each replica's envelopes carry its own location.
+    twopc_seq: Vec<i64>,
 }
 
 impl SmrReplica {
@@ -62,7 +71,23 @@ impl SmrReplica {
             transfer_batch_bytes: 50_000,
             step_cost: Duration::ZERO,
             group_scratch: Vec::new(),
+            role: None,
+            engine: None,
+            twopc_seq: Vec::new(),
         }
+    }
+
+    /// Places this replica's group inside a sharded deployment: its shard,
+    /// the shard map, and routes to every other group. Activates the 2PC
+    /// engine on the delivery path. Snapshot joins do not yet transfer
+    /// engine state, so sharded deployments must not add SMR replicas via
+    /// [`SmrReplica::joining`] while cross-shard transactions are in
+    /// flight.
+    pub fn with_role(mut self, role: ShardRole) -> SmrReplica {
+        self.engine = Some(TwoPcEngine::new(role.map, role.shard, role.probe.clone()));
+        self.twopc_seq = vec![0; role.map.shards()];
+        self.role = Some(role);
+        self
     }
 
     /// Creates a replica that first fetches a snapshot from `donor` before
@@ -111,6 +136,14 @@ impl SmrReplica {
             let Some(env) = TxnEnvelope::from_value(&d.payload) else {
                 continue;
             };
+            // 2PC records break the run and step the protocol engine:
+            // they must see the database outside the group's shared
+            // engine transaction.
+            if self.engine.is_some() && matches!(env.txn, TxnRequest::TwoPc(_)) {
+                self.flush_group(slf, &mut group, outs);
+                self.step_twopc(slf, &env, outs);
+                continue;
+            }
             if group.iter().any(|g| g.client == env.client) {
                 self.flush_group(slf, &mut group, outs);
             }
@@ -155,6 +188,49 @@ impl SmrReplica {
                 reply_msg(slf, env.cseq, committed, &results),
             ));
         }
+    }
+
+    /// Steps the 2PC engine on an ordered record and emits the owed
+    /// actions. Every replica of the group emits (SMR has no primary);
+    /// a record is durable the moment the TOB service ordered it, so no
+    /// acknowledgment gating is needed. Duplicates re-derive the owed
+    /// sends from replicated state without mutating anything.
+    fn step_twopc(&mut self, slf: Loc, env: &TxnEnvelope, outs: &mut Vec<SendInstr>) {
+        let TxnRequest::TwoPc(rec) = &env.txn else {
+            return;
+        };
+        // A record whose cseq is *below* the sender's high-water mark is
+        // not dropped: peer emissions can reach the broadcast service out
+        // of order (each source replica sequences its own sends), so an
+        // "old" record may carry a protocol step this group never saw.
+        // Stepping it again is safe — the engine is idempotent.
+        if let Some((last, _, _)) = self.last_reply.get(&env.client) {
+            if env.cseq == *last {
+                let (Some(role), Some(engine)) = (&self.role, &self.engine) else {
+                    return;
+                };
+                let actions = engine.emissions(rec.txnid());
+                outs.extend(role.render(slf, &actions, &mut self.twopc_seq));
+                return;
+            }
+        }
+        let (actions, cost) = self
+            .engine
+            .as_mut()
+            .expect("engine present on the 2PC path")
+            .step(rec, &self.db);
+        self.step_cost += cost;
+        self.executed += 1;
+        // Placeholder entry: duplicates re-drive the protocol above,
+        // never this cached value. The cseq is a high-water mark so a
+        // reordered older record cannot regress it.
+        let hw = self
+            .last_reply
+            .get(&env.client)
+            .map_or(env.cseq, |(l, _, _)| env.cseq.max(*l));
+        self.last_reply.insert(env.client, (hw, true, Vec::new()));
+        let role = self.role.as_ref().expect("role present on the 2PC path");
+        outs.extend(role.render(slf, &actions, &mut self.twopc_seq));
     }
 
     fn on_fetch_snapshot(&mut self, body: &Value, outs: &mut Vec<SendInstr>) {
@@ -269,11 +345,15 @@ impl Process for SmrReplica {
             transfer_batch_bytes: self.transfer_batch_bytes,
             step_cost: self.step_cost,
             group_scratch: Vec::new(),
+            role: self.role.clone(),
+            engine: self.engine.clone(),
+            twopc_seq: self.twopc_seq.clone(),
         })
     }
 
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.executed, self.joining, self.incoming.next_seq()).hash(&mut h);
+        self.twopc_seq.hash(&mut h);
     }
 }

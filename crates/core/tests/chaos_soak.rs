@@ -12,7 +12,7 @@
 //! fixed seeds. Set `CHAOS_SEEDS=n` to additionally sweep seeds `0..n`
 //! across every profile on the simulator (the opt-in long soak).
 
-use shadowdb::chaos::{soak_pbr, soak_smr, ChaosOptions};
+use shadowdb::chaos::{soak_pbr, soak_sharded_pbr, soak_sharded_smr, soak_smr, ChaosOptions};
 use shadowdb_livenet::LiveNet;
 use shadowdb_runtime::NemesisProfile;
 use shadowdb_tcpnet::TcpNet;
@@ -177,9 +177,74 @@ fn tcpnet_windowed_smr_soak() {
     net.shutdown();
 }
 
+/// Cross-shard soaks: two replica groups, one bank, a transfer every
+/// third transaction (half of them cross-shard). The nemesis targets the
+/// 2PC path directly — crash shard 0's primary mid-protocol, or partition
+/// the coordinator group from the participant group — and the harness
+/// asserts convergence, strict serializability of the transfer-bearing
+/// history, and atomicity of every cross-shard commit on the 2PC probe.
+#[test]
+fn simnet_sharded_pbr_survives_2pc_profiles() {
+    for (i, profile) in [
+        NemesisProfile::ShardPrimaryCrash,
+        NemesisProfile::CoordinatorPartition,
+        NemesisProfile::LossyClientLinks,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut sim = shadowdb_simnet::testing::default_net(1_300 + i as u64);
+        let report = soak_sharded_pbr(&mut sim, &sim_opts(44, profile), 2);
+        assert_eq!(report.committed, 300, "{profile:?}");
+    }
+}
+
+#[test]
+fn simnet_sharded_smr_survives_2pc_profiles() {
+    for (i, profile) in [
+        NemesisProfile::ShardPrimaryCrash,
+        NemesisProfile::CoordinatorPartition,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut sim = shadowdb_simnet::testing::default_net(1_400 + i as u64);
+        let report = soak_sharded_smr(&mut sim, &sim_opts(45, profile), 2);
+        assert_eq!(report.committed, 300, "{profile:?}");
+    }
+}
+
+#[test]
+fn livenet_sharded_pbr_coordinator_partition_soak() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(27)
+        .spawn();
+    let report = soak_sharded_pbr(
+        &mut net,
+        &live_opts(27, NemesisProfile::CoordinatorPartition),
+        2,
+    );
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_sharded_smr_shard_crash_soak() {
+    let mut net = TcpNet::builder().seeded(28).spawn();
+    let mut opts = live_opts(28, NemesisProfile::ShardPrimaryCrash);
+    // As in `tcpnet_pbr_crash_soak`: local TCP outruns a seconds-scale
+    // window, so shrink it to land the crash inside the run.
+    opts.duration = Duration::from_millis(20);
+    opts.txns_per_client = 100;
+    let report = soak_sharded_smr(&mut net, &opts, 2);
+    assert_eq!(report.committed, 200);
+    net.shutdown();
+}
+
 /// Opt-in long soak: `CHAOS_SEEDS=n` sweeps seeds `0..n` across every
-/// profile on the simulator, PBR and SMR both. Off (a no-op) by default
-/// so the tier-1 suite stays fast.
+/// profile on the simulator — PBR, SMR, and both sharded variants (two
+/// groups each). Off (a no-op) by default so the tier-1 suite stays fast.
 #[test]
 fn long_soak_seed_sweep() {
     let n: u64 = match std::env::var("CHAOS_SEEDS") {
@@ -192,6 +257,10 @@ fn long_soak_seed_sweep() {
             soak_pbr(&mut sim, &sim_opts(seed, profile));
             let mut sim = shadowdb_simnet::testing::default_net(seed * 37 + i as u64);
             soak_smr(&mut sim, &sim_opts(seed, profile));
+            let mut sim = shadowdb_simnet::testing::default_net(seed * 41 + i as u64);
+            soak_sharded_pbr(&mut sim, &sim_opts(seed, profile), 2);
+            let mut sim = shadowdb_simnet::testing::default_net(seed * 43 + i as u64);
+            soak_sharded_smr(&mut sim, &sim_opts(seed, profile), 2);
         }
     }
 }

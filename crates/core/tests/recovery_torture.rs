@@ -213,6 +213,7 @@ mod election_safety_props {
                 clients: d.clients.clone(),
                 core: (CLIENTS as u32..sim.node_count()).map(Loc::new).collect(),
                 victim: d.replicas[0],
+                groups: Vec::new(),
             };
             let plan = Nemesis::new(seed, profile, duration).plan(&topo);
             schedule_node_faults(&mut sim, &plan, |_| None);

@@ -436,6 +436,11 @@ pub struct FaultTopology {
     pub core: Vec<Loc>,
     /// The distinguished victim (the PBR primary, or any replica).
     pub victim: Loc,
+    /// Per-shard replica groups of a sharded deployment, in shard order
+    /// (group 0 is the 2PC coordinator group for transactions it
+    /// participates in). Empty for unsharded deployments; profiles that
+    /// target groups fall back to the victim when fewer than two exist.
+    pub groups: Vec<Vec<Loc>>,
 }
 
 impl FaultTopology {
@@ -461,17 +466,29 @@ pub enum NemesisProfile {
     CrashRestartStorm,
     /// Partition + lossy clients + a delay spike, interleaved.
     Mixed,
+    /// Crash the victim — pointed at a shard's primary by sharded
+    /// harnesses — in the middle of the run, while cross-shard commits
+    /// are in flight. The group must fail over and finish (or abort)
+    /// every open 2PC from its replicated log.
+    ShardPrimaryCrash,
+    /// Partition the coordinator group (shard 0) from a participant
+    /// group, then heal: prepared-but-undecided transactions must block,
+    /// not diverge, and drain after the heal. Falls back to isolating
+    /// the victim when the topology has fewer than two groups.
+    CoordinatorPartition,
 }
 
 impl NemesisProfile {
     /// Every profile, for seed sweeps.
-    pub const ALL: [NemesisProfile; 6] = [
+    pub const ALL: [NemesisProfile; 8] = [
         NemesisProfile::PartitionVictim,
         NemesisProfile::LossyClientLinks,
         NemesisProfile::DelaySpikes,
         NemesisProfile::CrashVictim,
         NemesisProfile::CrashRestartStorm,
         NemesisProfile::Mixed,
+        NemesisProfile::ShardPrimaryCrash,
+        NemesisProfile::CoordinatorPartition,
     ];
 }
 
@@ -586,6 +603,25 @@ impl Nemesis {
                     at = at + down + s.frac_of(d, 0.05, 0.12);
                 }
             }
+            NemesisProfile::ShardPrimaryCrash => {
+                // Later than CrashVictim's window: the workload is in full
+                // swing and cross-shard transactions are mid-protocol.
+                plan = plan.with_crash(VTime::ZERO + s.frac_of(d, 0.25, 0.50), topo.victim);
+            }
+            NemesisProfile::CoordinatorPartition => {
+                let start = start_of(&mut s, d);
+                let end = start + s.frac_of(d, 0.15, 0.30);
+                if topo.groups.len() >= 2 {
+                    plan = plan.with_rule(
+                        LinkSel::Between(topo.groups[0].clone(), topo.groups[1].clone()),
+                        start,
+                        end,
+                        LinkFault::partition(),
+                    );
+                } else {
+                    plan = plan.with_isolation(topo.victim, start, end);
+                }
+            }
             NemesisProfile::Mixed => {
                 let start = start_of(&mut s, d);
                 let end = start + s.frac_of(d, 0.15, 0.25);
@@ -629,6 +665,19 @@ mod tests {
             clients: vec![Loc::new(0), Loc::new(1)],
             core: vec![Loc::new(2), Loc::new(3), Loc::new(4)],
             victim: Loc::new(2),
+            groups: Vec::new(),
+        }
+    }
+
+    fn sharded_topo() -> FaultTopology {
+        FaultTopology {
+            clients: vec![Loc::new(8), Loc::new(9)],
+            core: (0..8).map(Loc::new).collect(),
+            victim: Loc::new(2),
+            groups: vec![
+                vec![Loc::new(2), Loc::new(3)],
+                vec![Loc::new(6), Loc::new(7)],
+            ],
         }
     }
 
@@ -767,6 +816,56 @@ mod tests {
                     plan.quiet_after()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn coordinator_partition_cuts_cross_group_links_only() {
+        for seed in 0..10 {
+            let plan = Nemesis::new(
+                seed,
+                NemesisProfile::CoordinatorPartition,
+                Duration::from_secs(10),
+            )
+            .plan(&sharded_topo());
+            assert_eq!(plan.rules.len(), 1);
+            let mid = plan.rules[0].start + (plan.rules[0].end - plan.rules[0].start) / 2;
+            // Coordinator group ↔ participant group: cut, both ways.
+            assert!(plan.cut(Loc::new(2), Loc::new(6), mid));
+            assert!(plan.cut(Loc::new(7), Loc::new(3), mid));
+            // Intra-group and client links stay up.
+            assert!(!plan.active(Loc::new(2), Loc::new(3), mid));
+            assert!(!plan.active(Loc::new(8), Loc::new(2), mid));
+            assert!(!plan.active(Loc::new(8), Loc::new(6), mid));
+        }
+    }
+
+    #[test]
+    fn coordinator_partition_falls_back_to_victim_isolation() {
+        let plan = Nemesis::new(
+            3,
+            NemesisProfile::CoordinatorPartition,
+            Duration::from_secs(10),
+        )
+        .plan(&topo());
+        assert_eq!(plan.rules.len(), 1);
+        let mid = plan.rules[0].start + (plan.rules[0].end - plan.rules[0].start) / 2;
+        assert!(plan.cut(Loc::new(2), Loc::new(3), mid));
+        assert!(plan.cut(Loc::new(3), Loc::new(2), mid));
+    }
+
+    #[test]
+    fn shard_primary_crash_fires_mid_run() {
+        for seed in 0..10 {
+            let d = Duration::from_secs(10);
+            let plan =
+                Nemesis::new(seed, NemesisProfile::ShardPrimaryCrash, d).plan(&sharded_topo());
+            assert_eq!(plan.node_faults.len(), 1);
+            let f = plan.node_faults[0];
+            assert_eq!(f.loc, Loc::new(2));
+            assert_eq!(f.kind, NodeFaultKind::Crash);
+            assert!(f.at >= VTime::ZERO + d.mul_f64(0.25));
+            assert!(f.at <= VTime::ZERO + d.mul_f64(0.50));
         }
     }
 

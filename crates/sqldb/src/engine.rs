@@ -196,6 +196,19 @@ impl Database {
         &self.inner.profile
     }
 
+    /// Restricts this database to one shard's slice of the keyspace:
+    /// writes to rows outside the scope fail with a constraint violation.
+    /// Sharded loaders call this so a misrouted transaction is rejected
+    /// at apply time instead of materialising foreign rows.
+    pub fn set_shard_scope(&self, scope: crate::lock::ShardScope) {
+        self.inner.locks.set_scope(scope);
+    }
+
+    /// The shard scope, if one was set.
+    pub fn shard_scope(&self) -> Option<crate::lock::ShardScope> {
+        self.inner.locks.scope()
+    }
+
     /// Begins a transaction.
     ///
     /// # Errors
@@ -527,6 +540,14 @@ impl Transaction {
     }
 
     fn lock_write(&mut self, table: &str, key: &[SqlValue]) -> Result<()> {
+        // A sharded database rejects writes to rows outside its slice of
+        // the keyspace regardless of lock granularity — this is the apply-
+        // time guard against misrouted transactions.
+        if !self.db.locks.admits(table, key) {
+            return Err(SqlError::Constraint(format!(
+                "row {key:?} of table {table} is outside this database's shard scope"
+            )));
+        }
         let res = match self.db.profile.granularity {
             LockGranularity::Table => Resource::Table(table.to_owned()),
             LockGranularity::Row => Resource::Row(table.to_owned(), key.to_vec()),

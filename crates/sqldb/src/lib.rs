@@ -46,7 +46,7 @@ pub mod value;
 
 pub use connector::{ConnUrl, Driver};
 pub use engine::{Database, ResultSet, Transaction};
-pub use lock::LockGranularity;
+pub use lock::{LockGranularity, ShardScope};
 pub use profile::EngineProfile;
 pub use schema::{Column, DataType, TableSchema};
 pub use snapshot::{RowBatch, Snapshot};

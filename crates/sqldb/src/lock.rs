@@ -52,6 +52,73 @@ impl Resource {
 /// Transaction identity for the lock manager.
 pub type TxnId = u64;
 
+/// Restriction of a database's lock table to one shard's slice of the
+/// keyspace. In a sharded deployment each replica group stores only its
+/// own partition; scoping the lock table enforces that at apply time — a
+/// transaction misrouted to the wrong group fails to lock (and therefore
+/// to write) rows it does not own, instead of silently materialising
+/// them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardScope {
+    /// Total number of shards (1 admits everything).
+    pub shards: usize,
+    /// The shard this database owns.
+    pub shard: usize,
+    /// `(table, offset)` rules: an integer first key `k` of a listed
+    /// table belongs here iff `(k - offset).rem_euclid(shards) == shard`.
+    /// Unlisted tables are exempt — replicated catalogs (TPC-C `item`)
+    /// and append-only side tables (`history`) live on every shard.
+    pub tables: Vec<(String, i64)>,
+}
+
+impl ShardScope {
+    /// Scope for the bank schema: `accounts` keyed directly by id.
+    pub fn bank(shards: usize, shard: usize) -> ShardScope {
+        ShardScope {
+            shards,
+            shard,
+            tables: vec![("accounts".into(), 0)],
+        }
+    }
+
+    /// Scope for the TPC-C schema: every warehouse-keyed table leads its
+    /// primary key with the (1-based) warehouse id.
+    pub fn tpcc(shards: usize, shard: usize) -> ShardScope {
+        let tables = [
+            "warehouse",
+            "district",
+            "customer",
+            "orders",
+            "new_order",
+            "order_line",
+            "stock",
+        ];
+        ShardScope {
+            shards,
+            shard,
+            tables: tables.iter().map(|t| (t.to_string(), 1)).collect(),
+        }
+    }
+
+    /// Whether a row of `table` with primary key `key` belongs to this
+    /// shard. Non-integer and missing first keys are admitted: the scope
+    /// is a routing guard, not a type checker.
+    pub fn admits(&self, table: &str, key: &[SqlValue]) -> bool {
+        if self.shards <= 1 {
+            return true;
+        }
+        let Some((_, offset)) = self.tables.iter().find(|(t, _)| t == table) else {
+            return true;
+        };
+        match key.first() {
+            Some(SqlValue::Int(k)) => {
+                (k - offset).rem_euclid(self.shards as i64) == self.shard as i64
+            }
+            _ => true,
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct LockState {
     /// Current holders and their strongest mode.
@@ -75,6 +142,7 @@ impl LockState {
 pub struct LockManager {
     table: Mutex<HashMap<Resource, LockState>>,
     changed: Condvar,
+    scope: Mutex<Option<ShardScope>>,
 }
 
 impl LockManager {
@@ -83,10 +151,40 @@ impl LockManager {
         LockManager::default()
     }
 
+    /// Restricts the lock table to one shard's key slice.
+    pub fn set_scope(&self, scope: ShardScope) {
+        *self.scope.lock() = Some(scope);
+    }
+
+    /// The current shard scope, if any.
+    pub fn scope(&self) -> Option<ShardScope> {
+        self.scope.lock().clone()
+    }
+
+    /// Whether a row of `table` keyed `key` is inside the shard scope
+    /// (vacuously true when unscoped).
+    pub fn admits(&self, table: &str, key: &[SqlValue]) -> bool {
+        match &*self.scope.lock() {
+            Some(s) => s.admits(table, key),
+            None => true,
+        }
+    }
+
+    fn res_in_scope(&self, res: &Resource) -> bool {
+        match res {
+            Resource::Table(_) => true,
+            Resource::Row(t, key) => self.admits(t, key),
+        }
+    }
+
     /// Acquires (or upgrades to) `mode` on `res` for `txn`, waiting at most
     /// `timeout`. Returns `false` on timeout — the caller must abort, as
-    /// the engines the paper measures do.
+    /// the engines the paper measures do. Rows outside the shard scope are
+    /// refused immediately.
     pub fn acquire(&self, txn: TxnId, res: Resource, mode: LockMode, timeout: Duration) -> bool {
+        if !self.res_in_scope(&res) {
+            return false;
+        }
         let deadline = Instant::now() + timeout;
         let mut table = self.table.lock();
         loop {
@@ -108,6 +206,9 @@ impl LockManager {
 
     /// Non-blocking acquisition attempt.
     pub fn try_acquire(&self, txn: TxnId, res: Resource, mode: LockMode) -> bool {
+        if !self.res_in_scope(&res) {
+            return false;
+        }
         let mut table = self.table.lock();
         let state = table.entry(res.clone()).or_default();
         if let Some(held) = state.holders.get(&txn) {
@@ -222,6 +323,39 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         lm.release_all(1);
         assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn shard_scope_rejects_foreign_rows() {
+        let lm = LockManager::new();
+        lm.set_scope(ShardScope::bank(2, 0));
+        let own = Resource::Row("accounts".into(), vec![SqlValue::Int(4)]);
+        let foreign = Resource::Row("accounts".into(), vec![SqlValue::Int(5)]);
+        assert!(lm.try_acquire(1, own, LockMode::Exclusive));
+        assert!(!lm.try_acquire(1, foreign.clone(), LockMode::Exclusive));
+        assert!(!lm.acquire(1, foreign, LockMode::Shared, Duration::from_secs(5)));
+        // Unlisted tables and table-level locks stay exempt.
+        assert!(lm.try_acquire(
+            1,
+            Resource::Row("item".into(), vec![SqlValue::Int(5)]),
+            LockMode::Exclusive
+        ));
+        assert!(lm.try_acquire(1, Resource::Table("accounts".into()), LockMode::Shared));
+    }
+
+    #[test]
+    fn tpcc_scope_uses_one_based_warehouses() {
+        let s = ShardScope::tpcc(2, 1);
+        // Warehouse 2 → (2-1) % 2 == 1 → shard 1.
+        assert!(s.admits("warehouse", &[SqlValue::Int(2)]));
+        assert!(!s.admits("warehouse", &[SqlValue::Int(1)]));
+        assert!(s.admits("stock", &[SqlValue::Int(2), SqlValue::Int(77)]));
+        assert!(!s.admits("order_line", &[SqlValue::Int(1), SqlValue::Int(3)]));
+        // item is replicated, history is append-only: both exempt.
+        assert!(s.admits("item", &[SqlValue::Int(1)]));
+        assert!(s.admits("history", &[SqlValue::Int(1)]));
+        // Single shard admits everything.
+        assert!(ShardScope::bank(1, 0).admits("accounts", &[SqlValue::Int(7)]));
     }
 
     #[test]

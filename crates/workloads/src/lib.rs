@@ -17,7 +17,9 @@
 //! transport through the broadcast service.
 
 pub mod bank;
+pub mod shard;
 pub mod tpcc;
 pub mod txn;
 
+pub use shard::{ShardMap, TwoPcRecord, TxnId};
 pub use txn::{apply_group, TxnOutcome, TxnRequest};

@@ -1,6 +1,6 @@
 //! Transaction requests: typed stored procedures with a wire encoding.
 
-use crate::{bank, tpcc};
+use crate::{bank, shard, tpcc};
 use shadowdb_eventml::Value;
 use shadowdb_sqldb::{Database, SqlError, SqlValue, Transaction};
 use std::time::Duration;
@@ -24,10 +24,28 @@ pub enum TxnRequest {
         /// Target account id.
         account: i64,
     },
+    /// Move `amount` from one account to another. When the accounts live
+    /// on different shards this is the bank workload's built-in
+    /// cross-shard transaction; on a single shard it is an ordinary
+    /// two-update procedure.
+    BankTransfer {
+        /// Source account id (debited).
+        from: i64,
+        /// Destination account id (credited).
+        to: i64,
+        /// Amount to move (overdrafts allowed, so transfers always
+        /// commit — vote stability for deterministic 2PC).
+        amount: i64,
+    },
     /// One of the five TPC-C transactions.
     Tpcc(tpcc::TpccTxn),
     /// A raw SQL script executed statement by statement (generic client).
     Sql(Vec<String>),
+    /// An internal 2PC-over-TOB record (prepare/vote/decision/done),
+    /// riding the ordinary replicated transaction path so it is ordered,
+    /// logged, and replayed exactly like a client transaction. Only
+    /// sharded deployments produce these.
+    TwoPc(shard::TwoPcRecord),
 }
 
 /// The outcome of executing a transaction.
@@ -71,6 +89,9 @@ impl TxnRequest {
         match self {
             TxnRequest::BankDeposit { account, amount } => bank::deposit_in(txn, *account, *amount),
             TxnRequest::BankRead { account } => bank::read_balance_in(txn, *account),
+            TxnRequest::BankTransfer { from, to, amount } => {
+                bank::transfer_in(txn, *from, *to, *amount)
+            }
             TxnRequest::Tpcc(t) => t.apply_in(txn),
             TxnRequest::Sql(stmts) => {
                 let start = txn.virtual_cost();
@@ -88,6 +109,14 @@ impl TxnRequest {
                     cost: txn.virtual_cost() - start,
                 })
             }
+            // A 2PC record reaching the plain execution path means the
+            // deployment is not sharded; refuse it deterministically so
+            // every replica answers alike.
+            TxnRequest::TwoPc(_) => Ok(TxnOutcome {
+                committed: false,
+                result: vec![SqlValue::Text("2pc outside sharded deployment".into())],
+                cost: Duration::from_micros(1),
+            }),
         }
     }
 
@@ -101,11 +130,19 @@ impl TxnRequest {
             TxnRequest::BankRead { account } => {
                 Value::pair(Value::str("read"), Value::Int(*account))
             }
+            TxnRequest::BankTransfer { from, to, amount } => Value::pair(
+                Value::str("xfer"),
+                Value::pair(
+                    Value::Int(*from),
+                    Value::pair(Value::Int(*to), Value::Int(*amount)),
+                ),
+            ),
             TxnRequest::Tpcc(t) => Value::pair(Value::str("tpcc"), t.to_value()),
             TxnRequest::Sql(stmts) => Value::pair(
                 Value::str("sql"),
                 Value::list(stmts.iter().map(|s| Value::str(s))),
             ),
+            TxnRequest::TwoPc(r) => Value::pair(Value::str("2pc"), r.to_value()),
         }
     }
 
@@ -120,7 +157,13 @@ impl TxnRequest {
             "read" => Some(TxnRequest::BankRead {
                 account: body.as_int()?,
             }),
+            "xfer" => Some(TxnRequest::BankTransfer {
+                from: body.fst()?.as_int()?,
+                to: body.snd()?.fst()?.as_int()?,
+                amount: body.snd()?.snd()?.as_int()?,
+            }),
             "tpcc" => tpcc::TpccTxn::from_value(body).map(TxnRequest::Tpcc),
+            "2pc" => shard::TwoPcRecord::from_value(body).map(TxnRequest::TwoPc),
             "sql" => {
                 let stmts: Option<Vec<String>> = body
                     .as_list()?
@@ -184,6 +227,11 @@ mod tests {
                 amount: 100,
             },
             TxnRequest::BankRead { account: 3 },
+            TxnRequest::BankTransfer {
+                from: 1,
+                to: 9,
+                amount: 25,
+            },
             TxnRequest::Sql(vec!["SELECT 1 FROM t".into(), "DELETE FROM t".into()]),
         ];
         for r in reqs {
@@ -210,9 +258,21 @@ mod tests {
         reqs.insert(
             13,
             TxnRequest::Tpcc(TpccTxn::NewOrder {
+                warehouse: 1,
                 district: 1,
                 customer: 1,
-                lines: vec![OrderLine { item: 5, qty: 1 }, OrderLine { item: 0, qty: 1 }],
+                lines: vec![
+                    OrderLine {
+                        item: 5,
+                        supply_w: 1,
+                        qty: 1,
+                    },
+                    OrderLine {
+                        item: 0,
+                        supply_w: 1,
+                        qty: 1,
+                    },
+                ],
             }),
         );
         reqs
@@ -261,8 +321,10 @@ mod tests {
         let reqs = [
             TxnRequest::Sql(vec!["SELECT COUNT(*) FROM item".into()]),
             TxnRequest::Tpcc(TpccTxn::Payment {
+                warehouse: 1,
                 district: 1,
                 customer: 2,
+                c_warehouse: 1,
                 amount: 10.0,
                 history_id: 900,
             }),
