@@ -92,6 +92,7 @@ mod tests {
                 .collect(),
             results: Vec::new(),
             resends: 0,
+            redirects: 0,
         };
         Arc::new(Mutex::new(s))
     }

@@ -32,6 +32,7 @@ use crate::client::{DbClient, DbClientStats};
 use crate::deploy::{
     DeployOptions, PbrDeployment, ShardedDeployment, ShardedOptions, SmrDeployment,
 };
+use crate::diversity::DiversityPolicy;
 use crate::pbr::{PbrOptions, PrimaryProbe};
 use crate::serializability::check_bank_history_concurrent;
 use crate::shard::{check_two_pc_atomicity, TwoPcProbe};
@@ -191,6 +192,22 @@ fn arm_nemesis<R: Runtime + ?Sized>(
     clients: &[Loc],
     groups: Vec<Vec<Loc>>,
 ) -> VTime {
+    arm_nemesis_at(rt, opts, victim, clients, groups, None, None)
+}
+
+/// [`arm_nemesis`] with explicit reconfiguration targets: `joiner` may
+/// name a location that does not exist yet (plans address by location, so
+/// the schedule is expressible before the node is), `donor` the incumbent
+/// that will stream the joiner's snapshot.
+fn arm_nemesis_at<R: Runtime + ?Sized>(
+    rt: &mut R,
+    opts: &ChaosOptions,
+    victim: Loc,
+    clients: &[Loc],
+    groups: Vec<Vec<Loc>>,
+    joiner: Option<Loc>,
+    donor: Option<Loc>,
+) -> VTime {
     // Core = every node that is not a client. (Sharded deployments lay
     // clients out *last*, unsharded ones first; membership, not position,
     // decides.)
@@ -203,6 +220,8 @@ fn arm_nemesis<R: Runtime + ?Sized>(
         core,
         victim,
         groups,
+        joiner,
+        donor,
     };
     let epoch = rt.now() + Duration::from_millis(5);
     let plan = Nemesis::new(opts.seed, opts.profile, opts.duration)
@@ -290,9 +309,21 @@ pub fn soak_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosRe
     arm_nemesis(rt, opts, d.replicas[0], &d.clients, Vec::new());
     let answered = drive(rt, opts, &d.stats);
     let committed = assert_history(opts, "pbr", answered, &scripts, &d.stats);
+    let primaries = assert_one_primary_per_seq(opts, &probe);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries,
+    }
+}
 
-    // Election safety, observed end to end: no configuration sequence
-    // number ever had two distinct replicas executing as its primary.
+/// Election safety, observed end to end: no configuration sequence
+/// number ever had two distinct replicas executing as its primary.
+/// Returns the probe's `(config seq, primary)` log for the report.
+fn assert_one_primary_per_seq(opts: &ChaosOptions, probe: &PrimaryProbe) -> Vec<(i64, Loc)> {
     let primaries = probe.lock().clone();
     let mut by_seq: HashMap<i64, Loc> = HashMap::new();
     for (seq, loc) in &primaries {
@@ -305,15 +336,7 @@ pub fn soak_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosRe
             );
         }
     }
-
-    let (dropped, duplicated) = rt.fault_stats();
-    ChaosReport {
-        committed,
-        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
-        dropped,
-        duplicated,
-        primaries,
-    }
+    primaries
 }
 
 fn sharded_deploy_options(
@@ -465,6 +488,127 @@ pub fn soak_sharded_smr<R: Runtime + ?Sized>(
     let answered = drive(rt, opts, &d.stats);
     let committed = assert_history(opts, "sharded-smr", answered, &scripts, &d.stats);
     assert_two_pc(opts, "sharded-smr", &twopc_probe, d.map);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries: Vec::new(),
+    }
+}
+
+/// Drives the runtime in small slices until its clock reaches `until`.
+fn drive_until<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions, until: VTime) {
+    let slice = (opts.duration / 50).max(Duration::from_millis(1));
+    while rt.now() < until {
+        rt.run_for(slice);
+    }
+}
+
+/// Soaks a primary-backup deployment through an *online replacement*
+/// under the nemesis: shortly after the workload starts, the harness
+/// replaces the last backup via
+/// [`crate::deploy::ReconfigHandle::replace_replica`] — add a joiner,
+/// wait out the overlapped transfer, remove the victim — retrying until
+/// a replacement lands. Under
+/// [`NemesisProfile::CrashDuringTransfer`] the first joiner is crashed
+/// mid-stream and, in a later window, so is the donor primary; the
+/// group must reconfigure past both losses (abandoning the dead joiner,
+/// electing past the dead donor) with the usual [`soak_pbr`] safety
+/// assertions holding *across* the configuration changes.
+pub fn soak_reconfig_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let probe: PrimaryProbe = Arc::new(Mutex::new(Vec::new()));
+    let pbr = PbrOptions {
+        heartbeat_every: opts.heartbeat_every,
+        detect_after: opts.detect_after,
+        probe: Some(probe.clone()),
+        ..PbrOptions::default()
+    };
+    let (scripts, dopts) = deploy_options(opts);
+    let d = PbrDeployment::build(rt, &dopts, pbr.clone());
+    let rows = opts.rows;
+    let mut handle = d.reconfig(rt, pbr, DiversityPolicy::Uniform, move |db| {
+        bank::load(db, rows).expect("bank loads")
+    });
+    // Locations are allocated sequentially on every runtime, so the
+    // first joiner's location is knowable before the node exists — which
+    // is how the fault plan can target a node born mid-run.
+    let joiner = Loc::new(rt.node_count());
+    let donor = d.replicas[0]; // the incumbent primary streams the snapshot
+    let victim = *d.replicas.last().expect("replicas");
+    let epoch = arm_nemesis_at(
+        rt,
+        opts,
+        victim,
+        &d.clients,
+        Vec::new(),
+        Some(joiner),
+        Some(donor),
+    );
+    // Start the replacement at ~0.10 of the nemesis window (the
+    // CrashDuringTransfer joiner-crash window opens at 0.15, so the first
+    // transfer is in flight when it lands) and retry until a replacement
+    // succeeds: a joiner lost mid-transfer is abandoned by the group and
+    // the harness re-replaces — the operator behavior the profile
+    // stresses.
+    drive_until(rt, opts, epoch + opts.duration.mul_f64(0.10));
+    // A replacement that trips over a crash cannot finish faster than
+    // failure detection, so each attempt gets at least several detection
+    // periods regardless of how short the nemesis window is.
+    let attempt = opts.duration.max(opts.detect_after * 4);
+    let mut added = None;
+    let give_up = epoch + attempt * 3;
+    while added.is_none() && rt.now() < give_up {
+        added = handle.replace_replica(rt, victim, attempt);
+    }
+    assert!(
+        added.is_some(),
+        "reconfig-pbr soak never completed a replacement (seed {}, {:?})",
+        opts.seed,
+        opts.profile
+    );
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "reconfig-pbr", answered, &scripts, &d.stats);
+    let primaries = assert_one_primary_per_seq(opts, &probe);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries,
+    }
+}
+
+/// Soaks a state-machine-replication deployment through an online
+/// replacement. SMR membership is the broadcast subscriber set, so the
+/// replace itself cannot fail — a joiner lost mid-fetch is just a dead
+/// subscriber — and the assertion is the survivors' convergence and the
+/// history's strict serializability across the subscription change.
+pub fn soak_reconfig_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let (scripts, dopts) = deploy_options(opts);
+    let d = SmrDeployment::build(rt, &dopts);
+    let rows = opts.rows;
+    let mut handle = d.reconfig(rt, DiversityPolicy::Uniform, move |db| {
+        bank::load(db, rows).expect("bank loads")
+    });
+    let joiner = Loc::new(rt.node_count());
+    let donor = d.replicas[0]; // first in the joiner's snapshot-fetch rotation
+    let victim = *d.replicas.last().expect("replicas");
+    let epoch = arm_nemesis_at(
+        rt,
+        opts,
+        victim,
+        &d.clients,
+        Vec::new(),
+        Some(joiner),
+        Some(donor),
+    );
+    drive_until(rt, opts, epoch + opts.duration.mul_f64(0.10));
+    handle.replace_replica(rt, victim, opts.duration);
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "reconfig-smr", answered, &scripts, &d.stats);
     let (dropped, duplicated) = rt.fault_stats();
     ChaosReport {
         committed,

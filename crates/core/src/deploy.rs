@@ -10,15 +10,19 @@
 
 use crate::client::{DbClient, DbClientStats, Submission};
 use crate::diversity::DiversityPolicy;
-use crate::msgs::ReplicaConfig;
+use crate::msgs::{
+    config_query_msg, parse_config_reply, ConfigCommand, ConfigReport, ReplicaConfig,
+};
 use crate::pbr::{PbrOptions, PbrReplica};
 use crate::shard::{GroupRoute, ShardRole, TwoPcProbe};
 use crate::smr::SmrReplica;
 use parking_lot::Mutex;
+use shadowdb_eventml::Value;
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_runtime::Runtime;
+use shadowdb_runtime::{PortRx, Runtime};
 use shadowdb_sqldb::Database;
 use shadowdb_tob::deploy::BackendKind;
+use shadowdb_tob::{broadcast_msg, subscribe_msg, unsubscribe_msg};
 use shadowdb_tob::{ExecutionMode, TobDeployment, TobOptions};
 use shadowdb_workloads::{ShardMap, TxnRequest};
 use std::sync::Arc;
@@ -201,6 +205,32 @@ impl PbrDeployment {
     pub fn committed(&self) -> usize {
         self.stats.iter().map(|s| s.lock().committed()).sum()
     }
+
+    /// A driver-side handle for reconfiguring this group online: add,
+    /// remove, promote, and replace replicas while the deployment serves.
+    pub fn reconfig<R: Runtime + ?Sized>(
+        &self,
+        rt: &mut R,
+        pbr: PbrOptions,
+        diversity: DiversityPolicy,
+        loader: impl Fn(&Database) + 'static,
+    ) -> ReconfigHandle {
+        let (port, rx) = rt.port();
+        ReconfigHandle {
+            port,
+            rx,
+            kind: ReconfigKind::Pbr {
+                options: pbr,
+                role: None,
+            },
+            servers: self.tob.servers.clone(),
+            replicas: self.replicas.clone(),
+            diversity,
+            loader: Box::new(loader),
+            next_db: self.replicas.len(),
+            bcast_seq: 0,
+        }
+    }
 }
 
 /// A deployed state-machine-replicated ShadowDB.
@@ -289,6 +319,335 @@ impl SmrDeployment {
     /// Total committed transactions across clients.
     pub fn committed(&self) -> usize {
         self.stats.iter().map(|s| s.lock().committed()).sum()
+    }
+
+    /// A driver-side handle for reconfiguring this group online. SMR
+    /// membership is the broadcast service's subscriber set: adding a
+    /// replica subscribes a snapshot-joining node, removing one
+    /// unsubscribes it; there is no configuration command and promotion
+    /// is meaningless (every replica executes everything).
+    pub fn reconfig<R: Runtime + ?Sized>(
+        &self,
+        rt: &mut R,
+        diversity: DiversityPolicy,
+        loader: impl Fn(&Database) + 'static,
+    ) -> ReconfigHandle {
+        let (port, rx) = rt.port();
+        ReconfigHandle {
+            port,
+            rx,
+            kind: ReconfigKind::Smr { role: None },
+            servers: self.tob.servers.clone(),
+            replicas: self.replicas.clone(),
+            diversity,
+            loader: Box::new(loader),
+            next_db: self.replicas.len(),
+            bcast_seq: 0,
+        }
+    }
+}
+
+/// How long each polling slice of a [`ReconfigHandle`] drives the runtime
+/// before draining replies.
+const RECONFIG_SLICE: Duration = Duration::from_millis(5);
+
+/// The per-operation configuration kind of a [`ReconfigHandle`].
+enum ReconfigKind {
+    /// Primary-backup: membership is replicated state, changed through
+    /// CAS-guarded configuration commands ordered by the TOB.
+    Pbr {
+        options: PbrOptions,
+        /// Sharded deployments: the group's place in the shard map, so a
+        /// joiner participates in cross-shard 2PC.
+        role: Option<ShardRole>,
+    },
+    /// State-machine replication: membership is the subscriber set.
+    Smr { role: Option<ShardRole> },
+}
+
+/// A driver-side handle exposing online reconfiguration of one replica
+/// group: adding a fresh replica (with live overlapped state transfer),
+/// removing one, promoting a preferred primary, and the composite
+/// replace. Operations drive the runtime in small slices ([`Runtime::
+/// run_for`]) while polling replica configuration reports, so the same
+/// handle works under the simulator, threads, and real sockets.
+pub struct ReconfigHandle {
+    /// The handle's own mailbox; configuration replies land here.
+    port: Loc,
+    rx: PortRx,
+    kind: ReconfigKind,
+    /// The group's broadcast-service entry points.
+    servers: Vec<Loc>,
+    /// Every replica location known to the handle: deploy-time members,
+    /// spares, and joiners added since. Queries fan out to all of them;
+    /// removed replicas stay addressable (they answer with the
+    /// configuration that excluded them, which is still evidence).
+    replicas: Vec<Loc>,
+    diversity: DiversityPolicy,
+    /// Loads schema (and initial data) into a joiner's database, exactly
+    /// as the deployment loaded the original replicas — a catch-up replay
+    /// from sequence zero must land on the same starting state.
+    loader: Box<dyn Fn(&Database)>,
+    /// Engine index for the next joiner's database (continues the
+    /// deployment's diversity rotation).
+    next_db: usize,
+    /// Monotone msgid for configuration-command broadcasts.
+    bcast_seq: i64,
+}
+
+impl ReconfigHandle {
+    /// Every replica location the handle knows of (including removed
+    /// ones).
+    pub fn replicas(&self) -> &[Loc] {
+        &self.replicas
+    }
+
+    fn broadcast<R: Runtime + ?Sized>(&mut self, rt: &mut R, payload: Value) {
+        let server = self.servers[(self.bcast_seq as usize) % self.servers.len()];
+        let msgid = self.bcast_seq;
+        self.bcast_seq += 1;
+        let now = rt.now();
+        rt.send_at(now, server, broadcast_msg(self.port, msgid, payload));
+    }
+
+    /// Polls the group for its current configuration: fans a query out to
+    /// every known replica, drives the runtime, and returns the report
+    /// with the highest configuration sequence (preferring Normal-mode
+    /// reporters at equal sequence). Reports from unsettled joiners
+    /// (negative sequence or empty membership) are ignored — acting on
+    /// one would fabricate a membership. `None` after `deadline` means no
+    /// settled replica answered.
+    pub fn query_config<R: Runtime + ?Sized>(
+        &mut self,
+        rt: &mut R,
+        deadline: Duration,
+    ) -> Option<ConfigReport> {
+        let slices = (deadline.as_micros() / RECONFIG_SLICE.as_micros()).max(1);
+        let _ = self.rx.drain();
+        for _ in 0..slices {
+            for r in self.replicas.clone() {
+                let now = rt.now();
+                rt.send_at(now, r, config_query_msg(self.port));
+            }
+            rt.run_for(RECONFIG_SLICE);
+            let mut best: Option<ConfigReport> = None;
+            for m in self.rx.drain() {
+                let Some(rep) = parse_config_reply(&m) else {
+                    continue;
+                };
+                if rep.config.seq < 0 || rep.config.members.is_empty() {
+                    continue;
+                }
+                let better = best.as_ref().is_none_or(|b| {
+                    rep.config.seq > b.config.seq
+                        || (rep.config.seq == b.config.seq && rep.normal && !b.normal)
+                });
+                if better {
+                    best = Some(rep);
+                }
+            }
+            if best.is_some() {
+                return best;
+            }
+        }
+        None
+    }
+
+    /// Polls `loc` until it reports itself a Normal-mode member of the
+    /// current configuration — i.e. its state transfer has finished and
+    /// it executes live traffic. Returns whether that happened before
+    /// `deadline`.
+    pub fn await_member<R: Runtime + ?Sized>(
+        &mut self,
+        rt: &mut R,
+        loc: Loc,
+        deadline: Duration,
+    ) -> bool {
+        let slices = (deadline.as_micros() / RECONFIG_SLICE.as_micros()).max(1);
+        for _ in 0..slices {
+            let now = rt.now();
+            rt.send_at(now, loc, config_query_msg(self.port));
+            rt.run_for(RECONFIG_SLICE);
+            for m in self.rx.drain() {
+                if let Some(rep) = parse_config_reply(&m) {
+                    if rep.from == loc && rep.normal && rep.config.contains(loc) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Adds a fresh replica to the group while it serves, returning the
+    /// new location. Under PBR this deploys a joiner, subscribes it at
+    /// every broadcast server (so the configuration command that names it
+    /// is guaranteed to reach it), then CAS-broadcasts `AddReplica` until
+    /// a configuration containing the joiner is adopted — the state
+    /// transfer itself overlaps live traffic inside the replicas. Under
+    /// SMR the joiner drives its own snapshot fetch off the subscription
+    /// ack; membership *is* the subscriber set, so the add is complete
+    /// once subscribed (use convergence checks, not `await_member`, to
+    /// observe the catch-up). Returns `None` if the configuration change
+    /// was not adopted before `deadline`.
+    pub fn add_replica<R: Runtime + ?Sized>(
+        &mut self,
+        rt: &mut R,
+        deadline: Duration,
+    ) -> Option<Loc> {
+        let db = self.diversity.database(self.next_db);
+        self.next_db += 1;
+        (self.loader)(&db);
+        match &self.kind {
+            ReconfigKind::Pbr { options, role } => {
+                let mut joiner = PbrReplica::joiner(db, self.servers.clone(), options.clone());
+                if let Some(role) = role {
+                    joiner = joiner.with_role(role.clone());
+                }
+                let loc = rt.add_node_late(Box::new(joiner));
+                let now = rt.now();
+                rt.send_at(now, loc, PbrReplica::start_msg());
+                for s in self.servers.clone() {
+                    let now = rt.now();
+                    rt.send_at(now, s, subscribe_msg(loc));
+                }
+                // Let the subscription land before the command's slot can
+                // decide: the joiner must see its own `AddReplica`.
+                rt.run_for(RECONFIG_SLICE * 4);
+                self.replicas.push(loc);
+                let slices = (deadline.as_micros() / (RECONFIG_SLICE.as_micros() * 8)).max(1);
+                for _ in 0..slices {
+                    let Some(rep) = self.query_config(rt, RECONFIG_SLICE * 4) else {
+                        continue;
+                    };
+                    if rep.config.contains(loc) {
+                        return Some(loc);
+                    }
+                    if let Some(cmd) = ConfigCommand::add(&rep.config.members, loc) {
+                        self.broadcast(rt, cmd.to_payload(rep.config.seq));
+                    }
+                    rt.run_for(RECONFIG_SLICE * 4);
+                }
+                None
+            }
+            ReconfigKind::Smr { role } => {
+                let mut joiner = SmrReplica::joining_from(db, self.replicas.clone());
+                if let Some(role) = role {
+                    joiner = joiner.with_role(role.clone());
+                }
+                let loc = rt.add_node_late(Box::new(joiner));
+                for s in self.servers.clone() {
+                    let now = rt.now();
+                    rt.send_at(now, s, subscribe_msg(loc));
+                }
+                self.replicas.push(loc);
+                Some(loc)
+            }
+        }
+    }
+
+    /// Removes `loc` from the group's membership while it serves. Under
+    /// PBR this CAS-broadcasts `RemoveReplica` until a configuration
+    /// without `loc` is adopted; under SMR it unsubscribes `loc` from
+    /// every broadcast server. Returns whether the removal was adopted
+    /// before `deadline` (vacuously true if `loc` was not a member).
+    pub fn remove_replica<R: Runtime + ?Sized>(
+        &mut self,
+        rt: &mut R,
+        loc: Loc,
+        deadline: Duration,
+    ) -> bool {
+        match &self.kind {
+            ReconfigKind::Pbr { .. } => {
+                let slices = (deadline.as_micros() / (RECONFIG_SLICE.as_micros() * 8)).max(1);
+                for _ in 0..slices {
+                    let Some(rep) = self.query_config(rt, RECONFIG_SLICE * 4) else {
+                        continue;
+                    };
+                    if !rep.config.contains(loc) {
+                        return true;
+                    }
+                    if let Some(cmd) = ConfigCommand::remove(&rep.config.members, loc) {
+                        self.broadcast(rt, cmd.to_payload(rep.config.seq));
+                    }
+                    rt.run_for(RECONFIG_SLICE * 4);
+                }
+                false
+            }
+            ReconfigKind::Smr { .. } => {
+                for s in self.servers.clone() {
+                    let now = rt.now();
+                    rt.send_at(now, s, unsubscribe_msg(loc));
+                }
+                self.replicas.retain(|r| *r != loc);
+                true
+            }
+        }
+    }
+
+    /// CAS-broadcasts `Promote` until the configuration sequence
+    /// advances, installing `loc` as the election's tie-break preference.
+    /// The highest-executed member still wins outright — a
+    /// promoted-but-behind replica must not cost committed transactions —
+    /// so the new primary is `loc` only if it is fully caught up. Under
+    /// SMR this is a no-op (there is no primary). Returns whether the
+    /// command was adopted before `deadline`.
+    pub fn promote<R: Runtime + ?Sized>(
+        &mut self,
+        rt: &mut R,
+        loc: Loc,
+        deadline: Duration,
+    ) -> bool {
+        match &self.kind {
+            ReconfigKind::Pbr { .. } => {
+                let Some(start) = self.query_config(rt, deadline) else {
+                    return false;
+                };
+                let slices = (deadline.as_micros() / (RECONFIG_SLICE.as_micros() * 8)).max(1);
+                for _ in 0..slices {
+                    let Some(rep) = self.query_config(rt, RECONFIG_SLICE * 4) else {
+                        continue;
+                    };
+                    if rep.config.seq > start.config.seq {
+                        return true;
+                    }
+                    if let Some(cmd) = ConfigCommand::promote(&rep.config.members, loc) {
+                        self.broadcast(rt, cmd.to_payload(rep.config.seq));
+                    } else {
+                        return false; // not a member: nothing to promote
+                    }
+                    rt.run_for(RECONFIG_SLICE * 4);
+                }
+                false
+            }
+            ReconfigKind::Smr { .. } => true,
+        }
+    }
+
+    /// The acceptance scenario's composite: add a fresh replica, wait for
+    /// its transfer to finish, then remove `victim` — one replica of the
+    /// group replaced under live load, with no point at which the group
+    /// dropped below its original redundancy. Returns the new location,
+    /// or `None` if any phase missed its share of `deadline`.
+    pub fn replace_replica<R: Runtime + ?Sized>(
+        &mut self,
+        rt: &mut R,
+        victim: Loc,
+        deadline: Duration,
+    ) -> Option<Loc> {
+        let share = deadline / 3;
+        let added = self.add_replica(rt, share)?;
+        match &self.kind {
+            ReconfigKind::Pbr { .. } => {
+                if !self.await_member(rt, added, share) {
+                    return None;
+                }
+            }
+            // SMR joins converge on their own; the delivery stream the
+            // joiner subscribed to is the group's state.
+            ReconfigKind::Smr { .. } => rt.run_for(share),
+        }
+        self.remove_replica(rt, victim, share).then_some(added)
     }
 }
 
@@ -386,6 +745,12 @@ pub struct ShardedDeployment {
     pub clients: Vec<Loc>,
     /// Client measurement handles.
     pub stats: Vec<Arc<Mutex<DbClientStats>>>,
+    /// Routes to every group (for rebuilding a joiner's [`ShardRole`]).
+    routes: Vec<GroupRoute>,
+    /// The deployment's cross-shard commit observer, if any.
+    probe: Option<TwoPcProbe>,
+    /// The PBR options groups were built with (`None` for SMR groups).
+    pbr: Option<PbrOptions>,
 }
 
 impl ShardedDeployment {
@@ -552,6 +917,9 @@ impl ShardedDeployment {
             groups,
             clients,
             stats,
+            routes,
+            probe: options.probe.clone(),
+            pbr,
         }
     }
 
@@ -566,6 +934,44 @@ impl ShardedDeployment {
             .iter()
             .flat_map(|g| g.replicas.clone())
             .collect()
+    }
+
+    /// A reconfiguration handle scoped to shard group `group`: replace
+    /// one replica of that group while every other group serves
+    /// untouched. The joiner is built with the group's [`ShardRole`], so
+    /// it participates in cross-shard 2PC once caught up.
+    pub fn reconfig_group<R: Runtime + ?Sized>(
+        &self,
+        rt: &mut R,
+        group: usize,
+        diversity: DiversityPolicy,
+        loader: impl Fn(&Database) + 'static,
+    ) -> ReconfigHandle {
+        let role = ShardRole {
+            map: self.map,
+            shard: group,
+            routes: self.routes.clone(),
+            probe: self.probe.clone(),
+        };
+        let (port, rx) = rt.port();
+        let kind = match &self.pbr {
+            Some(options) => ReconfigKind::Pbr {
+                options: options.clone(),
+                role: Some(role),
+            },
+            None => ReconfigKind::Smr { role: Some(role) },
+        };
+        ReconfigHandle {
+            port,
+            rx,
+            kind,
+            servers: self.groups[group].tob.servers.clone(),
+            replicas: self.groups[group].replicas.clone(),
+            diversity,
+            loader: Box::new(loader),
+            next_db: self.groups[group].replicas.len(),
+            bcast_seq: 0,
+        }
     }
 }
 
@@ -718,6 +1124,100 @@ mod tests {
         let events = probe.lock();
         assert!(!events.is_empty(), "cross-shard transfers must appear");
         crate::shard::check_two_pc_atomicity(&events).expect("atomic cross-shard histories");
+    }
+
+    /// The tentpole acceptance path in miniature: a serving PBR group has
+    /// one replica replaced — joiner added through an ordered
+    /// `AddReplica`, caught up by overlapped transfer, old backup removed
+    /// through `RemoveReplica` — while clients keep committing. Every
+    /// transaction answers and the final configuration names the new
+    /// replica and not the victim.
+    #[test]
+    fn pbr_replace_replica_under_live_load() {
+        let mut sim = shadowdb_simnet::testing::default_net(11);
+        let pbr = PbrOptions {
+            detect_after: Duration::from_millis(500),
+            heartbeat_every: Duration::from_millis(100),
+            ..PbrOptions::default()
+        };
+        let mut options = bank_options(2, 120);
+        options.client_timeout = Duration::from_secs(2);
+        let d = PbrDeployment::build(&mut sim, &options, pbr.clone());
+        let mut handle = d.reconfig(&mut sim, pbr, DiversityPolicy::Uniform, |db| {
+            bank::load(db, 1_000).expect("bank loads")
+        });
+        // Let the group serve before touching membership.
+        let mut ms = 5;
+        while d.committed() < 10 {
+            sim.run_until(VTime::from_millis(ms));
+            ms += 5;
+            assert!(ms < 60_000, "no progress before the reconfiguration");
+        }
+        let victim = d.replicas[1];
+        let added = handle
+            .replace_replica(&mut sim, victim, Duration::from_secs(60))
+            .expect("replacement adopted under load");
+        sim.run_until_quiescent(VTime::from_secs(1_200));
+        assert_eq!(d.committed(), 240, "every transaction answered");
+        let rep = handle
+            .query_config(&mut sim, Duration::from_secs(5))
+            .expect("a settled configuration report");
+        assert!(rep.config.contains(added), "joiner is a member: {rep:?}");
+        assert!(!rep.config.contains(victim), "victim removed: {rep:?}");
+    }
+
+    /// SMR online add: a snapshot-joining replica subscribed mid-run
+    /// fetches its snapshot off the subscription ack and converges to the
+    /// survivors' state with no client disruption.
+    #[test]
+    fn smr_add_replica_catches_up_online() {
+        let mut sim = shadowdb_simnet::testing::default_net(12);
+        let dbs: Arc<Mutex<Vec<Database>>> = Arc::new(Mutex::new(Vec::new()));
+        let captured = dbs.clone();
+        let options = DeployOptions::new(
+            2,
+            |i| {
+                let mut g = bank::BankGen::new(100 + i as u64, 1_000);
+                (0..40).map(|_| g.next_txn()).collect()
+            },
+            move |db| {
+                bank::load(db, 1_000).expect("bank loads");
+                captured.lock().push(db.clone());
+            },
+        );
+        let d = SmrDeployment::build(&mut sim, &options);
+        let captured = dbs.clone();
+        let mut handle = d.reconfig(&mut sim, DiversityPolicy::Uniform, move |db| {
+            bank::load(db, 1_000).expect("bank loads");
+            captured.lock().push(db.clone());
+        });
+        let mut ms = 5;
+        while d.committed() < 10 {
+            sim.run_until(VTime::from_millis(ms));
+            ms += 5;
+            assert!(ms < 60_000, "no progress before the add");
+        }
+        handle
+            .add_replica(&mut sim, Duration::from_secs(10))
+            .expect("smr adds unconditionally");
+        sim.run_until_quiescent(VTime::from_secs(1_200));
+        assert_eq!(d.committed(), 80, "every transaction answered");
+        let dbs = dbs.lock();
+        assert_eq!(dbs.len(), 4, "three originals plus the joiner");
+        let sums: Vec<i64> = dbs
+            .iter()
+            .map(|db| {
+                db.execute("SELECT SUM(balance) FROM accounts")
+                    .expect("sums")
+                    .rows[0][0]
+                    .as_int()
+                    .expect("int")
+            })
+            .collect();
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "joiner agrees with the group: {sums:?}"
+        );
     }
 
     #[test]

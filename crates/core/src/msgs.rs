@@ -29,6 +29,15 @@ pub const SNAPSHOT_HEADER: &str = "sdb/snapshot";
 pub const SNAPSHOT2_HEADER: &str = "sdb/snapshot2";
 /// Backup → primary recovery acknowledgment: body `<config, from>`.
 pub const RECOVERY_ACK_HEADER: &str = "sdb/recack";
+/// Stale-config NACK to a client: a replica that is not the primary of the
+/// current configuration answers a submission with its configuration so
+/// the client can chase the change. Body `<from, <cseq, config>>`.
+pub const STALE_CONFIG_HEADER: &str = "sdb/stale";
+/// Configuration-status query (reconfiguration drivers poll this):
+/// body `<reply_to>`.
+pub const CONFIG_QUERY_HEADER: &str = "sdb/confq";
+/// Configuration-status report: body `<from, <config, <executed, normal>>>`.
+pub const CONFIG_REPLY_HEADER: &str = "sdb/confr";
 
 /// A replica-group configuration ("Each configuration is identified by a
 /// sequence number. The initial configuration has sequence number 0.").
@@ -77,6 +86,149 @@ impl ReplicaConfig {
             seq: seq.as_int()?,
             members: members?,
         })
+    }
+}
+
+/// A membership command, ordered through the total-order broadcast like
+/// any transaction ("membership change must be an ordered event in the
+/// verified protocol, not an out-of-band deploy step"). Every command
+/// names the configuration sequence number it extends — the first command
+/// delivered for a given `old_seq` wins, later ones for the same `old_seq`
+/// are stale and ignored (compare-and-swap on the config chain) — and
+/// carries the *explicit successor membership*, so a replica that missed
+/// intermediate configurations (a joiner subscribing mid-stream, a removed
+/// member tracking the chain) can fast-forward onto `old_seq + 1` without
+/// knowing the membership of `old_seq`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigCommand {
+    /// Replace the whole membership (the crash-recovery path).
+    NewConfig {
+        /// The members of the successor configuration.
+        members: Vec<Loc>,
+    },
+    /// Add `loc` to the group; `members` is the successor membership
+    /// (the proposer's view of the current members plus `loc`).
+    AddReplica {
+        /// The joining replica.
+        loc: Loc,
+        /// Successor membership, including `loc`.
+        members: Vec<Loc>,
+    },
+    /// Remove `loc`; `members` is the successor membership without it.
+    RemoveReplica {
+        /// The leaving replica.
+        loc: Loc,
+        /// Successor membership, excluding `loc`.
+        members: Vec<Loc>,
+    },
+    /// Re-run primary election with `loc` preferred on ties; the highest
+    /// executed-txn replica still wins outright (Sec. III-A).
+    Promote {
+        /// The tie-break preference.
+        loc: Loc,
+        /// The (unchanged) membership.
+        members: Vec<Loc>,
+    },
+}
+
+impl ConfigCommand {
+    /// An add command on top of `current`; `None` if `loc` already is a
+    /// member.
+    pub fn add(current: &[Loc], loc: Loc) -> Option<ConfigCommand> {
+        if current.contains(&loc) {
+            return None;
+        }
+        let mut members = current.to_vec();
+        members.push(loc);
+        Some(ConfigCommand::AddReplica { loc, members })
+    }
+
+    /// A remove command on top of `current`; `None` if `loc` is not a
+    /// member or the group would empty itself.
+    pub fn remove(current: &[Loc], loc: Loc) -> Option<ConfigCommand> {
+        if !current.contains(&loc) || current.len() == 1 {
+            return None;
+        }
+        let members = current.iter().copied().filter(|m| *m != loc).collect();
+        Some(ConfigCommand::RemoveReplica { loc, members })
+    }
+
+    /// A promote command on top of `current`; `None` if `loc` is not a
+    /// member.
+    pub fn promote(current: &[Loc], loc: Loc) -> Option<ConfigCommand> {
+        current.contains(&loc).then(|| ConfigCommand::Promote {
+            loc,
+            members: current.to_vec(),
+        })
+    }
+
+    /// The successor membership this command installs.
+    pub fn members(&self) -> &[Loc] {
+        match self {
+            ConfigCommand::NewConfig { members }
+            | ConfigCommand::AddReplica { members, .. }
+            | ConfigCommand::RemoveReplica { members, .. }
+            | ConfigCommand::Promote { members, .. } => members,
+        }
+    }
+
+    /// The election tie-break preference this command installs, if any.
+    pub fn preferred(&self) -> Option<Loc> {
+        match self {
+            ConfigCommand::Promote { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+
+    /// Encodes the command as a TOB payload: `<tag, <old_seq, detail>>`.
+    pub fn to_payload(&self, old_seq: i64) -> Value {
+        let locs = |ms: &[Loc]| Value::list(ms.iter().map(|m| Value::Loc(*m)));
+        let (tag, detail) = match self {
+            ConfigCommand::NewConfig { members } => ("newconfig", locs(members)),
+            ConfigCommand::AddReplica { loc, members } => {
+                ("addreplica", Value::pair(Value::Loc(*loc), locs(members)))
+            }
+            ConfigCommand::RemoveReplica { loc, members } => (
+                "removereplica",
+                Value::pair(Value::Loc(*loc), locs(members)),
+            ),
+            ConfigCommand::Promote { loc, members } => {
+                ("promote", Value::pair(Value::Loc(*loc), locs(members)))
+            }
+        };
+        Value::pair(Value::str(tag), Value::pair(Value::Int(old_seq), detail))
+    }
+
+    /// Decodes a TOB payload; returns `(old_seq, command)`.
+    pub fn parse(payload: &Value) -> Option<(i64, ConfigCommand)> {
+        let (tag, rest) = payload.fst().zip(payload.snd())?;
+        let (old_seq, detail) = rest.fst().zip(rest.snd())?;
+        let locs =
+            |v: &Value| -> Option<Vec<Loc>> { v.as_list()?.iter().map(Value::as_loc).collect() };
+        let loc_members = |detail: &Value| -> Option<(Loc, Vec<Loc>)> {
+            let (loc, members) = detail.fst().zip(detail.snd())?;
+            Some((loc.as_loc()?, locs(members)?))
+        };
+        let cmd = match tag.as_str()? {
+            "newconfig" => ConfigCommand::NewConfig {
+                members: locs(detail)?,
+            },
+            "addreplica" => {
+                let (loc, members) = loc_members(detail)?;
+                ConfigCommand::AddReplica { loc, members }
+            }
+            "removereplica" => {
+                let (loc, members) = loc_members(detail)?;
+                ConfigCommand::RemoveReplica { loc, members }
+            }
+            "promote" => {
+                let (loc, members) = loc_members(detail)?;
+                ConfigCommand::Promote { loc, members }
+            }
+            _ => return None,
+        };
+        let cmd = (!cmd.members().is_empty()).then_some(cmd)?;
+        Some((old_seq.as_int()?, cmd))
     }
 }
 
@@ -173,6 +325,91 @@ pub fn parse_reply(msg: &Msg) -> Option<Reply> {
     })
 }
 
+/// Builds a stale-config NACK: the answering replica's current
+/// configuration, so the client can redirect `cseq` to the real primary.
+pub fn stale_config_msg(from: Loc, cseq: i64, config: &ReplicaConfig) -> Msg {
+    Msg::new(
+        cached_header!(STALE_CONFIG_HEADER),
+        Value::pair(
+            Value::Loc(from),
+            Value::pair(Value::Int(cseq), config.to_value()),
+        ),
+    )
+}
+
+/// A parsed stale-config NACK.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StaleConfig {
+    /// The replica that NACKed.
+    pub from: Loc,
+    /// The client sequence number being NACKed.
+    pub cseq: i64,
+    /// The NACKer's current configuration.
+    pub config: ReplicaConfig,
+}
+
+/// Parses a stale-config NACK.
+pub fn parse_stale_config(msg: &Msg) -> Option<StaleConfig> {
+    if msg.header != cached_header!(STALE_CONFIG_HEADER) {
+        return None;
+    }
+    let (from, rest) = msg.body.fst().zip(msg.body.snd())?;
+    let (cseq, config) = rest.fst().zip(rest.snd())?;
+    Some(StaleConfig {
+        from: from.as_loc()?,
+        cseq: cseq.as_int()?,
+        config: ReplicaConfig::from_value(config)?,
+    })
+}
+
+/// Builds a configuration-status query.
+pub fn config_query_msg(reply_to: Loc) -> Msg {
+    Msg::new(cached_header!(CONFIG_QUERY_HEADER), Value::Loc(reply_to))
+}
+
+/// Builds a configuration-status report.
+pub fn config_reply_msg(from: Loc, config: &ReplicaConfig, executed: i64, normal: bool) -> Msg {
+    Msg::new(
+        cached_header!(CONFIG_REPLY_HEADER),
+        Value::pair(
+            Value::Loc(from),
+            Value::pair(
+                config.to_value(),
+                Value::pair(Value::Int(executed), Value::Bool(normal)),
+            ),
+        ),
+    )
+}
+
+/// A parsed configuration-status report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConfigReport {
+    /// The reporting replica.
+    pub from: Loc,
+    /// Its current configuration.
+    pub config: ReplicaConfig,
+    /// Transactions it has executed.
+    pub executed: i64,
+    /// Whether it is serving in normal mode (an active member).
+    pub normal: bool,
+}
+
+/// Parses a configuration-status report.
+pub fn parse_config_reply(msg: &Msg) -> Option<ConfigReport> {
+    if msg.header != cached_header!(CONFIG_REPLY_HEADER) {
+        return None;
+    }
+    let (from, rest) = msg.body.fst().zip(msg.body.snd())?;
+    let (config, rest) = rest.fst().zip(rest.snd())?;
+    let (executed, normal) = rest.fst().zip(rest.snd())?;
+    Some(ConfigReport {
+        from: from.as_loc()?,
+        config: ReplicaConfig::from_value(config)?,
+        executed: executed.as_int()?,
+        normal: normal.as_bool()?,
+    })
+}
+
 /// Encodes a SQL value into the transport universe.
 pub fn sql_to_value(v: &shadowdb_sqldb::SqlValue) -> Value {
     use shadowdb_sqldb::SqlValue;
@@ -224,6 +461,82 @@ mod tests {
             },
         };
         assert_eq!(TxnEnvelope::from_value(&env.to_value()), Some(env));
+    }
+
+    #[test]
+    fn config_command_roundtrip_and_application() {
+        let members = vec![Loc::new(1), Loc::new(2)];
+        for cmd in [
+            ConfigCommand::NewConfig {
+                members: members.clone(),
+            },
+            ConfigCommand::add(&members, Loc::new(3)).unwrap(),
+            ConfigCommand::remove(&members, Loc::new(2)).unwrap(),
+            ConfigCommand::promote(&members, Loc::new(2)).unwrap(),
+        ] {
+            let payload = cmd.to_payload(7);
+            assert_eq!(ConfigCommand::parse(&payload), Some((7, cmd)));
+        }
+        assert_eq!(
+            ConfigCommand::add(&members, Loc::new(3)).unwrap().members(),
+            &[Loc::new(1), Loc::new(2), Loc::new(3)]
+        );
+        assert_eq!(
+            ConfigCommand::add(&members, Loc::new(2)),
+            None,
+            "adding an existing member is a no-op"
+        );
+        assert_eq!(
+            ConfigCommand::remove(&members, Loc::new(1))
+                .unwrap()
+                .members(),
+            &[Loc::new(2)]
+        );
+        assert_eq!(
+            ConfigCommand::remove(&[Loc::new(1)], Loc::new(1)),
+            None,
+            "a group never empties itself"
+        );
+        assert_eq!(
+            ConfigCommand::promote(&members, Loc::new(9)),
+            None,
+            "promoting a non-member is a no-op"
+        );
+        let promote = ConfigCommand::promote(&members, Loc::new(2)).unwrap();
+        assert_eq!(promote.preferred(), Some(Loc::new(2)));
+        assert_eq!(promote.members(), &members[..]);
+        assert_eq!(
+            ConfigCommand::parse(&ConfigCommand::NewConfig { members: vec![] }.to_payload(0)),
+            None,
+            "an empty successor membership never parses"
+        );
+    }
+
+    #[test]
+    fn stale_config_and_status_roundtrip() {
+        let config = ReplicaConfig {
+            seq: 3,
+            members: vec![Loc::new(5), Loc::new(6)],
+        };
+        let m = stale_config_msg(Loc::new(6), 11, &config);
+        assert_eq!(
+            parse_stale_config(&m),
+            Some(StaleConfig {
+                from: Loc::new(6),
+                cseq: 11,
+                config: config.clone()
+            })
+        );
+        let r = config_reply_msg(Loc::new(5), &config, 42, true);
+        assert_eq!(
+            parse_config_reply(&r),
+            Some(ConfigReport {
+                from: Loc::new(5),
+                config,
+                executed: 42,
+                normal: true
+            })
+        );
     }
 
     #[test]

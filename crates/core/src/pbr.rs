@@ -25,16 +25,16 @@
 //!    replicas), else after all of them.
 
 use crate::msgs::{
-    reply_msg, ReplicaConfig, TxnEnvelope, ACK_HEADER, CATCHUP_HEADER, ELECT_HEADER,
-    FORWARD_HEADER, HB_TIMER_HEADER, HEARTBEAT_HEADER, RECOVERY_ACK_HEADER, SNAPSHOT2_HEADER,
-    SNAPSHOT_HEADER, SUBMIT_HEADER,
+    config_reply_msg, reply_msg, stale_config_msg, ConfigCommand, ReplicaConfig, TxnEnvelope,
+    ACK_HEADER, CATCHUP_HEADER, CONFIG_QUERY_HEADER, ELECT_HEADER, FORWARD_HEADER, HB_TIMER_HEADER,
+    HEARTBEAT_HEADER, RECOVERY_ACK_HEADER, SNAPSHOT2_HEADER, SNAPSHOT_HEADER, SUBMIT_HEADER,
 };
 use crate::shard::{ShardRole, TwoPcEngine};
 use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_sqldb::{Database, RowBatch, SqlValue};
-use shadowdb_tob::{broadcast_msg, parse_deliver, InOrderBuffer};
+use shadowdb_tob::{broadcast_msg, parse_deliver, parse_subok, Delivery, InOrderBuffer};
 use shadowdb_workloads::{apply_group, TxnOutcome, TxnRequest};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -136,6 +136,12 @@ pub struct PbrReplica {
     tob_msgid: i64,
     election: HashMap<Loc, i64>,
     recovery_acks: BTreeSet<Loc>,
+    /// Election tie-break preference installed by the last `Promote`
+    /// command; cleared by every other configuration adoption.
+    promote_pref: Option<Loc>,
+    /// A joiner created mid-run awaits its first `tob/subok` to anchor
+    /// `tob_in` at the broadcast seq its dynamic subscription starts at.
+    join_sync: bool,
     /// Snapshot reception state: chunks received so far.
     snap_chunks: BTreeMap<i64, bytes::Bytes>,
     snap_total: Option<(i64, i64)>, // (total chunks, executed count)
@@ -188,6 +194,8 @@ impl PbrReplica {
             tob_msgid: 0,
             election: HashMap::new(),
             recovery_acks: BTreeSet::new(),
+            promote_pref: None,
+            join_sync: false,
             snap_chunks: BTreeMap::new(),
             snap_total: None,
             probe_last: None,
@@ -198,6 +206,29 @@ impl PbrReplica {
             snap_engine: None,
             step_cost: Duration::ZERO,
         }
+    }
+
+    /// Creates a replica joining a running group mid-stream. It starts
+    /// outside any configuration (`seq: -1`, no members, hence `Idle`) and
+    /// fast-forwards onto the config chain from the first command its
+    /// dynamic TOB subscription delivers — commands carry the explicit
+    /// successor membership precisely so a joiner need not know the
+    /// history it missed. The deployment must subscribe it at the TOB
+    /// servers *before* broadcasting `AddReplica`, so the command that
+    /// names it is guaranteed to reach it.
+    pub fn joiner(db: Database, tob_servers: Vec<Loc>, options: PbrOptions) -> PbrReplica {
+        let mut r = PbrReplica::new(
+            db,
+            ReplicaConfig {
+                seq: -1,
+                members: Vec::new(),
+            },
+            Vec::new(),
+            tob_servers,
+            options,
+        );
+        r.join_sync = true;
+        r
     }
 
     /// Places this replica's group inside a sharded deployment: its shard,
@@ -328,7 +359,21 @@ impl PbrReplica {
 
     fn on_submit(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
         if self.mode != Mode::Normal || !self.is_primary(ctx.slf) {
-            return; // backups and stopped replicas ignore submissions
+            // A settled non-primary (a backup, or a replica the chain left
+            // behind) NACKs with its configuration so the client can chase
+            // the chain; mid-election modes stay silent — the answer is
+            // still being decided and a guess could point backwards.
+            let settled = self.mode == Mode::Normal
+                || (self.mode == Mode::Idle && !self.config.members.is_empty());
+            if settled {
+                if let Some(env) = TxnEnvelope::from_value(body) {
+                    outs.push(SendInstr::now(
+                        env.client,
+                        stale_config_msg(ctx.slf, env.cseq, &self.config),
+                    ));
+                }
+            }
+            return;
         }
         let Some(env) = TxnEnvelope::from_value(body) else {
             return;
@@ -599,13 +644,7 @@ impl PbrReplica {
                 None => break,
             }
         }
-        let proposal = Value::pair(
-            Value::str("newconfig"),
-            Value::pair(
-                Value::Int(self.config.seq),
-                Value::list(members.iter().map(|m| Value::Loc(*m))),
-            ),
-        );
+        let proposal = ConfigCommand::NewConfig { members }.to_payload(self.config.seq);
         let msgid = self.tob_msgid;
         self.tob_msgid += 1;
         let server = self.tob_servers[(ctx.slf.index() as usize) % self.tob_servers.len()];
@@ -617,29 +656,57 @@ impl PbrReplica {
 
     // -- recovery ------------------------------------------------------------
 
-    /// Step 3: a totally ordered configuration proposal arrives.
+    /// Step 3: a totally ordered configuration command arrives.
     fn on_tob_deliver(&mut self, ctx: &Ctx, msg: &Msg, outs: &mut Vec<SendInstr>) {
         let Some(d) = parse_deliver(msg) else { return };
         for d in self.tob_in.offer(d) {
-            let Some((tag, body)) = d.payload.fst().zip(d.payload.snd()) else {
-                continue;
-            };
-            if tag.as_str() != Some("newconfig") {
-                continue;
+            self.on_config_delivery(ctx, &d, outs);
+        }
+    }
+
+    fn on_config_delivery(&mut self, ctx: &Ctx, d: &Delivery, outs: &mut Vec<SendInstr>) {
+        let Some((old_seq, cmd)) = ConfigCommand::parse(&d.payload) else {
+            return;
+        };
+        let adopt = if self.mode == Mode::Idle {
+            // Replicas outside the group (joiners, removed members) missed
+            // intermediate configurations, so they fast-forward onto the
+            // chain: safe because commands carry the explicit successor
+            // membership and the TOB totally orders the chain, and Idle
+            // replicas hold no authority the jump could conflict with.
+            old_seq >= self.config.seq
+        } else {
+            // Members adopt only the *first* command per configuration.
+            old_seq == self.config.seq
+        };
+        if !adopt {
+            return;
+        }
+        self.promote_pref = cmd.preferred();
+        self.adopt_config(
+            ctx,
+            ReplicaConfig {
+                seq: old_seq + 1,
+                members: cmd.members().to_vec(),
+            },
+            outs,
+        );
+    }
+
+    /// First acknowledgment of this replica's dynamic TOB subscription:
+    /// anchor the in-order buffer at the seq the subscription starts at
+    /// (the default buffer expects seq 0 and would wait forever for
+    /// history the service will never send a late subscriber).
+    fn on_subok(&mut self, ctx: &Ctx, seq: i64, outs: &mut Vec<SendInstr>) {
+        if !self.join_sync {
+            return; // later acks from the remaining servers re-confirm
+        }
+        self.join_sync = false;
+        let old = std::mem::replace(&mut self.tob_in, InOrderBuffer::starting_at(seq));
+        for d in old.into_pending() {
+            for d in self.tob_in.offer(d) {
+                self.on_config_delivery(ctx, &d, outs);
             }
-            let (old_seq, members) = body.unpair();
-            if old_seq.int() != self.config.seq {
-                continue; // not the first proposal for this configuration
-            }
-            let members: Vec<Loc> = members.elems().iter().filter_map(Value::as_loc).collect();
-            self.adopt_config(
-                ctx,
-                ReplicaConfig {
-                    seq: old_seq.int() + 1,
-                    members,
-                },
-                outs,
-            );
         }
     }
 
@@ -692,17 +759,27 @@ impl PbrReplica {
     }
 
     /// Step 4: once every member reported, the one with the largest
-    /// executed sequence number (ties → smallest id) is primary.
+    /// executed sequence number (ties → the `Promote` preference, then
+    /// smallest id) is primary. The preference only breaks ties: a
+    /// promoted-but-behind replica must not win, or committed transactions
+    /// it never executed would be lost.
     fn maybe_elect(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
         if self.election.len() < self.config.members.len() {
             return;
         }
+        let pref = self.promote_pref;
         let primary = self
             .config
             .members
             .iter()
             .copied()
-            .max_by_key(|m| (self.election[m], std::cmp::Reverse(m.index())))
+            .max_by_key(|m| {
+                (
+                    self.election[m],
+                    Some(*m) == pref,
+                    std::cmp::Reverse(m.index()),
+                )
+            })
             .expect("non-empty membership");
         // Reorder the configuration so members[0] is the primary.
         let mut members = self.config.members.clone();
@@ -899,6 +976,21 @@ impl PbrReplica {
         self.drain_forwards(ctx, outs);
     }
 
+    /// Answers a configuration-status query with this replica's view of
+    /// the chain (used by `ReconfigHandle` to CAS the next command and to
+    /// poll convergence).
+    fn on_config_query(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        outs.push(SendInstr::now(
+            body.loc(),
+            config_reply_msg(
+                ctx.slf,
+                &self.config,
+                self.executed,
+                self.mode == Mode::Normal,
+            ),
+        ));
+    }
+
     /// Step 7: the primary resumes once the required backups acknowledged.
     fn on_recovery_ack(&mut self, ctx: &Ctx, body: &Value) {
         let (cfg, from) = body.unpair();
@@ -963,6 +1055,10 @@ impl Process for PbrReplica {
             self.on_snapshot(ctx, &msg.body, true, out);
         } else if h == cached_header!(RECOVERY_ACK_HEADER) {
             self.on_recovery_ack(ctx, &msg.body);
+        } else if h == cached_header!(CONFIG_QUERY_HEADER) {
+            self.on_config_query(ctx, &msg.body, out);
+        } else if let Some(seq) = parse_subok(msg) {
+            self.on_subok(ctx, seq, out);
         } else {
             self.on_tob_deliver(ctx, msg, out);
         }
@@ -1013,6 +1109,8 @@ impl Process for PbrReplica {
             tob_msgid: self.tob_msgid,
             election: self.election.clone(),
             recovery_acks: self.recovery_acks.clone(),
+            promote_pref: self.promote_pref,
+            join_sync: self.join_sync,
             snap_chunks: self.snap_chunks.clone(),
             snap_total: self.snap_total,
             probe_last: self.probe_last,
@@ -1028,6 +1126,7 @@ impl Process for PbrReplica {
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.executed, self.config.seq, self.mode).hash(&mut h);
+        (self.promote_pref, self.join_sync).hash(&mut h);
         self.twopc_seq.hash(&mut h);
     }
 }

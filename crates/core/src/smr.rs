@@ -18,16 +18,22 @@ use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::Loc;
 use shadowdb_sqldb::{Database, RowBatch, Snapshot, SqlValue};
-use shadowdb_tob::{parse_deliver, InOrderBuffer};
+use shadowdb_tob::{parse_deliver, parse_subok, InOrderBuffer};
 use shadowdb_workloads::{apply_group, TxnRequest};
 use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
-/// Request a snapshot from a replica: body `<requester>`.
+/// Request a snapshot from a replica: body `<requester>` or
+/// `<requester, min_seq>` (the donor defers until it has executed at
+/// least `min_seq` deliveries, so the snapshot can never undershoot the
+/// requester's subscription point).
 pub const FETCH_SNAPSHOT_HEADER: &str = "smr/fetchsnap";
 /// A snapshot chunk: body `<chunk, <<total, next_seq>, bytes>>`.
 pub const SNAPSHOT_CHUNK_HEADER: &str = "smr/snapchunk";
+/// Joiner-internal retry timer: if the snapshot has not landed (donor
+/// crashed mid-stream), re-request from the next donor on the list.
+const JOIN_RETRY_HEADER: &str = "smr/joinretry";
 
 /// An SMR ShadowDB replica: a broadcast-service subscriber executing every
 /// delivered transaction.
@@ -40,6 +46,14 @@ pub struct SmrReplica {
     /// Snapshot-joining state: deliveries buffer inside `incoming` until
     /// the snapshot establishes the starting sequence number.
     joining: bool,
+    /// Donor candidates for a self-driven join ([`SmrReplica::joining_from`]):
+    /// the subscription ack triggers the fetch, retries rotate through the
+    /// list so a donor crash mid-stream does not strand the joiner.
+    donors: Vec<Loc>,
+    /// The TOB subscription point, once acked — the fetch's `min_seq`.
+    sub_seq: Option<i64>,
+    /// Fetch attempts so far (indexes the donor rotation).
+    join_attempts: u64,
     snap_chunks: BTreeMap<i64, bytes::Bytes>,
     snap_total: Option<(i64, i64)>,
     transfer_batch_bytes: usize,
@@ -66,6 +80,9 @@ impl SmrReplica {
             last_reply: HashMap::new(),
             executed: 0,
             joining: false,
+            donors: Vec::new(),
+            sub_seq: None,
+            join_attempts: 0,
             snap_chunks: BTreeMap::new(),
             snap_total: None,
             transfer_batch_bytes: 50_000,
@@ -100,9 +117,33 @@ impl SmrReplica {
         }
     }
 
+    /// Creates a self-driven joiner: once the deployment subscribes it at
+    /// the broadcast service, the subscription ack triggers a snapshot
+    /// fetch from `donors[0]` with the ack's sequence as `min_seq` — the
+    /// donor defers until its execution reaches that point, so the
+    /// snapshot plus the subscribed deliveries form a gapless history. If
+    /// the snapshot does not land (donor crashed mid-stream), retries
+    /// rotate through `donors`.
+    pub fn joining_from(db: Database, donors: Vec<Loc>) -> SmrReplica {
+        assert!(!donors.is_empty(), "a joiner needs at least one donor");
+        SmrReplica {
+            donors,
+            ..SmrReplica::joining(db)
+        }
+    }
+
     /// Builds the snapshot-fetch request sent to the donor replica.
     pub fn fetch_snapshot_msg(requester: Loc) -> Msg {
         Msg::new(FETCH_SNAPSHOT_HEADER, Value::Loc(requester))
+    }
+
+    /// A snapshot-fetch request the donor defers until it has executed at
+    /// least `min_seq` deliveries.
+    pub fn fetch_snapshot_after_msg(requester: Loc, min_seq: i64) -> Msg {
+        Msg::new(
+            FETCH_SNAPSHOT_HEADER,
+            Value::pair(Value::Loc(requester), Value::Int(min_seq)),
+        )
     }
 
     /// Overrides the state-transfer batch bound (~50 KB by default).
@@ -233,10 +274,28 @@ impl SmrReplica {
         outs.extend(role.render(slf, &actions, &mut self.twopc_seq));
     }
 
-    fn on_fetch_snapshot(&mut self, body: &Value, outs: &mut Vec<SendInstr>) {
-        let Some(requester) = body.as_loc() else {
-            return;
+    fn on_fetch_snapshot(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
+        let (requester, min_seq) = match body.as_loc() {
+            Some(l) => (l, 0),
+            None => match (body.fst(), body.snd()) {
+                (Some(l), Some(s)) => match l.as_loc() {
+                    Some(l) => (l, s.int()),
+                    None => return,
+                },
+                _ => return,
+            },
         };
+        if self.incoming.next_seq() < min_seq {
+            // Behind the requester's subscription point: a snapshot now
+            // would leave a delivery gap the joiner can never fill. Answer
+            // once execution has advanced past it.
+            outs.push(SendInstr::after(
+                Duration::from_millis(10),
+                slf,
+                Msg::new(FETCH_SNAPSHOT_HEADER, body.clone()),
+            ));
+            return;
+        }
         let snapshot = self.db.snapshot();
         let batches = snapshot.to_batches(self.transfer_batch_bytes);
         let costs = self.db.profile().costs;
@@ -263,6 +322,27 @@ impl SmrReplica {
         }
     }
 
+    /// Fires (or retries) the snapshot fetch once the subscription point
+    /// is known, rotating through the donor list and re-arming the retry
+    /// timer — a donor crash mid-stream must not strand the joiner.
+    fn kick_fetch(&mut self, slf: Loc, outs: &mut Vec<SendInstr>) {
+        let Some(seq) = self.sub_seq else { return };
+        if self.donors.is_empty() {
+            return;
+        }
+        let donor = self.donors[(self.join_attempts as usize) % self.donors.len()];
+        self.join_attempts += 1;
+        outs.push(SendInstr::now(
+            donor,
+            SmrReplica::fetch_snapshot_after_msg(slf, seq),
+        ));
+        outs.push(SendInstr::after(
+            Duration::from_secs(1),
+            slf,
+            Msg::new(JOIN_RETRY_HEADER, Value::Unit),
+        ));
+    }
+
     fn on_snapshot_chunk(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
         if !self.joining {
             return;
@@ -270,7 +350,16 @@ impl SmrReplica {
         let (i, rest) = body.unpair();
         let (meta, data) = rest.unpair();
         let (total, next_seq) = meta.unpair();
-        self.snap_total = Some((total.int(), next_seq.int()));
+        // Chunks are keyed by their snapshot identity `(total, next_seq)`:
+        // a retried fetch produces a later snapshot, and mixing chunk sets
+        // across snapshots would restore garbage. Replicas are
+        // deterministic state machines, so two snapshots with equal
+        // identity have identical content and their chunks interchange.
+        let id = (total.int(), next_seq.int());
+        if self.snap_total != Some(id) {
+            self.snap_chunks.clear();
+            self.snap_total = Some(id);
+        }
         if let Some(b) = data.as_bytes() {
             self.snap_chunks.insert(i.int(), b.clone());
         }
@@ -315,9 +404,22 @@ impl Process for SmrReplica {
     fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
         let h = msg.header;
         if h == cached_header!(FETCH_SNAPSHOT_HEADER) {
-            self.on_fetch_snapshot(&msg.body, out);
+            self.on_fetch_snapshot(ctx.slf, &msg.body, out);
         } else if h == cached_header!(SNAPSHOT_CHUNK_HEADER) {
             self.on_snapshot_chunk(ctx.slf, &msg.body, out);
+        } else if h == cached_header!(JOIN_RETRY_HEADER) {
+            if self.joining {
+                self.kick_fetch(ctx.slf, out);
+            }
+        } else if let Some(seq) = parse_subok(msg) {
+            // The subscription ack pins the join's `min_seq`: the first
+            // ack wins (every broadcast server acks its own sequence, and
+            // each covers all slots from its ack onward, so any single ack
+            // is a safe lower bound for the fetch).
+            if self.joining && self.sub_seq.is_none() {
+                self.sub_seq = Some(seq);
+                self.kick_fetch(ctx.slf, out);
+            }
         } else if let Some(d) = parse_deliver(msg) {
             let ready = self.incoming.offer(d);
             if !self.joining {
@@ -340,6 +442,9 @@ impl Process for SmrReplica {
             last_reply: self.last_reply.clone(),
             executed: self.executed,
             joining: self.joining,
+            donors: self.donors.clone(),
+            sub_seq: self.sub_seq,
+            join_attempts: self.join_attempts,
             snap_chunks: self.snap_chunks.clone(),
             snap_total: self.snap_total,
             transfer_batch_bytes: self.transfer_batch_bytes,
@@ -354,6 +459,7 @@ impl Process for SmrReplica {
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.executed, self.joining, self.incoming.next_seq()).hash(&mut h);
+        (self.sub_seq, self.join_attempts).hash(&mut h);
         self.twopc_seq.hash(&mut h);
     }
 }

@@ -12,7 +12,10 @@
 //! fixed seeds. Set `CHAOS_SEEDS=n` to additionally sweep seeds `0..n`
 //! across every profile on the simulator (the opt-in long soak).
 
-use shadowdb::chaos::{soak_pbr, soak_sharded_pbr, soak_sharded_smr, soak_smr, ChaosOptions};
+use shadowdb::chaos::{
+    soak_pbr, soak_reconfig_pbr, soak_reconfig_smr, soak_sharded_pbr, soak_sharded_smr, soak_smr,
+    ChaosOptions,
+};
 use shadowdb_livenet::LiveNet;
 use shadowdb_runtime::NemesisProfile;
 use shadowdb_tcpnet::TcpNet;
@@ -174,6 +177,91 @@ fn tcpnet_windowed_smr_soak() {
     let opts = live_opts(26, NemesisProfile::PartitionVictim).with_window(8);
     let report = soak_smr(&mut net, &opts);
     assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+/// Reconfiguration soaks: a replica replaced online while the bank
+/// workload runs and the `CrashDuringTransfer` nemesis kills first the
+/// joiner mid-stream, then the donor primary during the re-replacement.
+/// The harness asserts convergence, strict serializability of the whole
+/// history spanning the configuration changes, one primary per
+/// configuration sequence (PBR), and that a replacement eventually
+/// landed (PBR).
+#[test]
+fn simnet_reconfig_pbr_crash_during_transfer() {
+    let mut sim = shadowdb_simnet::testing::default_net(1_500);
+    let report = soak_reconfig_pbr(&mut sim, &sim_opts(46, NemesisProfile::CrashDuringTransfer));
+    assert_eq!(report.committed, 300);
+}
+
+#[test]
+fn simnet_reconfig_smr_crash_during_transfer() {
+    let mut sim = shadowdb_simnet::testing::default_net(1_501);
+    let report = soak_reconfig_smr(&mut sim, &sim_opts(47, NemesisProfile::CrashDuringTransfer));
+    assert_eq!(report.committed, 300);
+}
+
+/// The benign-profile reconfig soak: replace under load with no faults
+/// at all (`DelaySpikes` only jitters), asserting the no-full-group-pause
+/// acceptance claim — every transaction answers while the membership
+/// changes underneath.
+#[test]
+fn simnet_reconfig_pbr_under_delay_spikes() {
+    let mut sim = shadowdb_simnet::testing::default_net(1_502);
+    let report = soak_reconfig_pbr(&mut sim, &sim_opts(48, NemesisProfile::DelaySpikes));
+    assert_eq!(report.committed, 300);
+}
+
+#[test]
+fn livenet_reconfig_pbr_crash_during_transfer() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(29)
+        .spawn();
+    let report = soak_reconfig_pbr(
+        &mut net,
+        &live_opts(29, NemesisProfile::CrashDuringTransfer),
+    );
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+#[test]
+fn livenet_reconfig_smr_crash_during_transfer() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(30)
+        .spawn();
+    let report = soak_reconfig_smr(
+        &mut net,
+        &live_opts(30, NemesisProfile::CrashDuringTransfer),
+    );
+    assert_eq!(report.committed, 50);
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_reconfig_pbr_crash_during_transfer() {
+    let mut net = TcpNet::builder().seeded(31).spawn();
+    // Real TCP round trips are fast, but the replacement (subscribe,
+    // snapshot, config commands) is not instant: a 200 ms window keeps
+    // both crash windows inside the replacement instead of before it.
+    let mut opts = live_opts(31, NemesisProfile::CrashDuringTransfer);
+    opts.duration = Duration::from_millis(200);
+    opts.txns_per_client = 100;
+    let report = soak_reconfig_pbr(&mut net, &opts);
+    assert_eq!(report.committed, 200);
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_reconfig_smr_crash_during_transfer() {
+    let mut net = TcpNet::builder().seeded(32).spawn();
+    let mut opts = live_opts(32, NemesisProfile::CrashDuringTransfer);
+    opts.duration = Duration::from_millis(200);
+    opts.txns_per_client = 100;
+    let report = soak_reconfig_smr(&mut net, &opts);
+    assert_eq!(report.committed, 200);
     net.shutdown();
 }
 

@@ -214,6 +214,8 @@ mod election_safety_props {
                 core: (CLIENTS as u32..sim.node_count()).map(Loc::new).collect(),
                 victim: d.replicas[0],
                 groups: Vec::new(),
+                joiner: None,
+                donor: None,
             };
             let plan = Nemesis::new(seed, profile, duration).plan(&topo);
             schedule_node_faults(&mut sim, &plan, |_| None);

@@ -755,6 +755,28 @@ mod tests {
         net.shutdown();
     }
 
+    /// Regression for online reconfiguration: deliveries, crashes, and
+    /// restarts aimed at a never-allocated location are discarded, and a
+    /// node added at that location afterwards works normally.
+    #[test]
+    fn unknown_locations_are_tolerated() {
+        let mut net = LiveNet::builder().node(echo_counter()).spawn();
+        let ghost = Loc::new(5);
+        net.send(ghost, Msg::new("ping", Value::Unit));
+        net.crash_at(VTime::ZERO, ghost);
+        net.restart_at(VTime::ZERO, ghost, echo_counter());
+        std::thread::sleep(Duration::from_millis(50));
+        // The system is still alive: the real node answers.
+        let (port, rx) = LiveNet::port(&net);
+        net.send(Loc::new(0), Msg::new("ping", Value::Loc(port)));
+        assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        // Late addition at the next slot receives normally.
+        let late = net.add_node(echo_counter());
+        net.send(late, Msg::new("ping", Value::Loc(port)));
+        assert!(rx.recv_timeout(Duration::from_secs(5)).is_ok());
+        net.shutdown();
+    }
+
     /// Seeded delivery is a pure function of the send sequence: the jitter
     /// mixer must be deterministic.
     #[test]

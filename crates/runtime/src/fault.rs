@@ -441,6 +441,15 @@ pub struct FaultTopology {
     /// participates in). Empty for unsharded deployments; profiles that
     /// target groups fall back to the victim when fewer than two exist.
     pub groups: Vec<Vec<Loc>>,
+    /// The replica joining mid-run under online reconfiguration. A `Loc`
+    /// here may exceed the deploy-time node count — plans address nodes by
+    /// location, not by table index, so rules naming a not-yet-added node
+    /// are valid and begin to bite the moment it exists. Profiles that
+    /// target the joiner fall back to the victim when unset.
+    pub joiner: Option<Loc>,
+    /// The replica streaming state to the joiner (the incumbent primary).
+    /// Falls back to the victim when unset.
+    pub donor: Option<Loc>,
 }
 
 impl FaultTopology {
@@ -476,10 +485,21 @@ pub enum NemesisProfile {
     /// not diverge, and drain after the heal. Falls back to isolating
     /// the victim when the topology has fewer than two groups.
     CoordinatorPartition,
+    /// Online-reconfiguration stress: crash the *joiner* mid-transfer,
+    /// and in a later, separate window crash the *donor* (the incumbent
+    /// primary streaming the snapshot). The group must reconfigure past
+    /// each loss without losing committed transactions. Deliberately NOT
+    /// in [`NemesisProfile::ALL`]: it only makes sense against a harness
+    /// that actually drives a reconfiguration (the generic soaks run
+    /// static memberships, where killing two replicas of a small group
+    /// wedges it by design).
+    CrashDuringTransfer,
 }
 
 impl NemesisProfile {
-    /// Every profile, for seed sweeps.
+    /// Every generic profile, for seed sweeps over static-membership
+    /// deployments ([`NemesisProfile::CrashDuringTransfer`] is excluded —
+    /// it requires a reconfiguration-driving harness).
     pub const ALL: [NemesisProfile; 8] = [
         NemesisProfile::PartitionVictim,
         NemesisProfile::LossyClientLinks,
@@ -622,6 +642,18 @@ impl Nemesis {
                     plan = plan.with_isolation(topo.victim, start, end);
                 }
             }
+            NemesisProfile::CrashDuringTransfer => {
+                // The reconfig harness starts its replace early (≈0.10 of
+                // the window); the snapshot stream is in flight shortly
+                // after. Two separate incidents: first the joiner dies
+                // mid-stream (the group must abandon it and re-replace),
+                // then — once a second transfer is underway — the donor
+                // dies (a surviving member must take over and re-stream).
+                let joiner = topo.joiner.unwrap_or(topo.victim);
+                let donor = topo.donor.unwrap_or(topo.victim);
+                plan = plan.with_crash(VTime::ZERO + s.frac_of(d, 0.15, 0.30), joiner);
+                plan = plan.with_crash(VTime::ZERO + s.frac_of(d, 0.55, 0.75), donor);
+            }
             NemesisProfile::Mixed => {
                 let start = start_of(&mut s, d);
                 let end = start + s.frac_of(d, 0.15, 0.25);
@@ -666,6 +698,8 @@ mod tests {
             core: vec![Loc::new(2), Loc::new(3), Loc::new(4)],
             victim: Loc::new(2),
             groups: Vec::new(),
+            joiner: None,
+            donor: None,
         }
     }
 
@@ -678,6 +712,8 @@ mod tests {
                 vec![Loc::new(2), Loc::new(3)],
                 vec![Loc::new(6), Loc::new(7)],
             ],
+            joiner: None,
+            donor: None,
         }
     }
 
@@ -867,6 +903,46 @@ mod tests {
             assert!(f.at >= VTime::ZERO + d.mul_f64(0.25));
             assert!(f.at <= VTime::ZERO + d.mul_f64(0.50));
         }
+    }
+
+    #[test]
+    fn crash_during_transfer_hits_joiner_then_donor() {
+        let mut t = topo();
+        // The joiner does not exist at deploy time: its location is past
+        // every deploy-time node. Plans address by location, so the
+        // schedule is still expressible and deterministic.
+        t.joiner = Some(Loc::new(9));
+        t.donor = Some(Loc::new(2));
+        for seed in 0..10 {
+            let d = Duration::from_secs(10);
+            let plan = Nemesis::new(seed, NemesisProfile::CrashDuringTransfer, d).plan(&t);
+            assert_eq!(plan.node_faults.len(), 2);
+            let (j, dn) = (plan.node_faults[0], plan.node_faults[1]);
+            assert_eq!(j.loc, Loc::new(9));
+            assert_eq!(dn.loc, Loc::new(2));
+            assert!(j.at < dn.at, "joiner dies in the earlier window");
+            assert!(dn.at <= VTime::ZERO + d.mul_f64(0.75));
+        }
+        // Without explicit targets the profile degrades to the victim.
+        let fallback = Nemesis::new(
+            1,
+            NemesisProfile::CrashDuringTransfer,
+            Duration::from_secs(10),
+        )
+        .plan(&topo());
+        assert!(fallback.node_faults.iter().all(|f| f.loc == Loc::new(2)));
+    }
+
+    #[test]
+    fn rules_may_name_locations_beyond_the_deployed_table() {
+        // Regression: fault rules survive membership change. A rule naming
+        // a location that does not exist yet must be constructible,
+        // digestable, and must select the link once the node appears.
+        let late = Loc::new(77);
+        let plan = FaultPlan::new(13).with_isolation(late, VTime::ZERO, VTime::from_secs(1));
+        assert!(plan.cut(late, Loc::new(0), VTime::from_millis(1)));
+        assert!(plan.cut(Loc::new(0), late, VTime::from_millis(1)));
+        let _ = plan.digest();
     }
 
     #[test]

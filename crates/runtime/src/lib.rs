@@ -187,6 +187,18 @@ pub trait Runtime {
         self.add_node(process)
     }
 
+    /// Hosts `process` at the next location *after the system started
+    /// running* — the online-reconfiguration entry point. Every substrate
+    /// here allocates nodes from a growable table, so the default simply
+    /// delegates to [`Runtime::add_node`]; the separate name keeps the
+    /// capability explicit at call sites (deploy-time builders use
+    /// `add_node`, `ReconfigHandle` uses `add_node_late`) and gives
+    /// substrates with launch-time setup (socket binding, thread spawning)
+    /// a seam to override.
+    fn add_node_late(&mut self, process: Box<dyn Process>) -> Loc {
+        self.add_node(process)
+    }
+
     /// Number of locations allocated so far (nodes and ports); the next
     /// allocation returns this value as its `Loc`.
     fn node_count(&self) -> u32;

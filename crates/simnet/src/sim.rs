@@ -311,13 +311,19 @@ impl Simulation {
     fn execute(&mut self, item: Item) {
         match item.action {
             Action::Crash(loc) => {
-                self.nodes[loc.index() as usize].up = false;
-                self.stats.crashes += 1;
+                // Fault plans may name locations that never materialized
+                // (a planned joiner the run did not add): ignore, exactly
+                // like crashing an already-crashed node is a no-op.
+                if let Some(slot) = self.nodes.get_mut(loc.index() as usize) {
+                    slot.up = false;
+                    self.stats.crashes += 1;
+                }
             }
             Action::Restart(loc, process) => {
-                let slot = &mut self.nodes[loc.index() as usize];
-                slot.process = process;
-                slot.up = true;
+                if let Some(slot) = self.nodes.get_mut(loc.index() as usize) {
+                    slot.process = process;
+                    slot.up = true;
+                }
             }
             Action::Deliver {
                 dest,
@@ -326,7 +332,15 @@ impl Simulation {
                 sender,
             } => {
                 let idx = dest.index() as usize;
-                assert!(idx < self.nodes.len(), "message to unknown node {dest}");
+                if idx >= self.nodes.len() {
+                    // Under online reconfiguration a removed node's peers
+                    // may still address it, and a fault plan may target a
+                    // node added later than this delivery: count the loss
+                    // like a delivery to a crashed node instead of
+                    // treating the location as a wiring bug.
+                    self.stats.dropped_down += 1;
+                    return;
+                }
                 if !self.nodes[idx].up {
                     self.stats.dropped_down += 1;
                     return;
@@ -604,6 +618,32 @@ mod tests {
         assert!(!sim.node_up(b));
         assert_eq!(sim.stats().delivered, 1); // only a's event
         assert_eq!(sim.stats().dropped_down, 1);
+    }
+
+    #[test]
+    fn unknown_locations_drop_instead_of_panicking() {
+        // Regression for online reconfiguration: fault plans and stale
+        // peers may address locations that do not exist (yet, or anymore).
+        let mut sim = SimBuilder::new(1).build();
+        let a = sim.add_node(relay(Loc::new(9), 0));
+        let ghost = Loc::new(9);
+        // Deliveries to an unknown node are counted losses, not panics —
+        // both external injections and node-originated sends.
+        sim.send_at(VTime::from_millis(1), ghost, Msg::new("x", Value::Unit));
+        sim.send_at(VTime::from_millis(2), a, Msg::new("hop", Value::Int(1)));
+        // Crash/restart of an unknown node is a no-op.
+        sim.crash_at(VTime::from_millis(3), ghost);
+        sim.restart_at(VTime::from_millis(4), ghost, relay(Loc::new(0), 0));
+        sim.run_until_quiescent(VTime::from_secs(1));
+        assert_eq!(sim.stats().dropped_down, 2);
+        assert_eq!(sim.stats().crashes, 0);
+        // A node added after the run started receives normally (locations
+        // allocate sequentially, so the late node lands at the next slot).
+        let late = sim.add_node(relay(Loc::new(0), 0));
+        sim.send_at(sim.now(), late, Msg::new("hop", Value::Int(0)));
+        sim.run_until_quiescent(VTime::from_secs(2));
+        assert_eq!(sim.stats().dropped_down, 2);
+        assert!(sim.node_up(late));
     }
 
     #[test]

@@ -711,6 +711,37 @@ mod tests {
         net.shutdown();
     }
 
+    /// Fault plans and injections may name locations that do not exist
+    /// yet — reconfiguration adds nodes after deployment, and a nemesis
+    /// plan written against the final membership must not wedge the net
+    /// before the joiner arrives. Sends to an unknown location park until
+    /// it exists (or evict at the queue cap); crash and restart of an
+    /// unknown location are no-ops.
+    #[test]
+    fn unknown_locations_are_tolerated() {
+        let mut net = TcpNet::new();
+        let echo = net.add_node(echo_counter());
+        let (port, rx) = TcpNet::port(&mut net);
+        let ghost = Loc::new(9);
+        net.send(ghost, Msg::new("ping", Value::Loc(port)));
+        net.crash_at(VTime::ZERO, ghost);
+        net.restart_at(VTime::ZERO, ghost, echo_counter());
+        // The net still serves its real nodes.
+        net.send(echo, Msg::new("ping", Value::Loc(port)));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
+        // A late-added node binds a fresh location and answers.
+        let late = net.add_node(echo_counter());
+        net.send(late, Msg::new("ping", Value::Loc(port)));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(5)).unwrap().body,
+            Value::Int(1)
+        );
+        net.shutdown();
+    }
+
     #[cfg(target_os = "linux")]
     fn os_thread_count() -> usize {
         std::fs::read_dir("/proc/self/task")

@@ -42,6 +42,23 @@ pub const BROADCAST_HEADER: &str = "tob/broadcast";
 /// body `<seq, <client, <msgid, payload>>>`.
 pub const DELIVER_HEADER: &str = "tob/deliver";
 
+/// Header of a dynamic-subscription request to a TOB server:
+/// body `<subscriber>`. The server adds the location to its delivery
+/// fan-out and answers with [`SUBOK_HEADER`]. Reconfiguration uses this to
+/// wire a joining replica into the broadcast service at runtime — the
+/// deploy-time subscriber list stays frozen, dynamic subscribers ride in
+/// the server's replicated state.
+pub const SUBSCRIBE_HEADER: &str = "tob/sub";
+
+/// Header of an un-subscription request: body `<subscriber>`. Removes a
+/// dynamic subscriber (deploy-time subscribers cannot be removed).
+pub const UNSUBSCRIBE_HEADER: &str = "tob/unsub";
+
+/// Header of the subscription acknowledgement, sent to the new
+/// subscriber: body `<next_seq>` — the global sequence number of the
+/// first delivery the subscriber will receive from this server.
+pub const SUBOK_HEADER: &str = "tob/subok";
+
 use shadowdb_eventml::{cached_header, Msg, Value};
 use shadowdb_loe::Loc;
 
@@ -51,6 +68,24 @@ pub fn broadcast_msg(client: Loc, msgid: i64, payload: Value) -> Msg {
         cached_header!(BROADCAST_HEADER),
         Value::pair(Value::Loc(client), Value::pair(Value::Int(msgid), payload)),
     )
+}
+
+/// Builds a dynamic-subscription request.
+pub fn subscribe_msg(subscriber: Loc) -> Msg {
+    Msg::new(cached_header!(SUBSCRIBE_HEADER), Value::Loc(subscriber))
+}
+
+/// Builds an un-subscription request.
+pub fn unsubscribe_msg(subscriber: Loc) -> Msg {
+    Msg::new(cached_header!(UNSUBSCRIBE_HEADER), Value::Loc(subscriber))
+}
+
+/// Parses a subscription acknowledgement; returns the next delivery seq.
+pub fn parse_subok(msg: &Msg) -> Option<i64> {
+    if msg.header != cached_header!(SUBOK_HEADER) {
+        return None;
+    }
+    msg.body.as_int()
 }
 
 /// A delivery notification, decoded.

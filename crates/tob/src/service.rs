@@ -28,7 +28,7 @@
 //!
 //! [`DELIVER_HEADER`]: crate::DELIVER_HEADER
 
-use crate::{BROADCAST_HEADER, DELIVER_HEADER};
+use crate::{BROADCAST_HEADER, DELIVER_HEADER, SUBOK_HEADER, SUBSCRIBE_HEADER, UNSUBSCRIBE_HEADER};
 use shadowdb_consensus::{synod, twothird, vmap, DECIDE_HEADER};
 use shadowdb_eventml::patterns::{mealy, tagged_union};
 use shadowdb_eventml::{cached_header, ClassExpr, Msg, SendInstr, Spec, Value};
@@ -113,6 +113,10 @@ struct ServerState {
     last_enq: Value,
     /// client -> last delivered msgid.
     last_del: Value,
+    /// Dynamic subscribers (joining replicas), added at runtime through
+    /// [`SUBSCRIBE_HEADER`]; they receive every delivery alongside the
+    /// deploy-time `config.subscribers`.
+    subs: Vec<Loc>,
 }
 
 impl ServerState {
@@ -126,6 +130,7 @@ impl ServerState {
             in_flight: Vec::new(),
             last_enq: vmap::empty(),
             last_del: vmap::empty(),
+            subs: Vec::new(),
         }
     }
 
@@ -145,7 +150,13 @@ impl ServerState {
                 Value::pair(Value::Int(self.batch_ctr), self.decided.clone()),
                 Value::pair(
                     Value::pair(self.pending.clone(), in_flight),
-                    Value::pair(self.last_enq.clone(), self.last_del.clone()),
+                    Value::pair(
+                        self.last_enq.clone(),
+                        Value::pair(
+                            self.last_del.clone(),
+                            Value::list(self.subs.iter().map(|l| Value::Loc(*l))),
+                        ),
+                    ),
                 ),
             ),
         )
@@ -158,7 +169,14 @@ impl ServerState {
         let (batch_ctr, decided) = b.unpair();
         let (c, d) = rest.unpair();
         let (pending, in_flight) = c.unpair();
-        let (last_enq, last_del) = d.unpair();
+        let (last_enq, rest) = d.unpair();
+        let (last_del, subs) = rest.unpair();
+        let subs = subs
+            .as_list()
+            .expect("subscriber list")
+            .iter()
+            .map(|l| l.loc())
+            .collect();
         let in_flight = in_flight
             .as_list()
             .expect("in-flight list")
@@ -177,6 +195,7 @@ impl ServerState {
             in_flight,
             last_enq: last_enq.clone(),
             last_del: last_del.clone(),
+            subs,
         }
     }
 }
@@ -211,7 +230,12 @@ pub fn service_class(config: &TobConfig) -> ClassExpr {
         // EventML broadcast service in the paper is 820 nodes).
         700,
         ServerState::init().to_value(),
-        tagged_union(&[BROADCAST_HEADER, DECIDE_HEADER]),
+        tagged_union(&[
+            BROADCAST_HEADER,
+            DECIDE_HEADER,
+            SUBSCRIBE_HEADER,
+            UNSUBSCRIBE_HEADER,
+        ]),
         Arc::new(move |slf, input, state| transition(&config, slf, input, state)),
     )
 }
@@ -266,6 +290,25 @@ fn transition(
                 deliver_ready(config, &mut st, &mut outs);
             }
         }
+        SUBSCRIBE_HEADER => {
+            // A joining replica wires itself into this server's delivery
+            // fan-out. The acknowledgement carries the seq of the first
+            // delivery it will see, so the joiner knows exactly which
+            // prefix its snapshot must cover. Idempotent: re-subscribing
+            // re-acks with the current frontier.
+            let sub = body.loc();
+            if !st.subs.contains(&sub) && !config.subscribers.contains(&sub) {
+                st.subs.push(sub);
+            }
+            outs.push(SendInstr::now(
+                sub,
+                Msg::new(cached_header!(SUBOK_HEADER), Value::Int(st.seq)),
+            ));
+        }
+        UNSUBSCRIBE_HEADER => {
+            let sub = body.loc();
+            st.subs.retain(|l| *l != sub);
+        }
         other => panic!("unexpected tag {other}"),
     }
     try_propose(config, slf, &mut st, &mut outs);
@@ -276,6 +319,7 @@ fn transition(
 /// as it is delivered (the frontier check in the DECIDE arm keeps late
 /// duplicates from resurrecting a collected slot).
 fn deliver_ready(config: &TobConfig, st: &mut ServerState, outs: &mut Vec<SendInstr>) {
+    let dynamic = st.subs.clone();
     while let Some(batch) = vmap::get(&st.decided, &Value::Int(st.deliver_next)).cloned() {
         for entry in batch_entries(&batch) {
             let (client, rest) = entry.unpair();
@@ -287,7 +331,7 @@ fn deliver_ready(config: &TobConfig, st: &mut ServerState, outs: &mut Vec<SendIn
                 continue; // duplicate of an already-delivered message
             }
             st.last_del = vmap::set(&st.last_del, client.clone(), msgid.clone());
-            for sub in &config.subscribers {
+            for sub in config.subscribers.iter().chain(dynamic.iter()) {
                 outs.push(SendInstr::now(
                     *sub,
                     Msg::new(
@@ -596,6 +640,53 @@ mod tests {
         );
         let d = parse_deliver(&outs[0].msg).expect("delivery");
         assert_eq!(d.seq, 1);
+    }
+
+    #[test]
+    fn dynamic_subscriber_joins_the_fanout_at_the_acked_seq() {
+        let (mut p, _) = server(64);
+        let slf = Loc::new(0);
+        let entry = |c: u32, id: i64| {
+            Value::pair(
+                Value::Loc(Loc::new(c)),
+                Value::pair(Value::Int(id), Value::Unit),
+            )
+        };
+        // Slot 0 delivers before the joiner subscribes: 2 static subscribers.
+        let b0 = batch_value(Loc::new(2), 0, &[entry(9, 0)]);
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(0, &b0)),
+        );
+        assert_eq!(outs.len(), 2);
+        // Subscribe loc 70: the ack carries next seq = 1.
+        let joiner = Loc::new(70);
+        let outs = p.step(&Ctx::at(slf), &crate::subscribe_msg(joiner));
+        assert_eq!(outs.len(), 1);
+        assert_eq!(outs[0].dest, joiner);
+        assert_eq!(crate::parse_subok(&outs[0].msg), Some(1));
+        // Re-subscribing is idempotent: same ack, no duplicate fan-out later.
+        let outs = p.step(&Ctx::at(slf), &crate::subscribe_msg(joiner));
+        assert_eq!(crate::parse_subok(&outs[0].msg), Some(1));
+        // Slot 1 delivers to the 2 static subscribers AND the joiner.
+        let b1 = batch_value(Loc::new(2), 1, &[entry(9, 1)]);
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(1, &b1)),
+        );
+        assert_eq!(outs.len(), 3);
+        let to_joiner: Vec<_> = outs.iter().filter(|o| o.dest == joiner).collect();
+        assert_eq!(to_joiner.len(), 1);
+        assert_eq!(parse_deliver(&to_joiner[0].msg).expect("delivery").seq, 1);
+        // Unsubscribe: slot 2 goes to the static subscribers only.
+        let outs = p.step(&Ctx::at(slf), &crate::unsubscribe_msg(joiner));
+        assert!(outs.is_empty());
+        let b2 = batch_value(Loc::new(2), 2, &[entry(9, 2)]);
+        let outs = p.step(
+            &Ctx::at(slf),
+            &Msg::new(cached_header!(DECIDE_HEADER), decide_body(2, &b2)),
+        );
+        assert_eq!(outs.len(), 2);
     }
 
     #[test]
