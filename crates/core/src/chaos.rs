@@ -30,16 +30,24 @@
 
 use crate::client::{DbClient, DbClientStats};
 use crate::deploy::{
-    DeployOptions, PbrDeployment, ShardedDeployment, ShardedOptions, SmrDeployment,
+    DeployOptions, DurabilityOptions, PbrDeployment, ShardedDeployment, ShardedOptions,
+    SmrDeployment,
 };
 use crate::diversity::DiversityPolicy;
-use crate::pbr::{PbrOptions, PrimaryProbe};
+use crate::msgs::ReplicaConfig;
+use crate::pbr::{PbrOptions, PbrReplica, PrimaryProbe, TransferKind, TransferProbe};
 use crate::serializability::check_bank_history_concurrent;
 use crate::shard::{check_two_pc_atomicity, TwoPcProbe};
+use crate::smr::SmrReplica;
 use parking_lot::Mutex;
+use shadowdb_eventml::Process;
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_runtime::fault::mix64;
-use shadowdb_runtime::{schedule_node_faults, FaultTopology, Nemesis, NemesisProfile, Runtime};
+use shadowdb_runtime::{
+    schedule_node_faults, FaultPlan, FaultTopology, LazyRecover, Nemesis, NemesisProfile,
+    NodeFaultKind, Runtime,
+};
+use shadowdb_tob::subscribe_msg;
 use shadowdb_workloads::{bank, ShardMap, TxnRequest};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -227,7 +235,7 @@ fn arm_nemesis_at<R: Runtime + ?Sized>(
     let plan = Nemesis::new(opts.seed, opts.profile, opts.duration)
         .plan(&topo)
         .shifted(Duration::from_micros(epoch.as_micros()));
-    schedule_node_faults(rt, &plan, |_loc| None);
+    schedule_node_faults(rt, &plan, |_loc, _kind| None);
     rt.install_fault_plan(plan);
     for cl in clients {
         rt.send_at(epoch, *cl, DbClient::start_msg());
@@ -609,6 +617,271 @@ pub fn soak_reconfig_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -
     handle.replace_replica(rt, victim, opts.duration);
     let answered = drive(rt, opts, &d.stats);
     let committed = assert_history(opts, "reconfig-smr", answered, &scripts, &d.stats);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries: Vec::new(),
+    }
+}
+
+/// [`arm_nemesis`] variant for durable-restart profiles: the plan's
+/// `RestartDurable` events are wired through `recover` (invoked at
+/// schedule time — wrap disk-reading constructors in [`LazyRecover`] so
+/// the disk is read at reboot time, after the crash tore it), and the
+/// expanded plan is returned so the harness can schedule restart-time
+/// kick messages against its fault instants.
+fn arm_nemesis_durable<R: Runtime + ?Sized>(
+    rt: &mut R,
+    opts: &ChaosOptions,
+    victim: Loc,
+    clients: &[Loc],
+    recover: impl FnMut(Loc, NodeFaultKind) -> Option<Box<dyn Process>>,
+) -> FaultPlan {
+    let core: Vec<Loc> = (0..rt.node_count())
+        .map(Loc::new)
+        .filter(|l| !clients.contains(l))
+        .collect();
+    let topo = FaultTopology {
+        clients: clients.to_vec(),
+        core,
+        victim,
+        groups: Vec::new(),
+        joiner: None,
+        donor: None,
+    };
+    let epoch = rt.now() + Duration::from_millis(5);
+    let plan = Nemesis::new(opts.seed, opts.profile, opts.duration)
+        .plan(&topo)
+        .shifted(Duration::from_micros(epoch.as_micros()));
+    schedule_node_faults(rt, &plan, recover);
+    rt.install_fault_plan(plan.clone());
+    for cl in clients {
+        rt.send_at(epoch, *cl, DbClient::start_msg());
+    }
+    plan
+}
+
+/// Drives the runtime past the end of the workload until the rebooted
+/// victim's catch-up shows on the transfer probe (bounded). The clients
+/// can finish before the last reboot's handshake completes — the refetch
+/// runs off the heartbeat timer, and on the real-time runtimes a loaded
+/// machine can slide the whole power cycle past the last answered
+/// transaction — so the rejoin gets a settle window before the probe is
+/// asserted on.
+fn settle_rejoin<R: Runtime + ?Sized>(rt: &mut R, transfers: &TransferProbe, victim: Loc) {
+    let deadline = rt.now() + Duration::from_secs(10);
+    let rejoined = |t: &TransferProbe| {
+        t.lock()
+            .iter()
+            .any(|(l, k)| (*l, *k) == (victim, TransferKind::Catchup))
+    };
+    while !rejoined(transfers) && rt.now() < deadline {
+        rt.run_for(Duration::from_millis(20));
+    }
+}
+
+/// The durability plane's central claim, asserted on the donor-side
+/// transfer probe: every time the rebooted victim rejoined, it was served
+/// the *suffix it missed* (catch-up / delta), never a full state
+/// transfer.
+fn assert_rejoined_without_snapshot(
+    opts: &ChaosOptions,
+    kind: &str,
+    transfers: &TransferProbe,
+    victim: Loc,
+) {
+    let log = transfers.lock().clone();
+    let catchups = log
+        .iter()
+        .filter(|(l, k)| *l == victim && *k == TransferKind::Catchup)
+        .count();
+    let snapshots = log
+        .iter()
+        .filter(|(l, k)| *l == victim && *k == TransferKind::Snapshot)
+        .count();
+    assert!(
+        catchups >= 1,
+        "{kind} soak: rebooted replica never completed a suffix catch-up \
+         (seed {}, {:?})",
+        opts.seed,
+        opts.profile
+    );
+    assert_eq!(
+        snapshots, 0,
+        "{kind} soak: restart-from-disk fell back to a full state transfer \
+         (seed {}, {:?})",
+        opts.seed, opts.profile
+    );
+}
+
+/// Soaks a durability-enabled primary-backup deployment under
+/// [`NemesisProfile::PowerLoss`]: the backup is repeatedly killed and
+/// rebooted *from its disk* (WAL + snapshot, with a possibly torn
+/// unsynced tail), below the failure-detection window so membership
+/// never changes. On top of the [`soak_pbr`] assertions, the transfer
+/// probe must show the rebooted backup rejoined through the catch-up
+/// path only — recovery from disk plus a short network suffix, never a
+/// full state transfer.
+pub fn soak_durability_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let probe: PrimaryProbe = Arc::new(Mutex::new(Vec::new()));
+    let transfers: TransferProbe = Arc::new(Mutex::new(Vec::new()));
+    let dur = DurabilityOptions {
+        snapshot_every: 64,
+        transfer_probe: Some(transfers.clone()),
+        ..DurabilityOptions::default()
+    };
+    let pbr = PbrOptions {
+        heartbeat_every: opts.heartbeat_every,
+        detect_after: opts.detect_after,
+        probe: Some(probe.clone()),
+        ..PbrOptions::default()
+    };
+    let (scripts, mut dopts) = deploy_options(opts);
+    dopts.durability = Some(dur.clone());
+    let d = PbrDeployment::build(rt, &dopts, pbr.clone());
+    // Victim is the backup: outages are shorter than failure detection,
+    // so the primary keeps serving and the rebooted backup must re-enter
+    // the *same* configuration from its disk.
+    let victim = d.replicas[1];
+    let disk = d.disks[1].clone();
+    let config = ReplicaConfig::initial(d.replicas[..dopts.active_replicas].to_vec());
+    let spares = d.replicas[dopts.active_replicas..].to_vec();
+    let servers = d.tob.servers.clone();
+    let rows = opts.rows;
+    let seed = opts.seed;
+    let mut reboots = 0u64;
+    let recover = {
+        let pbr = pbr.clone();
+        move |loc: Loc, kind: NodeFaultKind| {
+            if loc != victim || kind != NodeFaultKind::RestartDurable {
+                return None;
+            }
+            reboots += 1;
+            let n = reboots;
+            let disk = disk.clone();
+            let pbr = pbr.clone();
+            let config = config.clone();
+            let spares = spares.clone();
+            let servers = servers.clone();
+            let snapshot_every = dur.snapshot_every;
+            Some(Box::new(LazyRecover::new(move || {
+                // The power loss may have torn the unsynced tail; the
+                // replica then replays whatever survived on a freshly
+                // loaded database, as a real reboot would.
+                disk.begin_recovery(mix64(seed ^ n));
+                let db = DiversityPolicy::Uniform.database(1);
+                bank::load(&db, rows).expect("bank loads");
+                Box::new(PbrReplica::recover_from(
+                    db,
+                    config.clone(),
+                    spares.clone(),
+                    servers.clone(),
+                    pbr.clone(),
+                    None,
+                    victim,
+                    disk.clone(),
+                    snapshot_every,
+                ))
+            })) as Box<dyn Process>)
+        }
+    };
+    let plan = arm_nemesis_durable(rt, opts, victim, &d.clients, recover);
+    // Each reboot needs its timer loop kicked; the refetch handshake runs
+    // off the heartbeat timer.
+    for f in &plan.node_faults {
+        if f.kind == NodeFaultKind::RestartDurable {
+            rt.send_at(
+                f.at + Duration::from_millis(2),
+                f.loc,
+                PbrReplica::start_msg(),
+            );
+        }
+    }
+    let answered = drive(rt, opts, &d.stats);
+    settle_rejoin(rt, &transfers, victim);
+    let committed = assert_history(opts, "durability-pbr", answered, &scripts, &d.stats);
+    let primaries = assert_one_primary_per_seq(opts, &probe);
+    assert_rejoined_without_snapshot(opts, "durability-pbr", &transfers, victim);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries,
+    }
+}
+
+/// Soaks a durability-enabled state-machine-replication deployment under
+/// [`NemesisProfile::PowerLoss`]: one replica is repeatedly power-cycled
+/// and recovers from its WAL + snapshot, then fetches the delivery
+/// suffix it missed from a peer's recent-delivery cache. The transfer
+/// probe must show every rejoin was served as a delta, never a snapshot.
+pub fn soak_durability_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let transfers: TransferProbe = Arc::new(Mutex::new(Vec::new()));
+    let dur = DurabilityOptions {
+        snapshot_every: 64,
+        transfer_probe: Some(transfers.clone()),
+        ..DurabilityOptions::default()
+    };
+    let (scripts, mut dopts) = deploy_options(opts);
+    dopts.durability = Some(dur.clone());
+    let d = SmrDeployment::build(rt, &dopts);
+    let vidx = d.replicas.len() - 1;
+    let victim = d.replicas[vidx];
+    let disk = d.disks[vidx].clone();
+    let donors: Vec<Loc> = d
+        .replicas
+        .iter()
+        .copied()
+        .filter(|r| *r != victim)
+        .collect();
+    let rows = opts.rows;
+    let seed = opts.seed;
+    let mut reboots = 0u64;
+    let recover = move |loc: Loc, kind: NodeFaultKind| {
+        if loc != victim || kind != NodeFaultKind::RestartDurable {
+            return None;
+        }
+        reboots += 1;
+        let n = reboots;
+        let disk = disk.clone();
+        let donors = donors.clone();
+        let snapshot_every = dur.snapshot_every;
+        let recent_limit = dur.recent_limit;
+        Some(Box::new(LazyRecover::new(move || {
+            disk.begin_recovery(mix64(seed ^ n));
+            let db = DiversityPolicy::Uniform.database(vidx);
+            bank::load(&db, rows).expect("bank loads");
+            Box::new(SmrReplica::recover_from(
+                db,
+                donors.clone(),
+                None,
+                victim,
+                disk.clone(),
+                snapshot_every,
+                recent_limit,
+            ))
+        })) as Box<dyn Process>)
+    };
+    let plan = arm_nemesis_durable(rt, opts, victim, &d.clients, recover);
+    // Each reboot re-subscribes at the broadcast service; the (idempotent)
+    // ack carries the delivery frontier, which tells the recovered replica
+    // how much its disk missed and starts the delta fetch.
+    for f in &plan.node_faults {
+        if f.kind == NodeFaultKind::RestartDurable {
+            for s in &d.tob.servers {
+                rt.send_at(f.at + Duration::from_millis(2), *s, subscribe_msg(victim));
+            }
+        }
+    }
+    let answered = drive(rt, opts, &d.stats);
+    settle_rejoin(rt, &transfers, victim);
+    let committed = assert_history(opts, "durability-smr", answered, &scripts, &d.stats);
+    assert_rejoined_without_snapshot(opts, "durability-smr", &transfers, victim);
     let (dropped, duplicated) = rt.fault_stats();
     ChaosReport {
         committed,

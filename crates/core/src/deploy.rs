@@ -13,7 +13,7 @@ use crate::diversity::DiversityPolicy;
 use crate::msgs::{
     config_query_msg, parse_config_reply, ConfigCommand, ConfigReport, ReplicaConfig,
 };
-use crate::pbr::{PbrOptions, PbrReplica};
+use crate::pbr::{PbrOptions, PbrReplica, TransferProbe};
 use crate::shard::{GroupRoute, ShardRole, TwoPcProbe};
 use crate::smr::SmrReplica;
 use parking_lot::Mutex;
@@ -24,6 +24,7 @@ use shadowdb_sqldb::Database;
 use shadowdb_tob::deploy::BackendKind;
 use shadowdb_tob::{broadcast_msg, subscribe_msg, unsubscribe_msg};
 use shadowdb_tob::{ExecutionMode, TobDeployment, TobOptions};
+use shadowdb_wal::Disk;
 use shadowdb_workloads::{ShardMap, TxnRequest};
 use std::sync::Arc;
 use std::time::Duration;
@@ -65,6 +66,40 @@ pub struct DeployOptions {
     /// windows are anchored at the workload epoch — set this to `false`
     /// and send [`DbClient::start_msg`] to each client themselves.
     pub start_clients: bool,
+    /// Durability plane: when set, every replica runs a per-replica WAL
+    /// over the runtime's [`shadowdb_runtime::StorageMode`] (virtual
+    /// bytes with modeled fsync cost under the simulator; real files
+    /// under the thread and socket runtimes). The deployment exposes the
+    /// disks so harnesses can restart a replica from its durable state.
+    pub durability: Option<DurabilityOptions>,
+}
+
+/// Per-replica durable-storage settings.
+#[derive(Clone)]
+pub struct DurabilityOptions {
+    /// Take a durable snapshot (and truncate the log) every this many
+    /// WAL records.
+    pub snapshot_every: i64,
+    /// Fsync latency: charged virtually per group commit under the
+    /// simulator, borne for real under file-backed runtimes.
+    pub fsync_cost: Duration,
+    /// SMR: recent-delivery cache entries a durable replica keeps so it
+    /// can serve suffix-only rejoins as a donor.
+    pub recent_limit: usize,
+    /// Donor-side probe recording which transfer path each rejoin took
+    /// (soaks assert disk recovery never needs a full snapshot).
+    pub transfer_probe: Option<TransferProbe>,
+}
+
+impl Default for DurabilityOptions {
+    fn default() -> Self {
+        DurabilityOptions {
+            snapshot_every: 512,
+            fsync_cost: Duration::from_micros(250),
+            recent_limit: 4_096,
+            transfer_probe: None,
+        }
+    }
 }
 
 impl DeployOptions {
@@ -88,6 +123,7 @@ impl DeployOptions {
             machines: 3,
             backend: BackendKind::Paxos,
             start_clients: true,
+            durability: None,
         }
     }
 }
@@ -109,6 +145,9 @@ pub struct PbrDeployment {
     pub stats: Vec<Arc<Mutex<DbClientStats>>>,
     /// The broadcast service underneath.
     pub tob: TobDeployment,
+    /// One durable disk per replica (same order as `replicas`); empty
+    /// unless the deployment was built with [`DeployOptions::durability`].
+    pub disks: Vec<Disk>,
 }
 
 impl PbrDeployment {
@@ -171,16 +210,29 @@ impl PbrDeployment {
         // cores: model them with their own CPU timeline.
         let config = ReplicaConfig::initial(replicas[..options.active_replicas].to_vec());
         let spares = replicas[options.active_replicas..].to_vec();
+        let storage = rt.storage_mode();
+        let mut pbr = pbr;
+        if let Some(dur) = &options.durability {
+            if pbr.transfer_probe.is_none() {
+                pbr.transfer_probe = dur.transfer_probe.clone();
+            }
+        }
+        let mut disks = Vec::new();
         for (i, r) in replicas.iter().enumerate() {
             let db = options.diversity.database(i);
             (options.loader)(&db);
-            let replica = PbrReplica::new(
+            let mut replica = PbrReplica::new(
                 db,
                 config.clone(),
                 spares.clone(),
                 servers.clone(),
                 pbr.clone(),
             );
+            if let Some(dur) = &options.durability {
+                let disk = Disk::open(&storage, &format!("replica-{i}"), dur.fsync_cost);
+                replica = replica.with_wal(disk.clone(), dur.snapshot_every);
+                disks.push(disk);
+            }
             let loc = rt.add_node(Box::new(replica));
             assert_eq!(loc, *r);
         }
@@ -198,6 +250,7 @@ impl PbrDeployment {
             clients,
             stats,
             tob,
+            disks,
         }
     }
 
@@ -243,6 +296,9 @@ pub struct SmrDeployment {
     pub stats: Vec<Arc<Mutex<DbClientStats>>>,
     /// The broadcast service underneath.
     pub tob: TobDeployment,
+    /// One durable disk per replica (same order as `replicas`); empty
+    /// unless the deployment was built with [`DeployOptions::durability`].
+    pub disks: Vec<Disk>,
 }
 
 impl SmrDeployment {
@@ -296,10 +352,21 @@ impl SmrDeployment {
         assert_eq!(tob.servers, servers);
 
         // As under PBR: the database JVM gets its own core.
+        let storage = rt.storage_mode();
+        let mut disks = Vec::new();
         for (i, r) in replicas.iter().enumerate() {
             let db = options.diversity.database(i);
             (options.loader)(&db);
-            let loc = rt.add_node(Box::new(SmrReplica::new(db)));
+            let mut replica = SmrReplica::new(db);
+            if let Some(dur) = &options.durability {
+                let disk = Disk::open(&storage, &format!("replica-{i}"), dur.fsync_cost);
+                replica = replica.with_wal(disk.clone(), dur.snapshot_every, dur.recent_limit);
+                if let Some(p) = &dur.transfer_probe {
+                    replica = replica.with_transfer_probe(p.clone());
+                }
+                disks.push(disk);
+            }
+            let loc = rt.add_node(Box::new(replica));
             assert_eq!(loc, *r);
         }
 
@@ -313,6 +380,7 @@ impl SmrDeployment {
             clients,
             stats,
             tob,
+            disks,
         }
     }
 

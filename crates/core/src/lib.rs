@@ -37,7 +37,8 @@ pub mod shard;
 pub mod smr;
 
 pub use chaos::{
-    soak_pbr, soak_sharded_pbr, soak_sharded_smr, soak_smr, ChaosOptions, ChaosReport,
+    soak_durability_pbr, soak_durability_smr, soak_pbr, soak_sharded_pbr, soak_sharded_smr,
+    soak_smr, ChaosOptions, ChaosReport,
 };
 pub use client::{DbClient, DbClientStats};
 pub use deploy::{PbrDeployment, ShardedDeployment, SmrDeployment};

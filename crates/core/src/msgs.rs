@@ -29,6 +29,10 @@ pub const SNAPSHOT_HEADER: &str = "sdb/snapshot";
 pub const SNAPSHOT2_HEADER: &str = "sdb/snapshot2";
 /// Backup → primary recovery acknowledgment: body `<config, from>`.
 pub const RECOVERY_ACK_HEADER: &str = "sdb/recack";
+/// A disk-recovered replica asks the primary for the suffix its WAL
+/// missed: body `<requester, executed>`. Answered with `CATCHUP` when
+/// the primary's cache reaches back far enough, else a full snapshot.
+pub const REFETCH_HEADER: &str = "sdb/refetch";
 /// Stale-config NACK to a client: a replica that is not the primary of the
 /// current configuration answers a submission with its configuration so
 /// the client can chase the change. Body `<from, <cseq, config>>`.

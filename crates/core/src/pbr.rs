@@ -25,9 +25,10 @@
 //!    replicas), else after all of them.
 
 use crate::msgs::{
-    config_reply_msg, reply_msg, stale_config_msg, ConfigCommand, ReplicaConfig, TxnEnvelope,
-    ACK_HEADER, CATCHUP_HEADER, CONFIG_QUERY_HEADER, ELECT_HEADER, FORWARD_HEADER, HB_TIMER_HEADER,
-    HEARTBEAT_HEADER, RECOVERY_ACK_HEADER, SNAPSHOT2_HEADER, SNAPSHOT_HEADER, SUBMIT_HEADER,
+    config_reply_msg, reply_msg, sql_to_value, stale_config_msg, value_to_sql, ConfigCommand,
+    ReplicaConfig, TxnEnvelope, ACK_HEADER, CATCHUP_HEADER, CONFIG_QUERY_HEADER, ELECT_HEADER,
+    FORWARD_HEADER, HB_TIMER_HEADER, HEARTBEAT_HEADER, RECOVERY_ACK_HEADER, REFETCH_HEADER,
+    SNAPSHOT2_HEADER, SNAPSHOT_HEADER, SUBMIT_HEADER,
 };
 use crate::shard::{ShardRole, TwoPcEngine};
 use shadowdb_eventml::process::HasherAdapter;
@@ -35,6 +36,7 @@ use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::{Loc, VTime};
 use shadowdb_sqldb::{Database, RowBatch, SqlValue};
 use shadowdb_tob::{broadcast_msg, parse_deliver, parse_subok, Delivery, InOrderBuffer};
+use shadowdb_wal::{Disk, Wal};
 use shadowdb_workloads::{apply_group, TxnOutcome, TxnRequest};
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -45,6 +47,29 @@ use std::time::Duration;
 /// first time a replica executes a client transaction as primary in a
 /// configuration. Safety harnesses assert at most one replica per seq.
 pub type PrimaryProbe = Arc<parking_lot::Mutex<Vec<(i64, Loc)>>>;
+
+/// Which transfer path a donor used to bring a rejoining replica up to
+/// date. Durability soaks assert that a disk-recovered replica took the
+/// suffix-only `Catchup` path and never needed a full `Snapshot` — the
+/// point of the WAL is that restart-from-disk misses only a suffix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferKind {
+    /// The donor replayed missing transactions from its cache (or, under
+    /// SMR, its recent-delivery cache).
+    Catchup,
+    /// The donor streamed a full state snapshot.
+    Snapshot,
+}
+
+/// A shared log of `(receiver, transfer kind)` pairs, appended by the
+/// donor each time it answers a state-transfer request.
+pub type TransferProbe = Arc<parking_lot::Mutex<Vec<(Loc, TransferKind)>>>;
+
+/// Tag of a WAL record holding an executed transaction envelope.
+pub(crate) const WREC_TXN: i64 = 0;
+/// Tag of a WAL record holding an adopted configuration (the replica's
+/// position on the config chain must recover along with its data).
+pub(crate) const WREC_CONFIG: i64 = 1;
 
 /// Tuning knobs for a PBR replica.
 #[derive(Clone, Debug)]
@@ -66,6 +91,9 @@ pub struct PbrOptions {
     /// time this replica executes as primary in each configuration.
     /// Excluded from the digest (it observes state, it is not state).
     pub probe: Option<PrimaryProbe>,
+    /// Optional transfer probe: the donor records which transfer path it
+    /// used per rejoin request. Excluded from the digest likewise.
+    pub transfer_probe: Option<TransferProbe>,
 }
 
 impl Default for PbrOptions {
@@ -77,6 +105,7 @@ impl Default for PbrOptions {
             transfer_batch_bytes: 50_000,
             overlapped_transfer: false,
             probe: None,
+            transfer_probe: None,
         }
     }
 }
@@ -159,6 +188,21 @@ pub struct PbrReplica {
     twopc_outbox: Vec<SendInstr>,
     /// Engine state received alongside a sharded snapshot.
     snap_engine: Option<Value>,
+    /// Durability plane: the write-ahead log, when this replica persists
+    /// its execution. Appends accumulate across a step and are fsynced
+    /// once at the end of it (group commit at the group-apply boundary),
+    /// before any reply the step produced is released.
+    wal: Option<Wal>,
+    /// Monotone WAL record index (transactions and config adoptions share
+    /// one sequence; `executed` alone cannot index config records).
+    wal_index: i64,
+    /// WAL index of the last durable snapshot (truncation point).
+    wal_snap_at: i64,
+    /// Take a durable snapshot every this many WAL records.
+    snapshot_every: i64,
+    /// Set by disk recovery: ask the group for the suffix the disk missed
+    /// (re-sent on the heartbeat timer until recovery completes).
+    need_refetch: bool,
     /// Deferred CPU cost (transaction execution, snapshot work).
     step_cost: Duration,
 }
@@ -204,6 +248,11 @@ impl PbrReplica {
             twopc_seq: Vec::new(),
             twopc_outbox: Vec::new(),
             snap_engine: None,
+            wal: None,
+            wal_index: 0,
+            wal_snap_at: 0,
+            snapshot_every: i64::MAX,
+            need_refetch: false,
             step_cost: Duration::ZERO,
         }
     }
@@ -239,6 +288,159 @@ impl PbrReplica {
         self.twopc_seq = vec![0; role.map.shards()];
         self.role = Some(role);
         self
+    }
+
+    /// Attaches a write-ahead log: every executed transaction and adopted
+    /// configuration is appended, fsynced once per step (group commit),
+    /// with a durable snapshot (and log truncation) every
+    /// `snapshot_every` records.
+    pub fn with_wal(mut self, disk: Disk, snapshot_every: i64) -> PbrReplica {
+        self.snapshot_every = snapshot_every.max(1);
+        self.wal = Some(Wal::open(disk));
+        self
+    }
+
+    /// Rebuilds a replica from its durable state after a crash: install
+    /// the latest snapshot, replay the logged suffix, then rejoin the
+    /// group for whatever the disk missed (the `sdb/refetch` handshake —
+    /// catch-up only, unless the primary's cache no longer reaches back
+    /// far enough). The caller passes the arguments the original replica
+    /// was built with; `slf` is the location the replica runs at (replay
+    /// of 2PC records renders protocol sends, which need an identity,
+    /// before the first step supplies a context).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_from(
+        db: Database,
+        config: ReplicaConfig,
+        spares: Vec<Loc>,
+        tob_servers: Vec<Loc>,
+        options: PbrOptions,
+        role: Option<ShardRole>,
+        slf: Loc,
+        disk: Disk,
+        snapshot_every: i64,
+    ) -> PbrReplica {
+        let rec = shadowdb_wal::recover(&disk);
+        let mut r = PbrReplica::new(db, config, spares, tob_servers, options);
+        if let Some(role) = role {
+            r = r.with_role(role);
+        }
+        if let Some((_, blob)) = &rec.snapshot {
+            r.install_durable_blob(blob);
+        }
+        for (_, body) in &rec.records {
+            r.replay_record(slf, body);
+        }
+        r.wal_index = rec.high_index().max(0);
+        r.wal_snap_at = rec.snapshot.as_ref().map(|(i, _)| *i).unwrap_or(0);
+        r.snapshot_every = snapshot_every.max(1);
+        r.wal = Some(Wal::open(disk));
+        // The disk knows everything up to the crash; the group has moved
+        // on. Rejoin: re-anchor the TOB subscription and ask the primary
+        // for the missed suffix.
+        r.mode = Mode::Recovering;
+        r.join_sync = true;
+        r.need_refetch = true;
+        r
+    }
+
+    /// Serializes everything a durable snapshot must carry: `executed`,
+    /// the config-chain position, the per-client reply cache (without it
+    /// a recovered replica would re-execute a retransmitted transaction
+    /// it already answered), 2PC protocol state when sharded, and the row
+    /// data. Reply-cache entries are sorted so the blob is deterministic.
+    fn durable_blob(&self, snapshot: &shadowdb_sqldb::Snapshot) -> Value {
+        type ReplyEntry = (i64, bool, Vec<SqlValue>);
+        let mut entries: Vec<(&Loc, &ReplyEntry)> = self.last_reply.iter().collect();
+        entries.sort_by_key(|(l, _)| **l);
+        let replies = Value::list(entries.into_iter().map(
+            |(client, (cseq, committed, result))| {
+                Value::pair(
+                    Value::Loc(*client),
+                    Value::pair(
+                        Value::Int(*cseq),
+                        Value::pair(
+                            Value::Bool(*committed),
+                            Value::list(result.iter().map(sql_to_value)),
+                        ),
+                    ),
+                )
+            },
+        ));
+        let shard = match &self.engine {
+            Some(e) => Value::pair(
+                Value::list(self.twopc_seq.iter().map(|s| Value::Int(*s))),
+                e.to_value(),
+            ),
+            None => Value::Unit,
+        };
+        Value::pair(
+            Value::Int(self.executed),
+            Value::pair(
+                self.config.to_value(),
+                Value::pair(
+                    replies,
+                    Value::pair(shard, Value::Bytes(snapshot.to_bytes())),
+                ),
+            ),
+        )
+    }
+
+    /// Restores the state [`Self::durable_blob`] captured. Tolerant of
+    /// malformed pieces (a corrupt snapshot file never reaches here — the
+    /// WAL checksums it — but recovery stays total regardless).
+    fn install_durable_blob(&mut self, blob: &Value) {
+        let (executed, rest) = blob.unpair();
+        let (config, rest) = rest.unpair();
+        let (replies, rest) = rest.unpair();
+        let (shard, db_bytes) = rest.unpair();
+        if let Some(c) = ReplicaConfig::from_value(config) {
+            self.config = c;
+        }
+        if let Some(bytes) = db_bytes.as_bytes() {
+            if let Ok(snapshot) = shadowdb_sqldb::Snapshot::from_bytes(bytes.clone()) {
+                let _ = self.db.restore(&snapshot);
+            }
+        }
+        self.executed = executed.int();
+        self.log.clear();
+        self.log_start = self.executed;
+        if let Some(list) = replies.as_list() {
+            for e in list {
+                let (client, rest) = e.unpair();
+                let (cseq, rest) = rest.unpair();
+                let (committed, result) = rest.unpair();
+                let vals: Vec<SqlValue> = result.elems().iter().filter_map(value_to_sql).collect();
+                self.last_reply.insert(
+                    client.loc(),
+                    (cseq.int(), committed.as_bool().unwrap_or(false), vals),
+                );
+            }
+        }
+        if self.role.is_some() && !matches!(shard, Value::Unit) {
+            self.adopt_shard_state(shard.clone());
+        }
+    }
+
+    /// Replays one WAL record onto local state. Nothing is sent: 2PC
+    /// replay advances the emission counters in lockstep (exactly as a
+    /// backup does) and drops the rendered sends.
+    fn replay_record(&mut self, slf: Loc, body: &Value) {
+        let (tag, payload) = body.unpair();
+        match tag.int() {
+            WREC_TXN => {
+                if let Some(env) = TxnEnvelope::from_value(payload) {
+                    self.execute_txn(slf, &env);
+                    self.twopc_outbox.clear();
+                }
+            }
+            WREC_CONFIG => {
+                if let Some(c) = ReplicaConfig::from_value(payload) {
+                    self.config = c;
+                }
+            }
+            _ => {}
+        }
     }
 
     /// The kick-off message a deployment sends each replica.
@@ -348,10 +550,55 @@ impl PbrReplica {
 
     fn record_executed(&mut self, env: &TxnEnvelope) {
         self.executed += 1;
+        if let Some(wal) = self.wal.as_mut() {
+            let body = Value::pair(Value::Int(WREC_TXN), env.to_value());
+            self.wal_index += 1;
+            wal.append(self.wal_index, &body);
+        }
         self.log.push_back(env.clone());
         while self.log.len() > self.options.cache_limit {
             self.log.pop_front();
             self.log_start += 1;
+        }
+    }
+
+    /// End-of-step durability: one fsync covers every append the step
+    /// made (group commit at the group-apply boundary — a drained batch
+    /// of N forwards costs one fsync, not N), and it runs before the
+    /// runtime dispatches the step's sends, so no reply escapes ahead of
+    /// the log. Every `snapshot_every` records the log is folded into a
+    /// durable snapshot instead (which truncates it).
+    fn flush_wal(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        if self.wal_index - self.wal_snap_at >= self.snapshot_every {
+            let snapshot = self.db.snapshot();
+            let costs = self.db.profile().costs;
+            self.charge(Duration::from_micros(
+                costs.scan_row_us * snapshot.row_count() as u64,
+            ));
+            let blob = self.durable_blob(&snapshot);
+            let idx = self.wal_index;
+            let cost = self
+                .wal
+                .as_mut()
+                .expect("checked")
+                .save_snapshot(idx, &blob);
+            self.wal_snap_at = idx;
+            self.charge(cost);
+        } else {
+            let w = self.wal.as_mut().expect("checked");
+            if w.pending() > 0 {
+                let cost = w.commit();
+                self.charge(cost);
+            }
+        }
+    }
+
+    fn note_transfer(&mut self, to: Loc, kind: TransferKind) {
+        if let Some(p) = &self.options.transfer_probe {
+            p.lock().push((to, kind));
         }
     }
 
@@ -594,6 +841,9 @@ impl PbrReplica {
                 ));
             }
         }
+        if self.need_refetch && self.mode == Mode::Recovering {
+            self.send_refetch(ctx, outs);
+        }
         if !matches!(self.mode, Mode::Normal | Mode::Recovering) {
             return; // a decision for this configuration is already pending
         }
@@ -618,6 +868,64 @@ impl PbrReplica {
     fn on_heartbeat(&mut self, ctx: &Ctx, body: &Value) {
         let (_cfg, from) = body.unpair();
         self.last_heard.insert(from.loc(), ctx.now);
+    }
+
+    /// Disk recovery's rejoin request: ask every peer for the suffix the
+    /// WAL missed (only the settled primary answers). Sent from the first
+    /// heartbeat tick after restart and re-sent every tick until a
+    /// catch-up (or snapshot, or a configuration change) resolves it —
+    /// the primary itself may still be recovering when the first ask
+    /// lands.
+    fn send_refetch(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        for m in self.config.members.clone() {
+            if m != ctx.slf {
+                outs.push(SendInstr::now(
+                    m,
+                    Msg::new(
+                        REFETCH_HEADER,
+                        Value::pair(Value::Loc(ctx.slf), Value::Int(self.executed)),
+                    ),
+                ));
+            }
+        }
+    }
+
+    /// Donor side of the rejoin handshake. Answer as the elector would:
+    /// replay from the cache when it reaches back far enough, else
+    /// stream a full snapshot.
+    fn on_refetch(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        if self.mode != Mode::Normal || !self.is_primary(ctx.slf) {
+            return;
+        }
+        let (from, behind) = body.unpair();
+        let (from, behind) = (from.loc(), behind.int());
+        if !self.config.contains(from) {
+            return;
+        }
+        if behind >= self.log_start {
+            // An already-caught-up requester gets an empty catch-up: the
+            // transfer is a no-op but it completes the rejoin handshake.
+            let missing: Vec<Value> = self
+                .log
+                .iter()
+                .skip((behind - self.log_start) as usize)
+                .map(TxnEnvelope::to_value)
+                .collect();
+            self.note_transfer(from, TransferKind::Catchup);
+            outs.push(SendInstr::now(
+                from,
+                Msg::new(
+                    CATCHUP_HEADER,
+                    Value::pair(
+                        Value::Int(self.config.seq),
+                        Value::pair(Value::Int(behind), Value::list(missing)),
+                    ),
+                ),
+            ));
+        } else {
+            self.note_transfer(from, TransferKind::Snapshot);
+            self.send_snapshot(from, outs);
+        }
     }
 
     /// Step 1–2 of the recovery procedure: stop, then broadcast a proposal.
@@ -712,6 +1020,14 @@ impl PbrReplica {
 
     fn adopt_config(&mut self, ctx: &Ctx, config: ReplicaConfig, outs: &mut Vec<SendInstr>) {
         self.config = config;
+        if let Some(wal) = self.wal.as_mut() {
+            let body = Value::pair(Value::Int(WREC_CONFIG), self.config.to_value());
+            self.wal_index += 1;
+            wal.append(self.wal_index, &body);
+        }
+        // An adopted configuration supersedes any in-flight refetch: the
+        // election's own catch-up brings this replica up to date.
+        self.need_refetch = false;
         self.pending.clear();
         self.forward_buf.clear();
         self.election.clear();
@@ -799,6 +1115,7 @@ impl PbrReplica {
                     .skip((behind - self.log_start) as usize)
                     .map(TxnEnvelope::to_value)
                     .collect();
+                self.note_transfer(b, TransferKind::Catchup);
                 outs.push(SendInstr::now(
                     b,
                     Msg::new(
@@ -810,6 +1127,7 @@ impl PbrReplica {
                     ),
                 ));
             } else {
+                self.note_transfer(b, TransferKind::Snapshot);
                 self.send_snapshot(b, outs);
             }
         }
@@ -888,9 +1206,27 @@ impl PbrReplica {
             }
         }
         if !batch.is_empty() {
+            let first = self.executed + 1;
             self.execute_txn_group(ctx.slf, &batch);
             // Catch-up replay advances 2PC counters without emitting.
             self.twopc_outbox.clear();
+            // Acknowledge each applied index: when no reconfiguration
+            // happened (a disk-recovered backup rejoining its unchanged
+            // configuration), the primary may hold pending entries
+            // stalled on this replica from before the outage; indexes it
+            // no longer tracks are no-ops there.
+            for off in 0..batch.len() as i64 {
+                outs.push(SendInstr::now(
+                    self.config.primary(),
+                    Msg::new(
+                        ACK_HEADER,
+                        Value::pair(
+                            Value::Int(self.config.seq),
+                            Value::pair(Value::Int(first + off), Value::Loc(ctx.slf)),
+                        ),
+                    ),
+                ));
+            }
         }
         self.finish_recovery(ctx, outs);
     }
@@ -942,29 +1278,41 @@ impl PbrReplica {
         self.log_start = executed;
         self.snap_chunks.clear();
         self.snap_total = None;
+        if self.wal.is_some() {
+            // The network snapshot jumped execution past what the log
+            // holds; force an immediate durable snapshot (end of this
+            // step) so the disk never replays a log with a gap in it.
+            self.wal_snap_at = self.wal_index - self.snapshot_every;
+        }
         // Sharded: adopt the donor's 2PC state and emission counters, so
         // this replica resumes the protocol exactly where the group is.
-        if let (Some(state), Some(role)) = (self.snap_engine.take(), &self.role) {
-            let (seqs, engine) = state.unpair();
-            let restored: Option<Vec<i64>> = seqs
-                .as_list()
-                .map(|l| l.iter().filter_map(Value::as_int).collect());
-            if let Some(seqs) = restored {
-                if seqs.len() == role.map.shards() {
-                    self.twopc_seq = seqs;
-                }
-            }
-            if let Some(e) =
-                TwoPcEngine::from_value(engine, role.map, role.shard, role.probe.clone())
-            {
-                self.engine = Some(e);
-            }
+        if let Some(state) = self.snap_engine.take() {
+            self.adopt_shard_state(state);
         }
         self.finish_recovery(ctx, outs);
     }
 
+    /// Adopts a donor's (or a durable snapshot's) 2PC protocol state and
+    /// emission counters.
+    fn adopt_shard_state(&mut self, state: Value) {
+        let Some(role) = &self.role else { return };
+        let (seqs, engine) = state.unpair();
+        let restored: Option<Vec<i64>> = seqs
+            .as_list()
+            .map(|l| l.iter().filter_map(Value::as_int).collect());
+        if let Some(seqs) = restored {
+            if seqs.len() == role.map.shards() {
+                self.twopc_seq = seqs;
+            }
+        }
+        if let Some(e) = TwoPcEngine::from_value(engine, role.map, role.shard, role.probe.clone()) {
+            self.engine = Some(e);
+        }
+    }
+
     /// Step 6: acknowledge recovery to the primary and resume.
     fn finish_recovery(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        self.need_refetch = false;
         outs.push(SendInstr::now(
             self.config.primary(),
             Msg::new(
@@ -1055,6 +1403,8 @@ impl Process for PbrReplica {
             self.on_snapshot(ctx, &msg.body, true, out);
         } else if h == cached_header!(RECOVERY_ACK_HEADER) {
             self.on_recovery_ack(ctx, &msg.body);
+        } else if h == cached_header!(REFETCH_HEADER) {
+            self.on_refetch(ctx, &msg.body, out);
         } else if h == cached_header!(CONFIG_QUERY_HEADER) {
             self.on_config_query(ctx, &msg.body, out);
         } else if let Some(seq) = parse_subok(msg) {
@@ -1062,6 +1412,9 @@ impl Process for PbrReplica {
         } else {
             self.on_tob_deliver(ctx, msg, out);
         }
+        // Durability before visibility: fsync whatever this step logged
+        // before the runtime dispatches the step's sends.
+        self.flush_wal();
     }
 
     fn take_step_cost(&mut self) -> Duration {
@@ -1119,6 +1472,15 @@ impl Process for PbrReplica {
             twopc_seq: self.twopc_seq.clone(),
             twopc_outbox: self.twopc_outbox.clone(),
             snap_engine: self.snap_engine.clone(),
+            // The fork shares the original's disk: model checking never
+            // runs durable replicas, and a shared-append fork would
+            // corrupt the index sequence — reopening keeps the clone
+            // well-formed for read-only use.
+            wal: self.wal.as_ref().map(|w| Wal::open(w.disk().clone())),
+            wal_index: self.wal_index,
+            wal_snap_at: self.wal_snap_at,
+            snapshot_every: self.snapshot_every,
+            need_refetch: self.need_refetch,
             step_cost: self.step_cost,
         })
     }
@@ -1126,7 +1488,7 @@ impl Process for PbrReplica {
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.executed, self.config.seq, self.mode).hash(&mut h);
-        (self.promote_pref, self.join_sync).hash(&mut h);
+        (self.promote_pref, self.join_sync, self.need_refetch).hash(&mut h);
         self.twopc_seq.hash(&mut h);
     }
 }

@@ -12,15 +12,17 @@
 //! sequence number of the last ordered transaction, and the new replica
 //! fetches the snapshot from the proposer.
 
-use crate::msgs::{reply_msg, TxnEnvelope};
+use crate::msgs::{reply_msg, sql_to_value, value_to_sql, TxnEnvelope};
+use crate::pbr::{TransferKind, TransferProbe};
 use crate::shard::{ShardRole, TwoPcEngine};
 use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
 use shadowdb_loe::Loc;
 use shadowdb_sqldb::{Database, RowBatch, Snapshot, SqlValue};
-use shadowdb_tob::{parse_deliver, parse_subok, InOrderBuffer};
+use shadowdb_tob::{parse_deliver, parse_subok, Delivery, InOrderBuffer};
+use shadowdb_wal::{Disk, Wal};
 use shadowdb_workloads::{apply_group, TxnRequest};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::time::Duration;
 
@@ -34,6 +36,14 @@ pub const SNAPSHOT_CHUNK_HEADER: &str = "smr/snapchunk";
 /// Joiner-internal retry timer: if the snapshot has not landed (donor
 /// crashed mid-stream), re-request from the next donor on the list.
 const JOIN_RETRY_HEADER: &str = "smr/joinretry";
+/// A disk-recovered replica asks a donor for the delivery suffix it
+/// missed: body `<requester, <from_seq, min_seq>>`. The donor answers
+/// from its recent-delivery cache when it reaches back to `from_seq`,
+/// else falls back to a full snapshot.
+const FETCH_DELTA_HEADER: &str = "smr/fetchdelta";
+/// The missed suffix: body `<from_seq, [payload...]>` (consecutive
+/// delivery payloads starting at `from_seq`).
+const DELTA_HEADER: &str = "smr/delta";
 
 /// An SMR ShadowDB replica: a broadcast-service subscriber executing every
 /// delivered transaction.
@@ -69,6 +79,25 @@ pub struct SmrReplica {
     /// emits (there is no primary); receivers deduplicate semantically,
     /// since each replica's envelopes carry its own location.
     twopc_seq: Vec<i64>,
+    /// Durability plane: the write-ahead log, when this replica persists
+    /// the delivery stream. One fsync per step covers every delivery the
+    /// step executed (group commit), before any reply escapes.
+    wal: Option<Wal>,
+    /// `next_seq` at the last durable snapshot (truncation point).
+    wal_snap_at: i64,
+    /// Take a durable snapshot every this many deliveries.
+    snapshot_every: i64,
+    /// Disk-recovered and waiting to fetch the delivery suffix the disk
+    /// missed from a donor.
+    rejoin: bool,
+    /// Recent in-order deliveries `(seq, payload)`, consecutive up to
+    /// `next_seq` — the donor-side cache for suffix-only rejoins.
+    recent: VecDeque<(i64, Value)>,
+    /// Bound on `recent` (0 disables the cache).
+    recent_limit: usize,
+    /// Optional donor-side probe recording which transfer path each
+    /// rejoin request took.
+    transfer_probe: Option<TransferProbe>,
 }
 
 impl SmrReplica {
@@ -91,6 +120,13 @@ impl SmrReplica {
             role: None,
             engine: None,
             twopc_seq: Vec::new(),
+            wal: None,
+            wal_snap_at: 0,
+            snapshot_every: i64::MAX,
+            rejoin: false,
+            recent: VecDeque::new(),
+            recent_limit: 0,
+            transfer_probe: None,
         }
     }
 
@@ -129,6 +165,195 @@ impl SmrReplica {
         SmrReplica {
             donors,
             ..SmrReplica::joining(db)
+        }
+    }
+
+    /// Attaches a write-ahead log: every in-order delivery is appended
+    /// (keyed by its TOB sequence number) and fsynced once per step, with
+    /// a durable snapshot every `snapshot_every` deliveries. Durable
+    /// replicas also keep `recent_limit` recent deliveries in memory so
+    /// they can serve suffix-only rejoins as donors.
+    pub fn with_wal(mut self, disk: Disk, snapshot_every: i64, recent_limit: usize) -> SmrReplica {
+        self.snapshot_every = snapshot_every.max(1);
+        self.recent_limit = recent_limit;
+        self.wal = Some(Wal::open(disk));
+        self
+    }
+
+    /// Installs a donor-side transfer probe.
+    pub fn with_transfer_probe(mut self, probe: TransferProbe) -> SmrReplica {
+        self.transfer_probe = Some(probe);
+        self
+    }
+
+    /// Rebuilds a replica from its durable state after a crash: install
+    /// the latest snapshot, replay the logged delivery suffix, then
+    /// rejoin — the subscription ack tells it how far the group has
+    /// moved on, and `donors` serve the missed range from their
+    /// recent-delivery caches (full snapshot only if no cache reaches
+    /// back far enough).
+    pub fn recover_from(
+        db: Database,
+        donors: Vec<Loc>,
+        role: Option<ShardRole>,
+        slf: Loc,
+        disk: Disk,
+        snapshot_every: i64,
+        recent_limit: usize,
+    ) -> SmrReplica {
+        let rec = shadowdb_wal::recover(&disk);
+        let mut r = SmrReplica::new(db);
+        if let Some(role) = role {
+            r = r.with_role(role);
+        }
+        r.snapshot_every = snapshot_every.max(1);
+        r.recent_limit = recent_limit;
+        let mut start = 0i64;
+        if let Some((idx, blob)) = &rec.snapshot {
+            r.install_durable_blob(blob);
+            start = idx + 1; // snapshots are taken at `next_seq - 1`
+        }
+        r.incoming = InOrderBuffer::starting_at(start);
+        // Replay the logged suffix through the normal execution path
+        // (replies and 2PC sends are rendered and dropped; counters and
+        // the reply cache advance exactly as they did pre-crash). The
+        // replay also refills `recent`, so a just-recovered replica can
+        // itself serve as a donor.
+        let mut discard = Vec::new();
+        for (seq, payload) in &rec.records {
+            let d = Delivery {
+                seq: *seq,
+                client: slf,
+                msgid: 0,
+                payload: payload.clone(),
+            };
+            let ready = r.incoming.offer(d);
+            r.execute_deliveries(slf, ready, &mut discard);
+        }
+        r.wal_snap_at = r.incoming.next_seq();
+        r.wal = Some(Wal::open(disk));
+        r.rejoin = true;
+        r.donors = donors;
+        r.sub_seq = None;
+        r
+    }
+
+    /// Serializes a durable snapshot: `next_seq`, `executed`, the
+    /// per-client reply cache, 2PC protocol state when sharded, and the
+    /// row data. Reply-cache entries are sorted for determinism.
+    fn durable_blob(&self, snapshot: &Snapshot) -> Value {
+        type ReplyEntry = (i64, bool, Vec<SqlValue>);
+        let mut entries: Vec<(&Loc, &ReplyEntry)> = self.last_reply.iter().collect();
+        entries.sort_by_key(|(l, _)| **l);
+        let replies = Value::list(entries.into_iter().map(
+            |(client, (cseq, committed, result))| {
+                Value::pair(
+                    Value::Loc(*client),
+                    Value::pair(
+                        Value::Int(*cseq),
+                        Value::pair(
+                            Value::Bool(*committed),
+                            Value::list(result.iter().map(sql_to_value)),
+                        ),
+                    ),
+                )
+            },
+        ));
+        let shard = match &self.engine {
+            Some(e) => Value::pair(
+                Value::list(self.twopc_seq.iter().map(|s| Value::Int(*s))),
+                e.to_value(),
+            ),
+            None => Value::Unit,
+        };
+        Value::pair(
+            Value::Int(self.incoming.next_seq()),
+            Value::pair(
+                Value::Int(self.executed),
+                Value::pair(
+                    replies,
+                    Value::pair(shard, Value::Bytes(snapshot.to_bytes())),
+                ),
+            ),
+        )
+    }
+
+    /// Restores the state [`Self::durable_blob`] captured.
+    fn install_durable_blob(&mut self, blob: &Value) {
+        let (_next_seq, rest) = blob.unpair();
+        let (executed, rest) = rest.unpair();
+        let (replies, rest) = rest.unpair();
+        let (shard, db_bytes) = rest.unpair();
+        if let Some(bytes) = db_bytes.as_bytes() {
+            if let Ok(snapshot) = Snapshot::from_bytes(bytes.clone()) {
+                let _ = self.db.restore(&snapshot);
+            }
+        }
+        self.executed = executed.int();
+        if let Some(list) = replies.as_list() {
+            for e in list {
+                let (client, rest) = e.unpair();
+                let (cseq, rest) = rest.unpair();
+                let (committed, result) = rest.unpair();
+                let vals: Vec<SqlValue> = result.elems().iter().filter_map(value_to_sql).collect();
+                self.last_reply.insert(
+                    client.loc(),
+                    (cseq.int(), committed.as_bool().unwrap_or(false), vals),
+                );
+            }
+        }
+        if let Some(role) = &self.role {
+            if !matches!(shard, Value::Unit) {
+                let (seqs, engine) = shard.unpair();
+                let restored: Option<Vec<i64>> = seqs
+                    .as_list()
+                    .map(|l| l.iter().filter_map(Value::as_int).collect());
+                if let Some(seqs) = restored {
+                    if seqs.len() == role.map.shards() {
+                        self.twopc_seq = seqs;
+                    }
+                }
+                if let Some(e) =
+                    TwoPcEngine::from_value(engine, role.map, role.shard, role.probe.clone())
+                {
+                    self.engine = Some(e);
+                }
+            }
+        }
+    }
+
+    /// End-of-step durability, mirroring the PBR side: one fsync per
+    /// step, a durable snapshot (with log truncation) every
+    /// `snapshot_every` deliveries.
+    fn flush_wal(&mut self) {
+        if self.wal.is_none() {
+            return;
+        }
+        let next = self.incoming.next_seq();
+        if next - self.wal_snap_at >= self.snapshot_every {
+            let snapshot = self.db.snapshot();
+            let costs = self.db.profile().costs;
+            self.step_cost +=
+                Duration::from_micros(costs.scan_row_us * snapshot.row_count() as u64);
+            let blob = self.durable_blob(&snapshot);
+            let cost = self
+                .wal
+                .as_mut()
+                .expect("checked")
+                .save_snapshot(next - 1, &blob);
+            self.wal_snap_at = next;
+            self.step_cost += cost;
+        } else {
+            let w = self.wal.as_mut().expect("checked");
+            if w.pending() > 0 {
+                self.step_cost += w.commit();
+            }
+        }
+    }
+
+    fn note_transfer(&mut self, to: Loc, kind: TransferKind) {
+        if let Some(p) = &self.transfer_probe {
+            p.lock().push((to, kind));
         }
     }
 
@@ -174,6 +399,18 @@ impl SmrReplica {
         let mut group = std::mem::take(&mut self.group_scratch);
         group.clear();
         for d in ready {
+            // Durability first: the raw delivery stream is what the WAL
+            // mirrors (replay re-runs dedup and 2PC identically), and the
+            // recent cache is what donors serve suffix rejoins from.
+            if self.recent_limit > 0 {
+                self.recent.push_back((d.seq, d.payload.clone()));
+                while self.recent.len() > self.recent_limit {
+                    self.recent.pop_front();
+                }
+            }
+            if let Some(w) = self.wal.as_mut() {
+                w.append(d.seq, &d.payload);
+            }
             let Some(env) = TxnEnvelope::from_value(&d.payload) else {
                 continue;
             };
@@ -343,8 +580,107 @@ impl SmrReplica {
         ));
     }
 
+    /// Fires (or retries) the missed-suffix fetch for a disk-recovered
+    /// replica: ask a donor for deliveries `[next_seq, sub_seq)`,
+    /// rotating through the donor list on retry.
+    fn kick_delta(&mut self, slf: Loc, outs: &mut Vec<SendInstr>) {
+        let Some(seq) = self.sub_seq else { return };
+        if self.donors.is_empty() {
+            return;
+        }
+        let donor = self.donors[(self.join_attempts as usize) % self.donors.len()];
+        self.join_attempts += 1;
+        outs.push(SendInstr::now(
+            donor,
+            Msg::new(
+                FETCH_DELTA_HEADER,
+                Value::pair(
+                    Value::Loc(slf),
+                    Value::pair(Value::Int(self.incoming.next_seq()), Value::Int(seq)),
+                ),
+            ),
+        ));
+        outs.push(SendInstr::after(
+            Duration::from_secs(1),
+            slf,
+            Msg::new(JOIN_RETRY_HEADER, Value::Unit),
+        ));
+    }
+
+    /// Donor side of a suffix rejoin. Serve `[from, next_seq)` from the
+    /// recent-delivery cache when it reaches back to `from`; fall back to
+    /// a full snapshot otherwise. Like a snapshot fetch, the request is
+    /// deferred while this replica is behind the requester's subscription
+    /// point.
+    fn on_fetch_delta(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
+        let (requester, rest) = body.unpair();
+        let (from, min_seq) = rest.unpair();
+        let (requester, from, min_seq) = (requester.loc(), from.int(), min_seq.int());
+        let next = self.incoming.next_seq();
+        if next < min_seq {
+            outs.push(SendInstr::after(
+                Duration::from_millis(10),
+                slf,
+                Msg::new(FETCH_DELTA_HEADER, body.clone()),
+            ));
+            return;
+        }
+        let cache_start = next - self.recent.len() as i64;
+        if from >= cache_start {
+            let payloads: Vec<Value> = self
+                .recent
+                .iter()
+                .filter(|(s, _)| *s >= from)
+                .map(|(_, p)| p.clone())
+                .collect();
+            self.note_transfer(requester, TransferKind::Catchup);
+            outs.push(SendInstr::now(
+                requester,
+                Msg::new(
+                    DELTA_HEADER,
+                    Value::pair(Value::Int(from), Value::list(payloads)),
+                ),
+            ));
+        } else {
+            self.note_transfer(requester, TransferKind::Snapshot);
+            self.on_fetch_snapshot(
+                slf,
+                &Value::pair(Value::Loc(requester), Value::Int(min_seq)),
+                outs,
+            );
+        }
+    }
+
+    /// Receiver side of a suffix rejoin: feed the donor's payloads into
+    /// the in-order buffer as synthetic deliveries and execute normally —
+    /// they are logged, cached, deduplicated, and answered exactly like
+    /// live traffic (duplicate replies are harmless; clients drop them).
+    fn on_delta(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
+        if !self.rejoin {
+            return;
+        }
+        let (from, list) = body.unpair();
+        let from = from.int();
+        let Some(items) = list.as_list() else { return };
+        let mut ready = Vec::new();
+        for (k, payload) in items.iter().enumerate() {
+            let d = Delivery {
+                seq: from + k as i64,
+                client: slf,
+                msgid: 0,
+                payload: payload.clone(),
+            };
+            ready.extend(self.incoming.offer(d));
+        }
+        self.execute_deliveries(slf, ready, outs);
+        if self.sub_seq.is_some_and(|s| self.incoming.next_seq() >= s) {
+            // The suffix meets the live subscription: fully rejoined.
+            self.rejoin = false;
+        }
+    }
+
     fn on_snapshot_chunk(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
-        if !self.joining {
+        if !self.joining && !self.rejoin {
             return;
         }
         let (i, rest) = body.unpair();
@@ -386,10 +722,20 @@ impl SmrReplica {
             return;
         }
         self.joining = false;
+        self.rejoin = false;
         // Skip everything the snapshot already covers, then replay whatever
         // arrived while joining.
         self.executed = next_seq;
         let held = std::mem::replace(&mut self.incoming, InOrderBuffer::starting_at(next_seq));
+        // The cache must stay consecutive up to `next_seq`; pre-restore
+        // entries no longer are.
+        self.recent.clear();
+        if self.wal.is_some() {
+            // The network snapshot jumped execution past what the log
+            // holds; force an immediate durable snapshot (end of this
+            // step) so the disk never shows a log with a delivery gap.
+            self.wal_snap_at = next_seq - self.snapshot_every;
+        }
         let mut ready = Vec::new();
         for d in held.into_pending() {
             ready.extend(self.incoming.offer(d));
@@ -407,16 +753,30 @@ impl Process for SmrReplica {
             self.on_fetch_snapshot(ctx.slf, &msg.body, out);
         } else if h == cached_header!(SNAPSHOT_CHUNK_HEADER) {
             self.on_snapshot_chunk(ctx.slf, &msg.body, out);
+        } else if h == cached_header!(FETCH_DELTA_HEADER) {
+            self.on_fetch_delta(ctx.slf, &msg.body, out);
+        } else if h == cached_header!(DELTA_HEADER) {
+            self.on_delta(ctx.slf, &msg.body, out);
         } else if h == cached_header!(JOIN_RETRY_HEADER) {
             if self.joining {
                 self.kick_fetch(ctx.slf, out);
+            } else if self.rejoin {
+                self.kick_delta(ctx.slf, out);
             }
         } else if let Some(seq) = parse_subok(msg) {
             // The subscription ack pins the join's `min_seq`: the first
             // ack wins (every broadcast server acks its own sequence, and
             // each covers all slots from its ack onward, so any single ack
             // is a safe lower bound for the fetch).
-            if self.joining && self.sub_seq.is_none() {
+            if self.rejoin && self.sub_seq.is_none() {
+                self.sub_seq = Some(seq);
+                // Run the delta handshake even when the disk already
+                // reaches the subscription point (the suffix is then
+                // empty): the donor's answer is the observable record
+                // that the rejoin took the suffix path, and feeding an
+                // empty delta completes the rejoin immediately.
+                self.kick_delta(ctx.slf, out);
+            } else if self.joining && self.sub_seq.is_none() {
                 self.sub_seq = Some(seq);
                 self.kick_fetch(ctx.slf, out);
             }
@@ -426,6 +786,9 @@ impl Process for SmrReplica {
                 self.execute_deliveries(ctx.slf, ready, out);
             }
         }
+        // Durability before visibility: fsync whatever this step logged
+        // before the runtime dispatches the step's sends.
+        self.flush_wal();
     }
 
     fn take_step_cost(&mut self) -> Duration {
@@ -453,13 +816,22 @@ impl Process for SmrReplica {
             role: self.role.clone(),
             engine: self.engine.clone(),
             twopc_seq: self.twopc_seq.clone(),
+            // As in PBR: model checking never runs durable replicas;
+            // reopening keeps the fork well-formed for read-only use.
+            wal: self.wal.as_ref().map(|w| Wal::open(w.disk().clone())),
+            wal_snap_at: self.wal_snap_at,
+            snapshot_every: self.snapshot_every,
+            rejoin: self.rejoin,
+            recent: self.recent.clone(),
+            recent_limit: self.recent_limit,
+            transfer_probe: self.transfer_probe.clone(),
         })
     }
 
     fn digest(&self, hasher: &mut dyn Hasher) {
         let mut h = HasherAdapter(hasher);
         (self.executed, self.joining, self.incoming.next_seq()).hash(&mut h);
-        (self.sub_seq, self.join_attempts).hash(&mut h);
+        (self.sub_seq, self.join_attempts, self.rejoin).hash(&mut h);
         self.twopc_seq.hash(&mut h);
     }
 }

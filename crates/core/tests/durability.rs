@@ -1,0 +1,254 @@
+//! Deterministic restart-from-disk acceptance tests (simulator).
+//!
+//! One replica is killed mid-workload and rebooted *from its disk*: the
+//! recovery path must install the latest durable snapshot, replay the
+//! WAL suffix (surviving whatever the power loss tore off the unsynced
+//! tail), and rejoin the group through the catch-up path — a short
+//! network suffix, never a full state transfer. The client-observed
+//! history must stay strictly serializable across the power cycle: no
+//! acked transaction lost to the reboot, none executed twice by the
+//! replay. The randomized version of this scenario is the `PowerLoss`
+//! soak in `chaos_soak.rs`; this file pins one schedule so failures
+//! bisect cleanly.
+
+use parking_lot::Mutex;
+use shadowdb::chaos::mixed_txns;
+use shadowdb::client::{DbClient, DbClientStats};
+use shadowdb::deploy::{DeployOptions, DurabilityOptions, PbrDeployment, SmrDeployment};
+use shadowdb::diversity::DiversityPolicy;
+use shadowdb::msgs::ReplicaConfig;
+use shadowdb::pbr::{PbrOptions, PbrReplica, TransferKind, TransferProbe};
+use shadowdb::serializability::check_bank_history_concurrent;
+use shadowdb::smr::SmrReplica;
+use shadowdb_eventml::Process;
+use shadowdb_loe::{Loc, VTime};
+use shadowdb_runtime::{schedule_node_faults, FaultPlan, LazyRecover, NodeFaultKind, Runtime};
+use shadowdb_tob::subscribe_msg;
+use shadowdb_workloads::{bank, TxnRequest};
+use std::sync::Arc;
+use std::time::Duration;
+
+const ROWS: usize = 64;
+const CLIENTS: usize = 2;
+const TXNS: usize = 150;
+const INITIAL_BALANCE: i64 = 1_000;
+const SNAPSHOT_EVERY: i64 = 32;
+
+fn scripts(seed: u64) -> Vec<Vec<TxnRequest>> {
+    (0..CLIENTS)
+        .map(|i| mixed_txns(seed.wrapping_add(7919 * (i as u64 + 1)), TXNS, ROWS))
+        .collect()
+}
+
+fn options(scripts: Vec<Vec<TxnRequest>>, transfers: &TransferProbe) -> DeployOptions {
+    let mut o = DeployOptions::new(
+        CLIENTS,
+        move |i| scripts[i].clone(),
+        |db| bank::load(db, ROWS).expect("bank loads"),
+    );
+    o.client_timeout = Duration::from_millis(150);
+    o.start_clients = false; // started explicitly, after faults are armed
+    o.durability = Some(DurabilityOptions {
+        snapshot_every: SNAPSHOT_EVERY,
+        transfer_probe: Some(transfers.clone()),
+        ..DurabilityOptions::default()
+    });
+    o
+}
+
+fn drive<R: Runtime + ?Sized>(rt: &mut R, stats: &[Arc<Mutex<DbClientStats>>]) -> usize {
+    let total = CLIENTS * TXNS;
+    let deadline = rt.now() + Duration::from_secs(120);
+    let answered =
+        |stats: &[Arc<Mutex<DbClientStats>>]| stats.iter().map(|s| s.lock().completed.len()).sum();
+    let mut done: usize = answered(stats);
+    while done < total && rt.now() < deadline {
+        rt.run_for(Duration::from_millis(50));
+        done = answered(stats);
+    }
+    done
+}
+
+fn assert_serializable(scripts: &[Vec<TxnRequest>], stats: &[Arc<Mutex<DbClientStats>>]) {
+    let mut observations = Vec::new();
+    for (i, s) in stats.iter().enumerate() {
+        observations.extend(s.lock().observations(&scripts[i]));
+    }
+    assert_eq!(
+        observations.len(),
+        CLIENTS * TXNS,
+        "some transactions aborted"
+    );
+    if let Err(v) = check_bank_history_concurrent(&observations, INITIAL_BALANCE) {
+        panic!("history not strictly serializable across the power cycle: {v}");
+    }
+}
+
+/// The durable state the reboot actually used, asserted on the disk
+/// itself: group commits fsynced, and the snapshot branch ran (so the
+/// replay was snapshot + suffix, not a from-scratch log scan).
+fn assert_disk_exercised(disk: &shadowdb_wal::Disk) {
+    assert!(disk.sync_count() > 0, "group commits never fsynced");
+    let rec = shadowdb_wal::recover(disk);
+    assert!(
+        rec.snapshot.is_some(),
+        "snapshot branch never taken ({SNAPSHOT_EVERY}-record interval over a {}-txn run)",
+        CLIENTS * TXNS
+    );
+}
+
+fn assert_catchup_only(transfers: &TransferProbe, victim: Loc) {
+    let log = transfers.lock().clone();
+    assert!(
+        log.iter()
+            .any(|(l, k)| (*l, *k) == (victim, TransferKind::Catchup)),
+        "rebooted replica never completed a suffix catch-up: {log:?}"
+    );
+    assert!(
+        !log.iter()
+            .any(|(l, k)| (*l, *k) == (victim, TransferKind::Snapshot)),
+        "restart-from-disk fell back to a full state transfer: {log:?}"
+    );
+}
+
+#[test]
+fn pbr_power_cycle_replays_wal_and_rejoins_by_catchup() {
+    let mut sim = shadowdb_simnet::testing::default_net(4_242);
+    let transfers: TransferProbe = Arc::new(Mutex::new(Vec::new()));
+    let pbr = PbrOptions {
+        heartbeat_every: Duration::from_millis(50),
+        detect_after: Duration::from_millis(400),
+        ..PbrOptions::default()
+    };
+    let scripts = scripts(97);
+    let d = PbrDeployment::build(&mut sim, &options(scripts.clone(), &transfers), pbr.clone());
+
+    // Kill the backup mid-workload; reboot it from its disk 80 ms later —
+    // well under the 400 ms detection threshold, so membership never
+    // changes and the primary simply stalls until the backup acks again.
+    let victim = d.replicas[1];
+    let disk = d.disks[1].clone();
+    let crash = VTime::from_millis(80);
+    let reboot = VTime::from_millis(160);
+    let plan = FaultPlan::new(0)
+        .with_crash(crash, victim)
+        .with_durable_restart(reboot, victim);
+    let recover = {
+        let disk = disk.clone();
+        let config = ReplicaConfig::initial(d.replicas[..2].to_vec());
+        let spares = d.replicas[2..].to_vec();
+        let servers = d.tob.servers.clone();
+        move |loc: Loc, kind: NodeFaultKind| {
+            assert_eq!((loc, kind), (victim, NodeFaultKind::RestartDurable));
+            let disk = disk.clone();
+            let config = config.clone();
+            let spares = spares.clone();
+            let servers = servers.clone();
+            let pbr = pbr.clone();
+            Some(Box::new(LazyRecover::new(move || {
+                // The power loss may have torn the unsynced tail.
+                disk.begin_recovery(9);
+                let db = DiversityPolicy::Uniform.database(1);
+                bank::load(&db, ROWS).expect("bank loads");
+                Box::new(PbrReplica::recover_from(
+                    db,
+                    config.clone(),
+                    spares.clone(),
+                    servers.clone(),
+                    pbr.clone(),
+                    None,
+                    victim,
+                    disk.clone(),
+                    SNAPSHOT_EVERY,
+                ))
+            })) as Box<dyn Process>)
+        }
+    };
+    schedule_node_faults(&mut sim, &plan, recover);
+    // The reboot's timer kick: the refetch handshake runs off heartbeats.
+    sim.send_at(
+        reboot + Duration::from_millis(2),
+        victim,
+        PbrReplica::start_msg(),
+    );
+    for c in &d.clients {
+        sim.send_at(VTime::from_millis(1), *c, DbClient::start_msg());
+    }
+
+    let answered = drive(&mut sim, &d.stats);
+    assert_eq!(
+        answered,
+        CLIENTS * TXNS,
+        "did not converge after the reboot"
+    );
+    assert_serializable(&scripts, &d.stats);
+    assert_disk_exercised(&disk);
+    assert_catchup_only(&transfers, victim);
+}
+
+#[test]
+fn smr_power_cycle_replays_wal_and_rejoins_by_delta() {
+    let mut sim = shadowdb_simnet::testing::default_net(5_353);
+    let transfers: TransferProbe = Arc::new(Mutex::new(Vec::new()));
+    let scripts = scripts(98);
+    let d = SmrDeployment::build(&mut sim, &options(scripts.clone(), &transfers));
+
+    // Kill the last replica mid-workload. Under SMR the survivors keep
+    // answering, so the group's frontier moves on during the outage and
+    // the rebooted replica genuinely has a suffix to fetch.
+    let vidx = d.replicas.len() - 1;
+    let victim = d.replicas[vidx];
+    let disk = d.disks[vidx].clone();
+    let crash = VTime::from_millis(80);
+    let reboot = VTime::from_millis(160);
+    let plan = FaultPlan::new(0)
+        .with_crash(crash, victim)
+        .with_durable_restart(reboot, victim);
+    let recover = {
+        let disk = disk.clone();
+        let donors: Vec<Loc> = d
+            .replicas
+            .iter()
+            .copied()
+            .filter(|r| *r != victim)
+            .collect();
+        move |loc: Loc, kind: NodeFaultKind| {
+            assert_eq!((loc, kind), (victim, NodeFaultKind::RestartDurable));
+            let disk = disk.clone();
+            let donors = donors.clone();
+            Some(Box::new(LazyRecover::new(move || {
+                disk.begin_recovery(9);
+                let db = DiversityPolicy::Uniform.database(vidx);
+                bank::load(&db, ROWS).expect("bank loads");
+                Box::new(SmrReplica::recover_from(
+                    db,
+                    donors.clone(),
+                    None,
+                    victim,
+                    disk.clone(),
+                    SNAPSHOT_EVERY,
+                    4_096,
+                ))
+            })) as Box<dyn Process>)
+        }
+    };
+    schedule_node_faults(&mut sim, &plan, recover);
+    // The reboot's kick: re-subscribing is idempotent and re-acks with
+    // the delivery frontier, which starts the delta fetch.
+    for s in &d.tob.servers {
+        sim.send_at(reboot + Duration::from_millis(2), *s, subscribe_msg(victim));
+    }
+    for c in &d.clients {
+        sim.send_at(VTime::from_millis(1), *c, DbClient::start_msg());
+    }
+
+    let answered = drive(&mut sim, &d.stats);
+    assert_eq!(
+        answered,
+        CLIENTS * TXNS,
+        "did not converge after the reboot"
+    );
+    assert_serializable(&scripts, &d.stats);
+    assert_disk_exercised(&disk);
+    assert_catchup_only(&transfers, victim);
+}

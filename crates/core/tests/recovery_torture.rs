@@ -218,7 +218,7 @@ mod election_safety_props {
                 donor: None,
             };
             let plan = Nemesis::new(seed, profile, duration).plan(&topo);
-            schedule_node_faults(&mut sim, &plan, |_| None);
+            schedule_node_faults(&mut sim, &plan, |_, _| None);
             sim.install_fault_plan(plan);
             // Run well past the heal point; the property is about what was
             // *observed*, not convergence (the chaos soaks assert that).

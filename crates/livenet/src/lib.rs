@@ -59,8 +59,9 @@ use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
 use shadowdb_eventml::{Ctx, FrameEncoder, FrameReader, Msg, Process, SendInstr};
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_runtime::{FaultPlan, LinkVerdict, PortRx, Runtime};
+use shadowdb_runtime::{FaultPlan, LinkVerdict, PortRx, Runtime, StorageMode};
 use std::collections::BinaryHeap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -259,6 +260,7 @@ pub struct LiveNet {
     faults: Arc<FaultState>,
     node_handles: Vec<JoinHandle<()>>,
     router_handle: Option<JoinHandle<()>>,
+    storage_root: PathBuf,
 }
 
 impl LiveNet {
@@ -354,6 +356,7 @@ impl LiveNet {
             faults: Arc::new(FaultState::new()),
             node_handles: Vec::new(),
             router_handle: Some(router_handle),
+            storage_root: StorageMode::fresh_file_root("livenet"),
         }
     }
 
@@ -556,6 +559,9 @@ impl LiveNet {
         for h in self.node_handles.drain(..) {
             let _ = h.join();
         }
+        // Scratch durable storage dies with the instance (it only exists
+        // if a durability-enabled deployment opened a disk).
+        let _ = std::fs::remove_dir_all(&self.storage_root);
     }
 }
 
@@ -613,6 +619,13 @@ impl Runtime for LiveNet {
 
     fn fault_stats(&self) -> (u64, u64) {
         LiveNet::fault_stats(self)
+    }
+
+    /// Real threads get real files: commits pay an actual `write + fsync`.
+    fn storage_mode(&self) -> StorageMode {
+        StorageMode::File {
+            root: self.storage_root.clone(),
+        }
     }
 }
 

@@ -184,7 +184,13 @@ pub enum NodeFaultKind {
     /// Crash-stop: volatile state lost, deliveries dropped.
     Crash,
     /// Restart with a fresh process (the runtime's driver supplies it).
+    /// Models disk loss: the replacement starts amnesiac.
     Restart,
+    /// Restart from durable storage: volatile state is lost but the
+    /// node's disk survives, so the driver's factory may hand back a
+    /// process that recovers from its WAL + snapshot. Models power
+    /// loss / reboot rather than machine replacement.
+    RestartDurable,
 }
 
 /// A scheduled crash or restart.
@@ -278,6 +284,17 @@ impl FaultPlan {
             at,
             loc,
             kind: NodeFaultKind::Restart,
+        });
+        self
+    }
+
+    /// Adds a reboot-with-disk at `at` (see
+    /// [`NodeFaultKind::RestartDurable`]).
+    pub fn with_durable_restart(mut self, at: VTime, loc: Loc) -> Self {
+        self.node_faults.push(NodeFault {
+            at,
+            loc,
+            kind: NodeFaultKind::RestartDurable,
         });
         self
     }
@@ -414,6 +431,9 @@ impl FaultPlan {
             fold(match f.kind {
                 NodeFaultKind::Crash => 6,
                 NodeFaultKind::Restart => 7,
+                // New tag: plans without durable restarts keep the exact
+                // digests (and bytes) they had before the kind existed.
+                NodeFaultKind::RestartDurable => 8,
             });
             fold(f.at.as_micros());
             fold(f.loc.index() as u64);
@@ -485,6 +505,18 @@ pub enum NemesisProfile {
     /// not diverge, and drain after the heal. Falls back to isolating
     /// the victim when the topology has fewer than two groups.
     CoordinatorPartition,
+    /// Repeated power loss on the victim: kill it and reboot it *from
+    /// its disk* ([`NodeFaultKind::RestartDurable`]) after a short
+    /// outage. Down-times are drawn well below a deployment's failure
+    /// detection window, so the group never reconfigures — the victim
+    /// must catch up from its own WAL + snapshot plus a short network
+    /// suffix, not a full state transfer. The kill lands whenever the
+    /// schedule says, including mid-fsync: whatever was appended but not
+    /// yet synced becomes a torn tail the recovery scan must survive.
+    /// Deliberately NOT in [`NemesisProfile::ALL`]: it only makes sense
+    /// against a harness that supplies a durable restart factory (the
+    /// generic soaks restart amnesiac processes).
+    PowerLoss,
     /// Online-reconfiguration stress: crash the *joiner* mid-transfer,
     /// and in a later, separate window crash the *donor* (the incumbent
     /// primary streaming the snapshot). The group must reconfigure past
@@ -498,8 +530,9 @@ pub enum NemesisProfile {
 
 impl NemesisProfile {
     /// Every generic profile, for seed sweeps over static-membership
-    /// deployments ([`NemesisProfile::CrashDuringTransfer`] is excluded —
-    /// it requires a reconfiguration-driving harness).
+    /// deployments ([`NemesisProfile::CrashDuringTransfer`] and
+    /// [`NemesisProfile::PowerLoss`] are excluded — they require a
+    /// reconfiguration-driving or durable-restart-capable harness).
     pub const ALL: [NemesisProfile; 8] = [
         NemesisProfile::PartitionVictim,
         NemesisProfile::LossyClientLinks,
@@ -640,6 +673,24 @@ impl Nemesis {
                     );
                 } else {
                     plan = plan.with_isolation(topo.victim, start, end);
+                }
+            }
+            NemesisProfile::PowerLoss => {
+                // Short outages: well under any sane failure-detection
+                // window (the chaos harness floors detection at 10% of
+                // the run), so membership never changes and the rebooted
+                // replica must rejoin the *same* group from its disk.
+                let rounds = 2 + s.next() % 2;
+                let deadline = VTime::ZERO + d.mul_f64(0.80);
+                let mut at = start_of(&mut s, d);
+                for _ in 0..rounds {
+                    let down = s.frac_of(d, 0.01, 0.04);
+                    if at + down > deadline {
+                        break;
+                    }
+                    plan = plan.with_crash(at, topo.victim);
+                    plan = plan.with_durable_restart(at + down, topo.victim);
+                    at = at + down + s.frac_of(d, 0.08, 0.15);
                 }
             }
             NemesisProfile::CrashDuringTransfer => {
@@ -903,6 +954,40 @@ mod tests {
             assert!(f.at >= VTime::ZERO + d.mul_f64(0.25));
             assert!(f.at <= VTime::ZERO + d.mul_f64(0.50));
         }
+    }
+
+    #[test]
+    fn power_loss_reboots_from_disk_with_short_outages() {
+        for seed in 0..20 {
+            let d = Duration::from_secs(10);
+            let plan = Nemesis::new(seed, NemesisProfile::PowerLoss, d).plan(&topo());
+            assert!(plan.rules.is_empty());
+            assert!(plan.node_faults.len() >= 2, "at least one full round");
+            assert!(plan.node_faults.len().is_multiple_of(2));
+            for pair in plan.node_faults.chunks(2) {
+                let (kill, boot) = (pair[0], pair[1]);
+                assert_eq!(kill.kind, NodeFaultKind::Crash);
+                assert_eq!(boot.kind, NodeFaultKind::RestartDurable);
+                assert_eq!(kill.loc, Loc::new(2));
+                assert_eq!(boot.loc, Loc::new(2));
+                // Outage stays below the chaos detection floor (10% of d).
+                assert!(boot.at - kill.at < d.mul_f64(0.05));
+            }
+            assert!(plan.quiet_after() <= VTime::ZERO + d.mul_f64(0.85));
+        }
+    }
+
+    #[test]
+    fn durable_restart_digests_differently_but_leaves_old_plans_alone() {
+        let at = VTime::from_secs(1);
+        let amnesiac = FaultPlan::new(9).with_restart(at, Loc::new(2));
+        let durable = FaultPlan::new(9).with_durable_restart(at, Loc::new(2));
+        assert_ne!(amnesiac.digest(), durable.digest());
+        // Schedules that never use the new kind are untouched: same
+        // bytes, same digest as before the variant existed.
+        let again = FaultPlan::new(9).with_restart(at, Loc::new(2));
+        assert_eq!(amnesiac, again);
+        assert_eq!(amnesiac.digest(), again.digest());
     }
 
     #[test]

@@ -32,6 +32,8 @@ use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{Ctx, Msg, Process, SendInstr};
 use shadowdb_loe::{Loc, VTime};
 use std::hash::{Hash, Hasher};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 pub mod fault;
@@ -40,6 +42,40 @@ pub use fault::{
     FaultPlan, FaultRule, FaultTopology, LinkFault, LinkSel, LinkVerdict, Nemesis, NemesisProfile,
     NodeFault, NodeFaultKind,
 };
+
+/// Where a substrate keeps durable per-replica state (write-ahead logs,
+/// snapshots).
+///
+/// The durability plane is substrate-independent the same way the fault
+/// plane is: replicas write through `shadowdb-wal` regardless of the
+/// runtime, and this mode only selects the backing store. The simulator
+/// (and the model checker) report [`StorageMode::Virtual`] — bytes held
+/// in memory with fsync as a modeled CPU cost, surviving crashes because
+/// the harness keeps the disk handle across restart. The real-time
+/// runtimes report [`StorageMode::File`] with a per-instance scratch
+/// root, so commits pay an actual `write + fsync` and restarted replicas
+/// re-read actual files.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageMode {
+    /// In-memory storage with modeled sync cost (simulated substrates).
+    Virtual,
+    /// Real files under `root`, one subdirectory per named disk.
+    File {
+        /// The substrate's durable-storage root for this run.
+        root: PathBuf,
+    },
+}
+
+impl StorageMode {
+    /// A fresh, process-unique scratch root for one file-backed substrate
+    /// instance. The directory itself appears lazily when the first disk
+    /// is opened under it; the substrate removes it on shutdown.
+    pub fn fresh_file_root(label: &str) -> PathBuf {
+        static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir().join(format!("shadowdb-{label}-{}-{n}", std::process::id()))
+    }
+}
 
 /// A per-message CPU service-time model (simulated substrates only).
 ///
@@ -163,6 +199,61 @@ impl Process for PortProcess {
     }
 }
 
+/// A process that materializes from a factory on its first delivery.
+///
+/// This is the restart seam for *durable* recovery: when a fault plan
+/// reboots a node with [`NodeFaultKind::RestartDurable`], the replacement
+/// process must rebuild itself from the on-disk state as it exists at
+/// **restart time**, not at plan-installation time (the plan is installed
+/// before the crash, when the disk holds almost nothing). Harnesses wrap
+/// the recovery constructor in a `LazyRecover`; the factory runs when the
+/// rebooted node handles its first message.
+pub struct LazyRecover {
+    factory: Arc<dyn Fn() -> Box<dyn Process> + Send + Sync>,
+    inner: Option<Box<dyn Process>>,
+}
+
+impl LazyRecover {
+    /// Wraps a recovery constructor; `factory` is invoked once, lazily.
+    pub fn new(factory: impl Fn() -> Box<dyn Process> + Send + Sync + 'static) -> LazyRecover {
+        LazyRecover {
+            factory: Arc::new(factory),
+            inner: None,
+        }
+    }
+}
+
+impl Process for LazyRecover {
+    fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        let inner = self.inner.get_or_insert_with(|| (self.factory)());
+        inner.step_into(ctx, msg, out);
+    }
+
+    fn halted(&self) -> bool {
+        self.inner.as_ref().is_some_and(|p| p.halted())
+    }
+
+    fn take_step_cost(&mut self) -> Duration {
+        self.inner
+            .as_mut()
+            .map_or(Duration::ZERO, |p| p.take_step_cost())
+    }
+
+    fn clone_box(&self) -> Box<dyn Process> {
+        Box::new(LazyRecover {
+            factory: self.factory.clone(),
+            inner: self.inner.as_ref().map(|p| p.clone_box()),
+        })
+    }
+
+    fn digest(&self, hasher: &mut dyn Hasher) {
+        match &self.inner {
+            Some(p) => p.digest(hasher),
+            None => "runtime/lazy-recover".hash(&mut HasherAdapter(hasher)),
+        }
+    }
+}
+
 /// An execution substrate hosting a graph of [`Process`] nodes.
 ///
 /// Locations are allocated sequentially: every call to [`Runtime::add_node`],
@@ -251,21 +342,31 @@ pub trait Runtime {
     fn fault_stats(&self) -> (u64, u64) {
         (0, 0)
     }
+
+    /// Where this substrate keeps durable per-replica state. Simulated
+    /// substrates (and the model checker) default to virtual storage;
+    /// real-time runtimes override with a file root.
+    fn storage_mode(&self) -> StorageMode {
+        StorageMode::Virtual
+    }
 }
 
 /// Applies a plan's node crash/restart events to a runtime. `factory`
-/// builds the fresh process for a restart at a location (losing volatile
-/// state, exactly like a real reboot); return `None` to skip that restart.
+/// builds the process a restart comes back as, given the restart kind:
+/// for [`NodeFaultKind::Restart`] a fresh amnesiac process (the disk was
+/// lost with the machine), for [`NodeFaultKind::RestartDurable`] a
+/// process that recovers from its surviving disk (reboot after power
+/// loss). Return `None` to skip that restart.
 pub fn schedule_node_faults<R: Runtime + ?Sized>(
     rt: &mut R,
     plan: &FaultPlan,
-    mut factory: impl FnMut(Loc) -> Option<Box<dyn Process>>,
+    mut factory: impl FnMut(Loc, NodeFaultKind) -> Option<Box<dyn Process>>,
 ) {
     for f in &plan.node_faults {
         match f.kind {
             NodeFaultKind::Crash => rt.crash_at(f.at, f.loc),
-            NodeFaultKind::Restart => {
-                if let Some(p) = factory(f.loc) {
+            NodeFaultKind::Restart | NodeFaultKind::RestartDurable => {
+                if let Some(p) = factory(f.loc, f.kind) {
                     rt.restart_at(f.at, f.loc, p);
                 }
             }

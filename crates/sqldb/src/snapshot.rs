@@ -86,6 +86,38 @@ impl Snapshot {
         batches
     }
 
+    /// Serializes the whole snapshot into one length-prefixed blob —
+    /// the durable on-disk form (WAL snapshots), as opposed to
+    /// [`Snapshot::to_batches`]'s wire form for streaming transfer.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        for b in self.to_batches(usize::MAX) {
+            let enc = b.encode();
+            buf.put_u32_le(enc.len() as u32);
+            buf.put_slice(&enc);
+        }
+        buf.freeze()
+    }
+
+    /// Reassembles a snapshot from a [`Snapshot::to_bytes`] blob.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated or malformed input (a torn snapshot write is
+    /// caught by the WAL's checksum before this runs, but the decode is
+    /// total regardless).
+    pub fn from_bytes(mut blob: Bytes) -> Result<Snapshot> {
+        let mut batches = Vec::new();
+        while !blob.is_empty() {
+            let len = get_u32(&mut blob)? as usize;
+            if blob.remaining() < len {
+                return Err(SqlError::Parse("truncated snapshot blob".into()));
+            }
+            batches.push(RowBatch::decode(blob.split_to(len))?);
+        }
+        Snapshot::from_batches(&batches)
+    }
+
     /// Reassembles a snapshot from batches (in transfer order).
     ///
     /// # Errors
@@ -380,6 +412,19 @@ mod tests {
         assert_eq!(snap.row_count(), 7);
         let rebuilt = Snapshot::from_batches(&snap.to_batches(128)).unwrap();
         assert_eq!(rebuilt.row_count(), 7);
+    }
+
+    #[test]
+    fn byte_blob_roundtrip() {
+        let db = sample_db(25);
+        db.execute("CREATE TABLE u (k INT PRIMARY KEY)").unwrap();
+        db.execute("INSERT INTO u VALUES (1), (2)").unwrap();
+        let snap = db.snapshot();
+        let blob = snap.to_bytes();
+        assert_eq!(Snapshot::from_bytes(blob.clone()).unwrap(), snap);
+        // Truncation is an error, not a panic.
+        assert!(Snapshot::from_bytes(blob.slice(0..blob.len() - 2)).is_err());
+        assert_eq!(Snapshot::from_bytes(Bytes::new()).unwrap().row_count(), 0);
     }
 
     #[test]

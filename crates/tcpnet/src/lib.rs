@@ -71,7 +71,7 @@ use link::Injector;
 use registry::{Registry, SlotInfo};
 use shadowdb_eventml::{Msg, Process};
 use shadowdb_loe::{Loc, VTime};
-use shadowdb_runtime::{FaultPlan, PortRx, Runtime};
+use shadowdb_runtime::{FaultPlan, PortRx, Runtime, StorageMode};
 use shard::{spawn_shard, ShardCmd, ShardHandle};
 
 pub use link::{OutQueue, PENDING_CAP};
@@ -178,6 +178,7 @@ impl TcpNetBuilder {
             shard_joins: joins,
             ctl: ctl_tx,
             ctl_handle: Some(ctl_handle),
+            storage_root: StorageMode::fresh_file_root("tcpnet"),
         }
     }
 }
@@ -190,6 +191,7 @@ pub struct TcpNet {
     shard_joins: Vec<JoinHandle<()>>,
     ctl: Sender<Ctl>,
     ctl_handle: Option<JoinHandle<()>>,
+    storage_root: std::path::PathBuf,
 }
 
 impl TcpNet {
@@ -334,6 +336,9 @@ impl TcpNet {
         for h in self.shard_joins.drain(..) {
             let _ = h.join();
         }
+        // Scratch durable storage dies with the instance (it only exists
+        // if a durability-enabled deployment opened a disk).
+        let _ = std::fs::remove_dir_all(&self.storage_root);
     }
 }
 
@@ -428,6 +433,13 @@ impl Runtime for TcpNet {
     fn fault_stats(&self) -> (u64, u64) {
         let s = self.link_stats();
         (s.frames_dropped, s.frames_duplicated)
+    }
+
+    /// Real sockets get real files: commits pay an actual `write + fsync`.
+    fn storage_mode(&self) -> StorageMode {
+        StorageMode::File {
+            root: self.storage_root.clone(),
+        }
     }
 }
 
