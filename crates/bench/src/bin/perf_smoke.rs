@@ -693,6 +693,65 @@ fn read_baseline(json: &str, key: &str) -> Option<f64> {
 }
 
 /// Which direction of drift counts as a regression for a metric.
+/// Virtual-time throughput speedup of the lease read fast path over
+/// TOB-ordered execution on SMR at a 95%-read zipfian mix — the lease
+/// tentpole's headline figure, gated in-leg at 3× (`ablation_reads`
+/// sweeps the full read-fraction grid). Host-independent: both runs are
+/// deterministic virtual-time deployments on the same simulated LAN,
+/// so the ratio is pure protocol cost — with leases every read the
+/// holder answers skips its total-order broadcast entirely.
+fn read_leases_speedup_95r() -> f64 {
+    use shadowdb::deploy::{DeployOptions, SmrDeployment};
+    use shadowdb::smr::SmrLeaseOptions;
+    use shadowdb_workloads::{bank, KvGen, KvOptions};
+
+    const ROWS: usize = 256;
+    const CLIENTS: usize = 8;
+    const TXNS_EACH: usize = 30;
+    let throughput = |leases: bool| -> f64 {
+        let mut sim = shadowdb_simnet::testing::default_net(4_650 + leases as u64);
+        let mut options = DeployOptions::new(
+            CLIENTS,
+            |client| {
+                let opts = KvOptions {
+                    rows: ROWS,
+                    read_fraction: 0.95,
+                    theta: 0.99,
+                };
+                KvGen::new(0x5EED + client as u64, opts).script(TXNS_EACH)
+            },
+            |db| bank::load(db, ROWS).expect("bank loads"),
+        );
+        if leases {
+            options.smr_leases = Some(SmrLeaseOptions::default());
+        }
+        let d = SmrDeployment::build(&mut sim, &options);
+        sim.run_until_quiescent(VTime::from_secs(3_600));
+        let mut first = VTime::MAX;
+        let mut last = VTime::ZERO;
+        let mut n = 0usize;
+        for s in &d.stats {
+            let s = s.lock();
+            assert_eq!(s.completed.len(), TXNS_EACH, "every transaction answers");
+            for (a, b, _) in &s.completed {
+                first = first.min(*a);
+                last = last.max(*b);
+                n += 1;
+            }
+        }
+        n as f64 / last.saturating_since(first).as_secs_f64().max(1e-9)
+    };
+    let ordered = throughput(false);
+    let leased = throughput(true);
+    let speedup = leased / ordered;
+    assert!(
+        speedup >= 3.0,
+        "lease fast path must be >= 3x over TOB-ordered reads at a 95%-read mix, \
+         got {speedup:.2}x ({leased:.0} vs {ordered:.0} txns/sec)"
+    );
+    speedup
+}
+
 #[derive(Clone, Copy)]
 enum Gate {
     /// Throughput: fail when the value drops below `baseline × TOLERANCE`
@@ -765,6 +824,11 @@ fn main() {
             "restart_from_disk_ms",
             restart_from_disk_ms(),
             Gate::LowerBetter,
+        ),
+        (
+            "read_leases_speedup_95r",
+            read_leases_speedup_95r(),
+            Gate::HigherBetter,
         ),
     ];
 

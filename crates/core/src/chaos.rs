@@ -35,10 +35,10 @@ use crate::deploy::{
 };
 use crate::diversity::DiversityPolicy;
 use crate::msgs::ReplicaConfig;
-use crate::pbr::{PbrOptions, PbrReplica, PrimaryProbe, TransferKind, TransferProbe};
+use crate::pbr::{LeaseProbe, PbrOptions, PbrReplica, PrimaryProbe, TransferKind, TransferProbe};
 use crate::serializability::check_bank_history_concurrent;
 use crate::shard::{check_two_pc_atomicity, TwoPcProbe};
-use crate::smr::SmrReplica;
+use crate::smr::{SmrLeaseOptions, SmrReplica};
 use parking_lot::Mutex;
 use shadowdb_eventml::Process;
 use shadowdb_loe::{Loc, VTime};
@@ -48,7 +48,7 @@ use shadowdb_runtime::{
     NodeFaultKind, Runtime,
 };
 use shadowdb_tob::subscribe_msg;
-use shadowdb_workloads::{bank, ShardMap, TxnRequest};
+use shadowdb_workloads::{bank, KvGen, KvOptions, ShardMap, TxnRequest};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -882,6 +882,130 @@ pub fn soak_durability_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions)
     settle_rejoin(rt, &transfers, victim);
     let committed = assert_history(opts, "durability-smr", answered, &scripts, &d.stats);
     assert_rejoined_without_snapshot(opts, "durability-smr", &transfers, victim);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries: Vec::new(),
+    }
+}
+
+/// [`deploy_options`] with a YCSB-B-shaped script: a 95%-read zipfian
+/// read/update mix instead of the deposit-heavy bank script, so most
+/// transactions are eligible for the lease fast path while the updates
+/// still give the serializability checker balances to pin the order with.
+fn read_deploy_options(opts: &ChaosOptions) -> (Vec<Vec<TxnRequest>>, DeployOptions) {
+    let scripts: Vec<Vec<TxnRequest>> = (0..opts.n_clients)
+        .map(|i| {
+            let seed = opts.seed.wrapping_add(7919 * (i as u64 + 1));
+            KvGen::new(seed, KvOptions::ycsb_b(opts.rows)).script(opts.txns_per_client)
+        })
+        .collect();
+    let per_client = scripts.clone();
+    let rows = opts.rows;
+    let mut dopts = DeployOptions::new(
+        opts.n_clients,
+        move |i| per_client[i].clone(),
+        move |db| bank::load(db, rows).expect("bank loads"),
+    );
+    dopts.client_timeout = opts.client_timeout;
+    dopts.window = opts.window;
+    dopts.start_clients = false;
+    (scripts, dopts)
+}
+
+/// The single-holder guarantee, asserted on the lease probe: no two
+/// nodes ever served fast-path reads under overlapping lease intervals.
+/// Intervals are compared across *all* configurations — a successor must
+/// wait out its predecessor's lease, so even cross-config overlap is a
+/// violation — and the probe must be non-empty (the nemesis must not
+/// have silently pushed every read onto the ordered path).
+fn assert_lease_intervals_disjoint(opts: &ChaosOptions, kind: &str, probe: &LeaseProbe) {
+    let rows = probe.lock();
+    assert!(
+        !rows.is_empty(),
+        "{kind} soak never served a fast-path read (seed {}, {:?})",
+        opts.seed,
+        opts.profile
+    );
+    for a in rows.iter() {
+        for b in rows.iter() {
+            if a.1 != b.1 {
+                assert!(
+                    !(a.2 < b.3 && b.2 < a.3),
+                    "{kind} soak: two holders served fast reads under overlapping \
+                     lease intervals: {a:?} vs {b:?} (seed {}, {:?})",
+                    opts.seed,
+                    opts.profile
+                );
+            }
+        }
+    }
+}
+
+/// Soaks a primary-backup deployment with the lease-read fast path
+/// enabled under a 95%-read mix. The victim handed to the nemesis is the
+/// initial primary — the lease holder — so [`NemesisProfile::
+/// StalePrimaryReads`] cuts exactly the node whose stale lease must
+/// self-expire before the promoted successor starts answering. Leases
+/// are sized *below* the failure-detection window: by the time a
+/// successor can possibly finish recovery, the deposed holder has
+/// already stopped serving. On top of the [`soak_pbr`] assertions, the
+/// lease probe must show fast reads were served and that no two holders'
+/// intervals ever overlapped.
+pub fn soak_reads_pbr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let probe: PrimaryProbe = Arc::new(Mutex::new(Vec::new()));
+    let leases: LeaseProbe = Arc::new(Mutex::new(Vec::new()));
+    let pbr = PbrOptions {
+        heartbeat_every: opts.heartbeat_every,
+        detect_after: opts.detect_after,
+        probe: Some(probe.clone()),
+        read_leases: true,
+        lease_duration: opts.heartbeat_every * 4,
+        lease_probe: Some(leases.clone()),
+        ..PbrOptions::default()
+    };
+    let (scripts, dopts) = read_deploy_options(opts);
+    let d = PbrDeployment::build(rt, &dopts, pbr);
+    arm_nemesis(rt, opts, d.replicas[0], &d.clients, Vec::new());
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "reads-pbr", answered, &scripts, &d.stats);
+    let primaries = assert_one_primary_per_seq(opts, &probe);
+    assert_lease_intervals_disjoint(opts, "reads-pbr", &leases);
+    let (dropped, duplicated) = rt.fault_stats();
+    ChaosReport {
+        committed,
+        resends: d.stats.iter().map(|s| s.lock().resends).sum(),
+        dropped,
+        duplicated,
+        primaries,
+    }
+}
+
+/// Soaks a state-machine-replication deployment with the lease-read fast
+/// path enabled under a 95%-read mix. The victim is replica 0 — the
+/// rank-0 claimant, i.e. the steady-state lease holder — so the
+/// partition profiles separate the holder from the broadcast service
+/// while clients keep sending it reads; its marker-stamped window must
+/// run out before a surviving replica's claim takes effect. Assertions
+/// as in [`soak_smr`], plus the lease probe's non-emptiness and
+/// holder-interval disjointness.
+pub fn soak_reads_smr<R: Runtime + ?Sized>(rt: &mut R, opts: &ChaosOptions) -> ChaosReport {
+    let leases: LeaseProbe = Arc::new(Mutex::new(Vec::new()));
+    let (scripts, mut dopts) = read_deploy_options(opts);
+    dopts.smr_leases = Some(SmrLeaseOptions {
+        lease_duration: opts.heartbeat_every * 4,
+        renew_every: opts.heartbeat_every,
+        lease_probe: Some(leases.clone()),
+        ..SmrLeaseOptions::default()
+    });
+    let d = SmrDeployment::build(rt, &dopts);
+    arm_nemesis(rt, opts, d.replicas[0], &d.clients, Vec::new());
+    let answered = drive(rt, opts, &d.stats);
+    let committed = assert_history(opts, "reads-smr", answered, &scripts, &d.stats);
+    assert_lease_intervals_disjoint(opts, "reads-smr", &leases);
     let (dropped, duplicated) = rt.fault_stats();
     ChaosReport {
         committed,

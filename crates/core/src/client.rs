@@ -48,6 +48,13 @@ pub enum Submission {
     Smr {
         /// TOB server entry points.
         servers: Vec<Loc>,
+        /// Replica locations for the lease-based read fast path: a
+        /// read-only transaction's first attempt goes *directly* to the
+        /// believed lease holder, skipping the broadcast round entirely.
+        /// A non-holder forwards it into the TOB, so correctness never
+        /// depends on the guess; resends always broadcast. Empty when
+        /// leases are disabled: every submission broadcasts.
+        replicas: Vec<Loc>,
     },
     /// A sharded deployment: route single-shard transactions straight to
     /// their owning group (the fast path — untouched by sharding), and fan
@@ -139,6 +146,10 @@ pub struct DbClient {
     bcast_seq: i64,
     /// PBR: the replica believed to be primary (updated from replies).
     believed_primary: Option<Loc>,
+    /// SMR: the replica believed to hold the read lease (updated from
+    /// replies — during a lease only the holder answers, so the latest
+    /// answer's sender is the best guess).
+    believed_reader: Option<Loc>,
     /// Sharded: per-group believed primaries (PBR groups only).
     believed_groups: Vec<Option<Loc>>,
     /// Highest configuration sequence learned from `StaleConfig` NACKs;
@@ -167,6 +178,7 @@ impl DbClient {
             resend_round: 0,
             bcast_seq: 0,
             believed_primary: None,
+            believed_reader: None,
             believed_groups,
             config_seq: -1,
             timeout: Duration::from_secs(5),
@@ -216,11 +228,7 @@ impl DbClient {
     /// second chain would multiply resend storms.
     fn send_submits(&mut self, ctx: &Ctx, cseq: i64, resend: bool, outs: &mut Vec<SendInstr>) {
         let txn = self.txns[cseq as usize].clone();
-        let env = TxnEnvelope {
-            client: ctx.slf,
-            cseq,
-            txn,
-        };
+        let env = TxnEnvelope::new(ctx.slf, cseq, txn);
         match &self.submission {
             Submission::Pbr { replicas } => {
                 if resend {
@@ -234,29 +242,40 @@ impl DbClient {
                     outs.push(SendInstr::now(target, submit_msg(&env)));
                 }
             }
-            Submission::Smr { servers } => {
-                let idx = (self.resend_round as usize) % servers.len();
-                let msgid = self.bcast_seq;
-                self.bcast_seq += 1;
-                outs.push(SendInstr::now(
-                    servers[idx],
-                    broadcast_msg(ctx.slf, msgid, env.to_value()),
-                ));
+            Submission::Smr { servers, replicas } => {
+                if !resend && env.read_only && !replicas.is_empty() {
+                    // Read fast path: one hop to the believed holder. If
+                    // the guess is wrong (no lease, expired, not holder)
+                    // the replica forwards into the TOB itself.
+                    let target = self.believed_reader.unwrap_or(replicas[0]);
+                    outs.push(SendInstr::now(target, submit_msg(&env)));
+                } else {
+                    if resend {
+                        self.believed_reader = None;
+                    }
+                    let idx = (self.resend_round as usize) % servers.len();
+                    let msgid = self.bcast_seq;
+                    self.bcast_seq += 1;
+                    outs.push(SendInstr::now(
+                        servers[idx],
+                        broadcast_msg(ctx.slf, msgid, env.to_value()),
+                    ));
+                }
             }
             Submission::Sharded { map, groups } => {
                 let parts = map.participants(&env.txn);
                 let env = if parts.len() == 1 {
                     env // single-shard: the original request, fast path
                 } else {
-                    TxnEnvelope {
-                        client: ctx.slf,
+                    TxnEnvelope::new(
+                        ctx.slf,
                         cseq,
-                        txn: TxnRequest::TwoPc(TwoPcRecord::Prepare {
+                        TxnRequest::TwoPc(TwoPcRecord::Prepare {
                             txnid: (ctx.slf, cseq),
                             participants: parts.clone(),
                             txn: Box::new(env.txn),
                         }),
-                    }
+                    )
                 };
                 for p in &parts {
                     match &groups[*p] {
@@ -271,14 +290,26 @@ impl DbClient {
                                 outs.push(SendInstr::now(target, submit_msg(&env)));
                             }
                         }
-                        Submission::Smr { servers } => {
-                            let idx = (self.resend_round as usize) % servers.len();
-                            let msgid = self.bcast_seq;
-                            self.bcast_seq += 1;
-                            outs.push(SendInstr::now(
-                                servers[idx],
-                                broadcast_msg(ctx.slf, msgid, env.to_value()),
-                            ));
+                        Submission::Smr { servers, replicas } => {
+                            // Single-shard reads take the group-local
+                            // lease fast path; anything cross-shard is a
+                            // 2PC Prepare by now and broadcasts.
+                            if !resend && parts.len() == 1 && env.read_only && !replicas.is_empty()
+                            {
+                                let target = self.believed_groups[*p].unwrap_or(replicas[0]);
+                                outs.push(SendInstr::now(target, submit_msg(&env)));
+                            } else {
+                                if resend {
+                                    self.believed_groups[*p] = None;
+                                }
+                                let idx = (self.resend_round as usize) % servers.len();
+                                let msgid = self.bcast_seq;
+                                self.bcast_seq += 1;
+                                outs.push(SendInstr::now(
+                                    servers[idx],
+                                    broadcast_msg(ctx.slf, msgid, env.to_value()),
+                                ));
+                            }
                         }
                         Submission::Sharded { .. } => {
                             unreachable!("sharded groups cannot nest");
@@ -388,13 +419,17 @@ impl Process for DbClient {
         } else if let Some(st) = parse_stale_config(msg) {
             self.on_stale_config(ctx, st, out);
         } else if let Some(reply) = parse_reply(msg) {
-            if matches!(self.submission, Submission::Pbr { .. }) {
-                self.believed_primary = Some(reply.from);
-            }
-            if let Submission::Sharded { groups, .. } = &self.submission {
-                for (i, g) in groups.iter().enumerate() {
-                    if let Submission::Pbr { replicas } = g {
-                        if replicas.contains(&reply.from) {
+            match &self.submission {
+                Submission::Pbr { .. } => self.believed_primary = Some(reply.from),
+                Submission::Smr { .. } => self.believed_reader = Some(reply.from),
+                Submission::Sharded { groups, .. } => {
+                    for (i, g) in groups.iter().enumerate() {
+                        let members = match g {
+                            Submission::Pbr { replicas } => replicas,
+                            Submission::Smr { replicas, .. } => replicas,
+                            Submission::Sharded { .. } => continue,
+                        };
+                        if members.contains(&reply.from) {
                             self.believed_groups[i] = Some(reply.from);
                         }
                     }
@@ -422,6 +457,7 @@ impl Process for DbClient {
             resend_round: self.resend_round,
             bcast_seq: self.bcast_seq,
             believed_primary: self.believed_primary,
+            believed_reader: self.believed_reader,
             believed_groups: self.believed_groups.clone(),
             config_seq: self.config_seq,
             timeout: self.timeout,

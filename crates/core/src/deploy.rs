@@ -15,7 +15,7 @@ use crate::msgs::{
 };
 use crate::pbr::{PbrOptions, PbrReplica, TransferProbe};
 use crate::shard::{GroupRoute, ShardRole, TwoPcProbe};
-use crate::smr::SmrReplica;
+use crate::smr::{SmrLeaseOptions, SmrReplica};
 use parking_lot::Mutex;
 use shadowdb_eventml::Value;
 use shadowdb_loe::{Loc, VTime};
@@ -72,6 +72,10 @@ pub struct DeployOptions {
     /// under the thread and socket runtimes). The deployment exposes the
     /// disks so harnesses can restart a replica from its durable state.
     pub durability: Option<DurabilityOptions>,
+    /// SMR only: enable the lease-based read fast path on every replica
+    /// and route clients' read-only first attempts directly to the
+    /// believed holder. PBR leases ride [`PbrOptions`] instead.
+    pub smr_leases: Option<SmrLeaseOptions>,
 }
 
 /// Per-replica durable-storage settings.
@@ -124,6 +128,7 @@ impl DeployOptions {
             backend: BackendKind::Paxos,
             start_clients: true,
             durability: None,
+            smr_leases: None,
         }
     }
 }
@@ -327,6 +332,11 @@ impl SmrDeployment {
             let client = DbClient::new(
                 Submission::Smr {
                     servers: servers.clone(),
+                    replicas: if options.smr_leases.is_some() {
+                        replicas.clone()
+                    } else {
+                        Vec::new()
+                    },
                 },
                 (options.client_txns)(i),
                 s,
@@ -366,8 +376,16 @@ impl SmrDeployment {
                 }
                 disks.push(disk);
             }
+            if let Some(lease) = &options.smr_leases {
+                replica = replica.with_read_leases(servers.clone(), i as u64, lease.clone());
+            }
             let loc = rt.add_node(Box::new(replica));
             assert_eq!(loc, *r);
+        }
+        if options.smr_leases.is_some() {
+            for r in &replicas {
+                rt.send_at(VTime::ZERO, *r, SmrReplica::lease_start_msg());
+            }
         }
 
         if options.start_clients {
@@ -759,6 +777,9 @@ pub struct ShardedOptions {
     /// chaos harness checks it with
     /// [`crate::shard::check_two_pc_atomicity`].
     pub probe: Option<TwoPcProbe>,
+    /// SMR groups only: per-group read leases; single-shard read-only
+    /// transactions go directly to the owning group's believed holder.
+    pub smr_leases: Option<SmrLeaseOptions>,
 }
 
 impl ShardedOptions {
@@ -784,6 +805,7 @@ impl ShardedOptions {
             backend: BackendKind::Paxos,
             start_clients: true,
             probe: None,
+            smr_leases: None,
         }
     }
 }
@@ -928,9 +950,21 @@ impl ShardedDeployment {
                     for (i, r) in replica_locs[g].iter().enumerate() {
                         let db = options.diversity.database(i);
                         (options.loader)(g, &db);
-                        let replica = SmrReplica::new(db).with_role(role.clone());
+                        let mut replica = SmrReplica::new(db).with_role(role.clone());
+                        if let Some(lease) = &options.smr_leases {
+                            replica = replica.with_read_leases(
+                                server_locs[g].clone(),
+                                i as u64,
+                                lease.clone(),
+                            );
+                        }
                         let loc = rt.add_node(Box::new(replica));
                         assert_eq!(loc, *r);
+                    }
+                    if options.smr_leases.is_some() {
+                        for r in &replica_locs[g] {
+                            rt.send_at(VTime::ZERO, *r, SmrReplica::lease_start_msg());
+                        }
                     }
                 }
             }
@@ -948,6 +982,11 @@ impl ShardedDeployment {
                 },
                 None => Submission::Smr {
                     servers: server_locs[g].clone(),
+                    replicas: if options.smr_leases.is_some() {
+                        replica_locs[g].clone()
+                    } else {
+                        Vec::new()
+                    },
                 },
             })
             .collect();

@@ -4,16 +4,20 @@ use shadowdb_eventml::{cached_header, Msg, Value};
 use shadowdb_loe::Loc;
 use shadowdb_workloads::TxnRequest;
 
-/// Client submission to a replica: body `<client, <cseq, txn>>`.
+/// Client submission to a replica: body `<client, <cseq, <read_only, txn>>>`.
 pub const SUBMIT_HEADER: &str = "sdb/submit";
 /// Primary → backup transaction forwarding:
-/// body `<config, <index, <client, <cseq, txn>>>>`.
+/// body `<config, <index, <client, <cseq, <read_only, txn>>>>>`.
 pub const FORWARD_HEADER: &str = "sdb/forward";
 /// Backup → primary execution acknowledgment: body `<config, <index, from>>`.
 pub const ACK_HEADER: &str = "sdb/ack";
 /// Replica → client answer: body `<cseq, <committed, results>>`.
 pub const REPLY_HEADER: &str = "sdb/reply";
-/// Heartbeat between replicas: body `<config, from>`.
+/// Heartbeat between replicas: body `<config, <from, ts>>` where `ts` is
+/// the sender's local clock in microseconds when the sender is the primary
+/// (the lease grant timestamp) and, from a backup, the latest primary
+/// timestamp the backup has echoed back (0 when none) — see the read-lease
+/// protocol in `pbr`.
 pub const HEARTBEAT_HEADER: &str = "sdb/hb";
 /// A replica's periodic self-check timer: body `<config>`.
 pub const HB_TIMER_HEADER: &str = "sdb/hbtimer";
@@ -37,6 +41,12 @@ pub const REFETCH_HEADER: &str = "sdb/refetch";
 /// current configuration answers a submission with its configuration so
 /// the client can chase the change. Body `<from, <cseq, config>>`.
 pub const STALE_CONFIG_HEADER: &str = "sdb/stale";
+/// Lease-audit record, emitted by a replica each time it serves a
+/// fast-path read, when the deployment configured an audit sink: body
+/// `<seq, <from, <served_us, until_us>>>`. The model checker points the
+/// sink at its observation port and asserts no two replicas ever serve
+/// fast-path reads under overlapping lease intervals.
+pub const LEASE_AUDIT_HEADER: &str = "sdb/lease";
 /// Configuration-status query (reconfiguration drivers poll this):
 /// body `<reply_to>`.
 pub const CONFIG_QUERY_HEADER: &str = "sdb/confq";
@@ -245,26 +255,47 @@ pub struct TxnEnvelope {
     /// Client sequence number ("the sequence number of the last transaction
     /// submitted by each client" drives dedup).
     pub cseq: i64,
+    /// Client-side classification: the transaction is read-only and may be
+    /// served on the lease-protected fast path. Replicas never trust this
+    /// blindly — a flagged transaction that turns out to mutate state falls
+    /// back to ordered execution.
+    pub read_only: bool,
     /// The transaction.
     pub txn: TxnRequest,
 }
 
 impl TxnEnvelope {
+    /// Builds an envelope, deriving the read-only flag from the request.
+    pub fn new(client: Loc, cseq: i64, txn: TxnRequest) -> TxnEnvelope {
+        let read_only = txn.is_read_only();
+        TxnEnvelope {
+            client,
+            cseq,
+            read_only,
+            txn,
+        }
+    }
+
     /// Wire encoding.
     pub fn to_value(&self) -> Value {
         Value::pair(
             Value::Loc(self.client),
-            Value::pair(Value::Int(self.cseq), self.txn.to_value()),
+            Value::pair(
+                Value::Int(self.cseq),
+                Value::pair(Value::Bool(self.read_only), self.txn.to_value()),
+            ),
         )
     }
 
     /// Wire decoding.
     pub fn from_value(v: &Value) -> Option<TxnEnvelope> {
         let (client, rest) = v.fst().zip(v.snd())?;
-        let (cseq, txn) = rest.fst().zip(rest.snd())?;
+        let (cseq, rest) = rest.fst().zip(rest.snd())?;
+        let (read_only, txn) = rest.fst().zip(rest.snd())?;
         Some(TxnEnvelope {
             client: client.as_loc()?,
             cseq: cseq.as_int()?,
+            read_only: read_only.as_bool()?,
             txn: TxnRequest::from_value(txn)?,
         })
     }
@@ -414,6 +445,50 @@ pub fn parse_config_reply(msg: &Msg) -> Option<ConfigReport> {
     })
 }
 
+/// Builds a lease-audit record: replica `from` served a fast-path read at
+/// `served_us` under a lease (for configuration `seq`) valid to `until_us`.
+pub fn lease_audit_msg(seq: i64, from: Loc, served_us: i64, until_us: i64) -> Msg {
+    Msg::new(
+        cached_header!(LEASE_AUDIT_HEADER),
+        Value::pair(
+            Value::Int(seq),
+            Value::pair(
+                Value::Loc(from),
+                Value::pair(Value::Int(served_us), Value::Int(until_us)),
+            ),
+        ),
+    )
+}
+
+/// A parsed lease-audit record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LeaseAudit {
+    /// The configuration (PBR) or lease term (SMR) the lease is tied to.
+    pub seq: i64,
+    /// The replica that served the read.
+    pub from: Loc,
+    /// When it served, on its local clock (microseconds).
+    pub served_us: i64,
+    /// When its lease expires, on its local clock (microseconds).
+    pub until_us: i64,
+}
+
+/// Parses a lease-audit record.
+pub fn parse_lease_audit(msg: &Msg) -> Option<LeaseAudit> {
+    if msg.header != cached_header!(LEASE_AUDIT_HEADER) {
+        return None;
+    }
+    let (seq, rest) = msg.body.fst().zip(msg.body.snd())?;
+    let (from, rest) = rest.fst().zip(rest.snd())?;
+    let (served_us, until_us) = rest.fst().zip(rest.snd())?;
+    Some(LeaseAudit {
+        seq: seq.as_int()?,
+        from: from.as_loc()?,
+        served_us: served_us.as_int()?,
+        until_us: until_us.as_int()?,
+    })
+}
+
 /// Encodes a SQL value into the transport universe.
 pub fn sql_to_value(v: &shadowdb_sqldb::SqlValue) -> Value {
     use shadowdb_sqldb::SqlValue;
@@ -456,15 +531,19 @@ mod tests {
 
     #[test]
     fn envelope_roundtrip() {
-        let env = TxnEnvelope {
-            client: Loc::new(1),
-            cseq: 42,
-            txn: TxnRequest::BankDeposit {
+        let env = TxnEnvelope::new(
+            Loc::new(1),
+            42,
+            TxnRequest::BankDeposit {
                 account: 7,
                 amount: 5,
             },
-        };
+        );
+        assert!(!env.read_only, "a deposit is not a fast-path read");
         assert_eq!(TxnEnvelope::from_value(&env.to_value()), Some(env));
+        let read = TxnEnvelope::new(Loc::new(2), 7, TxnRequest::BankRead { account: 3 });
+        assert!(read.read_only, "a bank read is classified at the client");
+        assert_eq!(TxnEnvelope::from_value(&read.to_value()), Some(read));
     }
 
     #[test]

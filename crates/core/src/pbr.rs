@@ -48,6 +48,13 @@ use std::time::Duration;
 /// configuration. Safety harnesses assert at most one replica per seq.
 pub type PrimaryProbe = Arc<parking_lot::Mutex<Vec<(i64, Loc)>>>;
 
+/// A shared log of `(config seq or lease term, replica, served_us,
+/// lease_until_us)` rows, appended each time a replica serves a read on
+/// the lease-protected fast path. Safety harnesses assert that rows from
+/// *different* replicas carry pairwise-disjoint `[served, until]`
+/// intervals — no two nodes ever believe they hold the lease at once.
+pub type LeaseProbe = Arc<parking_lot::Mutex<Vec<(i64, Loc, i64, i64)>>>;
+
 /// Which transfer path a donor used to bring a rejoining replica up to
 /// date. Durability soaks assert that a disk-recovered replica took the
 /// suffix-only `Catchup` path and never needed a full `Snapshot` — the
@@ -94,6 +101,28 @@ pub struct PbrOptions {
     /// Optional transfer probe: the donor records which transfer path it
     /// used per rejoin request. Excluded from the digest likewise.
     pub transfer_probe: Option<TransferProbe>,
+    /// Enable the lease-based read fast path: the primary answers
+    /// read-only transactions from local state, without forwarding, while
+    /// it provably holds the group's read lease. Off by default — the
+    /// seed's behavior is byte-identical with this unset.
+    pub read_leases: bool,
+    /// Lease length `D`. A grant echoed at primary-clock time `t` covers
+    /// fast reads until `t + D - lease_margin`; a promoted primary waits
+    /// `D + lease_margin` after finishing recovery before serving.
+    pub lease_duration: Duration,
+    /// Clock-error allowance subtracted from every lease and added to
+    /// every wait-out. Zero is sound on simnet (one virtual clock);
+    /// real-clock runtimes must set it to cover their worst-case skew.
+    pub lease_margin: Duration,
+    /// Optional safety probe recording every fast-path read's lease
+    /// interval. Excluded from the digest (observes state, is not state).
+    pub lease_probe: Option<LeaseProbe>,
+    /// Optional audit sink: every fast-path read additionally emits an
+    /// `sdb/lease` record to this location. The model checker points this
+    /// at its observation port — under state forking a shared in-memory
+    /// probe would leak writes across branches, while emitted messages
+    /// fork with the execution.
+    pub lease_audit: Option<Loc>,
 }
 
 impl Default for PbrOptions {
@@ -106,6 +135,11 @@ impl Default for PbrOptions {
             overlapped_transfer: false,
             probe: None,
             transfer_probe: None,
+            read_leases: false,
+            lease_duration: Duration::from_secs(4),
+            lease_margin: Duration::ZERO,
+            lease_probe: None,
+            lease_audit: None,
         }
     }
 }
@@ -203,6 +237,20 @@ pub struct PbrReplica {
     /// Set by disk recovery: ask the group for the suffix the disk missed
     /// (re-sent on the heartbeat timer until recovery completes).
     need_refetch: bool,
+    /// Primary: per-peer lease grants — the latest of our own heartbeat
+    /// timestamps each member of the current configuration has echoed
+    /// back. The lease holds while *every* other member's echo is fresh;
+    /// a peer that adopts a newer configuration stops echoing, so the
+    /// lease self-expires within `lease_duration` of any membership
+    /// change. Timing state: excluded from the digest, like `last_heard`.
+    lease_echo: HashMap<Loc, VTime>,
+    /// Backup: the latest primary heartbeat timestamp seen in the current
+    /// configuration — echoed back on our own heartbeats.
+    primary_ts: VTime,
+    /// No fast-path reads before this instant: a primary promoted by
+    /// recovery waits out the previous configuration's largest possible
+    /// outstanding lease.
+    lease_wait_until: VTime,
     /// Deferred CPU cost (transaction execution, snapshot work).
     step_cost: Duration,
 }
@@ -253,6 +301,9 @@ impl PbrReplica {
             wal_snap_at: 0,
             snapshot_every: i64::MAX,
             need_refetch: false,
+            lease_echo: HashMap::new(),
+            primary_ts: VTime::ZERO,
+            lease_wait_until: VTime::ZERO,
             step_cost: Duration::ZERO,
         }
     }
@@ -602,6 +653,55 @@ impl PbrReplica {
         }
     }
 
+    // -- read-lease fast path ----------------------------------------------
+
+    /// If this replica currently holds the group's read lease, the
+    /// instant it expires; `None` when it may not serve fast-path reads.
+    ///
+    /// The lease holds iff every *other member of the configuration* has
+    /// echoed one of our grant timestamps within the last
+    /// `lease_duration - lease_margin`. Requiring all members (not just
+    /// the acknowledging backups) is what makes hand-off sound: any
+    /// reconfiguration excluding us is proposed by a member that stopped
+    /// hearing us `detect_after` ago, so its echo — which our lease
+    /// depends on — froze before the proposal, and the successor primary's
+    /// wait-out (anchored at its post-recovery Normal transition, which
+    /// follows every new member's adoption) strictly covers our expiry.
+    fn lease_until(&self, ctx: &Ctx) -> Option<VTime> {
+        let o = &self.options;
+        if !o.read_leases || self.mode != Mode::Normal || ctx.now < self.lease_wait_until {
+            return None;
+        }
+        let horizon = o.lease_duration.saturating_sub(o.lease_margin);
+        let mut until = ctx.now + horizon;
+        for m in &self.config.members {
+            if *m == ctx.slf {
+                continue;
+            }
+            let expiry = *self.lease_echo.get(m)? + horizon;
+            if ctx.now >= expiry {
+                return None;
+            }
+            until = until.min(expiry);
+        }
+        Some(until)
+    }
+
+    /// Records a served fast-path read with the probe and audit sink.
+    fn note_lease_read(&mut self, ctx: &Ctx, until: VTime, outs: &mut Vec<SendInstr>) {
+        let (served_us, until_us) = (ctx.now.as_micros() as i64, until.as_micros() as i64);
+        if let Some(p) = &self.options.lease_probe {
+            p.lock()
+                .push((self.config.seq, ctx.slf, served_us, until_us));
+        }
+        if let Some(sink) = self.options.lease_audit {
+            outs.push(SendInstr::now(
+                sink,
+                crate::msgs::lease_audit_msg(self.config.seq, ctx.slf, served_us, until_us),
+            ));
+        }
+    }
+
     // -- normal case -------------------------------------------------------
 
     fn on_submit(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
@@ -640,6 +740,33 @@ impl PbrReplica {
             }
             if env.cseq < *last && !is_2pc {
                 return;
+            }
+        }
+        // Lease-protected read fast path: answer from local state, no
+        // forwarding, no ack round. Three gates beyond the lease itself:
+        // the client's read-only claim, re-checked by `apply_read_only`
+        // (which refuses anything that isn't a lockless SELECT — a
+        // mis-flagged transaction falls through to ordered execution);
+        // and no unacknowledged *write* pending — an executed write the
+        // backups have not all acked is visible locally but could be lost
+        // in a failover, and a read that observed it would go
+        // non-monotonic when a successor primary without it answers the
+        // client's next read. Pending read-only entries are harmless
+        // (they left no mark on the database) and must not close the
+        // gate: under pipelined load the ordered read traffic itself
+        // would otherwise keep `pending` occupied and the fast path
+        // would never open.
+        if env.read_only && self.pending.values().all(|p| p.env.read_only) {
+            if let Some(until) = self.lease_until(ctx) {
+                if let Some(out) = env.txn.apply_read_only(&self.db) {
+                    self.charge(out.cost);
+                    self.note_lease_read(ctx, until, outs);
+                    outs.push(SendInstr::now(
+                        env.client,
+                        reply_msg(ctx.slf, env.cseq, out.committed, &out.result),
+                    ));
+                    return;
+                }
             }
         }
         // Safety probe: this replica just executed a client transaction
@@ -703,6 +830,17 @@ impl PbrReplica {
                 self.redrive_twopc(ctx, rec.txnid(), outs);
                 return;
             }
+        }
+        // `last_reply` is written at *execution* time, but the answer is
+        // only owed once the backups acknowledged. While the client's
+        // transaction is still pending, the cached outcome is not durable:
+        // a partially partitioned primary (clients reachable, backups not)
+        // that answered a retransmission from the cache would acknowledge
+        // a write its successor never saw. Stay silent — the ack flush
+        // replies here, or the client's broadcast resend reaches whoever
+        // takes over.
+        if self.pending.values().any(|p| p.env.client == env.client) {
+            return;
         }
         if let Some((last, committed, result)) = self.last_reply.get(&env.client) {
             outs.push(SendInstr::now(
@@ -802,11 +940,23 @@ impl PbrReplica {
             return;
         }
         let (idx, from) = rest.unpair();
-        let idx = idx.int();
-        if let Some(p) = self.pending.get_mut(&idx) {
-            p.waiting.remove(&from.loc());
+        let (idx, from) = (idx.int(), from.loc());
+        // Backups apply forwards strictly in index order, so an ack of
+        // `idx` implies every lower index was executed there too — treat
+        // it as cumulative. This is what un-stalls a pending entry whose
+        // per-index ack was lost to a power cycle: the rebooted backup's
+        // catch-up ack names only its post-replay high-water mark.
+        let stalled: Vec<i64> = self
+            .pending
+            .range(..=idx)
+            .filter(|(_, p)| p.waiting.contains(&from))
+            .map(|(i, _)| *i)
+            .collect();
+        for i in stalled {
+            let p = self.pending.get_mut(&i).expect("present");
+            p.waiting.remove(&from);
             if p.waiting.is_empty() {
-                let p = self.pending.remove(&idx).expect("present");
+                let p = self.pending.remove(&i).expect("present");
                 if !p.suppress_reply {
                     outs.push(SendInstr::now(
                         p.env.client,
@@ -830,13 +980,27 @@ impl PbrReplica {
         if self.mode == Mode::Idle {
             return;
         }
+        // The heartbeat's timestamp drives the read lease: a settled
+        // primary stamps its own clock (a grant request), everyone else
+        // echoes the latest primary timestamp they saw in this
+        // configuration (a grant). Members that adopt a newer
+        // configuration send under the new seq, which the old primary
+        // ignores — leases die within `lease_duration` of any change.
+        let ts = if self.is_primary(ctx.slf) && self.mode == Mode::Normal {
+            ctx.now.as_micros() as i64
+        } else {
+            self.primary_ts.as_micros() as i64
+        };
         for m in &self.config.members {
             if *m != ctx.slf {
                 outs.push(SendInstr::now(
                     *m,
                     Msg::new(
                         HEARTBEAT_HEADER,
-                        Value::pair(Value::Int(self.config.seq), Value::Loc(ctx.slf)),
+                        Value::pair(
+                            Value::Int(self.config.seq),
+                            Value::pair(Value::Loc(ctx.slf), Value::Int(ts)),
+                        ),
                     ),
                 ));
             }
@@ -866,8 +1030,22 @@ impl PbrReplica {
     }
 
     fn on_heartbeat(&mut self, ctx: &Ctx, body: &Value) {
-        let (_cfg, from) = body.unpair();
-        self.last_heard.insert(from.loc(), ctx.now);
+        let (cfg, rest) = body.unpair();
+        let (from, ts) = rest.unpair();
+        let from = from.loc();
+        self.last_heard.insert(from, ctx.now);
+        if cfg.int() != self.config.seq || ts.int() <= 0 {
+            return; // lease traffic is per-configuration; 0 carries no grant
+        }
+        let ts = VTime::from_micros(ts.int() as u64);
+        if self.is_primary(ctx.slf) {
+            // A member echoed one of our grant timestamps back.
+            let e = self.lease_echo.entry(from).or_insert(VTime::ZERO);
+            *e = (*e).max(ts);
+        } else if from == self.config.primary() {
+            // Record the primary's grant timestamp for our next echo.
+            self.primary_ts = self.primary_ts.max(ts);
+        }
     }
 
     /// Disk recovery's rejoin request: ask every peer for the suffix the
@@ -1035,6 +1213,10 @@ impl PbrReplica {
         self.active_backups.clear();
         self.snap_chunks.clear();
         self.snap_total = None;
+        // Grants and echoes are per-configuration: from here on our
+        // heartbeats carry the new seq, so the old primary's lease starves.
+        self.lease_echo.clear();
+        self.primary_ts = VTime::ZERO;
         // Fresh grace period for the new membership.
         for m in &self.config.members {
             self.last_heard.insert(*m, ctx.now);
@@ -1132,7 +1314,22 @@ impl PbrReplica {
             }
         }
         if self.config.backups().is_empty() {
-            self.mode = Mode::Normal;
+            self.enter_normal_as_primary(ctx);
+        }
+    }
+
+    /// The post-recovery Normal transition of a (possibly new) primary:
+    /// before serving any fast-path read in this configuration, wait out
+    /// the largest lease the previous configuration's primary could still
+    /// be holding. Every new member has adopted the new configuration by
+    /// now (adoption precedes the election reports and recovery acks that
+    /// got us here), so any echo feeding an old lease froze before this
+    /// instant: `lease_duration + lease_margin` from here covers it.
+    fn enter_normal_as_primary(&mut self, ctx: &Ctx) {
+        self.mode = Mode::Normal;
+        if self.options.read_leases {
+            self.lease_wait_until =
+                ctx.now + self.options.lease_duration + self.options.lease_margin;
         }
     }
 
@@ -1206,28 +1403,27 @@ impl PbrReplica {
             }
         }
         if !batch.is_empty() {
-            let first = self.executed + 1;
             self.execute_txn_group(ctx.slf, &batch);
             // Catch-up replay advances 2PC counters without emitting.
             self.twopc_outbox.clear();
-            // Acknowledge each applied index: when no reconfiguration
-            // happened (a disk-recovered backup rejoining its unchanged
-            // configuration), the primary may hold pending entries
-            // stalled on this replica from before the outage; indexes it
-            // no longer tracks are no-ops there.
-            for off in 0..batch.len() as i64 {
-                outs.push(SendInstr::now(
-                    self.config.primary(),
-                    Msg::new(
-                        ACK_HEADER,
-                        Value::pair(
-                            Value::Int(self.config.seq),
-                            Value::pair(Value::Int(first + off), Value::Loc(ctx.slf)),
-                        ),
-                    ),
-                ));
-            }
         }
+        // Acknowledge the post-replay high-water mark (acks are cumulative
+        // at the primary), and do so even when the catch-up was empty:
+        // when no reconfiguration happened — a disk-recovered backup
+        // rejoining its unchanged configuration — the primary may hold
+        // pending entries stalled on this replica, including ones whose
+        // execution the WAL already held but whose acks died with the
+        // connection at the power cut.
+        outs.push(SendInstr::now(
+            self.config.primary(),
+            Msg::new(
+                ACK_HEADER,
+                Value::pair(
+                    Value::Int(self.config.seq),
+                    Value::pair(Value::Int(self.executed), Value::Loc(ctx.slf)),
+                ),
+            ),
+        ));
         self.finish_recovery(ctx, outs);
     }
 
@@ -1320,7 +1516,11 @@ impl PbrReplica {
                 Value::pair(Value::Int(self.config.seq), Value::Loc(ctx.slf)),
             ),
         ));
-        self.mode = Mode::Normal;
+        if self.is_primary(ctx.slf) {
+            self.enter_normal_as_primary(ctx);
+        } else {
+            self.mode = Mode::Normal;
+        }
         self.drain_forwards(ctx, outs);
     }
 
@@ -1353,7 +1553,7 @@ impl PbrReplica {
             self.config.backups().len()
         };
         if self.mode == Mode::Recovering && self.recovery_acks.len() >= needed {
-            self.mode = Mode::Normal;
+            self.enter_normal_as_primary(ctx);
         }
     }
 }
@@ -1481,6 +1681,9 @@ impl Process for PbrReplica {
             wal_snap_at: self.wal_snap_at,
             snapshot_every: self.snapshot_every,
             need_refetch: self.need_refetch,
+            lease_echo: self.lease_echo.clone(),
+            primary_ts: self.primary_ts,
+            lease_wait_until: self.lease_wait_until,
             step_cost: self.step_cost,
         })
     }

@@ -83,11 +83,7 @@ impl ShardRole {
                 TwoPcAction::SendRecord { to_shard, record } => {
                     let cseq = seqs[*to_shard];
                     seqs[*to_shard] += 1;
-                    let env = TxnEnvelope {
-                        client: slf,
-                        cseq,
-                        txn: TxnRequest::TwoPc(record.clone()),
-                    };
+                    let env = TxnEnvelope::new(slf, cseq, TxnRequest::TwoPc(record.clone()));
                     match &self.routes[*to_shard] {
                         GroupRoute::Pbr { replicas } => {
                             for r in replicas {

@@ -12,14 +12,16 @@
 //! sequence number of the last ordered transaction, and the new replica
 //! fetches the snapshot from the proposer.
 
-use crate::msgs::{reply_msg, sql_to_value, value_to_sql, TxnEnvelope};
-use crate::pbr::{TransferKind, TransferProbe};
+use crate::msgs::{
+    lease_audit_msg, reply_msg, sql_to_value, value_to_sql, TxnEnvelope, SUBMIT_HEADER,
+};
+use crate::pbr::{LeaseProbe, TransferKind, TransferProbe};
 use crate::shard::{ShardRole, TwoPcEngine};
 use shadowdb_eventml::process::HasherAdapter;
 use shadowdb_eventml::{cached_header, Ctx, Msg, Process, SendInstr, Value};
-use shadowdb_loe::Loc;
+use shadowdb_loe::{Loc, VTime};
 use shadowdb_sqldb::{Database, RowBatch, Snapshot, SqlValue};
-use shadowdb_tob::{parse_deliver, parse_subok, Delivery, InOrderBuffer};
+use shadowdb_tob::{broadcast_msg, parse_deliver, parse_subok, Delivery, InOrderBuffer};
 use shadowdb_wal::{Disk, Wal};
 use shadowdb_workloads::{apply_group, TxnRequest};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -44,6 +46,94 @@ const FETCH_DELTA_HEADER: &str = "smr/fetchdelta";
 /// The missed suffix: body `<from_seq, [payload...]>` (consecutive
 /// delivery payloads starting at `from_seq`).
 const DELTA_HEADER: &str = "smr/delta";
+/// Self-rearming renewal/claim tick for the read-lease plane.
+const LEASE_TIMER_HEADER: &str = "smr/leasetick";
+/// Tag of a lease marker ordered through the TOB:
+/// `<"lease!", <holder, send_ts_us>>`. Markers ride the ordinary delivery
+/// stream (and the WAL with it), so every replica observes the same
+/// holder sequence at the same slots.
+const LEASE_MARKER_TAG: &str = "lease!";
+
+/// Tuning for the SMR read-lease fast path. The TOB remains the write
+/// path; a marker ordered through it elects one replica (the holder)
+/// whose database provably reflects every acknowledged write, because
+/// every *other* replica suppresses client replies while the marker is
+/// fresh — during the lease only the holder acknowledges, and anything
+/// the holder acknowledged it has executed.
+#[derive(Clone, Debug)]
+pub struct SmrLeaseOptions {
+    /// Lease length `D`: a marker delivered at local time `t` suppresses
+    /// a non-holder's replies until `t + D`, while the holder's fast
+    /// window ends at `send_ts + D - margin` on its own clock. Delivery
+    /// follows the send, so the suppression horizon dominates the fast
+    /// window at every non-holder.
+    pub lease_duration: Duration,
+    /// Clock-*rate* safety margin subtracted from the holder's window
+    /// (virtual clocks are exact, so simulation runs keep this zero).
+    pub lease_margin: Duration,
+    /// Holder renewal period, also the unit of the claim stagger; `D/4`
+    /// keeps the lease continuously covered with slack for TOB latency.
+    pub renew_every: Duration,
+    /// Test probe recording `(term, loc, served_at, until)` per fast read.
+    pub lease_probe: Option<LeaseProbe>,
+    /// When set, every fast read is also announced to this location as a
+    /// [`crate::msgs::LEASE_AUDIT_HEADER`] message — unlike the probe,
+    /// messages fork soundly under the model checker.
+    pub lease_audit: Option<Loc>,
+}
+
+impl Default for SmrLeaseOptions {
+    fn default() -> SmrLeaseOptions {
+        SmrLeaseOptions {
+            lease_duration: Duration::from_secs(4),
+            lease_margin: Duration::ZERO,
+            renew_every: Duration::from_secs(1),
+            lease_probe: None,
+            lease_audit: None,
+        }
+    }
+}
+
+/// The read-lease plane of one replica (present iff leases are enabled).
+#[derive(Clone)]
+struct LeaseState {
+    opts: SmrLeaseOptions,
+    /// TOB entry points for this replica's own broadcasts (markers and
+    /// forwarded reads).
+    tob_servers: Vec<Loc>,
+    /// Claim stagger rank: rank 0 claims a lapsed lease first, higher
+    /// ranks wait `rank * renew_every` longer, so the group converges on
+    /// a single claimant without a coordination round.
+    claim_rank: u64,
+    /// Holder named by the latest executed marker.
+    holder: Option<Loc>,
+    /// The holder's clock (µs) stamped into that marker.
+    marker_send_us: i64,
+    /// Local delivery time of that marker. `None` means the marker was
+    /// WAL-replayed: its receipt time is unknown, so it anchors no live
+    /// suppression window (see `post_recovery`).
+    marker_deliv: Option<VTime>,
+    /// Holder-side wait-out: no fast reads before this. Covers the
+    /// previous holder's entire window across a hand-off.
+    fast_from: VTime,
+    /// msgid counter for this replica's own broadcasts.
+    msgid: i64,
+    /// Disk-recovered: the first live step re-anchors suppression at its
+    /// own clock and forgets any replayed holder identity, conservatively
+    /// covering whatever lease was outstanding at the crash.
+    post_recovery: bool,
+}
+
+/// Decodes a lease marker payload, if `v` is one (transaction envelopes
+/// lead with a `Loc`, so the string tag is unambiguous).
+fn parse_lease_marker(v: &Value) -> Option<(Loc, i64)> {
+    let (tag, rest) = v.fst().zip(v.snd())?;
+    if tag.as_str()? != LEASE_MARKER_TAG {
+        return None;
+    }
+    let (holder, ts) = rest.fst().zip(rest.snd())?;
+    Some((holder.as_loc()?, ts.as_int()?))
+}
 
 /// An SMR ShadowDB replica: a broadcast-service subscriber executing every
 /// delivered transaction.
@@ -98,6 +188,8 @@ pub struct SmrReplica {
     /// Optional donor-side probe recording which transfer path each
     /// rejoin request took.
     transfer_probe: Option<TransferProbe>,
+    /// Lease-based read fast path, when enabled.
+    lease: Option<LeaseState>,
 }
 
 impl SmrReplica {
@@ -127,7 +219,46 @@ impl SmrReplica {
             recent: VecDeque::new(),
             recent_limit: 0,
             transfer_probe: None,
+            lease: None,
         }
+    }
+
+    /// Enables the lease-based read fast path: markers broadcast through
+    /// `tob_servers` elect a holder that answers read-only transactions
+    /// from its local database without a broadcast round. `claim_rank`
+    /// staggers lapse claims (rank 0 moves first). On a disk-recovered
+    /// replica this must be chained *after* [`SmrReplica::recover_from`]:
+    /// replayed markers carry no receipt time, so the first live step
+    /// conservatively re-anchors suppression at its own clock.
+    pub fn with_read_leases(
+        mut self,
+        tob_servers: Vec<Loc>,
+        claim_rank: u64,
+        opts: SmrLeaseOptions,
+    ) -> SmrReplica {
+        assert!(!tob_servers.is_empty(), "leases need a TOB entry point");
+        // This replica's broadcast msgids must not collide with any it
+        // used before a crash (the service dedups per source); restart
+        // the counter well past anything plausibly used.
+        let msgid = self.incoming.next_seq().max(0).saturating_mul(1_000_000);
+        self.lease = Some(LeaseState {
+            opts,
+            tob_servers,
+            claim_rank,
+            holder: None,
+            marker_send_us: 0,
+            marker_deliv: None,
+            fast_from: VTime::ZERO,
+            msgid,
+            post_recovery: self.rejoin,
+        });
+        self
+    }
+
+    /// The message that starts the renewal/claim tick; the deployment
+    /// sends it once at boot to every lease-enabled replica.
+    pub fn lease_start_msg() -> Msg {
+        Msg::new(LEASE_TIMER_HEADER, Value::Unit)
     }
 
     /// Places this replica's group inside a sharded deployment: its shard,
@@ -228,7 +359,7 @@ impl SmrReplica {
                 payload: payload.clone(),
             };
             let ready = r.incoming.offer(d);
-            r.execute_deliveries(slf, ready, &mut discard);
+            r.execute_deliveries(slf, None, ready, &mut discard);
         }
         r.wal_snap_at = r.incoming.next_seq();
         r.wal = Some(Wal::open(disk));
@@ -392,8 +523,13 @@ impl SmrReplica {
     /// reappears: duplicate suppression consults `last_reply`, which must
     /// reflect the client's earlier request before its next one is
     /// examined.
-    fn execute_deliveries<I>(&mut self, slf: Loc, ready: I, outs: &mut Vec<SendInstr>)
-    where
+    fn execute_deliveries<I>(
+        &mut self,
+        slf: Loc,
+        now: Option<VTime>,
+        ready: I,
+        outs: &mut Vec<SendInstr>,
+    ) where
         I: IntoIterator<Item = shadowdb_tob::Delivery>,
     {
         let mut group = std::mem::take(&mut self.group_scratch);
@@ -411,6 +547,14 @@ impl SmrReplica {
             if let Some(w) = self.wal.as_mut() {
                 w.append(d.seq, &d.payload);
             }
+            if let Some((holder, send_us)) = parse_lease_marker(&d.payload) {
+                // Suppression is evaluated at each group's flush, so the
+                // envelopes before the marker must answer under the old
+                // holder, those after it under the new one.
+                self.flush_group(slf, now, &mut group, outs);
+                self.execute_lease_marker(slf, now, holder, send_us);
+                continue;
+            }
             let Some(env) = TxnEnvelope::from_value(&d.payload) else {
                 continue;
             };
@@ -418,12 +562,12 @@ impl SmrReplica {
             // they must see the database outside the group's shared
             // engine transaction.
             if self.engine.is_some() && matches!(env.txn, TxnRequest::TwoPc(_)) {
-                self.flush_group(slf, &mut group, outs);
+                self.flush_group(slf, now, &mut group, outs);
                 self.step_twopc(slf, &env, outs);
                 continue;
             }
             if group.iter().any(|g| g.client == env.client) {
-                self.flush_group(slf, &mut group, outs);
+                self.flush_group(slf, now, &mut group, outs);
             }
             // Duplicate suppression (client resends surface as fresh
             // broadcast msgids but identical cseq — or as duplicate
@@ -431,25 +575,91 @@ impl SmrReplica {
             // covered).
             if let Some((last, committed, results)) = self.last_reply.get(&env.client) {
                 if env.cseq <= *last {
-                    outs.push(SendInstr::now(
-                        env.client,
-                        reply_msg(slf, *last, *committed, results),
-                    ));
+                    if !self.replies_suppressed(slf, now) {
+                        outs.push(SendInstr::now(
+                            env.client,
+                            reply_msg(slf, *last, *committed, results),
+                        ));
+                    }
                     continue;
                 }
             }
             group.push(env);
         }
-        self.flush_group(slf, &mut group, outs);
+        self.flush_group(slf, now, &mut group, outs);
         self.group_scratch = group;
+    }
+
+    /// Installs the holder named by a marker delivered (or replayed) at
+    /// this replica. The TOB totally orders markers, so every replica
+    /// steps through the same holder sequence at the same slots; only
+    /// the *local* timestamps anchoring suppression and the hand-off
+    /// wait-out differ per replica.
+    fn execute_lease_marker(&mut self, slf: Loc, now: Option<VTime>, holder: Loc, send_us: i64) {
+        let Some(l) = self.lease.as_mut() else {
+            return;
+        };
+        if holder == slf && l.holder != Some(slf) {
+            let virgin = l.holder.is_none() && l.marker_send_us == 0 && l.marker_deliv.is_none();
+            l.fast_from = if virgin {
+                // No lease has ever existed: nothing to outwait.
+                now.unwrap_or(VTime::ZERO)
+            } else {
+                // A hand-off: outwait the previous window entirely. It
+                // ends no later than D after this replica received the
+                // previous marker (delivery follows the send); when that
+                // receipt time is unknown (WAL replay, post-recovery),
+                // anchor on this marker's own delivery, which is no
+                // earlier.
+                l.marker_deliv.or(now).unwrap_or(VTime::ZERO) + l.opts.lease_duration
+            };
+        }
+        // A renewal (self -> self) keeps `fast_from`: any write another
+        // replica acknowledged between the markers was acknowledged only
+        // after *its* suppression window lapsed, i.e. after this lease's
+        // own end — so it linearizes after every fast read served here.
+        l.holder = Some(holder);
+        l.marker_send_us = send_us;
+        l.marker_deliv = now;
+    }
+
+    /// Whether this replica must withhold client replies right now: a
+    /// marker naming someone else is still fresh. While every non-holder
+    /// stays silent, the first answer a client can observe comes from the
+    /// holder — which therefore has executed everything it acknowledged,
+    /// the invariant the fast read path rests on. Protocol traffic (2PC
+    /// records) is never suppressed.
+    fn replies_suppressed(&self, slf: Loc, now: Option<VTime>) -> bool {
+        let Some(l) = &self.lease else {
+            return false;
+        };
+        // WAL replay renders and discards all sends; suppression state is
+        // irrelevant there.
+        let Some(now) = now else {
+            return false;
+        };
+        if l.holder == Some(slf) {
+            return false;
+        }
+        match l.marker_deliv {
+            Some(t) => now < t + l.opts.lease_duration,
+            None => false,
+        }
     }
 
     /// Applies `group` as one engine transaction and emits replies in
     /// delivery order, with per-transaction dedup/cost bookkeeping.
-    fn flush_group(&mut self, slf: Loc, group: &mut Vec<TxnEnvelope>, outs: &mut Vec<SendInstr>) {
+    fn flush_group(
+        &mut self,
+        slf: Loc,
+        now: Option<VTime>,
+        group: &mut Vec<TxnEnvelope>,
+        outs: &mut Vec<SendInstr>,
+    ) {
         if group.is_empty() {
             return;
         }
+        let suppressed = self.replies_suppressed(slf, now);
         let reqs: Vec<&shadowdb_workloads::TxnRequest> = group.iter().map(|e| &e.txn).collect();
         let results = apply_group(&self.db, &reqs);
         drop(reqs);
@@ -461,10 +671,15 @@ impl SmrReplica {
             self.executed += 1;
             self.last_reply
                 .insert(env.client, (env.cseq, committed, results.clone()));
-            outs.push(SendInstr::now(
-                env.client,
-                reply_msg(slf, env.cseq, committed, &results),
-            ));
+            // A suppressed reply is not lost: the reply cache advanced, so
+            // the client's resend is answered the moment suppression
+            // lapses (or by the holder meanwhile).
+            if !suppressed {
+                outs.push(SendInstr::now(
+                    env.client,
+                    reply_msg(slf, env.cseq, committed, &results),
+                ));
+            }
         }
     }
 
@@ -655,7 +870,7 @@ impl SmrReplica {
     /// the in-order buffer as synthetic deliveries and execute normally —
     /// they are logged, cached, deduplicated, and answered exactly like
     /// live traffic (duplicate replies are harmless; clients drop them).
-    fn on_delta(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
+    fn on_delta(&mut self, slf: Loc, now: VTime, body: &Value, outs: &mut Vec<SendInstr>) {
         if !self.rejoin {
             return;
         }
@@ -672,14 +887,14 @@ impl SmrReplica {
             };
             ready.extend(self.incoming.offer(d));
         }
-        self.execute_deliveries(slf, ready, outs);
+        self.execute_deliveries(slf, Some(now), ready, outs);
         if self.sub_seq.is_some_and(|s| self.incoming.next_seq() >= s) {
             // The suffix meets the live subscription: fully rejoined.
             self.rejoin = false;
         }
     }
 
-    fn on_snapshot_chunk(&mut self, slf: Loc, body: &Value, outs: &mut Vec<SendInstr>) {
+    fn on_snapshot_chunk(&mut self, slf: Loc, now: VTime, body: &Value, outs: &mut Vec<SendInstr>) {
         if !self.joining && !self.rejoin {
             return;
         }
@@ -740,23 +955,161 @@ impl SmrReplica {
         for d in held.into_pending() {
             ready.extend(self.incoming.offer(d));
         }
-        self.execute_deliveries(slf, ready, outs);
+        self.execute_deliveries(slf, Some(now), ready, outs);
         self.snap_chunks.clear();
         self.snap_total = None;
+    }
+
+    /// The holder's remaining fast window, if this replica may serve a
+    /// fast read right now: it is the holder, past the hand-off wait-out,
+    /// and within `send_ts + D - margin` of its own marker.
+    fn lease_until(&self, ctx: &Ctx) -> Option<VTime> {
+        let l = self.lease.as_ref()?;
+        if l.holder != Some(ctx.slf) || ctx.now < l.fast_from {
+            return None;
+        }
+        let horizon = l.opts.lease_duration.saturating_sub(l.opts.lease_margin);
+        let until = VTime::from_micros(l.marker_send_us as u64) + horizon;
+        (ctx.now < until).then_some(until)
+    }
+
+    /// Records a served fast read on the probe and/or the audit stream.
+    fn note_lease_read(&mut self, ctx: &Ctx, until: VTime, outs: &mut Vec<SendInstr>) {
+        let Some(l) = &self.lease else { return };
+        if let Some(p) = &l.opts.lease_probe {
+            p.lock().push((
+                l.marker_send_us,
+                ctx.slf,
+                ctx.now.as_micros() as i64,
+                until.as_micros() as i64,
+            ));
+        }
+        if let Some(audit) = l.opts.lease_audit {
+            outs.push(SendInstr::now(
+                audit,
+                lease_audit_msg(
+                    l.marker_send_us,
+                    ctx.slf,
+                    ctx.now.as_micros() as i64,
+                    until.as_micros() as i64,
+                ),
+            ));
+        }
+    }
+
+    /// A transaction submitted *directly* to this replica (not through the
+    /// TOB): the client's read fast path. A valid holder answers read-only
+    /// transactions from its local database; everything else is forwarded
+    /// into the TOB under this replica's own broadcast identity, so the
+    /// ordered path still answers the client (mis-flagged envelopes
+    /// included — the flag is advisory, never trusted for writes).
+    fn on_submit(&mut self, ctx: &Ctx, body: &Value, outs: &mut Vec<SendInstr>) {
+        let Some(env) = TxnEnvelope::from_value(body) else {
+            return;
+        };
+        if env.read_only && !self.joining && !self.rejoin {
+            if let Some(until) = self.lease_until(ctx) {
+                if let Some(out) = env.txn.apply_read_only(&self.db) {
+                    self.step_cost += out.cost;
+                    self.note_lease_read(ctx, until, outs);
+                    outs.push(SendInstr::now(
+                        env.client,
+                        reply_msg(ctx.slf, env.cseq, out.committed, &out.result),
+                    ));
+                    return;
+                }
+            }
+        }
+        let Some(l) = self.lease.as_mut() else {
+            // No lease plane, so no TOB route of our own: drop, and the
+            // client's broadcast resend covers the request.
+            return;
+        };
+        let server = l.tob_servers[ctx.slf.index() as usize % l.tob_servers.len()];
+        let msgid = l.msgid;
+        l.msgid += 1;
+        outs.push(SendInstr::now(
+            server,
+            broadcast_msg(ctx.slf, msgid, env.to_value()),
+        ));
+    }
+
+    /// The renewal/claim tick. The holder re-broadcasts its marker each
+    /// tick; a replica observing a lapsed (or absent) lease claims it
+    /// after its rank-staggered patience runs out. Races are safe — the
+    /// TOB totally orders markers and the latest one wins everywhere —
+    /// the stagger only keeps the common case down to one claimant.
+    fn on_lease_timer(&mut self, ctx: &Ctx, outs: &mut Vec<SendInstr>) {
+        let Some(l) = &self.lease else { return };
+        outs.push(SendInstr::after(
+            l.opts.renew_every,
+            ctx.slf,
+            Msg::new(LEASE_TIMER_HEADER, Value::Unit),
+        ));
+        if self.joining || self.rejoin {
+            return;
+        }
+        let l = self.lease.as_ref().expect("checked above");
+        let claim = match (l.holder, l.marker_deliv) {
+            // This replica holds the lease: renew unconditionally (a
+            // lapsed own lease re-claims through the same marker).
+            (Some(h), _) if h == ctx.slf => true,
+            // Someone else holds it: claim only once it has lapsed and
+            // this replica's stagger rank has run out.
+            (_, Some(deliv)) => {
+                let lapse = deliv + l.opts.lease_duration;
+                ctx.now >= lapse + l.opts.renew_every * (l.claim_rank as u32)
+            }
+            // No live marker ever seen: rank-staggered initial claim.
+            (_, None) => ctx.now >= VTime::ZERO + l.opts.renew_every * (l.claim_rank as u32),
+        };
+        if !claim {
+            return;
+        }
+        let l = self.lease.as_mut().expect("checked above");
+        let server = l.tob_servers[ctx.slf.index() as usize % l.tob_servers.len()];
+        let msgid = l.msgid;
+        l.msgid += 1;
+        let marker = Value::pair(
+            Value::str(LEASE_MARKER_TAG),
+            Value::pair(Value::Loc(ctx.slf), Value::Int(ctx.now.as_micros() as i64)),
+        );
+        outs.push(SendInstr::now(
+            server,
+            broadcast_msg(ctx.slf, msgid, marker),
+        ));
     }
 }
 
 impl Process for SmrReplica {
     fn step_into(&mut self, ctx: &Ctx, msg: &Msg, out: &mut Vec<SendInstr>) {
+        if let Some(l) = self.lease.as_mut() {
+            if l.post_recovery {
+                // Replayed markers carry no receipt time, and a lease may
+                // have been outstanding at the crash. Re-anchor suppression
+                // at the first live instant and forget any replayed holder
+                // identity: for one lease length this replica neither
+                // serves fast reads nor acknowledges writes, which covers
+                // every window that could have been granted before the
+                // crash (suppressing too long is always safe).
+                l.post_recovery = false;
+                l.holder = None;
+                l.marker_deliv = Some(ctx.now);
+            }
+        }
         let h = msg.header;
         if h == cached_header!(FETCH_SNAPSHOT_HEADER) {
             self.on_fetch_snapshot(ctx.slf, &msg.body, out);
         } else if h == cached_header!(SNAPSHOT_CHUNK_HEADER) {
-            self.on_snapshot_chunk(ctx.slf, &msg.body, out);
+            self.on_snapshot_chunk(ctx.slf, ctx.now, &msg.body, out);
         } else if h == cached_header!(FETCH_DELTA_HEADER) {
             self.on_fetch_delta(ctx.slf, &msg.body, out);
         } else if h == cached_header!(DELTA_HEADER) {
-            self.on_delta(ctx.slf, &msg.body, out);
+            self.on_delta(ctx.slf, ctx.now, &msg.body, out);
+        } else if h == cached_header!(SUBMIT_HEADER) {
+            self.on_submit(ctx, &msg.body, out);
+        } else if h == cached_header!(LEASE_TIMER_HEADER) {
+            self.on_lease_timer(ctx, out);
         } else if h == cached_header!(JOIN_RETRY_HEADER) {
             if self.joining {
                 self.kick_fetch(ctx.slf, out);
@@ -783,7 +1136,7 @@ impl Process for SmrReplica {
         } else if let Some(d) = parse_deliver(msg) {
             let ready = self.incoming.offer(d);
             if !self.joining {
-                self.execute_deliveries(ctx.slf, ready, out);
+                self.execute_deliveries(ctx.slf, Some(ctx.now), ready, out);
             }
         }
         // Durability before visibility: fsync whatever this step logged
@@ -825,6 +1178,7 @@ impl Process for SmrReplica {
             recent: self.recent.clone(),
             recent_limit: self.recent_limit,
             transfer_probe: self.transfer_probe.clone(),
+            lease: self.lease.clone(),
         })
     }
 
@@ -833,5 +1187,11 @@ impl Process for SmrReplica {
         (self.executed, self.joining, self.incoming.next_seq()).hash(&mut h);
         (self.sub_seq, self.join_attempts, self.rejoin).hash(&mut h);
         self.twopc_seq.hash(&mut h);
+        if let Some(l) = &self.lease {
+            // Replicated lease state only: the holder sequence and its
+            // stamps are functions of the delivered TOB prefix; the local
+            // receipt times (`marker_deliv`, `fast_from`) are not.
+            (l.holder, l.marker_send_us, l.msgid).hash(&mut h);
+        }
     }
 }

@@ -13,8 +13,9 @@
 //! across every profile on the simulator (the opt-in long soak).
 
 use shadowdb::chaos::{
-    soak_durability_pbr, soak_durability_smr, soak_pbr, soak_reconfig_pbr, soak_reconfig_smr,
-    soak_sharded_pbr, soak_sharded_smr, soak_smr, ChaosOptions,
+    soak_durability_pbr, soak_durability_smr, soak_pbr, soak_reads_pbr, soak_reads_smr,
+    soak_reconfig_pbr, soak_reconfig_smr, soak_sharded_pbr, soak_sharded_smr, soak_smr,
+    ChaosOptions,
 };
 use shadowdb_livenet::LiveNet;
 use shadowdb_runtime::NemesisProfile;
@@ -339,6 +340,98 @@ fn tcpnet_reconfig_smr_crash_during_transfer() {
     opts.duration = Duration::from_millis(200);
     opts.txns_per_client = 100;
     let report = soak_reconfig_smr(&mut net, &opts);
+    assert_eq!(report.committed, 200);
+    net.shutdown();
+}
+
+/// Lease-read soaks: a 95%-read YCSB-B mix with the read fast path on,
+/// under `StalePrimaryReads` — the lease holder is partitioned from the
+/// rest of the core while its client links stay up, so it keeps
+/// receiving reads it could answer from stale state. The harness asserts
+/// (in `shadowdb::chaos`) convergence, strict serializability of the
+/// whole history — which catches any read served after the holder's
+/// lease should have expired — and, on the lease probe, that fast reads
+/// were actually served and no two holders' intervals ever overlapped.
+/// Simulator sizing for the read soaks. Leases are 4 × heartbeat, and a
+/// PBR lease needs roughly two heartbeat periods to go fresh (grant out,
+/// echo back on the backup's own next tick) — so the cadence is tight
+/// and the workload long enough that most reads land in the granted
+/// regime, with the nemesis window compressed to put the partition in
+/// the middle of the run rather than after it.
+fn sim_read_opts(seed: u64) -> ChaosOptions {
+    let mut o = ChaosOptions::quick(
+        seed,
+        NemesisProfile::StalePrimaryReads,
+        Duration::from_millis(200),
+    );
+    o.heartbeat_every = Duration::from_millis(5);
+    o.detect_after = Duration::from_millis(25);
+    o.client_timeout = Duration::from_millis(20);
+    o.txns_per_client = 600;
+    o.deadline = Duration::from_secs(120);
+    o
+}
+
+#[test]
+fn simnet_reads_pbr_stale_primary() {
+    let mut sim = shadowdb_simnet::testing::default_net(1_600);
+    let report = soak_reads_pbr(&mut sim, &sim_read_opts(51));
+    assert_eq!(report.committed, 1_200);
+}
+
+#[test]
+fn simnet_reads_smr_stale_primary() {
+    let mut sim = shadowdb_simnet::testing::default_net(1_601);
+    let report = soak_reads_smr(&mut sim, &sim_read_opts(52));
+    assert_eq!(report.committed, 1_200);
+}
+
+/// Real-runtime sizing for the read soaks: a tight heartbeat so leases
+/// (4 × heartbeat) go fresh within the first few round trips — the
+/// workload must overlap the lease-granted regime, not finish before the
+/// first echo — and enough transactions to keep reads flowing while
+/// faults land.
+fn live_read_opts(seed: u64) -> ChaosOptions {
+    let mut o = live_opts(seed, NemesisProfile::StalePrimaryReads);
+    o.heartbeat_every = Duration::from_millis(10);
+    o.txns_per_client = 100;
+    o
+}
+
+#[test]
+fn livenet_reads_pbr_stale_primary_soak() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(37)
+        .spawn();
+    let report = soak_reads_pbr(&mut net, &live_read_opts(37));
+    assert_eq!(report.committed, 200);
+    net.shutdown();
+}
+
+#[test]
+fn livenet_reads_smr_stale_primary_soak() {
+    let mut net = LiveNet::builder()
+        .latency(Duration::from_micros(100))
+        .seeded(38)
+        .spawn();
+    let report = soak_reads_smr(&mut net, &live_read_opts(38));
+    assert_eq!(report.committed, 200);
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_reads_pbr_stale_primary_soak() {
+    let mut net = TcpNet::builder().seeded(39).spawn();
+    let report = soak_reads_pbr(&mut net, &live_read_opts(39));
+    assert_eq!(report.committed, 200);
+    net.shutdown();
+}
+
+#[test]
+fn tcpnet_reads_smr_stale_primary_soak() {
+    let mut net = TcpNet::builder().seeded(40).spawn();
+    let report = soak_reads_smr(&mut net, &live_read_opts(40));
     assert_eq!(report.committed, 200);
     net.shutdown();
 }

@@ -55,11 +55,7 @@ fn mck_smr_deployment_replicas_agree_in_all_interleavings() {
     // Two concurrent submissions to *different* servers — the racing-slot
     // case.
     for (cseq, txn) in txns.iter().enumerate() {
-        let env = TxnEnvelope {
-            client,
-            cseq: cseq as i64,
-            txn: txn.clone(),
-        };
+        let env = TxnEnvelope::new(client, cseq as i64, txn.clone());
         world.send_at(
             VTime::ZERO,
             d.tob.servers[cseq % d.tob.servers.len()],
@@ -123,14 +119,14 @@ fn mck_pbr_deployment_normal_case_smoke() {
     let (client, _rx) = world.port();
     let d = PbrDeployment::build(&mut world, &checker_options(), PbrOptions::default());
 
-    let env = TxnEnvelope {
+    let env = TxnEnvelope::new(
         client,
-        cseq: 0,
-        txn: TxnRequest::BankDeposit {
+        0,
+        TxnRequest::BankDeposit {
             account: 1,
             amount: 9,
         },
-    };
+    );
     world.send_at(VTime::ZERO, d.replicas[0], submit_msg(&env));
 
     let outcome = world.explore(

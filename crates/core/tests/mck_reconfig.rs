@@ -93,14 +93,14 @@ fn mck_pbr_add_replica_config_agreement() {
     let members = d.replicas[..options.active_replicas].to_vec();
     let joiner = graft_pbr_joiner(&mut world, &d);
 
-    let env = TxnEnvelope {
+    let env = TxnEnvelope::new(
         client,
-        cseq: 0,
-        txn: TxnRequest::BankDeposit {
+        0,
+        TxnRequest::BankDeposit {
             account: 0,
             amount: 5,
         },
-    };
+    );
     world.send_at(VTime::ZERO, d.replicas[0], submit_msg(&env));
     let cmd = ConfigCommand::add(&members, joiner).expect("joiner is not a member");
     world.send_at(
@@ -295,11 +295,7 @@ fn mck_smr_joiner_state_matches_donors() {
         TxnRequest::BankRead { account: 0 },
     ];
     for (cseq, txn) in txns.iter().enumerate() {
-        let env = TxnEnvelope {
-            client,
-            cseq: cseq as i64,
-            txn: txn.clone(),
-        };
+        let env = TxnEnvelope::new(client, cseq as i64, txn.clone());
         world.send_at(
             VTime::ZERO,
             d.tob.servers[cseq % d.tob.servers.len()],

@@ -91,15 +91,15 @@ fn mck_sharded_cross_shard_commit_replies_agree_in_all_interleavings() {
         vec![0, 1],
         "the transfer must span both shards"
     );
-    let env = TxnEnvelope {
+    let env = TxnEnvelope::new(
         client,
-        cseq: 0,
-        txn: TxnRequest::TwoPc(TwoPcRecord::Prepare {
+        0,
+        TxnRequest::TwoPc(TwoPcRecord::Prepare {
             txnid: (client, 0),
             participants: participants.clone(),
             txn: Box::new(txn),
         }),
-    };
+    );
     for (i, p) in participants.iter().enumerate() {
         submit(&mut world, &d, *p, 0, i as i64, &env);
     }
@@ -166,10 +166,10 @@ fn mck_sharded_abort_never_applies_on_any_shard() {
     let (client, _rx) = Runtime::port(&mut world);
     let d = ShardedDeployment::build_smr(&mut world, &checker_options());
 
-    let env = TxnEnvelope {
+    let env = TxnEnvelope::new(
         client,
-        cseq: 0,
-        txn: TxnRequest::TwoPc(TwoPcRecord::Prepare {
+        0,
+        TxnRequest::TwoPc(TwoPcRecord::Prepare {
             txnid: (client, 0),
             participants: vec![0, 1],
             txn: Box::new(TxnRequest::BankDeposit {
@@ -177,16 +177,12 @@ fn mck_sharded_abort_never_applies_on_any_shard() {
                 amount: 50,
             }),
         }),
-    };
+    );
     submit(&mut world, &d, 0, 0, 0, &env);
     submit(&mut world, &d, 1, 0, 1, &env);
     // The read races the whole 2PC on shard 0 — entering through the
     // *other* server so its slot contends with the Prepare's.
-    let read = TxnEnvelope {
-        client,
-        cseq: 1,
-        txn: TxnRequest::BankRead { account: 0 },
-    };
+    let read = TxnEnvelope::new(client, 1, TxnRequest::BankRead { account: 0 });
     submit(&mut world, &d, 0, 1, 2, &read);
 
     let (aborted, read_done) = (Cell::new(false), Cell::new(false));

@@ -517,6 +517,17 @@ pub enum NemesisProfile {
     /// against a harness that supplies a durable restart factory (the
     /// generic soaks restart amnesiac processes).
     PowerLoss,
+    /// Lease-read stress: partition the victim — pointed at the current
+    /// lease holder (the PBR primary, or the rank-0 SMR claimant) — from
+    /// the rest of the *core* while leaving its client links up, then
+    /// heal. The deposed holder keeps receiving reads it could answer
+    /// from stale state; its lease must self-expire before a successor
+    /// starts serving, which the holder-interval probes and the
+    /// serializability checker both verify end to end. Deliberately NOT
+    /// in [`NemesisProfile::ALL`]: it only pays off against a harness
+    /// that enables the read-lease fast path (without leases it is a
+    /// weaker [`NemesisProfile::PartitionVictim`]).
+    StalePrimaryReads,
     /// Online-reconfiguration stress: crash the *joiner* mid-transfer,
     /// and in a later, separate window crash the *donor* (the incumbent
     /// primary streaming the snapshot). The group must reconfigure past
@@ -691,6 +702,36 @@ impl Nemesis {
                     plan = plan.with_crash(at, topo.victim);
                     plan = plan.with_durable_restart(at + down, topo.victim);
                     at = at + down + s.frac_of(d, 0.08, 0.15);
+                }
+            }
+            NemesisProfile::StalePrimaryReads => {
+                // Cut the holder off from every other core node — but not
+                // from the clients, whose reads keep arriving at a node
+                // whose lease is quietly running out. Heal, then cut once
+                // more after the successor has settled in.
+                let others: Vec<Loc> = topo
+                    .core
+                    .iter()
+                    .copied()
+                    .filter(|l| *l != topo.victim)
+                    .collect();
+                let start = start_of(&mut s, d);
+                let end = start + s.frac_of(d, 0.20, 0.30);
+                plan = plan.with_rule(
+                    LinkSel::Between(vec![topo.victim], others.clone()),
+                    start,
+                    end,
+                    LinkFault::partition(),
+                );
+                if s.next().is_multiple_of(2) {
+                    let start2 = VTime::ZERO + s.frac_of(d, 0.60, 0.68);
+                    let end2 = start2 + s.frac_of(d, 0.08, 0.15);
+                    plan = plan.with_rule(
+                        LinkSel::Between(vec![topo.victim], others),
+                        start2,
+                        end2,
+                        LinkFault::partition(),
+                    );
                 }
             }
             NemesisProfile::CrashDuringTransfer => {

@@ -288,6 +288,68 @@ impl Database {
         Ok(n)
     }
 
+    /// Executes a single read-only `SELECT` without touching the lock
+    /// table: the statement is planned through the shared statement/plan
+    /// cache and evaluated under the catalog's reader guard only, so it
+    /// can never block behind (or be blocked by) a write transaction's
+    /// locks. Returns the result set and the virtual CPU cost charged,
+    /// which is identical to what the locking path would charge.
+    ///
+    /// Isolation: this reads the *current* table contents. Replicated
+    /// execution applies writes strictly serially and serves fast-path
+    /// reads between group applies, so the state observed here is always
+    /// committed state; a caller running concurrent mutating transactions
+    /// on the same handle would instead see their in-place updates.
+    ///
+    /// # Errors
+    ///
+    /// Fails on anything that is not a plain `SELECT` (DML, DDL,
+    /// `SELECT … FOR UPDATE`) and on unknown tables/columns.
+    pub fn execute_read_only(&self, sql: &str) -> Result<(ResultSet, Duration)> {
+        let epoch = self.inner.ddl_epoch.load(Ordering::Acquire);
+        let hit = self.inner.plans.lock().lookup(sql, epoch);
+        let plan = match hit {
+            Some((_, Some(plan))) => plan,
+            Some((stmt, None)) => {
+                let plan =
+                    Arc::new(resolve_plan_on(&self.inner, &stmt)?.ok_or_else(not_read_only)?);
+                self.inner.plans.lock().attach_plan(sql, plan.clone());
+                plan
+            }
+            None => {
+                let stmt = Arc::new(parse(sql)?);
+                match resolve_plan_on(&self.inner, &stmt) {
+                    Ok(Some(plan)) => {
+                        let plan = Arc::new(plan);
+                        self.inner
+                            .plans
+                            .lock()
+                            .insert(sql, stmt.clone(), Some(plan.clone()));
+                        plan
+                    }
+                    Ok(None) => {
+                        self.inner.plans.lock().insert(sql, stmt, None);
+                        return Err(not_read_only());
+                    }
+                    Err(e) => {
+                        self.inner.plans.lock().insert(sql, stmt, None);
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        let PlanKind::Select(p) = &plan.kind else {
+            return Err(not_read_only());
+        };
+        if p.for_update {
+            return Err(not_read_only());
+        }
+        let mut us = self.inner.profile.costs.per_statement_us;
+        let matched = matched_rows_on(&self.inner, &p.table, &p.filter, &p.path, &mut us)?;
+        let rs = project_select(p, matched)?;
+        Ok((rs, Duration::from_micros(us)))
+    }
+
     /// Takes a consistent snapshot of the entire database (schemas + rows).
     /// The caller is responsible for quiescing writers (replication
     /// executes transactions sequentially, so snapshots are taken between
@@ -613,91 +675,220 @@ impl Transaction {
     /// Fails on unknown tables or columns, mirroring what execution of
     /// the same statement would report.
     fn resolve_plan(&self, stmt: &Statement) -> Result<Option<Plan>> {
-        let epoch = self.db.ddl_epoch.load(Ordering::Acquire);
-        let tables = self.db.tables.read();
-        let lookup = |name: &str| -> Result<&Table> {
-            tables
-                .get(&name.to_lowercase())
-                .ok_or_else(|| SqlError::Unknown(format!("table {name}")))
-        };
-        let kind = match stmt {
-            Statement::Select(sel) => {
-                let t = lookup(&sel.table)?;
-                let schema = t.schema().clone();
-                let filter = match &sel.filter {
-                    Some(f) => Some(f.bind(&schema)?),
-                    None => None,
-                };
-                let path = t.plan_path(filter.as_ref());
-                let order_by = match &sel.order_by {
-                    Some((c, desc)) => Some((schema.col(c)?, *desc)),
-                    None => None,
-                };
-                let proj = match &sel.projection {
-                    Projection::Star => {
-                        ProjPlan::Star(schema.columns.iter().map(|c| c.name.clone()).collect())
-                    }
-                    Projection::Cols(cols) => {
-                        let idx: Result<Vec<usize>> = cols.iter().map(|c| schema.col(c)).collect();
-                        ProjPlan::Cols(cols.clone(), idx?)
-                    }
-                    Projection::Aggregates(aggs) => ProjPlan::Aggregates(aggs.clone()),
-                };
-                PlanKind::Select(SelectPlan {
-                    table: sel.table.to_lowercase(),
-                    schema,
-                    filter,
-                    path,
-                    proj,
-                    order_by,
-                    limit: sel.limit,
-                    for_update: sel.for_update,
-                })
-            }
-            Statement::Update {
-                table,
-                sets,
-                filter,
-            } => {
-                let t = lookup(table)?;
-                let schema = t.schema().clone();
-                let bound_filter = match filter {
-                    Some(f) => Some(f.bind(&schema)?),
-                    None => None,
-                };
-                let path = t.plan_path(bound_filter.as_ref());
-                let bound_sets: Result<Vec<(usize, Expr)>> = sets
-                    .iter()
-                    .map(|(c, e)| Ok((schema.col(c)?, e.bind(&schema)?)))
-                    .collect();
-                PlanKind::Update(UpdatePlan {
-                    table: table.to_lowercase(),
-                    schema,
-                    sets: bound_sets?,
-                    filter: bound_filter,
-                    path,
-                })
-            }
-            Statement::Delete { table, filter } => {
-                let t = lookup(table)?;
-                let schema = t.schema().clone();
-                let bound_filter = match filter {
-                    Some(f) => Some(f.bind(&schema)?),
-                    None => None,
-                };
-                let path = t.plan_path(bound_filter.as_ref());
-                PlanKind::Delete(DeletePlan {
-                    table: table.to_lowercase(),
-                    schema,
-                    filter: bound_filter,
-                    path,
-                })
-            }
-            _ => return Ok(None),
-        };
-        Ok(Some(Plan { epoch, kind }))
+        resolve_plan_on(&self.db, stmt)
     }
 
+    /// Collects the `(rid, row)` pairs a planned predicate matches,
+    /// charging index or scan cost per the access path actually taken.
+    fn matched_rows(
+        &mut self,
+        table: &str,
+        filter: &Option<Expr>,
+        path: &AccessPath,
+    ) -> Result<Vec<(RowId, Row)>> {
+        matched_rows_on(&self.db, table, filter, path, &mut self.virtual_us)
+    }
+
+    fn run_select(&mut self, p: &SelectPlan) -> Result<ResultSet> {
+        let costs = self.db.profile.costs;
+        self.charge(costs.per_statement_us);
+        if p.for_update {
+            // FOR UPDATE takes exclusive locks up front, then re-reads
+            // under the locks.
+            let rows = self.matched_rows(&p.table, &p.filter, &p.path)?;
+            for (_, row) in &rows {
+                self.lock_write(&p.table, &p.schema.key_of(row))?;
+            }
+        } else {
+            self.lock_read(&p.table)?;
+        }
+        let matched = self.matched_rows(&p.table, &p.filter, &p.path)?;
+        project_select(p, matched)
+    }
+}
+
+fn not_read_only() -> SqlError {
+    SqlError::Constraint("statement is not a lockless read-only SELECT".into())
+}
+
+/// Resolves a statement against the current catalog: binds expressions,
+/// fixes column positions, and chooses the access path. Returns `None`
+/// for statement kinds executed directly from the AST (DDL, `INSERT`).
+fn resolve_plan_on(db: &Inner, stmt: &Statement) -> Result<Option<Plan>> {
+    let epoch = db.ddl_epoch.load(Ordering::Acquire);
+    let tables = db.tables.read();
+    let lookup = |name: &str| -> Result<&Table> {
+        tables
+            .get(&name.to_lowercase())
+            .ok_or_else(|| SqlError::Unknown(format!("table {name}")))
+    };
+    let kind = match stmt {
+        Statement::Select(sel) => {
+            let t = lookup(&sel.table)?;
+            let schema = t.schema().clone();
+            let filter = match &sel.filter {
+                Some(f) => Some(f.bind(&schema)?),
+                None => None,
+            };
+            let path = t.plan_path(filter.as_ref());
+            let order_by = match &sel.order_by {
+                Some((c, desc)) => Some((schema.col(c)?, *desc)),
+                None => None,
+            };
+            let proj = match &sel.projection {
+                Projection::Star => {
+                    ProjPlan::Star(schema.columns.iter().map(|c| c.name.clone()).collect())
+                }
+                Projection::Cols(cols) => {
+                    let idx: Result<Vec<usize>> = cols.iter().map(|c| schema.col(c)).collect();
+                    ProjPlan::Cols(cols.clone(), idx?)
+                }
+                Projection::Aggregates(aggs) => ProjPlan::Aggregates(aggs.clone()),
+            };
+            PlanKind::Select(SelectPlan {
+                table: sel.table.to_lowercase(),
+                schema,
+                filter,
+                path,
+                proj,
+                order_by,
+                limit: sel.limit,
+                for_update: sel.for_update,
+            })
+        }
+        Statement::Update {
+            table,
+            sets,
+            filter,
+        } => {
+            let t = lookup(table)?;
+            let schema = t.schema().clone();
+            let bound_filter = match filter {
+                Some(f) => Some(f.bind(&schema)?),
+                None => None,
+            };
+            let path = t.plan_path(bound_filter.as_ref());
+            let bound_sets: Result<Vec<(usize, Expr)>> = sets
+                .iter()
+                .map(|(c, e)| Ok((schema.col(c)?, e.bind(&schema)?)))
+                .collect();
+            PlanKind::Update(UpdatePlan {
+                table: table.to_lowercase(),
+                schema,
+                sets: bound_sets?,
+                filter: bound_filter,
+                path,
+            })
+        }
+        Statement::Delete { table, filter } => {
+            let t = lookup(table)?;
+            let schema = t.schema().clone();
+            let bound_filter = match filter {
+                Some(f) => Some(f.bind(&schema)?),
+                None => None,
+            };
+            let path = t.plan_path(bound_filter.as_ref());
+            PlanKind::Delete(DeletePlan {
+                table: table.to_lowercase(),
+                schema,
+                filter: bound_filter,
+                path,
+            })
+        }
+        _ => return Ok(None),
+    };
+    Ok(Some(Plan { epoch, kind }))
+}
+
+/// Collects the `(rid, row)` pairs a planned predicate matches against
+/// `db`'s current contents, charging index or scan cost into
+/// `virtual_us` per the access path actually taken. Takes only the
+/// catalog's reader guard — never the lock table.
+fn matched_rows_on(
+    db: &Inner,
+    table: &str,
+    filter: &Option<Expr>,
+    path: &AccessPath,
+    virtual_us: &mut u64,
+) -> Result<Vec<(RowId, Row)>> {
+    let costs = db.profile.costs;
+    let tables = db.tables.read();
+    let t = tables
+        .get(table)
+        .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
+    let candidates = t.candidates_via(path);
+    let indexed = candidates.len() < t.len() || t.is_empty();
+    let mut out = Vec::new();
+    for rid in candidates {
+        if let Some(row) = t.get(rid) {
+            let keep = match filter {
+                Some(f) => f.matches(row)?,
+                None => true,
+            };
+            if keep {
+                out.push((rid, row.clone()));
+            }
+        }
+    }
+    let scanned = t.len();
+    drop(tables);
+    if indexed {
+        *virtual_us += costs.point_read_us * out.len().max(1) as u64;
+    } else {
+        *virtual_us += costs.scan_row_us * scanned as u64;
+    }
+    Ok(out)
+}
+
+/// Orders, truncates, and projects a select's matched rows.
+fn project_select(p: &SelectPlan, mut matched: Vec<(RowId, Row)>) -> Result<ResultSet> {
+    if let Some((ci, desc)) = p.order_by {
+        matched.sort_by(|(_, a), (_, b)| {
+            let ord = a[ci].cmp(&b[ci]);
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+    }
+    if let Some(n) = p.limit {
+        matched.truncate(n);
+    }
+
+    match &p.proj {
+        ProjPlan::Star(cols) => Ok(ResultSet {
+            columns: cols.clone(),
+            rows: matched.into_iter().map(|(_, r)| r).collect(),
+            affected: 0,
+        }),
+        ProjPlan::Cols(labels, idx) => Ok(ResultSet {
+            columns: labels.clone(),
+            rows: matched
+                .into_iter()
+                .map(|(_, r)| idx.iter().map(|&i| r[i].clone()).collect())
+                .collect(),
+            affected: 0,
+        }),
+        ProjPlan::Aggregates(aggs) => {
+            let rows: Vec<Row> = matched.into_iter().map(|(_, r)| r).collect();
+            let mut out = Vec::with_capacity(aggs.len());
+            let mut labels = Vec::with_capacity(aggs.len());
+            for agg in aggs {
+                let (label, v) = eval_aggregate(agg, &p.schema, &rows)?;
+                labels.push(label);
+                out.push(v);
+            }
+            Ok(ResultSet {
+                columns: labels,
+                rows: vec![out],
+                affected: 0,
+            })
+        }
+    }
+}
+
+impl Transaction {
     fn run_plan(&mut self, plan: &Plan) -> Result<ResultSet> {
         match &plan.kind {
             PlanKind::Select(p) => self.run_select(p),
@@ -805,104 +996,6 @@ impl Transaction {
             affected,
             ..ResultSet::default()
         })
-    }
-
-    /// Collects the `(rid, row)` pairs a planned predicate matches,
-    /// charging index or scan cost per the access path actually taken.
-    fn matched_rows(
-        &mut self,
-        table: &str,
-        filter: &Option<Expr>,
-        path: &AccessPath,
-    ) -> Result<Vec<(RowId, Row)>> {
-        let costs = self.db.profile.costs;
-        let tables = self.db.tables.read();
-        let t = tables
-            .get(table)
-            .ok_or_else(|| SqlError::Unknown(format!("table {table}")))?;
-        let candidates = t.candidates_via(path);
-        let indexed = candidates.len() < t.len() || t.is_empty();
-        let mut out = Vec::new();
-        for rid in candidates {
-            if let Some(row) = t.get(rid) {
-                let keep = match filter {
-                    Some(f) => f.matches(row)?,
-                    None => true,
-                };
-                if keep {
-                    out.push((rid, row.clone()));
-                }
-            }
-        }
-        let scanned = t.len();
-        drop(tables);
-        if indexed {
-            self.charge(costs.point_read_us * out.len().max(1) as u64);
-        } else {
-            self.charge(costs.scan_row_us * scanned as u64);
-        }
-        Ok(out)
-    }
-
-    fn run_select(&mut self, p: &SelectPlan) -> Result<ResultSet> {
-        let costs = self.db.profile.costs;
-        self.charge(costs.per_statement_us);
-        if p.for_update {
-            // FOR UPDATE takes exclusive locks up front, then re-reads
-            // under the locks.
-            let rows = self.matched_rows(&p.table, &p.filter, &p.path)?;
-            for (_, row) in &rows {
-                self.lock_write(&p.table, &p.schema.key_of(row))?;
-            }
-        } else {
-            self.lock_read(&p.table)?;
-        }
-        let mut matched = self.matched_rows(&p.table, &p.filter, &p.path)?;
-
-        if let Some((ci, desc)) = p.order_by {
-            matched.sort_by(|(_, a), (_, b)| {
-                let ord = a[ci].cmp(&b[ci]);
-                if desc {
-                    ord.reverse()
-                } else {
-                    ord
-                }
-            });
-        }
-        if let Some(n) = p.limit {
-            matched.truncate(n);
-        }
-
-        match &p.proj {
-            ProjPlan::Star(cols) => Ok(ResultSet {
-                columns: cols.clone(),
-                rows: matched.into_iter().map(|(_, r)| r).collect(),
-                affected: 0,
-            }),
-            ProjPlan::Cols(labels, idx) => Ok(ResultSet {
-                columns: labels.clone(),
-                rows: matched
-                    .into_iter()
-                    .map(|(_, r)| idx.iter().map(|&i| r[i].clone()).collect())
-                    .collect(),
-                affected: 0,
-            }),
-            ProjPlan::Aggregates(aggs) => {
-                let rows: Vec<Row> = matched.into_iter().map(|(_, r)| r).collect();
-                let mut out = Vec::with_capacity(aggs.len());
-                let mut labels = Vec::with_capacity(aggs.len());
-                for agg in aggs {
-                    let (label, v) = eval_aggregate(agg, &p.schema, &rows)?;
-                    labels.push(label);
-                    out.push(v);
-                }
-                Ok(ResultSet {
-                    columns: labels,
-                    rows: vec![out],
-                    affected: 0,
-                })
-            }
-        }
     }
 
     fn run_update(&mut self, p: &UpdatePlan) -> Result<ResultSet> {
@@ -1338,6 +1431,66 @@ mod tests {
             .execute("SELECT balance FROM accounts WHERE owner = 'own5'")
             .unwrap();
         assert_eq!(r.rows, vec![vec![SqlValue::Int(500)]]);
+    }
+
+    #[test]
+    fn read_only_path_never_blocks_behind_the_lock_table() {
+        let db = bank();
+        // A writer pins the table's exclusive lock (H2 locks at table
+        // granularity) without mutating anything.
+        let mut writer = db.begin().unwrap();
+        writer
+            .execute("SELECT balance FROM accounts WHERE id = 1 FOR UPDATE")
+            .unwrap();
+        // An ordinary locking reader times out behind it…
+        let mut reader = db.begin().unwrap();
+        assert!(matches!(
+            reader.execute("SELECT balance FROM accounts WHERE id = 3"),
+            Err(SqlError::LockTimeout { .. })
+        ));
+        // …while the lock-free read path answers with committed state.
+        let (rs, cost) = db
+            .execute_read_only("SELECT balance FROM accounts WHERE id = 3")
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![SqlValue::Int(300)]]);
+        assert!(cost > Duration::ZERO);
+        writer.commit().unwrap();
+    }
+
+    #[test]
+    fn read_only_path_matches_uncached_execution_and_cost() {
+        let db = bank();
+        let sql = "SELECT id, balance FROM accounts ORDER BY balance DESC LIMIT 3";
+        // Twice: the second run provably executes from the plan cache.
+        let (first, c1) = db.execute_read_only(sql).unwrap();
+        let (second, c2) = db.execute_read_only(sql).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(c1, c2);
+        let mut txn = db.begin().unwrap();
+        let reference = txn.execute_uncached(sql).unwrap();
+        let ref_cost = txn.virtual_cost();
+        txn.commit().unwrap();
+        assert_eq!(first, reference);
+        assert_eq!(c1, ref_cost, "lock-free reads charge the same cost");
+    }
+
+    #[test]
+    fn read_only_path_refuses_everything_but_plain_selects() {
+        let db = bank();
+        for sql in [
+            "UPDATE accounts SET balance = 0 WHERE id = 1",
+            "INSERT INTO accounts VALUES (99, 'x', 0)",
+            "DELETE FROM accounts WHERE id = 1",
+            "SELECT balance FROM accounts WHERE id = 1 FOR UPDATE",
+            "DROP TABLE accounts",
+        ] {
+            assert!(db.execute_read_only(sql).is_err(), "{sql}");
+        }
+        assert_eq!(db.table_len("accounts"), 10, "refusals leave no trace");
+        let r = db
+            .execute("SELECT balance FROM accounts WHERE id = 1")
+            .unwrap();
+        assert_eq!(r.rows[0][0], SqlValue::Int(100));
     }
 
     #[test]

@@ -109,9 +109,9 @@ struct ServerState {
     /// TwoThird entries carry the slot the server claimed; Paxos entries
     /// carry `None` (the Synod replica owns slot assignment).
     in_flight: Vec<(Option<i64>, Value)>,
-    /// client -> last enqueued msgid.
+    /// client -> enqueue duplicate-detector state (see [`note_msgid`]).
     last_enq: Value,
-    /// client -> last delivered msgid.
+    /// client -> delivery duplicate-detector state (see [`note_msgid`]).
     last_del: Value,
     /// Dynamic subscribers (joining replicas), added at runtime through
     /// [`SUBSCRIBE_HEADER`]; they receive every delivery alongside the
@@ -200,6 +200,66 @@ impl ServerState {
     }
 }
 
+/// Msgids further than this behind a source's newest are assumed seen.
+/// A stop-and-wait client never has two msgids in flight, and a replica
+/// pipelining lease forwards reorders only within the network's jitter —
+/// a handful of messages — so 64 is far beyond any real reorder depth.
+const DEDUP_WINDOW: usize = 64;
+
+/// Sliding-window duplicate detection for one source.
+///
+/// The per-source entry is `<floor, sorted msgids above floor>`: every
+/// msgid `<= floor` has been seen, plus the listed ones above it. For a
+/// stop-and-wait source whose msgids arrive in order the list stays
+/// empty and this degenerates to the classic last-msgid high-water mark
+/// (the paper's "sequence number of the last transaction submitted by
+/// each client"). A plain high-water mark is *wrong* for a source with
+/// several msgids in flight at once — the lease-holder replica funnels
+/// every forwarded read through one counter — because jittered links
+/// can reorder the arrivals, and the mark would then swallow the
+/// stragglers as stale with nothing on that path to retransmit them.
+///
+/// Returns the updated entry, or `None` when `msgid` is a duplicate.
+fn note_msgid(entry: Option<&Value>, msgid: i64) -> Option<Value> {
+    let (mut floor, mut above) = match entry {
+        Some(v) => {
+            let (f, l) = v.unpair();
+            (
+                f.int(),
+                l.as_list()
+                    .expect("msgid list")
+                    .iter()
+                    .map(|m| m.int())
+                    .collect::<Vec<i64>>(),
+            )
+        }
+        None => (-1, Vec::new()),
+    };
+    if msgid <= floor {
+        return None;
+    }
+    let Err(i) = above.binary_search(&msgid) else {
+        return None;
+    };
+    above.insert(i, msgid);
+    while above.first() == Some(&(floor + 1)) {
+        floor += 1;
+        above.remove(0);
+    }
+    // Bound the gap set: sources that jump their counter (a recovered
+    // replica restarts far past its pre-crash msgids) must not pin an
+    // unclosable gap forever. Sliding the floor up writes off msgids
+    // more than a window behind the newest — by then they are either
+    // lost or stale duplicates from a dead incarnation.
+    while above.len() > DEDUP_WINDOW {
+        floor = above.remove(0);
+    }
+    Some(Value::pair(
+        Value::Int(floor),
+        Value::list(above.into_iter().map(Value::Int)),
+    ))
+}
+
 /// Builds a batch value `<proposer, <batchid, entries>>`.
 fn batch_value(proposer: Loc, batchid: i64, entries: &[Value]) -> Value {
     Value::pair(
@@ -253,11 +313,8 @@ fn transition(
         BROADCAST_HEADER => {
             let (client, rest) = body.unpair();
             let (msgid, _payload) = rest.unpair();
-            let last = vmap::get(&st.last_enq, client)
-                .and_then(Value::as_int)
-                .unwrap_or(-1);
-            if msgid.int() > last {
-                st.last_enq = vmap::set(&st.last_enq, client.clone(), msgid.clone());
+            if let Some(seen) = note_msgid(vmap::get(&st.last_enq, client), msgid.int()) {
+                st.last_enq = vmap::set(&st.last_enq, client.clone(), seen);
                 let mut pending: Vec<Value> = st.pending.elems().to_vec();
                 pending.push(body.clone());
                 st.pending = Value::list(pending);
@@ -324,13 +381,10 @@ fn deliver_ready(config: &TobConfig, st: &mut ServerState, outs: &mut Vec<SendIn
         for entry in batch_entries(&batch) {
             let (client, rest) = entry.unpair();
             let (msgid, _payload) = rest.unpair();
-            let last = vmap::get(&st.last_del, client)
-                .and_then(Value::as_int)
-                .unwrap_or(-1);
-            if msgid.int() <= last {
+            let Some(seen) = note_msgid(vmap::get(&st.last_del, client), msgid.int()) else {
                 continue; // duplicate of an already-delivered message
-            }
-            st.last_del = vmap::set(&st.last_del, client.clone(), msgid.clone());
+            };
+            st.last_del = vmap::set(&st.last_del, client.clone(), seen);
             for sub in config.subscribers.iter().chain(dynamic.iter()) {
                 outs.push(SendInstr::now(
                     *sub,
@@ -472,6 +526,51 @@ mod tests {
         assert_eq!(first.len(), 1);
         let again = p.step(&Ctx::at(slf), &m);
         assert!(again.is_empty(), "resend of an enqueued message is a no-op");
+    }
+
+    #[test]
+    fn reordered_pipelined_submissions_all_enqueued() {
+        // A lease-holder replica pipelines forwards through one msgid
+        // counter; jittered links can deliver them out of order. Every
+        // distinct msgid must still be enqueued exactly once — a plain
+        // last-msgid high-water mark would swallow 1 and 2 here.
+        let (mut p, _) = server_windowed(1, 8);
+        let slf = Loc::new(0);
+        let src = Loc::new(9);
+        let mut proposals = 0;
+        for id in [0i64, 3, 1, 2, 3, 1] {
+            let outs = p.step(&Ctx::at(slf), &broadcast_msg(src, id, Value::str("x")));
+            proposals += outs.len();
+        }
+        // Four distinct msgids → four single-entry batches proposed; the
+        // two repeats are dropped as duplicates.
+        assert_eq!(proposals, 4, "each distinct msgid proposed exactly once");
+    }
+
+    #[test]
+    fn dedup_floor_slides_past_counter_jumps() {
+        // A source that restarts its counter far ahead (a recovered
+        // replica) must not pin an unclosable gap: the window caps the
+        // tracked set, and msgids at or below the slid floor stay
+        // recognised as stale.
+        let mut entry = None;
+        for id in 0..3i64 {
+            entry = Some(note_msgid(entry.as_ref(), id).expect("fresh"));
+        }
+        for id in 1_000_000..(1_000_000 + DEDUP_WINDOW as i64 + 8) {
+            entry = Some(note_msgid(entry.as_ref(), id).expect("fresh past the jump"));
+        }
+        let v = entry.as_ref().expect("entry");
+        let (floor, above) = v.unpair();
+        assert!(floor.int() >= 1_000_000, "floor slid into the new range");
+        assert!(
+            above.as_list().expect("list").len() <= DEDUP_WINDOW,
+            "gap set stays bounded"
+        );
+        assert!(
+            note_msgid(entry.as_ref(), 2).is_none(),
+            "pre-jump stragglers written off as stale"
+        );
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! YCSB-style key-value read/update-mix workload.
+//!
+//! The generator emits point reads and point updates over the bank
+//! `accounts` table — reads are `TxnRequest::BankRead` and updates are
+//! `TxnRequest::BankDeposit` — so kv histories flow through the exact
+//! same collection and checking machinery as the bank workload
+//! (`check_bank_history_concurrent` validates every read's real-time
+//! bounds, fast path or not). Key choice is scrambled-zipfian as in
+//! YCSB: a small set of hot keys absorbs most traffic, with the hot set
+//! spread across the keyspace by a multiplicative hash so sharded
+//! deployments don't alias every hot key onto one group.
+
+use crate::TxnRequest;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Workload shape: keyspace size, read fraction, and skew.
+#[derive(Clone, Copy, Debug)]
+pub struct KvOptions {
+    /// Number of keys (accounts) in play.
+    pub rows: usize,
+    /// Fraction of requests that are reads, in `[0, 1]` (YCSB-B is 0.95).
+    pub read_fraction: f64,
+    /// Zipfian skew parameter θ in `[0, 1)`; YCSB's default is 0.99,
+    /// 0 is uniform.
+    pub theta: f64,
+}
+
+impl KvOptions {
+    /// YCSB-B: 95% reads, 5% updates, zipfian θ = 0.99.
+    pub fn ycsb_b(rows: usize) -> KvOptions {
+        KvOptions {
+            rows,
+            read_fraction: 0.95,
+            theta: 0.99,
+        }
+    }
+}
+
+/// A deterministic generator of the kv mix.
+#[derive(Clone, Debug)]
+pub struct KvGen {
+    rng: SmallRng,
+    opts: KvOptions,
+    // Precomputed zipfian constants (Gray et al.'s rejection-free method,
+    // the one YCSB uses).
+    zetan: f64,
+    eta: f64,
+    alpha: f64,
+}
+
+impl KvGen {
+    /// Creates a generator; same `(seed, opts)` ⇒ same request sequence.
+    pub fn new(seed: u64, opts: KvOptions) -> KvGen {
+        let n = opts.rows.max(1) as f64;
+        let theta = opts.theta.clamp(0.0, 0.9999);
+        let zetan = zeta(opts.rows.max(1), theta);
+        let zeta2 = zeta(2.min(opts.rows.max(1)), theta);
+        let eta = (1.0 - (2.0 / n).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        KvGen {
+            rng: SmallRng::seed_from_u64(seed),
+            opts,
+            zetan,
+            eta,
+            alpha: 1.0 / (1.0 - theta),
+        }
+    }
+
+    /// The next request: a read with probability `read_fraction`, else a
+    /// deposit of 1..100 — both on a zipfian-chosen key.
+    pub fn next_txn(&mut self) -> TxnRequest {
+        let account = self.next_key();
+        if self.rng.gen_range(0.0..1.0) < self.opts.read_fraction {
+            TxnRequest::BankRead { account }
+        } else {
+            TxnRequest::BankDeposit {
+                account,
+                amount: self.rng.gen_range(1..100),
+            }
+        }
+    }
+
+    /// A script of `n` requests (per-client convenience).
+    pub fn script(&mut self, n: usize) -> Vec<TxnRequest> {
+        (0..n).map(|_| self.next_txn()).collect()
+    }
+
+    /// Scrambled-zipfian key in `0..rows`.
+    fn next_key(&mut self) -> i64 {
+        let n = self.opts.rows.max(1);
+        let rank = self.zipf_rank();
+        // Scramble the rank across the keyspace (YCSB's ScrambledZipfian):
+        // rank 0 is still the hottest key, it just isn't key 0.
+        ((rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) % n as u64) as i64
+    }
+
+    /// Zipfian rank in `0..rows`, rank 0 most popular.
+    fn zipf_rank(&mut self) -> usize {
+        let n = self.opts.rows.max(1);
+        if self.opts.theta <= f64::EPSILON {
+            return self.rng.gen_range(0..n);
+        }
+        let u: f64 = self.rng.gen_range(0.0..1.0);
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        let theta = self.opts.theta.clamp(0.0, 0.9999);
+        if uz < 1.0 + 0.5f64.powf(theta) {
+            return 1;
+        }
+        let rank = ((n as f64) * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as usize;
+        rank.min(n - 1)
+    }
+}
+
+/// The generalized harmonic number Σ 1/i^θ for i in 1..=n.
+fn zeta(n: usize, theta: f64) -> f64 {
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let opts = KvOptions::ycsb_b(64);
+        let a = KvGen::new(7, opts).script(200);
+        let b = KvGen::new(7, opts).script(200);
+        let c = KvGen::new(8, opts).script(200);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn read_fraction_respected() {
+        let mut g = KvGen::new(1, KvOptions::ycsb_b(64));
+        let reads = g.script(2_000).iter().filter(|t| t.is_read_only()).count();
+        assert!(
+            (1_800..=2_000).contains(&reads),
+            "95% read mix produced {reads}/2000 reads"
+        );
+        let mut g = KvGen::new(
+            1,
+            KvOptions {
+                read_fraction: 0.0,
+                ..KvOptions::ycsb_b(64)
+            },
+        );
+        assert!(g.script(500).iter().all(|t| !t.is_read_only()));
+    }
+
+    #[test]
+    fn keys_in_range_and_zipfian_skewed() {
+        let rows = 128;
+        let mut g = KvGen::new(3, KvOptions::ycsb_b(rows));
+        let mut freq: HashMap<i64, usize> = HashMap::new();
+        for t in g.script(20_000) {
+            let k = match t {
+                TxnRequest::BankRead { account } => account,
+                TxnRequest::BankDeposit { account, .. } => account,
+                other => panic!("unexpected request {other:?}"),
+            };
+            assert!((0..rows as i64).contains(&k));
+            *freq.entry(k).or_default() += 1;
+        }
+        let hottest = *freq.values().max().unwrap();
+        // θ=0.99 concentrates ~18% of traffic on the hottest of 128 keys;
+        // uniform would put ~0.8% there.
+        assert!(
+            hottest > 20_000 / 20,
+            "zipfian skew missing: hottest key got {hottest}/20000"
+        );
+    }
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let rows = 16;
+        let mut g = KvGen::new(
+            5,
+            KvOptions {
+                rows,
+                read_fraction: 0.5,
+                theta: 0.0,
+            },
+        );
+        let mut freq: HashMap<i64, usize> = HashMap::new();
+        for t in g.script(16_000) {
+            let k = match t {
+                TxnRequest::BankRead { account } => account,
+                TxnRequest::BankDeposit { account, .. } => account,
+                other => panic!("unexpected request {other:?}"),
+            };
+            *freq.entry(k).or_default() += 1;
+        }
+        assert_eq!(freq.len(), rows);
+        assert!(freq.values().all(|&c| c > 16_000 / rows / 2));
+    }
+}

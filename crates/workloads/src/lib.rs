@@ -17,9 +17,11 @@
 //! transport through the broadcast service.
 
 pub mod bank;
+pub mod kv;
 pub mod shard;
 pub mod tpcc;
 pub mod txn;
 
+pub use kv::{KvGen, KvOptions};
 pub use shard::{ShardMap, TwoPcRecord, TxnId};
 pub use txn::{apply_group, TxnOutcome, TxnRequest};

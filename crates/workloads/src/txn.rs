@@ -61,6 +61,74 @@ pub struct TxnOutcome {
 }
 
 impl TxnRequest {
+    /// Whether this request provably mutates nothing: the classification
+    /// clients stamp onto [`TxnEnvelope`]s so replicas can serve the
+    /// request from local state under a read lease. Conservative — only
+    /// shapes that are reads *by construction* qualify: `BankRead`, and
+    /// SQL scripts consisting solely of `SELECT`s without `FOR UPDATE`.
+    /// Everything else (including TPC-C's read-only StockLevel/OrderStatus,
+    /// which share a wire tag with the writers) stays on the ordered path.
+    pub fn is_read_only(&self) -> bool {
+        match self {
+            TxnRequest::BankRead { .. } => true,
+            TxnRequest::Sql(stmts) => {
+                !stmts.is_empty()
+                    && stmts.iter().all(|s| {
+                        let t = s.trim_start();
+                        t.len() >= 6
+                            && t.as_bytes()[..6].eq_ignore_ascii_case(b"select")
+                            && !t.to_ascii_lowercase().contains("for update")
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    /// Executes a read-only request against committed state without
+    /// touching the lock table, via [`Database::execute_read_only`].
+    /// Returns `None` when the request is not actually read-only or when
+    /// the lock-free path cannot serve it — the caller must then fall
+    /// back to ordered execution (never answer from a guess).
+    pub fn apply_read_only(&self, db: &Database) -> Option<TxnOutcome> {
+        match self {
+            TxnRequest::BankRead { account } => {
+                let (rs, cost) = db
+                    .execute_read_only(&format!(
+                        "SELECT balance FROM accounts WHERE id = {account}"
+                    ))
+                    .ok()?;
+                let balance = rs
+                    .rows
+                    .first()
+                    .map(|r| r[0].clone())
+                    .unwrap_or(SqlValue::Null);
+                Some(TxnOutcome {
+                    committed: true,
+                    result: vec![balance],
+                    cost,
+                })
+            }
+            TxnRequest::Sql(stmts) if self.is_read_only() => {
+                let mut result = Vec::new();
+                let mut cost = Duration::ZERO;
+                for s in stmts {
+                    let (rs, c) = db.execute_read_only(s).ok()?;
+                    cost += c;
+                    result.push(SqlValue::Int(rs.affected as i64));
+                    if let Some(first) = rs.rows.first() {
+                        result.extend(first.iter().cloned());
+                    }
+                }
+                Some(TxnOutcome {
+                    committed: true,
+                    result,
+                    cost,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Executes this request against `db` in its own transaction.
     ///
     /// # Errors
@@ -335,5 +403,70 @@ mod tests {
             let out = out.unwrap();
             assert!(out.cost.as_micros() > 0, "per-request cost attributed");
         }
+    }
+
+    #[test]
+    fn read_only_classification() {
+        assert!(TxnRequest::BankRead { account: 1 }.is_read_only());
+        assert!(TxnRequest::Sql(vec!["SELECT a FROM t WHERE id = 1".into()]).is_read_only());
+        assert!(
+            TxnRequest::Sql(vec!["  select a FROM t".into(), "SELECT b FROM u".into()])
+                .is_read_only()
+        );
+        // Anything that can mutate or lock is not a fast-path candidate.
+        assert!(!TxnRequest::BankDeposit {
+            account: 1,
+            amount: 2
+        }
+        .is_read_only());
+        assert!(!TxnRequest::BankTransfer {
+            from: 1,
+            to: 2,
+            amount: 3
+        }
+        .is_read_only());
+        assert!(!TxnRequest::Sql(vec!["SELECT a FROM t FOR UPDATE".into()]).is_read_only());
+        assert!(!TxnRequest::Sql(vec![
+            "SELECT a FROM t".into(),
+            "UPDATE t SET a = 1 WHERE id = 1".into()
+        ])
+        .is_read_only());
+        assert!(!TxnRequest::Sql(vec![]).is_read_only());
+    }
+
+    #[test]
+    fn apply_read_only_matches_ordered_execution() {
+        let db = Database::new(EngineProfile::h2());
+        bank::load(&db, 8).unwrap();
+        TxnRequest::BankDeposit {
+            account: 3,
+            amount: 41,
+        }
+        .apply(&db)
+        .unwrap();
+
+        let read = TxnRequest::BankRead { account: 3 };
+        let fast = read.apply_read_only(&db).expect("read served on fast path");
+        let ordered = read.apply(&db).unwrap();
+        assert_eq!(fast.result, ordered.result);
+        assert!(fast.committed);
+        assert!(fast.cost > Duration::ZERO);
+
+        let sql = TxnRequest::Sql(vec!["SELECT balance FROM accounts WHERE id = 3".into()]);
+        let fast = sql.apply_read_only(&db).expect("sql read served");
+        assert_eq!(fast.result, sql.apply(&db).unwrap().result);
+
+        // Non-reads refuse the fast path outright.
+        assert!(TxnRequest::BankDeposit {
+            account: 1,
+            amount: 1
+        }
+        .apply_read_only(&db)
+        .is_none());
+        assert!(
+            TxnRequest::Sql(vec!["UPDATE accounts SET balance = 0 WHERE id = 1".into()])
+                .apply_read_only(&db)
+                .is_none()
+        );
     }
 }
